@@ -1,0 +1,83 @@
+//! E1 — §3.1 array summation: Sum1 / Sum2 / Sum3.
+//!
+//! Series printed up front:
+//! * Sum1 consensus phases = log2 N exactly (E1a);
+//! * Sum2/Sum3 commits = N − 1, zero barriers (E1b/E1c);
+//! * parallel rounds ≈ O(log2 N) for all three under the rounds
+//!   scheduler.
+//!
+//! Then Criterion times the serial runs at N = 256.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdl::workloads::{final_sum, random_array, sum1_runtime, sum2_runtime, sum3_runtime};
+
+fn print_series() {
+    eprintln!("\n# E1 series: array summation (paper 3.1)");
+    eprintln!(
+        "{:>6} {:>6} | {:>11} {:>11} | {:>11} | {:>11} {:>8} {:>7}",
+        "N", "log2N", "Sum1 phases", "Sum1 rounds", "Sum2 rounds", "Sum3 rounds", "commits", "sum ok"
+    );
+    for a in 4u32..=9 {
+        let n = 2usize.pow(a);
+        let values = random_array(n, u64::from(a));
+        let expected: i64 = values.iter().sum();
+
+        let mut s1 = sum1_runtime(&values, 1);
+        let r1 = s1.run_rounds().expect("sum1");
+        let mut s2 = sum2_runtime(&values, 1);
+        let r2 = s2.run_rounds().expect("sum2");
+        let mut s3 = sum3_runtime(&values, 1);
+        let r3 = s3.run_rounds().expect("sum3");
+
+        let ok = final_sum(&s1) == expected
+            && final_sum(&s2) == expected
+            && final_sum(&s3) == expected;
+        eprintln!(
+            "{:>6} {:>6} | {:>11} {:>11} | {:>11} | {:>11} {:>8} {:>7}",
+            n, a, r1.consensus_rounds, r1.rounds, r2.rounds, r3.rounds, r3.commits, ok
+        );
+    }
+    eprintln!("(Sum1 phases = log2 N exactly; rounds grow logarithmically, commits linearly)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let values = random_array(256, 99);
+    let mut g = c.benchmark_group("e1_array_sum");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_with_input(BenchmarkId::new("sum1_serial", 256), &values, |b, v| {
+        b.iter(|| {
+            let mut rt = sum1_runtime(v, 1);
+            rt.run().expect("runs");
+            final_sum(&rt)
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("sum2_serial", 256), &values, |b, v| {
+        b.iter(|| {
+            let mut rt = sum2_runtime(v, 1);
+            rt.run().expect("runs");
+            final_sum(&rt)
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("sum3_serial", 256), &values, |b, v| {
+        b.iter(|| {
+            let mut rt = sum3_runtime(v, 1);
+            rt.run().expect("runs");
+            final_sum(&rt)
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("sum3_rounds", 256), &values, |b, v| {
+        b.iter(|| {
+            let mut rt = sum3_runtime(v, 1);
+            rt.run_rounds().expect("runs");
+            final_sum(&rt)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

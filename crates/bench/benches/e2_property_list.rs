@@ -1,0 +1,113 @@
+//! E2 — §3.2 property lists.
+//!
+//! Series: Search spawns O(k) processes (k = key position) while Find is
+//! one transaction regardless of list length; Sort terminates in exactly
+//! one consensus, with swap count bounded by the number of inversions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sdl::workloads::{property_list, read_sequence, sort_runtime, PROPERTY_SRC};
+use sdl_core::{CompiledProgram, Runtime};
+use sdl_tuple::Value;
+
+fn search_run(len: usize) -> sdl_core::RunReport {
+    let program = CompiledProgram::from_source(PROPERTY_SRC).expect("compiles");
+    let (tuples, _) = property_list(len);
+    let mut rt = Runtime::builder(program)
+        .tuples(tuples)
+        .spawn(
+            "Search",
+            vec![
+                Value::atom("nd0"),
+                Value::atom(&format!("prop{}", len - 1)),
+            ],
+        )
+        .build()
+        .expect("builds");
+    rt.run().expect("runs")
+}
+
+fn find_run(len: usize) -> sdl_core::RunReport {
+    let program = CompiledProgram::from_source(PROPERTY_SRC).expect("compiles");
+    let (tuples, _) = property_list(len);
+    let mut rt = Runtime::builder(program)
+        .tuples(tuples)
+        .spawn("Find", vec![Value::atom(&format!("prop{}", len - 1))])
+        .build()
+        .expect("builds");
+    rt.run().expect("runs")
+}
+
+fn shuffled(len: usize, seed: u64) -> Vec<i64> {
+    let mut v: Vec<i64> = (0..len as i64).collect();
+    v.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    v
+}
+
+fn print_series() {
+    eprintln!("\n# E2 series: property list (paper 3.2)");
+    eprintln!(
+        "{:>6} | {:>14} {:>13} | {:>12} {:>11}",
+        "L", "Search procs", "Search txns", "Find procs", "Find txns"
+    );
+    for a in [4u32, 6, 8, 10] {
+        let len = 2usize.pow(a);
+        let s = search_run(len);
+        let f = find_run(len);
+        eprintln!(
+            "{:>6} | {:>14} {:>13} | {:>12} {:>11}",
+            len, s.processes_created, s.commits, f.processes_created, f.commits
+        );
+    }
+    eprintln!("(Search walks the list; Find is O(1) transactions at any length)\n");
+    eprintln!(
+        "{:>6} | {:>7} {:>11} {:>10}",
+        "L", "swaps", "consensus", "sorted"
+    );
+    for len in [8usize, 16, 32, 64, 128] {
+        let values = shuffled(len, len as u64);
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        let mut rt = sort_runtime(&values, 1);
+        let report = rt.run().expect("runs");
+        let swaps = report.commits - (len as u64 - 1);
+        eprintln!(
+            "{:>6} | {:>7} {:>11} {:>10}",
+            len,
+            swaps,
+            report.consensus_rounds,
+            read_sequence(&rt, len) == expected
+        );
+    }
+    eprintln!("(one consensus per run: the whole chain agrees it is ordered, then exits)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("e2_property_list");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for len in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::new("search_last", len), &len, |b, &l| {
+            b.iter(|| search_run(l).commits)
+        });
+        g.bench_with_input(BenchmarkId::new("find_last", len), &len, |b, &l| {
+            b.iter(|| find_run(l).commits)
+        });
+    }
+    let values = shuffled(32, 7);
+    g.bench_function("sort_32", |b| {
+        b.iter(|| {
+            let mut rt = sort_runtime(&values, 1);
+            rt.run().expect("runs").commits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E3 — §3.3 region labeling: worker model vs community model.
+//!
+//! Series: correctness against the flood-fill oracle; the community
+//! model fires exactly one consensus per region; and *availability* —
+//! the first region finalises well before the computation ends (the
+//! paper's motivation for the community model: "waiting for all regions
+//! to be labeled is often unreasonable").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdl::workloads::{
+    community_labeling_runtime, read_labels, worker_labeling_runtime, Image,
+};
+use sdl_core::{CompiledProgram, Event, Runtime};
+
+const CUTOFF: i64 = 128;
+
+fn traced_community(image: &Image, seed: u64) -> Runtime {
+    let program =
+        CompiledProgram::from_source(sdl::workloads::COMMUNITY_LABELING_SRC).expect("compiles");
+    let mut b = Runtime::builder(program)
+        .seed(seed)
+        .trace(true)
+        .builtins(sdl::workloads::image_builtins(image, CUTOFF));
+    for (p, v) in image.pixels.iter().enumerate() {
+        b = b.tuple(sdl_tuple::tuple![
+            sdl_tuple::Value::atom("image"),
+            p as i64,
+            *v
+        ]);
+    }
+    b.spawn("Threshold", vec![]).build().expect("builds")
+}
+
+fn print_series() {
+    eprintln!("\n# E3 series: region labeling (paper 3.3)");
+    eprintln!(
+        "{:>5} {:>8} | {:>13} {:>13} | {:>15} {:>15} | {:>20}",
+        "S", "regions", "worker commits", "worker rounds", "comm. commits", "comm. consensus", "1st region avail at"
+    );
+    for (s, seed) in [(4i64, 1u64), (6, 2), (8, 3), (10, 4)] {
+        let image = Image::synthetic(s, s, 3, seed);
+        let oracle = image.flood_fill_labels(CUTOFF);
+        let regions = {
+            let mut l = oracle.clone();
+            l.sort_unstable();
+            l.dedup();
+            l.len()
+        };
+
+        let mut w = worker_labeling_runtime(&image, CUTOFF, seed);
+        let wrep = w.run_rounds().expect("worker");
+        assert_eq!(read_labels(&w, image.len()), oracle, "worker S={s}");
+
+        let mut crt = traced_community(&image, seed);
+        let crep = crt.run().expect("community");
+        assert_eq!(read_labels(&crt, image.len()), oracle, "community S={s}");
+        let log = crt.event_log().expect("traced");
+        let commits_before_first_consensus = log
+            .iter()
+            .take_while(|(_, e)| !matches!(e, Event::ConsensusReached { .. }))
+            .filter(|(_, e)| matches!(e, Event::TxnCommitted { .. }))
+            .count();
+        eprintln!(
+            "{:>5} {:>8} | {:>13} {:>13} | {:>15} {:>15} | {:>9}/{} commits",
+            s * s,
+            regions,
+            wrep.commits,
+            wrep.rounds,
+            crep.commits,
+            crep.consensus_rounds,
+            commits_before_first_consensus,
+            crep.commits
+        );
+    }
+    eprintln!("(community consensus firings = region count; first region is final long before the run ends)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("e3_region_labeling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for s in [6i64, 8] {
+        let image = Image::synthetic(s, s, 3, 7);
+        g.bench_with_input(
+            BenchmarkId::new("worker_serial", s * s),
+            &image,
+            |b, img| {
+                b.iter(|| {
+                    let mut rt = worker_labeling_runtime(img, CUTOFF, 1);
+                    rt.run().expect("runs").commits
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("worker_rounds", s * s),
+            &image,
+            |b, img| {
+                b.iter(|| {
+                    let mut rt = worker_labeling_runtime(img, CUTOFF, 1);
+                    rt.run_rounds().expect("runs").rounds
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("community_serial", s * s),
+            &image,
+            |b, img| {
+                b.iter(|| {
+                    let mut rt = community_labeling_runtime(img, CUTOFF, 1);
+                    rt.run().expect("runs").consensus_rounds
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

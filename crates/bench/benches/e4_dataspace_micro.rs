@@ -1,0 +1,131 @@
+//! E4 — dataspace microbenchmarks and the view-pragmatics claim.
+//!
+//! The paper (§2): views "provide bounds on the scope of the
+//! transactions which, in turn, reduce the transaction execution time.
+//! Thus, transaction types that might be expensive to implement may be
+//! used comfortably when the number of tuples they examine is small."
+//!
+//! Series: query cost against dataspace size with and without the
+//! functor/arg1 indexes (ablation), and a whole-dataspace `forall` vs
+//! the same `forall` bounded by a view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdl_core::{CompiledProgram, Runtime};
+use sdl_dataspace::{Dataspace, IndexMode, TupleSource};
+use sdl_tuple::{pattern, tuple, ProcId, Value};
+
+fn populate(n: i64, mode: IndexMode) -> Dataspace {
+    let mut d = Dataspace::with_index_mode(mode);
+    for i in 0..n {
+        d.assert_tuple(ProcId::ENV, tuple![Value::atom("label"), i, i % 17]);
+        d.assert_tuple(ProcId::ENV, tuple![Value::atom("threshold"), i, i % 2]);
+    }
+    d
+}
+
+fn forall_sweep_runtime(n: i64, with_view: bool) -> Runtime {
+    // One process repeatedly retracts its own <slot, k, v> tuples; the
+    // dataspace also holds n unrelated tuples. With a view the query
+    // examines ~8 tuples; without, negations and scans see everything.
+    let src = if with_view {
+        "process P(k) {
+            import { <slot, k, *>; }
+            forall v : <slot, k, v>! -> ;
+         }"
+    } else {
+        "process P(k) {
+            forall v : <slot, k, v>! -> ;
+         }"
+    };
+    let program = CompiledProgram::from_source(src).expect("compiles");
+    let mut b = Runtime::builder(program).spawn("P", vec![Value::Int(0)]);
+    for i in 0..n {
+        b = b.tuple(tuple![Value::atom("noise"), i, i]);
+    }
+    for v in 0..8i64 {
+        b = b.tuple(tuple![Value::atom("slot"), 0i64, v]);
+    }
+    b.build().expect("builds")
+}
+
+fn print_series() {
+    eprintln!("\n# E4 series: store scaling and index ablation");
+    eprintln!(
+        "{:>8} | {:>14} {:>14} | {:>9}",
+        "|D|", "indexed (hits)", "no-index(hits)", "speedup"
+    );
+    for n in [1_000i64, 10_000, 100_000] {
+        let indexed = populate(n, IndexMode::FunctorArity);
+        let flat = populate(n, IndexMode::None);
+        let probe = pattern![Value::atom("label"), n / 2, any];
+        let t0 = std::time::Instant::now();
+        for _ in 0..100 {
+            assert_eq!(indexed.count_matches(&probe), 1);
+        }
+        let ti = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        for _ in 0..100 {
+            assert_eq!(flat.count_matches(&probe), 1);
+        }
+        let tf = t1.elapsed();
+        eprintln!(
+            "{:>8} | {:>14?} {:>14?} | {:>8.0}x",
+            2 * n,
+            ti / 100,
+            tf / 100,
+            tf.as_secs_f64() / ti.as_secs_f64().max(1e-12)
+        );
+    }
+    eprintln!("(point lookups are O(1) with the functor/arg1 index, O(|D|) without)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("e4_dataspace_micro");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [1_000i64, 10_000] {
+        let d = populate(n, IndexMode::FunctorArity);
+        g.bench_with_input(BenchmarkId::new("point_lookup_indexed", 2 * n), &d, |b, d| {
+            let p = pattern![Value::atom("label"), n / 2, any];
+            b.iter(|| d.count_matches(&p))
+        });
+        let flat = populate(n, IndexMode::None);
+        g.bench_with_input(BenchmarkId::new("point_lookup_flat", 2 * n), &flat, |b, d| {
+            let p = pattern![Value::atom("label"), n / 2, any];
+            b.iter(|| d.count_matches(&p))
+        });
+        g.bench_with_input(BenchmarkId::new("assert_retract", 2 * n), &n, |b, &n| {
+            let mut d = populate(n, IndexMode::FunctorArity);
+            b.iter(|| {
+                let id = d.assert_tuple(ProcId::ENV, tuple![Value::atom("x"), 1, 2]);
+                d.retract(id)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ground_membership", 2 * n), &n, |b, &n| {
+            let d = populate(n, IndexMode::FunctorArity);
+            let p = pattern![Value::atom("label"), 3, 3];
+            b.iter(|| d.contains_match(&p))
+        });
+    }
+    for n in [1_000i64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("forall_with_view", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = forall_sweep_runtime(n, true);
+                rt.run().expect("runs").commits
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("forall_whole_space", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = forall_sweep_runtime(n, false);
+                rt.run().expect("runs").commits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! E6 — SDL vs the Linda baseline.
+//!
+//! The paper positions SDL's multi-tuple atomic transactions against
+//! Linda's one-tuple primitives. Series: the pairwise-summation workload
+//! in both systems (same store underneath), plus primitive-level
+//! round-trips.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdl::workloads::{final_sum, random_array, sum3_runtime};
+use sdl_linda::{TupleSpace, WorkerPool};
+use sdl_tuple::{pattern, tuple, Value};
+
+fn linda_sum(values: &[i64], workers: usize) -> i64 {
+    let ts = Arc::new(TupleSpace::new());
+    for v in values {
+        ts.out(tuple![Value::atom("v"), *v]);
+    }
+    let pool = WorkerPool::spawn(ts.clone(), workers, |ts| {
+        let Some(a) = ts.try_take(&pattern![Value::atom("v"), any]) else {
+            return false;
+        };
+        match ts.try_take(&pattern![Value::atom("v"), any]) {
+            Some(b) => {
+                let sum = a[1].as_int().expect("int") + b[1].as_int().expect("int");
+                ts.out(tuple![Value::atom("v"), sum]);
+                true
+            }
+            None => {
+                ts.out(a);
+                false
+            }
+        }
+    });
+    pool.join();
+    ts.snapshot().pop().expect("one left")[1].as_int().expect("int")
+}
+
+fn print_series() {
+    eprintln!("\n# E6 series: SDL transactions vs Linda primitives (pairwise summation)");
+    eprintln!(
+        "{:>6} | {:>14} {:>12} | {:>14} {:>12}",
+        "N", "SDL serial", "SDL rounds", "Linda 1 wkr", "Linda 4 wkr"
+    );
+    for n in [256usize, 1024, 4096] {
+        let values = random_array(n, 3);
+        let expected: i64 = values.iter().sum();
+
+        let t0 = Instant::now();
+        let mut rt = sum3_runtime(&values, 1);
+        rt.run().expect("runs");
+        assert_eq!(final_sum(&rt), expected);
+        let sdl_serial = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut rt = sum3_runtime(&values, 1);
+        rt.run_rounds().expect("runs");
+        let sdl_rounds = t1.elapsed();
+
+        let t2 = Instant::now();
+        assert_eq!(linda_sum(&values, 1), expected);
+        let linda1 = t2.elapsed();
+
+        let t3 = Instant::now();
+        assert_eq!(linda_sum(&values, 4), expected);
+        let linda4 = t3.elapsed();
+
+        eprintln!(
+            "{:>6} | {:>14?} {:>12?} | {:>14?} {:>12?}",
+            n, sdl_serial, sdl_rounds, linda1, linda4
+        );
+    }
+    eprintln!("(Linda is faster raw plumbing; SDL buys atomic multi-tuple semantics, views, consensus)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("e6_linda_baseline");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let values = random_array(1024, 3);
+    g.bench_function("sdl_sum3_1024", |b| {
+        b.iter(|| {
+            let mut rt = sum3_runtime(&values, 1);
+            rt.run().expect("runs");
+            final_sum(&rt)
+        })
+    });
+    g.bench_function("linda_sum_1024_1worker", |b| {
+        b.iter(|| linda_sum(&values, 1))
+    });
+    g.bench_function("linda_sum_1024_4workers", |b| {
+        b.iter(|| linda_sum(&values, 4))
+    });
+    // Primitive round-trips.
+    let ts = TupleSpace::new();
+    g.bench_function("linda_out_in_roundtrip", |b| {
+        b.iter(|| {
+            ts.out(tuple![Value::atom("x"), 1]);
+            ts.take(&pattern![Value::atom("x"), any]).expect("present")
+        })
+    });
+    for n in [0usize, 10_000] {
+        let ts = TupleSpace::new();
+        for i in 0..n {
+            ts.out(tuple![Value::atom("noise"), i as i64]);
+        }
+        g.bench_with_input(BenchmarkId::new("linda_try_read_miss", n), &ts, |b, ts| {
+            b.iter(|| ts.try_read(&pattern![Value::atom("absent")]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

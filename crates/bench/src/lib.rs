@@ -1,0 +1,9 @@
+//! # sdl-bench — the experiment harness
+//!
+//! One Criterion bench target per experiment in `DESIGN.md` §5 /
+//! `EXPERIMENTS.md`. Each target first prints the series the experiment
+//! is about (phases, rounds, commits, process counts — the paper's
+//! qualitative claims made measurable), then runs wall-clock timings.
+//!
+//! Run everything with `cargo bench --workspace`; a single experiment
+//! with e.g. `cargo bench -p sdl-bench --bench e1_array_sum`.

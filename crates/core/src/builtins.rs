@@ -1,0 +1,185 @@
+//! Host-registered predicates and functions.
+//!
+//! The paper assumes "a predicate `neighbor(ρ1, ρ2)` to tell if two pixels
+//! are 4-connected" and a threshold function `T(ν)` without defining them
+//! in SDL — they come from the host environment. [`Builtins`] is that
+//! registry: pure functions from values to a value, callable from test
+//! queries, pattern-field expressions, action arguments, and view-rule
+//! conditions.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use sdl_tuple::Value;
+
+type HostFn = Arc<dyn Fn(&[Value]) -> Option<Value> + Send + Sync>;
+
+/// A registry of pure host functions.
+///
+/// A function returns `None` when applied to values outside its domain;
+/// in a test position that reads as *false*, elsewhere it is an
+/// evaluation error.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::Builtins;
+/// use sdl_tuple::Value;
+///
+/// let mut b = Builtins::standard();
+/// b.register("double", |args| {
+///     args[0].as_int().map(|i| Value::Int(i * 2))
+/// });
+/// assert_eq!(b.call("double", &[Value::Int(21)]), Some(Value::Int(42)));
+/// assert_eq!(b.call("abs", &[Value::Int(-3)]), Some(Value::Int(3)));
+/// assert_eq!(b.call("nope", &[]), None);
+/// ```
+#[derive(Clone, Default)]
+pub struct Builtins {
+    fns: HashMap<String, HostFn>,
+}
+
+impl Builtins {
+    /// Creates an empty registry.
+    pub fn new() -> Builtins {
+        Builtins::default()
+    }
+
+    /// Creates a registry with the standard helpers: `abs`, `min`, `max`,
+    /// `even`, `odd`.
+    pub fn standard() -> Builtins {
+        let mut b = Builtins::new();
+        b.register("abs", |args: &[Value]| match args {
+            [Value::Int(i)] => i.checked_abs().map(Value::Int),
+            [Value::Float(f)] => Some(Value::Float(f.abs())),
+            _ => None,
+        });
+        b.register("min", |args: &[Value]| match args {
+            [a, b] if a.is_numeric() && b.is_numeric() => {
+                Some(if a.as_f64() <= b.as_f64() { a.clone() } else { b.clone() })
+            }
+            _ => None,
+        });
+        b.register("max", |args: &[Value]| match args {
+            [a, b] if a.is_numeric() && b.is_numeric() => {
+                Some(if a.as_f64() >= b.as_f64() { a.clone() } else { b.clone() })
+            }
+            _ => None,
+        });
+        b.register("even", |args: &[Value]| match args {
+            [Value::Int(i)] => Some(Value::Bool(i % 2 == 0)),
+            _ => None,
+        });
+        b.register("odd", |args: &[Value]| match args {
+            [Value::Int(i)] => Some(Value::Bool(i % 2 != 0)),
+            _ => None,
+        });
+        b
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[Value]) -> Option<Value> + Send + Sync + 'static,
+    {
+        self.fns.insert(name.to_owned(), Arc::new(f));
+    }
+
+    /// Calls a function; `None` if unknown or outside its domain.
+    pub fn call(&self, name: &str, args: &[Value]) -> Option<Value> {
+        self.fns.get(name).and_then(|f| f(args))
+    }
+
+    /// True if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// Registers the 4-connectivity predicate `neighbor(p, q)` for a
+    /// `width × height` pixel grid where a pixel is encoded as the integer
+    /// `y * width + x` — the encoding used by the region-labeling
+    /// examples.
+    pub fn register_grid_neighbor(&mut self, width: i64, height: i64) {
+        self.register("neighbor", move |args: &[Value]| {
+            let (p, q) = match args {
+                [Value::Int(p), Value::Int(q)] => (*p, *q),
+                _ => return None,
+            };
+            let n = width * height;
+            if p < 0 || q < 0 || p >= n || q >= n {
+                return Some(Value::Bool(false));
+            }
+            let (px, py) = (p % width, p / width);
+            let (qx, qy) = (q % width, q / width);
+            let four_connected = (px == qx && (py - qy).abs() == 1)
+                || (py == qy && (px - qx).abs() == 1);
+            Some(Value::Bool(four_connected))
+        });
+    }
+}
+
+impl fmt::Debug for Builtins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.fns.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("Builtins").field("fns", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_functions() {
+        let b = Builtins::standard();
+        assert_eq!(b.call("abs", &[Value::Int(-3)]), Some(Value::Int(3)));
+        assert_eq!(b.call("abs", &[Value::Float(-1.5)]), Some(Value::Float(1.5)));
+        assert_eq!(
+            b.call("min", &[Value::Int(3), Value::Int(2)]),
+            Some(Value::Int(2))
+        );
+        assert_eq!(
+            b.call("max", &[Value::Int(3), Value::Float(4.5)]),
+            Some(Value::Float(4.5))
+        );
+        assert_eq!(b.call("even", &[Value::Int(4)]), Some(Value::Bool(true)));
+        assert_eq!(b.call("odd", &[Value::Int(4)]), Some(Value::Bool(false)));
+        assert_eq!(b.call("even", &[Value::atom("x")]), None, "outside domain");
+        assert!(b.contains("abs"));
+        assert!(!b.contains("cos"));
+    }
+
+    #[test]
+    fn grid_neighbor() {
+        let mut b = Builtins::new();
+        b.register_grid_neighbor(4, 3); // 4 wide, 3 tall; pixels 0..12
+        let n = |p: i64, q: i64| {
+            b.call("neighbor", &[Value::Int(p), Value::Int(q)])
+                == Some(Value::Bool(true))
+        };
+        assert!(n(0, 1), "horizontal neighbours");
+        assert!(n(1, 0), "symmetric");
+        assert!(n(0, 4), "vertical neighbours");
+        assert!(!n(3, 4), "no wraparound across rows");
+        assert!(!n(0, 5), "no diagonals");
+        assert!(!n(0, 0), "not self-neighbour");
+        assert!(!n(0, 12), "out of range is false");
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut b = Builtins::new();
+        b.register("f", |_| Some(Value::Int(1)));
+        b.register("f", |_| Some(Value::Int(2)));
+        assert_eq!(b.call("f", &[]), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let b = Builtins::standard();
+        let s = format!("{b:?}");
+        assert!(s.contains("abs") && s.contains("odd"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Consensus sets.
+//!
+//! The paper defines the consensus set of a process as the closure of the
+//! relation
+//!
+//! ```text
+//! p needs q  ≡  Import(p) ∩ Import(q) ∩ D ≠ ∅
+//! ```
+//!
+//! i.e. communities formed by import-set overlap *on the current
+//! dataspace configuration*. This module computes the partition of the
+//! process society into consensus sets with a union-find over shared
+//! imported tuple instances. Processes with unrestricted views act as
+//! hubs: they overlap with every process that imports anything (and with
+//! each other whenever the dataspace is non-empty).
+
+use std::collections::HashMap;
+
+use sdl_dataspace::Dataspace;
+use sdl_tuple::{ProcId, TupleId};
+
+use crate::builtins::Builtins;
+use crate::error::RuntimeError;
+use crate::process::ProcessInstance;
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Partitions `procs` into consensus sets over the current dataspace.
+///
+/// Each returned set is sorted by process id; the sets are ordered by
+/// their smallest member, so the output is deterministic.
+///
+/// # Errors
+///
+/// Fails if evaluating a view rule's environment expression fails.
+pub fn consensus_sets(
+    procs: &[&ProcessInstance],
+    ds: &Dataspace,
+    builtins: &Builtins,
+) -> Result<Vec<Vec<ProcId>>, RuntimeError> {
+    let n = procs.len();
+    let mut uf = UnionFind::new(n);
+
+    // Unrestricted-import processes overlap with each other whenever the
+    // dataspace is non-empty.
+    let full: Vec<usize> = (0..n)
+        .filter(|&i| procs[i].def.view.imports_everything())
+        .collect();
+    if !ds.is_empty() {
+        for w in full.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    let hub = full.first().copied();
+
+    // Restricted-import processes join through shared instances, and join
+    // the full-view hub if they import anything at all.
+    let mut owner_of: HashMap<TupleId, usize> = HashMap::new();
+    for (i, p) in procs.iter().enumerate() {
+        if p.def.view.imports_everything() {
+            continue;
+        }
+        let ids = p.def.view.import_ids(ds, &p.env, builtins)?;
+        if ids.is_empty() {
+            continue;
+        }
+        if let Some(h) = hub {
+            uf.union(i, h);
+        }
+        for id in ids {
+            match owner_of.get(&id) {
+                Some(&j) => uf.union(i, j),
+                None => {
+                    owner_of.insert(id, i);
+                }
+            }
+        }
+    }
+
+    // Collect classes.
+    let mut classes: HashMap<usize, Vec<ProcId>> = HashMap::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        classes.entry(root).or_default().push(procs[i].id);
+    }
+    let mut out: Vec<Vec<ProcId>> = classes.into_values().collect();
+    for set in &mut out {
+        set.sort_unstable();
+    }
+    out.sort_by_key(|s| s[0]);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::CompiledProgram;
+    use sdl_tuple::{tuple, Value};
+
+    fn make_procs(src: &str, spawns: &[(&str, Vec<Value>)]) -> Vec<ProcessInstance> {
+        let prog = sdl_lang::parse_program(src).unwrap();
+        let c = CompiledProgram::compile(&prog).unwrap();
+        spawns
+            .iter()
+            .enumerate()
+            .map(|(i, (name, args))| {
+                ProcessInstance::new(
+                    ProcId(i as u64 + 1),
+                    c.def(name).unwrap().clone(),
+                    args.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_views_form_one_set_when_dataspace_nonempty() {
+        let procs = make_procs(
+            "process P() { -> skip; }",
+            &[("P", vec![]), ("P", vec![]), ("P", vec![])],
+        );
+        let refs: Vec<&ProcessInstance> = procs.iter().collect();
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![1]);
+        let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 3);
+    }
+
+    #[test]
+    fn full_views_are_singletons_on_empty_dataspace() {
+        let procs = make_procs("process P() { -> skip; }", &[("P", vec![]), ("P", vec![])]);
+        let refs: Vec<&ProcessInstance> = procs.iter().collect();
+        let ds = Dataspace::new();
+        let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
+        assert_eq!(sets.len(), 2, "Import(p) ∩ Import(q) ∩ ∅ = ∅");
+    }
+
+    #[test]
+    fn sort_style_chain_is_one_community() {
+        // Sort(i, i+1) imports <i,*> and <i+1,*>: consecutive processes
+        // overlap pairwise, forming one chain community.
+        let src = "process Sort(this, next) { import { <this, *>; <next, *>; } -> skip; }";
+        let procs = make_procs(
+            src,
+            &[
+                ("Sort", vec![Value::Int(1), Value::Int(2)]),
+                ("Sort", vec![Value::Int(2), Value::Int(3)]),
+                ("Sort", vec![Value::Int(3), Value::Int(4)]),
+            ],
+        );
+        let refs: Vec<&ProcessInstance> = procs.iter().collect();
+        let mut ds = Dataspace::new();
+        for i in 1..=4i64 {
+            ds.assert_tuple(ProcId::ENV, tuple![i, i * 10]);
+        }
+        let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
+        assert_eq!(sets.len(), 1, "chain closes transitively");
+        assert_eq!(sets[0].len(), 3);
+    }
+
+    #[test]
+    fn disjoint_views_form_separate_communities() {
+        let src = "process W(x) { import { <x, *>; } -> skip; }";
+        let procs = make_procs(
+            src,
+            &[
+                ("W", vec![Value::Int(1)]),
+                ("W", vec![Value::Int(1)]),
+                ("W", vec![Value::Int(2)]),
+            ],
+        );
+        let refs: Vec<&ProcessInstance> = procs.iter().collect();
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![1, 10]);
+        ds.assert_tuple(ProcId::ENV, tuple![2, 20]);
+        let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0], vec![ProcId(1), ProcId(2)], "share tuple <1,10>");
+        assert_eq!(sets[1], vec![ProcId(3)]);
+    }
+
+    #[test]
+    fn empty_import_set_is_singleton() {
+        let src = "process W(x) { import { <x, *>; } -> skip; }";
+        let procs = make_procs(
+            src,
+            &[("W", vec![Value::Int(1)]), ("W", vec![Value::Int(1)])],
+        );
+        let refs: Vec<&ProcessInstance> = procs.iter().collect();
+        // Nothing matches <1, *>, so imports are empty → singletons.
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![9, 9]);
+        let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn full_view_bridges_restricted_views() {
+        let src = r#"
+            process W(x) { import { <x, *>; } -> skip; }
+            process F() { -> skip; }
+        "#;
+        let procs = make_procs(
+            src,
+            &[
+                ("W", vec![Value::Int(1)]),
+                ("W", vec![Value::Int(2)]),
+                ("F", vec![]),
+            ],
+        );
+        let refs: Vec<&ProcessInstance> = procs.iter().collect();
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![1, 10]);
+        ds.assert_tuple(ProcId::ENV, tuple![2, 20]);
+        let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
+        assert_eq!(sets.len(), 1, "full view overlaps both workers");
+    }
+}

@@ -1,0 +1,170 @@
+//! Runtime and compilation errors.
+
+use std::fmt;
+
+use sdl_lang::expr::EvalError;
+
+/// An error raised while compiling an SDL program into its executable
+/// form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A `spawn` or init block names a process that is not defined.
+    UnknownProcess(String),
+    /// A process is instantiated with the wrong number of arguments.
+    ArityMismatch {
+        /// Process name.
+        process: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        found: usize,
+    },
+    /// Two process definitions share a name.
+    DuplicateProcess(String),
+    /// A quantified variable is declared twice in one transaction.
+    DuplicateVariable(String),
+    /// More quantified variables than the runtime supports.
+    TooManyVariables(usize),
+    /// A construct outside the supported fragment (e.g. an expression over
+    /// quantified variables inside a negated pattern).
+    Unsupported(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownProcess(n) => write!(f, "unknown process `{n}`"),
+            CompileError::ArityMismatch {
+                process,
+                expected,
+                found,
+            } => write!(
+                f,
+                "process `{process}` takes {expected} parameter(s), got {found}"
+            ),
+            CompileError::DuplicateProcess(n) => {
+                write!(f, "process `{n}` is defined more than once")
+            }
+            CompileError::DuplicateVariable(n) => {
+                write!(f, "quantified variable `{n}` declared twice")
+            }
+            CompileError::TooManyVariables(n) => {
+                write!(f, "transaction declares {n} variables; too many")
+            }
+            CompileError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An error raised while running a compiled program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Expression evaluation failed outside a test position (pattern
+    /// field, action argument, init tuple), where failure cannot be
+    /// interpreted as "query does not hold".
+    Eval {
+        /// The failing evaluation.
+        source: EvalError,
+        /// What was being evaluated.
+        context: String,
+    },
+    /// A `spawn` action named an unknown process at runtime.
+    UnknownProcess(String),
+    /// A `spawn` action supplied the wrong number of arguments.
+    SpawnArity {
+        /// Process name.
+        process: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        found: usize,
+    },
+    /// The executor does not support a feature the program uses.
+    Unsupported(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Eval { source, context } => {
+                write!(f, "evaluation failed in {context}: {source}")
+            }
+            RuntimeError::UnknownProcess(n) => write!(f, "spawn of unknown process `{n}`"),
+            RuntimeError::SpawnArity {
+                process,
+                expected,
+                found,
+            } => write!(
+                f,
+                "spawn of `{process}` takes {expected} argument(s), got {found}"
+            ),
+            RuntimeError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Eval { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> RuntimeError {
+        match e {
+            CompileError::UnknownProcess(n) => RuntimeError::UnknownProcess(n),
+            CompileError::ArityMismatch {
+                process,
+                expected,
+                found,
+            } => RuntimeError::SpawnArity {
+                process,
+                expected,
+                found,
+            },
+            other => RuntimeError::Unsupported(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CompileError::UnknownProcess("X".into())
+            .to_string()
+            .contains("X"));
+        assert!(CompileError::ArityMismatch {
+            process: "P".into(),
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("2"));
+        assert!(RuntimeError::Unsupported("consensus".into())
+            .to_string()
+            .contains("consensus"));
+        let e = RuntimeError::Eval {
+            source: EvalError::DivisionByZero,
+            context: "pattern field".into(),
+        };
+        assert!(e.to_string().contains("division"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn compile_error_converts() {
+        let r: RuntimeError = CompileError::UnknownProcess("P".into()).into();
+        assert_eq!(r, RuntimeError::UnknownProcess("P".into()));
+        let r2: RuntimeError = CompileError::DuplicateProcess("P".into()).into();
+        assert!(matches!(r2, RuntimeError::Unsupported(_)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Execution events.
+//!
+//! The paper's companion goal is *visualization*: "potentially one can
+//! create visualization processes completely decoupled from the rest of
+//! the process society, yet having complete access to the data state of
+//! the computation". The runtime emits a stream of [`Event`]s through an
+//! [`EventSink`]; `sdl-trace` consumes them to build timelines, community
+//! graphs, and statistics.
+
+use sdl_lang::ast::TxnKind;
+use sdl_tuple::{ProcId, Tuple, TupleId, Value};
+
+/// One observable step of execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A tuple entered the dataspace.
+    TupleAsserted {
+        /// Asserting process.
+        by: ProcId,
+        /// Fresh instance id.
+        id: TupleId,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// A tuple instance left the dataspace.
+    TupleRetracted {
+        /// Retracting process.
+        by: ProcId,
+        /// Retracted instance.
+        id: TupleId,
+        /// Its tuple value.
+        tuple: Tuple,
+    },
+    /// An assertion was dropped because the issuer's export set does not
+    /// cover it (`D' = (D − Wr) ∪ (Export(p) ∩ Wa)`).
+    ExportDropped {
+        /// Issuing process.
+        by: ProcId,
+        /// The tuple that was filtered out.
+        tuple: Tuple,
+    },
+    /// A transaction committed.
+    TxnCommitted {
+        /// Issuing process.
+        by: ProcId,
+        /// Transaction mode.
+        kind: TxnKind,
+    },
+    /// An immediate transaction failed.
+    TxnFailed {
+        /// Issuing process.
+        by: ProcId,
+    },
+    /// A process blocked on a delayed or consensus transaction.
+    ProcessBlocked {
+        /// The blocked process.
+        id: ProcId,
+        /// True if the block includes a consensus guard.
+        consensus: bool,
+    },
+    /// A process entered the society.
+    ProcessCreated {
+        /// New process id.
+        id: ProcId,
+        /// Definition name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Value>,
+        /// Creating process (`ProcId::ENV` for initial processes).
+        by: ProcId,
+    },
+    /// A process left the society.
+    ProcessTerminated {
+        /// The process.
+        id: ProcId,
+        /// True if it ended via `abort`.
+        aborted: bool,
+    },
+    /// A consensus transaction fired.
+    ConsensusReached {
+        /// The participating processes (the consensus set).
+        participants: Vec<ProcId>,
+    },
+}
+
+/// Receives timestamped events from the runtime.
+pub trait EventSink {
+    /// Records `event` at logical time `step`.
+    fn record(&mut self, step: u64, event: Event);
+}
+
+/// Discards all events (the default sink).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _step: u64, _event: Event) {}
+}
+
+/// Stores every event in memory.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::events::{Event, EventLog, EventSink};
+/// use sdl_tuple::ProcId;
+///
+/// let mut log = EventLog::new();
+/// log.record(0, Event::TxnFailed { by: ProcId(1) });
+/// assert_eq!(log.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    entries: Vec<(u64, Event)>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(step, event)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, Event)> {
+        self.entries.iter()
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[(u64, Event)] {
+        &self.entries
+    }
+}
+
+impl EventSink for EventLog {
+    fn record(&mut self, step: u64, event: Event) {
+        self.entries.push((step, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_in_order() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.record(1, Event::TxnFailed { by: ProcId(1) });
+        log.record(
+            2,
+            Event::TxnCommitted {
+                by: ProcId(1),
+                kind: TxnKind::Immediate,
+            },
+        );
+        assert_eq!(log.len(), 2);
+        let steps: Vec<u64> = log.iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![1, 2]);
+        assert!(matches!(log.entries()[0].1, Event::TxnFailed { .. }));
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        sink.record(0, Event::TxnFailed { by: ProcId(9) });
+    }
+}

@@ -1,0 +1,146 @@
+//! Run outcomes and statistics.
+
+use std::fmt;
+
+use sdl_tuple::ProcId;
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every process terminated.
+    Completed,
+    /// No process can make progress: the remaining processes are blocked
+    /// on delayed or consensus transactions that can never fire. In a
+    /// closed simulation this is quiescence; whether it is a bug
+    /// (deadlock) or the intended steady state is the program's business.
+    Quiescent {
+        /// The blocked processes.
+        blocked: Vec<ProcId>,
+    },
+    /// The configured step limit was reached.
+    StepLimit,
+}
+
+impl Outcome {
+    /// True if the run completed with an empty society.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Completed => f.write_str("completed"),
+            Outcome::Quiescent { blocked } => {
+                write!(f, "quiescent with {} blocked process(es)", blocked.len())
+            }
+            Outcome::StepLimit => f.write_str("step limit reached"),
+        }
+    }
+}
+
+/// Statistics and outcome of one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Transaction attempts (commits + failures + blocked re-checks).
+    pub attempts: u64,
+    /// Committed transactions (consensus contributions each count once).
+    pub commits: u64,
+    /// Consensus firings.
+    pub consensus_rounds: u64,
+    /// Processes created over the whole run (excluding replication-body
+    /// helpers).
+    pub processes_created: u64,
+    /// Parallel rounds (only meaningful for the rounds scheduler; the
+    /// serial scheduler reports 0).
+    pub rounds: u64,
+    /// Tuples in the dataspace at the end.
+    pub final_tuples: usize,
+}
+
+impl RunReport {
+    pub(crate) fn new() -> RunReport {
+        RunReport {
+            outcome: Outcome::Completed,
+            attempts: 0,
+            commits: 0,
+            consensus_rounds: 0,
+            processes_created: 0,
+            rounds: 0,
+            final_tuples: 0,
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} commits / {} attempts, {} consensus round(s), {} process(es), {} tuple(s) left",
+            self.outcome,
+            self.commits,
+            self.attempts,
+            self.consensus_rounds,
+            self.processes_created,
+            self.final_tuples
+        )?;
+        if self.rounds > 0 {
+            write!(f, ", {} parallel round(s)", self.rounds)?;
+        }
+        Ok(())
+    }
+}
+
+/// Caps on a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Maximum transaction attempts before the run stops with
+    /// [`Outcome::StepLimit`].
+    pub max_attempts: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> RunLimits {
+        RunLimits {
+            max_attempts: 50_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Completed.to_string(), "completed");
+        assert!(Outcome::Quiescent {
+            blocked: vec![ProcId(1), ProcId(2)]
+        }
+        .to_string()
+        .contains("2 blocked"));
+        assert!(Outcome::StepLimit.to_string().contains("limit"));
+        assert!(Outcome::Completed.is_completed());
+        assert!(!Outcome::StepLimit.is_completed());
+    }
+
+    #[test]
+    fn report_display() {
+        let mut r = RunReport::new();
+        r.commits = 5;
+        r.attempts = 9;
+        let s = r.to_string();
+        assert!(s.contains("5 commits"));
+        assert!(!s.contains("parallel"), "rounds omitted when 0");
+        r.rounds = 3;
+        assert!(r.to_string().contains("3 parallel"));
+    }
+
+    #[test]
+    fn default_limits_are_generous() {
+        assert!(RunLimits::default().max_attempts > 1_000_000);
+    }
+}

@@ -1,0 +1,823 @@
+//! Multithreaded optimistic executor.
+//!
+//! Real-parallelism counterpart to [`Runtime::run_rounds`]'s logical
+//! parallelism: worker threads execute processes concurrently against a
+//! shared dataspace. A transaction **evaluates** under a read lock
+//! (windows, joins, tests — the expensive part), then **commits** under
+//! the write lock after re-validating its read/retract/negation evidence;
+//! a failed validation retries. This is classic optimistic concurrency
+//! control, sound because [`crate::txn::Pending::validate`] re-establishes
+//! exactly the facts the evaluation relied on.
+//!
+//! ## Supported fragment
+//!
+//! Immediate and delayed transactions, selection, repetition, `let`,
+//! `spawn`, `exit`, `abort`, and views. **Consensus transactions and
+//! replication are not supported** (they need global coordination the
+//! serial and rounds schedulers provide); programs using them are
+//! rejected with [`RuntimeError::Unsupported`]. This fragment covers the
+//! paper's worker-model programs, which is what the scaling experiment
+//! (E5) measures.
+//!
+//! [`Runtime::run_rounds`]: crate::Runtime::run_rounds
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sdl_dataspace::{Dataspace, SolveLimits, WatchSet};
+use sdl_lang::ast::TxnKind;
+use sdl_lang::expr::eval;
+use sdl_tuple::{ProcId, Tuple, Value};
+
+use crate::builtins::Builtins;
+use crate::error::RuntimeError;
+use crate::outcome::Outcome;
+use crate::process::{Frame, ProcessInstance};
+use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
+use crate::txn::{self, Pending};
+use crate::view::EnvCtx;
+
+/// Outcome and statistics of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Evaluation attempts.
+    pub attempts: u64,
+    /// Commits that failed validation and retried.
+    pub conflicts: u64,
+    /// Tuples left in the dataspace.
+    pub final_tuples: usize,
+}
+
+/// Configures and creates a [`ParallelRuntime`].
+#[derive(Debug)]
+pub struct ParallelBuilder {
+    program: Arc<CompiledProgram>,
+    threads: usize,
+    seed: u64,
+    builtins: Builtins,
+    max_attempts: u64,
+    tuples: Vec<Tuple>,
+    spawns: Vec<(String, Vec<Value>)>,
+}
+
+impl ParallelBuilder {
+    /// Number of worker threads (default: available parallelism).
+    pub fn threads(mut self, n: usize) -> ParallelBuilder {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Scheduler seed.
+    pub fn seed(mut self, seed: u64) -> ParallelBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the built-in registry.
+    pub fn builtins(mut self, builtins: Builtins) -> ParallelBuilder {
+        self.builtins = builtins;
+        self
+    }
+
+    /// Caps evaluation attempts.
+    pub fn max_attempts(mut self, n: u64) -> ParallelBuilder {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Adds an initial tuple.
+    pub fn tuple(mut self, t: Tuple) -> ParallelBuilder {
+        self.tuples.push(t);
+        self
+    }
+
+    /// Adds initial tuples.
+    pub fn tuples<I: IntoIterator<Item = Tuple>>(mut self, ts: I) -> ParallelBuilder {
+        self.tuples.extend(ts);
+        self
+    }
+
+    /// Adds an initial process.
+    pub fn spawn(mut self, name: &str, args: Vec<Value>) -> ParallelBuilder {
+        self.spawns.push((name.to_owned(), args));
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program uses consensus or replication, if init
+    /// expressions cannot evaluate, or if an initial spawn is invalid.
+    pub fn build(self) -> Result<ParallelRuntime, RuntimeError> {
+        for def in self.program.defs() {
+            check_supported(&def.body)?;
+        }
+        let mut ds = Dataspace::new();
+        let env = std::collections::HashMap::new();
+        let ctx = EnvCtx {
+            env: &env,
+            vars: None,
+            builtins: &self.builtins,
+        };
+        for fields in &self.program.init_tuples {
+            let mut vals = Vec::with_capacity(fields.len());
+            for f in fields {
+                vals.push(eval(f, &ctx).map_err(|source| RuntimeError::Eval {
+                    source,
+                    context: "init tuple".to_owned(),
+                })?);
+            }
+            ds.assert_tuple(ProcId::ENV, Tuple::new(vals));
+        }
+        for t in self.tuples {
+            ds.assert_tuple(ProcId::ENV, t);
+        }
+        let mut initial = Vec::new();
+        let mut next_pid = 1u64;
+        let mut spawn_list: Vec<(String, Vec<Value>)> = Vec::new();
+        for (name, args) in &self.program.init_spawns {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, &ctx).map_err(|source| RuntimeError::Eval {
+                    source,
+                    context: "init spawn argument".to_owned(),
+                })?);
+            }
+            spawn_list.push((name.clone(), vals));
+        }
+        spawn_list.extend(self.spawns);
+        for (name, args) in spawn_list {
+            let def = self
+                .program
+                .def(&name)
+                .ok_or_else(|| RuntimeError::UnknownProcess(name.clone()))?
+                .clone();
+            if def.params.len() != args.len() {
+                return Err(RuntimeError::SpawnArity {
+                    process: name,
+                    expected: def.params.len(),
+                    found: args.len(),
+                });
+            }
+            initial.push(ProcessInstance::new(ProcId(next_pid), def, args));
+            next_pid += 1;
+        }
+        Ok(ParallelRuntime {
+            program: self.program,
+            threads: self.threads,
+            seed: self.seed,
+            builtins: Arc::new(self.builtins),
+            max_attempts: self.max_attempts,
+            ds,
+            initial,
+            next_pid,
+        })
+    }
+}
+
+fn check_supported(stmts: &[CompiledStmt]) -> Result<(), RuntimeError> {
+    for s in stmts {
+        match s {
+            CompiledStmt::Txn(t) => {
+                if t.kind == TxnKind::Consensus {
+                    return Err(RuntimeError::Unsupported(
+                        "consensus transactions in the threaded executor".to_owned(),
+                    ));
+                }
+            }
+            CompiledStmt::Select(b) | CompiledStmt::Repeat(b) => {
+                for br in b.iter() {
+                    if br.guard.kind == TxnKind::Consensus {
+                        return Err(RuntimeError::Unsupported(
+                            "consensus transactions in the threaded executor".to_owned(),
+                        ));
+                    }
+                    check_supported(&br.rest)?;
+                }
+            }
+            CompiledStmt::Replicate(_) => {
+                return Err(RuntimeError::Unsupported(
+                    "replication in the threaded executor".to_owned(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A multithreaded SDL executor over a shared dataspace.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::parallel::ParallelRuntime;
+/// use sdl_core::CompiledProgram;
+/// use sdl_tuple::{tuple, Value};
+///
+/// let program = CompiledProgram::from_source(r#"
+///     process Worker() {
+///         loop { exists j : <job, j>! -> <done, j> }
+///     }
+/// "#).unwrap();
+/// let mut b = ParallelRuntime::builder(program).threads(4);
+/// for j in 0..100i64 {
+///     b = b.tuple(tuple![Value::atom("job"), j]);
+/// }
+/// for _ in 0..4 {
+///     b = b.spawn("Worker", vec![]);
+/// }
+/// let (report, ds) = b.build().unwrap().run().unwrap();
+/// assert!(report.outcome.is_completed());
+/// assert_eq!(ds.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct ParallelRuntime {
+    program: Arc<CompiledProgram>,
+    threads: usize,
+    seed: u64,
+    builtins: Arc<Builtins>,
+    max_attempts: u64,
+    ds: Dataspace,
+    initial: Vec<ProcessInstance>,
+    next_pid: u64,
+}
+
+struct Shared {
+    program: Arc<CompiledProgram>,
+    builtins: Arc<Builtins>,
+    ds: RwLock<Dataspace>,
+    queue: Mutex<VecDeque<ProcessInstance>>,
+    cv: Condvar,
+    blocked: Mutex<Vec<(WatchSet, ProcessInstance)>>,
+    /// Tasks enqueued or being processed; 0 ⇒ nothing can ever wake.
+    pending: AtomicUsize,
+    done: AtomicBool,
+    attempts: AtomicU64,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+    step_limited: AtomicBool,
+    max_attempts: u64,
+    next_pid: AtomicU64,
+    error: Mutex<Option<RuntimeError>>,
+}
+
+impl ParallelRuntime {
+    /// Starts configuring a parallel runtime.
+    pub fn builder(program: CompiledProgram) -> ParallelBuilder {
+        ParallelBuilder {
+            program: Arc::new(program),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 0,
+            builtins: Builtins::standard(),
+            max_attempts: 500_000_000,
+            tuples: Vec::new(),
+            spawns: Vec::new(),
+        }
+    }
+
+    /// Runs to completion or quiescence, returning the report and the
+    /// final dataspace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError`] any worker hit.
+    pub fn run(self) -> Result<(ParallelReport, Dataspace), RuntimeError> {
+        let shared = Arc::new(Shared {
+            program: self.program,
+            builtins: self.builtins,
+            ds: RwLock::new(self.ds),
+            queue: Mutex::new(self.initial.clone().into()),
+            cv: Condvar::new(),
+            blocked: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(self.initial.len()),
+            done: AtomicBool::new(self.initial.is_empty()),
+            attempts: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            step_limited: AtomicBool::new(false),
+            max_attempts: self.max_attempts,
+            next_pid: AtomicU64::new(self.next_pid),
+            error: Mutex::new(None),
+        });
+        std::thread::scope(|scope| {
+            for w in 0..self.threads {
+                let shared = shared.clone();
+                let seed = self.seed.wrapping_add(w as u64);
+                scope.spawn(move || worker(&shared, seed));
+            }
+        });
+        if let Some(e) = shared.error.lock().take() {
+            return Err(e);
+        }
+        let blocked_pids: Vec<ProcId> = {
+            let mut b: Vec<ProcId> =
+                shared.blocked.lock().iter().map(|(_, p)| p.id).collect();
+            b.sort_unstable();
+            b
+        };
+        let outcome = if shared.step_limited.load(Ordering::SeqCst) {
+            Outcome::StepLimit
+        } else if blocked_pids.is_empty() {
+            Outcome::Completed
+        } else {
+            Outcome::Quiescent {
+                blocked: blocked_pids,
+            }
+        };
+        let ds = std::mem::take(&mut *shared.ds.write());
+        let report = ParallelReport {
+            outcome,
+            commits: shared.commits.load(Ordering::SeqCst),
+            attempts: shared.attempts.load(Ordering::SeqCst),
+            conflicts: shared.conflicts.load(Ordering::SeqCst),
+            final_tuples: ds.len(),
+        };
+        Ok((report, ds))
+    }
+}
+
+fn worker(shared: &Shared, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let task = {
+            let mut q = shared.queue.lock();
+            loop {
+                if shared.done.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                shared.cv.wait(&mut q);
+            }
+        };
+        if let Err(e) = run_process(shared, task, &mut rng) {
+            let mut slot = shared.error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            finish_done(shared);
+        }
+        // This task is complete (terminated or parked in `blocked`).
+        if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            finish_done(shared);
+        }
+    }
+}
+
+fn finish_done(shared: &Shared) {
+    shared.done.store(true, Ordering::SeqCst);
+    let _q = shared.queue.lock();
+    shared.cv.notify_all();
+}
+
+fn enqueue(shared: &Shared, proc: ProcessInstance) {
+    shared.pending.fetch_add(1, Ordering::SeqCst);
+    let mut q = shared.queue.lock();
+    q.push_back(proc);
+    shared.cv.notify_one();
+}
+
+/// Wakes blocked processes whose watch intersects `changed`.
+fn wake(shared: &Shared, changed: &WatchSet) {
+    if changed.is_empty() {
+        return;
+    }
+    let woken: Vec<ProcessInstance> = {
+        let mut blocked = shared.blocked.lock();
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < blocked.len() {
+            if blocked[i].0.intersects(changed) {
+                woken.push(blocked.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        woken
+    };
+    for p in woken {
+        enqueue(shared, p);
+    }
+}
+
+enum TxnOutcome {
+    Committed(Pending),
+    /// Query did not hold; carries the dataspace version the evaluation
+    /// read, for the race-free park protocol.
+    Failed { version: u64 },
+}
+
+/// Evaluate under the read lock, validate + apply under the write lock.
+fn attempt(
+    shared: &Shared,
+    proc: &ProcessInstance,
+    t: &CompiledTxn,
+) -> Result<TxnOutcome, RuntimeError> {
+    loop {
+        if shared.attempts.fetch_add(1, Ordering::Relaxed) >= shared.max_attempts {
+            shared.step_limited.store(true, Ordering::SeqCst);
+            finish_done(shared);
+            return Ok(TxnOutcome::Failed { version: 0 });
+        }
+        // Query under the read lock; effect construction (which may run
+        // expensive host functions) outside any lock.
+        let (solutions, version) = {
+            let ds = shared.ds.read();
+            let source = proc.def.view.window(&ds, &proc.env, &shared.builtins)?;
+            let s = txn::evaluate_query(
+                t,
+                &source,
+                &proc.env,
+                &shared.builtins,
+                SolveLimits::default(),
+            )?;
+            (s, ds.version())
+        };
+        let Some(solutions) = solutions else {
+            return Ok(TxnOutcome::Failed { version });
+        };
+        let p = txn::build_effects(t, &solutions, &proc.env, &shared.builtins)?;
+        let changed = {
+            let mut ds = shared.ds.write();
+            if !p.validate(&ds) {
+                shared.conflicts.fetch_add(1, Ordering::Relaxed);
+                drop(ds);
+                continue; // somebody raced us; re-evaluate
+            }
+            let mut changed = WatchSet::new();
+            let allowed: Vec<bool> = p
+                .asserts
+                .iter()
+                .map(|tu| proc.def.view.exports(tu, &ds, &proc.env, &shared.builtins))
+                .collect();
+            for id in &p.retracts {
+                if let Some(tu) = ds.retract(*id) {
+                    changed.add_tuple(&tu);
+                }
+            }
+            for (tu, ok) in p.asserts.iter().zip(&allowed) {
+                if *ok {
+                    ds.assert_tuple(proc.id, tu.clone());
+                    changed.add_tuple(tu);
+                }
+            }
+            changed
+        };
+        shared.commits.fetch_add(1, Ordering::Relaxed);
+        wake(shared, &changed);
+        return Ok(TxnOutcome::Committed(p));
+    }
+}
+
+/// Applies `let`s and `spawn`s; returns true if the process terminated
+/// (exit with no enclosing loop, or abort).
+fn control(
+    shared: &Shared,
+    proc: &mut ProcessInstance,
+    p: &Pending,
+) -> Result<bool, RuntimeError> {
+    for (name, v) in &p.lets {
+        proc.env.insert(name.clone(), v.clone());
+    }
+    for (name, args) in &p.spawns {
+        let def = shared
+            .program
+            .def(name)
+            .ok_or_else(|| RuntimeError::UnknownProcess(name.clone()))?
+            .clone();
+        if def.params.len() != args.len() {
+            return Err(RuntimeError::SpawnArity {
+                process: name.clone(),
+                expected: def.params.len(),
+                found: args.len(),
+            });
+        }
+        let id = ProcId(shared.next_pid.fetch_add(1, Ordering::SeqCst));
+        enqueue(shared, ProcessInstance::new(id, def, args.clone()));
+    }
+    if p.abort {
+        return Ok(true);
+    }
+    if p.exit {
+        return Ok(proc.unwind_exit().is_none());
+    }
+    Ok(false)
+}
+
+enum ProcFate {
+    /// Keep stepping this process.
+    Continue,
+    /// Park it on these watch keys; `version` is the earliest dataspace
+    /// version any of its failed evaluations read.
+    Park { watch: WatchSet, version: u64 },
+    /// The process is done.
+    Terminated,
+}
+
+/// Runs one process until it terminates or parks.
+fn run_process(
+    shared: &Shared,
+    mut proc: ProcessInstance,
+    rng: &mut StdRng,
+) -> Result<(), RuntimeError> {
+    loop {
+        if shared.done.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match step_once(shared, &mut proc, rng)? {
+            ProcFate::Continue => {}
+            ProcFate::Terminated => return Ok(()),
+            ProcFate::Park { watch, version } => {
+                park(shared, watch, version, proc);
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn step_once(
+    shared: &Shared,
+    proc: &mut ProcessInstance,
+    rng: &mut StdRng,
+) -> Result<ProcFate, RuntimeError> {
+    let top = proc.frames.last().cloned();
+    match top {
+        None => Ok(ProcFate::Terminated),
+        Some(Frame::Seq { stmts, idx }) => {
+            if idx >= stmts.len() {
+                proc.frames.pop();
+                return Ok(ProcFate::Continue);
+            }
+            match stmts[idx].clone() {
+                CompiledStmt::Txn(t) => match attempt(shared, proc, &t)? {
+                    TxnOutcome::Committed(p) => {
+                        advance(proc);
+                        if control(shared, proc, &p)? {
+                            return Ok(ProcFate::Terminated);
+                        }
+                        Ok(ProcFate::Continue)
+                    }
+                    TxnOutcome::Failed { version } => match t.kind {
+                        TxnKind::Immediate => {
+                            advance(proc);
+                            Ok(ProcFate::Continue)
+                        }
+                        TxnKind::Delayed => Ok(ProcFate::Park {
+                            watch: txn::watch_set(&t, &proc.env, &shared.builtins),
+                            version,
+                        }),
+                        TxnKind::Consensus => unreachable!("rejected at build"),
+                    },
+                },
+                CompiledStmt::Select(branches) => guards(shared, proc, &branches, true, rng),
+                CompiledStmt::Repeat(branches) => {
+                    advance(proc);
+                    proc.frames.push(Frame::Loop { branches });
+                    Ok(ProcFate::Continue)
+                }
+                CompiledStmt::Replicate(_) => unreachable!("rejected at build"),
+            }
+        }
+        Some(Frame::Loop { branches }) => guards(shared, proc, &branches, false, rng),
+        Some(Frame::Repl { .. }) => unreachable!("rejected at build"),
+    }
+}
+
+fn advance(proc: &mut ProcessInstance) {
+    if let Some(Frame::Seq { idx, .. }) = proc.frames.last_mut() {
+        *idx += 1;
+    }
+}
+
+fn guards(
+    shared: &Shared,
+    proc: &mut ProcessInstance,
+    branches: &Arc<[CompiledBranch]>,
+    is_select: bool,
+    rng: &mut StdRng,
+) -> Result<ProcFate, RuntimeError> {
+    let mut order: Vec<usize> = (0..branches.len()).collect();
+    order.shuffle(rng);
+    let mut delayed_present = false;
+    let mut earliest_version = u64::MAX;
+    for &i in &order {
+        let guard = branches[i].guard.clone();
+        if guard.kind == TxnKind::Delayed {
+            delayed_present = true;
+        }
+        match attempt(shared, proc, &guard)? {
+            TxnOutcome::Committed(p) => {
+                if is_select {
+                    advance(proc);
+                }
+                if control(shared, proc, &p)? {
+                    return Ok(ProcFate::Terminated);
+                }
+                if !p.exit && !branches[i].rest.is_empty() {
+                    proc.frames.push(Frame::Seq {
+                        stmts: branches[i].rest.clone(),
+                        idx: 0,
+                    });
+                }
+                return Ok(ProcFate::Continue);
+            }
+            TxnOutcome::Failed { version } => {
+                earliest_version = earliest_version.min(version);
+            }
+        }
+    }
+    if delayed_present {
+        let mut w = WatchSet::new();
+        for b in branches.iter() {
+            w.extend(&txn::watch_set(&b.guard, &proc.env, &shared.builtins));
+        }
+        return Ok(ProcFate::Park {
+            watch: w,
+            version: earliest_version,
+        });
+    }
+    if is_select {
+        advance(proc);
+    } else {
+        proc.frames.pop();
+    }
+    Ok(ProcFate::Continue)
+}
+
+/// Parks a blocked process without losing wake-ups.
+///
+/// The race: a commit lands *after* our failed evaluation but *before* we
+/// are visible in `blocked` — its `wake` would miss us. The protocol:
+/// insert into `blocked` while holding the dataspace **read** lock, then
+/// compare the current version with the one the evaluation read. If they
+/// differ, something committed in between: take ourselves back out and
+/// re-queue. If they are equal, no commit happened since evaluation, and
+/// any later commit must take the write lock — which orders after our
+/// read lock — so its `wake` will see us.
+fn park(shared: &Shared, watch: WatchSet, eval_version: u64, proc: ProcessInstance) {
+    let requeue = {
+        let ds = shared.ds.read();
+        let mut blocked = shared.blocked.lock();
+        if ds.version() != eval_version {
+            Some(proc)
+        } else {
+            blocked.push((watch, proc));
+            None
+        }
+    };
+    if let Some(p) = requeue {
+        enqueue(shared, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompiledProgram;
+    use sdl_dataspace::TupleSource;
+    use sdl_tuple::tuple;
+
+    fn job_program() -> CompiledProgram {
+        CompiledProgram::from_source(
+            "process Worker() {
+                loop { exists j : <job, j>! -> <done, j> }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn workers_drain_the_job_pool() {
+        let mut b = ParallelRuntime::builder(job_program()).threads(4).seed(1);
+        for j in 0..200i64 {
+            b = b.tuple(tuple![Value::atom("job"), j]);
+        }
+        for _ in 0..8 {
+            b = b.spawn("Worker", vec![]);
+        }
+        let (report, ds) = b.build().unwrap().run().unwrap();
+        assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+        assert_eq!(report.commits, 200);
+        assert_eq!(ds.len(), 200);
+        assert!(!ds.contains_match(&sdl_tuple::pattern![Value::atom("job"), any]));
+    }
+
+    #[test]
+    fn delayed_consumers_wait_for_producers() {
+        let program = CompiledProgram::from_source(
+            "process Consumer(n) {
+                exists v : <item, v>! => <got, n, v>;
+             }
+             process Producer(n) {
+                -> <item, n>;
+             }",
+        )
+        .unwrap();
+        let mut b = ParallelRuntime::builder(program).threads(4).seed(2);
+        for n in 0..20i64 {
+            b = b.spawn("Consumer", vec![Value::Int(n)]);
+        }
+        for n in 0..20i64 {
+            b = b.spawn("Producer", vec![Value::Int(n)]);
+        }
+        let (report, ds) = b.build().unwrap().run().unwrap();
+        assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+        assert_eq!(
+            ds.count_matches(&sdl_tuple::pattern![Value::atom("got"), any, any]),
+            20
+        );
+    }
+
+    #[test]
+    fn quiescence_detected() {
+        let program = CompiledProgram::from_source(
+            "process Waiter() { <never> => skip; }",
+        )
+        .unwrap();
+        let b = ParallelRuntime::builder(program)
+            .threads(2)
+            .spawn("Waiter", vec![])
+            .spawn("Waiter", vec![]);
+        let (report, _) = b.build().unwrap().run().unwrap();
+        match report.outcome {
+            Outcome::Quiescent { blocked } => assert_eq!(blocked.len(), 2),
+            other => panic!("expected quiescence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consensus_is_rejected() {
+        let program = CompiledProgram::from_source(
+            "process P() { <x> @> skip; }",
+        )
+        .unwrap();
+        let r = ParallelRuntime::builder(program).spawn("P", vec![]).build();
+        assert!(matches!(r, Err(RuntimeError::Unsupported(_))));
+    }
+
+    #[test]
+    fn replication_is_rejected() {
+        let program = CompiledProgram::from_source(
+            "process P() { par { <x>! -> skip } }",
+        )
+        .unwrap();
+        let r = ParallelRuntime::builder(program).spawn("P", vec![]).build();
+        assert!(matches!(r, Err(RuntimeError::Unsupported(_))));
+    }
+
+    #[test]
+    fn agrees_with_serial_scheduler() {
+        // Pairwise summation: any schedule leaves the same total.
+        let src = "process W() {
+            loop { exists a, b : <v, a>!, <v, b>! -> <v, a + b> }
+        }";
+        let expected: i64 = (1..=64).sum();
+        let program = CompiledProgram::from_source(src).unwrap();
+        let mut b = ParallelRuntime::builder(program).threads(4).seed(3);
+        for k in 1..=64i64 {
+            b = b.tuple(tuple![Value::atom("v"), k]);
+        }
+        for _ in 0..4 {
+            b = b.spawn("W", vec![]);
+        }
+        let (report, ds) = b.build().unwrap().run().unwrap();
+        assert!(report.outcome.is_completed());
+        assert_eq!(ds.len(), 1);
+        let (_, t) = ds.iter().next().unwrap();
+        assert_eq!(t[1], Value::Int(expected));
+    }
+
+    #[test]
+    fn conflict_counter_sees_contention() {
+        // Many workers fighting over one hot tuple.
+        let src = "process W() {
+            loop { exists c : <counter, c>! : c < 200 -> <counter, c + 1> }
+        }";
+        let program = CompiledProgram::from_source(src).unwrap();
+        let mut b = ParallelRuntime::builder(program)
+            .threads(4)
+            .seed(4)
+            .tuple(tuple![Value::atom("counter"), 0i64]);
+        for _ in 0..4 {
+            b = b.spawn("W", vec![]);
+        }
+        let (report, ds) = b.build().unwrap().run().unwrap();
+        assert!(report.outcome.is_completed());
+        assert!(ds.contains_match(&sdl_tuple::pattern![Value::atom("counter"), 200]));
+        assert_eq!(report.commits, 200);
+    }
+}

@@ -1,0 +1,712 @@
+//! Compilation of SDL ASTs into executable form.
+//!
+//! Compilation classifies names (quantified variable / process constant /
+//! atom literal), numbers variables, schedules test conjuncts at the
+//! earliest join depth where their variables are bound, and rewrites
+//! pattern fields that compute over quantified variables into hidden
+//! variables plus equality constraints. The result is shared (`Arc`) and
+//! immutable, so thousands of process instances reuse one compiled body.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sdl_dataspace::AtomMode;
+use sdl_lang::ast::{
+    Action, CondAtom, Expr, FieldExpr, GuardedSeq, PatternExpr, ProcessDef, Program, Quant,
+    Stmt, Transaction, TxnAtom, TxnKind,
+};
+use sdl_tuple::VarId;
+
+use crate::error::CompileError;
+use crate::view::{CompiledCond, CompiledField, CompiledView, CompiledViewRule};
+
+/// A compiled SDL program: the static set of process definitions plus the
+/// initial configuration.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    defs: HashMap<String, Arc<CompiledProcess>>,
+    /// Initial tuples (still as expressions; evaluated at startup).
+    pub init_tuples: Vec<Vec<Expr>>,
+    /// Initial society (name, argument expressions).
+    pub init_spawns: Vec<(String, Vec<Expr>)>,
+}
+
+impl CompiledProgram {
+    /// Compiles a parsed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for duplicate process names, unknown or
+    /// mis-applied processes in `spawn`s, duplicate quantified variables,
+    /// or constructs outside the supported fragment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let prog = sdl_lang::parse_program(
+    ///     "process P() { -> skip; } init { spawn P(); }",
+    /// ).unwrap();
+    /// let compiled = sdl_core::CompiledProgram::compile(&prog).unwrap();
+    /// assert!(compiled.def("P").is_some());
+    /// ```
+    pub fn compile(program: &Program) -> Result<CompiledProgram, CompileError> {
+        // First pass: process signatures, for spawn arity checks.
+        let mut signatures: HashMap<&str, usize> = HashMap::new();
+        for def in &program.processes {
+            if signatures
+                .insert(def.name.as_str(), def.params.len())
+                .is_some()
+            {
+                return Err(CompileError::DuplicateProcess(def.name.clone()));
+            }
+        }
+
+        let mut defs = HashMap::new();
+        for def in &program.processes {
+            let compiled = compile_process(def, &signatures)?;
+            defs.insert(def.name.clone(), Arc::new(compiled));
+        }
+
+        for spawn in &program.init.spawns {
+            check_spawn(&spawn.name, spawn.args.len(), &signatures)?;
+        }
+
+        Ok(CompiledProgram {
+            defs,
+            init_tuples: program.init.tuples.clone(),
+            init_spawns: program
+                .init
+                .spawns
+                .iter()
+                .map(|s| (s.name.clone(), s.args.clone()))
+                .collect(),
+        })
+    }
+
+    /// Compiles SDL source text directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors stringified into [`CompileError::Unsupported`]
+    /// is *not* done — parse errors surface separately; this is a
+    /// convenience that panics on neither: it returns `Err` on both parse
+    /// and compile failures via `Box<dyn Error>`-free enums by parsing
+    /// first.
+    pub fn from_source(src: &str) -> Result<CompiledProgram, String> {
+        let parsed = sdl_lang::parse_program(src).map_err(|e| e.to_string())?;
+        CompiledProgram::compile(&parsed).map_err(|e| e.to_string())
+    }
+
+    /// Looks up a compiled process definition.
+    pub fn def(&self, name: &str) -> Option<&Arc<CompiledProcess>> {
+        self.defs.get(name)
+    }
+
+    /// Iterates over all definitions.
+    pub fn defs(&self) -> impl Iterator<Item = &Arc<CompiledProcess>> {
+        self.defs.values()
+    }
+}
+
+/// A compiled process definition.
+#[derive(Debug)]
+pub struct CompiledProcess {
+    /// Definition name.
+    pub name: String,
+    /// Parameter names (bound to values at spawn).
+    pub params: Vec<String>,
+    /// The compiled view.
+    pub view: CompiledView,
+    /// The behaviour.
+    pub body: Arc<[CompiledStmt]>,
+}
+
+/// A compiled statement.
+#[derive(Clone, Debug)]
+pub enum CompiledStmt {
+    /// A plain transaction.
+    Txn(Arc<CompiledTxn>),
+    /// Selection.
+    Select(Arc<[CompiledBranch]>),
+    /// Repetition.
+    Repeat(Arc<[CompiledBranch]>),
+    /// Replication.
+    Replicate(Arc<[CompiledBranch]>),
+}
+
+/// A compiled guarded sequence.
+#[derive(Clone, Debug)]
+pub struct CompiledBranch {
+    /// The guarding transaction.
+    pub guard: Arc<CompiledTxn>,
+    /// Statements executed after the guard commits.
+    pub rest: Arc<[CompiledStmt]>,
+}
+
+/// When a test conjunct runs and what it checks.
+#[derive(Clone, Debug)]
+pub struct ScheduledTest {
+    /// Number of positive atoms that must be matched before the conjunct
+    /// can evaluate (0 = before the search starts).
+    pub depth: usize,
+    /// What to check.
+    pub check: TestCheck,
+}
+
+/// The payload of a [`ScheduledTest`].
+#[derive(Clone, Debug)]
+pub enum TestCheck {
+    /// A boolean expression over bound variables and process constants.
+    Expr(Expr),
+    /// `var == expr` — introduced for pattern fields that compute over
+    /// quantified variables (`<k - 2^(j-1), α>` with `k` itself a
+    /// variable would produce one; with `k` a constant the field is just
+    /// an environment expression).
+    HiddenEq {
+        /// The hidden variable standing in for the field.
+        var: VarId,
+        /// The computed expression it must equal.
+        expr: Expr,
+    },
+}
+
+/// A compiled query atom.
+#[derive(Clone, Debug)]
+pub struct CompiledAtom {
+    /// The fields.
+    pub fields: Vec<CompiledField>,
+    /// Read, retract, or negated.
+    pub mode: AtomMode,
+}
+
+/// A compiled action, with the precomputed fact of whether it mentions a
+/// quantified variable (and therefore runs once per solution under
+/// `forall`).
+#[derive(Clone, Debug)]
+pub struct CompiledAction {
+    /// The action (still expression-bearing; evaluated at commit).
+    pub action: Action,
+    /// True if the action references a quantified variable.
+    pub per_solution: bool,
+}
+
+/// A compiled transaction.
+#[derive(Clone, Debug)]
+pub struct CompiledTxn {
+    /// Quantifier.
+    pub quant: Quant,
+    /// Operational mode.
+    pub kind: TxnKind,
+    /// Total variable count (declared + hidden).
+    pub n_vars: usize,
+    /// Declared variable names, indexed by `VarId` (hidden variables have
+    /// no names).
+    pub var_names: Vec<String>,
+    /// Query atoms in source order.
+    pub atoms: Vec<CompiledAtom>,
+    /// Binding constraints: predicate atoms and hidden-field equalities.
+    /// These always prune the join, under both quantifiers.
+    pub binding_tests: Vec<ScheduledTest>,
+    /// The test query's conjuncts. Under `exists` they prune; under
+    /// `forall` every binding-query solution must satisfy them.
+    pub property_tests: Vec<ScheduledTest>,
+    /// The action list.
+    pub actions: Vec<CompiledAction>,
+}
+
+fn check_spawn(
+    name: &str,
+    args: usize,
+    signatures: &HashMap<&str, usize>,
+) -> Result<(), CompileError> {
+    match signatures.get(name) {
+        None => Err(CompileError::UnknownProcess(name.to_owned())),
+        Some(&expected) if expected != args => Err(CompileError::ArityMismatch {
+            process: name.to_owned(),
+            expected,
+            found: args,
+        }),
+        Some(_) => Ok(()),
+    }
+}
+
+fn compile_process(
+    def: &ProcessDef,
+    signatures: &HashMap<&str, usize>,
+) -> Result<CompiledProcess, CompileError> {
+    Ok(CompiledProcess {
+        name: def.name.clone(),
+        params: def.params.clone(),
+        view: compile_view(def)?,
+        body: compile_stmts(&def.body, signatures)?,
+    })
+}
+
+fn compile_view(def: &ProcessDef) -> Result<CompiledView, CompileError> {
+    let compile_rules = |rules: &Option<Vec<sdl_lang::ast::ViewRule>>| -> Result<_, CompileError> {
+        match rules {
+            None => Ok(None),
+            Some(rs) => Ok(Some(
+                rs.iter()
+                    .map(compile_view_rule)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+        }
+    };
+    Ok(CompiledView::new(
+        compile_rules(&def.view.import)?,
+        compile_rules(&def.view.export)?,
+    ))
+}
+
+fn compile_view_rule(rule: &sdl_lang::ast::ViewRule) -> Result<CompiledViewRule, CompileError> {
+    let mut vars: HashMap<&str, VarId> = HashMap::new();
+    for (i, v) in rule.vars.iter().enumerate() {
+        let id = VarId(u16::try_from(i).map_err(|_| CompileError::TooManyVariables(i))?);
+        if vars.insert(v.as_str(), id).is_some() {
+            return Err(CompileError::DuplicateVariable(v.clone()));
+        }
+    }
+    let compile_fields = |p: &PatternExpr| -> Result<Vec<CompiledField>, CompileError> {
+        p.fields
+            .iter()
+            .map(|f| match f {
+                FieldExpr::Any => Ok(CompiledField::Any),
+                FieldExpr::Expr(Expr::Name(n)) if vars.contains_key(n.as_str()) => {
+                    Ok(CompiledField::Var(vars[n.as_str()]))
+                }
+                FieldExpr::Expr(e) => {
+                    let mut names = Vec::new();
+                    e.collect_names(&mut names);
+                    if names.iter().any(|n| vars.contains_key(n)) {
+                        Err(CompileError::Unsupported(
+                            "computed expression over rule variables in a view pattern"
+                                .to_owned(),
+                        ))
+                    } else {
+                        Ok(CompiledField::Env(e.clone()))
+                    }
+                }
+            })
+            .collect()
+    };
+    let pattern = compile_fields(&rule.pattern)?;
+    let conditions = rule
+        .conditions
+        .iter()
+        .map(|c| match c {
+            CondAtom::Tuple(p) => Ok(CompiledCond::Tuple(compile_fields(p)?)),
+            CondAtom::Pred(name, args) => Ok(CompiledCond::Pred {
+                name: name.clone(),
+                args: args.clone(),
+                var_names: rule.vars.clone(),
+            }),
+        })
+        .collect::<Result<Vec<_>, CompileError>>()?;
+    Ok(CompiledViewRule {
+        n_vars: rule.vars.len(),
+        var_names: rule.vars.clone(),
+        pattern,
+        conditions,
+    })
+}
+
+fn compile_stmts(
+    stmts: &[Stmt],
+    signatures: &HashMap<&str, usize>,
+) -> Result<Arc<[CompiledStmt]>, CompileError> {
+    stmts
+        .iter()
+        .map(|s| compile_stmt(s, signatures))
+        .collect::<Result<Vec<_>, _>>()
+        .map(Arc::from)
+}
+
+fn compile_stmt(
+    stmt: &Stmt,
+    signatures: &HashMap<&str, usize>,
+) -> Result<CompiledStmt, CompileError> {
+    Ok(match stmt {
+        Stmt::Txn(t) => CompiledStmt::Txn(Arc::new(compile_txn(t, signatures)?)),
+        Stmt::Select(b) => CompiledStmt::Select(compile_branches(b, signatures)?),
+        Stmt::Repeat(b) => CompiledStmt::Repeat(compile_branches(b, signatures)?),
+        Stmt::Replicate(b) => CompiledStmt::Replicate(compile_branches(b, signatures)?),
+    })
+}
+
+fn compile_branches(
+    branches: &[GuardedSeq],
+    signatures: &HashMap<&str, usize>,
+) -> Result<Arc<[CompiledBranch]>, CompileError> {
+    branches
+        .iter()
+        .map(|b| {
+            Ok(CompiledBranch {
+                guard: Arc::new(compile_txn(&b.guard, signatures)?),
+                rest: compile_stmts(&b.rest, signatures)?,
+            })
+        })
+        .collect::<Result<Vec<_>, CompileError>>()
+        .map(Arc::from)
+}
+
+/// Compiles one transaction (exposed for tests and tooling).
+///
+/// # Errors
+///
+/// See [`CompiledProgram::compile`].
+pub fn compile_txn(
+    t: &Transaction,
+    signatures: &HashMap<&str, usize>,
+) -> Result<CompiledTxn, CompileError> {
+    let mut var_ids: HashMap<&str, VarId> = HashMap::new();
+    for (i, v) in t.vars.iter().enumerate() {
+        let id = VarId(u16::try_from(i).map_err(|_| CompileError::TooManyVariables(i))?);
+        if var_ids.insert(v.as_str(), id).is_some() {
+            return Err(CompileError::DuplicateVariable(v.clone()));
+        }
+    }
+    let mut next_var = t.vars.len();
+    // bind_depth[v] = positive-atom depth (1-based) at which v is first
+    // bound, for declared and hidden variables alike.
+    let mut bind_depth: HashMap<VarId, usize> = HashMap::new();
+
+    let mut atoms = Vec::new();
+    let mut binding_tests = Vec::new();
+    let mut positive_depth = 0usize;
+
+    // Depth at which every variable of `e` is bound (None if some
+    // variable is never bound by a positive atom).
+    let depth_of = |e: &Expr, var_ids: &HashMap<&str, VarId>, bind_depth: &HashMap<VarId, usize>| {
+        let mut names = Vec::new();
+        e.collect_names(&mut names);
+        let mut depth = 0usize;
+        for n in names {
+            if let Some(id) = var_ids.get(n) {
+                match bind_depth.get(id) {
+                    Some(d) => depth = depth.max(*d),
+                    None => return None,
+                }
+            }
+        }
+        Some(depth)
+    };
+
+    for atom in &t.atoms {
+        match atom {
+            TxnAtom::Tuple { pattern, retract } => {
+                positive_depth += 1;
+                let mode = if *retract {
+                    AtomMode::Retract
+                } else {
+                    AtomMode::Read
+                };
+                let mut fields = Vec::with_capacity(pattern.fields.len());
+                for field in &pattern.fields {
+                    fields.push(match field {
+                        FieldExpr::Any => CompiledField::Any,
+                        FieldExpr::Expr(Expr::Name(n))
+                            if var_ids.contains_key(n.as_str()) =>
+                        {
+                            let id = var_ids[n.as_str()];
+                            bind_depth.entry(id).or_insert(positive_depth);
+                            CompiledField::Var(id)
+                        }
+                        FieldExpr::Expr(e) => {
+                            let mut names = Vec::new();
+                            e.collect_names(&mut names);
+                            if names.iter().any(|n| var_ids.contains_key(n)) {
+                                // Computed field over quantified variables:
+                                // hidden variable + equality constraint.
+                                let hid = VarId(
+                                    u16::try_from(next_var)
+                                        .map_err(|_| CompileError::TooManyVariables(next_var))?,
+                                );
+                                next_var += 1;
+                                bind_depth.insert(hid, positive_depth);
+                                let depth = depth_of(e, &var_ids, &bind_depth)
+                                    .unwrap_or(usize::MAX)
+                                    .max(positive_depth);
+                                binding_tests.push(ScheduledTest {
+                                    depth,
+                                    check: TestCheck::HiddenEq {
+                                        var: hid,
+                                        expr: e.clone(),
+                                    },
+                                });
+                                CompiledField::Var(hid)
+                            } else {
+                                CompiledField::Env(e.clone())
+                            }
+                        }
+                    });
+                }
+                atoms.push(CompiledAtom { fields, mode });
+            }
+            TxnAtom::Neg(pattern) => {
+                let mut fields = Vec::with_capacity(pattern.fields.len());
+                for field in &pattern.fields {
+                    fields.push(match field {
+                        FieldExpr::Any => CompiledField::Any,
+                        FieldExpr::Expr(Expr::Name(n))
+                            if var_ids.contains_key(n.as_str()) =>
+                        {
+                            CompiledField::Var(var_ids[n.as_str()])
+                        }
+                        FieldExpr::Expr(e) => {
+                            let mut names = Vec::new();
+                            e.collect_names(&mut names);
+                            if names.iter().any(|n| var_ids.contains_key(n)) {
+                                return Err(CompileError::Unsupported(
+                                    "computed expression over quantified variables in a \
+                                     negated pattern"
+                                        .to_owned(),
+                                ));
+                            }
+                            CompiledField::Env(e.clone())
+                        }
+                    });
+                }
+                atoms.push(CompiledAtom {
+                    fields,
+                    mode: AtomMode::Neg,
+                });
+            }
+            TxnAtom::Pred {
+                name,
+                args,
+                negated,
+            } => {
+                let call = Expr::Call(name.clone(), args.clone());
+                let expr = if *negated {
+                    Expr::Unary(sdl_lang::ast::UnOp::Not, Box::new(call))
+                } else {
+                    call
+                };
+                let depth = depth_of(&expr, &var_ids, &bind_depth).unwrap_or(usize::MAX);
+                binding_tests.push(ScheduledTest {
+                    depth,
+                    check: TestCheck::Expr(expr),
+                });
+            }
+        }
+    }
+
+    // Any test scheduled past the deepest atom (variables bound later than
+    // declaration order allowed, or never) clamps to the final depth.
+    let clamp = |tests: &mut Vec<ScheduledTest>| {
+        for t in tests {
+            if t.depth == usize::MAX || t.depth > positive_depth {
+                t.depth = positive_depth;
+            }
+        }
+    };
+    clamp(&mut binding_tests);
+
+    let mut property_tests = Vec::new();
+    if let Some(test) = &t.test {
+        for conjunct in test.conjuncts() {
+            let depth = depth_of(conjunct, &var_ids, &bind_depth)
+                .unwrap_or(usize::MAX)
+                .min(positive_depth);
+            property_tests.push(ScheduledTest {
+                depth,
+                check: TestCheck::Expr(conjunct.clone()),
+            });
+        }
+    }
+
+    let mut actions = Vec::new();
+    for action in &t.actions {
+        // Spawn targets are checked at compile time.
+        if let Action::Spawn(name, args) = action {
+            check_spawn(name, args.len(), signatures)?;
+        }
+        let per_solution = action_refs_vars(action, &var_ids);
+        actions.push(CompiledAction {
+            action: action.clone(),
+            per_solution,
+        });
+    }
+
+    Ok(CompiledTxn {
+        quant: t.quant,
+        kind: t.kind,
+        n_vars: next_var,
+        var_names: t.vars.clone(),
+        atoms,
+        binding_tests,
+        property_tests,
+        actions,
+    })
+}
+
+fn action_refs_vars(action: &Action, var_ids: &HashMap<&str, VarId>) -> bool {
+    let exprs: Vec<&Expr> = match action {
+        Action::Assert(fields) => fields.iter().collect(),
+        Action::Let(_, e) => vec![e],
+        Action::Spawn(_, args) => args.iter().collect(),
+        Action::Skip | Action::Exit | Action::Abort => return false,
+    };
+    let mut names = Vec::new();
+    for e in exprs {
+        e.collect_names(&mut names);
+    }
+    names.iter().any(|n| var_ids.contains_key(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_lang::{parse_program, parse_transaction};
+
+    fn sigs() -> HashMap<&'static str, usize> {
+        let mut m = HashMap::new();
+        m.insert("Sum1", 2);
+        m
+    }
+
+    fn compile(src: &str) -> CompiledTxn {
+        compile_txn(&parse_transaction(src).unwrap(), &sigs()).unwrap()
+    }
+
+    #[test]
+    fn variables_are_numbered_in_declaration_order() {
+        let t = compile("exists a, b : <k, a>, <k, b> -> skip");
+        assert_eq!(t.n_vars, 2);
+        assert_eq!(t.var_names, vec!["a", "b"]);
+        assert!(matches!(t.atoms[0].fields[1], CompiledField::Var(VarId(0))));
+        assert!(matches!(t.atoms[1].fields[1], CompiledField::Var(VarId(1))));
+    }
+
+    #[test]
+    fn env_expression_fields_stay_expressions() {
+        // k and j are process constants here, not quantified.
+        let t = compile("exists a : <k - 2^(j-1), a> -> skip");
+        assert!(matches!(t.atoms[0].fields[0], CompiledField::Env(_)));
+        assert!(t.binding_tests.is_empty());
+    }
+
+    #[test]
+    fn computed_field_over_variables_becomes_hidden_eq() {
+        // a is quantified; <a + 1, b> needs a hidden variable.
+        let t = compile("exists a, b : <x, a>, <a + 1, b> -> skip");
+        assert_eq!(t.n_vars, 3, "two declared + one hidden");
+        assert_eq!(t.binding_tests.len(), 1);
+        match &t.binding_tests[0].check {
+            TestCheck::HiddenEq { var, .. } => assert_eq!(*var, VarId(2)),
+            other => panic!("expected HiddenEq, got {other:?}"),
+        }
+        // Hidden eq runs at depth 2 (a bound at depth 1, hidden at 2).
+        assert_eq!(t.binding_tests[0].depth, 2);
+    }
+
+    #[test]
+    fn predicate_atoms_become_binding_tests() {
+        let t = compile("exists p, q : neighbor(p, q), <t, p>, <t, q> -> skip");
+        assert_eq!(t.atoms.len(), 2);
+        assert_eq!(t.binding_tests.len(), 1);
+        // p bound at depth 1, q at depth 2 → neighbor runs at depth 2.
+        assert_eq!(t.binding_tests[0].depth, 2);
+    }
+
+    #[test]
+    fn property_tests_scheduled_at_bind_depth() {
+        let t = compile("exists a, b : <x, a>, <y, b> : a > 1 and b > 2 and 1 == 1 -> skip");
+        assert_eq!(t.property_tests.len(), 3);
+        assert_eq!(t.property_tests[0].depth, 1, "a bound at depth 1");
+        assert_eq!(t.property_tests[1].depth, 2, "b bound at depth 2");
+        assert_eq!(t.property_tests[2].depth, 0, "constant test up front");
+    }
+
+    #[test]
+    fn unbound_variable_test_clamps_to_final_depth() {
+        let t = compile("exists a, z : <x, a> : z > 1 -> skip");
+        assert_eq!(t.property_tests[0].depth, 1, "clamped to positive count");
+    }
+
+    #[test]
+    fn negated_pattern_with_computed_variable_field_is_unsupported() {
+        let r = compile_txn(
+            &parse_transaction("exists a : <x, a>, not <done, a + 1> -> skip").unwrap(),
+            &sigs(),
+        );
+        assert!(matches!(r, Err(CompileError::Unsupported(_))));
+    }
+
+    #[test]
+    fn duplicate_variable_is_an_error() {
+        let r = compile_txn(
+            &parse_transaction("exists a, a : <x, a> -> skip").unwrap(),
+            &sigs(),
+        );
+        assert_eq!(r.unwrap_err(), CompileError::DuplicateVariable("a".into()));
+    }
+
+    #[test]
+    fn spawn_arity_checked_at_compile_time() {
+        let r = compile_txn(
+            &parse_transaction("-> spawn Sum1(1)").unwrap(),
+            &sigs(),
+        );
+        assert!(matches!(r, Err(CompileError::ArityMismatch { .. })));
+        let r2 = compile_txn(&parse_transaction("-> spawn Nope()").unwrap(), &sigs());
+        assert_eq!(r2.unwrap_err(), CompileError::UnknownProcess("Nope".into()));
+    }
+
+    #[test]
+    fn per_solution_actions_flagged() {
+        let t = compile("forall a : <x, a>! -> <y, a>, <constant>");
+        assert!(t.actions[0].per_solution);
+        assert!(!t.actions[1].per_solution);
+    }
+
+    #[test]
+    fn program_compiles_with_views() {
+        let prog = parse_program(
+            r#"
+            process Sort(this, next) {
+                import { <this, *>; <next, *>; }
+                export { <this, *>; <next, *>; }
+                loop {
+                    exists a, b : <this, a>!, <next, b>! : a > b
+                        -> <this, b>, <next, a>
+                }
+            }
+            init { <1, 5>; spawn Sort(1, 2); }
+            "#,
+        )
+        .unwrap();
+        let c = CompiledProgram::compile(&prog).unwrap();
+        let def = c.def("Sort").unwrap();
+        assert!(!def.view.is_full());
+        assert_eq!(c.init_tuples.len(), 1);
+        assert_eq!(c.init_spawns.len(), 1);
+        assert_eq!(c.defs().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_process_rejected() {
+        let prog = parse_program("process P() { -> skip; } process P() { -> skip; }").unwrap();
+        assert_eq!(
+            CompiledProgram::compile(&prog).unwrap_err(),
+            CompileError::DuplicateProcess("P".into())
+        );
+    }
+
+    #[test]
+    fn init_spawn_arity_checked() {
+        let prog = parse_program("process P(a) { -> skip; } init { spawn P(); }").unwrap();
+        assert!(matches!(
+            CompiledProgram::compile(&prog).unwrap_err(),
+            CompileError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn from_source_convenience() {
+        assert!(CompiledProgram::from_source("process P() { -> skip; }").is_ok());
+        assert!(CompiledProgram::from_source("process P( {").is_err());
+        assert!(CompiledProgram::from_source("init { spawn Q(); }").is_err());
+    }
+}

@@ -1,0 +1,1102 @@
+//! The serial reference scheduler.
+//!
+//! Transactions execute one at a time, so every history is trivially
+//! serialisable — this scheduler is the semantic reference against which
+//! the parallel-rounds scheduler and the threaded executor are checked.
+//! Scheduling is seeded-deterministic: the same program and seed produce
+//! the same trace.
+//!
+//! Blocked delayed/consensus transactions are re-examined only when a
+//! commit touches a watch key they subscribe to (conservative wake-up),
+//! and the ready queue is FIFO, which together give the paper's weak
+//! fairness: an indefinitely-enabled delayed transaction is eventually
+//! executed.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sdl_dataspace::{Dataspace, IndexMode, SolveLimits, WatchSet};
+use sdl_lang::ast::TxnKind;
+use sdl_lang::expr::eval;
+use sdl_tuple::{ProcId, Tuple, Value};
+
+use crate::builtins::Builtins;
+use crate::consensus::consensus_sets;
+use crate::error::RuntimeError;
+use crate::events::{Event, EventLog, EventSink};
+use crate::outcome::{Outcome, RunLimits, RunReport};
+use crate::process::{Frame, ProcessInstance};
+use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
+use crate::txn::{self, Pending};
+use crate::view::EnvCtx;
+
+/// What a single step did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StepResult {
+    /// Committed, failed-and-skipped, or made control progress; the
+    /// process remains runnable (if still alive).
+    Progressed,
+    /// Blocked on a delayed or consensus transaction.
+    Blocked {
+        /// The block includes a consensus guard.
+        has_consensus: bool,
+    },
+    /// The process terminated.
+    Terminated,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum GuardMode {
+    Select,
+    Loop,
+    Repl,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct BlockInfo {
+    pub watch: WatchSet,
+    pub has_consensus: bool,
+}
+
+/// Where a blocked process will contribute its consensus transaction.
+#[derive(Clone, Debug)]
+pub(crate) enum ConsensusSite {
+    /// A bare consensus transaction statement.
+    PlainTxn,
+    /// A consensus guard of a selection/repetition/replication.
+    Guard {
+        mode: GuardMode,
+        rest: Arc<[CompiledStmt]>,
+    },
+}
+
+/// Configures and creates a [`Runtime`].
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    program: Arc<CompiledProgram>,
+    seed: u64,
+    builtins: Builtins,
+    trace: bool,
+    limits: RunLimits,
+    solve_limits: SolveLimits,
+    index_mode: IndexMode,
+    extra_tuples: Vec<Tuple>,
+    extra_spawns: Vec<(String, Vec<Value>)>,
+}
+
+impl RuntimeBuilder {
+    /// Sets the scheduler seed (default 0).
+    pub fn seed(mut self, seed: u64) -> RuntimeBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the built-in registry (default: [`Builtins::standard`]).
+    pub fn builtins(mut self, builtins: Builtins) -> RuntimeBuilder {
+        self.builtins = builtins;
+        self
+    }
+
+    /// Enables event tracing (see [`Runtime::event_log`]).
+    pub fn trace(mut self, on: bool) -> RuntimeBuilder {
+        self.trace = on;
+        self
+    }
+
+    /// Sets run limits.
+    pub fn limits(mut self, limits: RunLimits) -> RuntimeBuilder {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets query-solver limits.
+    pub fn solve_limits(mut self, limits: SolveLimits) -> RuntimeBuilder {
+        self.solve_limits = limits;
+        self
+    }
+
+    /// Sets the dataspace index mode (default functor/arity indexing).
+    pub fn index_mode(mut self, mode: IndexMode) -> RuntimeBuilder {
+        self.index_mode = mode;
+        self
+    }
+
+    /// Adds an initial tuple programmatically (alongside the program's
+    /// `init` block) — how examples seed large workloads.
+    pub fn tuple(mut self, t: Tuple) -> RuntimeBuilder {
+        self.extra_tuples.push(t);
+        self
+    }
+
+    /// Adds tuples programmatically.
+    pub fn tuples<I: IntoIterator<Item = Tuple>>(mut self, ts: I) -> RuntimeBuilder {
+        self.extra_tuples.extend(ts);
+        self
+    }
+
+    /// Adds an initial process programmatically.
+    pub fn spawn(mut self, name: &str, args: Vec<Value>) -> RuntimeBuilder {
+        self.extra_spawns.push((name.to_owned(), args));
+        self
+    }
+
+    /// Builds the runtime: asserts initial tuples and spawns the initial
+    /// society.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an init tuple expression cannot evaluate or an initial
+    /// spawn names an unknown process.
+    pub fn build(self) -> Result<Runtime, RuntimeError> {
+        let mut rt = Runtime {
+            program: self.program,
+            ds: Dataspace::with_index_mode(self.index_mode),
+            procs: HashMap::new(),
+            ready: VecDeque::new(),
+            blocked: BTreeMap::new(),
+            next_pid: 1,
+            rng: StdRng::seed_from_u64(self.seed),
+            builtins: self.builtins,
+            trace: if self.trace {
+                Some(EventLog::new())
+            } else {
+                None
+            },
+            report: RunReport::new(),
+            limits: self.limits,
+            solve_limits: self.solve_limits,
+        };
+        // Program init tuples are ground expressions over built-ins.
+        let env = HashMap::new();
+        let init_tuples = rt.program.init_tuples.clone();
+        for fields in &init_tuples {
+            let ctx = EnvCtx {
+                env: &env,
+                vars: None,
+                builtins: &rt.builtins,
+            };
+            let mut vals = Vec::with_capacity(fields.len());
+            for f in fields {
+                vals.push(eval(f, &ctx).map_err(|source| RuntimeError::Eval {
+                    source,
+                    context: "init tuple".to_owned(),
+                })?);
+            }
+            rt.ds.assert_tuple(ProcId::ENV, Tuple::new(vals));
+        }
+        for t in self.extra_tuples {
+            rt.ds.assert_tuple(ProcId::ENV, t);
+        }
+        let init_spawns = rt.program.init_spawns.clone();
+        for (name, args) in &init_spawns {
+            let ctx = EnvCtx {
+                env: &env,
+                vars: None,
+                builtins: &rt.builtins,
+            };
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, &ctx).map_err(|source| RuntimeError::Eval {
+                    source,
+                    context: "init spawn argument".to_owned(),
+                })?);
+            }
+            rt.spawn_process(name, vals, ProcId::ENV)?;
+        }
+        for (name, args) in self.extra_spawns {
+            rt.spawn_process(&name, args, ProcId::ENV)?;
+        }
+        Ok(rt)
+    }
+}
+
+/// The SDL runtime: dataspace + process society + scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::{CompiledProgram, Runtime};
+///
+/// let program = CompiledProgram::from_source(r#"
+///     process Greeter() {
+///         exists w : <hello, w>! -> <greeting, w>;
+///     }
+///     init { <hello, world>; spawn Greeter(); }
+/// "#).unwrap();
+/// let mut rt = Runtime::builder(program).build().unwrap();
+/// let report = rt.run().unwrap();
+/// assert!(report.outcome.is_completed());
+/// assert_eq!(rt.dataspace().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    program: Arc<CompiledProgram>,
+    pub(crate) ds: Dataspace,
+    pub(crate) procs: HashMap<ProcId, ProcessInstance>,
+    pub(crate) ready: VecDeque<ProcId>,
+    pub(crate) blocked: BTreeMap<ProcId, BlockInfo>,
+    next_pid: u64,
+    pub(crate) rng: StdRng,
+    builtins: Builtins,
+    trace: Option<EventLog>,
+    pub(crate) report: RunReport,
+    limits: RunLimits,
+    solve_limits: SolveLimits,
+}
+
+impl Runtime {
+    /// Starts configuring a runtime for `program`.
+    pub fn builder(program: CompiledProgram) -> RuntimeBuilder {
+        RuntimeBuilder {
+            program: Arc::new(program),
+            seed: 0,
+            builtins: Builtins::standard(),
+            trace: false,
+            limits: RunLimits::default(),
+            solve_limits: SolveLimits::default(),
+            index_mode: IndexMode::default(),
+            extra_tuples: Vec::new(),
+            extra_spawns: Vec::new(),
+        }
+    }
+
+    /// The current dataspace.
+    pub fn dataspace(&self) -> &Dataspace {
+        &self.ds
+    }
+
+    /// The event log, if tracing was enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.trace.as_ref()
+    }
+
+    /// The built-in registry.
+    pub fn builtins(&self) -> &Builtins {
+        &self.builtins
+    }
+
+    /// Explains a quiescent outcome: one line per blocked process with
+    /// its definition name and whether it waits on a delayed transaction
+    /// or a consensus that never completed — the first thing to read when
+    /// a society deadlocks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_core::{CompiledProgram, Runtime};
+    ///
+    /// let program = CompiledProgram::from_source(
+    ///     "process W() { <never> => skip; } init { spawn W(); }",
+    /// ).unwrap();
+    /// let mut rt = Runtime::builder(program).build().unwrap();
+    /// rt.run().unwrap();
+    /// let report = rt.blocked_report();
+    /// assert!(report.contains("W"));
+    /// assert!(report.contains("delayed"));
+    /// ```
+    pub fn blocked_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (pid, info) in &self.blocked {
+            let name = self
+                .procs
+                .get(pid)
+                .map(|p| p.def.name.as_str())
+                .unwrap_or("?");
+            let kind = if info.has_consensus {
+                "consensus (community incomplete or query failing)"
+            } else {
+                "delayed transaction (query never enabled)"
+            };
+            let keys = info.watch.iter().count();
+            let _ = writeln!(
+                out,
+                "{pid} {name}: blocked on {kind}; watching {keys} key(s)"
+            );
+        }
+        if out.is_empty() {
+            out.push_str("no blocked processes
+");
+        }
+        out
+    }
+
+    /// Asserts a tuple on behalf of the environment between runs and
+    /// wakes any blocked transaction it could enable — the driving-side
+    /// API for feeding a quiescent society new work.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_core::{CompiledProgram, Runtime};
+    /// use sdl_tuple::{tuple, Value};
+    ///
+    /// let program = CompiledProgram::from_source(
+    ///     "process Echo() { loop { exists v : <ping, v>! => <pong, v> } }
+    ///      init { spawn Echo(); }",
+    /// ).unwrap();
+    /// let mut rt = Runtime::builder(program).build().unwrap();
+    /// rt.run().unwrap(); // quiesces: nothing to echo yet
+    /// rt.add_tuple(tuple![Value::atom("ping"), 1]);
+    /// rt.run().unwrap();
+    /// assert_eq!(rt.dataspace().len(), 1); // <pong, 1>
+    /// ```
+    pub fn add_tuple(&mut self, t: Tuple) -> sdl_tuple::TupleId {
+        let mut changed = WatchSet::new();
+        changed.add_tuple(&t);
+        let id = self.ds.assert_tuple(ProcId::ENV, t.clone());
+        self.emit(Event::TupleAsserted {
+            by: ProcId::ENV,
+            id,
+            tuple: t,
+        });
+        self.wake(&changed);
+        id
+    }
+
+    /// Creates a process between runs (the environment-side counterpart
+    /// of the `spawn` action).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `name` is unknown or the arity does not match.
+    pub fn spawn(&mut self, name: &str, args: Vec<Value>) -> Result<ProcId, RuntimeError> {
+        self.spawn_process(name, args, ProcId::ENV)
+    }
+
+    /// Live processes, in id order.
+    pub fn processes(&self) -> Vec<&ProcessInstance> {
+        let mut v: Vec<&ProcessInstance> = self.procs.values().collect();
+        v.sort_by_key(|p| p.id);
+        v
+    }
+
+    /// Runs to completion, quiescence, or the step limit, executing
+    /// transactions strictly serially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`]s from expression evaluation outside
+    /// test positions and from runtime `spawn`s.
+    pub fn run(&mut self) -> Result<RunReport, RuntimeError> {
+        loop {
+            if self.report.attempts >= self.limits.max_attempts {
+                self.report.outcome = Outcome::StepLimit;
+                break;
+            }
+            let Some(pid) = self.ready.pop_front() else {
+                if self.try_consensus_any()? {
+                    continue;
+                }
+                self.report.outcome = if self.procs.is_empty() {
+                    Outcome::Completed
+                } else {
+                    Outcome::Quiescent {
+                        blocked: {
+                            let mut b: Vec<ProcId> = self.procs.keys().copied().collect();
+                            b.sort_unstable();
+                            b
+                        },
+                    }
+                };
+                break;
+            };
+            if !self.procs.contains_key(&pid) {
+                continue; // cancelled while queued
+            }
+            match self.step(pid)? {
+                StepResult::Progressed => {
+                    if self.procs.contains_key(&pid) && !self.blocked.contains_key(&pid) {
+                        self.ready.push_back(pid);
+                    }
+                }
+                StepResult::Blocked { has_consensus } => {
+                    // Fire as soon as a community is complete, even while
+                    // unrelated processes are still running. Computing
+                    // communities is the expensive part, so pre-filter:
+                    // only bother when this process's own consensus query
+                    // currently succeeds.
+                    if has_consensus && self.probe_consensus(pid)?.is_some() {
+                        self.try_consensus_any()?;
+                    }
+                }
+                StepResult::Terminated => {}
+            }
+        }
+        self.report.final_tuples = self.ds.len();
+        Ok(self.report.clone())
+    }
+
+    // ---------------- stepping ----------------
+
+    pub(crate) fn step(&mut self, pid: ProcId) -> Result<StepResult, RuntimeError> {
+        loop {
+            let Some(proc) = self.procs.get(&pid) else {
+                return Ok(StepResult::Terminated);
+            };
+            let top = proc.frames.last().cloned();
+            match top {
+                None => {
+                    self.terminate(pid, false);
+                    return Ok(StepResult::Terminated);
+                }
+                Some(Frame::Seq { stmts, idx }) => {
+                    if idx >= stmts.len() {
+                        self.procs
+                            .get_mut(&pid)
+                            .expect("checked above")
+                            .frames
+                            .pop();
+                        continue;
+                    }
+                    match stmts[idx].clone() {
+                        CompiledStmt::Txn(t) => return self.step_txn(pid, &t),
+                        CompiledStmt::Select(branches) => {
+                            return self.attempt_guards(pid, &branches, GuardMode::Select)
+                        }
+                        CompiledStmt::Repeat(branches) => {
+                            self.advance_seq(pid);
+                            self.procs
+                                .get_mut(&pid)
+                                .expect("checked above")
+                                .frames
+                                .push(Frame::Loop { branches });
+                            continue;
+                        }
+                        CompiledStmt::Replicate(branches) => {
+                            self.advance_seq(pid);
+                            self.procs
+                                .get_mut(&pid)
+                                .expect("checked above")
+                                .frames
+                                .push(Frame::Repl {
+                                    branches,
+                                    active: 0,
+                                });
+                            continue;
+                        }
+                    }
+                }
+                Some(Frame::Loop { branches }) => {
+                    return self.attempt_guards(pid, &branches, GuardMode::Loop)
+                }
+                Some(Frame::Repl { branches, .. }) => {
+                    return self.attempt_guards(pid, &branches, GuardMode::Repl)
+                }
+            }
+        }
+    }
+
+    fn step_txn(&mut self, pid: ProcId, t: &Arc<CompiledTxn>) -> Result<StepResult, RuntimeError> {
+        if t.kind == TxnKind::Consensus {
+            // A bare consensus transaction blocks until its community
+            // fires it.
+            let watch = self.txn_watch(pid, t);
+            return Ok(self.block(pid, watch, true));
+        }
+        self.report.attempts += 1;
+        match self.evaluate_for(pid, t, None)? {
+            Some(p) => {
+                self.advance_seq(pid);
+                let changed = self.commit_single(pid, &p);
+                self.emit(Event::TxnCommitted { by: pid, kind: t.kind });
+                self.wake(&changed);
+                self.apply_control(pid, &p)?;
+                Ok(StepResult::Progressed)
+            }
+            None => match t.kind {
+                TxnKind::Immediate => {
+                    // A failed immediate transaction "has no effect on the
+                    // dataspace"; as a statement it acts as skip.
+                    self.emit(Event::TxnFailed { by: pid });
+                    self.advance_seq(pid);
+                    Ok(StepResult::Progressed)
+                }
+                TxnKind::Delayed => {
+                    let watch = self.txn_watch(pid, t);
+                    Ok(self.block(pid, watch, false))
+                }
+                TxnKind::Consensus => unreachable!("handled above"),
+            },
+        }
+    }
+
+    pub(crate) fn attempt_guards(
+        &mut self,
+        pid: ProcId,
+        branches: &Arc<[CompiledBranch]>,
+        mode: GuardMode,
+    ) -> Result<StepResult, RuntimeError> {
+        let mut order: Vec<usize> = (0..branches.len()).collect();
+        order.shuffle(&mut self.rng);
+        let mut delayed_present = false;
+        let mut consensus_present = false;
+
+        for &i in &order {
+            let guard = branches[i].guard.clone();
+            match guard.kind {
+                TxnKind::Consensus => {
+                    consensus_present = true;
+                    continue;
+                }
+                TxnKind::Delayed => delayed_present = true,
+                TxnKind::Immediate => {}
+            }
+            self.report.attempts += 1;
+            if let Some(p) = self.evaluate_for(pid, &guard, None)? {
+                if mode == GuardMode::Select {
+                    self.advance_seq(pid);
+                }
+                let changed = self.commit_single(pid, &p);
+                self.emit(Event::TxnCommitted {
+                    by: pid,
+                    kind: guard.kind,
+                });
+                self.wake(&changed);
+                self.enter_branch(pid, &p, branches[i].rest.clone(), mode)?;
+                return Ok(StepResult::Progressed);
+            }
+        }
+
+        // No guard committed.
+        let repl_active = {
+            let proc = &self.procs[&pid];
+            match proc.frames.last() {
+                Some(Frame::Repl { active, .. }) => *active,
+                _ => 0,
+            }
+        };
+        let must_wait = delayed_present
+            || consensus_present
+            || (mode == GuardMode::Repl && repl_active > 0);
+        if must_wait {
+            let watch = self.guards_watch(pid, branches);
+            return Ok(self.block(pid, watch, consensus_present));
+        }
+        match mode {
+            GuardMode::Select => {
+                // "The selection is modeled as a 'skip' statement."
+                self.advance_seq(pid);
+            }
+            GuardMode::Loop | GuardMode::Repl => {
+                self.procs
+                    .get_mut(&pid)
+                    .expect("process is live")
+                    .frames
+                    .pop();
+            }
+        }
+        Ok(StepResult::Progressed)
+    }
+
+    /// Applies a committed guard's control effects and enters the branch
+    /// body according to the construct.
+    pub(crate) fn enter_branch(
+        &mut self,
+        pid: ProcId,
+        p: &Pending,
+        rest: Arc<[CompiledStmt]>,
+        mode: GuardMode,
+    ) -> Result<(), RuntimeError> {
+        if mode == GuardMode::Repl {
+            // `let`s address the copy, not the parent.
+            for (name, args) in &p.spawns {
+                self.spawn_process(name, args.clone(), pid)?;
+            }
+            if p.abort {
+                self.cancel_helpers(pid);
+                self.terminate(pid, true);
+                return Ok(());
+            }
+            if p.exit {
+                self.exit_process(pid);
+                return Ok(());
+            }
+            if !rest.is_empty() {
+                let helper_id = self.alloc_pid();
+                let parent = self.procs.get(&pid).expect("process is live");
+                let mut env = parent.env.clone();
+                for (name, v) in &p.lets {
+                    env.insert(name.clone(), v.clone());
+                }
+                let helper = ProcessInstance::body_helper(helper_id, parent, rest, env);
+                if let Some(Frame::Repl { active, .. }) = self
+                    .procs
+                    .get_mut(&pid)
+                    .expect("process is live")
+                    .frames
+                    .last_mut()
+                {
+                    *active += 1;
+                }
+                self.procs.insert(helper_id, helper);
+                self.ready.push_back(helper_id);
+            }
+            return Ok(());
+        }
+        let terminated = self.apply_control(pid, p)?;
+        if !terminated && !p.exit && !rest.is_empty() {
+            self.procs
+                .get_mut(&pid)
+                .expect("process is live")
+                .frames
+                .push(Frame::Seq {
+                    stmts: rest,
+                    idx: 0,
+                });
+        }
+        Ok(())
+    }
+
+    // ---------------- evaluation & commit ----------------
+
+    /// Evaluates `t` for `pid`, building the process window over
+    /// `source_ds` (defaults to the live dataspace — the rounds scheduler
+    /// passes the round snapshot).
+    pub(crate) fn evaluate_for(
+        &self,
+        pid: ProcId,
+        t: &CompiledTxn,
+        source_ds: Option<&Dataspace>,
+    ) -> Result<Option<Pending>, RuntimeError> {
+        let proc = &self.procs[&pid];
+        let ds = source_ds.unwrap_or(&self.ds);
+        let source = proc.def.view.window(ds, &proc.env, &self.builtins)?;
+        txn::evaluate(t, &source, &proc.env, &self.builtins, self.solve_limits)
+    }
+
+    pub(crate) fn txn_watch(&self, pid: ProcId, t: &CompiledTxn) -> WatchSet {
+        let proc = &self.procs[&pid];
+        txn::watch_set(t, &proc.env, &self.builtins)
+    }
+
+    fn guards_watch(&self, pid: ProcId, branches: &Arc<[CompiledBranch]>) -> WatchSet {
+        let mut w = WatchSet::new();
+        for b in branches.iter() {
+            w.extend(&self.txn_watch(pid, &b.guard));
+        }
+        w
+    }
+
+    /// Applies a single pending commit's dataspace effects (export
+    /// filtering against the pre-state, then retracts, then asserts) and
+    /// returns the changed watch keys.
+    pub(crate) fn commit_single(&mut self, pid: ProcId, p: &Pending) -> WatchSet {
+        let (def, env) = {
+            let proc = &self.procs[&pid];
+            (proc.def.clone(), proc.env.clone())
+        };
+        let allowed: Vec<bool> = p
+            .asserts
+            .iter()
+            .map(|t| def.view.exports(t, &self.ds, &env, &self.builtins))
+            .collect();
+        let mut changed = WatchSet::new();
+        for id in &p.retracts {
+            if let Some(t) = self.ds.retract(*id) {
+                changed.add_tuple(&t);
+                self.emit(Event::TupleRetracted {
+                    by: pid,
+                    id: *id,
+                    tuple: t,
+                });
+            }
+        }
+        for (t, ok) in p.asserts.iter().zip(&allowed) {
+            if *ok {
+                let id = self.ds.assert_tuple(pid, t.clone());
+                changed.add_tuple(t);
+                self.emit(Event::TupleAsserted {
+                    by: pid,
+                    id,
+                    tuple: t.clone(),
+                });
+            } else {
+                self.emit(Event::ExportDropped {
+                    by: pid,
+                    tuple: t.clone(),
+                });
+            }
+        }
+        self.report.commits += 1;
+        changed
+    }
+
+    /// Applies `let`s, `spawn`s, `exit`, `abort`. Returns true if the
+    /// process terminated.
+    pub(crate) fn apply_control(
+        &mut self,
+        pid: ProcId,
+        p: &Pending,
+    ) -> Result<bool, RuntimeError> {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            for (name, v) in &p.lets {
+                proc.env.insert(name.clone(), v.clone());
+            }
+        }
+        for (name, args) in &p.spawns {
+            self.spawn_process(name, args.clone(), pid)?;
+        }
+        if p.abort {
+            self.cancel_helpers(pid);
+            self.terminate(pid, true);
+            return Ok(true);
+        }
+        if p.exit {
+            return Ok(self.exit_process(pid));
+        }
+        Ok(false)
+    }
+
+    /// Applies `exit`: unwind to the nearest loop/replication; terminate
+    /// the process if there is none. Returns true if terminated.
+    fn exit_process(&mut self, pid: ProcId) -> bool {
+        let unwound = self
+            .procs
+            .get_mut(&pid)
+            .expect("process is live")
+            .unwind_exit();
+        match unwound {
+            None => {
+                self.terminate(pid, false);
+                true
+            }
+            Some(active_helpers) => {
+                if active_helpers > 0 {
+                    self.cancel_helpers(pid);
+                }
+                false
+            }
+        }
+    }
+
+    // ---------------- society management ----------------
+
+    fn alloc_pid(&mut self) -> ProcId {
+        let id = ProcId(self.next_pid);
+        self.next_pid += 1;
+        id
+    }
+
+    /// Creates a process from a definition name.
+    pub(crate) fn spawn_process(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        by: ProcId,
+    ) -> Result<ProcId, RuntimeError> {
+        let def = self
+            .program
+            .def(name)
+            .ok_or_else(|| RuntimeError::UnknownProcess(name.to_owned()))?
+            .clone();
+        if def.params.len() != args.len() {
+            return Err(RuntimeError::SpawnArity {
+                process: name.to_owned(),
+                expected: def.params.len(),
+                found: args.len(),
+            });
+        }
+        let id = self.alloc_pid();
+        self.emit(Event::ProcessCreated {
+            id,
+            name: name.to_owned(),
+            args: args.clone(),
+            by,
+        });
+        self.procs.insert(id, ProcessInstance::new(id, def, args));
+        self.ready.push_back(id);
+        self.report.processes_created += 1;
+        Ok(id)
+    }
+
+    pub(crate) fn terminate(&mut self, pid: ProcId, aborted: bool) {
+        let Some(proc) = self.procs.remove(&pid) else {
+            return;
+        };
+        self.blocked.remove(&pid);
+        self.emit(Event::ProcessTerminated { id: pid, aborted });
+        // Notify a replication parent.
+        if let Some(parent_id) = proc.parent {
+            if let Some(parent) = self.procs.get_mut(&parent_id) {
+                for frame in parent.frames.iter_mut().rev() {
+                    if let Frame::Repl { active, .. } = frame {
+                        *active = active.saturating_sub(1);
+                        break;
+                    }
+                }
+            }
+            self.wake_pid(parent_id);
+        }
+    }
+
+    /// Terminates (transitively) all replication body helpers of `pid`.
+    fn cancel_helpers(&mut self, pid: ProcId) {
+        loop {
+            let victim = self
+                .procs
+                .values()
+                .find(|p| p.parent == Some(pid))
+                .map(|p| p.id);
+            match victim {
+                Some(v) => {
+                    self.cancel_helpers(v);
+                    // Remove directly — no parent notification (the Repl
+                    // frame is being dismantled).
+                    self.procs.remove(&v);
+                    self.blocked.remove(&v);
+                    self.emit(Event::ProcessTerminated {
+                        id: v,
+                        aborted: true,
+                    });
+                }
+                None => break,
+            }
+        }
+    }
+
+    // ---------------- blocking & waking ----------------
+
+    pub(crate) fn block(&mut self, pid: ProcId, watch: WatchSet, has_consensus: bool) -> StepResult {
+        self.emit(Event::ProcessBlocked {
+            id: pid,
+            consensus: has_consensus,
+        });
+        self.blocked.insert(
+            pid,
+            BlockInfo {
+                watch,
+                has_consensus,
+            },
+        );
+        StepResult::Blocked { has_consensus }
+    }
+
+    pub(crate) fn wake(&mut self, changed: &WatchSet) {
+        if changed.is_empty() {
+            return;
+        }
+        let woken: Vec<ProcId> = self
+            .blocked
+            .iter()
+            .filter(|(_, info)| info.watch.intersects(changed))
+            .map(|(pid, _)| *pid)
+            .collect();
+        for pid in woken {
+            self.blocked.remove(&pid);
+            self.ready.push_back(pid);
+        }
+    }
+
+    fn wake_pid(&mut self, pid: ProcId) {
+        if self.blocked.remove(&pid).is_some() {
+            self.ready.push_back(pid);
+        }
+    }
+
+    // ---------------- consensus ----------------
+
+    /// Attempts to fire one complete consensus community; true if fired.
+    pub(crate) fn try_consensus_any(&mut self) -> Result<bool, RuntimeError> {
+        let procs: Vec<&ProcessInstance> = self.procs.values().collect();
+        if procs.is_empty() {
+            return Ok(false);
+        }
+        let sets = consensus_sets(&procs, &self.ds, &self.builtins)?;
+        for set in sets {
+            // Every member must be blocked with a consensus guard.
+            if !set.iter().all(|pid| {
+                self.blocked
+                    .get(pid)
+                    .is_some_and(|info| info.has_consensus)
+            }) {
+                continue;
+            }
+            // Probe every member's contribution against the same D.
+            let mut contributions = Vec::with_capacity(set.len());
+            let mut complete = true;
+            for pid in &set {
+                match self.probe_consensus(*pid)? {
+                    Some((site, pending)) => contributions.push((*pid, site, pending)),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                self.fire_consensus(contributions)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Finds the blocked process's first enabled consensus transaction at
+    /// its current position, evaluated against the current dataspace.
+    fn probe_consensus(
+        &self,
+        pid: ProcId,
+    ) -> Result<Option<(ConsensusSite, Pending)>, RuntimeError> {
+        let proc = &self.procs[&pid];
+        match proc.frames.last() {
+            Some(Frame::Seq { stmts, idx }) => match stmts.get(*idx) {
+                Some(CompiledStmt::Txn(t)) if t.kind == TxnKind::Consensus => {
+                    Ok(self
+                        .evaluate_for(pid, t, None)?
+                        .map(|p| (ConsensusSite::PlainTxn, p)))
+                }
+                Some(CompiledStmt::Select(branches)) => {
+                    self.probe_guards(pid, branches, GuardMode::Select)
+                }
+                _ => Ok(None),
+            },
+            Some(Frame::Loop { branches }) => self.probe_guards(pid, branches, GuardMode::Loop),
+            Some(Frame::Repl { branches, .. }) => {
+                self.probe_guards(pid, branches, GuardMode::Repl)
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn probe_guards(
+        &self,
+        pid: ProcId,
+        branches: &Arc<[CompiledBranch]>,
+        mode: GuardMode,
+    ) -> Result<Option<(ConsensusSite, Pending)>, RuntimeError> {
+        for b in branches.iter() {
+            if b.guard.kind != TxnKind::Consensus {
+                continue;
+            }
+            if let Some(p) = self.evaluate_for(pid, &b.guard, None)? {
+                return Ok(Some((
+                    ConsensusSite::Guard {
+                        mode,
+                        rest: b.rest.clone(),
+                    },
+                    p,
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Commits a complete community's contributions as one composite
+    /// transaction: all retractions first, then all assertions (export
+    /// sets evaluated against the pre-composite configuration), then each
+    /// participant's local actions and control advance.
+    fn fire_consensus(
+        &mut self,
+        contributions: Vec<(ProcId, ConsensusSite, Pending)>,
+    ) -> Result<(), RuntimeError> {
+        let participants: Vec<ProcId> = contributions.iter().map(|(p, _, _)| *p).collect();
+        self.emit(Event::ConsensusReached {
+            participants: participants.clone(),
+        });
+        self.report.consensus_rounds += 1;
+
+        // Export allowance against the pre-composite state.
+        let mut allowed: Vec<Vec<bool>> = Vec::with_capacity(contributions.len());
+        for (pid, _, p) in &contributions {
+            let proc = &self.procs[pid];
+            allowed.push(
+                p.asserts
+                    .iter()
+                    .map(|t| proc.def.view.exports(t, &self.ds, &proc.env, &self.builtins))
+                    .collect(),
+            );
+        }
+
+        // Composite: retraction set-union, then additions.
+        let mut changed = WatchSet::new();
+        let mut retracted = std::collections::HashSet::new();
+        for (pid, _, p) in &contributions {
+            for id in &p.retracts {
+                if retracted.insert(*id) {
+                    if let Some(t) = self.ds.retract(*id) {
+                        changed.add_tuple(&t);
+                        self.emit(Event::TupleRetracted {
+                            by: *pid,
+                            id: *id,
+                            tuple: t,
+                        });
+                    }
+                }
+            }
+        }
+        for ((pid, _, p), allow) in contributions.iter().zip(&allowed) {
+            for (t, ok) in p.asserts.iter().zip(allow) {
+                if *ok {
+                    let id = self.ds.assert_tuple(*pid, t.clone());
+                    changed.add_tuple(t);
+                    self.emit(Event::TupleAsserted {
+                        by: *pid,
+                        id,
+                        tuple: t.clone(),
+                    });
+                } else {
+                    self.emit(Event::ExportDropped {
+                        by: *pid,
+                        tuple: t.clone(),
+                    });
+                }
+            }
+            self.report.commits += 1;
+            self.emit(Event::TxnCommitted {
+                by: *pid,
+                kind: TxnKind::Consensus,
+            });
+        }
+
+        // Per-participant control advance.
+        for (pid, site, p) in &contributions {
+            self.blocked.remove(pid);
+            match site {
+                ConsensusSite::PlainTxn => {
+                    self.advance_seq(*pid);
+                    let terminated = self.apply_control(*pid, p)?;
+                    if !terminated {
+                        self.ready.push_back(*pid);
+                    }
+                }
+                ConsensusSite::Guard { mode, rest } => {
+                    if *mode == GuardMode::Select {
+                        self.advance_seq(*pid);
+                    }
+                    self.enter_branch(*pid, p, rest.clone(), *mode)?;
+                    if self.procs.contains_key(pid) && !self.blocked.contains_key(pid) {
+                        self.ready.push_back(*pid);
+                    }
+                }
+            }
+        }
+        self.wake(&changed);
+        Ok(())
+    }
+
+    // ---------------- small helpers ----------------
+
+    pub(crate) fn advance_seq(&mut self, pid: ProcId) {
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            if let Some(Frame::Seq { idx, .. }) = proc.frames.last_mut() {
+                *idx += 1;
+            }
+        }
+    }
+
+    pub(crate) fn limits_max_attempts(&self) -> u64 {
+        self.limits.max_attempts
+    }
+
+    pub(crate) fn emit(&mut self, event: Event) {
+        let step = self.report.attempts;
+        if let Some(log) = &mut self.trace {
+            log.record(step, event);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Transaction evaluation: from a compiled transaction and a query source
+//! to a validated, appliable [`Pending`] commit.
+//!
+//! Evaluation is split from application so the same machinery drives
+//! three executors:
+//!
+//! * the serial scheduler evaluates and applies against the same store;
+//! * the parallel-rounds scheduler evaluates against a round-start
+//!   snapshot and validates/applies against the live store;
+//! * the threaded executor evaluates under a read lock and
+//!   validates/applies under the write lock, retrying on conflict.
+
+use std::collections::{HashMap, HashSet};
+
+use sdl_dataspace::{Dataspace, QueryAtom, SolveLimits, Solver, TupleSource};
+use sdl_lang::ast::{Action, Quant};
+use sdl_lang::expr::{eval, eval_test};
+use sdl_tuple::{Bindings, Pattern, Tuple, TupleId, Value};
+
+use crate::builtins::Builtins;
+use crate::error::RuntimeError;
+use crate::program::{CompiledTxn, ScheduledTest, TestCheck};
+use crate::view::{resolve_fields, EnvCtx};
+
+/// The effects of a successfully evaluated transaction, not yet applied.
+#[derive(Clone, Debug, Default)]
+pub struct Pending {
+    /// Instances to retract (pairwise distinct).
+    pub retracts: Vec<TupleId>,
+    /// Tuples to assert (before export filtering).
+    pub asserts: Vec<Tuple>,
+    /// Instances the query read (for validation).
+    pub reads: Vec<TupleId>,
+    /// Resolved negated patterns the query verified empty (for
+    /// validation).
+    pub neg_checks: Vec<Pattern>,
+    /// `let` bindings to install in the process environment, in order.
+    pub lets: Vec<(String, Value)>,
+    /// Processes to create.
+    pub spawns: Vec<(String, Vec<Value>)>,
+    /// `exit` was executed.
+    pub exit: bool,
+    /// `abort` was executed.
+    pub abort: bool,
+}
+
+impl Pending {
+    /// True against `ds` iff every read/retracted instance is still live
+    /// and every verified negation still has no match — i.e. the
+    /// evaluation would reach the same conclusion on `ds`.
+    pub fn validate(&self, ds: &Dataspace) -> bool {
+        self.reads.iter().all(|id| ds.contains_id(*id))
+            && self.retracts.iter().all(|id| ds.contains_id(*id))
+            && self.neg_checks.iter().all(|p| !ds.contains_match(p))
+    }
+}
+
+/// Evaluates `txn` over `source`.
+///
+/// Returns `Ok(None)` when the query does not (currently) hold — for an
+/// immediate transaction that is failure, for a delayed one it means
+/// "keep blocking".
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] when an expression outside a test position
+/// (pattern field, action argument) cannot evaluate — a program bug, not
+/// a query failure.
+pub fn evaluate(
+    txn: &CompiledTxn,
+    source: &dyn TupleSource,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+    limits: SolveLimits,
+) -> Result<Option<Pending>, RuntimeError> {
+    match evaluate_query(txn, source, env, builtins, limits)? {
+        Some(solutions) => build_effects(txn, &solutions, env, builtins).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// The query half of [`evaluate`]: runs the binding query, negations, and
+/// tests over `source` and returns the committed-to solutions, or `None`
+/// if the query does not hold. Needs the dataspace; the effect half
+/// ([`build_effects`]) does not — the threaded executor exploits the
+/// split to keep expensive action computation outside the store lock.
+///
+/// # Errors
+///
+/// As [`evaluate`].
+pub fn evaluate_query(
+    txn: &CompiledTxn,
+    source: &dyn TupleSource,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+    limits: SolveLimits,
+) -> Result<Option<Vec<sdl_dataspace::Solution>>, RuntimeError> {
+    let plain_ctx = EnvCtx {
+        env,
+        vars: None,
+        builtins,
+    };
+
+    // Depth-0 tests involve no quantified variables; under both
+    // quantifiers they gate the whole transaction.
+    for t in txn
+        .binding_tests
+        .iter()
+        .chain(txn.property_tests.iter())
+        .filter(|t| t.depth == 0)
+    {
+        match &t.check {
+            TestCheck::Expr(e) => {
+                if !eval_test(e, &plain_ctx) {
+                    return Ok(None);
+                }
+            }
+            TestCheck::HiddenEq { .. } => {
+                unreachable!("hidden fields bind at depth >= 1")
+            }
+        }
+    }
+
+    // Resolve environment expressions in pattern fields.
+    let mut atoms = Vec::with_capacity(txn.atoms.len());
+    for a in &txn.atoms {
+        let pattern = resolve_fields(&a.fields, &plain_ctx, "pattern field")?;
+        atoms.push(QueryAtom {
+            pattern,
+            mode: a.mode,
+        });
+    }
+
+    let solver = Solver::new(source, &atoms, txn.n_vars);
+    let check_tests = |tests: &[ScheduledTest], depth: usize, b: &Bindings| -> bool {
+        tests.iter().filter(|t| t.depth == depth).all(|t| {
+            let ctx = EnvCtx {
+                env,
+                vars: Some((&txn.var_names, b)),
+                builtins,
+            };
+            match &t.check {
+                TestCheck::Expr(e) => eval_test(e, &ctx),
+                TestCheck::HiddenEq { var, expr } => match (b.get(*var), eval(expr, &ctx)) {
+                    (Some(bound), Ok(v)) => *bound == v,
+                    _ => false,
+                },
+            }
+        })
+    };
+
+    let solutions = match txn.quant {
+        Quant::Exists => {
+            let mut staged = |depth: usize, b: &Bindings| {
+                check_tests(&txn.binding_tests, depth, b)
+                    && check_tests(&txn.property_tests, depth, b)
+            };
+            match solver.first_staged(None, &mut staged) {
+                Some(s) => vec![s],
+                None => return Ok(None),
+            }
+        }
+        Quant::Forall => {
+            // Binding constraints prune; property tests are the checked
+            // property — every binding solution must satisfy them.
+            let mut staged =
+                |depth: usize, b: &Bindings| check_tests(&txn.binding_tests, depth, b);
+            let sols = solver.all_staged(None, &mut staged, limits);
+            for sol in &sols {
+                let b = sol.to_bindings();
+                for depth in 1..=solver.positive_count() {
+                    if !check_tests(&txn.property_tests, depth, &b) {
+                        return Ok(None);
+                    }
+                }
+            }
+            sols
+        }
+    };
+
+    Ok(Some(solutions))
+}
+
+/// The effect half of [`evaluate`]: turns the solutions into a
+/// [`Pending`] commit by evaluating the action list. Pure with respect to
+/// the dataspace.
+///
+/// # Errors
+///
+/// As [`evaluate`].
+pub fn build_effects(
+    txn: &CompiledTxn,
+    solutions: &[sdl_dataspace::Solution],
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+) -> Result<Pending, RuntimeError> {
+    // Assemble effects.
+    let mut pending = Pending::default();
+    let mut retracted: HashSet<TupleId> = HashSet::new();
+    for sol in solutions {
+        for id in &sol.retracts {
+            if retracted.insert(*id) {
+                pending.retracts.push(*id);
+            }
+        }
+        pending.reads.extend_from_slice(&sol.reads);
+        pending.neg_checks.extend_from_slice(&sol.neg_checks);
+    }
+
+    let empty = Bindings::new(0);
+    let no_vars: Vec<String> = Vec::new();
+    // `let` actions are visible to the actions that follow them in the
+    // same list (the paper's `let N = α, <found, N>` idiom), so action
+    // evaluation runs over an overlay of the process environment.
+    let mut action_env = env.clone();
+    for ca in &txn.actions {
+        // `forall`: per-solution actions run once per solution; others
+        // once. `exists` has exactly one solution either way.
+        let runs: Vec<(&[String], Bindings)> = if ca.per_solution {
+            solutions
+                .iter()
+                .map(|s| (txn.var_names.as_slice(), s.to_bindings()))
+                .collect()
+        } else {
+            vec![(no_vars.as_slice(), empty.clone())]
+        };
+        for (names, b) in &runs {
+            let before = pending.lets.len();
+            let ctx = EnvCtx {
+                env: &action_env,
+                vars: Some((names, b)),
+                builtins,
+            };
+            apply_action(&ca.action, &ctx, &mut pending)?;
+            for (name, v) in pending.lets[before..].to_vec() {
+                action_env.insert(name, v);
+            }
+        }
+    }
+    Ok(pending)
+}
+
+fn apply_action(
+    action: &Action,
+    ctx: &EnvCtx<'_>,
+    pending: &mut Pending,
+) -> Result<(), RuntimeError> {
+    let ev = |e, what: &str| {
+        eval(e, ctx).map_err(|source| RuntimeError::Eval {
+            source,
+            context: what.to_owned(),
+        })
+    };
+    match action {
+        Action::Assert(fields) => {
+            let mut vals = Vec::with_capacity(fields.len());
+            for f in fields {
+                vals.push(ev(f, "asserted tuple field")?);
+            }
+            pending.asserts.push(Tuple::new(vals));
+        }
+        Action::Let(name, e) => {
+            let v = ev(e, "let binding")?;
+            pending.lets.push((name.clone(), v));
+        }
+        Action::Spawn(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(ev(a, "spawn argument")?);
+            }
+            pending.spawns.push((name.clone(), vals));
+        }
+        Action::Skip => {}
+        Action::Exit => pending.exit = true,
+        Action::Abort => pending.abort = true,
+    }
+    Ok(())
+}
+
+/// The watch keys a blocked instance of `txn` listens on: the keys of all
+/// its patterns (positive and negated), resolved against the process
+/// environment.
+pub fn watch_set(
+    txn: &CompiledTxn,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+) -> sdl_dataspace::WatchSet {
+    let ctx = EnvCtx {
+        env,
+        vars: None,
+        builtins,
+    };
+    let mut w = sdl_dataspace::WatchSet::new();
+    for a in &txn.atoms {
+        match resolve_fields(&a.fields, &ctx, "watch pattern") {
+            Ok(p) => w.add_pattern(&p),
+            // Unresolvable field: listen on the arity channel.
+            Err(_) => w.add_key(sdl_dataspace::WatchKey::Arity(a.fields.len())),
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::compile_txn;
+    use sdl_lang::parse_transaction;
+    use sdl_tuple::{pattern, tuple, ProcId};
+
+    fn compile(src: &str) -> CompiledTxn {
+        compile_txn(&parse_transaction(src).unwrap(), &HashMap::new()).unwrap()
+    }
+
+    fn env(pairs: &[(&str, i64)]) -> HashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), Value::Int(*v)))
+            .collect()
+    }
+
+    fn run(
+        src: &str,
+        ds: &Dataspace,
+        env_pairs: &[(&str, i64)],
+    ) -> Option<Pending> {
+        let txn = compile(src);
+        evaluate(
+            &txn,
+            ds,
+            &env(env_pairs),
+            &Builtins::standard(),
+            SolveLimits::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_year_example() {
+        // ∃α: <year, α>↑ : α > 87 → let N = α, <found, α>
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("year"), 90]);
+        let p = run(
+            "exists a : <year, a>! : a > 87 -> let N = a, <found, a>",
+            &ds,
+            &[],
+        )
+        .expect("year 90 matches");
+        assert_eq!(p.retracts.len(), 1);
+        assert_eq!(p.asserts, vec![tuple![Value::atom("found"), 90]]);
+        assert_eq!(p.lets, vec![("N".to_owned(), Value::Int(90))]);
+    }
+
+    #[test]
+    fn failure_returns_none() {
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("year"), 80]);
+        assert!(run("exists a : <year, a>! : a > 87 -> skip", &ds, &[]).is_none());
+    }
+
+    #[test]
+    fn env_expressions_in_patterns() {
+        // Sum2 shape: <k - 2^(j-1), a, j>!, <k, b, j>! => <k, a+b, j+1>
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![1, 10, 1]);
+        ds.assert_tuple(ProcId::ENV, tuple![2, 20, 1]);
+        let p = run(
+            "exists a, b : <k - 2^(j-1), a, j>!, <k, b, j>! => <k, a + b, j + 1>",
+            &ds,
+            &[("k", 2), ("j", 1)],
+        )
+        .expect("both operands present");
+        assert_eq!(p.retracts.len(), 2);
+        assert_eq!(p.asserts, vec![tuple![2, 30, 2]]);
+    }
+
+    #[test]
+    fn forall_requires_every_solution_to_pass() {
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 5]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 10]);
+        assert!(run("forall a : <v, a> : a > 3 -> skip", &ds, &[]).is_some());
+        assert!(run("forall a : <v, a> : a > 7 -> skip", &ds, &[]).is_none());
+    }
+
+    #[test]
+    fn forall_vacuous_truth() {
+        let ds = Dataspace::new();
+        let p = run("forall a : <v, a> : a > 7 -> <ok>", &ds, &[]).expect("vacuously true");
+        assert!(p.retracts.is_empty());
+        // <ok> mentions no variable → asserted once even with zero
+        // solutions.
+        assert_eq!(p.asserts.len(), 1);
+    }
+
+    #[test]
+    fn forall_retracts_all_and_asserts_per_solution() {
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 1]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 2]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 3]);
+        let p = run("forall a : <v, a>! -> <w, a>, <done>", &ds, &[]).unwrap();
+        assert_eq!(p.retracts.len(), 3);
+        assert_eq!(p.asserts.len(), 4, "3 per-solution + 1 once");
+        assert_eq!(
+            p.asserts.iter().filter(|t| t.functor() == Some(sdl_tuple::Atom::new("w"))).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn negation_in_query() {
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("index"), 1]);
+        assert!(run("not <index, *> -> <empty>", &ds, &[]).is_none());
+        let mut empty_ds = Dataspace::new();
+        empty_ds.assert_tuple(ProcId::ENV, tuple![Value::atom("other")]);
+        let p = run("not <index, *> -> <empty>", &empty_ds, &[]).unwrap();
+        assert_eq!(p.neg_checks.len(), 1);
+    }
+
+    #[test]
+    fn hidden_eq_field() {
+        // <x, a>, <a + 1, b>: the second atom's head is computed from a.
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("x"), 4]);
+        ds.assert_tuple(ProcId::ENV, tuple![5, 50]);
+        ds.assert_tuple(ProcId::ENV, tuple![6, 60]);
+        let p = run("exists a, b : <x, a>, <a + 1, b> -> <got, b>", &ds, &[]).unwrap();
+        assert_eq!(p.asserts, vec![tuple![Value::atom("got"), 50]]);
+    }
+
+    #[test]
+    fn predicate_atom_prunes() {
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("n"), 2]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("n"), 3]);
+        let p = run("exists a : even(a), <n, a>! -> <picked, a>", &ds, &[]).unwrap();
+        assert_eq!(p.asserts, vec![tuple![Value::atom("picked"), 2]]);
+    }
+
+    #[test]
+    fn depth_zero_test_gates_everything() {
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("x")]);
+        assert!(run("exists a : <x> : k > 5 -> skip", &ds, &[("k", 3)]).is_none());
+        assert!(run("exists a : <x> : k > 5 -> skip", &ds, &[("k", 9)]).is_some());
+    }
+
+    #[test]
+    fn abort_and_exit_flags() {
+        let ds = Dataspace::new();
+        let p = run("-> exit", &ds, &[]).unwrap();
+        assert!(p.exit && !p.abort);
+        let p = run("-> abort", &ds, &[]).unwrap();
+        assert!(p.abort);
+    }
+
+    #[test]
+    fn spawn_collects_args() {
+        let mut sigs = HashMap::new();
+        sigs.insert("W", 2usize);
+        let txn = compile_txn(
+            &parse_transaction("exists a : <job, a>! -> spawn W(a, k)").unwrap(),
+            &sigs,
+        )
+        .unwrap();
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("job"), 7]);
+        let p = evaluate(
+            &txn,
+            &ds,
+            &env(&[("k", 1)]),
+            &Builtins::new(),
+            SolveLimits::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            p.spawns,
+            vec![("W".to_owned(), vec![Value::Int(7), Value::Int(1)])]
+        );
+    }
+
+    #[test]
+    fn validate_detects_conflicts() {
+        let mut ds = Dataspace::new();
+        let id = ds.assert_tuple(ProcId::ENV, tuple![Value::atom("x"), 1]);
+        let p = run("exists a : <x, a>! -> skip", &ds, &[]).unwrap();
+        assert!(p.validate(&ds));
+        ds.retract(id);
+        assert!(!p.validate(&ds), "retract target gone");
+        // Negation invalidated by a new tuple.
+        let p2 = run("not <index, *> -> skip", &ds, &[]).unwrap();
+        assert!(p2.validate(&ds));
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("index"), 1]);
+        assert!(!p2.validate(&ds));
+    }
+
+    #[test]
+    fn watch_set_resolves_env() {
+        let txn = compile("exists a : <k, a>, not <done> => skip");
+        let w = watch_set(&txn, &env(&[("k", 3)]), &Builtins::new());
+        // <3, a> has no functor → arity key; <done> has functor key.
+        let mut change = sdl_dataspace::WatchSet::new();
+        change.add_tuple(&tuple![3, 9]);
+        assert!(w.intersects(&change));
+        let mut done = sdl_dataspace::WatchSet::new();
+        done.add_tuple(&tuple![Value::atom("done")]);
+        assert!(w.intersects(&done));
+        let mut unrelated = sdl_dataspace::WatchSet::new();
+        unrelated.add_tuple(&tuple![Value::atom("zzz"), 1, 2]);
+        assert!(!w.intersects(&unrelated));
+    }
+
+    #[test]
+    fn eval_error_in_action_surfaces() {
+        let txn = compile("-> <x, 1/0>");
+        let ds = Dataspace::new();
+        let r = evaluate(&txn, &ds, &HashMap::new(), &Builtins::new(), SolveLimits::default());
+        assert!(matches!(r, Err(RuntimeError::Eval { .. })));
+    }
+
+    #[test]
+    fn window_restricts_evaluation() {
+        use crate::view::QuerySource;
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("a"), 1]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("b"), 2]);
+        let w: sdl_dataspace::Window = ds
+            .iter()
+            .filter(|(_, t)| t.functor() == Some(sdl_tuple::Atom::new("a")))
+            .map(|(id, t)| sdl_tuple::TupleInstance::new(id, t.clone()))
+            .collect();
+        let source = QuerySource::Restricted(w);
+        let txn = compile("exists v : <b, v> -> skip");
+        let r = evaluate(&txn, &source, &HashMap::new(), &Builtins::new(), SolveLimits::default())
+            .unwrap();
+        assert!(r.is_none(), "b is outside the window");
+        let _ = pattern![Value::atom("b"), any];
+    }
+}

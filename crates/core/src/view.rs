@@ -1,0 +1,728 @@
+//! Views: import/export rule evaluation, windows, and query sources.
+//!
+//! A view "allows processes to interrogate the dataspace at a level of
+//! abstraction convenient for the task they are pursuing". Operationally
+//! (paper §2.1):
+//!
+//! ```text
+//! W        = Import(p) ∩ D          -- window, computed at txn start
+//! (Wr, Wa) = q(W)                   -- retraction/assertion windows
+//! D'       = (D − Wr) ∪ (Export(p) ∩ Wa)
+//! ```
+//!
+//! Import rules may be conditional on the current dataspace (the `Label`
+//! process of §3.3 imports the label tuples of 4-connected, same-threshold
+//! neighbours), so membership checks may themselves run small queries.
+
+use std::collections::HashMap;
+
+use sdl_dataspace::{Dataspace, QueryAtom, Solver, TupleSource, Window};
+use sdl_lang::ast::Expr;
+use sdl_lang::expr::{eval, EvalContext};
+use sdl_tuple::{Bindings, Field, Pattern, Tuple, TupleId, Value, VarId};
+
+use crate::builtins::Builtins;
+use crate::error::RuntimeError;
+
+/// A compiled pattern field.
+#[derive(Clone, Debug)]
+pub enum CompiledField {
+    /// Wildcard.
+    Any,
+    /// A quantified/rule variable.
+    Var(VarId),
+    /// An expression over process constants and built-ins only.
+    Env(Expr),
+}
+
+/// A compiled view-rule condition.
+#[derive(Clone, Debug)]
+pub enum CompiledCond {
+    /// A tuple matching these fields must exist in the dataspace.
+    Tuple(Vec<CompiledField>),
+    /// A built-in predicate must hold.
+    Pred {
+        /// Predicate name.
+        name: String,
+        /// Argument expressions (over rule variables and constants).
+        args: Vec<Expr>,
+        /// Rule variable names, for argument evaluation.
+        var_names: Vec<String>,
+    },
+}
+
+/// A compiled import/export rule.
+#[derive(Clone, Debug)]
+pub struct CompiledViewRule {
+    /// Rule-local variable count.
+    pub n_vars: usize,
+    /// Rule-local variable names, indexed by `VarId`.
+    pub var_names: Vec<String>,
+    /// The covered tuple shape.
+    pub pattern: Vec<CompiledField>,
+    /// Conditions over the current dataspace.
+    pub conditions: Vec<CompiledCond>,
+}
+
+/// A compiled view.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledView {
+    import: Option<Vec<CompiledViewRule>>,
+    export: Option<Vec<CompiledViewRule>>,
+}
+
+/// Evaluation context over a process environment, optional query-variable
+/// bindings, and the built-in registry.
+pub(crate) struct EnvCtx<'a> {
+    /// Process constants (parameters and `let`s).
+    pub env: &'a HashMap<String, Value>,
+    /// Variable names and their bindings, if inside a query.
+    pub vars: Option<(&'a [String], &'a Bindings)>,
+    /// Host functions.
+    pub builtins: &'a Builtins,
+}
+
+impl EvalContext for EnvCtx<'_> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        if let Some((names, bindings)) = &self.vars {
+            if let Some(pos) = names.iter().position(|n| n == name) {
+                if let Some(v) = bindings.get(VarId(pos as u16)) {
+                    return Some(v.clone());
+                }
+                // Declared but unbound: fall through to the environment
+                // (a shadowing bug would surface as a failing test).
+            }
+        }
+        self.env.get(name).cloned()
+    }
+
+    fn call(&self, name: &str, args: &[Value]) -> Option<Value> {
+        self.builtins.call(name, args)
+    }
+}
+
+/// Resolves compiled fields into a runtime [`Pattern`], evaluating
+/// environment expressions.
+pub(crate) fn resolve_fields(
+    fields: &[CompiledField],
+    ctx: &EnvCtx<'_>,
+    what: &str,
+) -> Result<Pattern, RuntimeError> {
+    let mut out = Vec::with_capacity(fields.len());
+    for f in fields {
+        out.push(match f {
+            CompiledField::Any => Field::Any,
+            CompiledField::Var(v) => Field::Var(*v),
+            CompiledField::Env(e) => Field::Const(eval(e, ctx).map_err(|source| {
+                RuntimeError::Eval {
+                    source,
+                    context: what.to_owned(),
+                }
+            })?),
+        });
+    }
+    Ok(Pattern::new(out))
+}
+
+impl CompiledView {
+    /// Assembles a view from compiled rule sets (`None` = unrestricted).
+    pub fn new(
+        import: Option<Vec<CompiledViewRule>>,
+        export: Option<Vec<CompiledViewRule>>,
+    ) -> CompiledView {
+        CompiledView { import, export }
+    }
+
+    /// True if both directions are unrestricted.
+    pub fn is_full(&self) -> bool {
+        self.import.is_none() && self.export.is_none()
+    }
+
+    /// True if the import side is unrestricted.
+    pub fn imports_everything(&self) -> bool {
+        self.import.is_none()
+    }
+
+    /// Computes the window `W = Import(p) ∩ D` for a transaction.
+    ///
+    /// The window is *lazy*: rather than materialising the imported
+    /// instances (the paper's conceptual model), the returned source
+    /// filters candidates through the import test on demand. Over an
+    /// unchanging dataspace — which is exactly a transaction's evaluation
+    /// context — the two are observationally identical, and laziness
+    /// keeps "transaction types that might be expensive … comfortable
+    /// when the number of tuples they examine is small".
+    ///
+    /// # Errors
+    ///
+    /// Fails if an environment expression in a rule cannot evaluate.
+    pub fn window<'a>(
+        &'a self,
+        ds: &'a Dataspace,
+        env: &'a HashMap<String, Value>,
+        builtins: &'a Builtins,
+    ) -> Result<QuerySource<'a>, RuntimeError> {
+        if self.import.is_none() {
+            return Ok(QuerySource::Full(ds));
+        }
+        Ok(QuerySource::Lazy {
+            ds,
+            view: self,
+            env,
+            builtins,
+        })
+    }
+
+    /// Materialises the window `W = Import(p) ∩ D` as a [`Window`]
+    /// snapshot (used by tests and tooling; transactions use the lazy
+    /// [`CompiledView::window`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an environment expression in a rule cannot evaluate.
+    pub fn materialize_window(
+        &self,
+        ds: &Dataspace,
+        env: &HashMap<String, Value>,
+        builtins: &Builtins,
+    ) -> Result<Window, RuntimeError> {
+        let mut w = Window::new();
+        for id in self.import_ids(ds, env, builtins)? {
+            if let Some(t) = ds.tuple(id) {
+                w.insert(id, t.clone());
+            }
+        }
+        Ok(w)
+    }
+
+    /// The instance ids currently in the import set (empty-vec shortcut is
+    /// *not* taken for full views — call [`CompiledView::imports_everything`]
+    /// first; this method materialises).
+    pub fn import_ids(
+        &self,
+        ds: &Dataspace,
+        env: &HashMap<String, Value>,
+        builtins: &Builtins,
+    ) -> Result<Vec<TupleId>, RuntimeError> {
+        match &self.import {
+            None => Ok(ds.iter().map(|(id, _)| id).collect()),
+            Some(rules) => self.import_ids_rules(rules, ds, env, builtins),
+        }
+    }
+
+    fn import_ids_rules(
+        &self,
+        rules: &[CompiledViewRule],
+        ds: &Dataspace,
+        env: &HashMap<String, Value>,
+        builtins: &Builtins,
+    ) -> Result<Vec<TupleId>, RuntimeError> {
+        let ctx = EnvCtx {
+            env,
+            vars: None,
+            builtins,
+        };
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for rule in rules {
+            let resolved = resolve_fields(&rule.pattern, &ctx, "import rule pattern")?;
+            // Conditions-first: when the rule has tuple conditions, they
+            // usually bind the pattern's variables far more selectively
+            // than scanning every pattern candidate and re-checking the
+            // conditions per candidate (e.g. the Label rule's
+            // `<threshold, p2, t>` pins `p2` to a handful of neighbours).
+            let tuple_conds: Vec<Pattern> = rule
+                .conditions
+                .iter()
+                .filter_map(|c| match c {
+                    CompiledCond::Tuple(fields) => {
+                        resolve_fields(fields, &ctx, "view rule condition").ok()
+                    }
+                    CompiledCond::Pred { .. } => None,
+                })
+                .collect();
+            if !tuple_conds.is_empty() {
+                let atoms: Vec<QueryAtom> =
+                    tuple_conds.into_iter().map(QueryAtom::read).collect();
+                let preds: Vec<&CompiledCond> = rule
+                    .conditions
+                    .iter()
+                    .filter(|c| matches!(c, CompiledCond::Pred { .. }))
+                    .collect();
+                let n_positive = atoms.len();
+                let solver = Solver::new(ds, &atoms, rule.n_vars);
+                let solutions = solver.all_staged(
+                    None,
+                    &mut |depth, b| {
+                        depth < n_positive
+                            || preds.iter().all(|c| {
+                                let CompiledCond::Pred {
+                                    name,
+                                    args,
+                                    var_names,
+                                } = c
+                                else {
+                                    unreachable!("filtered to predicates")
+                                };
+                                let pctx = EnvCtx {
+                                    env,
+                                    vars: Some((var_names, b)),
+                                    builtins,
+                                };
+                                let mut vals = Vec::with_capacity(args.len());
+                                for a in args {
+                                    match eval(a, &pctx) {
+                                        Ok(v) => vals.push(v),
+                                        Err(_) => return false,
+                                    }
+                                }
+                                builtins.call(name, &vals) == Some(Value::Bool(true))
+                            })
+                    },
+                    sdl_dataspace::SolveLimits::default(),
+                );
+                for sol in solutions {
+                    let b = sol.to_bindings();
+                    let p = sdl_dataspace::solve::resolve_pattern(&resolved, &b);
+                    for id in ds.find_all(&p) {
+                        if seen.insert(id) {
+                            out.push(id);
+                        }
+                    }
+                }
+                continue;
+            }
+            for id in ds.candidate_ids(&resolved) {
+                if seen.contains(&id) {
+                    continue;
+                }
+                let tuple = ds.tuple(id).expect("candidate is live");
+                if rule_admits(rule, &resolved, tuple, ds, env, builtins) {
+                    seen.insert(id);
+                    out.push(id);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// True if `tuple` is in the import set.
+    pub fn imports(
+        &self,
+        tuple: &Tuple,
+        ds: &Dataspace,
+        env: &HashMap<String, Value>,
+        builtins: &Builtins,
+    ) -> bool {
+        match &self.import {
+            None => true,
+            Some(rules) => self.rules_admit(rules, tuple, ds, env, builtins),
+        }
+    }
+
+    /// True if `tuple` is in the export set (assertions outside it are
+    /// silently dropped per the paper's update formula).
+    pub fn exports(
+        &self,
+        tuple: &Tuple,
+        ds: &Dataspace,
+        env: &HashMap<String, Value>,
+        builtins: &Builtins,
+    ) -> bool {
+        match &self.export {
+            None => true,
+            Some(rules) => self.rules_admit(rules, tuple, ds, env, builtins),
+        }
+    }
+
+    fn rules_admit(
+        &self,
+        rules: &[CompiledViewRule],
+        tuple: &Tuple,
+        ds: &Dataspace,
+        env: &HashMap<String, Value>,
+        builtins: &Builtins,
+    ) -> bool {
+        let ctx = EnvCtx {
+            env,
+            vars: None,
+            builtins,
+        };
+        rules.iter().any(|rule| {
+            match resolve_fields(&rule.pattern, &ctx, "view rule pattern") {
+                Ok(resolved) => rule_admits(rule, &resolved, tuple, ds, env, builtins),
+                Err(_) => false,
+            }
+        })
+    }
+}
+
+/// Checks one rule against one tuple: the tuple must match the rule's
+/// pattern, and the rule's conditions must then hold in the dataspace
+/// under the bindings the match produced.
+fn rule_admits(
+    rule: &CompiledViewRule,
+    resolved_pattern: &Pattern,
+    tuple: &Tuple,
+    ds: &Dataspace,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+) -> bool {
+    let mut bindings = Bindings::new(rule.n_vars);
+    if !resolved_pattern.matches(tuple, &mut bindings) {
+        return false;
+    }
+    if rule.conditions.is_empty() {
+        return true;
+    }
+    // Fast path: when the pattern match bound every variable a condition
+    // mentions, each condition is a ground membership test / direct
+    // predicate call — no solver needed. This is the hot case: membership
+    // checks against tuples in hand (lazy windows, export filtering).
+    let eval_pred =
+        |name: &str, args: &[Expr], var_names: &[String], b: &Bindings| -> Option<bool> {
+            let pctx = EnvCtx {
+                env,
+                vars: Some((var_names, b)),
+                builtins,
+            };
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, &pctx).ok()?);
+            }
+            Some(builtins.call(name, &vals)? == Value::Bool(true))
+        };
+    let ctx = EnvCtx {
+        env,
+        vars: None,
+        builtins,
+    };
+    let mut all_fast = true;
+    for cond in &rule.conditions {
+        let fast = match cond {
+            CompiledCond::Tuple(fields) => {
+                match resolve_fields(fields, &ctx, "view rule condition") {
+                    Ok(p) => {
+                        let resolved = sdl_dataspace::solve::resolve_pattern(&p, &bindings);
+                        if resolved.vars().next().is_none() {
+                            Some(ds.contains_match(&resolved))
+                        } else {
+                            None // free variable: needs the solver
+                        }
+                    }
+                    Err(_) => return false,
+                }
+            }
+            CompiledCond::Pred {
+                name,
+                args,
+                var_names,
+            } => match eval_pred(name, args, var_names, &bindings) {
+                Some(ok) => Some(ok),
+                None => Some(false),
+            },
+        };
+        match fast {
+            Some(false) => return false,
+            Some(true) => {}
+            None => {
+                all_fast = false;
+                break;
+            }
+        }
+    }
+    if all_fast {
+        return true;
+    }
+    // General path: tuple conditions become a small existential query
+    // seeded with the pattern's bindings; predicate conditions run as the
+    // final test.
+    let mut atoms = Vec::new();
+    for cond in &rule.conditions {
+        if let CompiledCond::Tuple(fields) = cond {
+            match resolve_fields(fields, &ctx, "view rule condition") {
+                Ok(p) => atoms.push(QueryAtom::read(p)),
+                Err(_) => return false,
+            }
+        }
+    }
+    let preds: Vec<&CompiledCond> = rule
+        .conditions
+        .iter()
+        .filter(|c| matches!(c, CompiledCond::Pred { .. }))
+        .collect();
+    let n_positive = atoms.len();
+    let solver = Solver::new(ds, &atoms, rule.n_vars);
+    solver
+        .first_staged(Some(&bindings), &mut |depth, b| {
+            if depth < n_positive {
+                return true;
+            }
+            preds.iter().all(|c| {
+                let CompiledCond::Pred {
+                    name,
+                    args,
+                    var_names,
+                } = c
+                else {
+                    unreachable!("filtered to predicates")
+                };
+                let pctx = EnvCtx {
+                    env,
+                    vars: Some((var_names, b)),
+                    builtins,
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match eval(a, &pctx) {
+                        Ok(v) => vals.push(v),
+                        Err(_) => return false,
+                    }
+                }
+                builtins.call(name, &vals) == Some(Value::Bool(true))
+            })
+        })
+        .is_some()
+}
+
+/// What a transaction queries: the whole dataspace (full view), a lazily
+/// filtered view of it, or a materialised window snapshot.
+#[derive(Debug)]
+pub enum QuerySource<'a> {
+    /// Unrestricted view — queries run straight on the store.
+    Full(&'a Dataspace),
+    /// Restricted view — candidates are filtered through the import test
+    /// on demand.
+    Lazy {
+        /// The backing store.
+        ds: &'a Dataspace,
+        /// The process view.
+        view: &'a CompiledView,
+        /// The process environment.
+        env: &'a HashMap<String, Value>,
+        /// Host functions.
+        builtins: &'a Builtins,
+    },
+    /// A materialised window snapshot.
+    Restricted(Window),
+}
+
+impl QuerySource<'_> {
+    fn admits(&self, tuple: &Tuple) -> bool {
+        match self {
+            QuerySource::Full(_) | QuerySource::Restricted(_) => true,
+            QuerySource::Lazy {
+                ds,
+                view,
+                env,
+                builtins,
+            } => view.imports(tuple, ds, env, builtins),
+        }
+    }
+}
+
+impl TupleSource for QuerySource<'_> {
+    fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        match self {
+            QuerySource::Full(d) => d.candidate_ids(pattern),
+            QuerySource::Lazy { ds, .. } => ds
+                .candidate_ids(pattern)
+                .into_iter()
+                .filter(|id| {
+                    ds.tuple(*id).is_some_and(|t| self.admits(t))
+                })
+                .collect(),
+            QuerySource::Restricted(w) => w.candidate_ids(pattern),
+        }
+    }
+
+    fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        match self {
+            QuerySource::Full(d) => d.tuple(id),
+            QuerySource::Lazy { ds, .. } => {
+                let t = ds.tuple(id)?;
+                self.admits(t).then_some(t)
+            }
+            QuerySource::Restricted(w) => w.tuple(id),
+        }
+    }
+
+    fn tuple_count(&self) -> usize {
+        match self {
+            QuerySource::Full(d) => d.tuple_count(),
+            QuerySource::Lazy { ds, .. } => ds
+                .iter()
+                .filter(|(_, t)| self.admits(t))
+                .count(),
+            QuerySource::Restricted(w) => w.tuple_count(),
+        }
+    }
+
+    fn contains_match(&self, pattern: &Pattern) -> bool {
+        match self {
+            QuerySource::Full(d) => d.contains_match(pattern),
+            QuerySource::Lazy { ds, .. } => {
+                let n_vars = pattern.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+                let mut b = sdl_tuple::Bindings::new(n_vars);
+                ds.candidate_ids(pattern).into_iter().any(|id| {
+                    let t = ds.tuple(id).expect("candidate live");
+                    let m = b.mark();
+                    let ok = pattern.matches(t, &mut b);
+                    b.undo_to(m);
+                    ok && self.admits(t)
+                })
+            }
+            QuerySource::Restricted(w) => w.contains_match(pattern),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{tuple, ProcId};
+
+    fn env(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    /// Compiles the import rules of a one-process program.
+    fn import_rules(src: &str) -> CompiledView {
+        let prog = sdl_lang::parse_program(src).unwrap();
+        let compiled = crate::program::CompiledProgram::compile(&prog).unwrap();
+        let def = compiled.defs().next().unwrap();
+        def.view.clone()
+    }
+
+    #[test]
+    fn full_view_imports_everything() {
+        let v = CompiledView::default();
+        assert!(v.is_full());
+        let ds = {
+            let mut d = Dataspace::new();
+            d.assert_tuple(ProcId::ENV, tuple![1]);
+            d
+        };
+        assert!(v.imports(&tuple![1], &ds, &env(&[]), &Builtins::new()));
+        assert!(v.exports(&tuple![99], &ds, &env(&[]), &Builtins::new()));
+        let e = env(&[]);
+        let b = Builtins::new();
+        match v.window(&ds, &e, &b).unwrap() {
+            QuerySource::Full(d) => assert_eq!(d.tuple_count(), 1),
+            other => panic!("expected full source, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_pattern_import() {
+        let v = import_rules(
+            "process P(this) { import { <this, *>; } -> skip; }",
+        );
+        let mut ds = Dataspace::new();
+        let a = ds.assert_tuple(ProcId::ENV, tuple![1, 10]);
+        ds.assert_tuple(ProcId::ENV, tuple![2, 20]);
+        let e = env(&[("this", Value::Int(1))]);
+        let b = Builtins::new();
+        assert!(v.imports(&tuple![1, 10], &ds, &e, &b));
+        assert!(!v.imports(&tuple![2, 20], &ds, &e, &b));
+        let ids = v.import_ids(&ds, &e, &b).unwrap();
+        assert_eq!(ids, vec![a]);
+        let w = v.materialize_window(&ds, &e, &b).unwrap();
+        assert_eq!(w.len(), 1);
+        let lazy = v.window(&ds, &e, &b).unwrap();
+        assert!(matches!(lazy, QuerySource::Lazy { .. }));
+        assert_eq!(lazy.tuple_count(), 1);
+    }
+
+    #[test]
+    fn conditional_import_depends_on_dataspace() {
+        // Import <label, p, l> only for p that is a grid neighbour of r
+        // with the same threshold t — the paper's Label view.
+        let v = import_rules(
+            r#"process Label(r, t) {
+                import {
+                    forall p, l : neighbor(p, r), <threshold, p, t> => <label, p, l>;
+                }
+                -> skip;
+            }"#,
+        );
+        let mut b = Builtins::new();
+        b.register_grid_neighbor(4, 4);
+        let e = env(&[("r", Value::Int(5)), ("t", Value::Int(1))]);
+
+        let mut ds = Dataspace::new();
+        // Pixel 6 is a neighbour of 5 with matching threshold.
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("threshold"), 6, 1]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("label"), 6, 6]);
+        // Pixel 9 is a neighbour but with a different threshold.
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("threshold"), 9, 2]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("label"), 9, 9]);
+        // Pixel 10 has the right threshold but is not a neighbour.
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("threshold"), 10, 1]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("label"), 10, 10]);
+
+        assert!(v.imports(&tuple![Value::atom("label"), 6, 6], &ds, &e, &b));
+        assert!(
+            !v.imports(&tuple![Value::atom("label"), 9, 9], &ds, &e, &b),
+            "wrong threshold"
+        );
+        assert!(
+            !v.imports(&tuple![Value::atom("label"), 10, 10], &ds, &e, &b),
+            "not a neighbour"
+        );
+
+        // The view is dataspace-dependent: retract pixel 6's threshold
+        // and its label drops out of the import set.
+        let tid = ds.find_all(&sdl_tuple::pattern![Value::atom("threshold"), 6, 1])[0];
+        ds.retract(tid);
+        assert!(!v.imports(&tuple![Value::atom("label"), 6, 6], &ds, &e, &b));
+    }
+
+    #[test]
+    fn export_filtering() {
+        let v = import_rules(
+            "process P() { export { <out, *>; } -> skip; }",
+        );
+        let ds = Dataspace::new();
+        let e = env(&[]);
+        let b = Builtins::new();
+        assert!(v.exports(&tuple![Value::atom("out"), 1], &ds, &e, &b));
+        assert!(!v.exports(&tuple![Value::atom("other"), 1], &ds, &e, &b));
+        // Import side unrestricted.
+        assert!(v.imports(&tuple![Value::atom("anything")], &ds, &e, &b));
+    }
+
+    #[test]
+    fn window_answers_queries_like_the_paper_says() {
+        // "Transactions act upon the window as if it represented the
+        // whole dataspace."
+        let v = import_rules("process P() { import { <a, *>; } -> skip; }");
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("a"), 1]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("b"), 2]);
+        let e = env(&[]);
+        let b = Builtins::new();
+        let w = v.window(&ds, &e, &b).unwrap();
+        assert_eq!(w.tuple_count(), 1);
+        assert!(w.contains_match(&sdl_tuple::pattern![Value::atom("a"), any]));
+        assert!(!w.contains_match(&sdl_tuple::pattern![Value::atom("b"), any]));
+    }
+
+    #[test]
+    fn multiple_rules_union() {
+        let v = import_rules(
+            "process P(x, y) { import { <x, *>; <y, *>; } -> skip; }",
+        );
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![1, 10]);
+        ds.assert_tuple(ProcId::ENV, tuple![2, 20]);
+        ds.assert_tuple(ProcId::ENV, tuple![3, 30]);
+        let e = env(&[("x", Value::Int(1)), ("y", Value::Int(2))]);
+        let ids = v.import_ids(&ds, &e, &Builtins::new()).unwrap();
+        assert_eq!(ids.len(), 2);
+    }
+}

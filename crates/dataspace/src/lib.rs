@@ -1,0 +1,45 @@
+//! # sdl-dataspace — the content-addressable tuple store
+//!
+//! This crate implements the *dataspace* of SDL (Roman, Cunningham &
+//! Ehlers, ICDCS 1988): "a finite but large multiset of tuples", examined
+//! and modified by atomic transactions. It provides:
+//!
+//! * [`Dataspace`] — the multiset store with tuple-instance identity,
+//!   ownership, secondary indexes (functor/arity), and a version counter;
+//! * [`Window`] — a materialised subset of the dataspace (the `W =
+//!   Import(p) ∩ D` of the paper's view semantics) that answers the same
+//!   queries;
+//! * [`solve`] — the conjunctive query solver used by
+//!   transactions: existential/universal quantification, per-atom
+//!   retraction tags, negation, and an arbitrary test predicate over
+//!   bindings;
+//! * [`WatchKey`] — conservative change-notification keys used to wake
+//!   blocked *delayed* and *consensus* transactions.
+//!
+//! ## Example
+//!
+//! ```
+//! use sdl_dataspace::{Dataspace, TupleSource};
+//! use sdl_tuple::{pattern, tuple, ProcId, Value};
+//!
+//! let mut d = Dataspace::new();
+//! d.assert_tuple(ProcId::ENV, tuple![Value::atom("year"), 87]);
+//! d.assert_tuple(ProcId::ENV, tuple![Value::atom("year"), 90]);
+//! assert_eq!(d.len(), 2);
+//! assert!(d.contains_match(&pattern![Value::atom("year"), any]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod solve;
+mod store;
+mod watch;
+mod window;
+
+pub use solve::{AtomMode, QueryAtom, Solution, SolveLimits, Solver};
+pub use store::{Dataspace, IndexMode, TupleSource};
+pub use watch::{WatchKey, WatchSet};
+pub use window::Window;
+
+#[cfg(test)]
+mod proptests;

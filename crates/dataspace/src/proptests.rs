@@ -1,0 +1,146 @@
+//! Property-based tests for store invariants and solver correctness.
+
+use proptest::prelude::*;
+
+use sdl_tuple::{Pattern, ProcId, Tuple, TupleId, Value};
+
+use crate::solve::{QueryAtom, SolveLimits, Solver};
+use crate::store::{Dataspace, IndexMode, TupleSource};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Assert(Tuple),
+    RetractNth(usize),
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    let field = prop_oneof![
+        (0i64..5).prop_map(Value::Int),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Value::atom),
+    ];
+    proptest::collection::vec(field, 0..4).prop_map(Tuple::new)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            arb_tuple().prop_map(Op::Assert),
+            (0usize..64).prop_map(Op::RetractNth),
+        ],
+        0..64,
+    )
+}
+
+/// Reference model: a plain list of (id, tuple).
+fn run_ops(d: &mut Dataspace, ops: &[Op]) -> Vec<(TupleId, Tuple)> {
+    let mut model: Vec<(TupleId, Tuple)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Assert(t) => {
+                let id = d.assert_tuple(ProcId(1), t.clone());
+                model.push((id, t.clone()));
+            }
+            Op::RetractNth(n) => {
+                if !model.is_empty() {
+                    let (id, t) = model.remove(n % model.len());
+                    assert_eq!(d.retract(id), Some(t));
+                }
+            }
+        }
+    }
+    model
+}
+
+proptest! {
+    /// The store agrees with a simple list model under arbitrary
+    /// assert/retract interleavings: same size, same membership, same
+    /// value counts.
+    #[test]
+    fn store_matches_model(ops in arb_ops()) {
+        let mut d = Dataspace::new();
+        let model = run_ops(&mut d, &ops);
+        prop_assert_eq!(d.len(), model.len());
+        for (id, t) in &model {
+            prop_assert!(d.contains_id(*id));
+            prop_assert_eq!(d.tuple(*id), Some(t));
+        }
+        // Value counts agree.
+        for (_, t) in &model {
+            let expected = model.iter().filter(|(_, u)| u == t).count();
+            prop_assert_eq!(d.count_value(t), expected);
+        }
+    }
+
+    /// Indexed and unindexed stores answer every query identically.
+    #[test]
+    fn index_is_transparent(ops in arb_ops(), query in arb_tuple()) {
+        let mut indexed = Dataspace::new();
+        let mut flat = Dataspace::with_index_mode(IndexMode::None);
+        run_ops(&mut indexed, &ops);
+        run_ops(&mut flat, &ops);
+        // Ground query on the tuple value.
+        let p = Pattern::new(
+            query.iter().cloned().map(sdl_tuple::Field::Const).collect(),
+        );
+        prop_assert_eq!(indexed.count_matches(&p), flat.count_matches(&p));
+        prop_assert_eq!(indexed.contains_match(&p), flat.contains_match(&p));
+        // Wildcard query per arity.
+        for arity in 0..4usize {
+            let w = Pattern::new(vec![sdl_tuple::Field::Any; arity]);
+            prop_assert_eq!(indexed.count_matches(&w), flat.count_matches(&w));
+        }
+    }
+
+    /// The solver's solution count for a single-atom query equals the
+    /// number of matching instances, and every reported instance matches.
+    #[test]
+    fn solver_single_atom_complete(ops in arb_ops(), arity in 0usize..4) {
+        let mut d = Dataspace::new();
+        run_ops(&mut d, &ops);
+        let p = Pattern::new(
+            (0..arity).map(|i| sdl_tuple::Field::Var(sdl_tuple::VarId(i as u16))).collect(),
+        );
+        let atoms = vec![QueryAtom::read(p.clone())];
+        let solver = Solver::new(&d, &atoms, arity);
+        let sols = solver.all(&mut |_| true, SolveLimits::default());
+        prop_assert_eq!(sols.len(), d.count_matches(&p));
+        for s in &sols {
+            prop_assert_eq!(s.reads.len(), 1);
+            prop_assert!(d.contains_id(s.reads[0]));
+        }
+    }
+
+    /// Two-retract queries never report the same instance twice, and the
+    /// number of ordered pairs equals n*(n-1) over same-arity instances.
+    #[test]
+    fn retract_pairs_are_distinct(n in 0usize..6) {
+        let mut d = Dataspace::new();
+        for i in 0..n {
+            d.assert_tuple(ProcId(1), Tuple::new(vec![Value::Int(i as i64)]));
+        }
+        let atoms = vec![
+            QueryAtom::retract(Pattern::new(vec![sdl_tuple::Field::Var(sdl_tuple::VarId(0))])),
+            QueryAtom::retract(Pattern::new(vec![sdl_tuple::Field::Var(sdl_tuple::VarId(1))])),
+        ];
+        let solver = Solver::new(&d, &atoms, 2);
+        let sols = solver.all(&mut |_| true, SolveLimits::default());
+        prop_assert_eq!(sols.len(), n.saturating_mul(n.saturating_sub(1)));
+        for s in &sols {
+            prop_assert_ne!(s.retracts[0], s.retracts[1]);
+        }
+    }
+
+    /// Negation is the complement of membership.
+    #[test]
+    fn negation_complements_membership(ops in arb_ops(), probe in arb_tuple()) {
+        let mut d = Dataspace::new();
+        run_ops(&mut d, &ops);
+        let p = Pattern::new(
+            probe.iter().cloned().map(sdl_tuple::Field::Const).collect(),
+        );
+        let atoms = vec![QueryAtom::neg(p.clone())];
+        let solver = Solver::new(&d, &atoms, 0);
+        let neg_holds = solver.first(&mut |_| true).is_some();
+        prop_assert_eq!(neg_holds, !d.contains_match(&p));
+    }
+}

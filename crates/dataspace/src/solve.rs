@@ -1,0 +1,573 @@
+//! The conjunctive query solver.
+//!
+//! SDL transactions open with a query: a quantifier, a *binding query*
+//! (tuple patterns, some tagged for retraction, some negated) and a *test
+//! query* (a predicate over the bound variables). The solver enumerates
+//! solutions of the binding query over a [`TupleSource`] — the process
+//! window — and filters them through negations and the test predicate.
+//!
+//! The test predicate is supplied as a callback so this crate stays
+//! independent of the expression language: `sdl-lang` compiles test
+//! queries down to a `FnMut(&Bindings) -> bool`.
+//!
+//! ## Semantics
+//!
+//! * Positive atoms are matched left to right, depth-first, candidates in
+//!   deterministic instance-id order.
+//! * Two atoms tagged for **retraction** never match the same instance
+//!   (retracting one instance twice is meaningless); a *read* atom may
+//!   share an instance with any other atom — all atoms see the
+//!   pre-transaction state.
+//! * A **negated** atom succeeds iff no visible instance matches it under
+//!   the current bindings; variables appearing only under negation are
+//!   existential within the check and remain unbound.
+//! * `exists` takes the first solution; `forall` enumerates all solutions
+//!   (see [`Solver::enumerate`]) and the caller applies the paper's rule —
+//!   the transaction succeeds iff every solution satisfies the test.
+
+use sdl_tuple::{Bindings, Field, Pattern, TupleId, Value};
+
+use crate::store::TupleSource;
+
+/// How an atom participates in a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomMode {
+    /// Match and read (plain membership).
+    Read,
+    /// Match, read, and tag the matched instance for retraction
+    /// (the paper's `↑`, our concrete syntax `!`).
+    Retract,
+    /// Require that *no* visible tuple matches (the paper's `¬`).
+    Neg,
+}
+
+/// One atom of a conjunctive query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// The tuple pattern.
+    pub pattern: Pattern,
+    /// Read, retract, or negated.
+    pub mode: AtomMode,
+}
+
+impl QueryAtom {
+    /// A plain read atom.
+    pub fn read(pattern: Pattern) -> QueryAtom {
+        QueryAtom {
+            pattern,
+            mode: AtomMode::Read,
+        }
+    }
+
+    /// A retraction-tagged atom.
+    pub fn retract(pattern: Pattern) -> QueryAtom {
+        QueryAtom {
+            pattern,
+            mode: AtomMode::Retract,
+        }
+    }
+
+    /// A negated atom.
+    pub fn neg(pattern: Pattern) -> QueryAtom {
+        QueryAtom {
+            pattern,
+            mode: AtomMode::Neg,
+        }
+    }
+}
+
+/// One solution of a query: bindings plus the evidence used to reach it.
+///
+/// The read/retract instance lists and the resolved negation patterns form
+/// the transaction's *read set*, which the parallel-round scheduler and the
+/// optimistic executor use for conflict detection and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    /// Final variable bindings (indexed by `VarId`).
+    pub bindings: Vec<Option<Value>>,
+    /// Instances matched by read atoms.
+    pub reads: Vec<TupleId>,
+    /// Instances matched by retract-tagged atoms (pairwise distinct).
+    pub retracts: Vec<TupleId>,
+    /// Negated patterns, resolved under the final bindings, that were
+    /// verified to have no match.
+    pub neg_checks: Vec<Pattern>,
+}
+
+impl Solution {
+    /// Restores this solution's bindings into a fresh environment.
+    pub fn to_bindings(&self) -> Bindings {
+        let mut b = Bindings::new(self.bindings.len());
+        b.restore(&self.bindings);
+        b
+    }
+}
+
+/// Caps on query evaluation, protecting `forall`/replication enumeration
+/// from combinatorial blow-up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolveLimits {
+    /// Maximum number of solutions to enumerate.
+    pub max_solutions: usize,
+}
+
+impl Default for SolveLimits {
+    fn default() -> SolveLimits {
+        SolveLimits {
+            max_solutions: 1_000_000,
+        }
+    }
+}
+
+/// Resolves `pattern` under `bindings`: bound variables become constants.
+pub fn resolve_pattern(pattern: &Pattern, bindings: &Bindings) -> Pattern {
+    Pattern::new(
+        pattern
+            .fields()
+            .iter()
+            .map(|f| match f {
+                Field::Var(v) => match bindings.get(*v) {
+                    Some(val) => Field::Const(val.clone()),
+                    None => Field::Var(*v),
+                },
+                other => other.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// A query solver over a [`TupleSource`].
+///
+/// # Examples
+///
+/// ```
+/// use sdl_dataspace::{Dataspace, QueryAtom, Solver};
+/// use sdl_tuple::{pattern, tuple, ProcId, Value, VarId};
+///
+/// let mut d = Dataspace::new();
+/// d.assert_tuple(ProcId::ENV, tuple![Value::atom("year"), 90]);
+///
+/// // ∃α: <year, α> : α > 87
+/// let atoms = vec![QueryAtom::retract(pattern![Value::atom("year"), var 0])];
+/// let solver = Solver::new(&d, &atoms, 1);
+/// let sol = solver
+///     .first(&mut |b| b.get(VarId(0)).and_then(|v| v.as_int()).is_some_and(|a| a > 87))
+///     .expect("year 90 satisfies the query");
+/// assert_eq!(sol.bindings[0], Some(Value::Int(90)));
+/// assert_eq!(sol.retracts.len(), 1);
+/// ```
+pub struct Solver<'a, S: TupleSource + ?Sized> {
+    source: &'a S,
+    atoms: &'a [QueryAtom],
+    n_vars: usize,
+}
+
+impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
+    /// Creates a solver for `atoms` with `n_vars` quantified variables.
+    pub fn new(source: &'a S, atoms: &'a [QueryAtom], n_vars: usize) -> Solver<'a, S> {
+        Solver {
+            source,
+            atoms,
+            n_vars,
+        }
+    }
+
+    /// First solution satisfying negations and `test` (existential
+    /// quantification), or `None`.
+    pub fn first(&self, test: &mut dyn FnMut(&Bindings) -> bool) -> Option<Solution> {
+        let positives = self.positive_count();
+        self.first_staged(None, &mut |depth, b| depth < positives || test(b))
+    }
+
+    /// All solutions satisfying negations and `test`, up to
+    /// `limits.max_solutions`.
+    pub fn all(
+        &self,
+        test: &mut dyn FnMut(&Bindings) -> bool,
+        limits: SolveLimits,
+    ) -> Vec<Solution> {
+        let positives = self.positive_count();
+        self.all_staged(None, &mut |depth, b| depth < positives || test(b), limits)
+    }
+
+    /// All solutions of the *binding query* (positive atoms + negations),
+    /// ignoring the test — used for `forall`, where the paper requires
+    /// every solution of the binding query to satisfy the test.
+    pub fn enumerate(&self, limits: SolveLimits) -> Vec<Solution> {
+        self.all(&mut |_| true, limits)
+    }
+
+    /// Number of positive (read/retract) atoms — the maximum `depth`
+    /// passed to a staged test.
+    pub fn positive_count(&self) -> usize {
+        self.atoms.iter().filter(|a| a.mode != AtomMode::Neg).count()
+    }
+
+    /// Like [`Solver::first`], but with a *staged* test invoked after
+    /// every positive atom match with the number of atoms matched so far
+    /// (`1..=positive_count()`), letting the caller prune the join as soon
+    /// as a test conjunct's variables are bound. `init` seeds variable
+    /// bindings (used by view-rule condition checks).
+    pub fn first_staged(
+        &self,
+        init: Option<&Bindings>,
+        staged: &mut dyn FnMut(usize, &Bindings) -> bool,
+    ) -> Option<Solution> {
+        let mut found = None;
+        self.search(init, staged, &mut |sol| {
+            found = Some(sol);
+            false // stop
+        });
+        found
+    }
+
+    /// Staged variant of [`Solver::all`].
+    pub fn all_staged(
+        &self,
+        init: Option<&Bindings>,
+        staged: &mut dyn FnMut(usize, &Bindings) -> bool,
+        limits: SolveLimits,
+    ) -> Vec<Solution> {
+        let mut out = Vec::new();
+        self.search(init, staged, &mut |sol| {
+            out.push(sol);
+            out.len() < limits.max_solutions
+        });
+        out
+    }
+
+    /// Depth-first search over positive atoms; `emit` returns `false` to
+    /// stop the search.
+    fn search(
+        &self,
+        init: Option<&Bindings>,
+        staged: &mut dyn FnMut(usize, &Bindings) -> bool,
+        emit: &mut dyn FnMut(Solution) -> bool,
+    ) {
+        let positives: Vec<&QueryAtom> = self
+            .atoms
+            .iter()
+            .filter(|a| a.mode != AtomMode::Neg)
+            .collect();
+        let negatives: Vec<&QueryAtom> = self
+            .atoms
+            .iter()
+            .filter(|a| a.mode == AtomMode::Neg)
+            .collect();
+        let mut bindings = match init {
+            Some(b) => {
+                let mut seeded = Bindings::new(self.n_vars.max(b.len()));
+                seeded.restore(&b.to_vec());
+                seeded
+            }
+            None => Bindings::new(self.n_vars),
+        };
+        let mut reads: Vec<TupleId> = Vec::new();
+        let mut retracts: Vec<TupleId> = Vec::new();
+        self.descend(
+            &positives,
+            &negatives,
+            0,
+            &mut bindings,
+            &mut reads,
+            &mut retracts,
+            staged,
+            emit,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        positives: &[&QueryAtom],
+        negatives: &[&QueryAtom],
+        depth: usize,
+        bindings: &mut Bindings,
+        reads: &mut Vec<TupleId>,
+        retracts: &mut Vec<TupleId>,
+        staged: &mut dyn FnMut(usize, &Bindings) -> bool,
+        emit: &mut dyn FnMut(Solution) -> bool,
+    ) -> bool {
+        if depth == positives.len() {
+            // All positive atoms matched: check negations, then emit.
+            let mut neg_checks = Vec::with_capacity(negatives.len());
+            for neg in negatives {
+                let resolved = resolve_pattern(&neg.pattern, bindings);
+                if self.source.contains_match(&resolved) {
+                    return true; // this branch fails; keep searching
+                }
+                neg_checks.push(resolved);
+            }
+            // With no positive atoms the staged test has not run yet.
+            if positives.is_empty() && !staged(0, bindings) {
+                return true;
+            }
+            return emit(Solution {
+                bindings: bindings.to_vec(),
+                reads: reads.clone(),
+                retracts: retracts.clone(),
+                neg_checks,
+            });
+        }
+
+        let atom = positives[depth];
+        let resolved = resolve_pattern(&atom.pattern, bindings);
+        for id in self.source.candidate_ids(&resolved) {
+            if atom.mode == AtomMode::Retract && retracts.contains(&id) {
+                continue; // retract atoms take pairwise-distinct instances
+            }
+            let tuple = match self.source.tuple(id) {
+                Some(t) => t,
+                None => continue,
+            };
+            let mark = bindings.mark();
+            if !atom.pattern.matches(tuple, bindings) {
+                continue;
+            }
+            if !staged(depth + 1, bindings) {
+                bindings.undo_to(mark);
+                continue;
+            }
+            match atom.mode {
+                AtomMode::Read => reads.push(id),
+                AtomMode::Retract => retracts.push(id),
+                AtomMode::Neg => unreachable!("negatives filtered out"),
+            }
+            let keep_going = self.descend(
+                positives, negatives, depth + 1, bindings, reads, retracts, staged, emit,
+            );
+            match atom.mode {
+                AtomMode::Read => {
+                    reads.pop();
+                }
+                AtomMode::Retract => {
+                    retracts.pop();
+                }
+                AtomMode::Neg => unreachable!(),
+            }
+            bindings.undo_to(mark);
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Dataspace;
+    use sdl_tuple::{pattern, tuple, ProcId, VarId};
+
+    fn a(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn setup_years() -> Dataspace {
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId::ENV, tuple![a("year"), 85]);
+        d.assert_tuple(ProcId::ENV, tuple![a("year"), 90]);
+        d.assert_tuple(ProcId::ENV, tuple![a("year"), 95]);
+        d
+    }
+
+    #[test]
+    fn exists_with_test() {
+        let d = setup_years();
+        // ∃α: <year, α>↑ : α > 87
+        let atoms = vec![QueryAtom::retract(pattern![a("year"), var 0])];
+        let solver = Solver::new(&d, &atoms, 1);
+        let sol = solver
+            .first(&mut |b| b.get(VarId(0)).unwrap().as_int().unwrap() > 87)
+            .unwrap();
+        let bound = sol.bindings[0].as_ref().unwrap().as_int().unwrap();
+        assert!(bound > 87);
+        assert_eq!(sol.retracts.len(), 1);
+        assert!(sol.reads.is_empty());
+    }
+
+    #[test]
+    fn exists_failure() {
+        let d = setup_years();
+        let atoms = vec![QueryAtom::read(pattern![a("year"), var 0])];
+        let solver = Solver::new(&d, &atoms, 1);
+        assert!(solver
+            .first(&mut |b| b.get(VarId(0)).unwrap().as_int().unwrap() > 100)
+            .is_none());
+    }
+
+    #[test]
+    fn all_solutions() {
+        let d = setup_years();
+        let atoms = vec![QueryAtom::read(pattern![a("year"), var 0])];
+        let solver = Solver::new(&d, &atoms, 1);
+        let sols = solver.all(&mut |_| true, SolveLimits::default());
+        assert_eq!(sols.len(), 3);
+        // Deterministic order: instance id order = assertion order.
+        assert_eq!(sols[0].bindings[0], Some(Value::Int(85)));
+        assert_eq!(sols[2].bindings[0], Some(Value::Int(95)));
+    }
+
+    #[test]
+    fn max_solutions_cap() {
+        let d = setup_years();
+        let atoms = vec![QueryAtom::read(pattern![a("year"), var 0])];
+        let solver = Solver::new(&d, &atoms, 1);
+        let sols = solver.all(&mut |_| true, SolveLimits { max_solutions: 2 });
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn join_across_atoms() {
+        // Sum3 shape: ∃ν,α,μ,β: <ν,α>↑, <μ,β>↑ : ν ≠ μ
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId::ENV, tuple![1, 10]);
+        d.assert_tuple(ProcId::ENV, tuple![2, 20]);
+        let atoms = vec![
+            QueryAtom::retract(pattern![var 0, var 1]),
+            QueryAtom::retract(pattern![var 2, var 3]),
+        ];
+        let solver = Solver::new(&d, &atoms, 4);
+        let sol = solver
+            .first(&mut |b| b.get(VarId(0)) != b.get(VarId(2)))
+            .unwrap();
+        assert_eq!(sol.retracts.len(), 2);
+        assert_ne!(sol.retracts[0], sol.retracts[1]);
+    }
+
+    #[test]
+    fn retract_atoms_take_distinct_instances() {
+        // Only one tuple: <α>↑, <β>↑ has no solution even though both
+        // patterns individually match the single instance.
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId::ENV, tuple![5]);
+        let atoms = vec![
+            QueryAtom::retract(pattern![var 0]),
+            QueryAtom::retract(pattern![var 1]),
+        ];
+        let solver = Solver::new(&d, &atoms, 2);
+        assert!(solver.first(&mut |_| true).is_none());
+    }
+
+    #[test]
+    fn read_atoms_may_share_an_instance() {
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId::ENV, tuple![5]);
+        let atoms = vec![
+            QueryAtom::read(pattern![var 0]),
+            QueryAtom::read(pattern![var 1]),
+        ];
+        let solver = Solver::new(&d, &atoms, 2);
+        let sol = solver.first(&mut |_| true).unwrap();
+        assert_eq!(sol.reads.len(), 2);
+        assert_eq!(sol.reads[0], sol.reads[1]);
+    }
+
+    #[test]
+    fn read_and_retract_may_share() {
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId::ENV, tuple![5]);
+        let atoms = vec![
+            QueryAtom::read(pattern![var 0]),
+            QueryAtom::retract(pattern![var 1]),
+        ];
+        let solver = Solver::new(&d, &atoms, 2);
+        assert!(solver.first(&mut |_| true).is_some());
+    }
+
+    #[test]
+    fn negation_blocks_solution() {
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId::ENV, tuple![a("index"), 1]);
+        // ¬<index, *> fails while an index tuple exists.
+        let atoms = vec![QueryAtom::neg(pattern![a("index"), any])];
+        let solver = Solver::new(&d, &atoms, 0);
+        assert!(solver.first(&mut |_| true).is_none());
+        // Retract it; now the negation holds (empty positive part yields
+        // one empty solution).
+        let id = d.find_all(&pattern![a("index"), any])[0];
+        d.retract(id);
+        let solver = Solver::new(&d, &atoms, 0);
+        let sol = solver.first(&mut |_| true).unwrap();
+        assert_eq!(sol.neg_checks.len(), 1);
+    }
+
+    #[test]
+    fn negation_sees_current_bindings() {
+        // ∃α: <val, α>, ¬<done, α> — only val 2 lacks a done marker.
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId::ENV, tuple![a("val"), 1]);
+        d.assert_tuple(ProcId::ENV, tuple![a("val"), 2]);
+        d.assert_tuple(ProcId::ENV, tuple![a("done"), 1]);
+        let atoms = vec![
+            QueryAtom::read(pattern![a("val"), var 0]),
+            QueryAtom::neg(pattern![a("done"), var 0]),
+        ];
+        let solver = Solver::new(&d, &atoms, 1);
+        let sols = solver.all(&mut |_| true, SolveLimits::default());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].bindings[0], Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn empty_query_has_one_solution() {
+        let d = Dataspace::new();
+        let atoms: Vec<QueryAtom> = Vec::new();
+        let solver = Solver::new(&d, &atoms, 0);
+        let sols = solver.all(&mut |_| true, SolveLimits::default());
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].reads.is_empty());
+    }
+
+    #[test]
+    fn test_only_query() {
+        let d = Dataspace::new();
+        let atoms: Vec<QueryAtom> = Vec::new();
+        let solver = Solver::new(&d, &atoms, 0);
+        assert!(solver.first(&mut |_| false).is_none());
+        assert!(solver.first(&mut |_| true).is_some());
+    }
+
+    #[test]
+    fn enumerate_ignores_test() {
+        let d = setup_years();
+        let atoms = vec![QueryAtom::read(pattern![a("year"), var 0])];
+        let solver = Solver::new(&d, &atoms, 1);
+        assert_eq!(solver.enumerate(SolveLimits::default()).len(), 3);
+    }
+
+    #[test]
+    fn solution_to_bindings_roundtrip() {
+        let d = setup_years();
+        let atoms = vec![QueryAtom::read(pattern![a("year"), var 0])];
+        let solver = Solver::new(&d, &atoms, 1);
+        let sol = solver.first(&mut |_| true).unwrap();
+        let b = sol.to_bindings();
+        assert_eq!(b.get(VarId(0)), sol.bindings[0].as_ref());
+    }
+
+    #[test]
+    fn resolve_pattern_substitutes_bound_vars() {
+        let mut b = Bindings::new(2);
+        b.bind(VarId(0), Value::Int(7));
+        let p = pattern![var 0, var 1, any];
+        let r = resolve_pattern(&p, &b);
+        assert_eq!(r.fields()[0], Field::Const(Value::Int(7)));
+        assert_eq!(r.fields()[1], Field::Var(VarId(1)));
+        assert_eq!(r.fields()[2], Field::Any);
+    }
+
+    #[test]
+    fn works_on_window_source() {
+        use crate::window::Window;
+        let d = setup_years();
+        let w: Window = d
+            .iter()
+            .map(|(id, t)| sdl_tuple::TupleInstance::new(id, t.clone()))
+            .collect();
+        let atoms = vec![QueryAtom::read(pattern![a("year"), var 0])];
+        let solver = Solver::new(&w, &atoms, 1);
+        assert_eq!(solver.enumerate(SolveLimits::default()).len(), 3);
+    }
+}

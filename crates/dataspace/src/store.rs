@@ -1,0 +1,497 @@
+//! The dataspace store: an indexed multiset of tuple instances.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use sdl_tuple::{Atom, Bindings, Field, Pattern, ProcId, Tuple, TupleId, TupleInstance, Value};
+
+/// Index configuration for a [`Dataspace`].
+///
+/// The default indexes tuples by `(leading atom, arity)` — SDL style puts a
+/// discriminating symbol first (`<label, …>`, `<threshold, …>`) — falling
+/// back to an arity index. `None` disables secondary indexes entirely and
+/// is provided for the E4 ablation benchmark.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IndexMode {
+    /// Index by `(functor, arity)` with an arity fallback (default).
+    #[default]
+    FunctorArity,
+    /// No secondary indexes: every query scans the whole store.
+    None,
+}
+
+/// Anything tuples can be matched against: the full [`Dataspace`] or a
+/// [`Window`](crate::Window) computed from a process view.
+///
+/// The query solver is written against this trait so that, per the paper,
+/// "transactions act upon the window as if it represented the whole
+/// dataspace".
+pub trait TupleSource {
+    /// Instance ids that *may* match `pattern` (a superset of actual
+    /// matches), in deterministic (id) order.
+    fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId>;
+
+    /// The tuple stored under `id`, if present.
+    fn tuple(&self, id: TupleId) -> Option<&Tuple>;
+
+    /// Number of tuple instances visible.
+    fn tuple_count(&self) -> usize;
+
+    /// True if some visible instance matches `pattern` (no bindings kept).
+    fn contains_match(&self, pattern: &Pattern) -> bool {
+        let mut b = Bindings::new(
+            pattern
+                .vars()
+                .map(|v| v.0 as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        self.candidate_ids(pattern).iter().any(|id| {
+            let m = b.mark();
+            let t = self.tuple(*id).expect("candidate id must be live");
+            let ok = pattern.matches(t, &mut b);
+            b.undo_to(m);
+            ok
+        })
+    }
+}
+
+/// The SDL dataspace: a multiset of tuples with instance identity.
+///
+/// Each assertion mints a fresh [`TupleId`] recording the owner process, so
+/// several instances of the same tuple value coexist and "retracting one
+/// instance of a tuple may leave other instances of it in the dataspace".
+///
+/// Mutations bump a version counter and (optionally) feed a change log of
+/// [`WatchKey`](crate::WatchKey)s used for delayed-transaction wake-up.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_dataspace::{Dataspace, TupleSource};
+/// use sdl_tuple::{tuple, ProcId, Value};
+///
+/// let mut d = Dataspace::new();
+/// let id = d.assert_tuple(ProcId(1), tuple![Value::atom("year"), 87]);
+/// assert_eq!(d.tuple(id), Some(&tuple![Value::atom("year"), 87]));
+/// assert_eq!(d.retract(id), Some(tuple![Value::atom("year"), 87]));
+/// assert!(d.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct Dataspace {
+    instances: BTreeMap<TupleId, Tuple>,
+    functor_index: HashMap<(Atom, usize), BTreeSet<TupleId>>,
+    arg1_index: HashMap<(Atom, usize, Value), BTreeSet<TupleId>>,
+    arity_index: HashMap<usize, BTreeSet<TupleId>>,
+    value_counts: HashMap<Tuple, usize>,
+    index_mode: IndexMode,
+    next_seq: u64,
+    version: u64,
+}
+
+impl Dataspace {
+    /// Creates an empty dataspace with default indexing.
+    pub fn new() -> Dataspace {
+        Dataspace::with_index_mode(IndexMode::FunctorArity)
+    }
+
+    /// Creates an empty dataspace with the given index configuration.
+    pub fn with_index_mode(index_mode: IndexMode) -> Dataspace {
+        Dataspace {
+            instances: BTreeMap::new(),
+            functor_index: HashMap::new(),
+            arg1_index: HashMap::new(),
+            arity_index: HashMap::new(),
+            value_counts: HashMap::new(),
+            index_mode,
+            next_seq: 1,
+            version: 0,
+        }
+    }
+
+    /// The configured index mode.
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
+    }
+
+    /// Monotone counter bumped by every assert/retract; used by optimistic
+    /// executors to validate read sets.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of live tuple instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if no instances are live.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Asserts a tuple on behalf of `owner`, returning the fresh instance
+    /// id.
+    pub fn assert_tuple(&mut self, owner: ProcId, tuple: Tuple) -> TupleId {
+        let id = TupleId {
+            owner,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.index_insert(id, &tuple);
+        *self.value_counts.entry(tuple.clone()).or_insert(0) += 1;
+        self.instances.insert(id, tuple);
+        self.version += 1;
+        id
+    }
+
+    /// Retracts the instance `id`, returning its tuple if it was live.
+    pub fn retract(&mut self, id: TupleId) -> Option<Tuple> {
+        let tuple = self.instances.remove(&id)?;
+        self.index_remove(id, &tuple);
+        if let Some(n) = self.value_counts.get_mut(&tuple) {
+            *n -= 1;
+            if *n == 0 {
+                self.value_counts.remove(&tuple);
+            }
+        }
+        self.version += 1;
+        Some(tuple)
+    }
+
+    /// True if instance `id` is live.
+    pub fn contains_id(&self, id: TupleId) -> bool {
+        self.instances.contains_key(&id)
+    }
+
+    /// Multiset count of instances whose value equals `tuple`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_dataspace::Dataspace;
+    /// use sdl_tuple::{tuple, ProcId};
+    ///
+    /// let mut d = Dataspace::new();
+    /// d.assert_tuple(ProcId::ENV, tuple![1]);
+    /// d.assert_tuple(ProcId::ENV, tuple![1]);
+    /// assert_eq!(d.count_value(&tuple![1]), 2);
+    /// assert_eq!(d.count_value(&tuple![2]), 0);
+    /// ```
+    pub fn count_value(&self, tuple: &Tuple) -> usize {
+        self.value_counts.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Iterates over all live instances in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.instances.iter().map(|(id, t)| (*id, t))
+    }
+
+    /// Collects all live instances (id order) — handy for snapshots and
+    /// window construction.
+    pub fn to_instances(&self) -> Vec<TupleInstance> {
+        self.iter()
+            .map(|(id, t)| TupleInstance::new(id, t.clone()))
+            .collect()
+    }
+
+    /// All instance ids matching `pattern` with fresh bindings, id order.
+    pub fn find_all(&self, pattern: &Pattern) -> Vec<TupleId> {
+        let n_vars = pattern.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+        let mut b = Bindings::new(n_vars);
+        self.candidate_ids(pattern)
+            .into_iter()
+            .filter(|id| {
+                let m = b.mark();
+                let ok = pattern.matches(&self.instances[id], &mut b);
+                b.undo_to(m);
+                ok
+            })
+            .collect()
+    }
+
+    /// Number of instances matching `pattern`.
+    pub fn count_matches(&self, pattern: &Pattern) -> usize {
+        self.find_all(pattern).len()
+    }
+
+    fn index_insert(&mut self, id: TupleId, tuple: &Tuple) {
+        if self.index_mode == IndexMode::None {
+            return;
+        }
+        if let Some(f) = tuple.functor() {
+            self.functor_index
+                .entry((f, tuple.arity()))
+                .or_default()
+                .insert(id);
+            if let Some(arg1) = tuple.get(1) {
+                self.arg1_index
+                    .entry((f, tuple.arity(), arg1.clone()))
+                    .or_default()
+                    .insert(id);
+            }
+        }
+        self.arity_index.entry(tuple.arity()).or_default().insert(id);
+    }
+
+    fn index_remove(&mut self, id: TupleId, tuple: &Tuple) {
+        if self.index_mode == IndexMode::None {
+            return;
+        }
+        if let Some(f) = tuple.functor() {
+            if let Some(set) = self.functor_index.get_mut(&(f, tuple.arity())) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.functor_index.remove(&(f, tuple.arity()));
+                }
+            }
+            if let Some(arg1) = tuple.get(1) {
+                let key = (f, tuple.arity(), arg1.clone());
+                if let Some(set) = self.arg1_index.get_mut(&key) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.arg1_index.remove(&key);
+                    }
+                }
+            }
+        }
+        if let Some(set) = self.arity_index.get_mut(&tuple.arity()) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.arity_index.remove(&tuple.arity());
+            }
+        }
+    }
+}
+
+impl TupleSource for Dataspace {
+    fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        match self.index_mode {
+            IndexMode::None => self.instances.keys().copied().collect(),
+            IndexMode::FunctorArity => {
+                if let Some(f) = pattern.functor() {
+                    // A constant second field narrows further: SDL style
+                    // keys tuples as <kind, entity, …>, so this is the
+                    // common point lookup (e.g. <threshold, p, t> with p
+                    // known).
+                    if let Some(Field::Const(arg1)) = pattern.fields().get(1) {
+                        return self
+                            .arg1_index
+                            .get(&(f, pattern.arity(), arg1.clone()))
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
+                    }
+                    // Only tuples whose head is exactly this atom can match.
+                    self.functor_index
+                        .get(&(f, pattern.arity()))
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default()
+                } else if matches!(pattern.fields().first(), Some(Field::Const(_))) {
+                    // Constant non-atom head: arity index narrows the scan.
+                    self.arity_candidates(pattern.arity())
+                } else {
+                    self.arity_candidates(pattern.arity())
+                }
+            }
+        }
+    }
+
+    fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.instances.get(&id)
+    }
+
+    fn tuple_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    fn contains_match(&self, pattern: &Pattern) -> bool {
+        if pattern.is_ground() {
+            // O(1) ground membership via the multiset counts.
+            if let Some(t) = pattern.instantiate(&Bindings::new(0)) {
+                return self.count_value(&t) > 0;
+            }
+        }
+        let n_vars = pattern.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+        let mut b = Bindings::new(n_vars);
+        self.candidate_ids(pattern).iter().any(|id| {
+            let m = b.mark();
+            let ok = pattern.matches(&self.instances[id], &mut b);
+            b.undo_to(m);
+            ok
+        })
+    }
+}
+
+impl Dataspace {
+    fn arity_candidates(&self, arity: usize) -> Vec<TupleId> {
+        self.arity_index
+            .get(&arity)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Default for Dataspace {
+    fn default() -> Dataspace {
+        Dataspace::new()
+    }
+}
+
+impl fmt::Debug for Dataspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dataspace")
+            .field("len", &self.len())
+            .field("version", &self.version)
+            .field("index_mode", &self.index_mode)
+            .finish()
+    }
+}
+
+impl fmt::Display for Dataspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for (id, t) in self.iter() {
+            writeln!(f, "  {t}  # {id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{pattern, tuple, Value};
+
+    fn atom(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn assert_retract_roundtrip() {
+        let mut d = Dataspace::new();
+        let id = d.assert_tuple(ProcId(3), tuple![atom("year"), 87]);
+        assert_eq!(id.owner, ProcId(3));
+        assert!(d.contains_id(id));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.retract(id), Some(tuple![atom("year"), 87]));
+        assert!(!d.contains_id(id));
+        assert_eq!(d.retract(id), None, "double retract is None");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let mut d = Dataspace::new();
+        let a = d.assert_tuple(ProcId(1), tuple![atom("x")]);
+        let b = d.assert_tuple(ProcId(2), tuple![atom("x")]);
+        assert_ne!(a, b, "instances are distinct");
+        assert_eq!(d.count_value(&tuple![atom("x")]), 2);
+        d.retract(a);
+        assert_eq!(d.count_value(&tuple![atom("x")]), 1, "one instance left");
+        assert!(d.contains_match(&pattern![atom("x")]));
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let mut d = Dataspace::new();
+        let v0 = d.version();
+        let id = d.assert_tuple(ProcId(1), tuple![1]);
+        assert!(d.version() > v0);
+        let v1 = d.version();
+        d.retract(id);
+        assert!(d.version() > v1);
+    }
+
+    #[test]
+    fn functor_index_narrows_candidates() {
+        let mut d = Dataspace::new();
+        for i in 0..10 {
+            d.assert_tuple(ProcId(1), tuple![atom("label"), i]);
+            d.assert_tuple(ProcId(1), tuple![atom("threshold"), i]);
+            d.assert_tuple(ProcId(1), tuple![i, i]); // non-atom head
+        }
+        let c = d.candidate_ids(&pattern![atom("label"), any]);
+        assert_eq!(c.len(), 10);
+        // Variable-head pattern of arity 2 must see all arity-2 tuples.
+        let c2 = d.candidate_ids(&pattern![var 0, any]);
+        assert_eq!(c2.len(), 30);
+    }
+
+    #[test]
+    fn no_index_mode_scans_everything() {
+        let mut d = Dataspace::with_index_mode(IndexMode::None);
+        for i in 0..5 {
+            d.assert_tuple(ProcId(1), tuple![atom("a"), i]);
+            d.assert_tuple(ProcId(1), tuple![atom("b")]);
+        }
+        assert_eq!(d.candidate_ids(&pattern![atom("a"), any]).len(), 10);
+        assert_eq!(d.count_matches(&pattern![atom("a"), any]), 5);
+    }
+
+    #[test]
+    fn find_all_and_count() {
+        let mut d = Dataspace::new();
+        for i in 0..4 {
+            d.assert_tuple(ProcId(1), tuple![atom("k"), i]);
+        }
+        assert_eq!(d.find_all(&pattern![atom("k"), any]).len(), 4);
+        assert_eq!(d.count_matches(&pattern![atom("k"), 2]), 1);
+        assert_eq!(d.count_matches(&pattern![atom("j"), any]), 0);
+    }
+
+    #[test]
+    fn contains_match_ground_fast_path() {
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId(1), tuple![atom("year"), 87]);
+        assert!(d.contains_match(&pattern![atom("year"), 87]));
+        assert!(!d.contains_match(&pattern![atom("year"), 88]));
+    }
+
+    #[test]
+    fn pattern_with_shared_variable() {
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId(1), tuple![3, 4]);
+        d.assert_tuple(ProcId(1), tuple![5, 5]);
+        assert!(d.contains_match(&pattern![var 0, var 0]));
+        assert_eq!(d.count_matches(&pattern![var 0, var 0]), 1);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut d = Dataspace::new();
+        let a = d.assert_tuple(ProcId(1), tuple![1]);
+        let b = d.assert_tuple(ProcId(1), tuple![2]);
+        let ids: Vec<TupleId> = d.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+        let insts = d.to_instances();
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].id, a);
+    }
+
+    #[test]
+    fn index_cleanup_after_retract() {
+        let mut d = Dataspace::new();
+        let id = d.assert_tuple(ProcId(1), tuple![atom("only"), 1]);
+        d.retract(id);
+        assert!(d.candidate_ids(&pattern![atom("only"), any]).is_empty());
+        assert!(d.candidate_ids(&pattern![var 0, any]).is_empty());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let mut d = Dataspace::new();
+        d.assert_tuple(ProcId(1), tuple![atom("x"), 1]);
+        let s = d.to_string();
+        assert!(s.contains("<x, 1>"));
+        assert!(format!("{d:?}").contains("Dataspace"));
+    }
+
+    #[test]
+    fn empty_tuple_is_storable() {
+        let mut d = Dataspace::new();
+        let id = d.assert_tuple(ProcId(1), tuple![]);
+        assert!(d.contains_match(&pattern![]));
+        d.retract(id);
+        assert!(!d.contains_match(&pattern![]));
+    }
+}

@@ -1,0 +1,221 @@
+//! Conservative change-notification keys for delayed-transaction wake-up.
+//!
+//! A *delayed* transaction that fails stays blocked until "a successful
+//! evaluation is possible". Re-evaluating every blocked transaction after
+//! every commit is correct but wasteful; instead each commit publishes the
+//! [`WatchKey`]s of the tuples it asserted or retracted, and each blocked
+//! transaction registers the keys of the patterns it mentions. A blocked
+//! transaction is re-examined only when the key sets intersect. The scheme
+//! is conservative (may wake a transaction that still fails) and complete
+//! (never misses an enabling change), which preserves the paper's weak
+//! fairness guarantee.
+
+use std::collections::HashSet;
+
+use sdl_tuple::{Atom, Field, Pattern, Tuple};
+
+/// A coarse description of which tuples a change could affect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WatchKey {
+    /// Tuples with this leading atom and arity.
+    Functor(Atom, usize),
+    /// Any tuple of this arity (patterns with a non-constant head).
+    Arity(usize),
+}
+
+impl WatchKey {
+    /// The keys published when `tuple` is asserted or retracted.
+    ///
+    /// A tuple notifies both its functor key (if its head is an atom) and
+    /// its arity key, since a variable-headed pattern of the same arity
+    /// could match it.
+    pub fn of_tuple(tuple: &Tuple) -> impl Iterator<Item = WatchKey> + '_ {
+        let functor = tuple.functor().map(|f| WatchKey::Functor(f, tuple.arity()));
+        functor
+            .into_iter()
+            .chain(std::iter::once(WatchKey::Arity(tuple.arity())))
+    }
+
+    /// The single key a pattern listens on.
+    ///
+    /// A pattern with a constant atom head listens on its functor key;
+    /// anything else listens on the arity key (which every tuple of that
+    /// arity also publishes).
+    pub fn of_pattern(pattern: &Pattern) -> WatchKey {
+        match pattern.functor() {
+            Some(f) => WatchKey::Functor(f, pattern.arity()),
+            None => WatchKey::Arity(pattern.arity()),
+        }
+    }
+}
+
+/// A set of [`WatchKey`]s, with the subscription-side closure applied.
+///
+/// Subscribing to a `Functor(f, n)` key also subscribes to `Arity(n)`
+/// *matches from publications*: publication emits both keys, so plain set
+/// intersection suffices. The extra subtlety is a pattern whose head field
+/// is a **constant non-atom** (e.g. `<3, α>`): it has no functor, so it
+/// listens on `Arity(n)` and every arity-`n` publication wakes it.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_dataspace::{WatchKey, WatchSet};
+/// use sdl_tuple::{pattern, tuple, Value};
+///
+/// let mut listening = WatchSet::new();
+/// listening.add_pattern(&pattern![Value::atom("year"), any]);
+///
+/// let mut published = WatchSet::new();
+/// published.add_tuple(&tuple![Value::atom("year"), 87]);
+/// assert!(listening.intersects(&published));
+///
+/// let mut other = WatchSet::new();
+/// other.add_tuple(&tuple![Value::atom("month"), 5]);
+/// assert!(!listening.intersects(&other));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WatchSet {
+    keys: HashSet<WatchKey>,
+}
+
+impl WatchSet {
+    /// Creates an empty watch set.
+    pub fn new() -> WatchSet {
+        WatchSet::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Subscribes to the key of `pattern`.
+    pub fn add_pattern(&mut self, pattern: &Pattern) {
+        self.keys.insert(WatchKey::of_pattern(pattern));
+        // A constant non-atom head still needs the arity channel; a
+        // wildcard/variable head already *is* the arity channel.
+        if matches!(pattern.fields().first(), Some(Field::Const(_)))
+            && pattern.functor().is_none()
+        {
+            self.keys.insert(WatchKey::Arity(pattern.arity()));
+        }
+    }
+
+    /// Publishes the keys of `tuple`.
+    pub fn add_tuple(&mut self, tuple: &Tuple) {
+        self.keys.extend(WatchKey::of_tuple(tuple));
+    }
+
+    /// Inserts a raw key.
+    pub fn add_key(&mut self, key: WatchKey) {
+        self.keys.insert(key);
+    }
+
+    /// Merges another set into this one.
+    pub fn extend(&mut self, other: &WatchSet) {
+        self.keys.extend(other.keys.iter().copied());
+    }
+
+    /// True if the two sets share a key.
+    pub fn intersects(&self, other: &WatchSet) -> bool {
+        let (small, large) = if self.keys.len() <= other.keys.len() {
+            (&self.keys, &other.keys)
+        } else {
+            (&other.keys, &self.keys)
+        };
+        small.iter().any(|k| large.contains(k))
+    }
+
+    /// Iterates over the keys.
+    pub fn iter(&self) -> impl Iterator<Item = &WatchKey> {
+        self.keys.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{pattern, tuple, Value};
+
+    #[test]
+    fn tuple_publishes_functor_and_arity() {
+        let t = tuple![Value::atom("label"), 1, 2];
+        let keys: Vec<WatchKey> = WatchKey::of_tuple(&t).collect();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&WatchKey::Functor(sdl_tuple::Atom::new("label"), 3)));
+        assert!(keys.contains(&WatchKey::Arity(3)));
+    }
+
+    #[test]
+    fn non_atom_head_publishes_arity_only() {
+        let t = tuple![1, 2];
+        let keys: Vec<WatchKey> = WatchKey::of_tuple(&t).collect();
+        assert_eq!(keys, vec![WatchKey::Arity(2)]);
+    }
+
+    #[test]
+    fn functor_pattern_wakes_on_matching_functor() {
+        let mut sub = WatchSet::new();
+        sub.add_pattern(&pattern![Value::atom("year"), any]);
+        let mut change = WatchSet::new();
+        change.add_tuple(&tuple![Value::atom("year"), 87]);
+        assert!(sub.intersects(&change));
+    }
+
+    #[test]
+    fn functor_pattern_ignores_other_functor_same_arity() {
+        let mut sub = WatchSet::new();
+        sub.add_pattern(&pattern![Value::atom("year"), any]);
+        let mut change = WatchSet::new();
+        change.add_tuple(&tuple![Value::atom("month"), 5]);
+        assert!(!sub.intersects(&change));
+    }
+
+    #[test]
+    fn variable_head_pattern_wakes_on_any_same_arity() {
+        let mut sub = WatchSet::new();
+        sub.add_pattern(&pattern![var 0, any]);
+        let mut change = WatchSet::new();
+        change.add_tuple(&tuple![Value::atom("anything"), 1]);
+        assert!(sub.intersects(&change));
+        let mut change2 = WatchSet::new();
+        change2.add_tuple(&tuple![7, 8]);
+        assert!(sub.intersects(&change2));
+        let mut wrong_arity = WatchSet::new();
+        wrong_arity.add_tuple(&tuple![1, 2, 3]);
+        assert!(!sub.intersects(&wrong_arity));
+    }
+
+    #[test]
+    fn const_int_head_listens_on_arity() {
+        // <3, α> has no functor; any arity-2 change must wake it.
+        let mut sub = WatchSet::new();
+        sub.add_pattern(&pattern![3, var 0]);
+        let mut change = WatchSet::new();
+        change.add_tuple(&tuple![3, 9]);
+        assert!(sub.intersects(&change));
+        let mut change_atom = WatchSet::new();
+        change_atom.add_tuple(&tuple![Value::atom("x"), 9]);
+        assert!(sub.intersects(&change_atom), "conservative wake");
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = WatchSet::new();
+        assert!(a.is_empty());
+        a.add_key(WatchKey::Arity(2));
+        assert_eq!(a.len(), 1);
+        let mut b = WatchSet::new();
+        b.add_key(WatchKey::Arity(3));
+        assert!(!a.intersects(&b));
+        b.extend(&a);
+        assert!(a.intersects(&b));
+        assert_eq!(b.iter().count(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Lexing and parsing errors.
+
+use std::fmt;
+
+/// A position in SDL source text (1-based line and column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing or parsing SDL source.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_lang::parse_program;
+/// let err = parse_program("process {").unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub pos: Pos,
+}
+
+impl ParseError {
+    /// Creates an error at `pos`.
+    pub fn new(message: impl Into<String>, pos: Pos) -> ParseError {
+        ParseError {
+            message: message.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("expected `)`", Pos { line: 3, col: 7 });
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `)`");
+    }
+
+    #[test]
+    fn pos_ordering() {
+        let a = Pos { line: 1, col: 9 };
+        let b = Pos { line: 2, col: 1 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,589 @@
+//! Tokeniser for SDL source text.
+//!
+//! The concrete syntax is ASCII-friendly; the paper's mathematical symbols
+//! are accepted as aliases:
+//!
+//! | paper | ASCII | meaning |
+//! |-------|-------|---------|
+//! | `∃`   | `exists` | existential quantifier |
+//! | `∀`   | `forall` | universal quantifier |
+//! | `¬`   | `not`    | negation |
+//! | `→`   | `->`     | immediate transaction |
+//! | `⇒`   | `=>`     | delayed transaction |
+//! | `⇑`   | `@>`     | consensus transaction |
+//! | `↑`   | `!`      | retraction tag |
+//! | `≠`   | `!=`     | inequality |
+//! | `≤`   | `<=`     | at most |
+//! | `≥`   | `>=`     | at least |
+//!
+//! Comments run from `//` to end of line.
+
+use std::fmt;
+
+use crate::error::{ParseError, Pos};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier (also atom literals and process names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `process`
+    Process,
+    /// `import`
+    Import,
+    /// `export`
+    Export,
+    /// `init`
+    Init,
+    /// `exists` / `∃`
+    Exists,
+    /// `forall` / `∀`
+    Forall,
+    /// `not` / `¬` / `~`
+    Not,
+    /// `and` / `&`
+    And,
+    /// `or`
+    Or,
+    /// `let`
+    Let,
+    /// `spawn`
+    Spawn,
+    /// `skip`
+    Skip,
+    /// `exit`
+    Exit,
+    /// `abort`
+    Abort,
+    /// `select`
+    Select,
+    /// `loop`
+    Loop,
+    /// `par` / `≡`
+    Par,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `mod`
+    Mod,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `!` / `↑` (retraction tag)
+    Bang,
+    /// `->` / `→`
+    Arrow,
+    /// `=>` / `⇒`
+    DArrow,
+    /// `@>` / `⇑`
+    CArrow,
+    /// `==`
+    EqEq,
+    /// `=` (alias of `==` in expressions; assignment in `let`)
+    Assign,
+    /// `!=` / `≠`
+    NeTok,
+    /// `<=` / `≤`
+    LeTok,
+    /// `>=` / `≥`
+    GeTok,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Float(x) => write!(f, "`{x}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Eof => f.write_str("end of input"),
+            other => {
+                let s = match other {
+                    Tok::Process => "process",
+                    Tok::Import => "import",
+                    Tok::Export => "export",
+                    Tok::Init => "init",
+                    Tok::Exists => "exists",
+                    Tok::Forall => "forall",
+                    Tok::Not => "not",
+                    Tok::And => "and",
+                    Tok::Or => "or",
+                    Tok::Let => "let",
+                    Tok::Spawn => "spawn",
+                    Tok::Skip => "skip",
+                    Tok::Exit => "exit",
+                    Tok::Abort => "abort",
+                    Tok::Select => "select",
+                    Tok::Loop => "loop",
+                    Tok::Par => "par",
+                    Tok::True => "true",
+                    Tok::False => "false",
+                    Tok::Mod => "mod",
+                    Tok::Lt => "<",
+                    Tok::Gt => ">",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::Comma => ",",
+                    Tok::Pipe => "|",
+                    Tok::Bang => "!",
+                    Tok::Arrow => "->",
+                    Tok::DArrow => "=>",
+                    Tok::CArrow => "@>",
+                    Tok::EqEq => "==",
+                    Tok::Assign => "=",
+                    Tok::NeTok => "!=",
+                    Tok::LeTok => "<=",
+                    Tok::GeTok => ">=",
+                    Tok::Star => "*",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Slash => "/",
+                    Tok::Caret => "^",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenises SDL source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed numbers, unterminated strings, or
+/// unrecognised characters.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_lang::lexer::{lex, Tok};
+/// let toks = lex("exists a : <year, a> -> skip").unwrap();
+/// assert_eq!(toks[0].tok, Tok::Exists);
+/// assert!(matches!(toks.last().unwrap().tok, Tok::Eof));
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars: Vec<char> = src.chars().collect();
+    // Sentinel simplifies two-char lookahead.
+    chars.push('\0');
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() - 1 {
+        let c = chars[i];
+        let p = pos!();
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '/' if chars[i + 1] == '/' => {
+                while i < chars.len() - 1 && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while chars[i].is_ascii_digit() {
+                    bump!();
+                }
+                let mut is_float = false;
+                if chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while chars[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| ParseError::new(format!("bad float `{text}`"), p))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| ParseError::new(format!("integer out of range `{text}`"), p))?,
+                    )
+                };
+                out.push(Spanned { tok, pos: p });
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match chars[i] {
+                        '\0' => return Err(ParseError::new("unterminated string", p)),
+                        '"' => {
+                            bump!();
+                            break;
+                        }
+                        '\\' => {
+                            bump!();
+                            let esc = chars[i];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => {
+                                    return Err(ParseError::new(
+                                        format!("unknown escape `\\{other}`"),
+                                        pos!(),
+                                    ))
+                                }
+                            });
+                            bump!();
+                        }
+                        ch => {
+                            s.push(ch);
+                            bump!();
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos: p,
+                });
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while chars[i].is_alphanumeric() || chars[i] == '_' {
+                    bump!();
+                }
+                let word: String = chars[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "process" => Tok::Process,
+                    "import" => Tok::Import,
+                    "export" => Tok::Export,
+                    "init" => Tok::Init,
+                    "exists" => Tok::Exists,
+                    "forall" => Tok::Forall,
+                    "not" => Tok::Not,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "let" => Tok::Let,
+                    "spawn" => Tok::Spawn,
+                    "skip" => Tok::Skip,
+                    "exit" => Tok::Exit,
+                    "abort" => Tok::Abort,
+                    "select" => Tok::Select,
+                    "loop" => Tok::Loop,
+                    "par" => Tok::Par,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "mod" => Tok::Mod,
+                    // `behavior` (the paper's BEHAVIOR keyword) stays an
+                    // identifier; the parser skips an optional
+                    // `behavior { … }` wrapper.
+                    _ => Tok::Ident(word),
+                };
+                out.push(Spanned { tok, pos: p });
+            }
+            '-' if chars[i + 1] == '>' => {
+                bump!();
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::Arrow,
+                    pos: p,
+                });
+            }
+            '=' if chars[i + 1] == '>' => {
+                bump!();
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::DArrow,
+                    pos: p,
+                });
+            }
+            '=' if chars[i + 1] == '=' => {
+                bump!();
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::EqEq,
+                    pos: p,
+                });
+            }
+            '@' if chars[i + 1] == '>' => {
+                bump!();
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::CArrow,
+                    pos: p,
+                });
+            }
+            '!' if chars[i + 1] == '=' => {
+                bump!();
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::NeTok,
+                    pos: p,
+                });
+            }
+            '<' if chars[i + 1] == '=' => {
+                bump!();
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::LeTok,
+                    pos: p,
+                });
+            }
+            '>' if chars[i + 1] == '=' => {
+                bump!();
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::GeTok,
+                    pos: p,
+                });
+            }
+            _ => {
+                let tok = match c {
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ';' => Tok::Semi,
+                    ':' => Tok::Colon,
+                    ',' => Tok::Comma,
+                    '|' => Tok::Pipe,
+                    '!' => Tok::Bang,
+                    '=' => Tok::Assign,
+                    '*' => Tok::Star,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '/' => Tok::Slash,
+                    '^' => Tok::Caret,
+                    '&' => Tok::And,
+                    '~' => Tok::Not,
+                    '∃' => Tok::Exists,
+                    '∀' => Tok::Forall,
+                    '¬' => Tok::Not,
+                    '→' => Tok::Arrow,
+                    '⇒' => Tok::DArrow,
+                    '⇑' => Tok::CArrow,
+                    '↑' => Tok::Bang,
+                    '≠' => Tok::NeTok,
+                    '≤' => Tok::LeTok,
+                    '≥' => Tok::GeTok,
+                    '≡' => Tok::Par,
+                    other => {
+                        return Err(ParseError::new(
+                            format!("unexpected character `{other}`"),
+                            p,
+                        ))
+                    }
+                };
+                bump!();
+                out.push(Spanned { tok, pos: p });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("process Sum1 exists forall not"),
+            vec![
+                Tok::Process,
+                Tok::Ident("Sum1".into()),
+                Tok::Exists,
+                Tok::Forall,
+                Tok::Not,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.5 0"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn multichar_operators() {
+        assert_eq!(
+            toks("-> => @> == != <= >= ="),
+            vec![
+                Tok::Arrow,
+                Tok::DArrow,
+                Tok::CArrow,
+                Tok::EqEq,
+                Tok::NeTok,
+                Tok::LeTok,
+                Tok::GeTok,
+                Tok::Assign,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_aliases() {
+        assert_eq!(
+            toks("∃ ∀ ¬ → ⇒ ⇑ ↑ ≠ ≤ ≥ ≡"),
+            vec![
+                Tok::Exists,
+                Tok::Forall,
+                Tok::Not,
+                Tok::Arrow,
+                Tok::DArrow,
+                Tok::CArrow,
+                Tok::Bang,
+                Tok::NeTok,
+                Tok::LeTok,
+                Tok::GeTok,
+                Tok::Par,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_syntax() {
+        assert_eq!(
+            toks("<year, 87>!"),
+            vec![
+                Tok::Lt,
+                Tok::Ident("year".into()),
+                Tok::Comma,
+                Tok::Int(87),
+                Tok::Gt,
+                Tok::Bang,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // comment -> => \n b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks(r#""hi\n" "a\"b""#),
+            vec![Tok::Str("hi\n".into()), Tok::Str("a\"b".into()), Tok::Eof]
+        );
+        assert!(lex("\"open").is_err());
+        assert!(lex(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let s = lex("a\n  b").unwrap();
+        assert_eq!(s[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(s[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.to_string().contains('$'));
+        assert_eq!(e.pos, Pos { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn ampersand_and_tilde_aliases() {
+        assert_eq!(toks("a & ~ b")[1], Tok::And);
+        assert_eq!(toks("a & ~ b")[2], Tok::Not);
+    }
+
+    #[test]
+    fn behavior_is_an_ident() {
+        assert_eq!(toks("behavior")[0], Tok::Ident("behavior".into()));
+    }
+
+    #[test]
+    fn big_integer_errors() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

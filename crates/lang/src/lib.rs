@@ -1,0 +1,49 @@
+//! # sdl-lang — the SDL language: syntax, AST, expressions
+//!
+//! The Shared Dataspace Language of Roman, Cunningham & Ehlers
+//! (ICDCS 1988), as a concrete ASCII syntax (with the paper's mathematical
+//! symbols accepted as aliases), an [AST](ast), an
+//! [expression evaluator](expr), a pretty-printer, and a
+//! [builder API](builder) for generating programs programmatically.
+//!
+//! ## Concrete syntax at a glance
+//!
+//! ```text
+//! process Sum2(k, j) {
+//!     exists a, b : <k - 2^(j-1), a, j>!, <k, b, j>! => <k, a + b, j + 1>;
+//! }
+//! ```
+//!
+//! * `->` immediate, `=>` delayed, `@>` consensus transactions;
+//! * `!` after a pattern = retraction tag (the paper's `↑`);
+//! * names declared by `exists`/`forall` are quantified variables;
+//!   process parameters and `let` names are constants; any other bare
+//!   name is an atom literal;
+//! * `select { … | … }`, `loop { … | … }`, `par { … | … }` are the
+//!   selection, repetition, and replication constructs.
+//!
+//! ## Parse and inspect
+//!
+//! ```
+//! let t = sdl_lang::parse_transaction(
+//!     "exists a : <year, a>! : a > 87 -> <found, a>",
+//! ).unwrap();
+//! assert_eq!(t.vars, vec!["a"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+mod pretty;
+
+pub use ast::{ProcessDef, Program, Transaction};
+pub use error::{ParseError, Pos};
+pub use parser::{parse_program, parse_stmts, parse_transaction};
+
+#[cfg(test)]
+mod proptests;

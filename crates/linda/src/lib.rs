@@ -1,0 +1,39 @@
+//! # sdl-linda — a Linda-style tuple space baseline
+//!
+//! The paper positions SDL against Linda, which "provides processes with
+//! very simple dataspace access primitives (read, assert, and retract one
+//! tuple at a time)". This crate implements exactly that interface over
+//! the same store as the SDL runtime, so the comparison benchmarks (E6)
+//! measure the *language* difference — multi-tuple atomic transactions,
+//! views, consensus — rather than a storage difference.
+//!
+//! | Linda | here |
+//! |-------|------|
+//! | `out(t)`  | [`TupleSpace::out`] |
+//! | `in(p)`   | [`TupleSpace::take`] (blocking retract) |
+//! | `rd(p)`   | [`TupleSpace::read`] (blocking read) |
+//! | `inp(p)`  | [`TupleSpace::try_take`] |
+//! | `rdp(p)`  | [`TupleSpace::try_read`] |
+//! | `eval(f)` | [`TupleSpace::eval_spawn`] |
+//!
+//! ```
+//! use sdl_linda::TupleSpace;
+//! use sdl_tuple::{pattern, tuple, Value};
+//!
+//! let ts = TupleSpace::new();
+//! ts.out(tuple![Value::atom("year"), 87]);
+//! let t = ts.take(&pattern![Value::atom("year"), any]).unwrap();
+//! assert_eq!(t[1], Value::Int(87));
+//! assert!(ts.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod space;
+mod worker;
+
+pub use space::TupleSpace;
+pub use worker::WorkerPool;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,71 @@
+//! Property tests: the tuple space conserves tuples under concurrent use.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use crate::TupleSpace;
+use sdl_tuple::{pattern, tuple, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// out/take round-trips conserve the multiset of payloads across
+    /// concurrent producers and consumers.
+    #[test]
+    fn conservation_under_concurrency(
+        payloads in proptest::collection::vec(0i64..100, 0..40),
+        producers in 1usize..4,
+    ) {
+        let ts = Arc::new(TupleSpace::new());
+        let chunks: Vec<Vec<i64>> = payloads
+            .chunks(payloads.len().div_ceil(producers).max(1))
+            .map(<[i64]>::to_vec)
+            .collect();
+        std::thread::scope(|s| {
+            for chunk in &chunks {
+                let ts = Arc::clone(&ts);
+                s.spawn(move || {
+                    for v in chunk {
+                        ts.out(tuple![Value::atom("x"), *v]);
+                    }
+                });
+            }
+            let consumer = {
+                let ts = Arc::clone(&ts);
+                let n = payloads.len();
+                s.spawn(move || {
+                    let mut got = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let t = ts.take(&pattern![Value::atom("x"), any]).expect("open");
+                        got.push(t[1].as_int().expect("int"));
+                    }
+                    got
+                })
+            };
+            let mut got = consumer.join().expect("consumer");
+            got.sort_unstable();
+            let mut want = payloads.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+            Ok(())
+        })?;
+        prop_assert!(ts.is_empty());
+    }
+
+    /// try_take never invents tuples: it fails on an empty space and
+    /// succeeds exactly `n` times after `n` outs.
+    #[test]
+    fn try_take_is_exact(n in 0usize..20) {
+        let ts = TupleSpace::new();
+        for i in 0..n {
+            ts.out(tuple![Value::atom("y"), i as i64]);
+        }
+        let mut taken = 0;
+        while ts.try_take(&pattern![Value::atom("y"), any]).is_some() {
+            taken += 1;
+        }
+        prop_assert_eq!(taken, n);
+        prop_assert!(ts.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Worker pools — the "workers model, often used in Linda programming,
+//! where a number of processes are created and sent out to seek work in
+//! the dataspace" (paper §3.3).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::space::TupleSpace;
+
+/// A pool of threads repeatedly applying a work function to a shared
+/// [`TupleSpace`] until the space closes or the function declines.
+///
+/// The work function returns `true` to keep going, `false` when it found
+/// no work (the worker then retires).
+///
+/// # Examples
+///
+/// ```
+/// use sdl_linda::{TupleSpace, WorkerPool};
+/// use sdl_tuple::{pattern, tuple, Value};
+/// use std::sync::Arc;
+///
+/// let ts = Arc::new(TupleSpace::new());
+/// for i in 0..100i64 {
+///     ts.out(tuple![Value::atom("job"), i]);
+/// }
+/// let pool = WorkerPool::spawn(ts.clone(), 4, |ts| {
+///     match ts.try_take(&pattern![Value::atom("job"), any]) {
+///         Some(job) => {
+///             ts.out(tuple![Value::atom("done"), job[1].clone()]);
+///             true
+///         }
+///         None => false,
+///     }
+/// });
+/// pool.join();
+/// assert_eq!(ts.count(&pattern![Value::atom("done"), any]), 100);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<u64>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers running `work`.
+    pub fn spawn<F>(space: Arc<TupleSpace>, n: usize, work: F) -> WorkerPool
+    where
+        F: Fn(&TupleSpace) -> bool + Send + Sync + 'static,
+    {
+        let work = Arc::new(work);
+        let handles = (0..n.max(1))
+            .map(|_| {
+                let space = Arc::clone(&space);
+                let work = Arc::clone(&work);
+                std::thread::spawn(move || {
+                    let mut done = 0u64;
+                    while !space.is_closed() && work(&space) {
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True if the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker; returns the total number of work items
+    /// processed.
+    pub fn join(self) -> u64 {
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{pattern, tuple, Value};
+
+    #[test]
+    fn pool_drains_jobs() {
+        let ts = Arc::new(TupleSpace::new());
+        for i in 0..50i64 {
+            ts.out(tuple![Value::atom("job"), i]);
+        }
+        let pool = WorkerPool::spawn(ts.clone(), 4, |ts| {
+            ts.try_take(&pattern![Value::atom("job"), any])
+                .map(|j| ts.out(tuple![Value::atom("done"), j[1].clone()]))
+                .is_some()
+        });
+        assert_eq!(pool.len(), 4);
+        let total = pool.join();
+        assert_eq!(total, 50);
+        assert_eq!(ts.count(&pattern![Value::atom("done"), any]), 50);
+    }
+
+    #[test]
+    fn close_stops_blocking_workers() {
+        let ts = Arc::new(TupleSpace::new());
+        let pool = WorkerPool::spawn(ts.clone(), 2, |ts| {
+            ts.take(&pattern![Value::atom("job")]).is_some()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ts.close();
+        pool.join();
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let ts = Arc::new(TupleSpace::new());
+        let pool = WorkerPool::spawn(ts, 0, |_| false);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+        pool.join();
+    }
+}

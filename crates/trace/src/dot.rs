@@ -1,0 +1,127 @@
+//! DOT (Graphviz) export of process structure.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use sdl_core::consensus::consensus_sets;
+use sdl_core::{Event, EventLog, Runtime};
+use sdl_tuple::{ProcId, TupleId};
+
+/// Renders the current consensus communities of a runtime as a DOT graph:
+/// one cluster per community, one node per process.
+///
+/// # Errors
+///
+/// Fails if a view rule cannot be evaluated.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::{CompiledProgram, Runtime};
+///
+/// let program = sdl_core::CompiledProgram::from_source(
+///     "process W(x) { import { <x, *>; } <x, go> => skip; }
+///      init { <1, 10>; <2, 20>; spawn W(1); spawn W(1); spawn W(2); }",
+/// ).unwrap();
+/// let mut rt = Runtime::builder(program).build().unwrap();
+/// rt.run().unwrap();
+/// let dot = sdl_trace::dot::communities(&rt).unwrap();
+/// assert!(dot.contains("subgraph cluster_0"));
+/// ```
+pub fn communities(rt: &Runtime) -> Result<String, sdl_core::RuntimeError> {
+    let procs = rt.processes();
+    let sets = consensus_sets(&procs, rt.dataspace(), rt.builtins())?;
+    let name_of: BTreeMap<ProcId, &str> = procs
+        .iter()
+        .map(|p| (p.id, p.def.name.as_str()))
+        .collect();
+    let mut out = String::from("graph communities {\n");
+    for (i, set) in sets.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{i} {{");
+        let _ = writeln!(out, "    label=\"community {i}\";");
+        for pid in set {
+            let name = name_of.get(pid).copied().unwrap_or("?");
+            let _ = writeln!(out, "    \"{pid}\" [label=\"{pid}: {name}\"];");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Renders the *interaction graph* from an event log: a directed edge
+/// `p -> q` whenever `q` retracted a tuple `p` asserted — the dataflow
+/// the paper's decoupled processes actually exhibit.
+pub fn interactions(log: &EventLog) -> String {
+    let mut owner: BTreeMap<TupleId, ProcId> = BTreeMap::new();
+    let mut edges: BTreeSet<(ProcId, ProcId)> = BTreeSet::new();
+    for (_, event) in log.iter() {
+        match event {
+            Event::TupleAsserted { by, id, .. } => {
+                owner.insert(*id, *by);
+            }
+            Event::TupleRetracted { by, id, .. } => {
+                if let Some(from) = owner.get(id) {
+                    if from != by {
+                        edges.insert((*from, *by));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::from("digraph interactions {\n");
+    for (from, to) in edges {
+        let _ = writeln!(out, "  \"{from}\" -> \"{to}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_core::{CompiledProgram, Runtime};
+
+    #[test]
+    fn communities_cluster_by_view_overlap() {
+        let program = CompiledProgram::from_source(
+            "process W(x) { import { <x, *>; } <x, go> => skip; }
+             init { <1, 10>; <2, 20>; spawn W(1); spawn W(1); spawn W(2); }",
+        )
+        .unwrap();
+        let mut rt = Runtime::builder(program).build().unwrap();
+        rt.run().unwrap(); // quiesces with all three blocked
+        let dot = communities(&rt).unwrap();
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"), "two communities:\n{dot}");
+        assert!(dot.contains(": W"));
+    }
+
+    #[test]
+    fn interactions_show_producer_consumer_edge() {
+        let program = CompiledProgram::from_source(
+            "process Producer() { -> <item, 1>; }
+             process Consumer() { exists v : <item, v>! => ; }
+             init { spawn Producer(); spawn Consumer(); }",
+        )
+        .unwrap();
+        let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+        rt.run().unwrap();
+        let dot = interactions(rt.event_log().unwrap());
+        assert!(dot.contains("->"), "edge expected:\n{dot}");
+    }
+
+    #[test]
+    fn self_retraction_is_not_an_edge() {
+        let program = CompiledProgram::from_source(
+            "process P() { -> <t>; exists v : <t>! -> ; }
+             init { spawn P(); }",
+        )
+        .unwrap();
+        let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+        rt.run().unwrap();
+        let dot = interactions(rt.event_log().unwrap());
+        assert!(!dot.contains("->"));
+    }
+}

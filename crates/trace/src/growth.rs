@@ -1,0 +1,94 @@
+//! Dataspace growth over logical time.
+
+use sdl_core::{Event, EventLog};
+
+/// One sample of dataspace size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrowthPoint {
+    /// Logical time (transaction attempts so far).
+    pub step: u64,
+    /// Dataspace size after the event.
+    pub size: i64,
+}
+
+/// Reconstructs the dataspace-size curve from an event log, starting at
+/// `initial` (tuples present before execution).
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::{CompiledProgram, Runtime};
+///
+/// let program = CompiledProgram::from_source(
+///     "process P() { -> <a>; exists v : <a>! -> ; } init { spawn P(); }",
+/// ).unwrap();
+/// let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+/// rt.run().unwrap();
+/// let curve = sdl_trace::growth(rt.event_log().unwrap(), 0);
+/// assert_eq!(curve.last().unwrap().size, 0);
+/// ```
+pub fn growth(log: &EventLog, initial: usize) -> Vec<GrowthPoint> {
+    let mut size = initial as i64;
+    let mut out = vec![GrowthPoint { step: 0, size }];
+    for (step, event) in log.iter() {
+        match event {
+            Event::TupleAsserted { .. } => size += 1,
+            Event::TupleRetracted { .. } => size -= 1,
+            _ => continue,
+        }
+        out.push(GrowthPoint { step: *step, size });
+    }
+    out
+}
+
+/// Renders a growth curve as a small ASCII sparkline-style chart.
+pub fn render_growth(curve: &[GrowthPoint], width: usize) -> String {
+    if curve.is_empty() {
+        return String::from("(empty)");
+    }
+    let max = curve.iter().map(|p| p.size).max().unwrap_or(0).max(1);
+    let step = (curve.len().max(width) / width.max(1)).max(1);
+    let levels: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut s = String::new();
+    for chunk in curve.chunks(step).take(width) {
+        let v = chunk.iter().map(|p| p.size).max().unwrap_or(0);
+        let idx = ((v * (levels.len() as i64 - 1)) / max).clamp(0, levels.len() as i64 - 1);
+        s.push(levels[idx as usize]);
+    }
+    format!("{s}  (peak {max})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_core::{CompiledProgram, Runtime};
+
+    #[test]
+    fn curve_tracks_asserts_and_retracts() {
+        let program = CompiledProgram::from_source(
+            "process P() { -> <a>, <b>; exists v : <a>! -> ; }
+             init { <seed>; spawn P(); }",
+        )
+        .unwrap();
+        let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+        rt.run().unwrap();
+        let curve = growth(rt.event_log().unwrap(), 1);
+        assert_eq!(curve.first().unwrap().size, 1);
+        assert_eq!(curve.last().unwrap().size, 2, "seed + b");
+        let peak = curve.iter().map(|p| p.size).max().unwrap();
+        assert_eq!(peak, 3, "seed + a + b before retract");
+    }
+
+    #[test]
+    fn render_is_nonempty_and_bounded() {
+        let curve: Vec<GrowthPoint> = (0..100)
+            .map(|i| GrowthPoint {
+                step: i,
+                size: (i as i64) % 10,
+            })
+            .collect();
+        let s = render_growth(&curve, 20);
+        assert!(s.contains("peak 9"));
+        assert!(render_growth(&[], 20).contains("empty"));
+    }
+}

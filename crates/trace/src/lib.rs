@@ -1,0 +1,39 @@
+//! # sdl-trace — visualization and analysis of SDL executions
+//!
+//! The paper's motivation includes program *visualization*: "there is no
+//! other way for humans to assimilate voluminous information about the
+//! continuously changing program state", and the shared dataspace is
+//! "the only paradigm … which elegantly accommodates programmer-defined
+//! visualization". This crate is that substrate: it consumes the
+//! [`EventLog`](sdl_core::EventLog) a traced run produces and renders
+//!
+//! * per-process statistics ([`Stats`]),
+//! * an ASCII event [`timeline`],
+//! * dataspace growth curves ([`growth`]),
+//! * process-interaction and consensus-community graphs in DOT
+//!   ([`dot`]),
+//! * grouped dataspace snapshots ([`render_dataspace`]).
+//!
+//! ```
+//! use sdl_core::{CompiledProgram, Runtime};
+//!
+//! let program = CompiledProgram::from_source(
+//!     "process P() { exists v : <x, v>! -> <y, v>; } init { <x, 1>; spawn P(); }",
+//! ).unwrap();
+//! let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+//! rt.run().unwrap();
+//! let stats = sdl_trace::Stats::from_log(rt.event_log().unwrap());
+//! assert_eq!(stats.total_commits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dot;
+mod growth;
+mod render;
+mod stats;
+pub mod timeline;
+
+pub use growth::{growth, render_growth, GrowthPoint};
+pub use render::render_dataspace;
+pub use stats::{ProcStats, Stats};

@@ -1,0 +1,70 @@
+//! Dataspace snapshot rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sdl_dataspace::Dataspace;
+
+/// Renders a dataspace grouped by functor (leading atom), with counts —
+/// the "at a glance" view of the global data state.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_dataspace::Dataspace;
+/// use sdl_tuple::{tuple, ProcId, Value};
+///
+/// let mut d = Dataspace::new();
+/// d.assert_tuple(ProcId::ENV, tuple![Value::atom("label"), 1, 1]);
+/// d.assert_tuple(ProcId::ENV, tuple![Value::atom("label"), 2, 1]);
+/// let text = sdl_trace::render_dataspace(&d, 10);
+/// assert!(text.contains("label/3 (2)"));
+/// ```
+pub fn render_dataspace(ds: &Dataspace, max_per_group: usize) -> String {
+    let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (_, t) in ds.iter() {
+        let key = match t.functor() {
+            Some(f) => format!("{f}/{}", t.arity()),
+            None => format!("<anon>/{}", t.arity()),
+        };
+        groups.entry(key).or_default().push(t.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "dataspace: {} tuple(s)", ds.len());
+    for (key, tuples) in groups {
+        let _ = writeln!(out, "  {key} ({})", tuples.len());
+        for t in tuples.iter().take(max_per_group) {
+            let _ = writeln!(out, "    {t}");
+        }
+        if tuples.len() > max_per_group {
+            let _ = writeln!(out, "    … {} more", tuples.len() - max_per_group);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{tuple, ProcId, Value};
+
+    #[test]
+    fn groups_and_truncates() {
+        let mut d = Dataspace::new();
+        for i in 0..5 {
+            d.assert_tuple(ProcId::ENV, tuple![Value::atom("x"), i]);
+        }
+        d.assert_tuple(ProcId::ENV, tuple![1, 2]);
+        let text = render_dataspace(&d, 3);
+        assert!(text.contains("x/2 (5)"));
+        assert!(text.contains("… 2 more"));
+        assert!(text.contains("<anon>/2 (1)"));
+        assert!(text.contains("dataspace: 6"));
+    }
+
+    #[test]
+    fn empty_dataspace() {
+        let d = Dataspace::new();
+        assert!(render_dataspace(&d, 3).contains("0 tuple(s)"));
+    }
+}

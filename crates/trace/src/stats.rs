@@ -1,0 +1,206 @@
+//! Per-process and aggregate execution statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sdl_core::{Event, EventLog};
+use sdl_tuple::ProcId;
+
+/// Statistics for one process.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Definition name (empty for the environment pseudo-process).
+    pub name: String,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Failed immediate transactions.
+    pub failures: u64,
+    /// Tuples asserted.
+    pub asserts: u64,
+    /// Tuples retracted.
+    pub retracts: u64,
+    /// Assertions dropped by export filtering.
+    pub export_drops: u64,
+    /// Times the process blocked.
+    pub blocks: u64,
+    /// Consensus transactions it participated in.
+    pub consensus: u64,
+    /// True if it ended via `abort`.
+    pub aborted: bool,
+}
+
+/// Aggregate statistics over a run, derived from its event log.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::{CompiledProgram, Runtime};
+/// use sdl_trace::Stats;
+///
+/// let program = CompiledProgram::from_source(
+///     "process P() { -> <a>; -> <b>; } init { spawn P(); }",
+/// ).unwrap();
+/// let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+/// rt.run().unwrap();
+/// let stats = Stats::from_log(rt.event_log().unwrap());
+/// assert_eq!(stats.total_asserts, 2);
+/// assert_eq!(stats.per_process.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Statistics keyed by process.
+    pub per_process: BTreeMap<ProcId, ProcStats>,
+    /// All commits.
+    pub total_commits: u64,
+    /// All assertions.
+    pub total_asserts: u64,
+    /// All retractions.
+    pub total_retracts: u64,
+    /// Consensus firings.
+    pub consensus_rounds: u64,
+    /// Processes created.
+    pub processes_created: u64,
+}
+
+impl Stats {
+    /// Builds statistics from an event log.
+    pub fn from_log(log: &EventLog) -> Stats {
+        let mut s = Stats::default();
+        for (_, event) in log.iter() {
+            match event {
+                Event::TupleAsserted { by, .. } => {
+                    s.total_asserts += 1;
+                    s.proc(*by).asserts += 1;
+                }
+                Event::TupleRetracted { by, .. } => {
+                    s.total_retracts += 1;
+                    s.proc(*by).retracts += 1;
+                }
+                Event::ExportDropped { by, .. } => s.proc(*by).export_drops += 1,
+                Event::TxnCommitted { by, kind } => {
+                    s.total_commits += 1;
+                    let p = s.proc(*by);
+                    p.commits += 1;
+                    if *kind == sdl_lang::ast::TxnKind::Consensus {
+                        p.consensus += 1;
+                    }
+                }
+                Event::TxnFailed { by } => s.proc(*by).failures += 1,
+                Event::ProcessBlocked { id, .. } => s.proc(*id).blocks += 1,
+                Event::ProcessCreated { id, name, .. } => {
+                    s.processes_created += 1;
+                    s.proc(*id).name = name.clone();
+                }
+                Event::ProcessTerminated { id, aborted } => {
+                    s.proc(*id).aborted = *aborted;
+                }
+                Event::ConsensusReached { .. } => s.consensus_rounds += 1,
+            }
+        }
+        s
+    }
+
+    fn proc(&mut self, id: ProcId) -> &mut ProcStats {
+        self.per_process.entry(id).or_default()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<8} {:<16} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9}",
+            "proc", "name", "commits", "fails", "asserts", "retracts", "blocks", "consensus"
+        )?;
+        for (id, p) in &self.per_process {
+            writeln!(
+                f,
+                "{:<8} {:<16} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9}{}",
+                id.to_string(),
+                p.name,
+                p.commits,
+                p.failures,
+                p.asserts,
+                p.retracts,
+                p.blocks,
+                p.consensus,
+                if p.aborted { "  (aborted)" } else { "" }
+            )?;
+        }
+        write!(
+            f,
+            "total: {} commits, {} asserts, {} retracts, {} consensus round(s), {} process(es)",
+            self.total_commits,
+            self.total_asserts,
+            self.total_retracts,
+            self.consensus_rounds,
+            self.processes_created
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_core::{CompiledProgram, Runtime};
+
+    fn traced(src: &str) -> Runtime {
+        let program = CompiledProgram::from_source(src).unwrap();
+        let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+        rt.run().unwrap();
+        rt
+    }
+
+    #[test]
+    fn counts_commits_and_tuples() {
+        let rt = traced(
+            "process P() { -> <a>, <b>; exists v : <a>! -> ; }
+             init { spawn P(); }",
+        );
+        let s = Stats::from_log(rt.event_log().unwrap());
+        assert_eq!(s.total_commits, 2);
+        assert_eq!(s.total_asserts, 2);
+        assert_eq!(s.total_retracts, 1);
+        assert_eq!(s.processes_created, 1);
+        let p = s.per_process.values().next().unwrap();
+        assert_eq!(p.name, "P");
+        assert_eq!(p.commits, 2);
+    }
+
+    #[test]
+    fn counts_failures_blocks_and_aborts() {
+        let rt = traced(
+            "process P() { <nope> -> <bad>; <poison>! -> abort; }
+             process Q() { <never> => skip; }
+             init { <poison>; spawn P(); spawn Q(); }",
+        );
+        let s = Stats::from_log(rt.event_log().unwrap());
+        let p: Vec<&ProcStats> = s.per_process.values().collect();
+        assert_eq!(p[0].failures, 1);
+        assert!(p[0].aborted);
+        assert!(p[1].blocks >= 1);
+    }
+
+    #[test]
+    fn counts_consensus() {
+        let rt = traced(
+            "process W(me) { <ready, 1>, <ready, 2> @> skip; }
+             init { <ready, 1>; <ready, 2>; spawn W(1); spawn W(2); }",
+        );
+        let s = Stats::from_log(rt.event_log().unwrap());
+        assert_eq!(s.consensus_rounds, 1);
+        for p in s.per_process.values() {
+            assert_eq!(p.consensus, 1);
+        }
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let rt = traced("process P() { -> <a>; } init { spawn P(); }");
+        let s = Stats::from_log(rt.event_log().unwrap());
+        let out = s.to_string();
+        assert!(out.contains("commits"));
+        assert!(out.contains("total:"));
+        assert!(out.contains('P'));
+    }
+}

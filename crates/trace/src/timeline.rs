@@ -1,0 +1,102 @@
+//! ASCII event timelines.
+
+use std::fmt::Write as _;
+
+use sdl_core::{Event, EventLog};
+
+/// Renders the event log as one line per event, with logical time and a
+/// compact description — the textual ancestor of the paper's envisioned
+/// program visualization.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::{CompiledProgram, Runtime};
+///
+/// let program = CompiledProgram::from_source(
+///     "process P() { -> <a>; } init { spawn P(); }",
+/// ).unwrap();
+/// let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+/// rt.run().unwrap();
+/// let text = sdl_trace::timeline::render(rt.event_log().unwrap());
+/// assert!(text.contains("+ <a>"));
+/// ```
+pub fn render(log: &EventLog) -> String {
+    let mut out = String::new();
+    for (step, event) in log.iter() {
+        let line = match event {
+            Event::TupleAsserted { by, tuple, .. } => format!("{by}  + {tuple}"),
+            Event::TupleRetracted { by, tuple, .. } => format!("{by}  - {tuple}"),
+            Event::ExportDropped { by, tuple } => format!("{by}  x {tuple} (export)"),
+            Event::TxnCommitted { by, kind } => format!("{by}  commit {kind}"),
+            Event::TxnFailed { by } => format!("{by}  fail ->"),
+            Event::ProcessBlocked { id, consensus } => {
+                format!("{id}  blocked{}", if *consensus { " (consensus)" } else { "" })
+            }
+            Event::ProcessCreated { id, name, args, by } => {
+                let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+                format!("{by}  spawn {id} = {name}({})", args.join(", "))
+            }
+            Event::ProcessTerminated { id, aborted } => {
+                format!("{id}  {}", if *aborted { "aborted" } else { "terminated" })
+            }
+            Event::ConsensusReached { participants } => {
+                let ps: Vec<String> = participants.iter().map(ToString::to_string).collect();
+                format!("**  consensus [{}]", ps.join(", "))
+            }
+        };
+        let _ = writeln!(out, "{step:>6}  {line}");
+    }
+    out
+}
+
+/// Filters a rendered timeline to the lines mentioning `needle` — handy
+/// for following one process or one tuple shape.
+pub fn grep(log: &EventLog, needle: &str) -> String {
+    render(log)
+        .lines()
+        .filter(|l| l.contains(needle))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_core::{CompiledProgram, Runtime};
+
+    fn log_for(src: &str) -> Runtime {
+        let program = CompiledProgram::from_source(src).unwrap();
+        let mut rt = Runtime::builder(program).trace(true).build().unwrap();
+        rt.run().unwrap();
+        rt
+    }
+
+    #[test]
+    fn renders_all_event_kinds() {
+        let rt = log_for(
+            "process P() {
+                export { <ok, *>; }
+                -> <ok, 1>, <dropped>;
+                <nothing> -> <bad>;
+             }
+             process W(me) { <go> @> skip; }
+             init { <go>; spawn P(); spawn W(1); spawn W(2); }",
+        );
+        let text = render(rt.event_log().unwrap());
+        assert!(text.contains("+ <ok, 1>"));
+        assert!(text.contains("(export)"));
+        assert!(text.contains("fail ->"));
+        assert!(text.contains("consensus ["));
+        assert!(text.contains("spawn"));
+        assert!(text.contains("terminated"));
+    }
+
+    #[test]
+    fn grep_filters() {
+        let rt = log_for("process P() { -> <needle, 1>, <hay>; } init { spawn P(); }");
+        let hits = grep(rt.event_log().unwrap(), "needle");
+        assert!(hits.contains("needle"));
+        assert!(!hits.contains("hay"));
+    }
+}

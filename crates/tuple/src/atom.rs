@@ -1,0 +1,157 @@
+//! Interned symbols (atoms).
+//!
+//! SDL programs are full of symbolic constants — `year`, `found`, `nil`,
+//! `label`, `threshold` — that appear in millions of tuples. Atoms intern
+//! each distinct spelling once in a global table so that tuple fields are a
+//! fixed-size copyable id and equality is an integer compare.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned symbol.
+///
+/// Two atoms are equal iff their spellings are equal. Interning is global
+/// and thread-safe; atoms are never freed (SDL programs use a small, static
+/// vocabulary of symbols).
+///
+/// # Examples
+///
+/// ```
+/// use sdl_tuple::Atom;
+/// let a = Atom::new("year");
+/// let b = Atom::new("year");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "year");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl Atom {
+    /// Interns `name` and returns its atom.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_tuple::Atom;
+    /// assert_eq!(Atom::new("nil"), Atom::new("nil"));
+    /// assert_ne!(Atom::new("nil"), Atom::new("cons"));
+    /// ```
+    pub fn new(name: &str) -> Atom {
+        let mut i = interner().lock().expect("atom interner poisoned");
+        if let Some(&id) = i.ids.get(name) {
+            return Atom(id);
+        }
+        let id = u32::try_from(i.names.len()).expect("too many distinct atoms");
+        // Leaking is intentional: the vocabulary of symbols in an SDL
+        // program is small and lives for the whole run.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.names.push(leaked);
+        i.ids.insert(leaked, id);
+        Atom(id)
+    }
+
+    /// Returns the spelling of this atom.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("atom interner poisoned");
+        i.names[self.0 as usize]
+    }
+
+    /// The conventional `nil` atom used by SDL list structures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_tuple::Atom;
+    /// assert_eq!(Atom::nil().as_str(), "nil");
+    /// ```
+    pub fn nil() -> Atom {
+        Atom::new("nil")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atom({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Atom {
+        Atom::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Atom::new("alpha");
+        let b = Atom::new("alpha");
+        let c = Atom::new("beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "alpha");
+        assert_eq!(c.as_str(), "beta");
+    }
+
+    #[test]
+    fn display_is_spelling() {
+        assert_eq!(Atom::new("year").to_string(), "year");
+    }
+
+    #[test]
+    fn nil_is_interned_once() {
+        assert_eq!(Atom::nil(), Atom::new("nil"));
+    }
+
+    #[test]
+    fn atoms_from_str() {
+        let a: Atom = "gamma".into();
+        assert_eq!(a.as_str(), "gamma");
+    }
+
+    #[test]
+    fn atoms_are_threadsafe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let name = format!("t{}", i % 4);
+                    Atom::new(&name)
+                })
+            })
+            .collect();
+        let atoms: Vec<Atom> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, a) in atoms.iter().enumerate() {
+            assert_eq!(a.as_str(), format!("t{}", i % 4));
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Atom::new("x")).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # sdl-tuple — value domain and tuple matching for SDL
+//!
+//! This crate provides the data substrate of the Shared Dataspace Language
+//! (SDL) of Roman, Cunningham & Ehlers (ICDCS 1988): the value domain `V`
+//! from which tuple fields are drawn, tuples themselves, the unique tuple
+//! identifiers that record ownership, and the pattern/binding machinery used
+//! by queries and views.
+//!
+//! In the paper, the dataspace is "a finite but large multiset of tuples
+//! where each tuple is a sequence of values from some domain V (e.g., atoms
+//! and integers)". Tuples are written `<year, 87>`; patterns may contain
+//! constants, wildcard markers (`*`), and quantified variables.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sdl_tuple::{tuple, pattern, Bindings, Value, VarId};
+//!
+//! let t = tuple![Value::atom("year"), 87];
+//! let p = pattern![Value::atom("year"), var 0];
+//! let mut b = Bindings::new(1);
+//! assert!(p.matches(&t, &mut b));
+//! assert_eq!(b.get(VarId(0)), Some(&Value::Int(87)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod atom;
+mod bindings;
+mod pattern;
+mod tuple;
+mod value;
+
+pub use atom::Atom;
+pub use bindings::Bindings;
+pub use pattern::{Field, Pattern, VarId};
+pub use tuple::{ProcId, Tuple, TupleId, TupleInstance};
+pub use value::Value;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,118 @@
+//! Property-based tests for matching and bindings.
+
+use proptest::prelude::*;
+
+use crate::{Bindings, Field, Pattern, Tuple, Value, VarId};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        prop_oneof![Just("a"), Just("b"), Just("year"), Just("nil")].prop_map(Value::atom),
+        (-1000.0f64..1000.0).prop_map(Value::Float),
+    ]
+}
+
+fn arb_tuple(max_arity: usize) -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(arb_value(), 0..=max_arity).prop_map(Tuple::new)
+}
+
+proptest! {
+    /// A pattern built from a tuple's own values always matches it.
+    #[test]
+    fn ground_pattern_matches_itself(t in arb_tuple(6)) {
+        let p = Pattern::new(t.iter().cloned().map(Field::Const).collect());
+        let mut b = Bindings::new(0);
+        prop_assert!(p.matches(&t, &mut b));
+    }
+
+    /// An all-wildcard pattern of the right arity matches any tuple.
+    #[test]
+    fn wildcards_match_any(t in arb_tuple(6)) {
+        let p = Pattern::new(vec![Field::Any; t.arity()]);
+        let mut b = Bindings::new(0);
+        prop_assert!(p.matches(&t, &mut b));
+    }
+
+    /// An all-variable pattern binds each position to the tuple's value,
+    /// and instantiating it reproduces the tuple exactly.
+    #[test]
+    fn variables_bind_and_roundtrip(t in arb_tuple(6)) {
+        let arity = t.arity();
+        let p = Pattern::new(
+            (0..arity).map(|i| Field::Var(VarId(i as u16))).collect(),
+        );
+        let mut b = Bindings::new(arity);
+        prop_assert!(p.matches(&t, &mut b));
+        prop_assert_eq!(p.instantiate(&b).unwrap(), t);
+    }
+
+    /// Matching never leaves stray bindings behind on failure.
+    #[test]
+    fn failed_match_rolls_back(t in arb_tuple(5), u in arb_tuple(5)) {
+        let arity = t.arity();
+        let p = Pattern::new(
+            (0..arity).map(|i| Field::Var(VarId(i as u16))).collect(),
+        );
+        let mut b = Bindings::new(arity);
+        let matched = p.matches(&u, &mut b);
+        if !matched {
+            for i in 0..arity {
+                prop_assert!(!b.is_bound(VarId(i as u16)));
+            }
+        }
+    }
+
+    /// Arity mismatch never matches.
+    #[test]
+    fn arity_mismatch_never_matches(t in arb_tuple(5)) {
+        let p = Pattern::new(vec![Field::Any; t.arity() + 1]);
+        let mut b = Bindings::new(0);
+        prop_assert!(!p.matches(&t, &mut b));
+    }
+
+    /// mark/undo_to is idempotent and returns to the exact prior state.
+    #[test]
+    fn undo_restores_state(vals in proptest::collection::vec(arb_value(), 1..6)) {
+        let n = vals.len();
+        let mut b = Bindings::new(n);
+        b.bind(VarId(0), vals[0].clone());
+        let snapshot = b.to_vec();
+        let mark = b.mark();
+        for (i, v) in vals.iter().enumerate().skip(1) {
+            b.bind(VarId(i as u16), v.clone());
+        }
+        b.undo_to(mark);
+        prop_assert_eq!(b.to_vec(), snapshot);
+        b.undo_to(mark); // idempotent
+        prop_assert_eq!(b.to_vec(), b.to_vec());
+    }
+
+    /// Value ordering is a total order: antisymmetric and transitive on
+    /// sampled triples.
+    #[test]
+    fn value_order_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        if a.cmp(&b) == Ordering::Less {
+            prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+        }
+        if a.cmp(&b) == Ordering::Equal {
+            prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    /// Display of a tuple round-trips structure: field count is preserved.
+    #[test]
+    fn display_shows_all_fields(t in arb_tuple(6)) {
+        let s = t.to_string();
+        prop_assert!(s.starts_with('<') && s.ends_with('>'));
+        if t.arity() > 1 {
+            prop_assert_eq!(s.matches(", ").count() >= t.arity() - 1, true);
+        }
+    }
+}

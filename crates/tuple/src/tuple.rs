@@ -1,0 +1,304 @@
+//! Tuples, tuple identifiers, and process identifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Identifies a process in the SDL process society.
+///
+/// Process id 0 is reserved for the *environment* — the host program that
+/// sets up the initial dataspace and society.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_tuple::ProcId;
+/// assert_eq!(ProcId::ENV.to_string(), "p0");
+/// assert!(ProcId(3) > ProcId::ENV);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub u64);
+
+impl ProcId {
+    /// The environment pseudo-process that owns initial tuples.
+    pub const ENV: ProcId = ProcId(0);
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The unique identifier of one tuple *instance* in the dataspace.
+///
+/// The paper: "Each tuple is owned by the process that asserted it and the
+/// owner may be determined by examining the unique tuple identifier
+/// associated with each tuple." Identifiers pair the owner with a
+/// per-dataspace sequence number, so two instances of the same tuple value
+/// are distinguishable and "retracting one instance of a tuple may leave
+/// other instances of it in the dataspace".
+///
+/// # Examples
+///
+/// ```
+/// use sdl_tuple::{ProcId, TupleId};
+/// let id = TupleId { owner: ProcId(7), seq: 42 };
+/// assert_eq!(id.to_string(), "t42@p7");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId {
+    /// The process that asserted the tuple.
+    pub owner: ProcId,
+    /// Dataspace-wide sequence number; unique across the whole run.
+    pub seq: u64,
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}@{}", self.seq, self.owner)
+    }
+}
+
+/// An immutable sequence of [`Value`]s — one element of the dataspace
+/// multiset.
+///
+/// Cloning is cheap (`Arc`-backed): the dataspace, windows, and traces all
+/// share the same field storage.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_tuple::{tuple, Tuple, Value};
+/// let t = tuple![Value::atom("year"), 87];
+/// assert_eq!(t.arity(), 2);
+/// assert_eq!(t[1], Value::Int(87));
+/// assert_eq!(t.to_string(), "<year, 87>");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    fields: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from its field values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_tuple::{Tuple, Value};
+    /// let t = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+    /// assert_eq!(t.arity(), 2);
+    /// ```
+    pub fn new(fields: Vec<Value>) -> Tuple {
+        Tuple {
+            fields: fields.into(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Returns the field at `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.fields.get(i)
+    }
+
+    /// The fields as a slice.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Iterates over the fields.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.fields.iter()
+    }
+
+    /// The *functor* of a tuple: its first field if that field is an atom.
+    ///
+    /// SDL style puts a discriminating symbol first (`<label, p, l>`,
+    /// `<threshold, p, t>`); the dataspace indexes on it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_tuple::{tuple, Atom, Value};
+    /// assert_eq!(tuple![Value::atom("label"), 3].functor(), Some(Atom::new("label")));
+    /// assert_eq!(tuple![Value::Int(1), 3].functor(), None);
+    /// ```
+    pub fn functor(&self) -> Option<crate::Atom> {
+        self.fields.first().and_then(Value::as_atom)
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.fields[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("<")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(">")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(fields: Vec<Value>) -> Tuple {
+        Tuple::new(fields)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.iter()
+    }
+}
+
+/// A tuple instance: a tuple value paired with its unique identifier.
+///
+/// The dataspace stores instances; queries and windows traffic in them so
+/// retraction can name the exact instance matched.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TupleInstance {
+    /// The unique identifier of this instance.
+    pub id: TupleId,
+    /// The tuple value.
+    pub tuple: Tuple,
+}
+
+impl TupleInstance {
+    /// Pairs a tuple with its identifier.
+    pub fn new(id: TupleId, tuple: Tuple) -> TupleInstance {
+        TupleInstance { id, tuple }
+    }
+}
+
+impl fmt::Display for TupleInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.tuple, self.id)
+    }
+}
+
+/// Builds a [`Tuple`] from field expressions, each convertible to
+/// [`Value`].
+///
+/// # Examples
+///
+/// ```
+/// use sdl_tuple::{tuple, Value};
+/// let t = tuple![Value::atom("year"), 87];
+/// assert_eq!(t.to_string(), "<year, 87>");
+/// let empty = tuple![];
+/// assert_eq!(empty.arity(), 0);
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    () => { $crate::Tuple::new(::std::vec::Vec::new()) };
+    ($($field:expr),+ $(,)?) => {
+        $crate::Tuple::new(::std::vec![$($crate::Value::from($field)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Value::atom("a"), Value::Int(1)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Value::atom("a"));
+        assert_eq!(t.get(1), Some(&Value::Int(1)));
+        assert_eq!(t.get(2), None);
+        assert!(!t.is_empty());
+        assert!(tuple![].is_empty());
+    }
+
+    #[test]
+    fn macro_and_from() {
+        let t = tuple![Value::atom("k"), 3, true];
+        assert_eq!(t.fields().len(), 3);
+        let u: Tuple = vec![Value::Int(1)].into();
+        assert_eq!(u.arity(), 1);
+        let w: Tuple = [Value::Int(2)].into_iter().collect();
+        assert_eq!(w[0], Value::Int(2));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(tuple![Value::atom("year"), 87].to_string(), "<year, 87>");
+        assert_eq!(tuple![].to_string(), "<>");
+    }
+
+    #[test]
+    fn functor_is_leading_atom() {
+        assert_eq!(
+            tuple![Value::atom("label"), 1, 2].functor(),
+            Some(crate::Atom::new("label"))
+        );
+        assert_eq!(tuple![Value::Int(9)].functor(), None);
+        assert_eq!(tuple![].functor(), None);
+    }
+
+    #[test]
+    fn instance_display() {
+        let inst = TupleInstance::new(
+            TupleId {
+                owner: ProcId(2),
+                seq: 9,
+            },
+            tuple![Value::Int(1)],
+        );
+        assert_eq!(inst.to_string(), "<1>#t9@p2");
+    }
+
+    #[test]
+    fn equal_tuples_compare_equal_regardless_of_storage() {
+        let a = tuple![Value::Int(1), Value::Int(2)];
+        let b = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(a, b);
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v[0], v[1]);
+    }
+
+    #[test]
+    fn iteration() {
+        let t = tuple![1, 2, 3];
+        let sum: i64 = t.iter().filter_map(Value::as_int).sum();
+        assert_eq!(sum, 6);
+        let sum2: i64 = (&t).into_iter().filter_map(Value::as_int).sum();
+        assert_eq!(sum2, 6);
+    }
+}

@@ -1,0 +1,357 @@
+//! The SDL value domain `V`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::atom::Atom;
+use crate::tuple::{ProcId, TupleId};
+
+/// A value from the SDL domain `V`.
+///
+/// The paper describes the domain as "e.g., atoms and integers"; this
+/// implementation extends it with the other scalar kinds any practical SDL
+/// program needs (booleans, floats, strings) plus two identifier kinds the
+/// paper singles out: process references (results of process creation) and
+/// tuple identifiers ("typically ignored by application programs but of
+/// interest during debugging and testing").
+///
+/// `Value` has a *total* order (variant rank first, then payload) so that
+/// values can key ordered containers and so query tests like `α > 87` are
+/// deterministic across mixed-type dataspaces. Floats order by IEEE total
+/// ordering; `NaN` compares greater than all other floats and equal to
+/// itself.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_tuple::Value;
+/// let v = Value::Int(87);
+/// assert!(v < Value::Int(90));
+/// assert_eq!(Value::atom("year"), Value::atom("year"));
+/// ```
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float. Equality and hashing use the bit pattern of the
+    /// canonicalised value (`-0.0` normalises to `0.0`, all NaNs to one NaN).
+    Float(f64),
+    /// An interned symbol such as `year` or `nil`.
+    Atom(Atom),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A reference to a process in the society.
+    Pid(ProcId),
+    /// A tuple identifier (owner process + sequence number).
+    Tid(TupleId),
+}
+
+impl Value {
+    /// Convenience constructor for atom values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_tuple::{Atom, Value};
+    /// assert_eq!(Value::atom("nil"), Value::Atom(Atom::nil()));
+    /// ```
+    pub fn atom(name: &str) -> Value {
+        Value::Atom(Atom::new(name))
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The `nil` atom.
+    pub fn nil() -> Value {
+        Value::Atom(Atom::nil())
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, widening integers, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the atom payload, if this is an `Atom`.
+    pub fn as_atom(&self) -> Option<Atom> {
+        match self {
+            Value::Atom(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if this value is the `nil` atom.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdl_tuple::Value;
+    /// assert!(Value::nil().is_nil());
+    /// assert!(!Value::Int(0).is_nil());
+    /// ```
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Atom(a) if *a == Atom::nil())
+    }
+
+    /// True if this value is numeric (`Int` or `Float`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Atom(_) => 3,
+            Value::Str(_) => 4,
+            Value::Pid(_) => 5,
+            Value::Tid(_) => 6,
+        }
+    }
+
+    fn canonical_float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::canonical_float_bits(*a) == Value::canonical_float_bits(*b)
+            }
+            (Value::Atom(a), Value::Atom(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Pid(a), Value::Pid(b)) => a == b,
+            (Value::Tid(a), Value::Tid(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => Value::canonical_float_bits(*f).hash(state),
+            Value::Atom(a) => a.hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Pid(p) => p.hash(state),
+            Value::Tid(t) => t.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            // Mixed numerics order by numeric value where comparable, with
+            // ties broken by rank so the order stays total and antisymmetric.
+            (Value::Int(a), Value::Float(b)) => (*a as f64)
+                .total_cmp(b)
+                .then(self.rank().cmp(&other.rank())),
+            (Value::Float(a), Value::Int(b)) => a
+                .total_cmp(&(*b as f64))
+                .then(self.rank().cmp(&other.rank())),
+            (Value::Atom(a), Value::Atom(b)) => a.as_str().cmp(b.as_str()),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Pid(a), Value::Pid(b)) => a.cmp(b),
+            (Value::Tid(a), Value::Tid(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Pid(p) => write!(f, "{p}"),
+            Value::Tid(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Value {
+        Value::Atom(a)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Atom(Atom::new(s))
+    }
+}
+
+impl From<ProcId> for Value {
+    fn from(p: ProcId) -> Value {
+        Value::Pid(p)
+    }
+}
+
+impl From<TupleId> for Value {
+    fn from(t: TupleId) -> Value {
+        Value::Tid(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_by_payload() {
+        assert_eq!(Value::Int(1), Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Int(2));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::str("a"), Value::str("a"));
+    }
+
+    #[test]
+    fn float_canonicalisation() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(-f64::NAN));
+    }
+
+    #[test]
+    fn total_order_across_variants() {
+        let mut vals = vec![
+            Value::str("z"),
+            Value::Int(3),
+            Value::Bool(true),
+            Value::atom("a"),
+            Value::Float(2.5),
+        ];
+        vals.sort();
+        // Bool < Int/Float (numeric) < Atom < Str.
+        assert_eq!(vals[0], Value::Bool(true));
+        assert_eq!(vals[3], Value::atom("a"));
+        assert_eq!(vals[4], Value::str("z"));
+    }
+
+    #[test]
+    fn mixed_numeric_order_is_by_value() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+        // Equal numerics with different variants break ties by rank
+        // (Int rank < Float rank), keeping the order antisymmetric.
+        assert!(Value::Int(1) < Value::Float(1.0));
+        assert!(Value::Float(1.0) > Value::Int(1));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Float(2.0).as_int(), None);
+        assert_eq!(Value::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Value::atom("x").as_atom(), Some(Atom::new("x")));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::nil().is_nil());
+        assert!(Value::Int(1).is_numeric());
+        assert!(!Value::atom("one").is_numeric());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::atom("year").to_string(), "year");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn hash_respects_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::Float(0.0));
+        assert!(s.contains(&Value::Float(-0.0)));
+        s.insert(Value::Int(0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("a"), Value::atom("a"));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+    }
+}

@@ -1,0 +1,64 @@
+//! Dining philosophers in SDL — multi-tuple atomic transactions make the
+//! classic deadlock impossible by construction: a philosopher picks up
+//! *both* chopsticks in one transaction or neither.
+//!
+//! ```sh
+//! cargo run --example dining_philosophers
+//! ```
+
+use sdl::core::{CompiledProgram, Runtime};
+use sdl_tuple::{pattern, Value};
+
+const N: i64 = 5;
+const MEALS: i64 = 3;
+
+fn main() {
+    let source = "
+        process Philosopher(me, left, right) {
+            loop {
+                // Hungry and both chopsticks free: take both atomically.
+                // The delayed tag (=>) keeps the philosopher waiting when
+                // a neighbour holds a stick, instead of leaving the table.
+                exists m : <hungry, me, m>!, <chopstick, left>!, <chopstick, right>! : m > 0
+                    => <eating, me>, <hungry, me, m - 1>
+              | // Done eating: put both chopsticks back.
+                <eating, me>! -> <chopstick, left>, <chopstick, right>
+              | // No more meals wanted and not mid-meal: leave the table.
+                exists m2 : <hungry, me, m2>!, not <eating, me> : m2 == 0
+                    -> <sated, me>, exit
+            }
+        }
+    ";
+    let program = CompiledProgram::from_source(source).expect("compiles");
+    let mut b = Runtime::builder(program).seed(1);
+    for k in 0..N {
+        b = b.tuple(sdl_tuple::tuple![Value::atom("chopstick"), k]);
+        b = b.tuple(sdl_tuple::tuple![Value::atom("hungry"), k, MEALS]);
+        b = b.spawn(
+            "Philosopher",
+            vec![Value::Int(k), Value::Int(k), Value::Int((k + 1) % N)],
+        );
+    }
+    let mut rt = b.build().expect("builds");
+    let report = rt.run().expect("runs");
+
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    let sated = rt
+        .dataspace()
+        .count_matches(&pattern![Value::atom("sated"), any]);
+    let chopsticks = rt
+        .dataspace()
+        .count_matches(&pattern![Value::atom("chopstick"), any]);
+    println!(
+        "{N} philosophers each ate {MEALS} meals: {sated} sated, \
+         {chopsticks} chopsticks back on the table"
+    );
+    println!("({} transactions, {} attempts)", report.commits, report.attempts);
+    assert_eq!(sated as i64, N);
+    assert_eq!(chopsticks as i64, N);
+    println!(
+        "\nNo deadlock is possible: `<chopstick, left>!, <chopstick, right>!` \
+         is one atomic transaction — a philosopher never holds one stick \
+         while waiting for the other."
+    );
+}

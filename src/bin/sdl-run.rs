@@ -1,0 +1,138 @@
+//! `sdl-run` — run an SDL program from a `.sdl` source file.
+//!
+//! ```text
+//! sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats]
+//!         [--max-attempts N] [--grid WxH]
+//! ```
+//!
+//! * `--rounds`      use the maximal-parallel-rounds scheduler
+//! * `--trace`       print the event timeline after the run
+//! * `--stats`       print per-process statistics
+//! * `--grid WxH`    register the `neighbor` predicate for a W×H grid
+//! * `--seed N`      scheduler seed (default 0)
+
+use std::process::ExitCode;
+
+use sdl::core::{Builtins, CompiledProgram, RunLimits, Runtime};
+use sdl::trace::{render_dataspace, Stats};
+
+struct Args {
+    file: String,
+    seed: u64,
+    rounds: bool,
+    trace: bool,
+    stats: bool,
+    max_attempts: u64,
+    grid: Option<(i64, i64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats] \
+         [--max-attempts N] [--grid WxH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: String::new(),
+        seed: 0,
+        rounds: false,
+        trace: false,
+        stats: false,
+        max_attempts: RunLimits::default().max_attempts,
+        grid: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--rounds" => args.rounds = true,
+            "--trace" => args.trace = true,
+            "--stats" => args.stats = true,
+            "--max-attempts" => {
+                args.max_attempts =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--grid" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let (w, h) = spec.split_once('x').unwrap_or_else(|| usage());
+                args.grid = Some((
+                    w.parse().unwrap_or_else(|_| usage()),
+                    h.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--help" | "-h" => usage(),
+            f if args.file.is_empty() && !f.starts_with('-') => args.file = f.to_owned(),
+            _ => usage(),
+        }
+    }
+    if args.file.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sdl-run: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match CompiledProgram::from_source(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sdl-run: {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builtins = Builtins::standard();
+    if let Some((w, h)) = args.grid {
+        builtins.register_grid_neighbor(w, h);
+    }
+    let mut rt = match Runtime::builder(program)
+        .seed(args.seed)
+        .trace(args.trace || args.stats)
+        .builtins(builtins)
+        .limits(RunLimits {
+            max_attempts: args.max_attempts,
+        })
+        .build()
+    {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("sdl-run: init failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.rounds { rt.run_rounds() } else { rt.run() };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sdl-run: runtime error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+    if matches!(report.outcome, sdl::core::Outcome::Quiescent { .. }) {
+        print!("{}", rt.blocked_report());
+    }
+    println!("{}", render_dataspace(rt.dataspace(), 20));
+    if args.stats {
+        println!("{}", Stats::from_log(rt.event_log().expect("tracing on")));
+    }
+    if args.trace {
+        println!("timeline:");
+        print!(
+            "{}",
+            sdl::trace::timeline::render(rt.event_log().expect("tracing on"))
+        );
+    }
+    ExitCode::SUCCESS
+}

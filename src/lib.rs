@@ -1,0 +1,16 @@
+//! # sdl — Shared Dataspace Language
+//!
+//! Facade crate re-exporting the full SDL stack: a reproduction of
+//! Roman, Cunningham & Ehlers, *A Shared Dataspace Language Supporting
+//! Large-Scale Concurrency* (ICDCS 1988).
+//!
+//! See the `README.md` for a tour and `examples/` for runnable programs.
+
+pub use sdl_core as core;
+pub use sdl_dataspace as dataspace;
+pub use sdl_lang as lang;
+pub use sdl_linda as linda;
+pub use sdl_trace as trace;
+pub use sdl_tuple as tuple;
+
+pub mod workloads;

@@ -1,0 +1,473 @@
+//! Reusable workload generators for the paper's three example problems
+//! (§3.1 array summation, §3.2 property lists, §3.3 region labeling),
+//! shared by the runnable examples, the integration tests, and the
+//! benchmark harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdl_core::{Builtins, CompiledProgram, Runtime, RuntimeBuilder};
+use sdl_dataspace::TupleSource;
+use sdl_tuple::{tuple, Value};
+
+// ---------------------------------------------------------------------
+// §3.1 — array summation
+// ---------------------------------------------------------------------
+
+/// SDL source of the paper's `Sum1`: synchronous, phase-per-consensus.
+pub const SUM1_SRC: &str = "
+    process Sum1(k, j) {
+        exists a, b : <k - 2^(j-1), a>!, <k, b>! -> <k, a + b>;
+        select {
+            k mod 2^(j+1) == 0 @> spawn Sum1(k, j+1)
+          | k mod 2^(j+1) != 0 @> skip
+        }
+    }
+";
+
+/// SDL source of the paper's `Sum2`: asynchronous, phase-tagged data.
+pub const SUM2_SRC: &str = "
+    process Sum2(k, j) {
+        exists a, b : <k - 2^(j-1), a, j>!, <k, b, j>! => <k, a + b, j + 1>;
+    }
+";
+
+/// SDL source of the paper's `Sum3`: the replication one-liner.
+pub const SUM3_SRC: &str = "
+    process Sum3() {
+        par { exists n, a, m, b : <n, a>!, <m, b>! : n != m -> <m, a + b> }
+    }
+";
+
+/// A random array of `n` values in `0..100` (`n` must be a power of two
+/// for `Sum1`/`Sum2`).
+pub fn random_array(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..100)).collect()
+}
+
+/// Builds a runtime for `Sum1` over `values` (length must be a power of
+/// two).
+///
+/// # Panics
+///
+/// Panics if the program fails to compile (it does not) or the length is
+/// not a power of two.
+pub fn sum1_runtime(values: &[i64], seed: u64) -> Runtime {
+    assert!(values.len().is_power_of_two(), "Sum1 needs N = 2^a");
+    let program = CompiledProgram::from_source(SUM1_SRC).expect("Sum1 compiles");
+    let mut b = Runtime::builder(program).seed(seed);
+    for (i, v) in values.iter().enumerate() {
+        b = b.tuple(tuple![i as i64 + 1, *v]);
+    }
+    for k in 1..=values.len() as i64 {
+        if k % 2 == 0 {
+            b = b.spawn("Sum1", vec![Value::Int(k), Value::Int(1)]);
+        }
+    }
+    b.build().expect("Sum1 builds")
+}
+
+/// Builds a runtime for `Sum2` over `values` (length must be a power of
+/// two).
+///
+/// # Panics
+///
+/// As [`sum1_runtime`].
+pub fn sum2_runtime(values: &[i64], seed: u64) -> Runtime {
+    assert!(values.len().is_power_of_two(), "Sum2 needs N = 2^a");
+    let program = CompiledProgram::from_source(SUM2_SRC).expect("Sum2 compiles");
+    let n = values.len() as i64;
+    let mut b = Runtime::builder(program).seed(seed);
+    for (i, v) in values.iter().enumerate() {
+        b = b.tuple(tuple![i as i64 + 1, *v, 1i64]);
+    }
+    let mut j = 1u32;
+    while 2i64.pow(j) <= n {
+        let stride = 2i64.pow(j);
+        let mut k = stride;
+        while k <= n {
+            b = b.spawn("Sum2", vec![Value::Int(k), Value::Int(i64::from(j))]);
+            k += stride;
+        }
+        j += 1;
+    }
+    b.build().expect("Sum2 builds")
+}
+
+/// Builds a runtime for `Sum3` over `values` (any length ≥ 1).
+///
+/// # Panics
+///
+/// Panics if the program fails to compile (it does not).
+pub fn sum3_runtime(values: &[i64], seed: u64) -> Runtime {
+    let program = CompiledProgram::from_source(SUM3_SRC).expect("Sum3 compiles");
+    let mut b = Runtime::builder(program).seed(seed);
+    for (i, v) in values.iter().enumerate() {
+        b = b.tuple(tuple![i as i64 + 1, *v]);
+    }
+    b = b.spawn("Sum3", vec![]);
+    b.build().expect("Sum3 builds")
+}
+
+/// Reads the single remaining `<k, sum>` tuple after a summation run.
+///
+/// # Panics
+///
+/// Panics if the dataspace does not contain exactly one tuple.
+pub fn final_sum(rt: &Runtime) -> i64 {
+    assert_eq!(rt.dataspace().len(), 1, "summation must leave one tuple");
+    let (_, t) = rt.dataspace().iter().next().expect("one tuple");
+    t[1].as_int().expect("numeric sum")
+}
+
+// ---------------------------------------------------------------------
+// §3.2 — property lists
+// ---------------------------------------------------------------------
+
+/// SDL source of the paper's `Search` (recursive traversal by process
+/// creation) and `Find` (content addressing).
+pub const PROPERTY_SRC: &str = "
+    process Search(id, P) {
+        select {
+            exists v : <id, P, v, *> -> <found, P, v>
+          | exists pi, n : <id, pi, *, n> : pi != P and n != nil -> spawn Search(n, P)
+          | exists pi2 : <id, pi2, *, nil> : pi2 != P -> <found, P, not_found>
+        }
+    }
+    process Find(P) {
+        select {
+            exists v : <*, P, v, *> -> <found, P, v>
+          | not <*, P, *, *> -> <found, P, not_found>
+        }
+    }
+";
+
+/// SDL source of the paper's `Sort` over a linked property list:
+/// neighbour exchange on `<node, value>` pairs with consensus-detected
+/// termination.
+pub const SORT_SRC: &str = "
+    process Sort(this, next) {
+        import { <this, *>; <next, *>; }
+        export { <this, *>; <next, *>; }
+        loop {
+            exists a, b : <this, a>!, <next, b>! : a > b -> <this, b>, <next, a>
+          | exists a2, b2 : <this, a2>, <next, b2> : a2 <= b2 @> exit
+        }
+    }
+";
+
+/// Builds a linked property list of `len` nodes: node ids are atoms
+/// `nd0…`, property names `prop0…`, values are integers. Returns the
+/// `(tuples, property names)` pair.
+pub fn property_list(len: usize) -> (Vec<sdl_tuple::Tuple>, Vec<String>) {
+    let mut tuples = Vec::with_capacity(len);
+    let mut names = Vec::with_capacity(len);
+    for i in 0..len {
+        let name = format!("prop{i}");
+        let next: Value = if i + 1 < len {
+            Value::atom(&format!("nd{}", i + 1))
+        } else {
+            Value::nil()
+        };
+        tuples.push(tuple![
+            Value::atom(&format!("nd{i}")),
+            Value::atom(&name),
+            i as i64 * 10,
+            next
+        ]);
+        names.push(name);
+    }
+    (tuples, names)
+}
+
+/// Builds a runtime sorting `values` with one `Sort` process per adjacent
+/// pair.
+///
+/// # Panics
+///
+/// Panics if the program fails to compile (it does not).
+pub fn sort_runtime(values: &[i64], seed: u64) -> Runtime {
+    let program = CompiledProgram::from_source(SORT_SRC).expect("Sort compiles");
+    let n = values.len() as i64;
+    let mut b = Runtime::builder(program).seed(seed);
+    for (i, v) in values.iter().enumerate() {
+        b = b.tuple(tuple![i as i64 + 1, *v]);
+    }
+    for i in 1..n {
+        b = b.spawn("Sort", vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    b.build().expect("Sort builds")
+}
+
+/// Reads back the sorted `<position, value>` pairs.
+///
+/// # Panics
+///
+/// Panics if a position does not hold exactly one value.
+pub fn read_sequence(rt: &Runtime, n: usize) -> Vec<i64> {
+    (1..=n as i64)
+        .map(|i| {
+            let ids = rt.dataspace().find_all(&sdl_tuple::pattern![i, any]);
+            assert_eq!(ids.len(), 1, "position {i}");
+            rt.dataspace().tuple(ids[0]).expect("live")[1]
+                .as_int()
+                .expect("numeric")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// §3.3 — region labeling
+// ---------------------------------------------------------------------
+
+/// A synthetic grey-level image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: i64,
+    /// Height in pixels.
+    pub height: i64,
+    /// Row-major intensities.
+    pub pixels: Vec<i64>,
+}
+
+impl Image {
+    /// A synthetic image: dark background with `blobs` random bright
+    /// rectangles — the stand-in for the paper's digitised terrain scans.
+    pub fn synthetic(width: i64, height: i64, blobs: usize, seed: u64) -> Image {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = vec![10i64; (width * height) as usize];
+        for _ in 0..blobs {
+            let w = rng.random_range(1..=(width / 2).max(1));
+            let h = rng.random_range(1..=(height / 2).max(1));
+            let x0 = rng.random_range(0..width - w + 1);
+            let y0 = rng.random_range(0..height - h + 1);
+            for y in y0..y0 + h {
+                for x in x0..x0 + w {
+                    pixels[(y * width + x) as usize] = 200;
+                }
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// True if the image has no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// The threshold class of intensity `v` under `cutoff`.
+    pub fn threshold(v: i64, cutoff: i64) -> i64 {
+        i64::from(v >= cutoff)
+    }
+
+    /// Reference labeling: 4-connected components over threshold classes,
+    /// each pixel labelled with the **largest pixel id** in its region —
+    /// exactly what the SDL programs compute.
+    pub fn flood_fill_labels(&self, cutoff: i64) -> Vec<i64> {
+        let n = self.pixels.len();
+        let t: Vec<i64> = self
+            .pixels
+            .iter()
+            .map(|v| Image::threshold(*v, cutoff))
+            .collect();
+        let mut comp = vec![usize::MAX; n];
+        let mut comp_max: Vec<i64> = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = comp_max.len();
+            comp_max.push(start as i64);
+            let mut stack = vec![start];
+            comp[start] = c;
+            while let Some(p) = stack.pop() {
+                comp_max[c] = comp_max[c].max(p as i64);
+                let (x, y) = (p as i64 % self.width, p as i64 / self.width);
+                for (nx, ny) in [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)] {
+                    if nx < 0 || ny < 0 || nx >= self.width || ny >= self.height {
+                        continue;
+                    }
+                    let q = (ny * self.width + nx) as usize;
+                    if comp[q] == usize::MAX && t[q] == t[p] {
+                        comp[q] = c;
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        (0..n).map(|p| comp_max[comp[p]]).collect()
+    }
+}
+
+/// SDL source of the paper's worker-model `Threshold_and_label`: one
+/// process, many parallel transactions.
+pub const WORKER_LABELING_SRC: &str = "
+    process ThresholdAndLabel() {
+        par {
+            exists p, v : <image, p, v>! -> <threshold, p, T(v)>, <label, p, p>
+          | exists p1, p2, t, l1, l2 :
+                <threshold, p1, t>, <threshold, p2, t>,
+                <label, p1, l1>!, <label, p2, l2> :
+                neighbor(p1, p2) and l1 < l2
+                -> <label, p1, l2>
+        }
+    }
+";
+
+/// SDL source of the paper's community-model `Threshold` + `Label`:
+/// per-pixel processes whose dataspace-dependent views carve the society
+/// into per-region consensus communities.
+pub const COMMUNITY_LABELING_SRC: &str = "
+    process Threshold() {
+        par {
+            exists p, v : <image, p, v>!
+                -> <threshold, p, T(v)>, spawn Label(p, T(v))
+        }
+    }
+    process Label(r, t) {
+        import {
+            <threshold, r, t>;
+            <label, r, *>;
+            <image, r, *>;
+            forall p : neighbor(p, r) => <threshold, p, t>;
+            forall p2, l : neighbor(p2, r), <threshold, p2, t> => <label, p2, l>;
+            forall p3, v : neighbor(p3, r) => <image, p3, v>;
+        }
+        export { <label, *, *>; }
+        -> <label, r, r>;
+        not <image, *, *> => skip;
+        loop {
+            exists l, p4, l2 : <label, r, l>!, <label, p4, l2> : l < l2
+                -> <label, r, l2>
+          | forall p5, l3, l4 : <threshold, r, t>!, <label, p5, l3>, <label, r, l4> :
+                l3 == l4 @> exit
+        }
+    }
+";
+
+/// Built-ins for an image: 4-connectivity `neighbor` and the threshold
+/// function `T`.
+pub fn image_builtins(image: &Image, cutoff: i64) -> Builtins {
+    let mut b = Builtins::standard();
+    b.register_grid_neighbor(image.width, image.height);
+    b.register("T", move |args: &[Value]| {
+        args[0].as_int().map(|v| Value::Int(Image::threshold(v, cutoff)))
+    });
+    b
+}
+
+fn seeded_image_builder(program: CompiledProgram, image: &Image, cutoff: i64, seed: u64) -> RuntimeBuilder {
+    let mut b = Runtime::builder(program)
+        .seed(seed)
+        .builtins(image_builtins(image, cutoff));
+    for (p, v) in image.pixels.iter().enumerate() {
+        b = b.tuple(tuple![Value::atom("image"), p as i64, *v]);
+    }
+    b
+}
+
+/// Builds the worker-model labeling runtime.
+///
+/// # Panics
+///
+/// Panics if the program fails to compile (it does not).
+pub fn worker_labeling_runtime(image: &Image, cutoff: i64, seed: u64) -> Runtime {
+    let program =
+        CompiledProgram::from_source(WORKER_LABELING_SRC).expect("worker labeling compiles");
+    seeded_image_builder(program, image, cutoff, seed)
+        .spawn("ThresholdAndLabel", vec![])
+        .build()
+        .expect("worker labeling builds")
+}
+
+/// Builds the community-model labeling runtime.
+///
+/// # Panics
+///
+/// Panics if the program fails to compile (it does not).
+pub fn community_labeling_runtime(image: &Image, cutoff: i64, seed: u64) -> Runtime {
+    let program =
+        CompiledProgram::from_source(COMMUNITY_LABELING_SRC).expect("community labeling compiles");
+    seeded_image_builder(program, image, cutoff, seed)
+        .spawn("Threshold", vec![])
+        .build()
+        .expect("community labeling builds")
+}
+
+/// Reads the final `<label, p, l>` tuples back as a per-pixel vector.
+///
+/// # Panics
+///
+/// Panics if a pixel does not carry exactly one label.
+pub fn read_labels(rt: &Runtime, n_pixels: usize) -> Vec<i64> {
+    (0..n_pixels as i64)
+        .map(|p| {
+            let ids = rt
+                .dataspace()
+                .find_all(&sdl_tuple::pattern![Value::atom("label"), p, any]);
+            assert_eq!(ids.len(), 1, "pixel {p} labels: {ids:?}");
+            rt.dataspace().tuple(ids[0]).expect("live")[2]
+                .as_int()
+                .expect("numeric label")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_image_is_deterministic() {
+        let a = Image::synthetic(8, 8, 3, 42);
+        let b = Image::synthetic(8, 8, 3, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.pixels.iter().any(|&v| v == 200), "has bright pixels");
+        assert!(a.pixels.iter().any(|&v| v == 10), "has background");
+    }
+
+    #[test]
+    fn flood_fill_labels_max_per_region() {
+        // 2x2, all same class: one region labelled 3 (the max id).
+        let img = Image {
+            width: 2,
+            height: 2,
+            pixels: vec![10, 10, 10, 10],
+        };
+        assert_eq!(img.flood_fill_labels(128), vec![3, 3, 3, 3]);
+        // Left column bright, right column dark: two vertical regions.
+        let img2 = Image {
+            width: 2,
+            height: 2,
+            pixels: vec![200, 10, 200, 10],
+        };
+        assert_eq!(img2.flood_fill_labels(128), vec![2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn property_list_links_nodes() {
+        let (tuples, names) = property_list(3);
+        assert_eq!(tuples.len(), 3);
+        assert_eq!(names[0], "prop0");
+        assert!(tuples[2][3].is_nil());
+        assert_eq!(tuples[0][3], Value::atom("nd1"));
+    }
+
+    #[test]
+    fn random_array_is_seeded() {
+        assert_eq!(random_array(8, 1), random_array(8, 1));
+        assert_ne!(random_array(8, 1), random_array(8, 2));
+    }
+}

@@ -1,0 +1,109 @@
+//! E1 — §3.1 array summation: all three SDL programs compute the same
+//! sum as a sequential fold, with the concurrency structure the paper
+//! claims.
+
+use sdl::workloads::{
+    final_sum, random_array, sum1_runtime, sum2_runtime, sum3_runtime,
+};
+
+#[test]
+fn sum1_matches_fold_and_uses_log_n_phases() {
+    for a in [2u32, 3, 4, 5] {
+        let n = 2usize.pow(a);
+        let values = random_array(n, u64::from(a));
+        let expected: i64 = values.iter().sum();
+        let mut rt = sum1_runtime(&values, 1);
+        let report = rt.run().unwrap();
+        assert!(report.outcome.is_completed(), "N={n}: {:?}", report.outcome);
+        assert_eq!(final_sum(&rt), expected, "N={n}");
+        assert_eq!(
+            report.consensus_rounds,
+            u64::from(a),
+            "Sum1 at N=2^{a} runs exactly a consensus phases"
+        );
+    }
+}
+
+#[test]
+fn sum2_matches_fold_without_any_consensus() {
+    for a in [2u32, 4, 6] {
+        let n = 2usize.pow(a);
+        let values = random_array(n, u64::from(a) + 10);
+        let expected: i64 = values.iter().sum();
+        let mut rt = sum2_runtime(&values, 2);
+        let report = rt.run().unwrap();
+        assert!(report.outcome.is_completed(), "N={n}: {:?}", report.outcome);
+        assert_eq!(final_sum(&rt), expected, "N={n}");
+        assert_eq!(report.consensus_rounds, 0);
+        assert_eq!(report.commits as usize, n - 1, "N-1 additions");
+    }
+}
+
+#[test]
+fn sum3_matches_fold_with_n_minus_1_commits() {
+    for n in [1usize, 2, 3, 17, 64] {
+        let values = random_array(n, n as u64);
+        let expected: i64 = values.iter().sum();
+        let mut rt = sum3_runtime(&values, 3);
+        let report = rt.run().unwrap();
+        assert!(report.outcome.is_completed(), "N={n}: {:?}", report.outcome);
+        assert_eq!(final_sum(&rt), expected, "N={n}");
+        assert_eq!(report.commits as usize, n - 1 + usize::from(n == 1) * 0);
+    }
+}
+
+#[test]
+fn sum3_parallel_rounds_are_logarithmic() {
+    for a in [4u32, 6, 8] {
+        let n = 2usize.pow(a);
+        let values = random_array(n, 77);
+        let expected: i64 = values.iter().sum();
+        let mut rt = sum3_runtime(&values, 5);
+        let report = rt.run_rounds().unwrap();
+        assert!(report.outcome.is_completed());
+        assert_eq!(final_sum(&rt), expected);
+        // Perfect pairing gives a rounds; the greedy matching plus
+        // bookkeeping stays within a small constant factor.
+        assert!(
+            report.rounds >= u64::from(a),
+            "N={n}: {} rounds < log2 N",
+            report.rounds
+        );
+        assert!(
+            report.rounds <= 3 * u64::from(a) + 4,
+            "N={n}: {} rounds is not O(log N)",
+            report.rounds
+        );
+    }
+}
+
+#[test]
+fn sum2_parallel_rounds_are_logarithmic() {
+    for a in [3u32, 5] {
+        let n = 2usize.pow(a);
+        let values = random_array(n, 7);
+        let expected: i64 = values.iter().sum();
+        let mut rt = sum2_runtime(&values, 5);
+        let report = rt.run_rounds().unwrap();
+        assert!(report.outcome.is_completed());
+        assert_eq!(final_sum(&rt), expected);
+        assert!(report.rounds <= 3 * u64::from(a) + 4, "{} rounds", report.rounds);
+    }
+}
+
+#[test]
+fn all_three_agree_across_seeds() {
+    let values = random_array(16, 123);
+    let expected: i64 = values.iter().sum();
+    for seed in 0..3 {
+        let mut s1 = sum1_runtime(&values, seed);
+        s1.run().unwrap();
+        let mut s2 = sum2_runtime(&values, seed);
+        s2.run().unwrap();
+        let mut s3 = sum3_runtime(&values, seed);
+        s3.run().unwrap();
+        assert_eq!(final_sum(&s1), expected);
+        assert_eq!(final_sum(&s2), expected);
+        assert_eq!(final_sum(&s3), expected);
+    }
+}

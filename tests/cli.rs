@@ -1,0 +1,107 @@
+//! End-to-end tests of the `sdl-run` CLI on the shipped `.sdl` programs.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sdl-run"))
+        .args(args)
+        .output()
+        .expect("sdl-run spawns");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn runs_hello_program() {
+    let (stdout, _, ok) = run(&["examples/programs/hello.sdl"]);
+    assert!(ok);
+    assert!(stdout.contains("completed"), "{stdout}");
+    assert!(stdout.contains("<watched, 90>") || stdout.contains("watched"), "{stdout}");
+}
+
+#[test]
+fn runs_sort_with_stats() {
+    let (stdout, _, ok) = run(&["examples/programs/sort.sdl", "--stats"]);
+    assert!(ok);
+    assert!(stdout.contains("1 consensus round"), "{stdout}");
+    assert!(stdout.contains("<1, 1>"), "{stdout}");
+    assert!(stdout.contains("<5, 99>"), "{stdout}");
+    assert!(stdout.contains("Sort"), "stats table present: {stdout}");
+}
+
+#[test]
+fn runs_sum3_in_rounds_mode_with_trace() {
+    let (stdout, _, ok) = run(&["examples/programs/sum3.sdl", "--rounds", "--trace"]);
+    assert!(ok);
+    assert!(stdout.contains("parallel round"), "{stdout}");
+    assert!(stdout.contains("360"), "total of 10..=80: {stdout}");
+    assert!(stdout.contains("timeline:"), "{stdout}");
+}
+
+#[test]
+fn reports_parse_errors_with_position() {
+    let dir = std::env::temp_dir().join("sdl_cli_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let bad = dir.join("bad.sdl");
+    std::fs::write(&bad, "process P( {").expect("write");
+    let (_, stderr, ok) = run(&[bad.to_str().expect("utf8 path")]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_fails_gracefully() {
+    let (_, stderr, ok) = run(&["no_such_file.sdl"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn seed_changes_are_accepted() {
+    for seed in ["0", "7"] {
+        let (stdout, _, ok) = run(&["examples/programs/sum3.sdl", "--seed", seed]);
+        assert!(ok);
+        assert!(stdout.contains("360"), "seed {seed}: {stdout}");
+    }
+}
+
+#[test]
+fn runs_labeling_with_grid_builtin() {
+    let (stdout, _, ok) = run(&[
+        "examples/programs/labeling.sdl",
+        "--grid",
+        "4x4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("3 consensus round"), "{stdout}");
+    assert!(stdout.contains("label/3 (16)"), "{stdout}");
+}
+
+#[test]
+fn runs_dining_program() {
+    let (stdout, _, ok) = run(&["examples/programs/dining.sdl"]);
+    assert!(ok);
+    assert!(stdout.contains("completed"), "{stdout}");
+    assert!(stdout.contains("sated/2 (3)"), "{stdout}");
+}
+
+#[test]
+fn runs_readers_writers() {
+    let (stdout, _, ok) = run(&["examples/programs/readers_writers.sdl"]);
+    assert!(ok);
+    assert!(stdout.contains("completed"), "{stdout}");
+    assert!(stdout.contains("token/2 (3)"), "all tokens returned: {stdout}");
+    assert!(stdout.contains("read_by/3 (3)"), "three reads: {stdout}");
+    assert!(stdout.contains("<record, 99>"), "write applied: {stdout}");
+}
+
+#[test]
+fn runs_barrier_program() {
+    let (stdout, _, ok) = run(&["examples/programs/barrier.sdl", "--stats"]);
+    assert!(ok);
+    assert!(stdout.contains("2 consensus round"), "{stdout}");
+    assert!(stdout.contains("done/2 (3)"), "{stdout}");
+}

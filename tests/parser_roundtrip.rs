@@ -1,0 +1,102 @@
+//! The concrete syntax round-trips: every workload program parses,
+//! pretty-prints, and re-parses to the same AST; Unicode aliases parse to
+//! the same AST as their ASCII forms.
+
+use sdl::workloads::{
+    COMMUNITY_LABELING_SRC, PROPERTY_SRC, SORT_SRC, SUM1_SRC, SUM2_SRC, SUM3_SRC,
+    WORKER_LABELING_SRC,
+};
+use sdl_lang::{parse_program, parse_transaction};
+
+#[test]
+fn all_workload_programs_roundtrip() {
+    for (name, src) in [
+        ("Sum1", SUM1_SRC),
+        ("Sum2", SUM2_SRC),
+        ("Sum3", SUM3_SRC),
+        ("Property", PROPERTY_SRC),
+        ("Sort", SORT_SRC),
+        ("WorkerLabeling", WORKER_LABELING_SRC),
+        ("CommunityLabeling", COMMUNITY_LABELING_SRC),
+    ] {
+        let ast = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let printed = ast.to_string();
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("{name} reparse: {e}\n{printed}"));
+        assert_eq!(ast, reparsed, "{name} round-trip");
+    }
+}
+
+#[test]
+fn all_workload_programs_compile() {
+    for src in [
+        SUM1_SRC,
+        SUM2_SRC,
+        SUM3_SRC,
+        PROPERTY_SRC,
+        SORT_SRC,
+        WORKER_LABELING_SRC,
+        COMMUNITY_LABELING_SRC,
+    ] {
+        let ast = parse_program(src).unwrap();
+        sdl_core::CompiledProgram::compile(&ast).unwrap();
+    }
+}
+
+#[test]
+fn unicode_and_ascii_forms_agree() {
+    let ascii = "exists a : <year, a>! : a >= 87 and a != 92 -> <found, a>";
+    let unicode = "∃ a : <year, a>↑ : a ≥ 87 & a ≠ 92 → <found, a>";
+    assert_eq!(
+        parse_transaction(ascii).unwrap(),
+        parse_transaction(unicode).unwrap()
+    );
+
+    let ascii_d = "exists a : <year, a> => skip";
+    let unicode_d = "∃ a : <year, a> ⇒ skip";
+    assert_eq!(
+        parse_transaction(ascii_d).unwrap(),
+        parse_transaction(unicode_d).unwrap()
+    );
+
+    let ascii_c = "not <x, 1> @> exit";
+    let unicode_c = "¬ <x, 1> ⇑ exit";
+    assert_eq!(
+        parse_transaction(ascii_c).unwrap(),
+        parse_transaction(unicode_c).unwrap()
+    );
+}
+
+#[test]
+fn paper_figure_transactions_parse() {
+    // Transactions lifted (modulo ASCII) straight from the paper's text.
+    let samples = [
+        // §2.2 membership / retraction / assertion
+        "<year, 87> -> skip",
+        "exists y : <year, 87>! -> skip",
+        "-> <year, 87>",
+        // §2.2 immediate with test and let
+        "exists a : <year, a>! : a > 87 -> let N = a, <found, a>",
+        // §2.2 delayed
+        "exists a : <year, a>! : a > 87 => <new_year>",
+        // §2.3 sequence fragment
+        "exists p : <index, p>! -> let X = p",
+        // §2.3 replication body
+        "exists i1, v1, i2, v2 : <i1, v1>!, <i2, v2>! : i1 < i2 and v1 > v2 -> <i1, v2>, <i2, v1>",
+        // §3.2 search step
+        "exists v : <id, P, v, *> -> <P, v>",
+        // §3.3 threshold step
+        "exists p, v : <image, p, v>! -> <threshold, p, T(v)>, <label, p, v>",
+    ];
+    for s in samples {
+        parse_transaction(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+    }
+}
+
+#[test]
+fn error_messages_carry_positions() {
+    let err = parse_program("process P() {\n  exists a <x> -> skip;\n}").unwrap_err();
+    assert_eq!(err.pos.line, 2);
+    let err2 = parse_program("process P() { -> <a, *>; }").unwrap_err();
+    assert!(err2.to_string().contains("wildcard"));
+}

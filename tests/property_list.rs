@@ -1,0 +1,139 @@
+//! E2 — §3.2 property lists: traversal search, content-addressed find,
+//! and the consensus-terminated distributed sort.
+
+use sdl::workloads::{property_list, read_sequence, sort_runtime, PROPERTY_SRC};
+use sdl_core::{CompiledProgram, Runtime};
+use sdl_dataspace::TupleSource;
+use sdl_tuple::{pattern, Value};
+
+fn property_runtime(len: usize) -> sdl_core::RuntimeBuilder {
+    let program = CompiledProgram::from_source(PROPERTY_SRC).unwrap();
+    let (tuples, _) = property_list(len);
+    Runtime::builder(program).tuples(tuples)
+}
+
+#[test]
+fn search_walks_the_list() {
+    for len in [1usize, 2, 8, 32] {
+        let target = len - 1; // worst case: last node
+        let mut rt = property_runtime(len)
+            .spawn(
+                "Search",
+                vec![Value::atom("nd0"), Value::atom(&format!("prop{target}"))],
+            )
+            .build()
+            .unwrap();
+        let report = rt.run().unwrap();
+        assert!(report.outcome.is_completed());
+        assert!(rt.dataspace().contains_match(&pattern![
+            Value::atom("found"),
+            Value::atom(&format!("prop{target}")),
+            target as i64 * 10
+        ]));
+        // One process per hop: O(position of key).
+        assert_eq!(report.processes_created as usize, len);
+    }
+}
+
+#[test]
+fn search_reports_not_found() {
+    let mut rt = property_runtime(4)
+        .spawn("Search", vec![Value::atom("nd0"), Value::atom("missing")])
+        .build()
+        .unwrap();
+    rt.run().unwrap();
+    assert!(rt.dataspace().contains_match(&pattern![
+        Value::atom("found"),
+        Value::atom("missing"),
+        Value::atom("not_found")
+    ]));
+}
+
+#[test]
+fn find_addresses_by_content_in_one_transaction() {
+    for len in [1usize, 16, 64] {
+        let target = len / 2;
+        let mut rt = property_runtime(len)
+            .spawn("Find", vec![Value::atom(&format!("prop{target}"))])
+            .build()
+            .unwrap();
+        let report = rt.run().unwrap();
+        assert!(rt.dataspace().contains_match(&pattern![
+            Value::atom("found"),
+            Value::atom(&format!("prop{target}")),
+            target as i64 * 10
+        ]));
+        // One process, independent of the list length.
+        assert_eq!(report.processes_created, 1);
+        assert_eq!(report.commits, 1);
+    }
+}
+
+#[test]
+fn find_reports_not_found() {
+    let mut rt = property_runtime(4)
+        .spawn("Find", vec![Value::atom("missing")])
+        .build()
+        .unwrap();
+    rt.run().unwrap();
+    assert!(rt.dataspace().contains_match(&pattern![
+        Value::atom("found"),
+        Value::atom("missing"),
+        Value::atom("not_found")
+    ]));
+}
+
+#[test]
+fn sort_orders_random_permutations() {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    for (len, seed) in [(2usize, 0u64), (5, 1), (8, 2), (16, 3), (32, 4)] {
+        let mut values: Vec<i64> = (0..len as i64).map(|i| i * 7 % 23).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        values.shuffle(&mut rng);
+        let mut expected = values.clone();
+        expected.sort_unstable();
+
+        let mut rt = sort_runtime(&values, seed);
+        let report = rt.run().unwrap();
+        assert!(report.outcome.is_completed(), "len={len}: {:?}", report.outcome);
+        assert_eq!(read_sequence(&rt, len), expected, "len={len} seed={seed}");
+        assert_eq!(
+            report.consensus_rounds, 1,
+            "the whole chain exits in a single consensus"
+        );
+    }
+}
+
+#[test]
+fn sort_on_sorted_input_is_pure_consensus() {
+    let values: Vec<i64> = (1..=8).collect();
+    let mut rt = sort_runtime(&values, 0);
+    let report = rt.run().unwrap();
+    assert!(report.outcome.is_completed());
+    assert_eq!(read_sequence(&rt, 8), values);
+    // No swaps, only the termination consensus (one commit per Sort).
+    assert_eq!(report.consensus_rounds, 1);
+    assert_eq!(report.commits, 7, "one consensus contribution per process");
+}
+
+#[test]
+fn sort_with_duplicates() {
+    let values = vec![3i64, 1, 3, 2, 1, 3];
+    let mut rt = sort_runtime(&values, 9);
+    let report = rt.run().unwrap();
+    assert!(report.outcome.is_completed());
+    assert_eq!(read_sequence(&rt, 6), vec![1, 1, 2, 3, 3, 3]);
+}
+
+#[test]
+fn sort_in_rounds_mode_agrees() {
+    let values = vec![9i64, 2, 7, 4, 5, 6, 3, 8, 1];
+    let mut rt = sort_runtime(&values, 4);
+    let report = rt.run_rounds().unwrap();
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    let mut expected = values.clone();
+    expected.sort_unstable();
+    assert_eq!(read_sequence(&rt, values.len()), expected);
+    assert!(report.rounds > 0);
+}

@@ -1,0 +1,221 @@
+//! Cross-crate checks of the two distinctive SDL mechanisms: views
+//! (windows, import/export, dataspace-dependent rules) and consensus
+//! (communities from import overlap, composite commits).
+
+use sdl_core::{CompiledProgram, Outcome, Runtime};
+use sdl_dataspace::TupleSource;
+use sdl_tuple::{pattern, Value};
+
+fn atom(s: &str) -> Value {
+    Value::atom(s)
+}
+
+fn run(src: &str, seed: u64) -> Runtime {
+    let program = CompiledProgram::from_source(src).unwrap();
+    let mut rt = Runtime::builder(program).seed(seed).build().unwrap();
+    rt.run().unwrap();
+    rt
+}
+
+#[test]
+fn window_bounds_negation_too() {
+    // The negation is evaluated against the window, not the whole
+    // dataspace: P sees no <item,…> although one exists outside its view.
+    let rt = run(
+        "process P() {
+            import { <mine, *>; }
+            select {
+                not <item, v> -> <concluded_empty>
+              | exists v2 : <item, v2> -> <saw_it>
+            }
+         }
+         init { <item, 5>; spawn P(); }",
+        0,
+    );
+    assert!(rt.dataspace().contains_match(&pattern![atom("concluded_empty")]));
+    assert!(!rt.dataspace().contains_match(&pattern![atom("saw_it")]));
+}
+
+#[test]
+fn retraction_through_window_hits_the_dataspace() {
+    let rt = run(
+        "process P() {
+            import { <mine, *>; }
+            exists v : <mine, v>! -> ;
+         }
+         init { <mine, 1>; <other, 2>; spawn P(); }",
+        0,
+    );
+    assert!(!rt.dataspace().contains_match(&pattern![atom("mine"), any]));
+    assert!(rt.dataspace().contains_match(&pattern![atom("other"), any]));
+}
+
+#[test]
+fn export_formula_drops_silently() {
+    // D' = (D − Wr) ∪ (Export(p) ∩ Wa): the transaction still commits,
+    // only the non-exportable assertion vanishes.
+    let rt = run(
+        "process P() {
+            export { <out, *>; }
+            exists v : <job, v>! -> <out, v>, <log, v>;
+            -> <done>;
+         }
+         init { <job, 9>; spawn P(); }",
+        0,
+    );
+    assert!(rt.dataspace().contains_match(&pattern![atom("out"), 9]));
+    assert!(!rt.dataspace().contains_match(&pattern![atom("log"), 9]));
+    // `done` is dropped too — export lists are exhaustive.
+    assert!(!rt.dataspace().contains_match(&pattern![atom("done")]));
+}
+
+#[test]
+fn dataspace_dependent_import_changes_with_configuration() {
+    // P may import <data, x> only while the gate tuple is present. The
+    // first read succeeds; after the gate is retracted, the same query
+    // blocks forever.
+    let program = CompiledProgram::from_source(
+        "process P() {
+            import { <gate> => <data, *>; <gate>; }
+            exists v : <data, v> -> <first, v>;
+            exists g : <gate>! -> ;
+            exists v2 : <data, v2> => <second, v2>;
+         }
+         init { <gate>; <data, 7>; spawn P(); }",
+    );
+    // The rule reads: import <data, *> while <gate> exists; also import
+    // <gate> itself.
+    let program = program.unwrap();
+    let mut rt = Runtime::builder(program).build().unwrap();
+    let report = rt.run().unwrap();
+    assert!(rt.dataspace().contains_match(&pattern![atom("first"), 7]));
+    assert!(
+        !rt.dataspace().contains_match(&pattern![atom("second"), any]),
+        "window shrank when the gate vanished"
+    );
+    assert!(matches!(report.outcome, Outcome::Quiescent { .. }));
+}
+
+#[test]
+fn consensus_composite_applies_all_retractions_first() {
+    // Both participants read the other's token and retract their own;
+    // because queries evaluate against the same pre-state, both succeed —
+    // a 2-way exchange no sequence of one-tuple Linda ops can do
+    // atomically.
+    let rt = run(
+        "process Swap(mine, theirs) {
+            exists v, w : <mine, v>!, <theirs, w> @> <got, mine, w>;
+         }
+         init {
+            <left, 1>; <right, 2>;
+            spawn Swap(left, right); spawn Swap(right, left);
+         }",
+        0,
+    );
+    assert!(rt.dataspace().contains_match(&pattern![atom("got"), atom("left"), 2]));
+    assert!(rt.dataspace().contains_match(&pattern![atom("got"), atom("right"), 1]));
+    assert!(!rt.dataspace().contains_match(&pattern![atom("left"), any]));
+    assert!(!rt.dataspace().contains_match(&pattern![atom("right"), any]));
+}
+
+#[test]
+fn csp_style_rendezvous_is_a_two_process_consensus() {
+    // The paper: "two-way synchronization … is nothing more than a
+    // special case of the more general notion of consensus." Both
+    // parties issue consensus transactions; the composite hands the
+    // message over exactly when both are at the rendezvous point.
+    let rt = run(
+        "process Sender() {
+            <ready>! @> <message, 42>;
+            -> <sender_resumed>;
+         }
+         process Receiver() {
+            -> <ready>;
+            true @> skip;
+            exists m : <message, m>! => <received, m>;
+         }
+         init { spawn Sender(); spawn Receiver(); }",
+        0,
+    );
+    assert!(rt.dataspace().contains_match(&pattern![atom("received"), 42]));
+    assert!(rt.dataspace().contains_match(&pattern![atom("sender_resumed")]));
+}
+
+#[test]
+fn one_sided_consensus_cannot_fire() {
+    // Faithful to the paper's definition: a consensus executes only when
+    // *every* process in the consensus set is ready to execute a
+    // consensus transaction. A peer blocked on a plain delayed
+    // transaction keeps the whole (full-view) community from firing.
+    let program = CompiledProgram::from_source(
+        "process Sender() { <ready> @> <message, 42>; }
+         process Receiver() {
+            -> <ready>;
+            exists m : <message, m>! => <received, m>;
+         }
+         init { spawn Sender(); spawn Receiver(); }",
+    )
+    .unwrap();
+    let mut rt = Runtime::builder(program).build().unwrap();
+    let report = rt.run().unwrap();
+    assert!(matches!(report.outcome, Outcome::Quiescent { .. }));
+    assert!(!rt.dataspace().contains_match(&pattern![atom("received"), any]));
+}
+
+#[test]
+fn disjoint_communities_do_not_wait_for_each_other() {
+    // Community "a" can fire even though community "b" never becomes
+    // ready (its query can never succeed).
+    let program = CompiledProgram::from_source(
+        "process W(g) {
+            import { <g, *>; }
+            exists v : <g, v> @> <g, fired>;
+         }
+         init { <a, 1>; spawn W(a); spawn W(b); }",
+    )
+    .unwrap();
+    let mut rt = Runtime::builder(program).build().unwrap();
+    let report = rt.run().unwrap();
+    assert!(rt.dataspace().contains_match(&pattern![atom("a"), atom("fired")]));
+    match report.outcome {
+        Outcome::Quiescent { blocked } => assert_eq!(blocked.len(), 1),
+        other => panic!("expected W(b) stuck, got {other:?}"),
+    }
+}
+
+#[test]
+fn unity_style_termination_detection() {
+    // Program termination in the UNITY model: workers drain tuples; when
+    // nothing is left to do anywhere, the consensus detects global
+    // fixpoint and everyone stops.
+    let rt = run(
+        "process Worker() {
+            loop {
+                exists x : <work, x>! : x > 0 -> <work, x - 1>
+              | exists x2 : <work, x2>! : x2 == 0 -> skip
+              | not <work, *> @> exit
+            }
+         }
+         init {
+            <work, 3>; <work, 1>; <work, 2>;
+            spawn Worker(); spawn Worker();
+         }",
+        1,
+    );
+    assert!(rt.dataspace().is_empty());
+}
+
+#[test]
+fn forall_with_view_restriction() {
+    let rt = run(
+        "process P() {
+            import { <mine, *>; }
+            export { <sum, *>; <mine, *>; }
+            forall v : <mine, v>! -> <sum, v>;
+         }
+         init { <mine, 1>; <mine, 2>; <other, 10>; spawn P(); }",
+        0,
+    );
+    assert_eq!(rt.dataspace().count_matches(&pattern![atom("sum"), any]), 2);
+    assert!(rt.dataspace().contains_match(&pattern![atom("other"), 10]));
+}
