@@ -16,7 +16,14 @@ fn print_series() {
     eprintln!("\n# E1 series: array summation (paper 3.1)");
     eprintln!(
         "{:>6} {:>6} | {:>11} {:>11} | {:>11} | {:>11} {:>8} {:>7}",
-        "N", "log2N", "Sum1 phases", "Sum1 rounds", "Sum2 rounds", "Sum3 rounds", "commits", "sum ok"
+        "N",
+        "log2N",
+        "Sum1 phases",
+        "Sum1 rounds",
+        "Sum2 rounds",
+        "Sum3 rounds",
+        "commits",
+        "sum ok"
     );
     for a in 4u32..=9 {
         let n = 2usize.pow(a);
@@ -30,9 +37,8 @@ fn print_series() {
         let mut s3 = sum3_runtime(&values, 1);
         let r3 = s3.run_rounds().expect("sum3");
 
-        let ok = final_sum(&s1) == expected
-            && final_sum(&s2) == expected
-            && final_sum(&s3) == expected;
+        let ok =
+            final_sum(&s1) == expected && final_sum(&s2) == expected && final_sum(&s3) == expected;
         eprintln!(
             "{:>6} {:>6} | {:>11} {:>11} | {:>11} | {:>11} {:>8} {:>7}",
             n, a, r1.consensus_rounds, r1.rounds, r2.rounds, r3.rounds, r3.commits, ok

@@ -20,10 +20,7 @@ fn search_run(len: usize) -> sdl_core::RunReport {
         .tuples(tuples)
         .spawn(
             "Search",
-            vec![
-                Value::atom("nd0"),
-                Value::atom(&format!("prop{}", len - 1)),
-            ],
+            vec![Value::atom("nd0"), Value::atom(&format!("prop{}", len - 1))],
         )
         .build()
         .expect("builds");

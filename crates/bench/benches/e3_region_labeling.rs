@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use sdl::workloads::{
-    community_labeling_runtime, read_labels, worker_labeling_runtime, Image,
-};
+use sdl::workloads::{community_labeling_runtime, read_labels, worker_labeling_runtime, Image};
 use sdl_core::{CompiledProgram, Event, Runtime};
 
 const CUTOFF: i64 = 128;
@@ -36,7 +34,13 @@ fn print_series() {
     eprintln!("\n# E3 series: region labeling (paper 3.3)");
     eprintln!(
         "{:>5} {:>8} | {:>13} {:>13} | {:>15} {:>15} | {:>20}",
-        "S", "regions", "worker commits", "worker rounds", "comm. commits", "comm. consensus", "1st region avail at"
+        "S",
+        "regions",
+        "worker commits",
+        "worker rounds",
+        "comm. commits",
+        "comm. consensus",
+        "1st region avail at"
     );
     for (s, seed) in [(4i64, 1u64), (6, 2), (8, 3), (10, 4)] {
         let image = Image::synthetic(s, s, 3, seed);

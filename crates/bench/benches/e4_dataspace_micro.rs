@@ -13,6 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sdl_core::{CompiledProgram, Runtime};
 use sdl_dataspace::{Dataspace, IndexMode, TupleSource};
+use sdl_metrics::Metrics;
 use sdl_tuple::{pattern, tuple, ProcId, Value};
 
 fn populate(n: i64, mode: IndexMode) -> Dataspace {
@@ -88,15 +89,23 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     for n in [1_000i64, 10_000] {
         let d = populate(n, IndexMode::FunctorArity);
-        g.bench_with_input(BenchmarkId::new("point_lookup_indexed", 2 * n), &d, |b, d| {
-            let p = pattern![Value::atom("label"), n / 2, any];
-            b.iter(|| d.count_matches(&p))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("point_lookup_indexed", 2 * n),
+            &d,
+            |b, d| {
+                let p = pattern![Value::atom("label"), n / 2, any];
+                b.iter(|| d.count_matches(&p))
+            },
+        );
         let flat = populate(n, IndexMode::None);
-        g.bench_with_input(BenchmarkId::new("point_lookup_flat", 2 * n), &flat, |b, d| {
-            let p = pattern![Value::atom("label"), n / 2, any];
-            b.iter(|| d.count_matches(&p))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("point_lookup_flat", 2 * n),
+            &flat,
+            |b, d| {
+                let p = pattern![Value::atom("label"), n / 2, any];
+                b.iter(|| d.count_matches(&p))
+            },
+        );
         g.bench_with_input(BenchmarkId::new("assert_retract", 2 * n), &n, |b, &n| {
             let mut d = populate(n, IndexMode::FunctorArity);
             b.iter(|| {
@@ -109,6 +118,33 @@ fn bench(c: &mut Criterion) {
             let p = pattern![Value::atom("label"), 3, 3];
             b.iter(|| d.contains_match(&p))
         });
+    }
+    // Telemetry overhead: the same point lookup with metrics disabled
+    // (the default, a single branch per instrumentation site) vs
+    // attached to a live registry (relaxed atomic increments). The two
+    // should be within noise of each other — this pair is the guard.
+    {
+        let n = 10_000i64;
+        let off = populate(n, IndexMode::FunctorArity);
+        g.bench_with_input(
+            BenchmarkId::new("point_lookup_metrics_off", 2 * n),
+            &off,
+            |b, d| {
+                let p = pattern![Value::atom("label"), n / 2, any];
+                b.iter(|| d.count_matches(&p))
+            },
+        );
+        let mut on = populate(n, IndexMode::FunctorArity);
+        let (metrics, _registry) = Metrics::registry();
+        on.set_metrics(metrics);
+        g.bench_with_input(
+            BenchmarkId::new("point_lookup_metrics_on", 2 * n),
+            &on,
+            |b, d| {
+                let p = pattern![Value::atom("label"), n / 2, any];
+                b.iter(|| d.count_matches(&p))
+            },
+        );
     }
     for n in [1_000i64, 10_000] {
         g.bench_with_input(BenchmarkId::new("forall_with_view", n), &n, |b, &n| {

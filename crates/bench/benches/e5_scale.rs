@@ -60,7 +60,9 @@ fn work_builtin() -> sdl_core::Builtins {
         let seed = args[0].as_int()?;
         let mut h = seed as u64 ^ 0x9e37_79b9_7f4a_7c15;
         for _ in 0..50_000u32 {
-            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h = h
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h ^= h >> 33;
         }
         Some(Value::Int((h % 1_000_000) as i64))
@@ -69,7 +71,11 @@ fn work_builtin() -> sdl_core::Builtins {
 }
 
 fn job_pool(jobs: i64, threads: usize, partitioned: bool) -> ParallelRuntime {
-    let src = if partitioned { PART_WORKER_SRC } else { SHARED_WORKER_SRC };
+    let src = if partitioned {
+        PART_WORKER_SRC
+    } else {
+        SHARED_WORKER_SRC
+    };
     let program = CompiledProgram::from_source(src).expect("compiles");
     let mut b = ParallelRuntime::builder(program)
         .threads(threads)
@@ -91,7 +97,10 @@ fn job_pool(jobs: i64, threads: usize, partitioned: bool) -> ParallelRuntime {
 
 fn print_series() {
     eprintln!("\n# E5 series: society size scaling (serial scheduler)");
-    eprintln!("{:>9} | {:>12} {:>12} {:>14}", "processes", "commits", "time", "us/commit");
+    eprintln!(
+        "{:>9} | {:>12} {:>12} {:>14}",
+        "processes", "commits", "time", "us/commit"
+    );
     for n in [100i64, 1_000, 5_000, 10_000] {
         let mut rt = pair_runtime(n);
         let t0 = Instant::now();
@@ -108,7 +117,9 @@ fn print_series() {
     }
     eprintln!(
         "\n# E5 series: threaded executor speedup (2000 compute-bound jobs; {} core(s) available)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     eprintln!(
         "{:>8} | {:>12} {:>10} {:>8} | {:>12} {:>10} {:>8}",

@@ -36,7 +36,9 @@ fn linda_sum(values: &[i64], workers: usize) -> i64 {
         }
     });
     pool.join();
-    ts.snapshot().pop().expect("one left")[1].as_int().expect("int")
+    ts.snapshot().pop().expect("one left")[1]
+        .as_int()
+        .expect("int")
 }
 
 fn print_series() {
@@ -73,7 +75,9 @@ fn print_series() {
             n, sdl_serial, sdl_rounds, linda1, linda4
         );
     }
-    eprintln!("(Linda is faster raw plumbing; SDL buys atomic multi-tuple semantics, views, consensus)\n");
+    eprintln!(
+        "(Linda is faster raw plumbing; SDL buys atomic multi-tuple semantics, views, consensus)\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {

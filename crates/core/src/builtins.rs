@@ -56,15 +56,19 @@ impl Builtins {
             _ => None,
         });
         b.register("min", |args: &[Value]| match args {
-            [a, b] if a.is_numeric() && b.is_numeric() => {
-                Some(if a.as_f64() <= b.as_f64() { a.clone() } else { b.clone() })
-            }
+            [a, b] if a.is_numeric() && b.is_numeric() => Some(if a.as_f64() <= b.as_f64() {
+                a.clone()
+            } else {
+                b.clone()
+            }),
             _ => None,
         });
         b.register("max", |args: &[Value]| match args {
-            [a, b] if a.is_numeric() && b.is_numeric() => {
-                Some(if a.as_f64() >= b.as_f64() { a.clone() } else { b.clone() })
-            }
+            [a, b] if a.is_numeric() && b.is_numeric() => Some(if a.as_f64() >= b.as_f64() {
+                a.clone()
+            } else {
+                b.clone()
+            }),
             _ => None,
         });
         b.register("even", |args: &[Value]| match args {
@@ -112,8 +116,8 @@ impl Builtins {
             }
             let (px, py) = (p % width, p / width);
             let (qx, qy) = (q % width, q / width);
-            let four_connected = (px == qx && (py - qy).abs() == 1)
-                || (py == qy && (px - qx).abs() == 1);
+            let four_connected =
+                (px == qx && (py - qy).abs() == 1) || (py == qy && (px - qx).abs() == 1);
             Some(Value::Bool(four_connected))
         });
     }
@@ -135,7 +139,10 @@ mod tests {
     fn standard_functions() {
         let b = Builtins::standard();
         assert_eq!(b.call("abs", &[Value::Int(-3)]), Some(Value::Int(3)));
-        assert_eq!(b.call("abs", &[Value::Float(-1.5)]), Some(Value::Float(1.5)));
+        assert_eq!(
+            b.call("abs", &[Value::Float(-1.5)]),
+            Some(Value::Float(1.5))
+        );
         assert_eq!(
             b.call("min", &[Value::Int(3), Value::Int(2)]),
             Some(Value::Int(2))
@@ -156,8 +163,7 @@ mod tests {
         let mut b = Builtins::new();
         b.register_grid_neighbor(4, 3); // 4 wide, 3 tall; pixels 0..12
         let n = |p: i64, q: i64| {
-            b.call("neighbor", &[Value::Int(p), Value::Int(q)])
-                == Some(Value::Bool(true))
+            b.call("neighbor", &[Value::Int(p), Value::Int(q)]) == Some(Value::Bool(true))
         };
         assert!(n(0, 1), "horizontal neighbours");
         assert!(n(1, 0), "symmetric");

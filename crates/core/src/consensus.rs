@@ -104,9 +104,9 @@ pub fn consensus_sets(
 
     // Collect classes.
     let mut classes: HashMap<usize, Vec<ProcId>> = HashMap::new();
-    for i in 0..n {
+    for (i, p) in procs.iter().enumerate() {
         let root = uf.find(i);
-        classes.entry(root).or_default().push(procs[i].id);
+        classes.entry(root).or_default().push(p.id);
     }
     let mut out: Vec<Vec<ProcId>> = classes.into_values().collect();
     for set in &mut out {

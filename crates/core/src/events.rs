@@ -6,8 +6,21 @@
 //! the computation". The runtime emits a stream of [`Event`]s through an
 //! [`EventSink`]; `sdl-trace` consumes them to build timelines, community
 //! graphs, and statistics.
+//!
+//! Two sink families ship here:
+//!
+//! * [`EventLog`] — in-memory, optionally bounded ([`EventLog::with_capacity`])
+//!   with a drop counter, for post-hoc analysis;
+//! * [`JsonlSink`] — streaming JSON-Lines export over any [`std::io::Write`],
+//!   bounded by an event budget, counting drops, for external consumers
+//!   (`sdl-run --events-out`). See `docs/OBSERVABILITY.md` for the schema.
+
+use std::io::Write as IoWrite;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use sdl_lang::ast::TxnKind;
+use sdl_metrics::{Counter, Metrics};
 use sdl_tuple::{ProcId, Tuple, TupleId, Value};
 
 /// One observable step of execution.
@@ -83,10 +96,30 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// The event's `type` tag in the JSONL schema.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Event::TupleAsserted { .. } => "tuple_asserted",
+            Event::TupleRetracted { .. } => "tuple_retracted",
+            Event::ExportDropped { .. } => "export_dropped",
+            Event::TxnCommitted { .. } => "txn_committed",
+            Event::TxnFailed { .. } => "txn_failed",
+            Event::ProcessBlocked { .. } => "process_blocked",
+            Event::ProcessCreated { .. } => "process_created",
+            Event::ProcessTerminated { .. } => "process_terminated",
+            Event::ConsensusReached { .. } => "consensus_reached",
+        }
+    }
+}
+
 /// Receives timestamped events from the runtime.
 pub trait EventSink {
     /// Records `event` at logical time `step`.
     fn record(&mut self, step: u64, event: Event);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) {}
 }
 
 /// Discards all events (the default sink).
@@ -97,7 +130,12 @@ impl EventSink for NullSink {
     fn record(&mut self, _step: u64, _event: Event) {}
 }
 
-/// Stores every event in memory.
+/// Stores events in memory, optionally up to a capacity.
+///
+/// An unbounded log ([`EventLog::new`]) keeps everything. A bounded log
+/// ([`EventLog::with_capacity`]) keeps the *first* `capacity` events and
+/// counts the rest in [`EventLog::dropped`] — long runs keep their startup
+/// context and bounded memory instead of aborting.
 ///
 /// # Examples
 ///
@@ -105,19 +143,44 @@ impl EventSink for NullSink {
 /// use sdl_core::events::{Event, EventLog, EventSink};
 /// use sdl_tuple::ProcId;
 ///
-/// let mut log = EventLog::new();
+/// let mut log = EventLog::with_capacity(1);
 /// log.record(0, Event::TxnFailed { by: ProcId(1) });
+/// log.record(1, Event::TxnFailed { by: ProcId(1) });
 /// assert_eq!(log.len(), 1);
+/// assert_eq!(log.dropped(), 1);
+/// log.clear();
+/// assert!(log.is_empty());
+/// assert_eq!(log.dropped(), 0);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EventLog {
     entries: Vec<(u64, Event)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog {
+            entries: Vec::new(),
+            capacity: usize::MAX,
+            dropped: 0,
+        }
+    }
 }
 
 impl EventLog {
-    /// Creates an empty log.
+    /// Creates an empty, unbounded log.
     pub fn new() -> EventLog {
         EventLog::default()
+    }
+
+    /// Creates an empty log that stores at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            capacity,
+            ..EventLog::default()
+        }
     }
 
     /// Number of recorded events.
@@ -128,6 +191,29 @@ impl EventLog {
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Events rejected because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all stored events and resets the drop counter, keeping
+    /// the capacity. Lets a driver harvest a bounded log between runs.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+
+    /// Stores `(step, event)`; returns false (and counts a drop) if the
+    /// log is at capacity.
+    pub fn push(&mut self, step: u64, event: Event) -> bool {
+        if self.entries.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.entries.push((step, event));
+        true
     }
 
     /// Iterates over `(step, event)` pairs in order.
@@ -143,8 +229,242 @@ impl EventLog {
 
 impl EventSink for EventLog {
     fn record(&mut self, step: u64, event: Event) {
-        self.entries.push((step, event));
+        self.push(step, event);
     }
+}
+
+// ---------------- JSONL export ----------------
+
+/// Shared write/drop counters of a [`JsonlSink`], observable while the
+/// sink itself is owned by the runtime.
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    written: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl StreamStats {
+    /// Events successfully written.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped (budget exhausted or write failure).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Streams events as JSON Lines (one object per event) to a writer.
+///
+/// The sink is *bounded*: an optional event budget caps how many lines it
+/// emits, and a write error permanently stops output — in both cases later
+/// events are counted in [`StreamStats::dropped`] (and
+/// [`Counter::EventsDropped`], when metrics are attached) rather than
+/// blocking or aborting the run. Buffering/backpressure is the writer's
+/// concern: wrap the target in a [`std::io::BufWriter`].
+///
+/// # Examples
+///
+/// ```
+/// use sdl_core::events::{Event, EventSink, JsonlSink};
+/// use sdl_tuple::ProcId;
+///
+/// let mut sink = JsonlSink::new(Vec::new());
+/// let stats = sink.stats();
+/// sink.record(3, Event::TxnFailed { by: ProcId(2) });
+/// assert_eq!(stats.written(), 1);
+/// ```
+#[derive(Debug)]
+pub struct JsonlSink<W: IoWrite> {
+    out: W,
+    budget: u64,
+    stats: Arc<StreamStats>,
+    metrics: Metrics,
+    failed: bool,
+}
+
+impl<W: IoWrite> JsonlSink<W> {
+    /// Creates a sink with an unlimited event budget and no metrics.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out,
+            budget: u64::MAX,
+            stats: Arc::new(StreamStats::default()),
+            metrics: Metrics::disabled(),
+            failed: false,
+        }
+    }
+
+    /// Caps the number of events written; the rest are dropped (counted).
+    pub fn with_budget(mut self, budget: u64) -> JsonlSink<W> {
+        self.budget = budget;
+        self
+    }
+
+    /// Mirrors drops into [`Counter::EventsDropped`] on `metrics`.
+    pub fn with_metrics(mut self, metrics: Metrics) -> JsonlSink<W> {
+        self.metrics = metrics;
+        self
+    }
+
+    /// A handle onto the written/dropped counters.
+    pub fn stats(&self) -> Arc<StreamStats> {
+        self.stats.clone()
+    }
+
+    fn drop_event(&mut self) {
+        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(Counter::EventsDropped);
+    }
+}
+
+impl<W: IoWrite> EventSink for JsonlSink<W> {
+    fn record(&mut self, step: u64, event: Event) {
+        if self.failed || self.stats.written() >= self.budget {
+            self.drop_event();
+            return;
+        }
+        let mut line = event_json(step, &event);
+        line.push('\n');
+        if self.out.write_all(line.as_bytes()).is_ok() {
+            self.stats.written.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed = true;
+            self.drop_event();
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: IoWrite> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Renders one event as a single-line JSON object (the `--events-out`
+/// schema; see `docs/OBSERVABILITY.md`).
+pub fn event_json(step: u64, event: &Event) -> String {
+    use std::fmt::Write;
+
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"step\":{step},\"type\":\"{}\"", event.kind_str());
+    match event {
+        Event::TupleAsserted { by, id, tuple } | Event::TupleRetracted { by, id, tuple } => {
+            let _ = write!(s, ",\"by\":{},\"id\":\"{id}\",\"tuple\":", by.0);
+            json_tuple(tuple, &mut s);
+        }
+        Event::ExportDropped { by, tuple } => {
+            let _ = write!(s, ",\"by\":{},\"tuple\":", by.0);
+            json_tuple(tuple, &mut s);
+        }
+        Event::TxnCommitted { by, kind } => {
+            let _ = write!(s, ",\"by\":{},\"mode\":\"{}\"", by.0, mode_str(*kind));
+        }
+        Event::TxnFailed { by } => {
+            let _ = write!(s, ",\"by\":{}", by.0);
+        }
+        Event::ProcessBlocked { id, consensus } => {
+            let _ = write!(s, ",\"id\":{},\"consensus\":{consensus}", id.0);
+        }
+        Event::ProcessCreated { id, name, args, by } => {
+            let _ = write!(s, ",\"id\":{},\"name\":", id.0);
+            json_string(name, &mut s);
+            s.push_str(",\"args\":[");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_value(a, &mut s);
+            }
+            let _ = write!(s, "],\"by\":{}", by.0);
+        }
+        Event::ProcessTerminated { id, aborted } => {
+            let _ = write!(s, ",\"id\":{},\"aborted\":{aborted}", id.0);
+        }
+        Event::ConsensusReached { participants } => {
+            s.push_str(",\"participants\":[");
+            for (i, p) in participants.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{}", p.0);
+            }
+            s.push(']');
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// The `mode` label of a transaction kind.
+pub fn mode_str(kind: TxnKind) -> &'static str {
+    match kind {
+        TxnKind::Immediate => "immediate",
+        TxnKind::Delayed => "delayed",
+        TxnKind::Consensus => "consensus",
+    }
+}
+
+fn json_tuple(t: &Tuple, out: &mut String) {
+    out.push('[');
+    for (i, v) in t.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_value(v, out);
+    }
+    out.push(']');
+}
+
+fn json_value(v: &Value, out: &mut String) {
+    use std::fmt::Write;
+
+    match v {
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        // JSON has no NaN/Infinity literals; encode as strings.
+        Value::Float(f) => json_string(&f.to_string(), out),
+        Value::Atom(a) => json_string(a.as_str(), out),
+        Value::Str(s) => json_string(s, out),
+        Value::Pid(p) => {
+            let _ = write!(out, "{{\"pid\":{}}}", p.0);
+        }
+        Value::Tid(t) => {
+            let _ = write!(out, "{{\"tid\":\"{t}\"}}");
+        }
+    }
+}
+
+fn json_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
+
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -173,5 +493,124 @@ mod tests {
     fn null_sink_discards() {
         let mut sink = NullSink;
         sink.record(0, Event::TxnFailed { by: ProcId(9) });
+    }
+
+    #[test]
+    fn bounded_log_keeps_prefix_and_counts_drops() {
+        let mut log = EventLog::with_capacity(2);
+        for step in 0..5 {
+            log.record(step, Event::TxnFailed { by: ProcId(1) });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let steps: Vec<u64> = log.iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![0, 1]);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert!(log.push(9, Event::TxnFailed { by: ProcId(1) }));
+    }
+
+    #[test]
+    fn event_json_covers_every_variant() {
+        use sdl_tuple::tuple;
+
+        let id = TupleId {
+            owner: ProcId(1),
+            seq: 7,
+        };
+        let t = tuple![Value::atom("a"), 1, Value::str("x\"y")];
+        let cases = vec![
+            Event::TupleAsserted {
+                by: ProcId(1),
+                id,
+                tuple: t.clone(),
+            },
+            Event::TupleRetracted {
+                by: ProcId(1),
+                id,
+                tuple: t.clone(),
+            },
+            Event::ExportDropped {
+                by: ProcId(2),
+                tuple: t,
+            },
+            Event::TxnCommitted {
+                by: ProcId(1),
+                kind: TxnKind::Consensus,
+            },
+            Event::TxnFailed { by: ProcId(1) },
+            Event::ProcessBlocked {
+                id: ProcId(3),
+                consensus: true,
+            },
+            Event::ProcessCreated {
+                id: ProcId(4),
+                name: "W".to_owned(),
+                args: vec![Value::Int(1), Value::Bool(true), Value::Float(0.5)],
+                by: ProcId::ENV,
+            },
+            Event::ProcessTerminated {
+                id: ProcId(4),
+                aborted: false,
+            },
+            Event::ConsensusReached {
+                participants: vec![ProcId(1), ProcId(2)],
+            },
+        ];
+        for e in &cases {
+            let line = event_json(9, e);
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"step\":9"), "{line}");
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", e.kind_str())),
+                "{line}"
+            );
+            assert!(!line.contains('\n'), "single line: {line}");
+        }
+        let committed = event_json(0, &cases[3]);
+        assert!(committed.contains("\"mode\":\"consensus\""));
+        let asserted = event_json(0, &cases[0]);
+        assert!(
+            asserted.contains("\"tuple\":[\"a\",1,\"x\\\"y\"]"),
+            "{asserted}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines_and_respects_budget() {
+        let mut sink = JsonlSink::new(Vec::new()).with_budget(2);
+        let stats = sink.stats();
+        for step in 0..4 {
+            sink.record(step, Event::TxnFailed { by: ProcId(1) });
+        }
+        assert_eq!(stats.written(), 2);
+        assert_eq!(stats.dropped(), 2);
+        sink.flush();
+        let text = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"step\":0,\"type\":\"txn_failed\""));
+    }
+
+    #[test]
+    fn jsonl_sink_counts_drops_into_metrics() {
+        struct FailWriter;
+        impl std::io::Write for FailWriter {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (m, reg) = Metrics::registry();
+        let mut sink = JsonlSink::new(FailWriter).with_metrics(m);
+        let stats = sink.stats();
+        sink.record(0, Event::TxnFailed { by: ProcId(1) });
+        sink.record(1, Event::TxnFailed { by: ProcId(1) });
+        assert_eq!(stats.written(), 0);
+        assert_eq!(stats.dropped(), 2);
+        assert_eq!(reg.counter(Counter::EventsDropped), 2);
     }
 }

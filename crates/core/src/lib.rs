@@ -56,7 +56,7 @@ pub mod view;
 
 pub use builtins::Builtins;
 pub use error::{CompileError, RuntimeError};
-pub use events::{Event, EventLog};
+pub use events::{Event, EventLog, EventSink, JsonlSink, NullSink, StreamStats};
 pub use outcome::{Outcome, RunLimits, RunReport};
 pub use process::ProcessInstance;
 pub use program::{CompiledProcess, CompiledProgram};

@@ -33,6 +33,7 @@ use rand::SeedableRng;
 use sdl_dataspace::{Dataspace, SolveLimits, WatchSet};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
+use sdl_metrics::{Counter, Hist, Metrics};
 use sdl_tuple::{ProcId, Tuple, Value};
 
 use crate::builtins::Builtins;
@@ -40,6 +41,7 @@ use crate::error::RuntimeError;
 use crate::outcome::Outcome;
 use crate::process::{Frame, ProcessInstance};
 use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
+use crate::sched::{attempts_counter, committed_counter, failed_counter};
 use crate::txn::{self, Pending};
 use crate::view::EnvCtx;
 
@@ -68,6 +70,7 @@ pub struct ParallelBuilder {
     max_attempts: u64,
     tuples: Vec<Tuple>,
     spawns: Vec<(String, Vec<Value>)>,
+    metrics: Metrics,
 }
 
 impl ParallelBuilder {
@@ -113,6 +116,13 @@ impl ParallelBuilder {
         self
     }
 
+    /// Attaches a metrics handle. Counters use relaxed atomics, so the
+    /// overhead under contention stays negligible.
+    pub fn metrics(mut self, metrics: Metrics) -> ParallelBuilder {
+        self.metrics = metrics;
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -124,6 +134,7 @@ impl ParallelBuilder {
             check_supported(&def.body)?;
         }
         let mut ds = Dataspace::new();
+        ds.set_metrics(self.metrics.clone());
         let env = std::collections::HashMap::new();
         let ctx = EnvCtx {
             env: &env,
@@ -182,6 +193,7 @@ impl ParallelBuilder {
             ds,
             initial,
             next_pid,
+            metrics: self.metrics,
         })
     }
 }
@@ -251,6 +263,7 @@ pub struct ParallelRuntime {
     ds: Dataspace,
     initial: Vec<ProcessInstance>,
     next_pid: u64,
+    metrics: Metrics,
 }
 
 struct Shared {
@@ -259,7 +272,7 @@ struct Shared {
     ds: RwLock<Dataspace>,
     queue: Mutex<VecDeque<ProcessInstance>>,
     cv: Condvar,
-    blocked: Mutex<Vec<(WatchSet, ProcessInstance)>>,
+    blocked: Mutex<Vec<Parked>>,
     /// Tasks enqueued or being processed; 0 ⇒ nothing can ever wake.
     pending: AtomicUsize,
     done: AtomicBool,
@@ -270,6 +283,15 @@ struct Shared {
     max_attempts: u64,
     next_pid: AtomicU64,
     error: Mutex<Option<RuntimeError>>,
+    metrics: Metrics,
+}
+
+/// A blocked process: its watch keys, the instance, and when it parked
+/// (for the blocked-time histogram; `None` when metrics are disabled).
+struct Parked {
+    watch: WatchSet,
+    proc: ProcessInstance,
+    since: Option<std::time::Instant>,
 }
 
 impl ParallelRuntime {
@@ -285,6 +307,7 @@ impl ParallelRuntime {
             max_attempts: 500_000_000,
             tuples: Vec::new(),
             spawns: Vec::new(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -311,6 +334,7 @@ impl ParallelRuntime {
             max_attempts: self.max_attempts,
             next_pid: AtomicU64::new(self.next_pid),
             error: Mutex::new(None),
+            metrics: self.metrics,
         });
         std::thread::scope(|scope| {
             for w in 0..self.threads {
@@ -323,8 +347,7 @@ impl ParallelRuntime {
             return Err(e);
         }
         let blocked_pids: Vec<ProcId> = {
-            let mut b: Vec<ProcId> =
-                shared.blocked.lock().iter().map(|(_, p)| p.id).collect();
+            let mut b: Vec<ProcId> = shared.blocked.lock().iter().map(|p| p.proc.id).collect();
             b.sort_unstable();
             b
         };
@@ -396,13 +419,13 @@ fn wake(shared: &Shared, changed: &WatchSet) {
     if changed.is_empty() {
         return;
     }
-    let woken: Vec<ProcessInstance> = {
+    let woken: Vec<Parked> = {
         let mut blocked = shared.blocked.lock();
         let mut woken = Vec::new();
         let mut i = 0;
         while i < blocked.len() {
-            if blocked[i].0.intersects(changed) {
-                woken.push(blocked.swap_remove(i).1);
+            if blocked[i].watch.intersects(changed) {
+                woken.push(blocked.swap_remove(i));
             } else {
                 i += 1;
             }
@@ -410,7 +433,9 @@ fn wake(shared: &Shared, changed: &WatchSet) {
         woken
     };
     for p in woken {
-        enqueue(shared, p);
+        shared.metrics.inc(Counter::WakeupCommit);
+        shared.metrics.observe_timer(Hist::BlockedSeconds, p.since);
+        enqueue(shared, p.proc);
     }
 }
 
@@ -418,7 +443,9 @@ enum TxnOutcome {
     Committed(Pending),
     /// Query did not hold; carries the dataspace version the evaluation
     /// read, for the race-free park protocol.
-    Failed { version: u64 },
+    Failed {
+        version: u64,
+    },
 }
 
 /// Evaluate under the read lock, validate + apply under the write lock.
@@ -433,8 +460,10 @@ fn attempt(
             finish_done(shared);
             return Ok(TxnOutcome::Failed { version: 0 });
         }
+        shared.metrics.inc(attempts_counter(t.kind));
         // Query under the read lock; effect construction (which may run
         // expensive host functions) outside any lock.
+        let timer = shared.metrics.start_timer();
         let (solutions, version) = {
             let ds = shared.ds.read();
             let source = proc.def.view.window(&ds, &proc.env, &shared.builtins)?;
@@ -447,7 +476,9 @@ fn attempt(
             )?;
             (s, ds.version())
         };
+        shared.metrics.observe_timer(Hist::QueryEvalSeconds, timer);
         let Some(solutions) = solutions else {
+            shared.metrics.inc(failed_counter(t.kind));
             return Ok(TxnOutcome::Failed { version });
         };
         let p = txn::build_effects(t, &solutions, &proc.env, &shared.builtins)?;
@@ -455,6 +486,7 @@ fn attempt(
             let mut ds = shared.ds.write();
             if !p.validate(&ds) {
                 shared.conflicts.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.inc(Counter::TxnConflicts);
                 drop(ds);
                 continue; // somebody raced us; re-evaluate
             }
@@ -473,11 +505,14 @@ fn attempt(
                 if *ok {
                     ds.assert_tuple(proc.id, tu.clone());
                     changed.add_tuple(tu);
+                } else {
+                    shared.metrics.inc(Counter::ExportDropped);
                 }
             }
             changed
         };
         shared.commits.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.inc(committed_counter(t.kind));
         wake(shared, &changed);
         return Ok(TxnOutcome::Committed(p));
     }
@@ -485,11 +520,7 @@ fn attempt(
 
 /// Applies `let`s and `spawn`s; returns true if the process terminated
 /// (exit with no enclosing loop, or abort).
-fn control(
-    shared: &Shared,
-    proc: &mut ProcessInstance,
-    p: &Pending,
-) -> Result<bool, RuntimeError> {
+fn control(shared: &Shared, proc: &mut ProcessInstance, p: &Pending) -> Result<bool, RuntimeError> {
     for (name, v) in &p.lets {
         proc.env.insert(name.clone(), v.clone());
     }
@@ -507,6 +538,7 @@ fn control(
             });
         }
         let id = ProcId(shared.next_pid.fetch_add(1, Ordering::SeqCst));
+        shared.metrics.inc(Counter::ProcessesSpawned);
         enqueue(shared, ProcessInstance::new(id, def, args.clone()));
     }
     if p.abort {
@@ -675,7 +707,12 @@ fn park(shared: &Shared, watch: WatchSet, eval_version: u64, proc: ProcessInstan
         if ds.version() != eval_version {
             Some(proc)
         } else {
-            blocked.push((watch, proc));
+            shared.metrics.inc(Counter::ProcessesBlocked);
+            blocked.push(Parked {
+                watch,
+                proc,
+                since: shared.metrics.start_timer(),
+            });
             None
         }
     };
@@ -744,10 +781,8 @@ mod tests {
 
     #[test]
     fn quiescence_detected() {
-        let program = CompiledProgram::from_source(
-            "process Waiter() { <never> => skip; }",
-        )
-        .unwrap();
+        let program =
+            CompiledProgram::from_source("process Waiter() { <never> => skip; }").unwrap();
         let b = ParallelRuntime::builder(program)
             .threads(2)
             .spawn("Waiter", vec![])
@@ -761,20 +796,14 @@ mod tests {
 
     #[test]
     fn consensus_is_rejected() {
-        let program = CompiledProgram::from_source(
-            "process P() { <x> @> skip; }",
-        )
-        .unwrap();
+        let program = CompiledProgram::from_source("process P() { <x> @> skip; }").unwrap();
         let r = ParallelRuntime::builder(program).spawn("P", vec![]).build();
         assert!(matches!(r, Err(RuntimeError::Unsupported(_))));
     }
 
     #[test]
     fn replication_is_rejected() {
-        let program = CompiledProgram::from_source(
-            "process P() { par { <x>! -> skip } }",
-        )
-        .unwrap();
+        let program = CompiledProgram::from_source("process P() { par { <x>! -> skip } }").unwrap();
         let r = ParallelRuntime::builder(program).spawn("P", vec![]).build();
         assert!(matches!(r, Err(RuntimeError::Unsupported(_))));
     }
@@ -819,5 +848,55 @@ mod tests {
         assert!(report.outcome.is_completed());
         assert!(ds.contains_match(&sdl_tuple::pattern![Value::atom("counter"), 200]));
         assert_eq!(report.commits, 200);
+    }
+
+    #[test]
+    fn metrics_agree_with_report_and_serial_run() {
+        // The hot-counter program commits exactly 200 times under ANY
+        // schedule, so serial and parallel totals must agree; with many
+        // threads on one tuple, validation conflicts are all but certain,
+        // but they are timing-dependent — retry a few seeds rather than
+        // flake.
+        let src = "process W() {
+            loop { exists c : <counter, c>! : c < 200 -> <counter, c + 1> }
+        }";
+        let serial_commits = {
+            let program = CompiledProgram::from_source(src).unwrap();
+            let mut rt = crate::Runtime::builder(program)
+                .tuple(tuple![Value::atom("counter"), 0i64])
+                .spawn("W", vec![])
+                .build()
+                .unwrap();
+            let report = rt.run().unwrap();
+            report.commits
+        };
+        assert_eq!(serial_commits, 200);
+
+        for seed in 0..32u64 {
+            let (metrics, registry) = Metrics::registry();
+            let program = CompiledProgram::from_source(src).unwrap();
+            let mut b = ParallelRuntime::builder(program)
+                .threads(8)
+                .seed(seed)
+                .metrics(metrics)
+                .tuple(tuple![Value::atom("counter"), 0i64]);
+            for _ in 0..8 {
+                b = b.spawn("W", vec![]);
+            }
+            let (report, _) = b.build().unwrap().run().unwrap();
+            assert!(report.outcome.is_completed());
+            assert_eq!(report.commits, serial_commits);
+            assert_eq!(
+                registry.counter(Counter::TxnCommittedImmediate),
+                report.commits
+            );
+            assert_eq!(registry.counter(Counter::TxnConflicts), report.conflicts);
+            assert!(registry.counter(Counter::TuplesAsserted) > 200);
+            assert_eq!(registry.counter(Counter::ProcessesBlocked), 0);
+            if report.conflicts > 0 {
+                return; // contention observed and accounted for
+            }
+        }
+        panic!("no validation conflicts across 32 seeds of 8-thread contention");
     }
 }

@@ -92,7 +92,10 @@ impl ProcessInstance {
             id,
             def: parent.def.clone(),
             env,
-            frames: vec![Frame::Seq { stmts: body, idx: 0 }],
+            frames: vec![Frame::Seq {
+                stmts: body,
+                idx: 0,
+            }],
             parent: Some(parent.id),
         }
     }

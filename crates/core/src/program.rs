@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use sdl_dataspace::AtomMode;
 use sdl_lang::ast::{
-    Action, CondAtom, Expr, FieldExpr, GuardedSeq, PatternExpr, ProcessDef, Program, Quant,
-    Stmt, Transaction, TxnAtom, TxnKind,
+    Action, CondAtom, Expr, FieldExpr, GuardedSeq, PatternExpr, ProcessDef, Program, Quant, Stmt,
+    Transaction, TxnAtom, TxnKind,
 };
 use sdl_tuple::VarId;
 
@@ -280,8 +280,7 @@ fn compile_view_rule(rule: &sdl_lang::ast::ViewRule) -> Result<CompiledViewRule,
                     e.collect_names(&mut names);
                     if names.iter().any(|n| vars.contains_key(n)) {
                         Err(CompileError::Unsupported(
-                            "computed expression over rule variables in a view pattern"
-                                .to_owned(),
+                            "computed expression over rule variables in a view pattern".to_owned(),
                         ))
                     } else {
                         Ok(CompiledField::Env(e.clone()))
@@ -377,20 +376,21 @@ pub fn compile_txn(
 
     // Depth at which every variable of `e` is bound (None if some
     // variable is never bound by a positive atom).
-    let depth_of = |e: &Expr, var_ids: &HashMap<&str, VarId>, bind_depth: &HashMap<VarId, usize>| {
-        let mut names = Vec::new();
-        e.collect_names(&mut names);
-        let mut depth = 0usize;
-        for n in names {
-            if let Some(id) = var_ids.get(n) {
-                match bind_depth.get(id) {
-                    Some(d) => depth = depth.max(*d),
-                    None => return None,
+    let depth_of =
+        |e: &Expr, var_ids: &HashMap<&str, VarId>, bind_depth: &HashMap<VarId, usize>| {
+            let mut names = Vec::new();
+            e.collect_names(&mut names);
+            let mut depth = 0usize;
+            for n in names {
+                if let Some(id) = var_ids.get(n) {
+                    match bind_depth.get(id) {
+                        Some(d) => depth = depth.max(*d),
+                        None => return None,
+                    }
                 }
             }
-        }
-        Some(depth)
-    };
+            Some(depth)
+        };
 
     for atom in &t.atoms {
         match atom {
@@ -405,9 +405,7 @@ pub fn compile_txn(
                 for field in &pattern.fields {
                     fields.push(match field {
                         FieldExpr::Any => CompiledField::Any,
-                        FieldExpr::Expr(Expr::Name(n))
-                            if var_ids.contains_key(n.as_str()) =>
-                        {
+                        FieldExpr::Expr(Expr::Name(n)) if var_ids.contains_key(n.as_str()) => {
                             let id = var_ids[n.as_str()];
                             bind_depth.entry(id).or_insert(positive_depth);
                             CompiledField::Var(id)
@@ -448,9 +446,7 @@ pub fn compile_txn(
                 for field in &pattern.fields {
                     fields.push(match field {
                         FieldExpr::Any => CompiledField::Any,
-                        FieldExpr::Expr(Expr::Name(n))
-                            if var_ids.contains_key(n.as_str()) =>
-                        {
+                        FieldExpr::Expr(Expr::Name(n)) if var_ids.contains_key(n.as_str()) => {
                             CompiledField::Var(var_ids[n.as_str()])
                         }
                         FieldExpr::Expr(e) => {
@@ -645,10 +641,7 @@ mod tests {
 
     #[test]
     fn spawn_arity_checked_at_compile_time() {
-        let r = compile_txn(
-            &parse_transaction("-> spawn Sum1(1)").unwrap(),
-            &sigs(),
-        );
+        let r = compile_txn(&parse_transaction("-> spawn Sum1(1)").unwrap(), &sigs());
         assert!(matches!(r, Err(CompileError::ArityMismatch { .. })));
         let r2 = compile_txn(&parse_transaction("-> spawn Nope()").unwrap(), &sigs());
         assert_eq!(r2.unwrap_err(), CompileError::UnknownProcess("Nope".into()));

@@ -35,8 +35,10 @@ use crate::events::Event;
 use crate::outcome::Outcome;
 use crate::process::Frame;
 use crate::program::{CompiledBranch, CompiledStmt};
-use crate::sched::{GuardMode, Runtime};
+use crate::sched::{attempts_counter, committed_counter, failed_counter, GuardMode, Runtime};
 use crate::RunReport;
+
+use sdl_metrics::Counter;
 
 impl Runtime {
     /// Runs with round-level parallelism and reports logical parallel
@@ -98,11 +100,7 @@ impl Runtime {
 
     /// One process's turn within a round. Returns the number of commits
     /// and whether any control progress was made.
-    fn round_step(
-        &mut self,
-        pid: ProcId,
-        snap: &Dataspace,
-    ) -> Result<(u64, bool), RuntimeError> {
+    fn round_step(&mut self, pid: ProcId, snap: &Dataspace) -> Result<(u64, bool), RuntimeError> {
         self.blocked.remove(&pid);
         loop {
             let Some(proc) = self.procs.get(&pid) else {
@@ -131,11 +129,13 @@ impl Runtime {
                                 return Ok((0, false));
                             }
                             self.report.attempts += 1;
+                            self.metrics.inc(attempts_counter(t.kind));
                             return match self.evaluate_for(pid, &t, Some(snap))? {
                                 Some(p) => {
                                     if p.validate(&self.ds) {
                                         self.advance_seq(pid);
                                         let changed = self.commit_single(pid, &p);
+                                        self.metrics.inc(committed_counter(t.kind));
                                         self.emit(Event::TxnCommitted {
                                             by: pid,
                                             kind: t.kind,
@@ -146,22 +146,26 @@ impl Runtime {
                                     } else {
                                         // Conflict with a sibling in this
                                         // round; retry next round.
+                                        self.metrics.inc(Counter::TxnConflicts);
                                         Ok((0, false))
                                     }
                                 }
-                                None => match t.kind {
-                                    TxnKind::Immediate => {
-                                        self.emit(Event::TxnFailed { by: pid });
-                                        self.advance_seq(pid);
-                                        Ok((0, true))
+                                None => {
+                                    self.metrics.inc(failed_counter(t.kind));
+                                    match t.kind {
+                                        TxnKind::Immediate => {
+                                            self.emit(Event::TxnFailed { by: pid });
+                                            self.advance_seq(pid);
+                                            Ok((0, true))
+                                        }
+                                        TxnKind::Delayed => {
+                                            let watch = self.txn_watch(pid, &t);
+                                            self.block(pid, watch, false);
+                                            Ok((0, false))
+                                        }
+                                        TxnKind::Consensus => unreachable!("handled above"),
                                     }
-                                    TxnKind::Delayed => {
-                                        let watch = self.txn_watch(pid, &t);
-                                        self.block(pid, watch, false);
-                                        Ok((0, false))
-                                    }
-                                    TxnKind::Consensus => unreachable!("handled above"),
-                                },
+                                }
                             };
                         }
                         CompiledStmt::Select(branches) => {
@@ -226,14 +230,17 @@ impl Runtime {
                 TxnKind::Immediate => {}
             }
             self.report.attempts += 1;
+            self.metrics.inc(attempts_counter(guard.kind));
             if let Some(p) = self.evaluate_for(pid, &guard, Some(snap))? {
                 if !p.validate(&self.ds) {
+                    self.metrics.inc(Counter::TxnConflicts);
                     continue; // conflict: try another guard, else next round
                 }
                 if mode == GuardMode::Select {
                     self.advance_seq(pid);
                 }
                 self.commit_single(pid, &p);
+                self.metrics.inc(committed_counter(guard.kind));
                 self.emit(Event::TxnCommitted {
                     by: pid,
                     kind: guard.kind,
@@ -241,6 +248,7 @@ impl Runtime {
                 self.enter_branch(pid, &p, branches[i].rest.clone(), mode)?;
                 return Ok((1, true));
             }
+            self.metrics.inc(failed_counter(guard.kind));
         }
 
         if delayed_present || consensus_present {
@@ -296,11 +304,14 @@ impl Runtime {
                     return Ok((commits, true)); // aborted mid-construct
                 }
                 self.report.attempts += 1;
+                self.metrics.inc(attempts_counter(guard.kind));
                 let Some(p) = self.evaluate_for(pid, &guard, Some(&local))? else {
+                    self.metrics.inc(failed_counter(guard.kind));
                     break;
                 };
                 if p.validate(&self.ds) {
                     self.commit_single(pid, &p);
+                    self.metrics.inc(committed_counter(guard.kind));
                     self.emit(Event::TxnCommitted {
                         by: pid,
                         kind: guard.kind,
@@ -322,6 +333,7 @@ impl Runtime {
                 } else {
                     // The solution used instances a sibling already took;
                     // drop them from the local view and retry.
+                    self.metrics.inc(Counter::TxnConflicts);
                     let mut removed = false;
                     for id in p.reads.iter().chain(p.retracts.iter()) {
                         if !self.ds.contains_id(*id) && local.retract(*id).is_some() {

@@ -13,7 +13,9 @@
 //! executed.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -22,6 +24,7 @@ use rand::SeedableRng;
 use sdl_dataspace::{Dataspace, IndexMode, SolveLimits, WatchSet};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
+use sdl_metrics::{Counter, Hist, Metrics};
 use sdl_tuple::{ProcId, Tuple, Value};
 
 use crate::builtins::Builtins;
@@ -60,6 +63,46 @@ pub(crate) enum GuardMode {
 pub(crate) struct BlockInfo {
     pub watch: WatchSet,
     pub has_consensus: bool,
+    /// When the process blocked; populated only when metrics are enabled.
+    pub since: Option<Instant>,
+}
+
+/// The `sdl_txn_attempts_total` series for a transaction mode.
+pub(crate) fn attempts_counter(kind: TxnKind) -> Counter {
+    match kind {
+        TxnKind::Immediate => Counter::TxnAttemptsImmediate,
+        TxnKind::Delayed => Counter::TxnAttemptsDelayed,
+        TxnKind::Consensus => Counter::TxnAttemptsConsensus,
+    }
+}
+
+/// The `sdl_txn_committed_total` series for a transaction mode.
+pub(crate) fn committed_counter(kind: TxnKind) -> Counter {
+    match kind {
+        TxnKind::Immediate => Counter::TxnCommittedImmediate,
+        TxnKind::Delayed => Counter::TxnCommittedDelayed,
+        TxnKind::Consensus => Counter::TxnCommittedConsensus,
+    }
+}
+
+/// The `sdl_txn_failed_total` series for a transaction mode.
+pub(crate) fn failed_counter(kind: TxnKind) -> Counter {
+    match kind {
+        TxnKind::Immediate => Counter::TxnFailedImmediate,
+        TxnKind::Delayed => Counter::TxnFailedDelayed,
+        TxnKind::Consensus => Counter::TxnFailedConsensus,
+    }
+}
+
+/// Additional event sinks the runtime forwards to besides the trace log
+/// (streaming exporters, incremental statistics).
+#[derive(Default)]
+pub(crate) struct Sinks(Vec<Box<dyn EventSink>>);
+
+impl fmt::Debug for Sinks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sinks({})", self.0.len())
+    }
 }
 
 /// Where a blocked process will contribute its consensus transaction.
@@ -81,6 +124,9 @@ pub struct RuntimeBuilder {
     seed: u64,
     builtins: Builtins,
     trace: bool,
+    trace_capacity: Option<usize>,
+    metrics: Metrics,
+    sinks: Sinks,
     limits: RunLimits,
     solve_limits: SolveLimits,
     index_mode: IndexMode,
@@ -104,6 +150,30 @@ impl RuntimeBuilder {
     /// Enables event tracing (see [`Runtime::event_log`]).
     pub fn trace(mut self, on: bool) -> RuntimeBuilder {
         self.trace = on;
+        self
+    }
+
+    /// Enables event tracing into a *bounded* log: the first `capacity`
+    /// events are kept, the rest counted in [`EventLog::dropped`].
+    pub fn trace_capacity(mut self, capacity: usize) -> RuntimeBuilder {
+        self.trace = true;
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Attaches a metrics handle; counters and histograms from the
+    /// scheduler, dataspace, and solver are recorded into it. The default
+    /// ([`Metrics::disabled`]) makes every recording site a single branch.
+    pub fn metrics(mut self, metrics: Metrics) -> RuntimeBuilder {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Adds a streaming event sink (e.g. [`crate::events::JsonlSink`])
+    /// that receives every event as it is emitted, independently of the
+    /// in-memory trace log. May be called multiple times.
+    pub fn event_sink(mut self, sink: Box<dyn EventSink>) -> RuntimeBuilder {
+        self.sinks.0.push(sink);
         self
     }
 
@@ -152,9 +222,11 @@ impl RuntimeBuilder {
     /// Fails if an init tuple expression cannot evaluate or an initial
     /// spawn names an unknown process.
     pub fn build(self) -> Result<Runtime, RuntimeError> {
+        let mut ds = Dataspace::with_index_mode(self.index_mode);
+        ds.set_metrics(self.metrics.clone());
         let mut rt = Runtime {
             program: self.program,
-            ds: Dataspace::with_index_mode(self.index_mode),
+            ds,
             procs: HashMap::new(),
             ready: VecDeque::new(),
             blocked: BTreeMap::new(),
@@ -162,10 +234,15 @@ impl RuntimeBuilder {
             rng: StdRng::seed_from_u64(self.seed),
             builtins: self.builtins,
             trace: if self.trace {
-                Some(EventLog::new())
+                Some(match self.trace_capacity {
+                    Some(cap) => EventLog::with_capacity(cap),
+                    None => EventLog::new(),
+                })
             } else {
                 None
             },
+            metrics: self.metrics,
+            sinks: self.sinks,
             report: RunReport::new(),
             limits: self.limits,
             solve_limits: self.solve_limits,
@@ -243,6 +320,8 @@ pub struct Runtime {
     pub(crate) rng: StdRng,
     builtins: Builtins,
     trace: Option<EventLog>,
+    pub(crate) metrics: Metrics,
+    sinks: Sinks,
     pub(crate) report: RunReport,
     limits: RunLimits,
     solve_limits: SolveLimits,
@@ -256,6 +335,9 @@ impl Runtime {
             seed: 0,
             builtins: Builtins::standard(),
             trace: false,
+            trace_capacity: None,
+            metrics: Metrics::disabled(),
+            sinks: Sinks::default(),
             limits: RunLimits::default(),
             solve_limits: SolveLimits::default(),
             index_mode: IndexMode::default(),
@@ -272,6 +354,23 @@ impl Runtime {
     /// The event log, if tracing was enabled.
     pub fn event_log(&self) -> Option<&EventLog> {
         self.trace.as_ref()
+    }
+
+    /// The event log, mutably — lets a driver [`EventLog::clear`] a
+    /// bounded log between runs.
+    pub fn event_log_mut(&mut self) -> Option<&mut EventLog> {
+        self.trace.as_mut()
+    }
+
+    /// The metrics handle events are recorded into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Removes and returns the attached streaming sinks (so a driver can
+    /// flush them after the run).
+    pub fn take_event_sinks(&mut self) -> Vec<Box<dyn EventSink>> {
+        std::mem::take(&mut self.sinks.0)
     }
 
     /// The built-in registry.
@@ -319,8 +418,10 @@ impl Runtime {
             );
         }
         if out.is_empty() {
-            out.push_str("no blocked processes
-");
+            out.push_str(
+                "no blocked processes
+",
+            );
         }
         out
     }
@@ -499,29 +600,37 @@ impl Runtime {
             return Ok(self.block(pid, watch, true));
         }
         self.report.attempts += 1;
+        self.metrics.inc(attempts_counter(t.kind));
         match self.evaluate_for(pid, t, None)? {
             Some(p) => {
                 self.advance_seq(pid);
                 let changed = self.commit_single(pid, &p);
-                self.emit(Event::TxnCommitted { by: pid, kind: t.kind });
+                self.metrics.inc(committed_counter(t.kind));
+                self.emit(Event::TxnCommitted {
+                    by: pid,
+                    kind: t.kind,
+                });
                 self.wake(&changed);
                 self.apply_control(pid, &p)?;
                 Ok(StepResult::Progressed)
             }
-            None => match t.kind {
-                TxnKind::Immediate => {
-                    // A failed immediate transaction "has no effect on the
-                    // dataspace"; as a statement it acts as skip.
-                    self.emit(Event::TxnFailed { by: pid });
-                    self.advance_seq(pid);
-                    Ok(StepResult::Progressed)
+            None => {
+                self.metrics.inc(failed_counter(t.kind));
+                match t.kind {
+                    TxnKind::Immediate => {
+                        // A failed immediate transaction "has no effect on
+                        // the dataspace"; as a statement it acts as skip.
+                        self.emit(Event::TxnFailed { by: pid });
+                        self.advance_seq(pid);
+                        Ok(StepResult::Progressed)
+                    }
+                    TxnKind::Delayed => {
+                        let watch = self.txn_watch(pid, t);
+                        Ok(self.block(pid, watch, false))
+                    }
+                    TxnKind::Consensus => unreachable!("handled above"),
                 }
-                TxnKind::Delayed => {
-                    let watch = self.txn_watch(pid, t);
-                    Ok(self.block(pid, watch, false))
-                }
-                TxnKind::Consensus => unreachable!("handled above"),
-            },
+            }
         }
     }
 
@@ -547,11 +656,13 @@ impl Runtime {
                 TxnKind::Immediate => {}
             }
             self.report.attempts += 1;
+            self.metrics.inc(attempts_counter(guard.kind));
             if let Some(p) = self.evaluate_for(pid, &guard, None)? {
                 if mode == GuardMode::Select {
                     self.advance_seq(pid);
                 }
                 let changed = self.commit_single(pid, &p);
+                self.metrics.inc(committed_counter(guard.kind));
                 self.emit(Event::TxnCommitted {
                     by: pid,
                     kind: guard.kind,
@@ -560,6 +671,7 @@ impl Runtime {
                 self.enter_branch(pid, &p, branches[i].rest.clone(), mode)?;
                 return Ok(StepResult::Progressed);
             }
+            self.metrics.inc(failed_counter(guard.kind));
         }
 
         // No guard committed.
@@ -570,9 +682,8 @@ impl Runtime {
                 _ => 0,
             }
         };
-        let must_wait = delayed_present
-            || consensus_present
-            || (mode == GuardMode::Repl && repl_active > 0);
+        let must_wait =
+            delayed_present || consensus_present || (mode == GuardMode::Repl && repl_active > 0);
         if must_wait {
             let watch = self.guards_watch(pid, branches);
             return Ok(self.block(pid, watch, consensus_present));
@@ -665,8 +776,11 @@ impl Runtime {
     ) -> Result<Option<Pending>, RuntimeError> {
         let proc = &self.procs[&pid];
         let ds = source_ds.unwrap_or(&self.ds);
+        let timer = self.metrics.start_timer();
         let source = proc.def.view.window(ds, &proc.env, &self.builtins)?;
-        txn::evaluate(t, &source, &proc.env, &self.builtins, self.solve_limits)
+        let result = txn::evaluate(t, &source, &proc.env, &self.builtins, self.solve_limits);
+        self.metrics.observe_timer(Hist::QueryEvalSeconds, timer);
+        result
     }
 
     pub(crate) fn txn_watch(&self, pid: ProcId, t: &CompiledTxn) -> WatchSet {
@@ -716,6 +830,7 @@ impl Runtime {
                     tuple: t.clone(),
                 });
             } else {
+                self.metrics.inc(Counter::ExportDropped);
                 self.emit(Event::ExportDropped {
                     by: pid,
                     tuple: t.clone(),
@@ -728,11 +843,7 @@ impl Runtime {
 
     /// Applies `let`s, `spawn`s, `exit`, `abort`. Returns true if the
     /// process terminated.
-    pub(crate) fn apply_control(
-        &mut self,
-        pid: ProcId,
-        p: &Pending,
-    ) -> Result<bool, RuntimeError> {
+    pub(crate) fn apply_control(&mut self, pid: ProcId, p: &Pending) -> Result<bool, RuntimeError> {
         if let Some(proc) = self.procs.get_mut(&pid) {
             for (name, v) in &p.lets {
                 proc.env.insert(name.clone(), v.clone());
@@ -802,6 +913,7 @@ impl Runtime {
             });
         }
         let id = self.alloc_pid();
+        self.metrics.inc(Counter::ProcessesSpawned);
         self.emit(Event::ProcessCreated {
             id,
             name: name.to_owned(),
@@ -861,7 +973,13 @@ impl Runtime {
 
     // ---------------- blocking & waking ----------------
 
-    pub(crate) fn block(&mut self, pid: ProcId, watch: WatchSet, has_consensus: bool) -> StepResult {
+    pub(crate) fn block(
+        &mut self,
+        pid: ProcId,
+        watch: WatchSet,
+        has_consensus: bool,
+    ) -> StepResult {
+        self.metrics.inc(Counter::ProcessesBlocked);
         self.emit(Event::ProcessBlocked {
             id: pid,
             consensus: has_consensus,
@@ -871,6 +989,7 @@ impl Runtime {
             BlockInfo {
                 watch,
                 has_consensus,
+                since: self.metrics.start_timer(),
             },
         );
         StepResult::Blocked { has_consensus }
@@ -887,13 +1006,18 @@ impl Runtime {
             .map(|(pid, _)| *pid)
             .collect();
         for pid in woken {
-            self.blocked.remove(&pid);
+            if let Some(info) = self.blocked.remove(&pid) {
+                self.metrics.inc(Counter::WakeupCommit);
+                self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+            }
             self.ready.push_back(pid);
         }
     }
 
     fn wake_pid(&mut self, pid: ProcId) {
-        if self.blocked.remove(&pid).is_some() {
+        if let Some(info) = self.blocked.remove(&pid) {
+            self.metrics.inc(Counter::WakeupCommit);
+            self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
             self.ready.push_back(pid);
         }
     }
@@ -909,11 +1033,10 @@ impl Runtime {
         let sets = consensus_sets(&procs, &self.ds, &self.builtins)?;
         for set in sets {
             // Every member must be blocked with a consensus guard.
-            if !set.iter().all(|pid| {
-                self.blocked
-                    .get(pid)
-                    .is_some_and(|info| info.has_consensus)
-            }) {
+            if !set
+                .iter()
+                .all(|pid| self.blocked.get(pid).is_some_and(|info| info.has_consensus))
+            {
                 continue;
             }
             // Probe every member's contribution against the same D.
@@ -946,6 +1069,7 @@ impl Runtime {
         match proc.frames.last() {
             Some(Frame::Seq { stmts, idx }) => match stmts.get(*idx) {
                 Some(CompiledStmt::Txn(t)) if t.kind == TxnKind::Consensus => {
+                    self.metrics.inc(Counter::TxnAttemptsConsensus);
                     Ok(self
                         .evaluate_for(pid, t, None)?
                         .map(|p| (ConsensusSite::PlainTxn, p)))
@@ -956,9 +1080,7 @@ impl Runtime {
                 _ => Ok(None),
             },
             Some(Frame::Loop { branches }) => self.probe_guards(pid, branches, GuardMode::Loop),
-            Some(Frame::Repl { branches, .. }) => {
-                self.probe_guards(pid, branches, GuardMode::Repl)
-            }
+            Some(Frame::Repl { branches, .. }) => self.probe_guards(pid, branches, GuardMode::Repl),
             None => Ok(None),
         }
     }
@@ -973,6 +1095,7 @@ impl Runtime {
             if b.guard.kind != TxnKind::Consensus {
                 continue;
             }
+            self.metrics.inc(Counter::TxnAttemptsConsensus);
             if let Some(p) = self.evaluate_for(pid, &b.guard, None)? {
                 return Ok(Some((
                     ConsensusSite::Guard {
@@ -999,6 +1122,7 @@ impl Runtime {
             participants: participants.clone(),
         });
         self.report.consensus_rounds += 1;
+        self.metrics.inc(Counter::ConsensusRounds);
 
         // Export allowance against the pre-composite state.
         let mut allowed: Vec<Vec<bool>> = Vec::with_capacity(contributions.len());
@@ -1007,7 +1131,11 @@ impl Runtime {
             allowed.push(
                 p.asserts
                     .iter()
-                    .map(|t| proc.def.view.exports(t, &self.ds, &proc.env, &self.builtins))
+                    .map(|t| {
+                        proc.def
+                            .view
+                            .exports(t, &self.ds, &proc.env, &self.builtins)
+                    })
                     .collect(),
             );
         }
@@ -1040,6 +1168,7 @@ impl Runtime {
                         tuple: t.clone(),
                     });
                 } else {
+                    self.metrics.inc(Counter::ExportDropped);
                     self.emit(Event::ExportDropped {
                         by: *pid,
                         tuple: t.clone(),
@@ -1047,6 +1176,7 @@ impl Runtime {
                 }
             }
             self.report.commits += 1;
+            self.metrics.inc(Counter::TxnCommittedConsensus);
             self.emit(Event::TxnCommitted {
                 by: *pid,
                 kind: TxnKind::Consensus,
@@ -1055,7 +1185,10 @@ impl Runtime {
 
         // Per-participant control advance.
         for (pid, site, p) in &contributions {
-            self.blocked.remove(pid);
+            if let Some(info) = self.blocked.remove(pid) {
+                self.metrics.inc(Counter::WakeupConsensus);
+                self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+            }
             match site {
                 ConsensusSite::PlainTxn => {
                     self.advance_seq(*pid);
@@ -1095,8 +1228,23 @@ impl Runtime {
 
     pub(crate) fn emit(&mut self, event: Event) {
         let step = self.report.attempts;
-        if let Some(log) = &mut self.trace {
-            log.record(step, event);
+        match (&mut self.sinks.0[..], &mut self.trace) {
+            ([], None) => {}
+            ([], Some(log)) => {
+                if !log.push(step, event) {
+                    self.metrics.inc(Counter::EventsDropped);
+                }
+            }
+            (sinks, trace) => {
+                for sink in sinks.iter_mut() {
+                    sink.record(step, event.clone());
+                }
+                if let Some(log) = trace {
+                    if !log.push(step, event) {
+                        self.metrics.inc(Counter::EventsDropped);
+                    }
+                }
+            }
         }
     }
 }

@@ -137,8 +137,14 @@ fn repetition_drains_matching_tuples() {
          }",
         1,
     );
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("index"), any]), 0);
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("value"), any]), 0);
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("index"), any]),
+        0
+    );
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("value"), any]),
+        0
+    );
     assert_eq!(rt.dataspace().len(), 2, "two pairs built");
 }
 
@@ -171,7 +177,9 @@ fn abort_terminates_process_immediately() {
          init { <poison>; spawn P(); }",
         0,
     );
-    assert!(!rt.dataspace().contains_match(&pattern![atom("unreachable")]));
+    assert!(!rt
+        .dataspace()
+        .contains_match(&pattern![atom("unreachable")]));
 }
 
 #[test]
@@ -227,7 +235,9 @@ fn find_by_content_single_transaction() {
          }",
         0,
     );
-    assert!(rt.dataspace().contains_match(&pattern![atom("size"), atom("big")]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("size"), atom("big")]));
     assert!(rt
         .dataspace()
         .contains_match(&pattern![atom("taste"), atom("not_found")]));
@@ -302,7 +312,11 @@ fn replication_body_helpers_run_concurrently() {
          init { <job, 1>; <job, 2>; <job, 3>; spawn P(); }",
         5,
     );
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("finished"), any]), 3);
+    assert_eq!(
+        rt.dataspace()
+            .count_matches(&pattern![atom("finished"), any]),
+        3
+    );
     assert!(
         rt.dataspace().contains_match(&pattern![atom("all_done")]),
         "replication waited for its bodies"
@@ -323,7 +337,10 @@ fn consensus_barrier_synchronises_two_processes() {
          init { spawn W(1); spawn W(2); }",
         0,
     );
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("phase2"), any]), 2);
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("phase2"), any]),
+        2
+    );
 }
 
 #[test]
@@ -363,7 +380,11 @@ fn sum1_consensus_phases() {
     }
     let mut rt = builder.build().unwrap();
     let report = rt.run().unwrap();
-    assert!(report.outcome.is_completed(), "outcome: {:?}", report.outcome);
+    assert!(
+        report.outcome.is_completed(),
+        "outcome: {:?}",
+        report.outcome
+    );
     assert_eq!(rt.dataspace().len(), 1);
     let (_, t) = rt.dataspace().iter().next().unwrap();
     assert_eq!(t[0], Value::Int(8));
@@ -436,19 +457,17 @@ fn sort_with_views_and_consensus_termination() {
     }
     let mut rt = builder.build().unwrap();
     let report = rt.run().unwrap();
-    assert!(report.outcome.is_completed(), "outcome: {:?}", report.outcome);
+    assert!(
+        report.outcome.is_completed(),
+        "outcome: {:?}",
+        report.outcome
+    );
     // Extract the sorted sequence.
     let mut got = Vec::new();
     for i in 1..=n {
         let ids = rt.dataspace().find_all(&pattern![i, any]);
         assert_eq!(ids.len(), 1, "node {i}");
-        got.push(
-            rt.dataspace()
-                .tuple(ids[0])
-                .unwrap()[1]
-                .as_int()
-                .unwrap(),
-        );
+        got.push(rt.dataspace().tuple(ids[0]).unwrap()[1].as_int().unwrap());
     }
     let mut expected = values.clone();
     expected.sort_unstable();
@@ -469,7 +488,9 @@ fn export_filtering_drops_foreign_tuples() {
     let mut rt = Runtime::builder(program).trace(true).build().unwrap();
     rt.run().unwrap();
     assert!(rt.dataspace().contains_match(&pattern![atom("allowed"), 1]));
-    assert!(!rt.dataspace().contains_match(&pattern![atom("forbidden"), 2]));
+    assert!(!rt
+        .dataspace()
+        .contains_match(&pattern![atom("forbidden"), 2]));
     let dropped = rt
         .event_log()
         .unwrap()
@@ -492,7 +513,9 @@ fn import_restricts_what_a_transaction_sees() {
          init { <mine, 1>; <other, 2>; spawn P(); }",
         0,
     );
-    assert!(rt.dataspace().contains_match(&pattern![atom("saw_mine"), 1]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("saw_mine"), 1]));
     assert!(!rt.dataspace().contains_match(&pattern![atom("saw_other")]));
 }
 
@@ -510,10 +533,13 @@ fn determinism_same_seed_same_trace() {
     let runs: Vec<(u64, usize, Vec<String>)> = (0..2)
         .map(|_| {
             let program = CompiledProgram::from_source(src).unwrap();
-            let mut rt = Runtime::builder(program).seed(99).trace(true).build().unwrap();
+            let mut rt = Runtime::builder(program)
+                .seed(99)
+                .trace(true)
+                .build()
+                .unwrap();
             let report = rt.run().unwrap();
-            let tuples: Vec<String> =
-                rt.dataspace().iter().map(|(_, t)| t.to_string()).collect();
+            let tuples: Vec<String> = rt.dataspace().iter().map(|(_, t)| t.to_string()).collect();
             (report.commits, rt.event_log().unwrap().len(), tuples)
         })
         .collect();
@@ -573,8 +599,14 @@ fn forall_transaction_retracts_everything_at_once() {
          init { <item, 1>; <item, 2>; <item, 3>; spawn P(); }",
         0,
     );
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("item"), any]), 0);
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("moved"), any]), 3);
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("item"), any]),
+        0
+    );
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("moved"), any]),
+        3
+    );
 }
 
 #[test]
@@ -591,7 +623,10 @@ fn builtin_predicates_in_queries() {
         .build()
         .unwrap();
     rt.run().unwrap();
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("even_n"), any]), 2);
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("even_n"), any]),
+        2
+    );
     assert_eq!(rt.dataspace().count_matches(&pattern![atom("n"), any]), 2);
 }
 
@@ -654,8 +689,7 @@ fn consensus_communities_fire_independently() {
     ";
     let rt = run_src(src, 0);
     assert_eq!(
-        rt.dataspace()
-            .count_matches(&pattern![any, atom("done")]),
+        rt.dataspace().count_matches(&pattern![any, atom("done")]),
         4
     );
 }
@@ -692,7 +726,9 @@ fn exit_in_replication_guard_cancels_outstanding_bodies() {
         2,
     );
     assert!(rt.dataspace().contains_match(&pattern![atom("after_par")]));
-    assert!(!rt.dataspace().contains_match(&pattern![atom("unreachable")]));
+    assert!(!rt
+        .dataspace()
+        .contains_match(&pattern![atom("unreachable")]));
 }
 
 #[test]
@@ -713,10 +749,13 @@ fn nested_replication_inside_loop() {
         4,
     );
     assert_eq!(
-        rt.dataspace().count_matches(&pattern![atom("done"), any, any]),
+        rt.dataspace()
+            .count_matches(&pattern![atom("done"), any, any]),
         3
     );
-    assert!(rt.dataspace().contains_match(&pattern![atom("all_batches_done")]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("all_batches_done")]));
 }
 
 #[test]
@@ -734,9 +773,13 @@ fn consensus_guard_inside_replication() {
          init { <job, 1>; <job, 2>; <job, 3>; spawn P(1); spawn P(2); }",
         3,
     );
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("done"), any]), 3);
     assert_eq!(
-        rt.dataspace().count_matches(&pattern![atom("finished"), any]),
+        rt.dataspace().count_matches(&pattern![atom("done"), any]),
+        3
+    );
+    assert_eq!(
+        rt.dataspace()
+            .count_matches(&pattern![atom("finished"), any]),
         2
     );
 }
@@ -757,8 +800,12 @@ fn abort_in_replication_body_notifies_parent() {
     );
     // Body 1 aborts at the poison; body 2 survives; the construct still
     // completes (aborted helpers count as finished).
-    assert!(rt.dataspace().contains_match(&pattern![atom("survived"), 2]));
-    assert!(!rt.dataspace().contains_match(&pattern![atom("survived"), 1]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("survived"), 2]));
+    assert!(!rt
+        .dataspace()
+        .contains_match(&pattern![atom("survived"), 1]));
     assert!(rt.dataspace().contains_match(&pattern![atom("par_done")]));
 }
 
@@ -867,12 +914,18 @@ fn society_can_be_driven_incrementally() {
         rt.add_tuple(sdl_tuple::tuple![atom("ping"), i]);
     }
     rt.run().unwrap();
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("pong"), any]), 3);
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("pong"), any]),
+        3
+    );
     // Spawn another echo and feed it too.
     rt.spawn("Echo", vec![]).unwrap();
     rt.add_tuple(sdl_tuple::tuple![atom("ping"), 99]);
     rt.run().unwrap();
-    assert_eq!(rt.dataspace().count_matches(&pattern![atom("pong"), any]), 4);
+    assert_eq!(
+        rt.dataspace().count_matches(&pattern![atom("pong"), any]),
+        4
+    );
     assert!(rt.spawn("Nope", vec![]).is_err());
 }
 
@@ -892,8 +945,8 @@ fn blocked_report_explains_quiescence() {
     assert!(report.contains("Consenter"), "{report}");
     assert!(report.contains("consensus"), "{report}");
     // A completed run reports nothing.
-    let program = CompiledProgram::from_source("process P() { -> skip; } init { spawn P(); }")
-        .unwrap();
+    let program =
+        CompiledProgram::from_source("process P() { -> skip; } init { spawn P(); }").unwrap();
     let mut rt2 = Runtime::builder(program).build().unwrap();
     rt2.run().unwrap();
     assert!(rt2.blocked_report().contains("no blocked"));

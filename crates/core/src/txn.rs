@@ -163,8 +163,7 @@ pub fn evaluate_query(
         Quant::Forall => {
             // Binding constraints prune; property tests are the checked
             // property — every binding solution must satisfy them.
-            let mut staged =
-                |depth: usize, b: &Bindings| check_tests(&txn.binding_tests, depth, b);
+            let mut staged = |depth: usize, b: &Bindings| check_tests(&txn.binding_tests, depth, b);
             let sols = solver.all_staged(None, &mut staged, limits);
             for sol in &sols {
                 let b = sol.to_bindings();
@@ -232,7 +231,7 @@ pub fn build_effects(
                 builtins,
             };
             apply_action(&ca.action, &ctx, &mut pending)?;
-            for (name, v) in pending.lets[before..].to_vec() {
+            for (name, v) in pending.lets[before..].iter().cloned() {
                 action_env.insert(name, v);
             }
         }
@@ -319,11 +318,7 @@ mod tests {
             .collect()
     }
 
-    fn run(
-        src: &str,
-        ds: &Dataspace,
-        env_pairs: &[(&str, i64)],
-    ) -> Option<Pending> {
+    fn run(src: &str, ds: &Dataspace, env_pairs: &[(&str, i64)]) -> Option<Pending> {
         let txn = compile(src);
         evaluate(
             &txn,
@@ -403,7 +398,10 @@ mod tests {
         assert_eq!(p.retracts.len(), 3);
         assert_eq!(p.asserts.len(), 4, "3 per-solution + 1 once");
         assert_eq!(
-            p.asserts.iter().filter(|t| t.functor() == Some(sdl_tuple::Atom::new("w"))).count(),
+            p.asserts
+                .iter()
+                .filter(|t| t.functor() == Some(sdl_tuple::Atom::new("w")))
+                .count(),
             3
         );
     }
@@ -517,7 +515,13 @@ mod tests {
     fn eval_error_in_action_surfaces() {
         let txn = compile("-> <x, 1/0>");
         let ds = Dataspace::new();
-        let r = evaluate(&txn, &ds, &HashMap::new(), &Builtins::new(), SolveLimits::default());
+        let r = evaluate(
+            &txn,
+            &ds,
+            &HashMap::new(),
+            &Builtins::new(),
+            SolveLimits::default(),
+        );
         assert!(matches!(r, Err(RuntimeError::Eval { .. })));
     }
 
@@ -534,8 +538,14 @@ mod tests {
             .collect();
         let source = QuerySource::Restricted(w);
         let txn = compile("exists v : <b, v> -> skip");
-        let r = evaluate(&txn, &source, &HashMap::new(), &Builtins::new(), SolveLimits::default())
-            .unwrap();
+        let r = evaluate(
+            &txn,
+            &source,
+            &HashMap::new(),
+            &Builtins::new(),
+            SolveLimits::default(),
+        )
+        .unwrap();
         assert!(r.is_none(), "b is outside the window");
         let _ = pattern![Value::atom("b"), any];
     }

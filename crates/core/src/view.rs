@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use sdl_dataspace::{Dataspace, QueryAtom, Solver, TupleSource, Window};
 use sdl_lang::ast::Expr;
 use sdl_lang::expr::{eval, EvalContext};
+use sdl_metrics::{Counter, Hist, Metrics};
 use sdl_tuple::{Bindings, Field, Pattern, Tuple, TupleId, Value, VarId};
 
 use crate::builtins::Builtins;
@@ -113,12 +114,12 @@ pub(crate) fn resolve_fields(
         out.push(match f {
             CompiledField::Any => Field::Any,
             CompiledField::Var(v) => Field::Var(*v),
-            CompiledField::Env(e) => Field::Const(eval(e, ctx).map_err(|source| {
-                RuntimeError::Eval {
+            CompiledField::Env(e) => {
+                Field::Const(eval(e, ctx).map_err(|source| RuntimeError::Eval {
                     source,
                     context: what.to_owned(),
-                }
-            })?),
+                })?)
+            }
         });
     }
     Ok(Pattern::new(out))
@@ -162,7 +163,14 @@ impl CompiledView {
         env: &'a HashMap<String, Value>,
         builtins: &'a Builtins,
     ) -> Result<QuerySource<'a>, RuntimeError> {
+        let metrics = ds.metrics();
+        metrics.inc(Counter::WindowsBuilt);
         if self.import.is_none() {
+            // A full window's size is just the store size; lazy windows
+            // are deliberately not counted (materialising them would
+            // defeat their purpose) — their cost shows up as
+            // `WindowAdmitChecks` instead.
+            metrics.observe(Hist::WindowSize, ds.tuple_count() as f64);
             return Ok(QuerySource::Full(ds));
         }
         Ok(QuerySource::Lazy {
@@ -192,6 +200,9 @@ impl CompiledView {
                 w.insert(id, t.clone());
             }
         }
+        let metrics = ds.metrics();
+        metrics.inc(Counter::WindowsBuilt);
+        metrics.observe(Hist::WindowSize, w.len() as f64);
         Ok(w)
     }
 
@@ -242,8 +253,7 @@ impl CompiledView {
                 })
                 .collect();
             if !tuple_conds.is_empty() {
-                let atoms: Vec<QueryAtom> =
-                    tuple_conds.into_iter().map(QueryAtom::read).collect();
+                let atoms: Vec<QueryAtom> = tuple_conds.into_iter().map(QueryAtom::read).collect();
                 let preds: Vec<&CompiledCond> = rule
                     .conditions
                     .iter()
@@ -349,12 +359,12 @@ impl CompiledView {
             vars: None,
             builtins,
         };
-        rules.iter().any(|rule| {
-            match resolve_fields(&rule.pattern, &ctx, "view rule pattern") {
+        rules.iter().any(
+            |rule| match resolve_fields(&rule.pattern, &ctx, "view rule pattern") {
                 Ok(resolved) => rule_admits(rule, &resolved, tuple, ds, env, builtins),
                 Err(_) => false,
-            }
-        })
+            },
+        )
     }
 }
 
@@ -517,21 +527,30 @@ impl QuerySource<'_> {
                 view,
                 env,
                 builtins,
-            } => view.imports(tuple, ds, env, builtins),
+            } => {
+                ds.metrics().inc(Counter::WindowAdmitChecks);
+                view.imports(tuple, ds, env, builtins)
+            }
         }
     }
 }
 
 impl TupleSource for QuerySource<'_> {
+    fn metrics(&self) -> &Metrics {
+        match self {
+            QuerySource::Full(d) => d.metrics(),
+            QuerySource::Lazy { ds, .. } => ds.metrics(),
+            QuerySource::Restricted(w) => w.metrics(),
+        }
+    }
+
     fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
         match self {
             QuerySource::Full(d) => d.candidate_ids(pattern),
             QuerySource::Lazy { ds, .. } => ds
                 .candidate_ids(pattern)
                 .into_iter()
-                .filter(|id| {
-                    ds.tuple(*id).is_some_and(|t| self.admits(t))
-                })
+                .filter(|id| ds.tuple(*id).is_some_and(|t| self.admits(t)))
                 .collect(),
             QuerySource::Restricted(w) => w.candidate_ids(pattern),
         }
@@ -551,10 +570,7 @@ impl TupleSource for QuerySource<'_> {
     fn tuple_count(&self) -> usize {
         match self {
             QuerySource::Full(d) => d.tuple_count(),
-            QuerySource::Lazy { ds, .. } => ds
-                .iter()
-                .filter(|(_, t)| self.admits(t))
-                .count(),
+            QuerySource::Lazy { ds, .. } => ds.iter().filter(|(_, t)| self.admits(t)).count(),
             QuerySource::Restricted(w) => w.tuple_count(),
         }
     }
@@ -619,9 +635,7 @@ mod tests {
 
     #[test]
     fn simple_pattern_import() {
-        let v = import_rules(
-            "process P(this) { import { <this, *>; } -> skip; }",
-        );
+        let v = import_rules("process P(this) { import { <this, *>; } -> skip; }");
         let mut ds = Dataspace::new();
         let a = ds.assert_tuple(ProcId::ENV, tuple![1, 10]);
         ds.assert_tuple(ProcId::ENV, tuple![2, 20]);
@@ -684,9 +698,7 @@ mod tests {
 
     #[test]
     fn export_filtering() {
-        let v = import_rules(
-            "process P() { export { <out, *>; } -> skip; }",
-        );
+        let v = import_rules("process P() { export { <out, *>; } -> skip; }");
         let ds = Dataspace::new();
         let e = env(&[]);
         let b = Builtins::new();
@@ -714,9 +726,7 @@ mod tests {
 
     #[test]
     fn multiple_rules_union() {
-        let v = import_rules(
-            "process P(x, y) { import { <x, *>; <y, *>; } -> skip; }",
-        );
+        let v = import_rules("process P(x, y) { import { <x, *>; <y, *>; } -> skip; }");
         let mut ds = Dataspace::new();
         ds.assert_tuple(ProcId::ENV, tuple![1, 10]);
         ds.assert_tuple(ProcId::ENV, tuple![2, 20]);

@@ -25,6 +25,7 @@
 //!   (see [`Solver::enumerate`]) and the caller applies the paper's rule —
 //!   the transaction succeeds iff every solution satisfies the test.
 
+use sdl_metrics::Counter;
 use sdl_tuple::{Bindings, Field, Pattern, TupleId, Value};
 
 use crate::store::TupleSource;
@@ -200,7 +201,10 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
     /// Number of positive (read/retract) atoms — the maximum `depth`
     /// passed to a staged test.
     pub fn positive_count(&self) -> usize {
-        self.atoms.iter().filter(|a| a.mode != AtomMode::Neg).count()
+        self.atoms
+            .iter()
+            .filter(|a| a.mode != AtomMode::Neg)
+            .count()
     }
 
     /// Like [`Solver::first`], but with a *staged* test invoked after
@@ -312,7 +316,10 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
 
         let atom = positives[depth];
         let resolved = resolve_pattern(&atom.pattern, bindings);
-        for id in self.source.candidate_ids(&resolved) {
+        let metrics = self.source.metrics();
+        let candidates = self.source.candidate_ids(&resolved);
+        metrics.add(Counter::MatchCandidates, candidates.len() as u64);
+        for id in candidates {
             if atom.mode == AtomMode::Retract && retracts.contains(&id) {
                 continue; // retract atoms take pairwise-distinct instances
             }
@@ -321,11 +328,13 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
                 None => continue,
             };
             let mark = bindings.mark();
+            metrics.inc(Counter::MatchAttempts);
             if !atom.pattern.matches(tuple, bindings) {
                 continue;
             }
             if !staged(depth + 1, bindings) {
                 bindings.undo_to(mark);
+                metrics.inc(Counter::SolverBacktracks);
                 continue;
             }
             match atom.mode {
@@ -334,7 +343,14 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
                 AtomMode::Neg => unreachable!("negatives filtered out"),
             }
             let keep_going = self.descend(
-                positives, negatives, depth + 1, bindings, reads, retracts, staged, emit,
+                positives,
+                negatives,
+                depth + 1,
+                bindings,
+                reads,
+                retracts,
+                staged,
+                emit,
             );
             match atom.mode {
                 AtomMode::Read => {
@@ -346,6 +362,7 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
                 AtomMode::Neg => unreachable!(),
             }
             bindings.undo_to(mark);
+            metrics.inc(Counter::SolverBacktracks);
             if !keep_going {
                 return false;
             }
@@ -556,6 +573,21 @@ mod tests {
         assert_eq!(r.fields()[0], Field::Const(Value::Int(7)));
         assert_eq!(r.fields()[1], Field::Var(VarId(1)));
         assert_eq!(r.fields()[2], Field::Any);
+    }
+
+    #[test]
+    fn solver_records_match_metrics() {
+        use sdl_metrics::Metrics;
+        let (m, reg) = Metrics::registry();
+        let mut d = setup_years();
+        d.set_metrics(m);
+        let atoms = vec![QueryAtom::read(pattern![a("year"), var 0])];
+        let solver = Solver::new(&d, &atoms, 1);
+        let sols = solver.all(&mut |_| true, SolveLimits::default());
+        assert_eq!(sols.len(), 3);
+        assert!(reg.counter(Counter::MatchCandidates) >= 3);
+        assert!(reg.counter(Counter::MatchAttempts) >= 3);
+        assert!(reg.counter(Counter::SolverBacktracks) >= 3);
     }
 
     #[test]

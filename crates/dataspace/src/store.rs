@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
+use sdl_metrics::{Counter, Metrics};
 use sdl_tuple::{Atom, Bindings, Field, Pattern, ProcId, Tuple, TupleId, TupleInstance, Value};
 
 /// Index configuration for a [`Dataspace`].
@@ -37,15 +38,16 @@ pub trait TupleSource {
     /// Number of tuple instances visible.
     fn tuple_count(&self) -> usize;
 
+    /// The metrics handle the solver should record into while querying
+    /// this source. Defaults to the shared disabled handle, so existing
+    /// sources (windows, snapshots) stay metric-free unless they opt in.
+    fn metrics(&self) -> &Metrics {
+        &sdl_metrics::DISABLED
+    }
+
     /// True if some visible instance matches `pattern` (no bindings kept).
     fn contains_match(&self, pattern: &Pattern) -> bool {
-        let mut b = Bindings::new(
-            pattern
-                .vars()
-                .map(|v| v.0 as usize + 1)
-                .max()
-                .unwrap_or(0),
-        );
+        let mut b = Bindings::new(pattern.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0));
         self.candidate_ids(pattern).iter().any(|id| {
             let m = b.mark();
             let t = self.tuple(*id).expect("candidate id must be live");
@@ -87,6 +89,7 @@ pub struct Dataspace {
     index_mode: IndexMode,
     next_seq: u64,
     version: u64,
+    metrics: Metrics,
 }
 
 impl Dataspace {
@@ -106,12 +109,19 @@ impl Dataspace {
             index_mode,
             next_seq: 1,
             version: 0,
+            metrics: Metrics::disabled(),
         }
     }
 
     /// The configured index mode.
     pub fn index_mode(&self) -> IndexMode {
         self.index_mode
+    }
+
+    /// Installs a metrics handle; subsequent mutations and candidate
+    /// lookups are counted. Clones of this dataspace share the sink.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Monotone counter bumped by every assert/retract; used by optimistic
@@ -142,6 +152,8 @@ impl Dataspace {
         *self.value_counts.entry(tuple.clone()).or_insert(0) += 1;
         self.instances.insert(id, tuple);
         self.version += 1;
+        self.metrics.inc(Counter::TuplesAsserted);
+        self.metrics.inc(Counter::StoreVersionBumps);
         id
     }
 
@@ -156,6 +168,8 @@ impl Dataspace {
             }
         }
         self.version += 1;
+        self.metrics.inc(Counter::TuplesRetracted);
+        self.metrics.inc(Counter::StoreVersionBumps);
         Some(tuple)
     }
 
@@ -231,7 +245,10 @@ impl Dataspace {
                     .insert(id);
             }
         }
-        self.arity_index.entry(tuple.arity()).or_default().insert(id);
+        self.arity_index
+            .entry(tuple.arity())
+            .or_default()
+            .insert(id);
     }
 
     fn index_remove(&mut self, id: TupleId, tuple: &Tuple) {
@@ -267,7 +284,10 @@ impl Dataspace {
 impl TupleSource for Dataspace {
     fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
         match self.index_mode {
-            IndexMode::None => self.instances.keys().copied().collect(),
+            IndexMode::None => {
+                self.metrics.inc(Counter::IndexScanFull);
+                self.instances.keys().copied().collect()
+            }
             IndexMode::FunctorArity => {
                 if let Some(f) = pattern.functor() {
                     // A constant second field narrows further: SDL style
@@ -275,6 +295,7 @@ impl TupleSource for Dataspace {
                     // common point lookup (e.g. <threshold, p, t> with p
                     // known).
                     if let Some(Field::Const(arg1)) = pattern.fields().get(1) {
+                        self.metrics.inc(Counter::IndexHitArg1);
                         return self
                             .arg1_index
                             .get(&(f, pattern.arity(), arg1.clone()))
@@ -282,14 +303,15 @@ impl TupleSource for Dataspace {
                             .unwrap_or_default();
                     }
                     // Only tuples whose head is exactly this atom can match.
+                    self.metrics.inc(Counter::IndexHitFunctor);
                     self.functor_index
                         .get(&(f, pattern.arity()))
                         .map(|s| s.iter().copied().collect())
                         .unwrap_or_default()
-                } else if matches!(pattern.fields().first(), Some(Field::Const(_))) {
-                    // Constant non-atom head: arity index narrows the scan.
-                    self.arity_candidates(pattern.arity())
                 } else {
+                    // Non-atom or variable head: arity index narrows the
+                    // scan.
+                    self.metrics.inc(Counter::IndexHitArity);
                     self.arity_candidates(pattern.arity())
                 }
             }
@@ -302,6 +324,10 @@ impl TupleSource for Dataspace {
 
     fn tuple_count(&self) -> usize {
         self.instances.len()
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     fn contains_match(&self, pattern: &Pattern) -> bool {
@@ -484,6 +510,32 @@ mod tests {
         let s = d.to_string();
         assert!(s.contains("<x, 1>"));
         assert!(format!("{d:?}").contains("Dataspace"));
+    }
+
+    #[test]
+    fn metrics_count_mutations_and_index_paths() {
+        let (m, reg) = Metrics::registry();
+        let mut d = Dataspace::new();
+        d.set_metrics(m);
+        let id = d.assert_tuple(ProcId(1), tuple![atom("k"), 1]);
+        d.retract(id);
+        assert_eq!(reg.counter(Counter::TuplesAsserted), 1);
+        assert_eq!(reg.counter(Counter::TuplesRetracted), 1);
+        assert_eq!(reg.counter(Counter::StoreVersionBumps), 2);
+        d.assert_tuple(ProcId(1), tuple![atom("k"), 2]);
+        d.candidate_ids(&pattern![atom("k"), 2]); // arg1 point lookup
+        d.candidate_ids(&pattern![atom("k"), any]); // functor index
+        d.candidate_ids(&pattern![var 0, any]); // arity fallback
+        assert_eq!(reg.counter(Counter::IndexHitArg1), 1);
+        assert_eq!(reg.counter(Counter::IndexHitFunctor), 1);
+        assert_eq!(reg.counter(Counter::IndexHitArity), 1);
+        assert_eq!(reg.counter(Counter::IndexScanFull), 0);
+
+        let (m2, reg2) = Metrics::registry();
+        let mut flat = Dataspace::with_index_mode(IndexMode::None);
+        flat.set_metrics(m2);
+        flat.candidate_ids(&pattern![atom("k"), any]);
+        assert_eq!(reg2.counter(Counter::IndexScanFull), 1);
     }
 
     #[test]

@@ -100,8 +100,7 @@ impl WatchSet {
         self.keys.insert(WatchKey::of_pattern(pattern));
         // A constant non-atom head still needs the arity channel; a
         // wildcard/variable head already *is* the arity channel.
-        if matches!(pattern.fields().first(), Some(Field::Const(_)))
-            && pattern.functor().is_none()
+        if matches!(pattern.fields().first(), Some(Field::Const(_))) && pattern.functor().is_none()
         {
             self.keys.insert(WatchKey::Arity(pattern.arity()));
         }

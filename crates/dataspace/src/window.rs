@@ -73,7 +73,10 @@ impl Window {
                     .insert(id);
             }
         }
-        self.arity_index.entry(tuple.arity()).or_default().insert(id);
+        self.arity_index
+            .entry(tuple.arity())
+            .or_default()
+            .insert(id);
         self.instances.insert(id, tuple);
     }
 

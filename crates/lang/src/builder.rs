@@ -324,7 +324,9 @@ pub struct ProcessBuilder {
 impl ProcessBuilder {
     /// Declares parameters.
     pub fn params<'a>(mut self, params: impl IntoIterator<Item = &'a str>) -> ProcessBuilder {
-        self.def.params.extend(params.into_iter().map(str::to_owned));
+        self.def
+            .params
+            .extend(params.into_iter().map(str::to_owned));
         self
     }
 
@@ -436,7 +438,11 @@ impl ProgramBuilder {
     }
 
     /// Adds an initial process.
-    pub fn init_spawn(mut self, name: &str, args: impl IntoIterator<Item = Expr>) -> ProgramBuilder {
+    pub fn init_spawn(
+        mut self,
+        name: &str,
+        args: impl IntoIterator<Item = Expr>,
+    ) -> ProgramBuilder {
         self.p.init.spawns.push(SpawnSpec {
             name: name.to_owned(),
             args: args.into_iter().collect(),
@@ -466,8 +472,7 @@ mod tests {
             .assert_tuple([e::name("found"), e::name("a")])
             .build();
         let parsed =
-            parse_transaction("exists a : <year, a>! : a > 87 -> let N = a, <found, a>")
-                .unwrap();
+            parse_transaction("exists a : <year, a>! : a > 87 -> let N = a, <found, a>").unwrap();
         assert_eq!(built, parsed);
     }
 
@@ -508,11 +513,7 @@ mod tests {
     #[test]
     fn program_builder_roundtrips_through_pretty_printer() {
         let p = program()
-            .process(
-                process("P")
-                    .txn(txn().immediate().skip().build())
-                    .build(),
-            )
+            .process(process("P").txn(txn().immediate().skip().build()).build())
             .init_tuple([e::int(1), e::int(10)])
             .init_spawn("P", [])
             .build();

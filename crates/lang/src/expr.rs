@@ -229,9 +229,7 @@ fn int_arith(op: BinOp, x: i64, y: i64) -> Result<Value, EvalError> {
             if y < 0 {
                 return Ok(Value::Float((x as f64).powi(y as i32)));
             }
-            u32::try_from(y)
-                .ok()
-                .and_then(|e| x.checked_pow(e))
+            u32::try_from(y).ok().and_then(|e| x.checked_pow(e))
         }
         _ => unreachable!(),
     };
@@ -278,7 +276,11 @@ mod tests {
     #[test]
     fn arithmetic() {
         let c = EmptyContext;
-        let e = E::bin(BinOp::Add, E::int(2), E::bin(BinOp::Mul, E::int(3), E::int(4)));
+        let e = E::bin(
+            BinOp::Add,
+            E::int(2),
+            E::bin(BinOp::Mul, E::int(3), E::int(4)),
+        );
         assert_eq!(eval(&e, &c).unwrap(), Value::Int(14));
         assert_eq!(
             eval(&E::bin(BinOp::Pow, E::int(2), E::int(10)), &c).unwrap(),
@@ -366,13 +368,21 @@ mod tests {
         let e = E::bin(
             BinOp::And,
             E::Lit(Value::Bool(false)),
-            E::bin(BinOp::Eq, E::bin(BinOp::Div, E::int(1), E::int(0)), E::int(1)),
+            E::bin(
+                BinOp::Eq,
+                E::bin(BinOp::Div, E::int(1), E::int(0)),
+                E::int(1),
+            ),
         );
         assert_eq!(eval(&e, &c).unwrap(), Value::Bool(false));
         let o = E::bin(
             BinOp::Or,
             E::Lit(Value::Bool(true)),
-            E::bin(BinOp::Eq, E::bin(BinOp::Div, E::int(1), E::int(0)), E::int(1)),
+            E::bin(
+                BinOp::Eq,
+                E::bin(BinOp::Div, E::int(1), E::int(0)),
+                E::int(1),
+            ),
         );
         assert_eq!(eval(&o, &c).unwrap(), Value::Bool(true));
     }
@@ -407,7 +417,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(EvalError::DivisionByZero.to_string().contains("zero"));
-        assert!(EvalError::UnknownFunction("f".into()).to_string().contains("f"));
+        assert!(EvalError::UnknownFunction("f".into())
+            .to_string()
+            .contains("f"));
         let tm = type_mismatch(BinOp::Lt, &Value::atom("a"), &Value::Int(1));
         assert!(tm.to_string().contains("<"));
     }

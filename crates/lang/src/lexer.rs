@@ -267,10 +267,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                             .map_err(|_| ParseError::new(format!("bad float `{text}`"), p))?,
                     )
                 } else {
-                    Tok::Int(
-                        text.parse()
-                            .map_err(|_| ParseError::new(format!("integer out of range `{text}`"), p))?,
-                    )
+                    Tok::Int(text.parse().map_err(|_| {
+                        ParseError::new(format!("integer out of range `{text}`"), p)
+                    })?)
                 };
                 out.push(Spanned { tok, pos: p });
             }

@@ -164,9 +164,7 @@ impl Parser {
                 Tok::Process => prog.processes.push(self.process_def()?),
                 Tok::Init => self.init_block(&mut prog.init)?,
                 other => {
-                    return Err(self.err(format!(
-                        "expected `process` or `init`, found {other}"
-                    )))
+                    return Err(self.err(format!("expected `process` or `init`, found {other}")))
                 }
             }
         }
@@ -278,9 +276,7 @@ impl Parser {
                     conditions: Vec::new(),
                     pattern: p,
                 },
-                CondAtom::Pred(..) => {
-                    return Err(self.err("view rule cannot be a bare predicate"))
-                }
+                CondAtom::Pred(..) => return Err(self.err("view rule cannot be a bare predicate")),
             }
         };
         self.expect(&Tok::Semi)?;
@@ -409,29 +405,26 @@ impl Parser {
             _ => {}
         }
 
-        let at_tag = |p: &Parser| {
-            matches!(p.peek(), Tok::Arrow | Tok::DArrow | Tok::CArrow)
-        };
+        let at_tag = |p: &Parser| matches!(p.peek(), Tok::Arrow | Tok::DArrow | Tok::CArrow);
 
         if !at_tag(self) {
             // A predicate-call atom (`neighbor(p, r)`) is syntactically a
             // prefix of a test expression (`neighbor(p, r) and x > 0`), so
             // a leading call is parsed speculatively: it is an atom only
             // if what follows continues an atom list.
-            let leading_call_is_atom = if matches!(self.peek(), Tok::Ident(_))
-                && self.peek2() == &Tok::LParen
-            {
-                let save = self.i;
-                let ok = self.atom().is_ok()
-                    && matches!(
-                        self.peek(),
-                        Tok::Comma | Tok::Colon | Tok::Arrow | Tok::DArrow | Tok::CArrow
-                    );
-                self.i = save;
-                ok
-            } else {
-                self.starts_atom()
-            };
+            let leading_call_is_atom =
+                if matches!(self.peek(), Tok::Ident(_)) && self.peek2() == &Tok::LParen {
+                    let save = self.i;
+                    let ok = self.atom().is_ok()
+                        && matches!(
+                            self.peek(),
+                            Tok::Comma | Tok::Colon | Tok::Arrow | Tok::DArrow | Tok::CArrow
+                        );
+                    self.i = save;
+                    ok
+                } else {
+                    self.starts_atom()
+                };
             if leading_call_is_atom {
                 loop {
                     t.atoms.push(self.atom()?);
@@ -468,10 +461,7 @@ impl Parser {
             }
         };
 
-        if !matches!(
-            self.peek(),
-            Tok::Semi | Tok::Pipe | Tok::RBrace | Tok::Eof
-        ) {
+        if !matches!(self.peek(), Tok::Semi | Tok::Pipe | Tok::RBrace | Tok::Eof) {
             loop {
                 t.actions.push(self.action()?);
                 if !self.eat(&Tok::Comma) {
@@ -559,9 +549,7 @@ impl Parser {
         let mut fields = Vec::new();
         if self.peek() != &Tok::Gt {
             loop {
-                if self.peek() == &Tok::Star
-                    && matches!(self.peek2(), Tok::Comma | Tok::Gt)
-                {
+                if self.peek() == &Tok::Star && matches!(self.peek2(), Tok::Comma | Tok::Gt) {
                     self.bump();
                     fields.push(FieldExpr::Any);
                 } else {
@@ -582,9 +570,7 @@ impl Parser {
         let mut fields = Vec::new();
         if self.peek() != &Tok::Gt {
             loop {
-                if self.peek() == &Tok::Star
-                    && matches!(self.peek2(), Tok::Comma | Tok::Gt)
-                {
+                if self.peek() == &Tok::Star && matches!(self.peek2(), Tok::Comma | Tok::Gt) {
                     return Err(self.err("wildcard `*` is not allowed in an asserted tuple"));
                 }
                 fields.push(self.add_expr()?);
@@ -753,8 +739,8 @@ mod tests {
     #[test]
     fn parse_simple_transaction() {
         // The paper's: ∃α: <year, α>↑ : α > 87 → let N = α, <found, α>
-        let t = parse_transaction("exists a : <year, a>! : a > 87 -> let N = a, <found, a>")
-            .unwrap();
+        let t =
+            parse_transaction("exists a : <year, a>! : a > 87 -> let N = a, <found, a>").unwrap();
         assert_eq!(t.quant, Quant::Exists);
         assert_eq!(t.vars, vec!["a"]);
         assert_eq!(t.atoms.len(), 1);
@@ -852,8 +838,7 @@ mod tests {
 
     #[test]
     fn parse_branch_with_sequence() {
-        let stmts =
-            parse_stmts("select { <a>! -> skip; <b> -> <c>; | true -> } ").unwrap();
+        let stmts = parse_stmts("select { <a>! -> skip; <b> -> <c>; | true -> } ").unwrap();
         match &stmts[0] {
             Stmt::Select(branches) => {
                 assert_eq!(branches[0].rest.len(), 1);
@@ -914,20 +899,16 @@ mod tests {
 
     #[test]
     fn parse_init_block() {
-        let prog = parse_program(
-            "init { <1, 10>; <2, 20>; spawn Sum3(); } process Sum3() { -> skip; }",
-        )
-        .unwrap();
+        let prog =
+            parse_program("init { <1, 10>; <2, 20>; spawn Sum3(); } process Sum3() { -> skip; }")
+                .unwrap();
         assert_eq!(prog.init.tuples.len(), 2);
         assert_eq!(prog.init.spawns.len(), 1);
     }
 
     #[test]
     fn parse_behavior_wrapper() {
-        let prog = parse_program(
-            "process P() { behavior { -> skip; -> skip; } }",
-        )
-        .unwrap();
+        let prog = parse_program("process P() { behavior { -> skip; -> skip; } }").unwrap();
         assert_eq!(prog.process("P").unwrap().body.len(), 2);
     }
 
@@ -943,10 +924,7 @@ mod tests {
     #[test]
     fn equals_sign_is_equality_in_tests() {
         let t = parse_transaction("next = nil -> exit").unwrap();
-        assert!(matches!(
-            t.test.unwrap(),
-            Expr::Binary(BinOp::Eq, _, _)
-        ));
+        assert!(matches!(t.test.unwrap(), Expr::Binary(BinOp::Eq, _, _)));
     }
 
     #[test]

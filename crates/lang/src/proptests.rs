@@ -57,13 +57,13 @@ fn arb_atom() -> impl Strategy<Value = TxnAtom> {
         (arb_pattern(), any::<bool>())
             .prop_map(|(pattern, retract)| TxnAtom::Tuple { pattern, retract }),
         arb_pattern().prop_map(TxnAtom::Neg),
-        (proptest::collection::vec(arb_expr(), 0..3), any::<bool>()).prop_map(
-            |(args, negated)| TxnAtom::Pred {
+        (proptest::collection::vec(arb_expr(), 0..3), any::<bool>()).prop_map(|(args, negated)| {
+            TxnAtom::Pred {
                 name: "neighbor".to_owned(),
                 args,
                 negated,
             }
-        ),
+        }),
     ]
 }
 

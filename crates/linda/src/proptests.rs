@@ -48,7 +48,7 @@ proptest! {
             let mut want = payloads.clone();
             want.sort_unstable();
             prop_assert_eq!(got, want);
-            Ok(())
+            Ok::<(), std::convert::Infallible>(())
         })?;
         prop_assert!(ts.is_empty());
     }

@@ -1,0 +1,606 @@
+//! Runtime metrics for the SDL schedulers and dataspace.
+//!
+//! The design goal is *near-zero cost when disabled*: every instrumentation
+//! site goes through a [`Metrics`] handle, which is a single
+//! `Option<Arc<dyn MetricsSink>>`. Disabled metrics are one branch on a
+//! `None`; enabled metrics are a relaxed atomic increment in
+//! [`MetricsRegistry`]. Nothing here allocates on the hot path.
+//!
+//! Metric identity is a closed enum rather than string names:
+//! [`Counter`] flattens the Prometheus (name, labels) pair into one
+//! discriminant (e.g. [`Counter::TxnCommittedConsensus`] renders as
+//! `sdl_txn_committed_total{mode="consensus"}`), so recording a metric is
+//! an array index, not a hash lookup. [`Hist`] does the same for the three
+//! fixed-bucket histograms.
+//!
+//! [`MetricsRegistry::render_prometheus`] produces the standard text
+//! exposition format (`# HELP` / `# TYPE` + one line per series), which
+//! `sdl-run --metrics` prints after a run.
+//!
+//! This crate is std-only and sits below `sdl-dataspace` in the dependency
+//! graph so the store and solver can count without cycles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Every counter the runtime records, flattened over its label values.
+///
+/// Order is the exposition order; keep families (same metric name)
+/// contiguous so `render_prometheus` emits one `# HELP`/`# TYPE` header per
+/// family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// `sdl_txn_attempts_total{mode="immediate"}`
+    TxnAttemptsImmediate,
+    /// `sdl_txn_attempts_total{mode="delayed"}`
+    TxnAttemptsDelayed,
+    /// `sdl_txn_attempts_total{mode="consensus"}`
+    TxnAttemptsConsensus,
+    /// `sdl_txn_committed_total{mode="immediate"}`
+    TxnCommittedImmediate,
+    /// `sdl_txn_committed_total{mode="delayed"}`
+    TxnCommittedDelayed,
+    /// `sdl_txn_committed_total{mode="consensus"}`
+    TxnCommittedConsensus,
+    /// `sdl_txn_failed_total{mode="immediate"}`
+    TxnFailedImmediate,
+    /// `sdl_txn_failed_total{mode="delayed"}`
+    TxnFailedDelayed,
+    /// `sdl_txn_failed_total{mode="consensus"}`
+    TxnFailedConsensus,
+    /// Optimistic validation failures in the parallel runtime.
+    TxnConflicts,
+    /// Tuples added to the dataspace.
+    TuplesAsserted,
+    /// Tuples removed from the dataspace.
+    TuplesRetracted,
+    /// Asserts suppressed by a view's export filter.
+    ExportDropped,
+    /// Dataspace version-counter increments.
+    StoreVersionBumps,
+    /// Candidate lookups served by the (functor, arity, arg1) index.
+    IndexHitArg1,
+    /// Candidate lookups served by the (functor, arity) index.
+    IndexHitFunctor,
+    /// Candidate lookups served by the arity index.
+    IndexHitArity,
+    /// Candidate lookups that fell back to a full scan.
+    IndexScanFull,
+    /// Pattern-match tests performed by the solver.
+    MatchAttempts,
+    /// Candidate tuples enumerated by the solver.
+    MatchCandidates,
+    /// Solver binding rollbacks (one per exhausted candidate).
+    SolverBacktracks,
+    /// Query windows (views) constructed.
+    WindowsBuilt,
+    /// Import-clause admission tests on lazy windows.
+    WindowAdmitChecks,
+    /// Processes that entered the blocked set.
+    ProcessesBlocked,
+    /// `sdl_wakeups_total{cause="commit"}`
+    WakeupCommit,
+    /// `sdl_wakeups_total{cause="consensus"}`
+    WakeupConsensus,
+    /// Consensus transactions fired.
+    ConsensusRounds,
+    /// Processes spawned.
+    ProcessesSpawned,
+    /// Events dropped by a bounded event log or a streaming sink.
+    EventsDropped,
+}
+
+impl Counter {
+    /// All counters in exposition order.
+    pub const ALL: [Counter; 29] = [
+        Counter::TxnAttemptsImmediate,
+        Counter::TxnAttemptsDelayed,
+        Counter::TxnAttemptsConsensus,
+        Counter::TxnCommittedImmediate,
+        Counter::TxnCommittedDelayed,
+        Counter::TxnCommittedConsensus,
+        Counter::TxnFailedImmediate,
+        Counter::TxnFailedDelayed,
+        Counter::TxnFailedConsensus,
+        Counter::TxnConflicts,
+        Counter::TuplesAsserted,
+        Counter::TuplesRetracted,
+        Counter::ExportDropped,
+        Counter::StoreVersionBumps,
+        Counter::IndexHitArg1,
+        Counter::IndexHitFunctor,
+        Counter::IndexHitArity,
+        Counter::IndexScanFull,
+        Counter::MatchAttempts,
+        Counter::MatchCandidates,
+        Counter::SolverBacktracks,
+        Counter::WindowsBuilt,
+        Counter::WindowAdmitChecks,
+        Counter::ProcessesBlocked,
+        Counter::WakeupCommit,
+        Counter::WakeupConsensus,
+        Counter::ConsensusRounds,
+        Counter::ProcessesSpawned,
+        Counter::EventsDropped,
+    ];
+
+    /// Number of distinct counters.
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// The Prometheus metric name (family).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::TxnAttemptsImmediate
+            | Counter::TxnAttemptsDelayed
+            | Counter::TxnAttemptsConsensus => "sdl_txn_attempts_total",
+            Counter::TxnCommittedImmediate
+            | Counter::TxnCommittedDelayed
+            | Counter::TxnCommittedConsensus => "sdl_txn_committed_total",
+            Counter::TxnFailedImmediate
+            | Counter::TxnFailedDelayed
+            | Counter::TxnFailedConsensus => "sdl_txn_failed_total",
+            Counter::TxnConflicts => "sdl_txn_conflicts_total",
+            Counter::TuplesAsserted => "sdl_tuples_asserted_total",
+            Counter::TuplesRetracted => "sdl_tuples_retracted_total",
+            Counter::ExportDropped => "sdl_export_dropped_total",
+            Counter::StoreVersionBumps => "sdl_store_version_bumps_total",
+            Counter::IndexHitArg1
+            | Counter::IndexHitFunctor
+            | Counter::IndexHitArity
+            | Counter::IndexScanFull => "sdl_index_lookups_total",
+            Counter::MatchAttempts => "sdl_match_attempts_total",
+            Counter::MatchCandidates => "sdl_match_candidates_total",
+            Counter::SolverBacktracks => "sdl_solver_backtracks_total",
+            Counter::WindowsBuilt => "sdl_windows_built_total",
+            Counter::WindowAdmitChecks => "sdl_window_admit_checks_total",
+            Counter::ProcessesBlocked => "sdl_process_blocked_total",
+            Counter::WakeupCommit | Counter::WakeupConsensus => "sdl_wakeups_total",
+            Counter::ConsensusRounds => "sdl_consensus_rounds_total",
+            Counter::ProcessesSpawned => "sdl_processes_spawned_total",
+            Counter::EventsDropped => "sdl_events_dropped_total",
+        }
+    }
+
+    /// The label set rendered inside `{...}`, or `""` for unlabeled series.
+    pub fn labels(self) -> &'static str {
+        match self {
+            Counter::TxnAttemptsImmediate
+            | Counter::TxnCommittedImmediate
+            | Counter::TxnFailedImmediate => "mode=\"immediate\"",
+            Counter::TxnAttemptsDelayed
+            | Counter::TxnCommittedDelayed
+            | Counter::TxnFailedDelayed => "mode=\"delayed\"",
+            Counter::TxnAttemptsConsensus
+            | Counter::TxnCommittedConsensus
+            | Counter::TxnFailedConsensus => "mode=\"consensus\"",
+            Counter::IndexHitArg1 => "index=\"arg1\"",
+            Counter::IndexHitFunctor => "index=\"functor\"",
+            Counter::IndexHitArity => "index=\"arity\"",
+            Counter::IndexScanFull => "index=\"scan\"",
+            Counter::WakeupCommit => "cause=\"commit\"",
+            Counter::WakeupConsensus => "cause=\"consensus\"",
+            _ => "",
+        }
+    }
+
+    /// Help text for the metric family.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::TxnAttemptsImmediate
+            | Counter::TxnAttemptsDelayed
+            | Counter::TxnAttemptsConsensus => "Transaction guard evaluations, by mode.",
+            Counter::TxnCommittedImmediate
+            | Counter::TxnCommittedDelayed
+            | Counter::TxnCommittedConsensus => "Transactions committed, by mode.",
+            Counter::TxnFailedImmediate
+            | Counter::TxnFailedDelayed
+            | Counter::TxnFailedConsensus => "Transaction attempts whose guard failed, by mode.",
+            Counter::TxnConflicts => {
+                "Optimistic transactions rolled back after validation failure."
+            }
+            Counter::TuplesAsserted => "Tuples asserted into the dataspace.",
+            Counter::TuplesRetracted => "Tuples retracted from the dataspace.",
+            Counter::ExportDropped => "Asserts suppressed by a view's export filter.",
+            Counter::StoreVersionBumps => "Dataspace version increments (mutations).",
+            Counter::IndexHitArg1
+            | Counter::IndexHitFunctor
+            | Counter::IndexHitArity
+            | Counter::IndexScanFull => "Candidate lookups, by index used.",
+            Counter::MatchAttempts => "Tuple pattern-match tests performed by the solver.",
+            Counter::MatchCandidates => "Candidate tuples enumerated by the solver.",
+            Counter::SolverBacktracks => "Solver binding rollbacks during search.",
+            Counter::WindowsBuilt => "Query windows (view intersections) constructed.",
+            Counter::WindowAdmitChecks => "Import-clause admission tests on lazy windows.",
+            Counter::ProcessesBlocked => "Processes that entered the blocked set.",
+            Counter::WakeupCommit | Counter::WakeupConsensus => {
+                "Blocked-process wakeups, by cause."
+            }
+            Counter::ConsensusRounds => "Consensus transactions fired.",
+            Counter::ProcessesSpawned => "Processes spawned.",
+            Counter::EventsDropped => "Events dropped by a bounded log or streaming sink.",
+        }
+    }
+}
+
+/// The runtime's fixed-bucket histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Wall-clock seconds per transaction guard evaluation.
+    QueryEvalSeconds,
+    /// Tuples admitted per constructed window.
+    WindowSize,
+    /// Wall-clock seconds a process spent blocked before waking.
+    BlockedSeconds,
+}
+
+const LATENCY_BUCKETS: &[f64] = &[
+    1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1e-3, 4e-3, 1.6e-2, 6.4e-2, 0.25, 1.0,
+];
+const SIZE_BUCKETS: &[f64] = &[
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0,
+];
+
+impl Hist {
+    /// All histograms in exposition order.
+    pub const ALL: [Hist; 3] = [
+        Hist::QueryEvalSeconds,
+        Hist::WindowSize,
+        Hist::BlockedSeconds,
+    ];
+
+    /// Number of distinct histograms.
+    pub const COUNT: usize = Hist::ALL.len();
+
+    /// The Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::QueryEvalSeconds => "sdl_query_eval_seconds",
+            Hist::WindowSize => "sdl_window_size",
+            Hist::BlockedSeconds => "sdl_process_blocked_seconds",
+        }
+    }
+
+    /// Help text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::QueryEvalSeconds => "Latency of transaction guard evaluation.",
+            Hist::WindowSize => "Tuples admitted per constructed window.",
+            Hist::BlockedSeconds => "Time processes spent blocked before waking.",
+        }
+    }
+
+    /// Upper bounds of the cumulative buckets (exclusive of `+Inf`).
+    pub fn buckets(self) -> &'static [f64] {
+        match self {
+            Hist::QueryEvalSeconds | Hist::BlockedSeconds => LATENCY_BUCKETS,
+            Hist::WindowSize => SIZE_BUCKETS,
+        }
+    }
+}
+
+/// Receiver for metric updates. Implementations must be cheap and
+/// thread-safe; the schedulers call these on their hot paths.
+pub trait MetricsSink: Send + Sync {
+    /// Adds `n` to a counter.
+    fn add(&self, counter: Counter, n: u64);
+
+    /// Records one observation into a histogram.
+    fn observe(&self, hist: Hist, value: f64);
+}
+
+/// A sink that discards everything (the explicit analogue of
+/// `Metrics::disabled()`, for callers that need a concrete sink).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullMetricsSink;
+
+impl MetricsSink for NullMetricsSink {
+    fn add(&self, _counter: Counter, _n: u64) {}
+    fn observe(&self, _hist: Hist, _value: f64) {}
+}
+
+/// Cheap cloneable handle threaded through the runtime.
+///
+/// Disabled (the default) it holds no sink and every call is a single
+/// branch. Cloning shares the underlying sink.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    sink: Option<Arc<dyn MetricsSink>>,
+}
+
+/// A disabled handle with a `'static` lifetime, for default trait methods
+/// that hand out `&Metrics`.
+pub static DISABLED: Metrics = Metrics::disabled();
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// A handle that records nothing.
+    pub const fn disabled() -> Metrics {
+        Metrics { sink: None }
+    }
+
+    /// A handle recording into `sink`.
+    pub fn new(sink: Arc<dyn MetricsSink>) -> Metrics {
+        Metrics { sink: Some(sink) }
+    }
+
+    /// Convenience: a fresh registry plus a handle recording into it.
+    pub fn registry() -> (Metrics, Arc<MetricsRegistry>) {
+        let registry = Arc::new(MetricsRegistry::new());
+        (Metrics::new(registry.clone()), registry)
+    }
+
+    /// Whether updates are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Adds `n` to `counter`.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(sink) = &self.sink {
+            sink.add(counter, n);
+        }
+    }
+
+    /// Adds 1 to `counter`.
+    #[inline]
+    pub fn inc(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Records `value` into `hist`.
+    #[inline]
+    pub fn observe(&self, hist: Hist, value: f64) {
+        if let Some(sink) = &self.sink {
+            sink.observe(hist, value);
+        }
+    }
+
+    /// Starts a wall-clock timer, or `None` when disabled (so the disabled
+    /// path never reads the clock).
+    #[inline]
+    pub fn start_timer(&self) -> Option<Instant> {
+        if self.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Records the elapsed time of a timer from [`Metrics::start_timer`].
+    #[inline]
+    pub fn observe_timer(&self, hist: Hist, start: Option<Instant>) {
+        if let Some(start) = start {
+            self.observe(hist, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+struct HistStore {
+    /// One cumulative-count slot per bucket bound, plus `+Inf` at the end.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64::to_bits` and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl HistStore {
+    fn new(hist: Hist) -> HistStore {
+        HistStore {
+            buckets: (0..=hist.buckets().len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, bounds: &[f64], value: f64) {
+        let idx = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free metric storage: one atomic per [`Counter`], fixed-bucket
+/// atomics per [`Hist`]. Shared via `Arc` between the runtime and whoever
+/// reads the snapshot at the end.
+pub struct MetricsRegistry {
+    counters: [AtomicU64; Counter::COUNT],
+    hists: Vec<HistStore>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: Hist::ALL.iter().map(|&h| HistStore::new(h)).collect(),
+        }
+    }
+
+    /// Current value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total observations recorded into `hist`.
+    pub fn hist_count(&self, hist: Hist) -> u64 {
+        self.hists[hist as usize].count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations recorded into `hist`.
+    pub fn hist_sum(&self, hist: Hist) -> f64 {
+        self.hists[hist as usize].sum()
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+
+        let mut out = String::with_capacity(4096);
+        let mut last_family = "";
+        for &c in &Counter::ALL {
+            if c.name() != last_family {
+                last_family = c.name();
+                let _ = writeln!(out, "# HELP {} {}", c.name(), c.help());
+                let _ = writeln!(out, "# TYPE {} counter", c.name());
+            }
+            let labels = c.labels();
+            if labels.is_empty() {
+                let _ = writeln!(out, "{} {}", c.name(), self.counter(c));
+            } else {
+                let _ = writeln!(out, "{}{{{}}} {}", c.name(), labels, self.counter(c));
+            }
+        }
+        for &h in &Hist::ALL {
+            let store = &self.hists[h as usize];
+            let _ = writeln!(out, "# HELP {} {}", h.name(), h.help());
+            let _ = writeln!(out, "# TYPE {} histogram", h.name());
+            let mut cumulative = 0u64;
+            for (i, bound) in h.buckets().iter().enumerate() {
+                cumulative += store.buckets[i].load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{{le=\"{}\"}} {}",
+                    h.name(),
+                    bound,
+                    cumulative
+                );
+            }
+            cumulative += store.buckets[h.buckets().len()].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name(), cumulative);
+            let _ = writeln!(out, "{}_sum {}", h.name(), store.sum());
+            let _ = writeln!(
+                out,
+                "{}_count {}",
+                h.name(),
+                store.count.load(Ordering::Relaxed)
+            );
+        }
+        out
+    }
+}
+
+impl MetricsSink for MetricsRegistry {
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn observe(&self, hist: Hist, value: f64) {
+        self.hists[hist as usize].observe(hist.buckets(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_never_reads_the_clock() {
+        let m = Metrics::disabled();
+        assert!(!m.enabled());
+        m.inc(Counter::TuplesAsserted);
+        m.observe(Hist::WindowSize, 3.0);
+        assert!(m.start_timer().is_none());
+        m.observe_timer(Hist::QueryEvalSeconds, None);
+    }
+
+    #[test]
+    fn counters_accumulate_per_series() {
+        let (m, reg) = Metrics::registry();
+        m.inc(Counter::TxnCommittedImmediate);
+        m.add(Counter::TxnCommittedImmediate, 2);
+        m.inc(Counter::TxnCommittedConsensus);
+        assert_eq!(reg.counter(Counter::TxnCommittedImmediate), 3);
+        assert_eq!(reg.counter(Counter::TxnCommittedConsensus), 1);
+        assert_eq!(reg.counter(Counter::TxnCommittedDelayed), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let (m, reg) = Metrics::registry();
+        m.observe(Hist::WindowSize, 0.0);
+        m.observe(Hist::WindowSize, 3.0);
+        m.observe(Hist::WindowSize, 1e9); // lands in +Inf
+        assert_eq!(reg.hist_count(Hist::WindowSize), 3);
+        assert!((reg.hist_sum(Hist::WindowSize) - 1e9 - 3.0).abs() < 1e-6);
+        let text = reg.render_prometheus();
+        assert!(text.contains("sdl_window_size_bucket{le=\"0\"} 1"));
+        assert!(text.contains("sdl_window_size_bucket{le=\"4\"} 2"));
+        assert!(text.contains("sdl_window_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("sdl_window_size_count 3"));
+    }
+
+    #[test]
+    fn prometheus_rendering_has_headers_and_labels() {
+        let (m, reg) = Metrics::registry();
+        m.inc(Counter::TxnCommittedConsensus);
+        m.inc(Counter::IndexHitArg1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sdl_txn_committed_total counter"));
+        assert!(text.contains("sdl_txn_committed_total{mode=\"consensus\"} 1"));
+        assert!(text.contains("sdl_index_lookups_total{index=\"arg1\"} 1"));
+        // Exactly one header per family.
+        assert_eq!(
+            text.matches("# TYPE sdl_txn_committed_total counter")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let (m, reg) = Metrics::registry();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        m.inc(Counter::MatchAttempts);
+                        m.observe(Hist::QueryEvalSeconds, 1e-5);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter(Counter::MatchAttempts), 40_000);
+        assert_eq!(reg.hist_count(Hist::QueryEvalSeconds), 40_000);
+    }
+}

@@ -31,10 +31,8 @@ use sdl_tuple::{ProcId, TupleId};
 pub fn communities(rt: &Runtime) -> Result<String, sdl_core::RuntimeError> {
     let procs = rt.processes();
     let sets = consensus_sets(&procs, rt.dataspace(), rt.builtins())?;
-    let name_of: BTreeMap<ProcId, &str> = procs
-        .iter()
-        .map(|p| (p.id, p.def.name.as_str()))
-        .collect();
+    let name_of: BTreeMap<ProcId, &str> =
+        procs.iter().map(|p| (p.id, p.def.name.as_str())).collect();
     let mut out = String::from("graph communities {\n");
     for (i, set) in sets.iter().enumerate() {
         let _ = writeln!(out, "  subgraph cluster_{i} {{");

@@ -36,4 +36,4 @@ pub mod timeline;
 
 pub use growth::{growth, render_growth, GrowthPoint};
 pub use render::render_dataspace;
-pub use stats::{ProcStats, Stats};
+pub use stats::{ProcStats, Stats, StatsSink};

@@ -2,8 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
-use sdl_core::{Event, EventLog};
+use sdl_core::{Event, EventLog, EventSink};
 use sdl_tuple::ProcId;
 
 /// Statistics for one process.
@@ -60,6 +61,13 @@ pub struct Stats {
     pub consensus_rounds: u64,
     /// Processes created.
     pub processes_created: u64,
+    /// All failed immediate transactions.
+    pub total_failures: u64,
+    /// All assertions dropped by export filtering.
+    pub total_export_drops: u64,
+    /// Events the (bounded) log discarded; those events are *not*
+    /// reflected in the other counts.
+    pub dropped_events: u64,
 }
 
 impl Stats {
@@ -67,41 +75,103 @@ impl Stats {
     pub fn from_log(log: &EventLog) -> Stats {
         let mut s = Stats::default();
         for (_, event) in log.iter() {
-            match event {
-                Event::TupleAsserted { by, .. } => {
-                    s.total_asserts += 1;
-                    s.proc(*by).asserts += 1;
-                }
-                Event::TupleRetracted { by, .. } => {
-                    s.total_retracts += 1;
-                    s.proc(*by).retracts += 1;
-                }
-                Event::ExportDropped { by, .. } => s.proc(*by).export_drops += 1,
-                Event::TxnCommitted { by, kind } => {
-                    s.total_commits += 1;
-                    let p = s.proc(*by);
-                    p.commits += 1;
-                    if *kind == sdl_lang::ast::TxnKind::Consensus {
-                        p.consensus += 1;
-                    }
-                }
-                Event::TxnFailed { by } => s.proc(*by).failures += 1,
-                Event::ProcessBlocked { id, .. } => s.proc(*id).blocks += 1,
-                Event::ProcessCreated { id, name, .. } => {
-                    s.processes_created += 1;
-                    s.proc(*id).name = name.clone();
-                }
-                Event::ProcessTerminated { id, aborted } => {
-                    s.proc(*id).aborted = *aborted;
-                }
-                Event::ConsensusReached { .. } => s.consensus_rounds += 1,
-            }
+            s.record_event(event);
         }
+        s.dropped_events = log.dropped();
         s
+    }
+
+    /// Folds one event into the statistics. Streaming counterpart of
+    /// [`Stats::from_log`]; see [`StatsSink`] for plugging this into a
+    /// runtime directly.
+    pub fn record_event(&mut self, event: &Event) {
+        match event {
+            Event::TupleAsserted { by, .. } => {
+                self.total_asserts += 1;
+                self.proc(*by).asserts += 1;
+            }
+            Event::TupleRetracted { by, .. } => {
+                self.total_retracts += 1;
+                self.proc(*by).retracts += 1;
+            }
+            Event::ExportDropped { by, .. } => {
+                self.total_export_drops += 1;
+                self.proc(*by).export_drops += 1;
+            }
+            Event::TxnCommitted { by, kind } => {
+                self.total_commits += 1;
+                let p = self.proc(*by);
+                p.commits += 1;
+                if *kind == sdl_lang::ast::TxnKind::Consensus {
+                    p.consensus += 1;
+                }
+            }
+            Event::TxnFailed { by } => {
+                self.total_failures += 1;
+                self.proc(*by).failures += 1;
+            }
+            Event::ProcessBlocked { id, .. } => self.proc(*id).blocks += 1,
+            Event::ProcessCreated { id, name, .. } => {
+                self.processes_created += 1;
+                self.proc(*id).name = name.clone();
+            }
+            Event::ProcessTerminated { id, aborted } => {
+                self.proc(*id).aborted = *aborted;
+            }
+            Event::ConsensusReached { .. } => self.consensus_rounds += 1,
+        }
     }
 
     fn proc(&mut self, id: ProcId) -> &mut ProcStats {
         self.per_process.entry(id).or_default()
+    }
+}
+
+/// An [`EventSink`] that folds events into [`Stats`] as they happen, so a
+/// run can report statistics without retaining its full event log.
+///
+/// Clone the sink before handing it to the runtime and call
+/// [`StatsSink::snapshot`] afterwards:
+///
+/// ```
+/// use sdl_core::{CompiledProgram, Runtime};
+/// use sdl_trace::StatsSink;
+///
+/// let program = CompiledProgram::from_source(
+///     "process P() { -> <a>; -> <b>; } init { spawn P(); }",
+/// ).unwrap();
+/// let sink = StatsSink::new();
+/// let mut rt = Runtime::builder(program)
+///     .event_sink(Box::new(sink.clone()))
+///     .build()
+///     .unwrap();
+/// rt.run().unwrap();
+/// assert_eq!(sink.snapshot().total_asserts, 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StatsSink(Arc<Mutex<Stats>>);
+
+impl StatsSink {
+    /// Creates an empty sink.
+    pub fn new() -> StatsSink {
+        StatsSink::default()
+    }
+
+    /// A copy of the statistics accumulated so far.
+    pub fn snapshot(&self) -> Stats {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl EventSink for StatsSink {
+    fn record(&mut self, _step: u64, event: Event) {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .record_event(&event);
     }
 }
 
@@ -129,13 +199,24 @@ impl fmt::Display for Stats {
         }
         write!(
             f,
-            "total: {} commits, {} asserts, {} retracts, {} consensus round(s), {} process(es)",
+            "total: {} commits, {} fails, {} asserts, {} retracts ({} export-dropped), \
+             {} consensus round(s), {} process(es)",
             self.total_commits,
+            self.total_failures,
             self.total_asserts,
             self.total_retracts,
+            self.total_export_drops,
             self.consensus_rounds,
             self.processes_created
-        )
+        )?;
+        if self.dropped_events > 0 {
+            write!(
+                f,
+                "\nwarning: {} event(s) dropped by the bounded log; counts are partial",
+                self.dropped_events
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -192,6 +273,29 @@ mod tests {
         for p in s.per_process.values() {
             assert_eq!(p.consensus, 1);
         }
+    }
+
+    #[test]
+    fn stats_sink_matches_from_log() {
+        let program = CompiledProgram::from_source(
+            "process P() { -> <a>, <b>; exists v : <a>! -> ; }
+             init { spawn P(); }",
+        )
+        .unwrap();
+        let sink = StatsSink::new();
+        let mut rt = Runtime::builder(program)
+            .trace(true)
+            .event_sink(Box::new(sink.clone()))
+            .build()
+            .unwrap();
+        rt.run().unwrap();
+        let from_log = Stats::from_log(rt.event_log().unwrap());
+        let live = sink.snapshot();
+        assert_eq!(live.per_process, from_log.per_process);
+        assert_eq!(live.total_commits, from_log.total_commits);
+        assert_eq!(live.total_asserts, from_log.total_asserts);
+        assert_eq!(live.total_retracts, from_log.total_retracts);
+        assert_eq!(live.total_failures, from_log.total_failures);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn render(log: &EventLog) -> String {
             Event::TxnCommitted { by, kind } => format!("{by}  commit {kind}"),
             Event::TxnFailed { by } => format!("{by}  fail ->"),
             Event::ProcessBlocked { id, consensus } => {
-                format!("{id}  blocked{}", if *consensus { " (consensus)" } else { "" })
+                format!(
+                    "{id}  blocked{}",
+                    if *consensus { " (consensus)" } else { "" }
+                )
             }
             Event::ProcessCreated { id, name, args, by } => {
                 let args: Vec<String> = args.iter().map(ToString::to_string).collect();

@@ -236,25 +236,25 @@ impl FromIterator<Field> for Pattern {
 /// ```
 #[macro_export]
 macro_rules! pattern {
-    (@acc $f:ident;) => {};
-    (@acc $f:ident; any $(, $($rest:tt)*)?) => {
-        $f.push($crate::Field::Any);
-        $($crate::pattern!(@acc $f; $($rest)*);)?
+    (@acc [$($acc:tt)*];) => {
+        $crate::Pattern::new(::std::vec![$($acc)*])
     };
-    (@acc $f:ident; var $n:expr $(, $($rest:tt)*)?) => {
-        $f.push($crate::Field::Var($crate::VarId($n)));
-        $($crate::pattern!(@acc $f; $($rest)*);)?
+    (@acc [$($acc:tt)*]; any $(, $($rest:tt)*)?) => {
+        $crate::pattern!(@acc [$($acc)* ($crate::Field::Any),]; $($($rest)*)?)
     };
-    (@acc $f:ident; $v:expr $(, $($rest:tt)*)?) => {
-        $f.push($crate::Field::Const($crate::Value::from($v)));
-        $($crate::pattern!(@acc $f; $($rest)*);)?
+    (@acc [$($acc:tt)*]; var $n:expr $(, $($rest:tt)*)?) => {
+        $crate::pattern!(@acc [$($acc)* ($crate::Field::Var($crate::VarId($n))),]; $($($rest)*)?)
+    };
+    (@acc [$($acc:tt)*]; $v:expr $(, $($rest:tt)*)?) => {
+        $crate::pattern!(
+            @acc [$($acc)* ($crate::Field::Const($crate::Value::from($v))),];
+            $($($rest)*)?
+        )
     };
     () => { $crate::Pattern::new(::std::vec::Vec::new()) };
-    ($($parts:tt)+) => {{
-        let mut fields = ::std::vec::Vec::new();
-        $crate::pattern!(@acc fields; $($parts)+);
-        $crate::Pattern::new(fields)
-    }};
+    ($($parts:tt)+) => {
+        $crate::pattern!(@acc []; $($parts)+)
+    };
 }
 
 #[cfg(test)]

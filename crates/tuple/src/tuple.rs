@@ -288,7 +288,7 @@ mod tests {
         let a = tuple![Value::Int(1), Value::Int(2)];
         let b = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(a, b);
-        let mut v = vec![b, a];
+        let mut v = [b, a];
         v.sort();
         assert_eq!(v[0], v[1]);
     }

@@ -292,7 +292,7 @@ mod tests {
 
     #[test]
     fn total_order_across_variants() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("z"),
             Value::Int(3),
             Value::Bool(true),

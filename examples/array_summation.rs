@@ -45,8 +45,8 @@ fn main() {
     // Parallel-rounds runs: logical parallel time.
     println!("\nwith the maximal-parallel-rounds scheduler (logical time):");
     println!(
-        "{:<6} {:>10} {:>9} {:>11} {:>7}  {}",
-        "prog", "sum", "commits", "consensus", "rounds", "(log2 N = 8)"
+        "{:<6} {:>10} {:>9} {:>11} {:>7}  (log2 N = 8)",
+        "prog", "sum", "commits", "consensus", "rounds"
     );
     for (name, rt) in [
         ("Sum1", &mut sum1_runtime(&values, 1)),

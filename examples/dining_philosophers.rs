@@ -53,7 +53,10 @@ fn main() {
         "{N} philosophers each ate {MEALS} meals: {sated} sated, \
          {chopsticks} chopsticks back on the table"
     );
-    println!("({} transactions, {} attempts)", report.commits, report.attempts);
+    println!(
+        "({} transactions, {} attempts)",
+        report.commits, report.attempts
+    );
     assert_eq!(sated as i64, N);
     assert_eq!(chopsticks as i64, N);
     println!(

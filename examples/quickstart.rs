@@ -40,6 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", Stats::from_log(rt.event_log().expect("tracing on")));
 
     println!("\nevent timeline:");
-    print!("{}", sdl::trace::timeline::render(rt.event_log().expect("tracing on")));
+    print!(
+        "{}",
+        sdl::trace::timeline::render(rt.event_log().expect("tracing on"))
+    );
     Ok(())
 }

@@ -10,9 +10,7 @@
 //! cargo run --release --example region_labeling
 //! ```
 
-use sdl::workloads::{
-    community_labeling_runtime, read_labels, worker_labeling_runtime, Image,
-};
+use sdl::workloads::{community_labeling_runtime, read_labels, worker_labeling_runtime, Image};
 
 const CUTOFF: i64 = 128;
 

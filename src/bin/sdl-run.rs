@@ -2,26 +2,36 @@
 //!
 //! ```text
 //! sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats]
+//!         [--metrics] [--events-out FILE] [--trace-cap N]
 //!         [--max-attempts N] [--grid WxH]
 //! ```
 //!
-//! * `--rounds`      use the maximal-parallel-rounds scheduler
-//! * `--trace`       print the event timeline after the run
-//! * `--stats`       print per-process statistics
-//! * `--grid WxH`    register the `neighbor` predicate for a W×H grid
-//! * `--seed N`      scheduler seed (default 0)
+//! * `--rounds`          use the maximal-parallel-rounds scheduler
+//! * `--trace`           print the event timeline after the run
+//! * `--trace-cap N`     keep at most N events in the trace log
+//! * `--stats`           print per-process statistics (streams; does not
+//!   retain the event log)
+//! * `--metrics`         print a Prometheus text-format metrics snapshot
+//! * `--events-out FILE` stream events to FILE as JSON Lines
+//! * `--grid WxH`        register the `neighbor` predicate for a W×H grid
+//! * `--seed N`          scheduler seed (default 0)
 
+use std::io::BufWriter;
 use std::process::ExitCode;
 
-use sdl::core::{Builtins, CompiledProgram, RunLimits, Runtime};
-use sdl::trace::{render_dataspace, Stats};
+use sdl::core::{Builtins, CompiledProgram, JsonlSink, RunLimits, Runtime};
+use sdl::metrics::Metrics;
+use sdl::trace::{render_dataspace, StatsSink};
 
 struct Args {
     file: String,
     seed: u64,
     rounds: bool,
     trace: bool,
+    trace_cap: Option<usize>,
     stats: bool,
+    metrics: bool,
+    events_out: Option<String>,
     max_attempts: u64,
     grid: Option<(i64, i64)>,
 }
@@ -29,6 +39,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats] \
+         [--metrics] [--events-out FILE] [--trace-cap N] \
          [--max-attempts N] [--grid WxH]"
     );
     std::process::exit(2)
@@ -40,7 +51,10 @@ fn parse_args() -> Args {
         seed: 0,
         rounds: false,
         trace: false,
+        trace_cap: None,
         stats: false,
+        metrics: false,
+        events_out: None,
         max_attempts: RunLimits::default().max_attempts,
         grid: None,
     };
@@ -48,14 +62,28 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => {
-                args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--rounds" => args.rounds = true,
             "--trace" => args.trace = true,
+            "--trace-cap" => {
+                args.trace_cap = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--stats" => args.stats = true,
+            "--metrics" => args.metrics = true,
+            "--events-out" => args.events_out = Some(it.next().unwrap_or_else(|| usage())),
             "--max-attempts" => {
-                args.max_attempts =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                args.max_attempts = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--grid" => {
                 let spec = it.next().unwrap_or_else(|| usage());
@@ -96,22 +124,62 @@ fn main() -> ExitCode {
     if let Some((w, h)) = args.grid {
         builtins.register_grid_neighbor(w, h);
     }
-    let mut rt = match Runtime::builder(program)
+
+    let (metrics, registry) = if args.metrics {
+        let (m, r) = Metrics::registry();
+        (m, Some(r))
+    } else {
+        (Metrics::disabled(), None)
+    };
+
+    let mut builder = Runtime::builder(program)
         .seed(args.seed)
-        .trace(args.trace || args.stats)
         .builtins(builtins)
+        .metrics(metrics.clone())
         .limits(RunLimits {
             max_attempts: args.max_attempts,
-        })
-        .build()
-    {
+        });
+    if let Some(cap) = args.trace_cap {
+        builder = builder.trace_capacity(cap);
+    } else if args.trace {
+        builder = builder.trace(true);
+    }
+    let stats_sink = args.stats.then(StatsSink::new);
+    if let Some(sink) = &stats_sink {
+        builder = builder.event_sink(Box::new(sink.clone()));
+    }
+    let stream_stats = match &args.events_out {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("sdl-run: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sink = JsonlSink::new(BufWriter::new(file)).with_metrics(metrics.clone());
+            let stats = sink.stats();
+            builder = builder.event_sink(Box::new(sink));
+            Some(stats)
+        }
+        None => None,
+    };
+
+    let mut rt = match builder.build() {
         Ok(rt) => rt,
         Err(e) => {
             eprintln!("sdl-run: init failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let result = if args.rounds { rt.run_rounds() } else { rt.run() };
+    let result = if args.rounds {
+        rt.run_rounds()
+    } else {
+        rt.run()
+    };
+    // Drop the sinks first: the JSONL writer flushes on drop, so the file
+    // is complete before we report on it.
+    drop(rt.take_event_sinks());
     let report = match result {
         Ok(r) => r,
         Err(e) => {
@@ -124,8 +192,8 @@ fn main() -> ExitCode {
         print!("{}", rt.blocked_report());
     }
     println!("{}", render_dataspace(rt.dataspace(), 20));
-    if args.stats {
-        println!("{}", Stats::from_log(rt.event_log().expect("tracing on")));
+    if let Some(sink) = &stats_sink {
+        println!("{}", sink.snapshot());
     }
     if args.trace {
         println!("timeline:");
@@ -133,6 +201,17 @@ fn main() -> ExitCode {
             "{}",
             sdl::trace::timeline::render(rt.event_log().expect("tracing on"))
         );
+    }
+    if let (Some(path), Some(stats)) = (&args.events_out, &stream_stats) {
+        eprintln!(
+            "sdl-run: {}: {} event(s) written, {} dropped",
+            path,
+            stats.written(),
+            stats.dropped()
+        );
+    }
+    if let Some(registry) = &registry {
+        print!("{}", registry.render_prometheus());
     }
     ExitCode::SUCCESS
 }

@@ -10,6 +10,7 @@ pub use sdl_core as core;
 pub use sdl_dataspace as dataspace;
 pub use sdl_lang as lang;
 pub use sdl_linda as linda;
+pub use sdl_metrics as metrics;
 pub use sdl_trace as trace;
 pub use sdl_tuple as tuple;
 

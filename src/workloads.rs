@@ -362,12 +362,19 @@ pub fn image_builtins(image: &Image, cutoff: i64) -> Builtins {
     let mut b = Builtins::standard();
     b.register_grid_neighbor(image.width, image.height);
     b.register("T", move |args: &[Value]| {
-        args[0].as_int().map(|v| Value::Int(Image::threshold(v, cutoff)))
+        args[0]
+            .as_int()
+            .map(|v| Value::Int(Image::threshold(v, cutoff)))
     });
     b
 }
 
-fn seeded_image_builder(program: CompiledProgram, image: &Image, cutoff: i64, seed: u64) -> RuntimeBuilder {
+fn seeded_image_builder(
+    program: CompiledProgram,
+    image: &Image,
+    cutoff: i64,
+    seed: u64,
+) -> RuntimeBuilder {
     let mut b = Runtime::builder(program)
         .seed(seed)
         .builtins(image_builtins(image, cutoff));
@@ -434,8 +441,8 @@ mod tests {
         let b = Image::synthetic(8, 8, 3, 42);
         assert_eq!(a, b);
         assert_eq!(a.len(), 64);
-        assert!(a.pixels.iter().any(|&v| v == 200), "has bright pixels");
-        assert!(a.pixels.iter().any(|&v| v == 10), "has background");
+        assert!(a.pixels.contains(&200), "has bright pixels");
+        assert!(a.pixels.contains(&10), "has background");
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! sum as a sequential fold, with the concurrency structure the paper
 //! claims.
 
-use sdl::workloads::{
-    final_sum, random_array, sum1_runtime, sum2_runtime, sum3_runtime,
-};
+use sdl::workloads::{final_sum, random_array, sum1_runtime, sum2_runtime, sum3_runtime};
 
 #[test]
 fn sum1_matches_fold_and_uses_log_n_phases() {
@@ -48,7 +46,7 @@ fn sum3_matches_fold_with_n_minus_1_commits() {
         let report = rt.run().unwrap();
         assert!(report.outcome.is_completed(), "N={n}: {:?}", report.outcome);
         assert_eq!(final_sum(&rt), expected, "N={n}");
-        assert_eq!(report.commits as usize, n - 1 + usize::from(n == 1) * 0);
+        assert_eq!(report.commits as usize, n.saturating_sub(1));
     }
 }
 
@@ -87,7 +85,11 @@ fn sum2_parallel_rounds_are_logarithmic() {
         let report = rt.run_rounds().unwrap();
         assert!(report.outcome.is_completed());
         assert_eq!(final_sum(&rt), expected);
-        assert!(report.rounds <= 3 * u64::from(a) + 4, "{} rounds", report.rounds);
+        assert!(
+            report.rounds <= 3 * u64::from(a) + 4,
+            "{} rounds",
+            report.rounds
+        );
     }
 }
 

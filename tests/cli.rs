@@ -19,7 +19,10 @@ fn runs_hello_program() {
     let (stdout, _, ok) = run(&["examples/programs/hello.sdl"]);
     assert!(ok);
     assert!(stdout.contains("completed"), "{stdout}");
-    assert!(stdout.contains("<watched, 90>") || stdout.contains("watched"), "{stdout}");
+    assert!(
+        stdout.contains("<watched, 90>") || stdout.contains("watched"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -70,11 +73,7 @@ fn seed_changes_are_accepted() {
 
 #[test]
 fn runs_labeling_with_grid_builtin() {
-    let (stdout, _, ok) = run(&[
-        "examples/programs/labeling.sdl",
-        "--grid",
-        "4x4",
-    ]);
+    let (stdout, _, ok) = run(&["examples/programs/labeling.sdl", "--grid", "4x4"]);
     assert!(ok);
     assert!(stdout.contains("3 consensus round"), "{stdout}");
     assert!(stdout.contains("label/3 (16)"), "{stdout}");
@@ -93,7 +92,10 @@ fn runs_readers_writers() {
     let (stdout, _, ok) = run(&["examples/programs/readers_writers.sdl"]);
     assert!(ok);
     assert!(stdout.contains("completed"), "{stdout}");
-    assert!(stdout.contains("token/2 (3)"), "all tokens returned: {stdout}");
+    assert!(
+        stdout.contains("token/2 (3)"),
+        "all tokens returned: {stdout}"
+    );
     assert!(stdout.contains("read_by/3 (3)"), "three reads: {stdout}");
     assert!(stdout.contains("<record, 99>"), "write applied: {stdout}");
 }

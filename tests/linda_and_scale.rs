@@ -93,7 +93,9 @@ fn deep_spawn_chain() {
         .unwrap();
     let report = rt.run().unwrap();
     assert!(report.outcome.is_completed());
-    assert!(rt.dataspace().contains_match(&pattern![Value::atom("bottom")]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![Value::atom("bottom")]));
     assert_eq!(report.processes_created, 2001);
 }
 
@@ -125,10 +127,8 @@ fn threaded_executor_scales_job_pool() {
 
 #[test]
 fn quiescent_society_reports_every_blocked_process() {
-    let program = CompiledProgram::from_source(
-        "process Waiter(k) { exists v : <never, k> => ; }",
-    )
-    .unwrap();
+    let program =
+        CompiledProgram::from_source("process Waiter(k) { exists v : <never, k> => ; }").unwrap();
     let mut b = Runtime::builder(program);
     for k in 0..100i64 {
         b = b.spawn("Waiter", vec![Value::Int(k)]);

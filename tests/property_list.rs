@@ -96,7 +96,11 @@ fn sort_orders_random_permutations() {
 
         let mut rt = sort_runtime(&values, seed);
         let report = rt.run().unwrap();
-        assert!(report.outcome.is_completed(), "len={len}: {:?}", report.outcome);
+        assert!(
+            report.outcome.is_completed(),
+            "len={len}: {:?}",
+            report.outcome
+        );
         assert_eq!(read_sequence(&rt, len), expected, "len={len} seed={seed}");
         assert_eq!(
             report.consensus_rounds, 1,

@@ -2,9 +2,7 @@
 //! both agree with a sequential flood-fill oracle, and the community
 //! model's consensus communities coincide with the image's regions.
 
-use sdl::workloads::{
-    community_labeling_runtime, read_labels, worker_labeling_runtime, Image,
-};
+use sdl::workloads::{community_labeling_runtime, read_labels, worker_labeling_runtime, Image};
 use sdl_core::Event;
 
 const CUTOFF: i64 = 128;
@@ -83,10 +81,8 @@ fn community_model_regions_finish_independently() {
         height: 1,
         pixels: vec![200, 10, 10, 10, 200],
     };
-    let program = sdl_core::CompiledProgram::from_source(
-        sdl::workloads::COMMUNITY_LABELING_SRC,
-    )
-    .unwrap();
+    let program =
+        sdl_core::CompiledProgram::from_source(sdl::workloads::COMMUNITY_LABELING_SRC).unwrap();
     let mut b = sdl_core::Runtime::builder(program)
         .seed(3)
         .trace(true)
@@ -130,7 +126,12 @@ fn worker_model_in_rounds_mode() {
     assert_eq!(read_labels(&rt, image.len()), expected);
     // Label propagation needs at most O(diameter) rounds, far below the
     // serial commit count.
-    assert!(report.rounds < report.commits, "rounds {} < commits {}", report.rounds, report.commits);
+    assert!(
+        report.rounds < report.commits,
+        "rounds {} < commits {}",
+        report.rounds,
+        report.commits
+    );
 }
 
 #[test]

@@ -32,7 +32,9 @@ fn window_bounds_negation_too() {
          init { <item, 5>; spawn P(); }",
         0,
     );
-    assert!(rt.dataspace().contains_match(&pattern![atom("concluded_empty")]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("concluded_empty")]));
     assert!(!rt.dataspace().contains_match(&pattern![atom("saw_it")]));
 }
 
@@ -90,7 +92,8 @@ fn dataspace_dependent_import_changes_with_configuration() {
     let report = rt.run().unwrap();
     assert!(rt.dataspace().contains_match(&pattern![atom("first"), 7]));
     assert!(
-        !rt.dataspace().contains_match(&pattern![atom("second"), any]),
+        !rt.dataspace()
+            .contains_match(&pattern![atom("second"), any]),
         "window shrank when the gate vanished"
     );
     assert!(matches!(report.outcome, Outcome::Quiescent { .. }));
@@ -112,8 +115,12 @@ fn consensus_composite_applies_all_retractions_first() {
          }",
         0,
     );
-    assert!(rt.dataspace().contains_match(&pattern![atom("got"), atom("left"), 2]));
-    assert!(rt.dataspace().contains_match(&pattern![atom("got"), atom("right"), 1]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("got"), atom("left"), 2]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("got"), atom("right"), 1]));
     assert!(!rt.dataspace().contains_match(&pattern![atom("left"), any]));
     assert!(!rt.dataspace().contains_match(&pattern![atom("right"), any]));
 }
@@ -137,8 +144,12 @@ fn csp_style_rendezvous_is_a_two_process_consensus() {
          init { spawn Sender(); spawn Receiver(); }",
         0,
     );
-    assert!(rt.dataspace().contains_match(&pattern![atom("received"), 42]));
-    assert!(rt.dataspace().contains_match(&pattern![atom("sender_resumed")]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("received"), 42]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("sender_resumed")]));
 }
 
 #[test]
@@ -159,7 +170,9 @@ fn one_sided_consensus_cannot_fire() {
     let mut rt = Runtime::builder(program).build().unwrap();
     let report = rt.run().unwrap();
     assert!(matches!(report.outcome, Outcome::Quiescent { .. }));
-    assert!(!rt.dataspace().contains_match(&pattern![atom("received"), any]));
+    assert!(!rt
+        .dataspace()
+        .contains_match(&pattern![atom("received"), any]));
 }
 
 #[test]
@@ -176,7 +189,9 @@ fn disjoint_communities_do_not_wait_for_each_other() {
     .unwrap();
     let mut rt = Runtime::builder(program).build().unwrap();
     let report = rt.run().unwrap();
-    assert!(rt.dataspace().contains_match(&pattern![atom("a"), atom("fired")]));
+    assert!(rt
+        .dataspace()
+        .contains_match(&pattern![atom("a"), atom("fired")]));
     match report.outcome {
         Outcome::Quiescent { blocked } => assert_eq!(blocked.len(), 1),
         other => panic!("expected W(b) stuck, got {other:?}"),

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a minimal, dependency-free implementation of the `rand 0.9` API surface
+//! the repository actually uses: seedable deterministic generators
+//! ([`rngs::StdRng`]), uniform range sampling ([`Rng::random_range`]), and
+//! Fisher–Yates shuffling ([`seq::SliceRandom::shuffle`]).
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — deterministic for
+//! a given seed on every platform, which is all the schedulers require
+//! (same program + seed ⇒ same trace). It makes no cryptographic claims.
+
+/// Low-level generator interface: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod uniform {
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Samples uniformly from `[low, high)`; `high > low`.
+        fn sample_half_open(low: Self, high: Self, bits: u64) -> Self;
+    }
+
+    macro_rules! impl_sample_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample_half_open(low: $t, high: $t, bits: u64) -> $t {
+                    // Span fits in u128 for every integer type we support;
+                    // multiply-shift gives an unbiased-enough uniform draw
+                    // for scheduling/test purposes.
+                    let span = (high as i128 - low as i128) as u128;
+                    let off = ((u128::from(bits) * span) >> 64) as i128;
+                    (low as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl SampleUniform for f64 {
+        fn sample_half_open(low: f64, high: f64, bits: u64) -> f64 {
+            let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+            low + unit * (high - low)
+        }
+    }
+}
+
+pub use uniform::SampleUniform;
+
+/// Ranges [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a value from the range using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_half_open(self.start, self.end, rng.next_u64())
+    }
+}
+
+impl SampleRange<i64> for std::ops::RangeInclusive<i64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty inclusive range in random_range");
+        if lo == i64::MIN && hi == i64::MAX {
+            return rng.next_u64() as i64;
+        }
+        i64::sample_half_open(lo, hi + 1, rng.next_u64())
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty inclusive range in random_range");
+        usize::sample_half_open(
+            lo,
+            hi.checked_add(1).expect("range too large"),
+            rng.next_u64(),
+        )
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniform boolean.
+    fn random_bool_uniform(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(0..100i64);
+            assert!((0..100).contains(&v));
+            let u = rng.random_range(5..=9i64);
+            assert!((5..=9).contains(&u));
+            let w = rng.random_range(0..7usize);
+            assert!(w < 7);
+            let f = rng.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<i64> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.as_slice().choose(&mut rng).is_some());
+    }
+}
