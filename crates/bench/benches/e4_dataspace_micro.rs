@@ -9,10 +9,15 @@
 //! functor/arg1 indexes (ablation), and a whole-dataspace `forall` vs
 //! the same `forall` bounded by a view.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use sdl_core::program::{CompiledStmt, CompiledTxn};
 use sdl_core::{CompiledProgram, Runtime};
-use sdl_dataspace::{Dataspace, IndexMode, TupleSource};
+use sdl_dataspace::{
+    plan_query, Dataspace, IndexMode, QueryAtom, SolveLimits, Solver, TupleSource,
+};
 use sdl_metrics::Metrics;
 use sdl_tuple::{pattern, tuple, ProcId, Value};
 
@@ -23,6 +28,51 @@ fn populate(n: i64, mode: IndexMode) -> Dataspace {
         d.assert_tuple(ProcId::ENV, tuple![Value::atom("threshold"), i, i % 2]);
     }
     d
+}
+
+/// A skewed join store: `n` tuples each of `<big, i>`, `<left, i>` and
+/// `<right, i>`, plus one `<small, k>` and one `<bridge, k, k>`.
+fn join_store(n: i64) -> Dataspace {
+    let mut d = Dataspace::new();
+    for i in 0..n {
+        d.assert_tuple(ProcId::ENV, tuple![Value::atom("big"), i]);
+        d.assert_tuple(ProcId::ENV, tuple![Value::atom("left"), i]);
+        d.assert_tuple(ProcId::ENV, tuple![Value::atom("right"), i]);
+    }
+    d.assert_tuple(ProcId::ENV, tuple![Value::atom("small"), n / 2]);
+    d.assert_tuple(ProcId::ENV, tuple![Value::atom("bridge"), n / 2, n / 2]);
+    d
+}
+
+/// Source order puts the large relation first; the planner flips it.
+fn join2_atoms() -> Vec<QueryAtom> {
+    vec![
+        QueryAtom::read(pattern![Value::atom("big"), var 0]),
+        QueryAtom::read(pattern![Value::atom("small"), var 0]),
+    ]
+}
+
+/// Source order builds an `n x n` cross product before the selective
+/// `bridge` atom filters it; the planner starts from `bridge` and turns
+/// both unary atoms into indexed point probes.
+fn join3_atoms() -> Vec<QueryAtom> {
+    vec![
+        QueryAtom::read(pattern![Value::atom("left"), var 0]),
+        QueryAtom::read(pattern![Value::atom("right"), var 1]),
+        QueryAtom::read(pattern![Value::atom("bridge"), var 0, var 1]),
+    ]
+}
+
+/// The compiled statement behind the 2-atom join, for exercising the
+/// per-statement plan cache exactly as the runtime does.
+fn join2_txn() -> Arc<CompiledTxn> {
+    let program =
+        CompiledProgram::from_source("process P() { exists a : <big, a>, <small, a> -> ; }")
+            .expect("compiles");
+    match &program.def("P").expect("defined").body[0] {
+        CompiledStmt::Txn(t) => t.clone(),
+        other => panic!("unexpected statement {other:?}"),
+    }
 }
 
 fn forall_sweep_runtime(n: i64, with_view: bool) -> Runtime {
@@ -79,6 +129,48 @@ fn print_series() {
         );
     }
     eprintln!("(point lookups are O(1) with the functor/arg1 index, O(|D|) without)\n");
+
+    eprintln!("# E4 series: join-ordering ablation (planned vs source order)");
+    eprintln!(
+        "{:>16} | {:>12} {:>12} | {:>9}",
+        "query", "planned", "source-ord", "speedup"
+    );
+    let timed = |iters: u32, mut f: Box<dyn FnMut() + '_>| {
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t.elapsed() / iters
+    };
+    for (name, atoms, n_vars, n, iters) in [
+        ("join2 n=10k", join2_atoms(), 1, 10_000i64, 50u32),
+        ("join3 n=1k", join3_atoms(), 2, 1_000, 10),
+    ] {
+        let d = join_store(n);
+        let plan = plan_query(&atoms, n_vars, &d);
+        let planned = Solver::with_plan(&d, &atoms, n_vars, Some(&plan));
+        let naive = Solver::new(&d, &atoms, n_vars);
+        let tp = timed(
+            iters,
+            Box::new(|| {
+                assert_eq!(planned.all(&mut |_| true, SolveLimits::default()).len(), 1);
+            }),
+        );
+        let tn = timed(
+            iters,
+            Box::new(|| {
+                assert_eq!(naive.all(&mut |_| true, SolveLimits::default()).len(), 1);
+            }),
+        );
+        eprintln!(
+            "{:>16} | {:>12?} {:>12?} | {:>8.0}x",
+            name,
+            tp,
+            tn,
+            tn.as_secs_f64() / tp.as_secs_f64().max(1e-12)
+        );
+    }
+    eprintln!("(selectivity ordering makes join cost independent of the large relation)\n");
 }
 
 fn bench(c: &mut Criterion) {
@@ -145,6 +237,63 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| d.count_matches(&p))
             },
         );
+    }
+    // Join-ordering ablation: the same conjunctive query solved in
+    // source order vs under a selectivity plan. `join2` is the skewed
+    // two-atom join (scan-the-big-relation vs start-from-the-singleton);
+    // `join3` is the cross-product trap (O(n^2) in source order, O(1)
+    // planned).
+    {
+        let atoms2 = join2_atoms();
+        for n in [1_000i64, 10_000] {
+            let d = join_store(n);
+            g.bench_with_input(BenchmarkId::new("join2_source_order", n), &d, |b, d| {
+                let solver = Solver::new(d, &atoms2, 1);
+                b.iter(|| solver.all(&mut |_| true, SolveLimits::default()).len())
+            });
+            g.bench_with_input(BenchmarkId::new("join2_planned", n), &d, |b, d| {
+                let plan = plan_query(&atoms2, 1, d);
+                let solver = Solver::with_plan(d, &atoms2, 1, Some(&plan));
+                b.iter(|| solver.all(&mut |_| true, SolveLimits::default()).len())
+            });
+        }
+        let atoms3 = join3_atoms();
+        let n = 1_000i64; // source order is O(n^2); keep the trap small
+        let d = join_store(n);
+        g.bench_with_input(BenchmarkId::new("join3_source_order", n), &d, |b, d| {
+            let solver = Solver::new(d, &atoms3, 2);
+            b.iter(|| solver.all(&mut |_| true, SolveLimits::default()).len())
+        });
+        g.bench_with_input(BenchmarkId::new("join3_planned", n), &d, |b, d| {
+            let plan = plan_query(&atoms3, 2, d);
+            let solver = Solver::with_plan(d, &atoms3, 2, Some(&plan));
+            b.iter(|| solver.all(&mut |_| true, SolveLimits::default()).len())
+        });
+    }
+    // Plan-cache hit path: estimate probe + drift check + `Arc` clone,
+    // exactly what every transaction attempt pays after the first.
+    {
+        let txn = join2_txn();
+        let atoms = join2_atoms();
+        let d = join_store(10_000);
+        txn.plan_for(&atoms, &d, IndexMode::FunctorArity); // prime: one miss
+        g.bench_with_input(BenchmarkId::new("plan_cache_hit", 10_000), &d, |b, d| {
+            b.iter(|| txn.plan_for(&atoms, d, IndexMode::FunctorArity))
+        });
+    }
+    // Allocation-diet guard: enumerate a 10k-solution cross product.
+    // Per-solution cost is one `Solution` build from the solver's reused
+    // scratch buffers; regressions in the clone path show up here first.
+    {
+        let atoms = vec![
+            QueryAtom::retract(pattern![Value::atom("left"), var 0]),
+            QueryAtom::retract(pattern![Value::atom("right"), var 1]),
+        ];
+        let d = join_store(100);
+        g.bench_with_input(BenchmarkId::new("enumerate_pairs", 100), &d, |b, d| {
+            let solver = Solver::new(d, &atoms, 2);
+            b.iter(|| solver.all(&mut |_| true, SolveLimits::default()).len())
+        });
     }
     for n in [1_000i64, 10_000] {
         g.bench_with_input(BenchmarkId::new("forall_with_view", n), &n, |b, &n| {

@@ -61,6 +61,8 @@ pub use outcome::{Outcome, RunLimits, RunReport};
 pub use process::ProcessInstance;
 pub use program::{CompiledProcess, CompiledProgram};
 pub use sched::{Runtime, RuntimeBuilder};
+pub use sdl_dataspace::PlanMode;
+pub use txn::PlanConfig;
 
 #[cfg(test)]
 mod tests;

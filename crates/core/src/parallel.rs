@@ -30,7 +30,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use sdl_dataspace::{Dataspace, SolveLimits, WatchSet};
+use sdl_dataspace::{Dataspace, PlanMode, SolveLimits, WatchSet};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
 use sdl_metrics::{Counter, Hist, Metrics};
@@ -42,7 +42,7 @@ use crate::outcome::Outcome;
 use crate::process::{Frame, ProcessInstance};
 use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
 use crate::sched::{attempts_counter, committed_counter, failed_counter};
-use crate::txn::{self, Pending};
+use crate::txn::{self, Pending, PlanConfig};
 use crate::view::EnvCtx;
 
 /// Outcome and statistics of a parallel run.
@@ -68,6 +68,7 @@ pub struct ParallelBuilder {
     seed: u64,
     builtins: Builtins,
     max_attempts: u64,
+    plan_mode: PlanMode,
     tuples: Vec<Tuple>,
     spawns: Vec<(String, Vec<Value>)>,
     metrics: Metrics,
@@ -95,6 +96,13 @@ impl ParallelBuilder {
     /// Caps evaluation attempts.
     pub fn max_attempts(mut self, n: u64) -> ParallelBuilder {
         self.max_attempts = n;
+        self
+    }
+
+    /// Sets the query-plan mode (default selectivity-planned; pass
+    /// [`PlanMode::SourceOrder`] for the ablation baseline).
+    pub fn plan_mode(mut self, mode: PlanMode) -> ParallelBuilder {
+        self.plan_mode = mode;
         self
     }
 
@@ -190,6 +198,7 @@ impl ParallelBuilder {
             seed: self.seed,
             builtins: Arc::new(self.builtins),
             max_attempts: self.max_attempts,
+            plan_mode: self.plan_mode,
             ds,
             initial,
             next_pid,
@@ -260,6 +269,7 @@ pub struct ParallelRuntime {
     seed: u64,
     builtins: Arc<Builtins>,
     max_attempts: u64,
+    plan_mode: PlanMode,
     ds: Dataspace,
     initial: Vec<ProcessInstance>,
     next_pid: u64,
@@ -281,6 +291,7 @@ struct Shared {
     conflicts: AtomicU64,
     step_limited: AtomicBool,
     max_attempts: u64,
+    plan_config: PlanConfig,
     next_pid: AtomicU64,
     error: Mutex<Option<RuntimeError>>,
     metrics: Metrics,
@@ -305,6 +316,7 @@ impl ParallelRuntime {
             seed: 0,
             builtins: Builtins::standard(),
             max_attempts: 500_000_000,
+            plan_mode: PlanMode::default(),
             tuples: Vec::new(),
             spawns: Vec::new(),
             metrics: Metrics::disabled(),
@@ -318,6 +330,7 @@ impl ParallelRuntime {
     ///
     /// Propagates the first [`RuntimeError`] any worker hit.
     pub fn run(self) -> Result<(ParallelReport, Dataspace), RuntimeError> {
+        let index_mode = self.ds.index_mode();
         let shared = Arc::new(Shared {
             program: self.program,
             builtins: self.builtins,
@@ -332,6 +345,10 @@ impl ParallelRuntime {
             conflicts: AtomicU64::new(0),
             step_limited: AtomicBool::new(false),
             max_attempts: self.max_attempts,
+            plan_config: PlanConfig {
+                mode: self.plan_mode,
+                index_mode,
+            },
             next_pid: AtomicU64::new(self.next_pid),
             error: Mutex::new(None),
             metrics: self.metrics,
@@ -473,6 +490,7 @@ fn attempt(
                 &proc.env,
                 &shared.builtins,
                 SolveLimits::default(),
+                shared.plan_config,
             )?;
             (s, ds.version())
         };

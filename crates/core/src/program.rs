@@ -8,13 +8,18 @@
 //! immutable, so thousands of process instances reuse one compiled body.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, RwLock};
 
-use sdl_dataspace::AtomMode;
+use sdl_dataspace::{
+    estimate_positives, estimates_drifted, plan_query, AtomMode, IndexMode, QueryAtom, QueryPlan,
+    TupleSource,
+};
 use sdl_lang::ast::{
     Action, CondAtom, Expr, FieldExpr, GuardedSeq, PatternExpr, ProcessDef, Program, Quant, Stmt,
     Transaction, TxnAtom, TxnKind,
 };
+use sdl_metrics::Counter;
 use sdl_tuple::VarId;
 
 use crate::error::CompileError;
@@ -212,6 +217,153 @@ pub struct CompiledTxn {
     pub property_tests: Vec<ScheduledTest>,
     /// The action list.
     pub actions: Vec<CompiledAction>,
+    /// The per-statement execution-plan cache (see [`PlanCache`]).
+    pub plan_cache: PlanCache,
+}
+
+/// A [`CompiledTxn`]'s execution plan re-targeted at a concrete store:
+/// the selectivity-ordered join plus the statement's test conjuncts
+/// re-scheduled to the earliest *plan* depth where their variables are
+/// bound (the compile-time depths in [`CompiledTxn::binding_tests`] are
+/// relative to source order).
+#[derive(Clone, Debug)]
+pub struct TxnPlan {
+    /// Positive-atom execution order and negation schedule.
+    pub query: QueryPlan,
+    /// Binding tests re-scheduled against the plan order.
+    pub binding_tests: Vec<ScheduledTest>,
+    /// Property tests re-scheduled against the plan order.
+    pub property_tests: Vec<ScheduledTest>,
+}
+
+/// One cached plan, tagged with the index mode it was estimated under.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The index mode the selectivity estimates were probed under.
+    pub index_mode: IndexMode,
+    /// The plan itself.
+    pub plan: TxnPlan,
+}
+
+/// Per-statement plan cache: one plan per (statement, index-mode),
+/// shared by every process instance executing the statement and reused
+/// across attempts and wakeup retries. Re-planning happens only when the
+/// observed candidate estimates drift past the [`estimates_drifted`]
+/// threshold. A stale plan is still *correct* — join order never changes
+/// the solution multiset — so the cache needs no invalidation hooks on
+/// store mutation.
+#[derive(Default)]
+pub struct PlanCache(RwLock<Option<Arc<CachedPlan>>>);
+
+impl Clone for PlanCache {
+    fn clone(&self) -> PlanCache {
+        PlanCache(RwLock::new(
+            self.0.read().expect("plan cache poisoned").clone(),
+        ))
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match self.0.read() {
+            Ok(g) if g.is_some() => "cached",
+            Ok(_) => "empty",
+            Err(_) => "poisoned",
+        };
+        f.debug_tuple("PlanCache").field(&state).finish()
+    }
+}
+
+impl CompiledTxn {
+    /// The execution plan for this statement's query against `source`,
+    /// served from the per-statement cache when the cached plan was built
+    /// under the same `index_mode` and the store's candidate estimates
+    /// have not drifted. Records `sdl_plan_cache_total` hit / miss /
+    /// replan events on the source's metrics sink.
+    pub fn plan_for(
+        &self,
+        atoms: &[QueryAtom],
+        source: &dyn TupleSource,
+        index_mode: IndexMode,
+    ) -> Arc<CachedPlan> {
+        let metrics = source.metrics();
+        let cached = self
+            .plan_cache
+            .0
+            .read()
+            .expect("plan cache poisoned")
+            .clone();
+        match cached {
+            Some(c)
+                if c.index_mode == index_mode
+                    && !estimates_drifted(
+                        &c.plan.query.estimates,
+                        &estimate_positives(atoms, source),
+                    ) =>
+            {
+                metrics.inc(Counter::PlanCacheHit);
+                return c;
+            }
+            Some(_) => metrics.inc(Counter::PlanReplans),
+            None => metrics.inc(Counter::PlanCacheMiss),
+        }
+        let fresh = Arc::new(CachedPlan {
+            index_mode,
+            plan: self.build_plan(atoms, source),
+        });
+        *self.plan_cache.0.write().expect("plan cache poisoned") = Some(fresh.clone());
+        fresh
+    }
+
+    /// Builds a fresh plan: join-order the query, then re-schedule every
+    /// test conjunct at the earliest plan depth where its variables are
+    /// bound, with the same clamp semantics as [`compile_txn`] (unbound
+    /// variables push a test to the final depth).
+    fn build_plan(&self, atoms: &[QueryAtom], source: &dyn TupleSource) -> TxnPlan {
+        let query = plan_query(atoms, self.n_vars, source);
+        let n_pos = query.positive_count();
+        let reschedule = |tests: &[ScheduledTest]| -> Vec<ScheduledTest> {
+            tests
+                .iter()
+                .map(|t| ScheduledTest {
+                    depth: query
+                        .depth_for_vars(self.test_vars(&t.check))
+                        .unwrap_or(usize::MAX)
+                        .min(n_pos),
+                    check: t.check.clone(),
+                })
+                .collect()
+        };
+        TxnPlan {
+            binding_tests: reschedule(&self.binding_tests),
+            property_tests: reschedule(&self.property_tests),
+            query,
+        }
+    }
+
+    /// The quantified variables a test conjunct depends on. Hidden-field
+    /// equalities also depend on their hidden variable: the check cannot
+    /// run before the field itself is bound.
+    fn test_vars(&self, check: &TestCheck) -> Vec<VarId> {
+        let mut vars = Vec::new();
+        let from_expr = |e: &Expr, vars: &mut Vec<VarId>| {
+            let mut names = Vec::new();
+            e.collect_names(&mut names);
+            for n in names {
+                if let Some(pos) = self.var_names.iter().position(|v| v == n) {
+                    vars.push(VarId(pos as u16));
+                }
+            }
+        };
+        match check {
+            TestCheck::Expr(e) => from_expr(e, &mut vars),
+            TestCheck::HiddenEq { var, expr } => {
+                vars.push(*var);
+                from_expr(expr, &mut vars);
+            }
+        }
+        vars
+    }
 }
 
 fn check_spawn(
@@ -534,6 +686,7 @@ pub fn compile_txn(
         binding_tests,
         property_tests,
         actions,
+        plan_cache: PlanCache::default(),
     })
 }
 

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use sdl_dataspace::{Dataspace, IndexMode, SolveLimits, WatchSet};
+use sdl_dataspace::{Dataspace, IndexMode, PlanMode, SolveLimits, WatchSet};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
 use sdl_metrics::{Counter, Hist, Metrics};
@@ -34,7 +34,7 @@ use crate::events::{Event, EventLog, EventSink};
 use crate::outcome::{Outcome, RunLimits, RunReport};
 use crate::process::{Frame, ProcessInstance};
 use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
-use crate::txn::{self, Pending};
+use crate::txn::{self, Pending, PlanConfig};
 use crate::view::EnvCtx;
 
 /// What a single step did.
@@ -130,6 +130,7 @@ pub struct RuntimeBuilder {
     limits: RunLimits,
     solve_limits: SolveLimits,
     index_mode: IndexMode,
+    plan_mode: PlanMode,
     extra_tuples: Vec<Tuple>,
     extra_spawns: Vec<(String, Vec<Value>)>,
 }
@@ -195,6 +196,13 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the query-plan mode (default selectivity-planned; pass
+    /// [`PlanMode::SourceOrder`] for the `--no-plan` ablation baseline).
+    pub fn plan_mode(mut self, mode: PlanMode) -> RuntimeBuilder {
+        self.plan_mode = mode;
+        self
+    }
+
     /// Adds an initial tuple programmatically (alongside the program's
     /// `init` block) — how examples seed large workloads.
     pub fn tuple(mut self, t: Tuple) -> RuntimeBuilder {
@@ -246,6 +254,10 @@ impl RuntimeBuilder {
             report: RunReport::new(),
             limits: self.limits,
             solve_limits: self.solve_limits,
+            plan_config: PlanConfig {
+                mode: self.plan_mode,
+                index_mode: self.index_mode,
+            },
         };
         // Program init tuples are ground expressions over built-ins.
         let env = HashMap::new();
@@ -325,6 +337,7 @@ pub struct Runtime {
     pub(crate) report: RunReport,
     limits: RunLimits,
     solve_limits: SolveLimits,
+    plan_config: PlanConfig,
 }
 
 impl Runtime {
@@ -341,6 +354,7 @@ impl Runtime {
             limits: RunLimits::default(),
             solve_limits: SolveLimits::default(),
             index_mode: IndexMode::default(),
+            plan_mode: PlanMode::default(),
             extra_tuples: Vec::new(),
             extra_spawns: Vec::new(),
         }
@@ -778,7 +792,14 @@ impl Runtime {
         let ds = source_ds.unwrap_or(&self.ds);
         let timer = self.metrics.start_timer();
         let source = proc.def.view.window(ds, &proc.env, &self.builtins)?;
-        let result = txn::evaluate(t, &source, &proc.env, &self.builtins, self.solve_limits);
+        let result = txn::evaluate(
+            t,
+            &source,
+            &proc.env,
+            &self.builtins,
+            self.solve_limits,
+            self.plan_config,
+        );
         self.metrics.observe_timer(Hist::QueryEvalSeconds, timer);
         result
     }

@@ -12,15 +12,39 @@
 
 use std::collections::{HashMap, HashSet};
 
-use sdl_dataspace::{Dataspace, QueryAtom, SolveLimits, Solver, TupleSource};
+use sdl_dataspace::{Dataspace, IndexMode, PlanMode, QueryAtom, SolveLimits, Solver, TupleSource};
 use sdl_lang::ast::{Action, Quant};
 use sdl_lang::expr::{eval, eval_test};
 use sdl_tuple::{Bindings, Pattern, Tuple, TupleId, Value};
 
 use crate::builtins::Builtins;
 use crate::error::RuntimeError;
-use crate::program::{CompiledTxn, ScheduledTest, TestCheck};
+use crate::program::{CachedPlan, CompiledTxn, ScheduledTest, TestCheck};
 use crate::view::{resolve_fields, EnvCtx};
+
+/// How a transaction's query is planned.
+///
+/// `mode` selects planned vs source-order execution (the ablation
+/// baseline); `index_mode` keys the per-statement plan cache so plans
+/// estimated under one index configuration are not reused under another.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Planned (default) or source-order execution.
+    pub mode: PlanMode,
+    /// The index mode of the store being queried (plan-cache key).
+    pub index_mode: IndexMode,
+}
+
+impl PlanConfig {
+    /// Source-order execution: the pre-planner behaviour, kept as the
+    /// ablation baseline (`sdl-run --no-plan`).
+    pub fn source_order() -> PlanConfig {
+        PlanConfig {
+            mode: PlanMode::SourceOrder,
+            index_mode: IndexMode::default(),
+        }
+    }
+}
 
 /// The effects of a successfully evaluated transaction, not yet applied.
 #[derive(Clone, Debug, Default)]
@@ -72,8 +96,9 @@ pub fn evaluate(
     env: &HashMap<String, Value>,
     builtins: &Builtins,
     limits: SolveLimits,
+    plan: PlanConfig,
 ) -> Result<Option<Pending>, RuntimeError> {
-    match evaluate_query(txn, source, env, builtins, limits)? {
+    match evaluate_query(txn, source, env, builtins, limits, plan)? {
         Some(solutions) => build_effects(txn, &solutions, env, builtins).map(Some),
         None => Ok(None),
     }
@@ -94,6 +119,7 @@ pub fn evaluate_query(
     env: &HashMap<String, Value>,
     builtins: &Builtins,
     limits: SolveLimits,
+    plan: PlanConfig,
 ) -> Result<Option<Vec<sdl_dataspace::Solution>>, RuntimeError> {
     let plain_ctx = EnvCtx {
         env,
@@ -131,7 +157,26 @@ pub fn evaluate_query(
         });
     }
 
-    let solver = Solver::new(source, &atoms, txn.n_vars);
+    // Plan the join (or take the cached plan). Plan-ordered execution
+    // re-schedules the statement's tests against the plan's bind depths;
+    // source order uses the compile-time schedule unchanged. Depth-0
+    // tests are plan-invariant (no quantified variables), so the
+    // prefilter above needed no plan.
+    let cached: Option<std::sync::Arc<CachedPlan>> = match plan.mode {
+        PlanMode::Planned => Some(txn.plan_for(&atoms, source, plan.index_mode)),
+        PlanMode::SourceOrder => None,
+    };
+    let (binding_tests, property_tests): (&[ScheduledTest], &[ScheduledTest]) = match &cached {
+        Some(c) => (&c.plan.binding_tests, &c.plan.property_tests),
+        None => (&txn.binding_tests, &txn.property_tests),
+    };
+
+    let solver = Solver::with_plan(
+        source,
+        &atoms,
+        txn.n_vars,
+        cached.as_deref().map(|c| &c.plan.query),
+    );
     let check_tests = |tests: &[ScheduledTest], depth: usize, b: &Bindings| -> bool {
         tests.iter().filter(|t| t.depth == depth).all(|t| {
             let ctx = EnvCtx {
@@ -152,8 +197,7 @@ pub fn evaluate_query(
     let solutions = match txn.quant {
         Quant::Exists => {
             let mut staged = |depth: usize, b: &Bindings| {
-                check_tests(&txn.binding_tests, depth, b)
-                    && check_tests(&txn.property_tests, depth, b)
+                check_tests(binding_tests, depth, b) && check_tests(property_tests, depth, b)
             };
             match solver.first_staged(None, &mut staged) {
                 Some(s) => vec![s],
@@ -163,12 +207,12 @@ pub fn evaluate_query(
         Quant::Forall => {
             // Binding constraints prune; property tests are the checked
             // property — every binding solution must satisfy them.
-            let mut staged = |depth: usize, b: &Bindings| check_tests(&txn.binding_tests, depth, b);
+            let mut staged = |depth: usize, b: &Bindings| check_tests(binding_tests, depth, b);
             let sols = solver.all_staged(None, &mut staged, limits);
             for sol in &sols {
                 let b = sol.to_bindings();
                 for depth in 1..=solver.positive_count() {
-                    if !check_tests(&txn.property_tests, depth, &b) {
+                    if !check_tests(property_tests, depth, &b) {
                         return Ok(None);
                     }
                 }
@@ -326,6 +370,7 @@ mod tests {
             &env(env_pairs),
             &Builtins::standard(),
             SolveLimits::default(),
+            PlanConfig::default(),
         )
         .unwrap()
     }
@@ -471,6 +516,7 @@ mod tests {
             &env(&[("k", 1)]),
             &Builtins::new(),
             SolveLimits::default(),
+            PlanConfig::default(),
         )
         .unwrap()
         .unwrap();
@@ -512,6 +558,87 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_counts_hits_misses_and_replans() {
+        use sdl_metrics::{Counter, Metrics};
+        let (m, reg) = Metrics::registry();
+        let mut ds = Dataspace::new();
+        ds.set_metrics(m);
+        for i in 0..4 {
+            ds.assert_tuple(ProcId::ENV, tuple![Value::atom("x"), i]);
+        }
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("y"), 0]);
+        let txn = compile("exists a : <x, a>, <y, a> -> skip");
+        let e = env(&[]);
+        let b = Builtins::standard();
+        let run = |ds: &Dataspace| {
+            evaluate(
+                &txn,
+                ds,
+                &e,
+                &b,
+                SolveLimits::default(),
+                PlanConfig::default(),
+            )
+            .unwrap()
+        };
+        run(&ds);
+        assert_eq!(reg.counter(Counter::PlanCacheMiss), 1, "first plan");
+        run(&ds);
+        run(&ds);
+        assert_eq!(reg.counter(Counter::PlanCacheHit), 2, "reused");
+        assert_eq!(reg.counter(Counter::PlanReplans), 0);
+        // Grow <x, _> far past the 4x+16 drift threshold: next evaluation
+        // re-plans instead of trusting the stale estimates.
+        for i in 0..200 {
+            ds.assert_tuple(ProcId::ENV, tuple![Value::atom("x"), 100 + i]);
+        }
+        run(&ds);
+        assert_eq!(reg.counter(Counter::PlanReplans), 1, "estimates drifted");
+        assert_eq!(reg.counter(Counter::PlanCacheMiss), 1, "miss only once");
+    }
+
+    #[test]
+    fn planned_and_source_order_agree() {
+        // Skewed join where source order is pessimal: the planner must
+        // reach the same verdict and the same committed effects.
+        let mut ds = Dataspace::new();
+        for i in 0..50 {
+            ds.assert_tuple(ProcId::ENV, tuple![Value::atom("big"), i]);
+        }
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("small"), 7]);
+        let txn = compile("exists a : <big, a>!, <small, a>!, not <lock, a> -> <got, a>");
+        let e = env(&[]);
+        let b = Builtins::standard();
+        let planned = evaluate(
+            &txn,
+            &ds,
+            &e,
+            &b,
+            SolveLimits::default(),
+            PlanConfig::default(),
+        )
+        .unwrap()
+        .expect("join holds");
+        let naive = evaluate(
+            &txn,
+            &ds,
+            &e,
+            &b,
+            SolveLimits::default(),
+            PlanConfig::source_order(),
+        )
+        .unwrap()
+        .expect("join holds");
+        assert_eq!(planned.asserts, naive.asserts);
+        let mut pr = planned.retracts.clone();
+        let mut nr = naive.retracts.clone();
+        pr.sort();
+        nr.sort();
+        assert_eq!(pr, nr, "same instances consumed, any order");
+        assert_eq!(planned.neg_checks, naive.neg_checks);
+    }
+
+    #[test]
     fn eval_error_in_action_surfaces() {
         let txn = compile("-> <x, 1/0>");
         let ds = Dataspace::new();
@@ -521,6 +648,7 @@ mod tests {
             &HashMap::new(),
             &Builtins::new(),
             SolveLimits::default(),
+            PlanConfig::default(),
         );
         assert!(matches!(r, Err(RuntimeError::Eval { .. })));
     }
@@ -536,7 +664,7 @@ mod tests {
             .filter(|(_, t)| t.functor() == Some(sdl_tuple::Atom::new("a")))
             .map(|(id, t)| sdl_tuple::TupleInstance::new(id, t.clone()))
             .collect();
-        let source = QuerySource::Restricted(w);
+        let source = QuerySource::Restricted(Box::new(w));
         let txn = compile("exists v : <b, v> -> skip");
         let r = evaluate(
             &txn,
@@ -544,6 +672,7 @@ mod tests {
             &HashMap::new(),
             &Builtins::new(),
             SolveLimits::default(),
+            PlanConfig::default(),
         )
         .unwrap();
         assert!(r.is_none(), "b is outside the window");

@@ -514,8 +514,9 @@ pub enum QuerySource<'a> {
         /// Host functions.
         builtins: &'a Builtins,
     },
-    /// A materialised window snapshot.
-    Restricted(Window),
+    /// A materialised window snapshot (boxed: a `Window` carries its own
+    /// index maps and dwarfs the borrowed variants).
+    Restricted(Box<Window>),
 }
 
 impl QuerySource<'_> {
@@ -553,6 +554,28 @@ impl TupleSource for QuerySource<'_> {
                 .filter(|id| ds.tuple(*id).is_some_and(|t| self.admits(t)))
                 .collect(),
             QuerySource::Restricted(w) => w.candidate_ids(pattern),
+        }
+    }
+
+    fn candidate_ids_into(&self, pattern: &Pattern, out: &mut Vec<TupleId>) {
+        match self {
+            QuerySource::Full(d) => d.candidate_ids_into(pattern, out),
+            QuerySource::Lazy { ds, .. } => out.extend(
+                ds.candidate_ids(pattern)
+                    .into_iter()
+                    .filter(|id| ds.tuple(*id).is_some_and(|t| self.admits(t))),
+            ),
+            QuerySource::Restricted(w) => w.candidate_ids_into(pattern, out),
+        }
+    }
+
+    fn estimate_candidates(&self, pattern: &Pattern) -> usize {
+        match self {
+            QuerySource::Full(d) => d.estimate_candidates(pattern),
+            // The import filter only shrinks the candidate list, so the
+            // store's estimate is a valid (cheap) upper bound.
+            QuerySource::Lazy { ds, .. } => ds.estimate_candidates(pattern),
+            QuerySource::Restricted(w) => w.estimate_candidates(pattern),
         }
     }
 

@@ -13,6 +13,9 @@
 //!   transactions: existential/universal quantification, per-atom
 //!   retraction tags, negation, and an arbitrary test predicate over
 //!   bindings;
+//! * [`plan`] — selectivity-driven query planning: join ordering from
+//!   index-cardinality estimates, early negation scheduling, and drift
+//!   detection for plan caching;
 //! * [`WatchKey`] — conservative change-notification keys used to wake
 //!   blocked *delayed* and *consensus* transactions.
 //!
@@ -31,13 +34,15 @@
 
 #![warn(missing_docs)]
 
+pub mod plan;
 pub mod solve;
 mod store;
 mod watch;
 mod window;
 
+pub use plan::{estimate_positives, estimates_drifted, plan_query, PlanMode, QueryPlan};
 pub use solve::{AtomMode, QueryAtom, Solution, SolveLimits, Solver};
-pub use store::{Dataspace, IndexMode, TupleSource};
+pub use store::{intersect_sorted, Dataspace, IndexMode, TupleSource};
 pub use watch::{WatchKey, WatchSet};
 pub use window::Window;
 

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use sdl_tuple::{Pattern, ProcId, Tuple, TupleId, Value};
 
+use crate::plan::plan_query;
 use crate::solve::{QueryAtom, SolveLimits, Solver};
 use crate::store::{Dataspace, IndexMode, TupleSource};
 
@@ -29,6 +30,33 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
         ],
         0..64,
     )
+}
+
+/// Arbitrary conjunctive query: a mode selector (read/retract/neg) plus
+/// pattern fields drawn over small constants, three variables, and
+/// wildcards — enough to exercise joins, shared variables, retract
+/// distinctness, and negation together.
+fn arb_query() -> impl Strategy<Value = Vec<(u8, Vec<sdl_tuple::Field>)>> {
+    let field = prop_oneof![
+        (0i64..5).prop_map(|i| sdl_tuple::Field::Const(Value::Int(i))),
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|a| sdl_tuple::Field::Const(Value::atom(a))),
+        (0u16..3).prop_map(|v| sdl_tuple::Field::Var(sdl_tuple::VarId(v))),
+        Just(sdl_tuple::Field::Any),
+    ];
+    proptest::collection::vec((0u8..3, proptest::collection::vec(field, 0..4)), 1..4)
+}
+
+/// Order-independent fingerprint of a solution: bindings plus sorted
+/// read/retract evidence (join reordering permutes evidence order).
+fn normalize_solution(
+    s: crate::solve::Solution,
+) -> (Vec<Option<Value>>, Vec<TupleId>, Vec<TupleId>) {
+    let mut reads = s.reads;
+    let mut retracts = s.retracts;
+    reads.sort();
+    retracts.sort();
+    (s.bindings, reads, retracts)
 }
 
 /// Reference model: a plain list of (id, tuple).
@@ -128,6 +156,47 @@ proptest! {
         for s in &sols {
             prop_assert_ne!(s.retracts[0], s.retracts[1]);
         }
+    }
+
+    /// Plan-ordered solving enumerates exactly the same solution multiset
+    /// as naive source-order solving, for arbitrary stores and arbitrary
+    /// read/retract/neg conjunctions. Join reordering may change the
+    /// *order* solutions are found in, never the set.
+    #[test]
+    fn planned_solving_preserves_solution_multiset(
+        ops in arb_ops(),
+        query in arb_query(),
+    ) {
+        let mut d = Dataspace::new();
+        run_ops(&mut d, &ops);
+        let atoms: Vec<QueryAtom> = query
+            .iter()
+            .map(|(mode, fields)| {
+                let p = Pattern::new(fields.clone());
+                match mode % 3 {
+                    0 => QueryAtom::read(p),
+                    1 => QueryAtom::retract(p),
+                    _ => QueryAtom::neg(p),
+                }
+            })
+            .collect();
+        let n_vars = 3;
+        let naive = Solver::new(&d, &atoms, n_vars);
+        let mut expected: Vec<_> = naive
+            .all(&mut |_| true, SolveLimits::default())
+            .into_iter()
+            .map(normalize_solution)
+            .collect();
+        let plan = plan_query(&atoms, n_vars, &d);
+        let planned = Solver::with_plan(&d, &atoms, n_vars, Some(&plan));
+        let mut actual: Vec<_> = planned
+            .all(&mut |_| true, SolveLimits::default())
+            .into_iter()
+            .map(normalize_solution)
+            .collect();
+        expected.sort();
+        actual.sort();
+        prop_assert_eq!(expected, actual);
     }
 
     /// Negation is the complement of membership.

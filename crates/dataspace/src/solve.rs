@@ -13,7 +13,12 @@
 //! ## Semantics
 //!
 //! * Positive atoms are matched left to right, depth-first, candidates in
-//!   deterministic instance-id order.
+//!   deterministic instance-id order. With a [`QueryPlan`]
+//!   (see [`Solver::with_plan`]) "left to right" means plan order:
+//!   positive atoms reordered by estimated selectivity and negations
+//!   checked at the earliest depth where their variables are bound. Any
+//!   order enumerates the same solution multiset; the plan only changes
+//!   enumeration order and work done.
 //! * Two atoms tagged for **retraction** never match the same instance
 //!   (retracting one instance twice is meaningless); a *read* atom may
 //!   share an instance with any other atom — all atoms see the
@@ -28,6 +33,7 @@
 use sdl_metrics::Counter;
 use sdl_tuple::{Bindings, Field, Pattern, TupleId, Value};
 
+use crate::plan::QueryPlan;
 use crate::store::TupleSource;
 
 /// How an atom participates in a query.
@@ -161,15 +167,46 @@ pub struct Solver<'a, S: TupleSource + ?Sized> {
     source: &'a S,
     atoms: &'a [QueryAtom],
     n_vars: usize,
+    plan: Option<&'a QueryPlan>,
 }
 
+/// The borrowed shape of a solution while the search still owns the
+/// scratch buffers; emit callbacks copy out only what they keep.
+type EmitFn<'e> = dyn FnMut(&Bindings, &[TupleId], &[TupleId], &[Pattern]) -> bool + 'e;
+
 impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
-    /// Creates a solver for `atoms` with `n_vars` quantified variables.
+    /// Creates a solver for `atoms` with `n_vars` quantified variables,
+    /// matching positive atoms in source order (no plan).
     pub fn new(source: &'a S, atoms: &'a [QueryAtom], n_vars: usize) -> Solver<'a, S> {
         Solver {
             source,
             atoms,
             n_vars,
+            plan: None,
+        }
+    }
+
+    /// Creates a solver that follows `plan` (built by
+    /// [`plan_query`](crate::plan_query) over the same atom list) when
+    /// `Some`; `None` behaves exactly like [`Solver::new`].
+    pub fn with_plan(
+        source: &'a S,
+        atoms: &'a [QueryAtom],
+        n_vars: usize,
+        plan: Option<&'a QueryPlan>,
+    ) -> Solver<'a, S> {
+        if let Some(p) = plan {
+            debug_assert_eq!(
+                p.positive_order.len(),
+                atoms.iter().filter(|a| a.mode != AtomMode::Neg).count(),
+                "plan was built for a different atom list"
+            );
+        }
+        Solver {
+            source,
+            atoms,
+            n_vars,
+            plan,
         }
     }
 
@@ -218,8 +255,13 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
         staged: &mut dyn FnMut(usize, &Bindings) -> bool,
     ) -> Option<Solution> {
         let mut found = None;
-        self.search(init, staged, &mut |sol| {
-            found = Some(sol);
+        self.search(init, staged, &mut |b, reads, retracts, negs| {
+            found = Some(Solution {
+                bindings: b.to_vec(),
+                reads: reads.to_vec(),
+                retracts: retracts.to_vec(),
+                neg_checks: negs.to_vec(),
+            });
             false // stop
         });
         found
@@ -233,31 +275,62 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
         limits: SolveLimits,
     ) -> Vec<Solution> {
         let mut out = Vec::new();
-        self.search(init, staged, &mut |sol| {
-            out.push(sol);
+        self.search(init, staged, &mut |b, reads, retracts, negs| {
+            out.push(Solution {
+                bindings: b.to_vec(),
+                reads: reads.to_vec(),
+                retracts: retracts.to_vec(),
+                neg_checks: negs.to_vec(),
+            });
             out.len() < limits.max_solutions
         });
         out
     }
 
-    /// Depth-first search over positive atoms; `emit` returns `false` to
-    /// stop the search.
+    /// The execution schedule: positive atoms in matching order, plus the
+    /// negated atoms to check at each depth. Without a plan this is the
+    /// historic behaviour — source order, all negations at the leaf.
+    fn schedule(&self) -> (Vec<&'a QueryAtom>, Vec<Vec<&'a QueryAtom>>) {
+        match self.plan {
+            Some(plan) => {
+                let positives: Vec<&QueryAtom> = plan
+                    .positive_order
+                    .iter()
+                    .map(|&i| &self.atoms[i])
+                    .collect();
+                let negs_at = plan
+                    .neg_at_depth
+                    .iter()
+                    .map(|idxs| idxs.iter().map(|&i| &self.atoms[i]).collect())
+                    .collect();
+                (positives, negs_at)
+            }
+            None => {
+                let positives: Vec<&QueryAtom> = self
+                    .atoms
+                    .iter()
+                    .filter(|a| a.mode != AtomMode::Neg)
+                    .collect();
+                let mut negs_at: Vec<Vec<&QueryAtom>> = vec![Vec::new(); positives.len() + 1];
+                negs_at[positives.len()] = self
+                    .atoms
+                    .iter()
+                    .filter(|a| a.mode == AtomMode::Neg)
+                    .collect();
+                (positives, negs_at)
+            }
+        }
+    }
+
+    /// Depth-first search over positive atoms; `emit` receives borrowed
+    /// solution parts and returns `false` to stop the search.
     fn search(
         &self,
         init: Option<&Bindings>,
         staged: &mut dyn FnMut(usize, &Bindings) -> bool,
-        emit: &mut dyn FnMut(Solution) -> bool,
+        emit: &mut EmitFn<'_>,
     ) {
-        let positives: Vec<&QueryAtom> = self
-            .atoms
-            .iter()
-            .filter(|a| a.mode != AtomMode::Neg)
-            .collect();
-        let negatives: Vec<&QueryAtom> = self
-            .atoms
-            .iter()
-            .filter(|a| a.mode == AtomMode::Neg)
-            .collect();
+        let (positives, negs_at) = self.schedule();
         let mut bindings = match init {
             Some(b) => {
                 let mut seeded = Bindings::new(self.n_vars.max(b.len()));
@@ -266,15 +339,18 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
             }
             None => Bindings::new(self.n_vars),
         };
-        let mut reads: Vec<TupleId> = Vec::new();
-        let mut retracts: Vec<TupleId> = Vec::new();
+        let mut scratch = SearchScratch {
+            reads: Vec::new(),
+            retracts: Vec::new(),
+            neg_checks: Vec::new(),
+            candidates: vec![Vec::new(); positives.len()],
+        };
         self.descend(
             &positives,
-            &negatives,
+            &negs_at,
             0,
             &mut bindings,
-            &mut reads,
-            &mut retracts,
+            &mut scratch,
             staged,
             emit,
         );
@@ -284,43 +360,69 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
     fn descend(
         &self,
         positives: &[&QueryAtom],
-        negatives: &[&QueryAtom],
+        negs_at: &[Vec<&QueryAtom>],
         depth: usize,
         bindings: &mut Bindings,
-        reads: &mut Vec<TupleId>,
-        retracts: &mut Vec<TupleId>,
+        scratch: &mut SearchScratch,
         staged: &mut dyn FnMut(usize, &Bindings) -> bool,
-        emit: &mut dyn FnMut(Solution) -> bool,
+        emit: &mut EmitFn<'_>,
     ) -> bool {
-        if depth == positives.len() {
-            // All positive atoms matched: check negations, then emit.
-            let mut neg_checks = Vec::with_capacity(negatives.len());
-            for neg in negatives {
-                let resolved = resolve_pattern(&neg.pattern, bindings);
-                if self.source.contains_match(&resolved) {
-                    return true; // this branch fails; keep searching
-                }
-                neg_checks.push(resolved);
+        // Negations scheduled at this depth have every boundable variable
+        // bound, so the resolved pattern is final: check now and kill the
+        // branch before the remaining join is enumerated.
+        let neg_base = scratch.neg_checks.len();
+        for neg in &negs_at[depth] {
+            let resolved = resolve_pattern(&neg.pattern, bindings);
+            if self.source.contains_match(&resolved) {
+                scratch.neg_checks.truncate(neg_base);
+                return true; // this branch fails; keep searching
             }
-            // With no positive atoms the staged test has not run yet.
-            if positives.is_empty() && !staged(0, bindings) {
-                return true;
-            }
-            return emit(Solution {
-                bindings: bindings.to_vec(),
-                reads: reads.clone(),
-                retracts: retracts.clone(),
-                neg_checks,
-            });
+            scratch.neg_checks.push(resolved);
         }
 
+        let keep_going = if depth == positives.len() {
+            // With no positive atoms the staged test has not run yet.
+            if positives.is_empty() && !staged(0, bindings) {
+                true
+            } else {
+                emit(
+                    bindings,
+                    &scratch.reads,
+                    &scratch.retracts,
+                    &scratch.neg_checks,
+                )
+            }
+        } else {
+            self.match_atom(positives, negs_at, depth, bindings, scratch, staged, emit)
+        };
+        scratch.neg_checks.truncate(neg_base);
+        keep_going
+    }
+
+    /// The candidate loop for the positive atom at `depth`.
+    #[allow(clippy::too_many_arguments)]
+    fn match_atom(
+        &self,
+        positives: &[&QueryAtom],
+        negs_at: &[Vec<&QueryAtom>],
+        depth: usize,
+        bindings: &mut Bindings,
+        scratch: &mut SearchScratch,
+        staged: &mut dyn FnMut(usize, &Bindings) -> bool,
+        emit: &mut EmitFn<'_>,
+    ) -> bool {
         let atom = positives[depth];
         let resolved = resolve_pattern(&atom.pattern, bindings);
         let metrics = self.source.metrics();
-        let candidates = self.source.candidate_ids(&resolved);
+        // Reuse this depth's candidate buffer across siblings and
+        // attempts instead of allocating per join node.
+        let mut candidates = std::mem::take(&mut scratch.candidates[depth]);
+        candidates.clear();
+        self.source.candidate_ids_into(&resolved, &mut candidates);
         metrics.add(Counter::MatchCandidates, candidates.len() as u64);
-        for id in candidates {
-            if atom.mode == AtomMode::Retract && retracts.contains(&id) {
+        let mut keep_going = true;
+        for &id in &candidates {
+            if atom.mode == AtomMode::Retract && scratch.retracts.contains(&id) {
                 continue; // retract atoms take pairwise-distinct instances
             }
             let tuple = match self.source.tuple(id) {
@@ -338,37 +440,48 @@ impl<'a, S: TupleSource + ?Sized> Solver<'a, S> {
                 continue;
             }
             match atom.mode {
-                AtomMode::Read => reads.push(id),
-                AtomMode::Retract => retracts.push(id),
+                AtomMode::Read => scratch.reads.push(id),
+                AtomMode::Retract => scratch.retracts.push(id),
                 AtomMode::Neg => unreachable!("negatives filtered out"),
             }
-            let keep_going = self.descend(
+            keep_going = self.descend(
                 positives,
-                negatives,
+                negs_at,
                 depth + 1,
                 bindings,
-                reads,
-                retracts,
+                scratch,
                 staged,
                 emit,
             );
             match atom.mode {
                 AtomMode::Read => {
-                    reads.pop();
+                    scratch.reads.pop();
                 }
                 AtomMode::Retract => {
-                    retracts.pop();
+                    scratch.retracts.pop();
                 }
                 AtomMode::Neg => unreachable!(),
             }
             bindings.undo_to(mark);
             metrics.inc(Counter::SolverBacktracks);
             if !keep_going {
-                return false;
+                break;
             }
         }
-        true
+        scratch.candidates[depth] = candidates;
+        keep_going
     }
+}
+
+/// Truncate-and-reuse buffers threaded through the search: the read /
+/// retract / negation evidence for the current branch, plus one candidate
+/// buffer per join depth. Nothing here is cloned per solution — emit
+/// callbacks copy out only the solutions they keep.
+struct SearchScratch {
+    reads: Vec<TupleId>,
+    retracts: Vec<TupleId>,
+    neg_checks: Vec<Pattern>,
+    candidates: Vec<Vec<TupleId>>,
 }
 
 #[cfg(test)]

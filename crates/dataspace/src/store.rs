@@ -32,6 +32,22 @@ pub trait TupleSource {
     /// matches), in deterministic (id) order.
     fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId>;
 
+    /// Appends the candidate ids for `pattern` to `out` (same contract as
+    /// [`TupleSource::candidate_ids`]). The solver calls this with a
+    /// reused scratch buffer so the per-join-node `Vec` allocation
+    /// disappears; sources with direct index access should override it.
+    fn candidate_ids_into(&self, pattern: &Pattern, out: &mut Vec<TupleId>) {
+        out.extend(self.candidate_ids(pattern));
+    }
+
+    /// Cheap upper-bound estimate of how many candidates
+    /// [`TupleSource::candidate_ids`] would return — the query planner's
+    /// selectivity probe. Must not allocate or record index metrics;
+    /// indexed sources answer from index cardinalities in O(1).
+    fn estimate_candidates(&self, pattern: &Pattern) -> usize {
+        self.candidate_ids(pattern).len()
+    }
+
     /// The tuple stored under `id`, if present.
     fn tuple(&self, id: TupleId) -> Option<&Tuple>;
 
@@ -85,6 +101,14 @@ pub struct Dataspace {
     functor_index: HashMap<(Atom, usize), BTreeSet<TupleId>>,
     arg1_index: HashMap<(Atom, usize, Value), BTreeSet<TupleId>>,
     arity_index: HashMap<usize, BTreeSet<TupleId>>,
+    /// Point index on *non-atom* head values, keyed `(arity, head)` —
+    /// atom heads are already served by `functor_index`. Serves computed
+    /// heads like the paper's `<k - 2^(j-1), α, j>`.
+    head_value_index: HashMap<(usize, Value), BTreeSet<TupleId>>,
+    /// Point index on second-field values keyed `(arity, arg1)`,
+    /// independent of the head — serves variable-head patterns with a
+    /// constant second field, alone or intersected with the head index.
+    arg1_value_index: HashMap<(usize, Value), BTreeSet<TupleId>>,
     value_counts: HashMap<Tuple, usize>,
     index_mode: IndexMode,
     next_seq: u64,
@@ -105,6 +129,8 @@ impl Dataspace {
             functor_index: HashMap::new(),
             arg1_index: HashMap::new(),
             arity_index: HashMap::new(),
+            head_value_index: HashMap::new(),
+            arg1_value_index: HashMap::new(),
             value_counts: HashMap::new(),
             index_mode,
             next_seq: 1,
@@ -244,6 +270,17 @@ impl Dataspace {
                     .or_default()
                     .insert(id);
             }
+        } else if let Some(head) = tuple.get(0) {
+            self.head_value_index
+                .entry((tuple.arity(), head.clone()))
+                .or_default()
+                .insert(id);
+        }
+        if let Some(arg1) = tuple.get(1) {
+            self.arg1_value_index
+                .entry((tuple.arity(), arg1.clone()))
+                .or_default()
+                .insert(id);
         }
         self.arity_index
             .entry(tuple.arity())
@@ -271,6 +308,23 @@ impl Dataspace {
                     }
                 }
             }
+        } else if let Some(head) = tuple.get(0) {
+            let key = (tuple.arity(), head.clone());
+            if let Some(set) = self.head_value_index.get_mut(&key) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.head_value_index.remove(&key);
+                }
+            }
+        }
+        if let Some(arg1) = tuple.get(1) {
+            let key = (tuple.arity(), arg1.clone());
+            if let Some(set) = self.arg1_value_index.get_mut(&key) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.arg1_value_index.remove(&key);
+                }
+            }
         }
         if let Some(set) = self.arity_index.get_mut(&tuple.arity()) {
             set.remove(&id);
@@ -281,12 +335,76 @@ impl Dataspace {
     }
 }
 
+/// Intersects two ascending id lists into a new ascending list — the
+/// index-intersection primitive for patterns served by more than one
+/// point index.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_dataspace::intersect_sorted;
+/// use sdl_tuple::{ProcId, TupleId};
+///
+/// let id = |seq| TupleId { owner: ProcId(1), seq };
+/// let a = [id(1), id(3), id(5)];
+/// let b = [id(3), id(4), id(5)];
+/// assert_eq!(intersect_sorted(&a, &b), vec![id(3), id(5)]);
+/// ```
+pub fn intersect_sorted(a: &[TupleId], b: &[TupleId]) -> Vec<TupleId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Walks the smaller of two id sets, keeping members of the larger —
+/// `O(min · log max)`, ascending output.
+fn intersect_sets(a: &BTreeSet<TupleId>, b: &BTreeSet<TupleId>, out: &mut Vec<TupleId>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    out.extend(small.iter().filter(|id| large.contains(id)).copied());
+}
+
+impl Dataspace {
+    /// The point-index sets applicable to a functor-less pattern:
+    /// `(head-value set, arg1-value set)`.
+    fn point_sets(
+        &self,
+        pattern: &Pattern,
+    ) -> (Option<&BTreeSet<TupleId>>, Option<&BTreeSet<TupleId>>) {
+        let head = match pattern.fields().first() {
+            Some(Field::Const(v)) => self.head_value_index.get(&(pattern.arity(), v.clone())),
+            _ => None,
+        };
+        let arg1 = match pattern.fields().get(1) {
+            Some(Field::Const(v)) => self.arg1_value_index.get(&(pattern.arity(), v.clone())),
+            _ => None,
+        };
+        (head, arg1)
+    }
+}
+
 impl TupleSource for Dataspace {
     fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        self.candidate_ids_into(pattern, &mut out);
+        out
+    }
+
+    fn candidate_ids_into(&self, pattern: &Pattern, out: &mut Vec<TupleId>) {
         match self.index_mode {
             IndexMode::None => {
                 self.metrics.inc(Counter::IndexScanFull);
-                self.instances.keys().copied().collect()
+                out.extend(self.instances.keys().copied());
             }
             IndexMode::FunctorArity => {
                 if let Some(f) = pattern.functor() {
@@ -296,23 +414,67 @@ impl TupleSource for Dataspace {
                     // known).
                     if let Some(Field::Const(arg1)) = pattern.fields().get(1) {
                         self.metrics.inc(Counter::IndexHitArg1);
-                        return self
-                            .arg1_index
-                            .get(&(f, pattern.arity(), arg1.clone()))
-                            .map(|s| s.iter().copied().collect())
-                            .unwrap_or_default();
+                        if let Some(s) = self.arg1_index.get(&(f, pattern.arity(), arg1.clone())) {
+                            out.extend(s.iter().copied());
+                        }
+                        return;
                     }
                     // Only tuples whose head is exactly this atom can match.
                     self.metrics.inc(Counter::IndexHitFunctor);
-                    self.functor_index
+                    if let Some(s) = self.functor_index.get(&(f, pattern.arity())) {
+                        out.extend(s.iter().copied());
+                    }
+                    return;
+                }
+                // No functor: a constant (non-atom) head and/or a constant
+                // second field each select a point index; with both,
+                // intersect the smaller into the larger rather than
+                // scanning either list whole.
+                match self.point_sets(pattern) {
+                    (Some(h), Some(g)) => {
+                        self.metrics.inc(Counter::IndexHitIntersect);
+                        intersect_sets(h, g, out);
+                    }
+                    (Some(s), None) | (None, Some(s)) => {
+                        self.metrics.inc(Counter::IndexHitValue);
+                        out.extend(s.iter().copied());
+                    }
+                    (None, None) => {
+                        // Variable head, no constant arg1: the arity
+                        // index narrows the scan.
+                        self.metrics.inc(Counter::IndexHitArity);
+                        if let Some(s) = self.arity_index.get(&pattern.arity()) {
+                            out.extend(s.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn estimate_candidates(&self, pattern: &Pattern) -> usize {
+        match self.index_mode {
+            IndexMode::None => self.instances.len(),
+            IndexMode::FunctorArity => {
+                if let Some(f) = pattern.functor() {
+                    if let Some(Field::Const(arg1)) = pattern.fields().get(1) {
+                        return self
+                            .arg1_index
+                            .get(&(f, pattern.arity(), arg1.clone()))
+                            .map_or(0, BTreeSet::len);
+                    }
+                    return self
+                        .functor_index
                         .get(&(f, pattern.arity()))
-                        .map(|s| s.iter().copied().collect())
-                        .unwrap_or_default()
-                } else {
-                    // Non-atom or variable head: arity index narrows the
-                    // scan.
-                    self.metrics.inc(Counter::IndexHitArity);
-                    self.arity_candidates(pattern.arity())
+                        .map_or(0, BTreeSet::len);
+                }
+                match self.point_sets(pattern) {
+                    (Some(h), Some(g)) => h.len().min(g.len()),
+                    (Some(s), None) | (None, Some(s)) => s.len(),
+                    (None, None) => self
+                        .arity_index
+                        .get(&pattern.arity())
+                        .map_or(0, BTreeSet::len),
                 }
             }
         }
@@ -345,15 +507,6 @@ impl TupleSource for Dataspace {
             b.undo_to(m);
             ok
         })
-    }
-}
-
-impl Dataspace {
-    fn arity_candidates(&self, arity: usize) -> Vec<TupleId> {
-        self.arity_index
-            .get(&arity)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
     }
 }
 

@@ -14,6 +14,12 @@ use sdl_tuple::{Atom, Field, Pattern, Tuple, TupleId, TupleInstance, Value};
 
 use crate::store::TupleSource;
 
+/// Walks the smaller of two id sets, keeping members of the larger.
+fn intersect_sets(a: &BTreeSet<TupleId>, b: &BTreeSet<TupleId>, out: &mut Vec<TupleId>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    out.extend(small.iter().filter(|id| large.contains(id)).copied());
+}
+
 /// A snapshot of the visible part of the dataspace (`W = Import(p) ∩ D`).
 ///
 /// # Examples
@@ -42,6 +48,8 @@ pub struct Window {
     functor_index: HashMap<(Atom, usize), BTreeSet<TupleId>>,
     arg1_index: HashMap<(Atom, usize, Value), BTreeSet<TupleId>>,
     arity_index: HashMap<usize, BTreeSet<TupleId>>,
+    head_value_index: HashMap<(usize, Value), BTreeSet<TupleId>>,
+    arg1_value_index: HashMap<(usize, Value), BTreeSet<TupleId>>,
 }
 
 impl Window {
@@ -72,12 +80,39 @@ impl Window {
                     .or_default()
                     .insert(id);
             }
+        } else if let Some(head) = tuple.get(0) {
+            self.head_value_index
+                .entry((tuple.arity(), head.clone()))
+                .or_default()
+                .insert(id);
+        }
+        if let Some(arg1) = tuple.get(1) {
+            self.arg1_value_index
+                .entry((tuple.arity(), arg1.clone()))
+                .or_default()
+                .insert(id);
         }
         self.arity_index
             .entry(tuple.arity())
             .or_default()
             .insert(id);
         self.instances.insert(id, tuple);
+    }
+
+    /// The point-index sets applicable to a functor-less pattern.
+    fn point_sets(
+        &self,
+        pattern: &Pattern,
+    ) -> (Option<&BTreeSet<TupleId>>, Option<&BTreeSet<TupleId>>) {
+        let head = match pattern.fields().first() {
+            Some(Field::Const(v)) => self.head_value_index.get(&(pattern.arity(), v.clone())),
+            _ => None,
+        };
+        let arg1 = match pattern.fields().get(1) {
+            Some(Field::Const(v)) => self.arg1_value_index.get(&(pattern.arity(), v.clone())),
+            _ => None,
+        };
+        (head, arg1)
     }
 
     /// True if the window holds instance `id`.
@@ -103,23 +138,55 @@ impl Window {
 
 impl TupleSource for Window {
     fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        self.candidate_ids_into(pattern, &mut out);
+        out
+    }
+
+    fn candidate_ids_into(&self, pattern: &Pattern, out: &mut Vec<TupleId>) {
+        if let Some(f) = pattern.functor() {
+            if let Some(Field::Const(arg1)) = pattern.fields().get(1) {
+                if let Some(s) = self.arg1_index.get(&(f, pattern.arity(), arg1.clone())) {
+                    out.extend(s.iter().copied());
+                }
+                return;
+            }
+            if let Some(s) = self.functor_index.get(&(f, pattern.arity())) {
+                out.extend(s.iter().copied());
+            }
+            return;
+        }
+        match self.point_sets(pattern) {
+            (Some(h), Some(g)) => intersect_sets(h, g, out),
+            (Some(s), None) | (None, Some(s)) => out.extend(s.iter().copied()),
+            (None, None) => {
+                if let Some(s) = self.arity_index.get(&pattern.arity()) {
+                    out.extend(s.iter().copied());
+                }
+            }
+        }
+    }
+
+    fn estimate_candidates(&self, pattern: &Pattern) -> usize {
         if let Some(f) = pattern.functor() {
             if let Some(Field::Const(arg1)) = pattern.fields().get(1) {
                 return self
                     .arg1_index
                     .get(&(f, pattern.arity(), arg1.clone()))
-                    .map(|s| s.iter().copied().collect())
-                    .unwrap_or_default();
+                    .map_or(0, BTreeSet::len);
             }
-            self.functor_index
+            return self
+                .functor_index
                 .get(&(f, pattern.arity()))
-                .map(|s| s.iter().copied().collect())
-                .unwrap_or_default()
-        } else {
-            self.arity_index
+                .map_or(0, BTreeSet::len);
+        }
+        match self.point_sets(pattern) {
+            (Some(h), Some(g)) => h.len().min(g.len()),
+            (Some(s), None) | (None, Some(s)) => s.len(),
+            (None, None) => self
+                .arity_index
                 .get(&pattern.arity())
-                .map(|s| s.iter().copied().collect())
-                .unwrap_or_default()
+                .map_or(0, BTreeSet::len),
         }
     }
 

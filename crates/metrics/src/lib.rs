@@ -66,6 +66,10 @@ pub enum Counter {
     IndexHitFunctor,
     /// Candidate lookups served by the arity index.
     IndexHitArity,
+    /// Candidate lookups served by a single-position value point index.
+    IndexHitValue,
+    /// Candidate lookups answered by intersecting two point indexes.
+    IndexHitIntersect,
     /// Candidate lookups that fell back to a full scan.
     IndexScanFull,
     /// Pattern-match tests performed by the solver.
@@ -74,6 +78,12 @@ pub enum Counter {
     MatchCandidates,
     /// Solver binding rollbacks (one per exhausted candidate).
     SolverBacktracks,
+    /// `sdl_plan_cache_total{event="hit"}`
+    PlanCacheHit,
+    /// `sdl_plan_cache_total{event="miss"}`
+    PlanCacheMiss,
+    /// `sdl_plan_cache_total{event="replan"}`
+    PlanReplans,
     /// Query windows (views) constructed.
     WindowsBuilt,
     /// Import-clause admission tests on lazy windows.
@@ -94,7 +104,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters in exposition order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 34] = [
         Counter::TxnAttemptsImmediate,
         Counter::TxnAttemptsDelayed,
         Counter::TxnAttemptsConsensus,
@@ -112,10 +122,15 @@ impl Counter {
         Counter::IndexHitArg1,
         Counter::IndexHitFunctor,
         Counter::IndexHitArity,
+        Counter::IndexHitValue,
+        Counter::IndexHitIntersect,
         Counter::IndexScanFull,
         Counter::MatchAttempts,
         Counter::MatchCandidates,
         Counter::SolverBacktracks,
+        Counter::PlanCacheHit,
+        Counter::PlanCacheMiss,
+        Counter::PlanReplans,
         Counter::WindowsBuilt,
         Counter::WindowAdmitChecks,
         Counter::ProcessesBlocked,
@@ -149,10 +164,15 @@ impl Counter {
             Counter::IndexHitArg1
             | Counter::IndexHitFunctor
             | Counter::IndexHitArity
+            | Counter::IndexHitValue
+            | Counter::IndexHitIntersect
             | Counter::IndexScanFull => "sdl_index_lookups_total",
             Counter::MatchAttempts => "sdl_match_attempts_total",
             Counter::MatchCandidates => "sdl_match_candidates_total",
             Counter::SolverBacktracks => "sdl_solver_backtracks_total",
+            Counter::PlanCacheHit | Counter::PlanCacheMiss | Counter::PlanReplans => {
+                "sdl_plan_cache_total"
+            }
             Counter::WindowsBuilt => "sdl_windows_built_total",
             Counter::WindowAdmitChecks => "sdl_window_admit_checks_total",
             Counter::ProcessesBlocked => "sdl_process_blocked_total",
@@ -178,7 +198,12 @@ impl Counter {
             Counter::IndexHitArg1 => "index=\"arg1\"",
             Counter::IndexHitFunctor => "index=\"functor\"",
             Counter::IndexHitArity => "index=\"arity\"",
+            Counter::IndexHitValue => "index=\"value\"",
+            Counter::IndexHitIntersect => "index=\"intersect\"",
             Counter::IndexScanFull => "index=\"scan\"",
+            Counter::PlanCacheHit => "event=\"hit\"",
+            Counter::PlanCacheMiss => "event=\"miss\"",
+            Counter::PlanReplans => "event=\"replan\"",
             Counter::WakeupCommit => "cause=\"commit\"",
             Counter::WakeupConsensus => "cause=\"consensus\"",
             _ => "",
@@ -207,10 +232,15 @@ impl Counter {
             Counter::IndexHitArg1
             | Counter::IndexHitFunctor
             | Counter::IndexHitArity
+            | Counter::IndexHitValue
+            | Counter::IndexHitIntersect
             | Counter::IndexScanFull => "Candidate lookups, by index used.",
             Counter::MatchAttempts => "Tuple pattern-match tests performed by the solver.",
             Counter::MatchCandidates => "Candidate tuples enumerated by the solver.",
             Counter::SolverBacktracks => "Solver binding rollbacks during search.",
+            Counter::PlanCacheHit | Counter::PlanCacheMiss | Counter::PlanReplans => {
+                "Query-plan cache lookups, by event."
+            }
             Counter::WindowsBuilt => "Query windows (view intersections) constructed.",
             Counter::WindowAdmitChecks => "Import-clause admission tests on lazy windows.",
             Counter::ProcessesBlocked => "Processes that entered the blocked set.",

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Record a benchmark snapshot.
+#
+# Runs the workspace benches (vendored harness: best-observed wall-clock
+# ns/iter on stdout, no statistics) and writes BENCH_<date>.json in the
+# repo root with one entry per benchmark target. Extra arguments are
+# passed through to `cargo bench`, e.g.:
+#
+#   scripts/bench_record.sh                       # all benches
+#   scripts/bench_record.sh -- join               # substring filter
+set -eu
+cd "$(dirname "$0")/.."
+
+date="$(date +%Y-%m-%d)"
+out="BENCH_${date}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cargo bench -p sdl-bench "$@" 2>&1 | tee "$raw"
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+rustc_v="$(rustc --version 2>/dev/null || echo unknown)"
+
+awk -v date="$date" -v commit="$commit" -v rustc_v="$rustc_v" '
+  / ns\/iter / {
+    name = $1
+    ns = $2
+    iters = $4
+    sub(/\(/, "", iters)
+    entries[++n] = sprintf("    {\"bench\": \"%s\", \"ns_per_iter\": %s, \"iters\": %s}", name, ns, iters)
+  }
+  END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"rustc\": \"%s\",\n", rustc_v
+    printf "  \"unit\": \"ns/iter (best observed)\",\n"
+    printf "  \"benches\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$raw" > "$out"
+echo "wrote $out ($(grep -c '"bench"' "$out") entries)"

@@ -3,10 +3,12 @@
 //! ```text
 //! sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats]
 //!         [--metrics] [--events-out FILE] [--trace-cap N]
-//!         [--max-attempts N] [--grid WxH]
+//!         [--max-attempts N] [--grid WxH] [--no-plan]
 //! ```
 //!
 //! * `--rounds`          use the maximal-parallel-rounds scheduler
+//! * `--no-plan`         disable selectivity-driven query planning
+//!   (source-order ablation baseline)
 //! * `--trace`           print the event timeline after the run
 //! * `--trace-cap N`     keep at most N events in the trace log
 //! * `--stats`           print per-process statistics (streams; does not
@@ -19,7 +21,7 @@
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use sdl::core::{Builtins, CompiledProgram, JsonlSink, RunLimits, Runtime};
+use sdl::core::{Builtins, CompiledProgram, JsonlSink, PlanMode, RunLimits, Runtime};
 use sdl::metrics::Metrics;
 use sdl::trace::{render_dataspace, StatsSink};
 
@@ -34,13 +36,14 @@ struct Args {
     events_out: Option<String>,
     max_attempts: u64,
     grid: Option<(i64, i64)>,
+    no_plan: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats] \
          [--metrics] [--events-out FILE] [--trace-cap N] \
-         [--max-attempts N] [--grid WxH]"
+         [--max-attempts N] [--grid WxH] [--no-plan]"
     );
     std::process::exit(2)
 }
@@ -57,6 +60,7 @@ fn parse_args() -> Args {
         events_out: None,
         max_attempts: RunLimits::default().max_attempts,
         grid: None,
+        no_plan: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -93,6 +97,7 @@ fn parse_args() -> Args {
                     h.parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--no-plan" => args.no_plan = true,
             "--help" | "-h" => usage(),
             f if args.file.is_empty() && !f.starts_with('-') => args.file = f.to_owned(),
             _ => usage(),
@@ -139,6 +144,9 @@ fn main() -> ExitCode {
         .limits(RunLimits {
             max_attempts: args.max_attempts,
         });
+    if args.no_plan {
+        builder = builder.plan_mode(PlanMode::SourceOrder);
+    }
     if let Some(cap) = args.trace_cap {
         builder = builder.trace_capacity(cap);
     } else if args.trace {

@@ -1,0 +1,185 @@
+//! Plan-ablation equivalence: selectivity-planned execution must be
+//! observationally equivalent to the historic source-order execution.
+//!
+//! * For programs whose queries have a **unique solution per attempt**
+//!   (Sum2's phase-tagged pairs, Sort's neighbour exchange), the whole
+//!   run is deterministic given a seed, so planned and source-order
+//!   execution must produce the *same event trace* and the same final
+//!   dataspace — on the serial and the rounds scheduler.
+//! * For **confluent** workloads with many interchangeable solutions
+//!   (pairwise summation, region labeling), join reordering may change
+//!   which solution a transaction commits first, so only the final
+//!   result is compared.
+
+use sdl::workloads::{random_array, read_labels, read_sequence, Image, SORT_SRC, SUM2_SRC};
+use sdl_core::parallel::ParallelRuntime;
+use sdl_core::{CompiledProgram, PlanMode, Runtime};
+use sdl_tuple::{tuple, Value};
+
+fn sum2_runtime(values: &[i64], seed: u64, mode: PlanMode) -> Runtime {
+    let program = CompiledProgram::from_source(SUM2_SRC).expect("compiles");
+    let n = values.len() as i64;
+    let mut b = Runtime::builder(program)
+        .seed(seed)
+        .plan_mode(mode)
+        .trace(true);
+    for (i, v) in values.iter().enumerate() {
+        b = b.tuple(tuple![i as i64 + 1, *v, 1i64]);
+    }
+    let mut j = 1u32;
+    while 2i64.pow(j) <= n {
+        let stride = 2i64.pow(j);
+        let mut k = stride;
+        while k <= n {
+            b = b.spawn("Sum2", vec![Value::Int(k), Value::Int(i64::from(j))]);
+            k += stride;
+        }
+        j += 1;
+    }
+    b.build().expect("builds")
+}
+
+fn sort_runtime(values: &[i64], seed: u64, mode: PlanMode) -> Runtime {
+    let program = CompiledProgram::from_source(SORT_SRC).expect("compiles");
+    let n = values.len() as i64;
+    let mut b = Runtime::builder(program)
+        .seed(seed)
+        .plan_mode(mode)
+        .trace(true);
+    for (i, v) in values.iter().enumerate() {
+        b = b.tuple(tuple![i as i64 + 1, *v]);
+    }
+    for i in 1..n {
+        b = b.spawn("Sort", vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    b.build().expect("builds")
+}
+
+fn fingerprint(rt: &Runtime) -> Vec<String> {
+    let mut v: Vec<String> = rt.dataspace().iter().map(|(_, t)| t.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Runs planned and source-order variants and asserts identical traces.
+fn assert_identical_runs(mut planned: Runtime, mut naive: Runtime, rounds: bool) {
+    let rp = if rounds {
+        planned.run_rounds()
+    } else {
+        planned.run()
+    }
+    .expect("planned runs");
+    let rn = if rounds {
+        naive.run_rounds()
+    } else {
+        naive.run()
+    }
+    .expect("naive runs");
+    assert!(rp.outcome.is_completed(), "{:?}", rp.outcome);
+    assert_eq!(rp, rn, "run reports diverge");
+    assert_eq!(fingerprint(&planned), fingerprint(&naive));
+    let ep = planned.event_log().expect("tracing on").entries();
+    let en = naive.event_log().expect("tracing on").entries();
+    assert_eq!(ep, en, "event traces diverge");
+}
+
+#[test]
+fn sum2_trace_identical_under_ablation_serial() {
+    for seed in 0..3 {
+        let values = random_array(16, 42);
+        assert_identical_runs(
+            sum2_runtime(&values, seed, PlanMode::Planned),
+            sum2_runtime(&values, seed, PlanMode::SourceOrder),
+            false,
+        );
+    }
+}
+
+#[test]
+fn sum2_trace_identical_under_ablation_rounds() {
+    for seed in 0..3 {
+        let values = random_array(32, 7);
+        assert_identical_runs(
+            sum2_runtime(&values, seed, PlanMode::Planned),
+            sum2_runtime(&values, seed, PlanMode::SourceOrder),
+            true,
+        );
+    }
+}
+
+#[test]
+fn sort_trace_identical_under_ablation() {
+    let values: Vec<i64> = vec![9, 3, 7, 1, 8, 2, 6, 4, 5, 0];
+    for seed in 0..3 {
+        for rounds in [false, true] {
+            assert_identical_runs(
+                sort_runtime(&values, seed, PlanMode::Planned),
+                sort_runtime(&values, seed, PlanMode::SourceOrder),
+                rounds,
+            );
+        }
+    }
+    let mut planned = sort_runtime(&values, 0, PlanMode::Planned);
+    planned.run().expect("runs");
+    assert_eq!(
+        read_sequence(&planned, values.len()),
+        vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+    );
+}
+
+#[test]
+fn labeling_result_identical_under_ablation() {
+    // The worker-model labeling join (4 atoms + neighbor test) is where
+    // planning matters most; it is confluent, so only the fixpoint is
+    // compared against the flood-fill reference.
+    let image = Image::synthetic(6, 6, 3, 11);
+    let cutoff = 128;
+    let expected = image.flood_fill_labels(cutoff);
+    for mode in [PlanMode::Planned, PlanMode::SourceOrder] {
+        let program =
+            CompiledProgram::from_source(sdl::workloads::WORKER_LABELING_SRC).expect("compiles");
+        let mut b = Runtime::builder(program)
+            .seed(3)
+            .plan_mode(mode)
+            .builtins(sdl::workloads::image_builtins(&image, cutoff));
+        for (p, v) in image.pixels.iter().enumerate() {
+            b = b.tuple(tuple![Value::atom("image"), p as i64, *v]);
+        }
+        let mut rt = b
+            .spawn("ThresholdAndLabel", vec![])
+            .build()
+            .expect("builds");
+        rt.run().expect("runs");
+        assert_eq!(
+            read_labels(&rt, image.len()),
+            expected,
+            "mode {mode:?} diverges from reference"
+        );
+    }
+}
+
+#[test]
+fn threaded_executor_confluent_under_ablation() {
+    let values = random_array(64, 5);
+    let expected: i64 = values.iter().sum();
+    for mode in [PlanMode::Planned, PlanMode::SourceOrder] {
+        let program = CompiledProgram::from_source(
+            "process W() {
+                loop { exists a, b : <v, a>!, <v, b>! -> <v, a + b> }
+            }",
+        )
+        .expect("compiles");
+        let mut b = ParallelRuntime::builder(program).threads(4).plan_mode(mode);
+        for v in &values {
+            b = b.tuple(tuple![Value::atom("v"), *v]);
+        }
+        for _ in 0..4 {
+            b = b.spawn("W", vec![]);
+        }
+        let (report, ds) = b.build().expect("builds").run().expect("runs");
+        assert!(report.outcome.is_completed());
+        assert_eq!(ds.len(), 1, "one tuple remains");
+        let (_, t) = ds.iter().next().expect("one tuple");
+        assert_eq!(t[1], Value::Int(expected), "mode {mode:?}");
+    }
+}
