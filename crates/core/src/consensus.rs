@@ -25,27 +25,48 @@ use crate::process::ProcessInstance;
 
 struct UnionFind {
     parent: Vec<usize>,
+    rank: Vec<u8>,
 }
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
         UnionFind {
             parent: (0..n).collect(),
+            rank: vec![0; n],
         }
     }
 
+    /// Iterative find with full path compression — `find` recursed once
+    /// per parent link, so the chain unions a large process society
+    /// builds (one per consecutive pair) overflowed the stack.
     fn find(&mut self, i: usize) -> usize {
-        if self.parent[i] != i {
-            let root = self.find(self.parent[i]);
-            self.parent[i] = root;
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
         }
-        self.parent[i]
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
     }
 
     fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra] = rb;
+        if ra == rb {
+            return;
+        }
+        // Union by rank keeps trees logarithmic even before compression
+        // touches them.
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[ra] = rb;
+                self.rank[rb] += 1;
+            }
         }
     }
 }
@@ -218,6 +239,26 @@ mod tests {
         ds.assert_tuple(ProcId::ENV, tuple![9, 9]);
         let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
         assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn hundred_thousand_process_society() {
+        // The pairwise hub unions (`full.windows(2)`) build a linear
+        // parent chain, and the old recursive `find` then needed one
+        // stack frame per process when collecting classes — a stack
+        // overflow at this scale.
+        let prog = sdl_lang::parse_program("process P() { -> skip; }").unwrap();
+        let c = CompiledProgram::compile(&prog).unwrap();
+        let def = c.def("P").unwrap().clone();
+        let procs: Vec<ProcessInstance> = (0..100_000u64)
+            .map(|i| ProcessInstance::new(ProcId(i + 1), def.clone(), vec![]))
+            .collect();
+        let refs: Vec<&ProcessInstance> = procs.iter().collect();
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![1]);
+        let sets = consensus_sets(&refs, &ds, &Builtins::new()).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 100_000);
     }
 
     #[test]

@@ -2,12 +2,34 @@
 //!
 //! Real-parallelism counterpart to [`Runtime::run_rounds`]'s logical
 //! parallelism: worker threads execute processes concurrently against a
-//! shared dataspace. A transaction **evaluates** under a read lock
+//! shared dataspace. A transaction **evaluates** under read locks
 //! (windows, joins, tests — the expensive part), then **commits** under
-//! the write lock after re-validating its read/retract/negation evidence;
-//! a failed validation retries. This is classic optimistic concurrency
-//! control, sound because [`crate::txn::Pending::validate`] re-establishes
-//! exactly the facts the evaluation relied on.
+//! write locks after re-validating its read/retract/negation/forall
+//! evidence; a failed validation retries. This is classic optimistic
+//! concurrency control, sound because [`crate::txn::Pending::validate`]
+//! re-establishes exactly the facts the evaluation relied on.
+//!
+//! ## Sharding
+//!
+//! The store is a [`ShardedDataspace`]: tuple instances are partitioned
+//! by `(functor, arity)` into independently locked shards. Each attempt
+//! computes a **footprint** — the set of shards its patterns, instance
+//! ids, and asserted tuples route to — and locks only those, so
+//! transactions over disjoint relations evaluate *and commit* truly
+//! concurrently instead of serialising on one store-wide write lock.
+//! Lock acquisition is always in ascending shard order and no thread
+//! holds one footprint while acquiring another, so there is no deadlock.
+//! Unroutable patterns (variable heads), restricted import views, and
+//! export rules fall back to the full footprint — correct, just
+//! unsharded for that attempt. With one shard this executor behaves
+//! bit-for-bit like the previous single-lock design.
+//!
+//! Blocked processes park on per-shard lists keyed by the same
+//! partition, so a commit only scans the lists of shards it changed. A
+//! global commit epoch (incremented after every commit's locks drop)
+//! closes the park/wake race: a parker re-checks the epoch after
+//! inserting itself and re-queues if anything committed since its
+//! evaluation.
 //!
 //! ## Supported fragment
 //!
@@ -25,15 +47,18 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use sdl_dataspace::{Dataspace, PlanMode, SolveLimits, WatchSet};
+use sdl_dataspace::{
+    shard_of_pattern, shard_of_watch_key, Dataspace, PlanMode, ShardSet, ShardedDataspace,
+    SolveLimits, WatchSet,
+};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
-use sdl_metrics::{Counter, Hist, Metrics};
+use sdl_metrics::{Counter, Hist, Metrics, ShardCounter};
 use sdl_tuple::{ProcId, Tuple, Value};
 
 use crate::builtins::Builtins;
@@ -43,7 +68,7 @@ use crate::process::{Frame, ProcessInstance};
 use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
 use crate::sched::{attempts_counter, committed_counter, failed_counter};
 use crate::txn::{self, Pending, PlanConfig};
-use crate::view::EnvCtx;
+use crate::view::{resolve_fields, EnvCtx};
 
 /// Outcome and statistics of a parallel run.
 #[derive(Clone, Debug)]
@@ -65,6 +90,7 @@ pub struct ParallelReport {
 pub struct ParallelBuilder {
     program: Arc<CompiledProgram>,
     threads: usize,
+    shards: usize,
     seed: u64,
     builtins: Builtins,
     max_attempts: u64,
@@ -78,6 +104,14 @@ impl ParallelBuilder {
     /// Number of worker threads (default: available parallelism).
     pub fn threads(mut self, n: usize) -> ParallelBuilder {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Number of dataspace shards (default 1, which reproduces the
+    /// single-lock executor bit-for-bit; clamped to
+    /// [`sdl_dataspace::MAX_SHARDS`]).
+    pub fn shards(mut self, n: usize) -> ParallelBuilder {
+        self.shards = n.clamp(1, sdl_dataspace::MAX_SHARDS);
         self
     }
 
@@ -141,7 +175,9 @@ impl ParallelBuilder {
         for def in self.program.defs() {
             check_supported(&def.body)?;
         }
-        let mut ds = Dataspace::new();
+        // Init tuples go through the sharded store so every id is minted
+        // on its shard's strided sequence — id→shard stays O(1).
+        let mut ds = ShardedDataspace::new(self.shards);
         ds.set_metrics(self.metrics.clone());
         let env = std::collections::HashMap::new();
         let ctx = EnvCtx {
@@ -237,7 +273,8 @@ fn check_supported(stmts: &[CompiledStmt]) -> Result<(), RuntimeError> {
     Ok(())
 }
 
-/// A multithreaded SDL executor over a shared dataspace.
+/// A multithreaded SDL executor over a shared (optionally sharded)
+/// dataspace.
 ///
 /// # Examples
 ///
@@ -251,7 +288,7 @@ fn check_supported(stmts: &[CompiledStmt]) -> Result<(), RuntimeError> {
 ///         loop { exists j : <job, j>! -> <done, j> }
 ///     }
 /// "#).unwrap();
-/// let mut b = ParallelRuntime::builder(program).threads(4);
+/// let mut b = ParallelRuntime::builder(program).threads(4).shards(4);
 /// for j in 0..100i64 {
 ///     b = b.tuple(tuple![Value::atom("job"), j]);
 /// }
@@ -270,7 +307,7 @@ pub struct ParallelRuntime {
     builtins: Arc<Builtins>,
     max_attempts: u64,
     plan_mode: PlanMode,
-    ds: Dataspace,
+    ds: ShardedDataspace,
     initial: Vec<ProcessInstance>,
     next_pid: u64,
     metrics: Metrics,
@@ -279,10 +316,16 @@ pub struct ParallelRuntime {
 struct Shared {
     program: Arc<CompiledProgram>,
     builtins: Arc<Builtins>,
-    ds: RwLock<Dataspace>,
+    sds: ShardedDataspace,
+    /// Bumped (SeqCst) after every commit's locks drop. Parkers compare
+    /// it against the value read before evaluating to detect commits
+    /// that landed while they were off-lock.
+    epoch: AtomicU64,
     queue: Mutex<VecDeque<ProcessInstance>>,
     cv: Condvar,
-    blocked: Mutex<Vec<Parked>>,
+    /// One blocked list per shard, following the wake-routing partition:
+    /// a commit that changed shard *s* only scans `blocked[s]`.
+    blocked: Vec<Mutex<Vec<Arc<Parked>>>>,
     /// Tasks enqueued or being processed; 0 ⇒ nothing can ever wake.
     pending: AtomicUsize,
     done: AtomicBool,
@@ -297,11 +340,16 @@ struct Shared {
     metrics: Metrics,
 }
 
-/// A blocked process: its watch keys, the instance, and when it parked
-/// (for the blocked-time histogram; `None` when metrics are disabled).
+/// A blocked process. The entry is shared between every per-shard list
+/// its watch keys route to; `slot` holds the instance until exactly one
+/// claimant (a waking commit, the parker re-queueing itself, or the
+/// final collection) takes it. Entries whose slot has been emptied are
+/// stale stubs, dropped lazily the next time their list is scanned.
 struct Parked {
     watch: WatchSet,
-    proc: ProcessInstance,
+    slot: Mutex<Option<ProcessInstance>>,
+    /// When it parked (for the blocked-time histogram; `None` when
+    /// metrics are disabled).
     since: Option<std::time::Instant>,
 }
 
@@ -313,6 +361,7 @@ impl ParallelRuntime {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            shards: 1,
             seed: 0,
             builtins: Builtins::standard(),
             max_attempts: 500_000_000,
@@ -324,20 +373,22 @@ impl ParallelRuntime {
     }
 
     /// Runs to completion or quiescence, returning the report and the
-    /// final dataspace.
+    /// final dataspace (shards merged back into one store, ids intact).
     ///
     /// # Errors
     ///
     /// Propagates the first [`RuntimeError`] any worker hit.
     pub fn run(self) -> Result<(ParallelReport, Dataspace), RuntimeError> {
         let index_mode = self.ds.index_mode();
+        let n_shards = self.ds.num_shards();
         let shared = Arc::new(Shared {
             program: self.program,
             builtins: self.builtins,
-            ds: RwLock::new(self.ds),
+            sds: self.ds,
+            epoch: AtomicU64::new(0),
             queue: Mutex::new(self.initial.clone().into()),
             cv: Condvar::new(),
-            blocked: Mutex::new(Vec::new()),
+            blocked: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
             pending: AtomicUsize::new(self.initial.len()),
             done: AtomicBool::new(self.initial.is_empty()),
             attempts: AtomicU64::new(0),
@@ -363,10 +414,19 @@ impl ParallelRuntime {
         if let Some(e) = shared.error.lock().take() {
             return Err(e);
         }
+        // Drain the per-shard blocked lists; taking each slot dedupes
+        // entries that sat in several lists.
         let blocked_pids: Vec<ProcId> = {
-            let mut b: Vec<ProcId> = shared.blocked.lock().iter().map(|p| p.proc.id).collect();
-            b.sort_unstable();
-            b
+            let mut pids = Vec::new();
+            for list in &shared.blocked {
+                for e in list.lock().iter() {
+                    if let Some(p) = e.slot.lock().take() {
+                        pids.push(p.id);
+                    }
+                }
+            }
+            pids.sort_unstable();
+            pids
         };
         let outcome = if shared.step_limited.load(Ordering::SeqCst) {
             Outcome::StepLimit
@@ -377,7 +437,7 @@ impl ParallelRuntime {
                 blocked: blocked_pids,
             }
         };
-        let ds = std::mem::take(&mut *shared.ds.write());
+        let ds = shared.sds.drain_into_dataspace();
         let report = ParallelReport {
             outcome,
             commits: shared.commits.load(Ordering::SeqCst),
@@ -431,41 +491,115 @@ fn enqueue(shared: &Shared, proc: ProcessInstance) {
     shared.cv.notify_one();
 }
 
-/// Wakes blocked processes whose watch intersects `changed`.
-fn wake(shared: &Shared, changed: &WatchSet) {
+/// The shards a transaction's evaluation may read: those of its resolved
+/// atom patterns. Falls back to every shard when a pattern cannot be
+/// resolved or routed, or when the view restricts imports (admission
+/// tests run rule-condition queries over patterns outside the
+/// transaction's own atom list).
+fn eval_footprint(shared: &Shared, proc: &ProcessInstance, t: &CompiledTxn) -> ShardSet {
+    let n = shared.sds.num_shards();
+    let all = shared.sds.all_shards();
+    if n == 1 || !proc.def.view.imports_everything() {
+        return all;
+    }
+    let ctx = EnvCtx {
+        env: &proc.env,
+        vars: None,
+        builtins: &shared.builtins,
+    };
+    let mut fp = ShardSet::new();
+    for a in &t.atoms {
+        match resolve_fields(&a.fields, &ctx, "footprint pattern") {
+            Ok(p) => match shard_of_pattern(&p, n) {
+                Some(s) => fp.insert(s),
+                None => return all,
+            },
+            Err(_) => return all,
+        }
+    }
+    fp
+}
+
+/// The shards a pending commit touches: those of its read/retract ids,
+/// asserted tuples, and (for validation) its negation and forall
+/// evidence patterns. Falls back to every shard when evidence is
+/// unroutable or when export rules apply (their condition queries range
+/// over the whole store).
+fn commit_footprint(shared: &Shared, proc: &ProcessInstance, p: &Pending) -> ShardSet {
+    let n = shared.sds.num_shards();
+    let all = shared.sds.all_shards();
+    if n == 1 || (!proc.def.view.exports_everything() && !p.asserts.is_empty()) {
+        return all;
+    }
+    let mut fp = ShardSet::new();
+    for id in p.reads.iter().chain(&p.retracts) {
+        fp.insert(shared.sds.shard_of_id(*id));
+    }
+    for tu in &p.asserts {
+        fp.insert(shared.sds.shard_of_tuple(tu));
+    }
+    for pat in &p.neg_checks {
+        match shard_of_pattern(pat, n) {
+            Some(s) => fp.insert(s),
+            None => return all,
+        }
+    }
+    for ev in &p.forall_checks {
+        match shard_of_pattern(&ev.pattern, n) {
+            Some(s) => fp.insert(s),
+            None => return all,
+        }
+    }
+    fp
+}
+
+/// Wakes blocked processes whose watch intersects `changed`, scanning
+/// only the changed shards' lists. Must run after the commit's epoch
+/// increment: a parker that inserts too late to be seen here is
+/// guaranteed to observe the new epoch and re-queue itself.
+fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet) {
     if changed.is_empty() {
         return;
     }
-    let woken: Vec<Parked> = {
-        let mut blocked = shared.blocked.lock();
-        let mut woken = Vec::new();
-        let mut i = 0;
-        while i < blocked.len() {
-            if blocked[i].watch.intersects(changed) {
-                woken.push(blocked.swap_remove(i));
-            } else {
-                i += 1;
+    let mut woken: Vec<(ProcessInstance, Option<std::time::Instant>)> = Vec::new();
+    for s in changed_shards.iter() {
+        let mut list = shared.blocked[s].lock();
+        list.retain(|e| {
+            let mut slot = e.slot.lock();
+            match &*slot {
+                // Claimed via another list: stale stub, drop it.
+                None => false,
+                Some(_) if e.watch.intersects(changed) => {
+                    woken.push((slot.take().expect("checked Some"), e.since));
+                    false
+                }
+                Some(_) => true,
             }
-        }
-        woken
-    };
-    for p in woken {
+        });
+    }
+    for (p, since) in woken {
         shared.metrics.inc(Counter::WakeupCommit);
-        shared.metrics.observe_timer(Hist::BlockedSeconds, p.since);
-        enqueue(shared, p.proc);
+        shared.metrics.observe_timer(Hist::BlockedSeconds, since);
+        enqueue(shared, p);
     }
 }
 
 enum TxnOutcome {
     Committed(Pending),
-    /// Query did not hold; carries the dataspace version the evaluation
-    /// read, for the race-free park protocol.
+    /// Query did not hold; carries the commit epoch the evaluation read,
+    /// for the race-free park protocol.
     Failed {
-        version: u64,
+        epoch: u64,
     },
+    /// The global attempt cap was hit mid-evaluation. Distinct from
+    /// `Failed`: the query's verdict is unknown, so the process must halt
+    /// where it stands — advancing (immediate) or parking (delayed) would
+    /// corrupt the residual state the report describes.
+    StepLimited,
 }
 
-/// Evaluate under the read lock, validate + apply under the write lock.
+/// Evaluate under the read-footprint locks, validate + apply under the
+/// write-footprint locks.
 fn attempt(
     shared: &Shared,
     proc: &ProcessInstance,
@@ -475,40 +609,63 @@ fn attempt(
         if shared.attempts.fetch_add(1, Ordering::Relaxed) >= shared.max_attempts {
             shared.step_limited.store(true, Ordering::SeqCst);
             finish_done(shared);
-            return Ok(TxnOutcome::Failed { version: 0 });
+            return Ok(TxnOutcome::StepLimited);
         }
         shared.metrics.inc(attempts_counter(t.kind));
-        // Query under the read lock; effect construction (which may run
-        // expensive host functions) outside any lock.
+        // The epoch is read before the locks: a commit that lands after
+        // this point is either serialised behind our locks (we see its
+        // effects) or bumps the epoch (a parker re-queues). Either way no
+        // wake-up is lost.
+        let epoch = shared.epoch.load(Ordering::SeqCst);
+        // Query under the read-footprint locks; effect construction
+        // (which may run expensive host functions) outside any lock.
         let timer = shared.metrics.start_timer();
-        let (solutions, version) = {
-            let ds = shared.ds.read();
-            let source = proc.def.view.window(&ds, &proc.env, &shared.builtins)?;
-            let s = txn::evaluate_query(
+        let query = {
+            let read_fp = eval_footprint(shared, proc, t);
+            let lock_timer = shared.metrics.start_timer();
+            let view = shared.sds.read_shards(read_fp);
+            shared
+                .metrics
+                .observe_timer(Hist::ShardLockWaitSeconds, lock_timer);
+            let source = proc.def.view.window(&view, &proc.env, &shared.builtins)?;
+            txn::evaluate_query(
                 t,
                 &source,
                 &proc.env,
                 &shared.builtins,
                 SolveLimits::default(),
                 shared.plan_config,
-            )?;
-            (s, ds.version())
+            )?
         };
         shared.metrics.observe_timer(Hist::QueryEvalSeconds, timer);
-        let Some(solutions) = solutions else {
+        let Some(query) = query else {
             shared.metrics.inc(failed_counter(t.kind));
-            return Ok(TxnOutcome::Failed { version });
+            return Ok(TxnOutcome::Failed { epoch });
         };
-        let p = txn::build_effects(t, &solutions, &proc.env, &shared.builtins)?;
-        let changed = {
-            let mut ds = shared.ds.write();
+        let p = txn::build_effects(t, &query, &proc.env, &shared.builtins)?;
+        let write_fp = commit_footprint(shared, proc, &p);
+        let (changed, changed_shards) = {
+            let lock_timer = shared.metrics.start_timer();
+            let mut ds = shared.sds.write_shards(write_fp);
+            shared
+                .metrics
+                .observe_timer(Hist::ShardLockWaitSeconds, lock_timer);
+            // Validation runs against the write footprint, which covers
+            // every shard the evidence patterns route to — by the routing
+            // invariant the answers equal the whole store's.
             if !p.validate(&ds) {
                 shared.conflicts.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.inc(Counter::TxnConflicts);
+                for s in write_fp.iter() {
+                    shared.metrics.add_shard(s, ShardCounter::Conflicts, 1);
+                }
                 drop(ds);
                 continue; // somebody raced us; re-evaluate
             }
             let mut changed = WatchSet::new();
+            let mut changed_shards = ShardSet::new();
+            // Export filtering runs against the pre-retraction store, so
+            // a commit's own retractions cannot disable its exports.
             let allowed: Vec<bool> = p
                 .asserts
                 .iter()
@@ -517,21 +674,29 @@ fn attempt(
             for id in &p.retracts {
                 if let Some(tu) = ds.retract(*id) {
                     changed.add_tuple(&tu);
+                    changed_shards.insert(shared.sds.shard_of_id(*id));
                 }
             }
             for (tu, ok) in p.asserts.iter().zip(&allowed) {
                 if *ok {
+                    changed_shards.insert(shared.sds.shard_of_tuple(tu));
                     ds.assert_tuple(proc.id, tu.clone());
                     changed.add_tuple(tu);
                 } else {
                     shared.metrics.inc(Counter::ExportDropped);
                 }
             }
-            changed
+            (changed, changed_shards)
         };
+        // Locks are down; publish the commit before scanning blocked
+        // lists so parkers that miss the scan catch the epoch change.
+        shared.epoch.fetch_add(1, Ordering::SeqCst);
         shared.commits.fetch_add(1, Ordering::Relaxed);
         shared.metrics.inc(committed_counter(t.kind));
-        wake(shared, &changed);
+        for s in write_fp.iter() {
+            shared.metrics.add_shard(s, ShardCounter::Commits, 1);
+        }
+        wake(shared, &changed, changed_shards);
         return Ok(TxnOutcome::Committed(p));
     }
 }
@@ -571,11 +736,15 @@ fn control(shared: &Shared, proc: &mut ProcessInstance, p: &Pending) -> Result<b
 enum ProcFate {
     /// Keep stepping this process.
     Continue,
-    /// Park it on these watch keys; `version` is the earliest dataspace
-    /// version any of its failed evaluations read.
-    Park { watch: WatchSet, version: u64 },
+    /// Park it on these watch keys; `epoch` is the earliest commit epoch
+    /// any of its failed evaluations read.
+    Park { watch: WatchSet, epoch: u64 },
     /// The process is done.
     Terminated,
+    /// The attempt cap was hit: stop stepping, leaving the process where
+    /// it stands — neither advanced nor parked — while the run winds down
+    /// with [`Outcome::StepLimit`].
+    Halted,
 }
 
 /// Runs one process until it terminates or parks.
@@ -590,9 +759,9 @@ fn run_process(
         }
         match step_once(shared, &mut proc, rng)? {
             ProcFate::Continue => {}
-            ProcFate::Terminated => return Ok(()),
-            ProcFate::Park { watch, version } => {
-                park(shared, watch, version, proc);
+            ProcFate::Terminated | ProcFate::Halted => return Ok(()),
+            ProcFate::Park { watch, epoch } => {
+                park(shared, watch, epoch, proc);
                 return Ok(());
             }
         }
@@ -621,14 +790,15 @@ fn step_once(
                         }
                         Ok(ProcFate::Continue)
                     }
-                    TxnOutcome::Failed { version } => match t.kind {
+                    TxnOutcome::StepLimited => Ok(ProcFate::Halted),
+                    TxnOutcome::Failed { epoch } => match t.kind {
                         TxnKind::Immediate => {
                             advance(proc);
                             Ok(ProcFate::Continue)
                         }
                         TxnKind::Delayed => Ok(ProcFate::Park {
                             watch: txn::watch_set(&t, &proc.env, &shared.builtins),
-                            version,
+                            epoch,
                         }),
                         TxnKind::Consensus => unreachable!("rejected at build"),
                     },
@@ -663,7 +833,7 @@ fn guards(
     let mut order: Vec<usize> = (0..branches.len()).collect();
     order.shuffle(rng);
     let mut delayed_present = false;
-    let mut earliest_version = u64::MAX;
+    let mut earliest_epoch = u64::MAX;
     for &i in &order {
         let guard = branches[i].guard.clone();
         if guard.kind == TxnKind::Delayed {
@@ -685,9 +855,10 @@ fn guards(
                 }
                 return Ok(ProcFate::Continue);
             }
-            TxnOutcome::Failed { version } => {
-                earliest_version = earliest_version.min(version);
+            TxnOutcome::Failed { epoch } => {
+                earliest_epoch = earliest_epoch.min(epoch);
             }
+            TxnOutcome::StepLimited => return Ok(ProcFate::Halted),
         }
     }
     if delayed_present {
@@ -697,7 +868,7 @@ fn guards(
         }
         return Ok(ProcFate::Park {
             watch: w,
-            version: earliest_version,
+            epoch: earliest_epoch,
         });
     }
     if is_select {
@@ -710,40 +881,66 @@ fn guards(
 
 /// Parks a blocked process without losing wake-ups.
 ///
-/// The race: a commit lands *after* our failed evaluation but *before* we
-/// are visible in `blocked` — its `wake` would miss us. The protocol:
-/// insert into `blocked` while holding the dataspace **read** lock, then
-/// compare the current version with the one the evaluation read. If they
-/// differ, something committed in between: take ourselves back out and
-/// re-queue. If they are equal, no commit happened since evaluation, and
-/// any later commit must take the write lock — which orders after our
-/// read lock — so its `wake` will see us.
-fn park(shared: &Shared, watch: WatchSet, eval_version: u64, proc: ProcessInstance) {
-    let requeue = {
-        let ds = shared.ds.read();
-        let mut blocked = shared.blocked.lock();
-        if ds.version() != eval_version {
-            Some(proc)
-        } else {
-            shared.metrics.inc(Counter::ProcessesBlocked);
-            blocked.push(Parked {
-                watch,
-                proc,
-                since: shared.metrics.start_timer(),
-            });
-            None
+/// The race: a commit lands *after* our failed evaluation but *before*
+/// we are visible in the blocked lists — its `wake` scan would miss us.
+/// The protocol: insert the entry into every list its watch keys route
+/// to, then re-read the commit epoch. If it differs from the one the
+/// evaluation read, something committed in between: claim the slot back
+/// and re-queue (the entries left behind are stale stubs, dropped on the
+/// next scan of their lists). If it is unchanged, no commit published
+/// since evaluation — and any later commit increments the epoch *before*
+/// scanning, so it either sees our entry or we would have seen its
+/// epoch.
+fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, proc: ProcessInstance) {
+    let n = shared.sds.num_shards();
+    let entry = Arc::new(Parked {
+        since: shared.metrics.start_timer(),
+        slot: Mutex::new(Some(proc)),
+        watch,
+    });
+    // Route the entry by its watch keys: functor keys pin one shard,
+    // arity keys (and an empty watch, which can never be woken anyway)
+    // listen everywhere / on shard 0.
+    let mut targets = ShardSet::new();
+    let mut everywhere = false;
+    for key in entry.watch.iter() {
+        match shard_of_watch_key(key, n) {
+            Some(s) => targets.insert(s),
+            None => {
+                everywhere = true;
+                break;
+            }
         }
-    };
-    if let Some(p) = requeue {
-        enqueue(shared, p);
     }
+    let targets = if everywhere {
+        shared.sds.all_shards()
+    } else if targets.is_empty() {
+        let mut t = ShardSet::new();
+        t.insert(0);
+        t
+    } else {
+        targets
+    };
+    for s in targets.iter() {
+        shared.blocked[s].lock().push(entry.clone());
+    }
+    if shared.epoch.load(Ordering::SeqCst) != eval_epoch {
+        // A commit published while we were parking; whether or not its
+        // wake saw us, re-evaluating is the safe answer.
+        if let Some(p) = entry.slot.lock().take() {
+            enqueue(shared, p);
+            return;
+        }
+        // A waker beat us to the slot and already re-queued us.
+    }
+    shared.metrics.inc(Counter::ProcessesBlocked);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::CompiledProgram;
-    use sdl_dataspace::TupleSource;
+    use sdl_dataspace::{shard_of_tuple, TupleSource};
     use sdl_tuple::tuple;
 
     fn job_program() -> CompiledProgram {
@@ -772,6 +969,27 @@ mod tests {
     }
 
     #[test]
+    fn workers_drain_the_job_pool_sharded() {
+        for shards in [4usize, 16] {
+            let mut b = ParallelRuntime::builder(job_program())
+                .threads(4)
+                .shards(shards)
+                .seed(1);
+            for j in 0..200i64 {
+                b = b.tuple(tuple![Value::atom("job"), j]);
+            }
+            for _ in 0..8 {
+                b = b.spawn("Worker", vec![]);
+            }
+            let (report, ds) = b.build().unwrap().run().unwrap();
+            assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+            assert_eq!(report.commits, 200, "shards={shards}");
+            assert_eq!(ds.len(), 200);
+            assert!(!ds.contains_match(&sdl_tuple::pattern![Value::atom("job"), any]));
+        }
+    }
+
+    #[test]
     fn delayed_consumers_wait_for_producers() {
         let program = CompiledProgram::from_source(
             "process Consumer(n) {
@@ -782,34 +1000,77 @@ mod tests {
              }",
         )
         .unwrap();
-        let mut b = ParallelRuntime::builder(program).threads(4).seed(2);
-        for n in 0..20i64 {
-            b = b.spawn("Consumer", vec![Value::Int(n)]);
+        for shards in [1usize, 8] {
+            let mut b = ParallelRuntime::builder(program.clone())
+                .threads(4)
+                .shards(shards)
+                .seed(2);
+            for n in 0..20i64 {
+                b = b.spawn("Consumer", vec![Value::Int(n)]);
+            }
+            for n in 0..20i64 {
+                b = b.spawn("Producer", vec![Value::Int(n)]);
+            }
+            let (report, ds) = b.build().unwrap().run().unwrap();
+            assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+            assert_eq!(
+                ds.count_matches(&sdl_tuple::pattern![Value::atom("got"), any, any]),
+                20,
+                "shards={shards}"
+            );
         }
-        for n in 0..20i64 {
-            b = b.spawn("Producer", vec![Value::Int(n)]);
-        }
-        let (report, ds) = b.build().unwrap().run().unwrap();
-        assert!(report.outcome.is_completed(), "{:?}", report.outcome);
-        assert_eq!(
-            ds.count_matches(&sdl_tuple::pattern![Value::atom("got"), any, any]),
-            20
-        );
     }
 
     #[test]
     fn quiescence_detected() {
         let program =
             CompiledProgram::from_source("process Waiter() { <never> => skip; }").unwrap();
-        let b = ParallelRuntime::builder(program)
-            .threads(2)
-            .spawn("Waiter", vec![])
-            .spawn("Waiter", vec![]);
-        let (report, _) = b.build().unwrap().run().unwrap();
-        match report.outcome {
-            Outcome::Quiescent { blocked } => assert_eq!(blocked.len(), 2),
-            other => panic!("expected quiescence, got {other:?}"),
+        for shards in [1usize, 4] {
+            let b = ParallelRuntime::builder(program.clone())
+                .threads(2)
+                .shards(shards)
+                .spawn("Waiter", vec![])
+                .spawn("Waiter", vec![]);
+            let (report, _) = b.build().unwrap().run().unwrap();
+            match report.outcome {
+                Outcome::Quiescent { blocked } => assert_eq!(blocked.len(), 2),
+                other => panic!("expected quiescence at shards={shards}, got {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn step_limit_halts_without_advancing() {
+        // Hitting the cap used to surface as a plain failure, so an
+        // immediate loop guard advanced as if its query had legitimately
+        // failed — the worker dropped out of its loop and the report
+        // claimed completion. The cap must halt the process where it
+        // stands and report a step limit.
+        let mut b = ParallelRuntime::builder(job_program())
+            .threads(1)
+            .seed(5)
+            .max_attempts(3);
+        for j in 0..10i64 {
+            b = b.tuple(tuple![Value::atom("job"), j]);
+        }
+        b = b.spawn("Worker", vec![]);
+        let (report, ds) = b.build().unwrap().run().unwrap();
+        assert!(
+            matches!(report.outcome, Outcome::StepLimit),
+            "{:?}",
+            report.outcome
+        );
+        assert_eq!(report.commits, 3, "one commit per allowed attempt");
+        // The capped attempt neither committed nor advanced: every
+        // commit consumed exactly one job, nothing else changed.
+        assert_eq!(
+            ds.count_matches(&sdl_tuple::pattern![Value::atom("job"), any]),
+            7
+        );
+        assert_eq!(
+            ds.count_matches(&sdl_tuple::pattern![Value::atom("done"), any]),
+            3
+        );
     }
 
     #[test]
@@ -834,18 +1095,23 @@ mod tests {
         }";
         let expected: i64 = (1..=64).sum();
         let program = CompiledProgram::from_source(src).unwrap();
-        let mut b = ParallelRuntime::builder(program).threads(4).seed(3);
-        for k in 1..=64i64 {
-            b = b.tuple(tuple![Value::atom("v"), k]);
+        for shards in [1usize, 4, 16] {
+            let mut b = ParallelRuntime::builder(program.clone())
+                .threads(4)
+                .shards(shards)
+                .seed(3);
+            for k in 1..=64i64 {
+                b = b.tuple(tuple![Value::atom("v"), k]);
+            }
+            for _ in 0..4 {
+                b = b.spawn("W", vec![]);
+            }
+            let (report, ds) = b.build().unwrap().run().unwrap();
+            assert!(report.outcome.is_completed());
+            assert_eq!(ds.len(), 1, "shards={shards}");
+            let (_, t) = ds.iter().next().unwrap();
+            assert_eq!(t[1], Value::Int(expected), "shards={shards}");
         }
-        for _ in 0..4 {
-            b = b.spawn("W", vec![]);
-        }
-        let (report, ds) = b.build().unwrap().run().unwrap();
-        assert!(report.outcome.is_completed());
-        assert_eq!(ds.len(), 1);
-        let (_, t) = ds.iter().next().unwrap();
-        assert_eq!(t[1], Value::Int(expected));
     }
 
     #[test]
@@ -866,6 +1132,43 @@ mod tests {
         assert!(report.outcome.is_completed());
         assert!(ds.contains_match(&sdl_tuple::pattern![Value::atom("counter"), 200]));
         assert_eq!(report.commits, 200);
+    }
+
+    #[test]
+    fn shard_commit_metrics_follow_the_partition() {
+        // Each drain commit retracts a <job,·> and asserts a <done,·>, so
+        // its write footprint is exactly {shard(job), shard(done)} and
+        // the per-shard commit counters must sum accordingly.
+        let shards = 4usize;
+        let s_job = shard_of_tuple(&tuple![Value::atom("job"), 0], shards);
+        let s_done = shard_of_tuple(&tuple![Value::atom("done"), 0], shards);
+        let per_commit = if s_job == s_done { 1 } else { 2 };
+        let (metrics, registry) = Metrics::registry();
+        let mut b = ParallelRuntime::builder(job_program())
+            .threads(4)
+            .shards(shards)
+            .seed(7)
+            .metrics(metrics);
+        for j in 0..100i64 {
+            b = b.tuple(tuple![Value::atom("job"), j]);
+        }
+        for _ in 0..4 {
+            b = b.spawn("Worker", vec![]);
+        }
+        let (report, _) = b.build().unwrap().run().unwrap();
+        assert!(report.outcome.is_completed());
+        assert_eq!(report.commits, 100);
+        let total: u64 = (0..shards)
+            .map(|s| registry.shard_counter(s, ShardCounter::Commits))
+            .sum();
+        assert_eq!(total, 100 * per_commit);
+        assert!(registry.shard_counter(s_job, ShardCounter::Commits) >= 100);
+        // Untouched shards stay at zero.
+        for s in 0..shards {
+            if s != s_job && s != s_done {
+                assert_eq!(registry.shard_counter(s, ShardCounter::Commits), 0);
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use sdl_dataspace::{Dataspace, IndexMode, PlanMode, QueryAtom, SolveLimits, Solver, TupleSource};
+use sdl_dataspace::{
+    ForallEvidence, IndexMode, PlanMode, QueryAtom, SolveLimits, Solver, TupleSource,
+};
 use sdl_lang::ast::{Action, Quant};
 use sdl_lang::expr::{eval, eval_test};
 use sdl_tuple::{Bindings, Pattern, Tuple, TupleId, Value};
@@ -58,6 +60,11 @@ pub struct Pending {
     /// Resolved negated patterns the query verified empty (for
     /// validation).
     pub neg_checks: Vec<Pattern>,
+    /// For `forall` transactions: per-atom match evidence. The solution
+    /// set was computed from exactly these instances; validation rejects
+    /// if any atom's match set has drifted (a concurrent assert or
+    /// retract could enlarge — not just shrink — the solution set).
+    pub forall_checks: Vec<ForallEvidence>,
     /// `let` bindings to install in the process environment, in order.
     pub lets: Vec<(String, Value)>,
     /// Processes to create.
@@ -69,14 +76,30 @@ pub struct Pending {
 }
 
 impl Pending {
-    /// True against `ds` iff every read/retracted instance is still live
-    /// and every verified negation still has no match — i.e. the
-    /// evaluation would reach the same conclusion on `ds`.
-    pub fn validate(&self, ds: &Dataspace) -> bool {
-        self.reads.iter().all(|id| ds.contains_id(*id))
-            && self.retracts.iter().all(|id| ds.contains_id(*id))
+    /// True against `ds` iff every read/retracted instance is still live,
+    /// every verified negation still has no match, and every `forall`
+    /// atom still matches exactly the instances the evaluation saw — i.e.
+    /// the evaluation would reach the same conclusion on `ds`.
+    pub fn validate<S: TupleSource + ?Sized>(&self, ds: &S) -> bool {
+        self.reads.iter().all(|id| ds.tuple(*id).is_some())
+            && self.retracts.iter().all(|id| ds.tuple(*id).is_some())
             && self.neg_checks.iter().all(|p| !ds.contains_match(p))
+            && self
+                .forall_checks
+                .iter()
+                .all(|e| ds.matching_ids(&e.pattern) == e.matched)
     }
+}
+
+/// What a query evaluation committed to: the solutions plus (for
+/// `forall`) the atom-level match evidence [`Pending::validate`] needs to
+/// detect solution-set drift.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// The committed-to solutions (`exists`: exactly one).
+    pub solutions: Vec<sdl_dataspace::Solution>,
+    /// Per-atom match evidence (`forall` only; empty for `exists`).
+    pub forall_checks: Vec<ForallEvidence>,
 }
 
 /// Evaluates `txn` over `source`.
@@ -99,7 +122,7 @@ pub fn evaluate(
     plan: PlanConfig,
 ) -> Result<Option<Pending>, RuntimeError> {
     match evaluate_query(txn, source, env, builtins, limits, plan)? {
-        Some(solutions) => build_effects(txn, &solutions, env, builtins).map(Some),
+        Some(query) => build_effects(txn, &query, env, builtins).map(Some),
         None => Ok(None),
     }
 }
@@ -120,7 +143,7 @@ pub fn evaluate_query(
     builtins: &Builtins,
     limits: SolveLimits,
     plan: PlanConfig,
-) -> Result<Option<Vec<sdl_dataspace::Solution>>, RuntimeError> {
+) -> Result<Option<QueryOutcome>, RuntimeError> {
     let plain_ctx = EnvCtx {
         env,
         vars: None,
@@ -194,17 +217,34 @@ pub fn evaluate_query(
         })
     };
 
-    let solutions = match txn.quant {
+    let outcome = match txn.quant {
         Quant::Exists => {
             let mut staged = |depth: usize, b: &Bindings| {
                 check_tests(binding_tests, depth, b) && check_tests(property_tests, depth, b)
             };
             match solver.first_staged(None, &mut staged) {
-                Some(s) => vec![s],
+                Some(s) => QueryOutcome {
+                    solutions: vec![s],
+                    forall_checks: Vec::new(),
+                },
                 None => return Ok(None),
             }
         }
         Quant::Forall => {
+            // The committed effects depend on the *complete* solution
+            // set, so record, per atom, exactly which instances matched:
+            // validation re-derives the sets and rejects on any drift.
+            // Captured for negated atoms too — retracting a tuple that
+            // matched a negation can enlarge the solution set. (Recorded
+            // even when the set is empty: a vacuous forall still commits
+            // its once-only actions.)
+            let forall_checks = atoms
+                .iter()
+                .map(|a| ForallEvidence {
+                    pattern: a.pattern.clone(),
+                    matched: source.matching_ids(&a.pattern),
+                })
+                .collect();
             // Binding constraints prune; property tests are the checked
             // property — every binding solution must satisfy them.
             let mut staged = |depth: usize, b: &Bindings| check_tests(binding_tests, depth, b);
@@ -217,11 +257,14 @@ pub fn evaluate_query(
                     }
                 }
             }
-            sols
+            QueryOutcome {
+                solutions: sols,
+                forall_checks,
+            }
         }
     };
 
-    Ok(Some(solutions))
+    Ok(Some(outcome))
 }
 
 /// The effect half of [`evaluate`]: turns the solutions into a
@@ -233,12 +276,16 @@ pub fn evaluate_query(
 /// As [`evaluate`].
 pub fn build_effects(
     txn: &CompiledTxn,
-    solutions: &[sdl_dataspace::Solution],
+    query: &QueryOutcome,
     env: &HashMap<String, Value>,
     builtins: &Builtins,
 ) -> Result<Pending, RuntimeError> {
     // Assemble effects.
-    let mut pending = Pending::default();
+    let solutions = &query.solutions;
+    let mut pending = Pending {
+        forall_checks: query.forall_checks.clone(),
+        ..Pending::default()
+    };
     let mut retracted: HashSet<TupleId> = HashSet::new();
     for sol in solutions {
         for id in &sol.retracts {
@@ -348,6 +395,7 @@ pub fn watch_set(
 mod tests {
     use super::*;
     use crate::program::compile_txn;
+    use sdl_dataspace::Dataspace;
     use sdl_lang::parse_transaction;
     use sdl_tuple::{pattern, tuple, ProcId};
 
@@ -539,6 +587,61 @@ mod tests {
         assert!(p2.validate(&ds));
         ds.assert_tuple(ProcId::ENV, tuple![Value::atom("index"), 1]);
         assert!(!p2.validate(&ds));
+    }
+
+    #[test]
+    fn forall_validation_detects_solution_set_growth() {
+        // The soundness hole: a tuple asserted concurrently between
+        // evaluation and commit enlarges the forall's solution set
+        // without touching any instance the evaluation read.
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 1]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 2]);
+        let p = run("forall a : <v, a>! => <copy, a>, <done>", &ds, &[]).unwrap();
+        assert!(p.validate(&ds));
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 99]);
+        assert!(
+            !p.validate(&ds),
+            "concurrent assert enlarged the solution set"
+        );
+    }
+
+    #[test]
+    fn forall_validation_detects_vacuous_growth() {
+        // Vacuous forall: zero solutions still commit the once-only
+        // actions, so evidence must flow even with an empty match set.
+        let mut ds = Dataspace::new();
+        let p = run("forall a : <v, a> : a > 7 -> <allbig>", &ds, &[]).unwrap();
+        assert_eq!(p.asserts.len(), 1);
+        assert!(p.validate(&ds));
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 1]);
+        assert!(!p.validate(&ds), "no longer vacuous");
+    }
+
+    #[test]
+    fn forall_validation_detects_negation_retract() {
+        // Retracting a tuple matched by a *negated* atom can also grow
+        // the solution set — per-solution neg_checks never see it when
+        // the blocked pairing produced no solution at all.
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 1]);
+        let blocker = ds.assert_tuple(ProcId::ENV, tuple![Value::atom("hold"), 1]);
+        let p = run("forall a : <v, a>, not <hold, a> -> <ok>", &ds, &[]).unwrap();
+        assert!(p.validate(&ds));
+        ds.retract(blocker);
+        assert!(!p.validate(&ds), "negated match set shrank");
+    }
+
+    #[test]
+    fn exists_validation_unchanged_by_unrelated_assert() {
+        // exists records no forall evidence: an unrelated concurrent
+        // assert must not invalidate it (no spurious retries).
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 1]);
+        let p = run("exists a : <v, a>! -> <copy, a>", &ds, &[]).unwrap();
+        assert!(p.forall_checks.is_empty());
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("v"), 2]);
+        assert!(p.validate(&ds));
     }
 
     #[test]

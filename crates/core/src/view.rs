@@ -144,6 +144,11 @@ impl CompiledView {
         self.import.is_none()
     }
 
+    /// True if the export side is unrestricted (no assert is ever dropped).
+    pub fn exports_everything(&self) -> bool {
+        self.export.is_none()
+    }
+
     /// Computes the window `W = Import(p) ∩ D` for a transaction.
     ///
     /// The window is *lazy*: rather than materialising the imported
@@ -159,7 +164,7 @@ impl CompiledView {
     /// Fails if an environment expression in a rule cannot evaluate.
     pub fn window<'a>(
         &'a self,
-        ds: &'a Dataspace,
+        ds: &'a dyn TupleSource,
         env: &'a HashMap<String, Value>,
         builtins: &'a Builtins,
     ) -> Result<QuerySource<'a>, RuntimeError> {
@@ -318,10 +323,10 @@ impl CompiledView {
     }
 
     /// True if `tuple` is in the import set.
-    pub fn imports(
+    pub fn imports<S: TupleSource + ?Sized>(
         &self,
         tuple: &Tuple,
-        ds: &Dataspace,
+        ds: &S,
         env: &HashMap<String, Value>,
         builtins: &Builtins,
     ) -> bool {
@@ -333,10 +338,10 @@ impl CompiledView {
 
     /// True if `tuple` is in the export set (assertions outside it are
     /// silently dropped per the paper's update formula).
-    pub fn exports(
+    pub fn exports<S: TupleSource + ?Sized>(
         &self,
         tuple: &Tuple,
-        ds: &Dataspace,
+        ds: &S,
         env: &HashMap<String, Value>,
         builtins: &Builtins,
     ) -> bool {
@@ -346,11 +351,11 @@ impl CompiledView {
         }
     }
 
-    fn rules_admit(
+    fn rules_admit<S: TupleSource + ?Sized>(
         &self,
         rules: &[CompiledViewRule],
         tuple: &Tuple,
-        ds: &Dataspace,
+        ds: &S,
         env: &HashMap<String, Value>,
         builtins: &Builtins,
     ) -> bool {
@@ -371,11 +376,11 @@ impl CompiledView {
 /// Checks one rule against one tuple: the tuple must match the rule's
 /// pattern, and the rule's conditions must then hold in the dataspace
 /// under the bindings the match produced.
-fn rule_admits(
+fn rule_admits<S: TupleSource + ?Sized>(
     rule: &CompiledViewRule,
     resolved_pattern: &Pattern,
     tuple: &Tuple,
-    ds: &Dataspace,
+    ds: &S,
     env: &HashMap<String, Value>,
     builtins: &Builtins,
 ) -> bool {
@@ -498,15 +503,19 @@ fn rule_admits(
 
 /// What a transaction queries: the whole dataspace (full view), a lazily
 /// filtered view of it, or a materialised window snapshot.
-#[derive(Debug)]
+///
+/// The backing store is a `dyn TupleSource` rather than a concrete
+/// [`Dataspace`] so the threaded executor can evaluate against a locked
+/// shard footprint ([`sdl_dataspace::ShardReadView`]) through the same
+/// machinery.
 pub enum QuerySource<'a> {
     /// Unrestricted view — queries run straight on the store.
-    Full(&'a Dataspace),
+    Full(&'a dyn TupleSource),
     /// Restricted view — candidates are filtered through the import test
     /// on demand.
     Lazy {
         /// The backing store.
-        ds: &'a Dataspace,
+        ds: &'a dyn TupleSource,
         /// The process view.
         view: &'a CompiledView,
         /// The process environment.
@@ -517,6 +526,18 @@ pub enum QuerySource<'a> {
     /// A materialised window snapshot (boxed: a `Window` carries its own
     /// index maps and dwarfs the borrowed variants).
     Restricted(Box<Window>),
+}
+
+impl std::fmt::Debug for QuerySource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuerySource::Full(_) => f.write_str("QuerySource::Full"),
+            QuerySource::Lazy { .. } => f.write_str("QuerySource::Lazy"),
+            QuerySource::Restricted(w) => {
+                f.debug_tuple("QuerySource::Restricted").field(w).finish()
+            }
+        }
+    }
 }
 
 impl QuerySource<'_> {
@@ -530,7 +551,7 @@ impl QuerySource<'_> {
                 builtins,
             } => {
                 ds.metrics().inc(Counter::WindowAdmitChecks);
-                view.imports(tuple, ds, env, builtins)
+                view.imports(tuple, *ds, env, builtins)
             }
         }
     }
@@ -593,8 +614,24 @@ impl TupleSource for QuerySource<'_> {
     fn tuple_count(&self) -> usize {
         match self {
             QuerySource::Full(d) => d.tuple_count(),
-            QuerySource::Lazy { ds, .. } => ds.iter().filter(|(_, t)| self.admits(t)).count(),
+            QuerySource::Lazy { ds, .. } => ds
+                .all_ids()
+                .into_iter()
+                .filter(|id| ds.tuple(*id).is_some_and(|t| self.admits(t)))
+                .count(),
             QuerySource::Restricted(w) => w.tuple_count(),
+        }
+    }
+
+    fn all_ids(&self) -> Vec<TupleId> {
+        match self {
+            QuerySource::Full(d) => d.all_ids(),
+            QuerySource::Lazy { ds, .. } => ds
+                .all_ids()
+                .into_iter()
+                .filter(|id| ds.tuple(*id).is_some_and(|t| self.admits(t)))
+                .collect(),
+            QuerySource::Restricted(w) => w.all_ids(),
         }
     }
 
@@ -613,6 +650,19 @@ impl TupleSource for QuerySource<'_> {
                 })
             }
             QuerySource::Restricted(w) => w.contains_match(pattern),
+        }
+    }
+
+    fn matching_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        match self {
+            QuerySource::Full(d) => d.matching_ids(pattern),
+            // Deliberately *unfiltered*: validation runs against the full
+            // store, so forall evidence recorded here must describe the
+            // full store too — filtering through the import test would
+            // make the sets incomparable and retry forever whenever a
+            // matching tuple sits outside the view.
+            QuerySource::Lazy { ds, .. } => ds.matching_ids(pattern),
+            QuerySource::Restricted(w) => w.matching_ids(pattern),
         }
     }
 }

@@ -17,7 +17,10 @@
 //!   index-cardinality estimates, early negation scheduling, and drift
 //!   detection for plan caching;
 //! * [`WatchKey`] — conservative change-notification keys used to wake
-//!   blocked *delayed* and *consensus* transactions.
+//!   blocked *delayed* and *consensus* transactions;
+//! * [`ShardedDataspace`] — the store partitioned by `(functor, arity)`
+//!   into independently locked shards, so the threaded executor commits
+//!   disjoint-relation transactions concurrently.
 //!
 //! ## Example
 //!
@@ -35,13 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod plan;
+pub mod shard;
 pub mod solve;
 mod store;
 mod watch;
 mod window;
 
 pub use plan::{estimate_positives, estimates_drifted, plan_query, PlanMode, QueryPlan};
-pub use solve::{AtomMode, QueryAtom, Solution, SolveLimits, Solver};
+pub use shard::{
+    shard_of_pattern, shard_of_tuple, shard_of_watch_key, ShardReadView, ShardSet, ShardWriteView,
+    ShardedDataspace, MAX_SHARDS,
+};
+pub use solve::{AtomMode, ForallEvidence, QueryAtom, Solution, SolveLimits, Solver};
 pub use store::{intersect_sorted, Dataspace, IndexMode, TupleSource};
 pub use watch::{WatchKey, WatchSet};
 pub use window::Window;

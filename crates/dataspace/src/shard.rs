@@ -1,0 +1,640 @@
+//! A sharded dataspace for the threaded executor.
+//!
+//! The single `RwLock<Dataspace>` behind the threaded executor serializes
+//! every commit, even when transactions touch disjoint relations. This
+//! module partitions tuple instances by `(functor, arity)` — arity alone
+//! for tuples without an atom head — into N independently locked shards,
+//! so transactions whose footprints land on different shards validate and
+//! commit concurrently.
+//!
+//! ## Routing invariant
+//!
+//! [`shard_of_tuple`] and [`shard_of_pattern`] agree: every tuple a
+//! pattern could match lives in the shard `shard_of_pattern` names (or the
+//! pattern is unroutable and maps to *all* shards). Concretely:
+//!
+//! * an atom-headed tuple hashes `(functor, arity)`; a pattern with a
+//!   constant atom head hashes the same pair — and only tuples with that
+//!   exact head and arity can match it;
+//! * a tuple without an atom head hashes its arity only; a pattern whose
+//!   head is a constant **non-atom** can only match such tuples, so it
+//!   hashes the arity;
+//! * a pattern with a variable or wildcard head could match either kind,
+//!   so it routes to every shard ([`shard_of_pattern`] returns `None`).
+//!
+//! The same invariant extends to [`WatchKey`]s via [`shard_of_watch_key`],
+//! so blocked-process wake routing follows the partition.
+//!
+//! ## Id allocation
+//!
+//! Each shard mints ids on a strided sequence: shard `i` of `n` starts at
+//! `i + 1` with stride `n`, so sequences are disjoint and `(seq - 1) % n`
+//! maps any id back to its shard in O(1) — no global allocator, no
+//! id→shard table. With `n = 1` this degenerates to the dense `1, 2, 3,
+//! …` sequence of a plain [`Dataspace`], so a single-shard store is
+//! bit-for-bit identical to the unsharded one.
+//!
+//! ## Locking protocol
+//!
+//! Callers compute a footprint — the [`ShardSet`] of shards a
+//! transaction's patterns, instance ids, and asserted tuples route to —
+//! and acquire guards over exactly those shards with
+//! [`ShardedDataspace::read_shards`] / [`ShardedDataspace::write_shards`].
+//! Both acquire in ascending shard order, and no thread ever holds one
+//! view while acquiring another, so lock acquisition is totally ordered
+//! and deadlock-free. The returned views implement [`TupleSource`] over
+//! the union of their locked shards, merging per-shard candidate lists
+//! back into ascending id order.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use sdl_metrics::Metrics;
+use sdl_tuple::{Field, Pattern, ProcId, Tuple, TupleId};
+
+use crate::store::{Dataspace, IndexMode, TupleSource};
+use crate::watch::WatchKey;
+
+/// Most shards a [`ShardedDataspace`] will split into; also the capacity
+/// of [`ShardSet`]'s bitmask and the per-shard metrics arrays.
+pub const MAX_SHARDS: usize = 64;
+
+fn bucket_functor(f: &sdl_tuple::Atom, arity: usize, n: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    f.hash(&mut h);
+    arity.hash(&mut h);
+    (h.finish() % n as u64) as usize
+}
+
+fn bucket_arity(arity: usize, n: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    arity.hash(&mut h);
+    (h.finish() % n as u64) as usize
+}
+
+/// The shard a tuple instance lives in: hash of `(functor, arity)` for
+/// atom-headed tuples, hash of the arity alone otherwise.
+pub fn shard_of_tuple(tuple: &Tuple, n: usize) -> usize {
+    match tuple.functor() {
+        Some(f) => bucket_functor(&f, tuple.arity(), n),
+        None => bucket_arity(tuple.arity(), n),
+    }
+}
+
+/// The single shard all possible matches of `pattern` live in, or `None`
+/// when matches could live anywhere (variable or wildcard head).
+pub fn shard_of_pattern(pattern: &Pattern, n: usize) -> Option<usize> {
+    match pattern.functor() {
+        Some(f) => Some(bucket_functor(&f, pattern.arity(), n)),
+        None => match pattern.fields().first() {
+            // A constant non-atom head only matches functor-less tuples,
+            // which all hash by arity. An *empty* pattern likewise.
+            Some(Field::Const(_)) => Some(bucket_arity(pattern.arity(), n)),
+            None => Some(bucket_arity(0, n)),
+            _ => None,
+        },
+    }
+}
+
+/// The shard whose commits can publish `key`, or `None` for every shard.
+///
+/// `Functor` keys are published only by tuples of that head and arity —
+/// one shard. `Arity` keys are published by *every* tuple of that arity,
+/// atom-headed ones included, which are spread across shards by functor.
+pub fn shard_of_watch_key(key: &WatchKey, n: usize) -> Option<usize> {
+    match key {
+        WatchKey::Functor(f, arity) => Some(bucket_functor(f, *arity, n)),
+        WatchKey::Arity(_) => None,
+    }
+}
+
+/// A set of shard indices, backed by a `u64` bitmask (hence
+/// [`MAX_SHARDS`] = 64).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSet {
+    bits: u64,
+}
+
+impl ShardSet {
+    /// The empty set.
+    pub const fn new() -> ShardSet {
+        ShardSet { bits: 0 }
+    }
+
+    /// The full set over `n` shards.
+    pub fn all(n: usize) -> ShardSet {
+        debug_assert!((1..=MAX_SHARDS).contains(&n));
+        ShardSet {
+            bits: if n == MAX_SHARDS {
+                u64::MAX
+            } else {
+                (1u64 << n) - 1
+            },
+        }
+    }
+
+    /// Adds shard `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < MAX_SHARDS);
+        self.bits |= 1u64 << i;
+    }
+
+    /// True if shard `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits & (1u64 << i) != 0
+    }
+
+    /// True if no shard is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of shards in the set.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..MAX_SHARDS).filter(|&i| self.contains(i))
+    }
+
+    /// Unions `other` into this set.
+    pub fn extend(&mut self, other: ShardSet) {
+        self.bits |= other.bits;
+    }
+}
+
+impl fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// N independently locked [`Dataspace`] shards behind one store facade.
+///
+/// # Examples
+///
+/// ```
+/// use sdl_dataspace::{ShardedDataspace, TupleSource};
+/// use sdl_tuple::{pattern, tuple, ProcId, Value};
+///
+/// let sds = ShardedDataspace::new(4);
+/// sds.assert_tuple(ProcId::ENV, tuple![Value::atom("job"), 1]);
+/// sds.assert_tuple(ProcId::ENV, tuple![Value::atom("done"), 2]);
+/// let view = sds.read_shards(sds.all_shards());
+/// assert_eq!(view.tuple_count(), 2);
+/// assert!(view.contains_match(&pattern![Value::atom("job"), any]));
+/// ```
+pub struct ShardedDataspace {
+    shards: Vec<RwLock<Dataspace>>,
+    index_mode: IndexMode,
+    metrics: Metrics,
+}
+
+impl ShardedDataspace {
+    /// Creates `n` empty shards (clamped to `1..=`[`MAX_SHARDS`]) with
+    /// default indexing.
+    pub fn new(n: usize) -> ShardedDataspace {
+        ShardedDataspace::with_index_mode(n, IndexMode::default())
+    }
+
+    /// Creates `n` empty shards with the given index configuration.
+    pub fn with_index_mode(n: usize, index_mode: IndexMode) -> ShardedDataspace {
+        let n = n.clamp(1, MAX_SHARDS);
+        let shards = (0..n)
+            .map(|i| {
+                let mut d = Dataspace::with_index_mode(index_mode);
+                d.set_seq_stride(i as u64 + 1, n as u64);
+                RwLock::new(d)
+            })
+            .collect();
+        ShardedDataspace {
+            shards,
+            index_mode,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared index configuration.
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
+    }
+
+    /// Installs a metrics handle on every shard (mutations and index
+    /// lookups count into the shared sink).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        for s in &mut self.shards {
+            s.write().set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
+    }
+
+    /// The set containing every shard.
+    pub fn all_shards(&self) -> ShardSet {
+        ShardSet::all(self.num_shards())
+    }
+
+    /// The shard `tuple` routes to.
+    pub fn shard_of_tuple(&self, tuple: &Tuple) -> usize {
+        shard_of_tuple(tuple, self.num_shards())
+    }
+
+    /// The shard all matches of `pattern` live in, or `None` for all.
+    pub fn shard_of_pattern(&self, pattern: &Pattern) -> Option<usize> {
+        shard_of_pattern(pattern, self.num_shards())
+    }
+
+    /// The shard that minted `id` — O(1) thanks to strided sequences.
+    pub fn shard_of_id(&self, id: TupleId) -> usize {
+        ((id.seq - 1) % self.num_shards() as u64) as usize
+    }
+
+    /// Asserts a tuple into its shard (briefly write-locking it),
+    /// returning the fresh id. The builder-time entry point; workers go
+    /// through [`ShardedDataspace::write_shards`] views instead.
+    pub fn assert_tuple(&self, owner: ProcId, tuple: Tuple) -> TupleId {
+        let s = self.shard_of_tuple(&tuple);
+        self.shards[s].write().assert_tuple(owner, tuple)
+    }
+
+    /// Total live instances (briefly read-locking each shard).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read-locks the shards in `set`, ascending, and returns a
+    /// [`TupleSource`] view over their union.
+    pub fn read_shards(&self, set: ShardSet) -> ShardReadView<'_> {
+        ShardView {
+            owner: self,
+            guards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| set.contains(i).then(|| s.read()))
+                .collect(),
+        }
+    }
+
+    /// Write-locks the shards in `set`, ascending; the view additionally
+    /// supports retract/assert routed to the owning shard.
+    pub fn write_shards(&self, set: ShardSet) -> ShardWriteView<'_> {
+        ShardView {
+            owner: self,
+            guards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| set.contains(i).then(|| s.write()))
+                .collect(),
+        }
+    }
+
+    /// Drains every shard into one merged [`Dataspace`] (ids preserved),
+    /// leaving the shards empty. Used to hand the final store back to the
+    /// caller when a run ends.
+    pub fn drain_into_dataspace(&self) -> Dataspace {
+        let mut out = Dataspace::with_index_mode(self.index_mode);
+        for lock in &self.shards {
+            let shard = std::mem::take(&mut *lock.write());
+            for (id, t) in shard.iter() {
+                out.insert_instance(id, t.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for ShardedDataspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedDataspace")
+            .field("shards", &self.num_shards())
+            .field("index_mode", &self.index_mode)
+            .finish()
+    }
+}
+
+/// A set of held shard guards, answering queries over their union.
+///
+/// `guards[i]` is `Some` iff shard `i` is in the view's footprint;
+/// lookups route by the same partition as the store, so a pattern whose
+/// shard is locked sees exactly the answer the whole store would give.
+pub struct ShardView<'a, G> {
+    owner: &'a ShardedDataspace,
+    guards: Vec<Option<G>>,
+}
+
+/// Read-locked footprint view.
+pub type ShardReadView<'a> = ShardView<'a, RwLockReadGuard<'a, Dataspace>>;
+/// Write-locked footprint view.
+pub type ShardWriteView<'a> = ShardView<'a, RwLockWriteGuard<'a, Dataspace>>;
+
+impl<G: Deref<Target = Dataspace>> ShardView<'_, G> {
+    fn shard(&self, i: usize) -> Option<&Dataspace> {
+        self.guards[i].as_deref()
+    }
+
+    fn locked(&self) -> impl Iterator<Item = &Dataspace> {
+        self.guards.iter().filter_map(|g| g.as_deref())
+    }
+
+    /// Merges per-shard ascending id lists produced by `fill` back into
+    /// one ascending list in `out`.
+    fn merged_into(
+        &self,
+        pattern: &Pattern,
+        out: &mut Vec<TupleId>,
+        fill: impl Fn(&Dataspace, &Pattern, &mut Vec<TupleId>),
+    ) {
+        let start = out.len();
+        match self.owner.shard_of_pattern(pattern) {
+            Some(s) => {
+                if let Some(d) = self.shard(s) {
+                    fill(d, pattern, out);
+                }
+            }
+            None => {
+                let mut contributors = 0;
+                for d in self.locked() {
+                    let before = out.len();
+                    fill(d, pattern, out);
+                    if out.len() > before {
+                        contributors += 1;
+                    }
+                }
+                if contributors > 1 {
+                    out[start..].sort_unstable();
+                }
+            }
+        }
+    }
+}
+
+impl<G: Deref<Target = Dataspace>> TupleSource for ShardView<'_, G> {
+    fn candidate_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        self.candidate_ids_into(pattern, &mut out);
+        out
+    }
+
+    fn candidate_ids_into(&self, pattern: &Pattern, out: &mut Vec<TupleId>) {
+        self.merged_into(pattern, out, |d, p, o| d.candidate_ids_into(p, o));
+    }
+
+    fn estimate_candidates(&self, pattern: &Pattern) -> usize {
+        match self.owner.shard_of_pattern(pattern) {
+            Some(s) => self.shard(s).map_or(0, |d| d.estimate_candidates(pattern)),
+            None => self.locked().map(|d| d.estimate_candidates(pattern)).sum(),
+        }
+    }
+
+    fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.shard(self.owner.shard_of_id(id))?.tuple(id)
+    }
+
+    fn tuple_count(&self) -> usize {
+        self.locked().map(Dataspace::tuple_count).sum()
+    }
+
+    fn all_ids(&self) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        let mut contributors = 0;
+        for d in self.locked() {
+            let before = out.len();
+            out.extend(d.all_ids());
+            if out.len() > before {
+                contributors += 1;
+            }
+        }
+        if contributors > 1 {
+            out.sort_unstable();
+        }
+        out
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.owner.metrics
+    }
+
+    fn contains_match(&self, pattern: &Pattern) -> bool {
+        match self.owner.shard_of_pattern(pattern) {
+            Some(s) => self.shard(s).is_some_and(|d| d.contains_match(pattern)),
+            None => self.locked().any(|d| d.contains_match(pattern)),
+        }
+    }
+
+    fn matching_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        self.merged_into(pattern, &mut out, |d, p, o| o.extend(d.find_all(p)));
+        out
+    }
+}
+
+impl<G: DerefMut<Target = Dataspace>> ShardView<'_, G> {
+    /// Retracts `id` from its shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id`'s shard is outside the view's footprint — the
+    /// caller's footprint computation failed to cover its own effects.
+    pub fn retract(&mut self, id: TupleId) -> Option<Tuple> {
+        let s = self.owner.shard_of_id(id);
+        self.guards[s]
+            .as_deref_mut()
+            .expect("retract target's shard must be in the write footprint")
+            .retract(id)
+    }
+
+    /// Asserts `tuple` into its shard, returning the fresh (strided) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's shard is outside the view's footprint.
+    pub fn assert_tuple(&mut self, owner: ProcId, tuple: Tuple) -> TupleId {
+        let s = self.owner.shard_of_tuple(&tuple);
+        self.guards[s]
+            .as_deref_mut()
+            .expect("asserted tuple's shard must be in the write footprint")
+            .assert_tuple(owner, tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{pattern, tuple, Value};
+
+    fn atom(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn tuple_and_pattern_routing_agree() {
+        // For every (tuple, pattern-that-matches-it) pair, a routable
+        // pattern must name the tuple's shard.
+        let tuples = [
+            tuple![atom("job"), 1, 2],
+            tuple![atom("job"), 9],
+            tuple![atom("done"), 1],
+            tuple![5, 6],
+            tuple![],
+        ];
+        let cases: [(&Tuple, Pattern); 6] = [
+            (&tuples[0], pattern![atom("job"), any, any]),
+            (&tuples[0], pattern![atom("job"), 1, var 0]),
+            (&tuples[1], pattern![atom("job"), any]),
+            (&tuples[2], pattern![atom("done"), var 0]),
+            (&tuples[3], pattern![5, any]),
+            (&tuples[4], pattern![]),
+        ];
+        for n in [1usize, 2, 4, 7, 16, 64] {
+            for (t, p) in &cases {
+                let ts = shard_of_tuple(t, n);
+                // An unroutable (all-shards) pattern trivially covers it.
+                if let Some(ps) = shard_of_pattern(p, n) {
+                    assert_eq!(ts, ps, "n={n} tuple={t} pattern={p:?}");
+                }
+            }
+            // Variable-head patterns are unroutable.
+            assert_eq!(shard_of_pattern(&pattern![var 0, any], n), None);
+            assert_eq!(shard_of_pattern(&pattern![any, any], n), None);
+        }
+    }
+
+    #[test]
+    fn watch_key_routing_matches_tuple_routing() {
+        let t = tuple![atom("job"), 3];
+        for n in [1usize, 3, 8, 64] {
+            for key in WatchKey::of_tuple(&t) {
+                // The arity channel (None) listens everywhere.
+                if let Some(s) = shard_of_watch_key(&key, n) {
+                    assert_eq!(s, shard_of_tuple(&t, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_ids_route_back_to_their_shard() {
+        let sds = ShardedDataspace::new(4);
+        for i in 0..40i64 {
+            let t = tuple![atom(["a", "b", "c", "d", "e"][(i % 5) as usize]), i];
+            let expect = sds.shard_of_tuple(&t);
+            let id = sds.assert_tuple(ProcId::ENV, t);
+            assert_eq!(sds.shard_of_id(id), expect, "id {id:?}");
+        }
+        assert_eq!(sds.len(), 40);
+    }
+
+    #[test]
+    fn single_shard_mints_dense_ids_like_a_plain_dataspace() {
+        let sds = ShardedDataspace::new(1);
+        let mut plain = Dataspace::new();
+        for i in 0..10i64 {
+            let a = sds.assert_tuple(ProcId(7), tuple![atom("x"), i]);
+            let b = plain.assert_tuple(ProcId(7), tuple![atom("x"), i]);
+            assert_eq!(a, b, "single shard must be bit-for-bit identical");
+        }
+    }
+
+    #[test]
+    fn footprint_view_answers_like_the_full_store() {
+        let sds = ShardedDataspace::new(8);
+        for i in 0..30i64 {
+            sds.assert_tuple(ProcId::ENV, tuple![atom("job"), i]);
+            sds.assert_tuple(ProcId::ENV, tuple![atom("done"), i]);
+        }
+        let p = pattern![atom("job"), any];
+        let fp = {
+            let mut s = ShardSet::new();
+            s.insert(sds.shard_of_pattern(&p).unwrap());
+            s
+        };
+        let view = sds.read_shards(fp);
+        assert_eq!(view.matching_ids(&p).len(), 30);
+        assert_eq!(view.estimate_candidates(&p), 30);
+        assert!(view.contains_match(&p));
+        // Out-of-footprint ids are invisible — the footprint contract.
+        let full = sds.read_shards(sds.all_shards());
+        assert_eq!(full.tuple_count(), 60);
+        let ids = full.all_ids();
+        assert_eq!(ids.len(), 60);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending, no dups");
+    }
+
+    #[test]
+    fn unroutable_pattern_merges_across_shards_in_id_order() {
+        let sds = ShardedDataspace::new(8);
+        for i in 0..20i64 {
+            sds.assert_tuple(
+                ProcId::ENV,
+                tuple![atom(["p", "q", "r"][(i % 3) as usize]), i],
+            );
+        }
+        let view = sds.read_shards(sds.all_shards());
+        let ids = view.candidate_ids(&pattern![var 0, any]);
+        assert_eq!(ids.len(), 20);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn write_view_routes_mutations() {
+        let sds = ShardedDataspace::new(4);
+        let id = sds.assert_tuple(ProcId::ENV, tuple![atom("job"), 1]);
+        let mut fp = ShardSet::new();
+        fp.insert(sds.shard_of_id(id));
+        fp.insert(sds.shard_of_tuple(&tuple![atom("done"), 1]));
+        let mut view = sds.write_shards(fp);
+        assert_eq!(view.retract(id), Some(tuple![atom("job"), 1]));
+        let nid = view.assert_tuple(ProcId(3), tuple![atom("done"), 1]);
+        assert_eq!(view.tuple(nid), Some(&tuple![atom("done"), 1]));
+        drop(view);
+        assert_eq!(sds.len(), 1);
+    }
+
+    #[test]
+    fn drain_preserves_instances_and_ids() {
+        let sds = ShardedDataspace::new(4);
+        let mut ids = Vec::new();
+        for i in 0..25i64 {
+            ids.push(sds.assert_tuple(ProcId::ENV, tuple![atom("k"), i]));
+        }
+        let merged = sds.drain_into_dataspace();
+        assert_eq!(merged.len(), 25);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(merged.tuple(*id), Some(&tuple![atom("k"), i as i64]));
+        }
+        assert!(sds.is_empty(), "shards were drained");
+    }
+
+    #[test]
+    fn shard_set_operations() {
+        let mut s = ShardSet::new();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(5);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(5) && !s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5]);
+        let all = ShardSet::all(4);
+        assert_eq!(all.len(), 4);
+        assert_eq!(ShardSet::all(MAX_SHARDS).len(), MAX_SHARDS);
+        let mut u = s;
+        u.extend(all);
+        assert_eq!(u.len(), 5);
+    }
+}

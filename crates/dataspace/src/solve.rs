@@ -110,6 +110,25 @@ impl Solution {
     }
 }
 
+/// Validation evidence for one atom of a `forall` query: the resolved
+/// pattern (positive or negated) and the exact id set that matched it at
+/// evaluation time, ascending.
+///
+/// A `forall` commits effects computed from its *complete* solution set,
+/// so read/retract liveness alone is not enough: a concurrent assert (for
+/// a positive atom) or retract (for a negated one) can enlarge the set
+/// without touching any instance the evaluation saw. Ids are never
+/// reused, so re-deriving the match set and comparing for equality
+/// detects any drift that could alter the solution set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForallEvidence {
+    /// The resolved atom pattern (environment expressions evaluated;
+    /// quantified variables left free).
+    pub pattern: Pattern,
+    /// Ids matching `pattern` when the query was evaluated, ascending.
+    pub matched: Vec<TupleId>,
+}
+
 /// Caps on query evaluation, protecting `forall`/replication enumeration
 /// from combinatorial blow-up.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

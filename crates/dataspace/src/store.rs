@@ -54,6 +54,11 @@ pub trait TupleSource {
     /// Number of tuple instances visible.
     fn tuple_count(&self) -> usize;
 
+    /// Ids of every visible instance, ascending. Lets pattern-free
+    /// enumeration (window sizing, snapshotting) work through a trait
+    /// object, where the concrete `iter()` methods are unavailable.
+    fn all_ids(&self) -> Vec<TupleId>;
+
     /// The metrics handle the solver should record into while querying
     /// this source. Defaults to the shared disabled handle, so existing
     /// sources (windows, snapshots) stay metric-free unless they opt in.
@@ -71,6 +76,26 @@ pub trait TupleSource {
             b.undo_to(m);
             ok
         })
+    }
+
+    /// Ids of all visible instances that actually match `pattern`
+    /// (fresh bindings per instance), ascending. Optimistic executors
+    /// record this at `forall` evaluation time and compare at commit
+    /// time: ids are never reused, so an equal id set implies the same
+    /// tuples — and hence the same solution set — for that atom.
+    fn matching_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        let n_vars = pattern.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+        let mut b = Bindings::new(n_vars);
+        self.candidate_ids(pattern)
+            .into_iter()
+            .filter(|id| {
+                let m = b.mark();
+                let t = self.tuple(*id).expect("candidate id must be live");
+                let ok = pattern.matches(t, &mut b);
+                b.undo_to(m);
+                ok
+            })
+            .collect()
     }
 }
 
@@ -112,6 +137,11 @@ pub struct Dataspace {
     value_counts: HashMap<Tuple, usize>,
     index_mode: IndexMode,
     next_seq: u64,
+    /// Distance between consecutive minted sequence numbers. 1 for a
+    /// standalone store; shard `i` of an n-way
+    /// [`ShardedDataspace`](crate::ShardedDataspace) mints `i+1, i+1+n,
+    /// …` so `(seq - 1) % n` routes any id back to its shard in O(1).
+    seq_stride: u64,
     version: u64,
     metrics: Metrics,
 }
@@ -134,6 +164,7 @@ impl Dataspace {
             value_counts: HashMap::new(),
             index_mode,
             next_seq: 1,
+            seq_stride: 1,
             version: 0,
             metrics: Metrics::disabled(),
         }
@@ -156,6 +187,45 @@ impl Dataspace {
         self.version
     }
 
+    /// Configures a strided sequence: subsequent asserts mint `start`,
+    /// `start + stride`, `start + 2·stride`, … Shard `i` (0-based) of an
+    /// n-way sharded store uses `(i + 1, n)`, making ids disjoint across
+    /// shards and `(seq - 1) % n` the id→shard map. `(1, 1)` — the
+    /// construction default — is the ordinary dense sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the store already minted an id.
+    pub fn set_seq_stride(&mut self, start: u64, stride: u64) {
+        assert!(stride > 0, "sequence stride must be positive");
+        assert!(
+            self.instances.is_empty() && self.version == 0,
+            "stride must be set before the store is used"
+        );
+        self.next_seq = start;
+        self.seq_stride = stride;
+    }
+
+    /// Inserts an instance under a caller-provided id, preserving it
+    /// exactly — the shard-merge primitive, also useful for rebuilding
+    /// snapshots. Updates indexes and multiset counts but neither the
+    /// version counter nor metrics (the mutation was already accounted
+    /// for where the id was minted); advances `next_seq` past `id.seq` so
+    /// later asserts cannot collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already live.
+    pub fn insert_instance(&mut self, id: TupleId, tuple: Tuple) {
+        self.index_insert(id, &tuple);
+        *self.value_counts.entry(tuple.clone()).or_insert(0) += 1;
+        let prev = self.instances.insert(id, tuple);
+        assert!(prev.is_none(), "instance {id:?} already live");
+        if id.seq >= self.next_seq {
+            self.next_seq = id.seq + self.seq_stride;
+        }
+    }
+
     /// Number of live tuple instances.
     pub fn len(&self) -> usize {
         self.instances.len()
@@ -173,7 +243,7 @@ impl Dataspace {
             owner,
             seq: self.next_seq,
         };
-        self.next_seq += 1;
+        self.next_seq += self.seq_stride;
         self.index_insert(id, &tuple);
         *self.value_counts.entry(tuple.clone()).or_insert(0) += 1;
         self.instances.insert(id, tuple);
@@ -488,6 +558,10 @@ impl TupleSource for Dataspace {
         self.instances.len()
     }
 
+    fn all_ids(&self) -> Vec<TupleId> {
+        self.instances.keys().copied().collect()
+    }
+
     fn metrics(&self) -> &Metrics {
         &self.metrics
     }
@@ -507,6 +581,10 @@ impl TupleSource for Dataspace {
             b.undo_to(m);
             ok
         })
+    }
+
+    fn matching_ids(&self, pattern: &Pattern) -> Vec<TupleId> {
+        self.find_all(pattern)
     }
 }
 

@@ -197,6 +197,10 @@ impl TupleSource for Window {
     fn tuple_count(&self) -> usize {
         self.instances.len()
     }
+
+    fn all_ids(&self) -> Vec<TupleId> {
+        self.instances.keys().copied().collect()
+    }
 }
 
 impl FromIterator<TupleInstance> for Window {

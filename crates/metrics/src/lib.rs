@@ -264,6 +264,9 @@ pub enum Hist {
     WindowSize,
     /// Wall-clock seconds a process spent blocked before waking.
     BlockedSeconds,
+    /// Wall-clock seconds spent acquiring shard locks (per footprint
+    /// acquisition, summed over the shards in the footprint).
+    ShardLockWaitSeconds,
 }
 
 const LATENCY_BUCKETS: &[f64] = &[
@@ -275,10 +278,11 @@ const SIZE_BUCKETS: &[f64] = &[
 
 impl Hist {
     /// All histograms in exposition order.
-    pub const ALL: [Hist; 3] = [
+    pub const ALL: [Hist; 4] = [
         Hist::QueryEvalSeconds,
         Hist::WindowSize,
         Hist::BlockedSeconds,
+        Hist::ShardLockWaitSeconds,
     ];
 
     /// Number of distinct histograms.
@@ -290,6 +294,7 @@ impl Hist {
             Hist::QueryEvalSeconds => "sdl_query_eval_seconds",
             Hist::WindowSize => "sdl_window_size",
             Hist::BlockedSeconds => "sdl_process_blocked_seconds",
+            Hist::ShardLockWaitSeconds => "sdl_shard_lock_wait_seconds",
         }
     }
 
@@ -299,14 +304,55 @@ impl Hist {
             Hist::QueryEvalSeconds => "Latency of transaction guard evaluation.",
             Hist::WindowSize => "Tuples admitted per constructed window.",
             Hist::BlockedSeconds => "Time processes spent blocked before waking.",
+            Hist::ShardLockWaitSeconds => "Time spent acquiring shard-lock footprints.",
         }
     }
 
     /// Upper bounds of the cumulative buckets (exclusive of `+Inf`).
     pub fn buckets(self) -> &'static [f64] {
         match self {
-            Hist::QueryEvalSeconds | Hist::BlockedSeconds => LATENCY_BUCKETS,
+            Hist::QueryEvalSeconds | Hist::BlockedSeconds | Hist::ShardLockWaitSeconds => {
+                LATENCY_BUCKETS
+            }
             Hist::WindowSize => SIZE_BUCKETS,
+        }
+    }
+}
+
+/// Per-shard counters recorded by the sharded dataspace executor. Unlike
+/// [`Counter`], these carry a dynamic `shard` label, so they get their own
+/// channel instead of one enum discriminant per (kind, shard) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum ShardCounter {
+    /// `sdl_shard_commits_total{shard="i"}` — transactions whose write
+    /// footprint included shard *i* and that committed.
+    Commits,
+    /// `sdl_shard_conflicts_total{shard="i"}` — validation failures whose
+    /// read footprint included shard *i*.
+    Conflicts,
+}
+
+impl ShardCounter {
+    /// Both per-shard counters, exposition order.
+    pub const ALL: [ShardCounter; 2] = [ShardCounter::Commits, ShardCounter::Conflicts];
+
+    /// Number of per-shard counter kinds.
+    pub const COUNT: usize = ShardCounter::ALL.len();
+
+    /// The Prometheus metric name (family).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardCounter::Commits => "sdl_shard_commits_total",
+            ShardCounter::Conflicts => "sdl_shard_conflicts_total",
+        }
+    }
+
+    /// Help text for the metric family.
+    pub fn help(self) -> &'static str {
+        match self {
+            ShardCounter::Commits => "Committed transactions whose footprint touched the shard.",
+            ShardCounter::Conflicts => "Validation conflicts whose footprint touched the shard.",
         }
     }
 }
@@ -319,6 +365,12 @@ pub trait MetricsSink: Send + Sync {
 
     /// Records one observation into a histogram.
     fn observe(&self, hist: Hist, value: f64);
+
+    /// Adds `n` to a per-shard counter. Default: discard, so sinks that
+    /// predate sharding (event streams, tests) keep compiling unchanged.
+    fn add_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
+        let _ = (shard, counter, n);
+    }
 }
 
 /// A sink that discards everything (the explicit analogue of
@@ -397,6 +449,14 @@ impl Metrics {
         }
     }
 
+    /// Adds `n` to the per-shard counter for `shard`.
+    #[inline]
+    pub fn add_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
+        if let Some(sink) = &self.sink {
+            sink.add_shard(shard, counter, n);
+        }
+    }
+
     /// Starts a wall-clock timer, or `None` when disabled (so the disabled
     /// path never reads the clock).
     #[inline]
@@ -463,12 +523,18 @@ impl HistStore {
     }
 }
 
+/// Fixed shard-label capacity of the registry: matches the dataspace's
+/// 64-shard maximum, so per-shard storage stays a flat atomic array.
+pub const MAX_SHARD_SERIES: usize = 64;
+
 /// Lock-free metric storage: one atomic per [`Counter`], fixed-bucket
 /// atomics per [`Hist`]. Shared via `Arc` between the runtime and whoever
 /// reads the snapshot at the end.
 pub struct MetricsRegistry {
     counters: [AtomicU64; Counter::COUNT],
     hists: Vec<HistStore>,
+    /// `[kind][shard]`, flattened: `kind * MAX_SHARD_SERIES + shard`.
+    shard_counters: Vec<AtomicU64>,
 }
 
 impl Default for MetricsRegistry {
@@ -483,12 +549,23 @@ impl MetricsRegistry {
         MetricsRegistry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: Hist::ALL.iter().map(|&h| HistStore::new(h)).collect(),
+            shard_counters: (0..ShardCounter::COUNT * MAX_SHARD_SERIES)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
     /// Current value of `counter`.
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current value of a per-shard counter (0 for out-of-range shards).
+    pub fn shard_counter(&self, shard: usize, counter: ShardCounter) -> u64 {
+        if shard >= MAX_SHARD_SERIES {
+            return 0;
+        }
+        self.shard_counters[counter as usize * MAX_SHARD_SERIES + shard].load(Ordering::Relaxed)
     }
 
     /// Total observations recorded into `hist`.
@@ -518,6 +595,27 @@ impl MetricsRegistry {
                 let _ = writeln!(out, "{} {}", c.name(), self.counter(c));
             } else {
                 let _ = writeln!(out, "{}{{{}}} {}", c.name(), labels, self.counter(c));
+            }
+        }
+        for &sc in &ShardCounter::ALL {
+            // Only shards the run actually touched get a series; an idle
+            // 64-shard tail would drown the exposition in zeros.
+            let nonzero: Vec<usize> = (0..MAX_SHARD_SERIES)
+                .filter(|&s| self.shard_counter(s, sc) != 0)
+                .collect();
+            if nonzero.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {} {}", sc.name(), sc.help());
+            let _ = writeln!(out, "# TYPE {} counter", sc.name());
+            for s in nonzero {
+                let _ = writeln!(
+                    out,
+                    "{}{{shard=\"{}\"}} {}",
+                    sc.name(),
+                    s,
+                    self.shard_counter(s, sc)
+                );
             }
         }
         for &h in &Hist::ALL {
@@ -556,6 +654,13 @@ impl MetricsSink for MetricsRegistry {
 
     fn observe(&self, hist: Hist, value: f64) {
         self.hists[hist as usize].observe(hist.buckets(), value);
+    }
+
+    fn add_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
+        if shard < MAX_SHARD_SERIES {
+            self.shard_counters[counter as usize * MAX_SHARD_SERIES + shard]
+                .fetch_add(n, Ordering::Relaxed);
+        }
     }
 }
 
@@ -614,6 +719,42 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn shard_counters_render_only_touched_shards() {
+        let (m, reg) = Metrics::registry();
+        let text = reg.render_prometheus();
+        assert!(
+            !text.contains("sdl_shard_commits_total"),
+            "untouched shard families are omitted entirely"
+        );
+        m.add_shard(0, ShardCounter::Commits, 3);
+        m.add_shard(5, ShardCounter::Commits, 1);
+        m.add_shard(5, ShardCounter::Conflicts, 2);
+        m.add_shard(MAX_SHARD_SERIES + 10, ShardCounter::Commits, 9); // ignored
+        assert_eq!(reg.shard_counter(0, ShardCounter::Commits), 3);
+        assert_eq!(reg.shard_counter(5, ShardCounter::Conflicts), 2);
+        assert_eq!(
+            reg.shard_counter(MAX_SHARD_SERIES + 10, ShardCounter::Commits),
+            0
+        );
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sdl_shard_commits_total counter"));
+        assert!(text.contains("sdl_shard_commits_total{shard=\"0\"} 3"));
+        assert!(text.contains("sdl_shard_commits_total{shard=\"5\"} 1"));
+        assert!(text.contains("sdl_shard_conflicts_total{shard=\"5\"} 2"));
+        assert!(!text.contains("shard=\"1\"}"), "idle shards get no series");
+    }
+
+    #[test]
+    fn shard_lock_wait_histogram_is_exposed() {
+        let (m, reg) = Metrics::registry();
+        m.observe(Hist::ShardLockWaitSeconds, 2e-6);
+        assert_eq!(reg.hist_count(Hist::ShardLockWaitSeconds), 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sdl_shard_lock_wait_seconds histogram"));
+        assert!(text.contains("sdl_shard_lock_wait_seconds_count 1"));
     }
 
     #[test]

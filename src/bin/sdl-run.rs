@@ -1,12 +1,16 @@
 //! `sdl-run` — run an SDL program from a `.sdl` source file.
 //!
 //! ```text
-//! sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats]
-//!         [--metrics] [--events-out FILE] [--trace-cap N]
-//!         [--max-attempts N] [--grid WxH] [--no-plan]
+//! sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] [--stats]
+//!         [--metrics] [--events-out FILE] [--trace-cap N] [--threads N]
+//!         [--shards N] [--max-attempts N] [--grid WxH] [--no-plan]
 //! ```
 //!
 //! * `--rounds`          use the maximal-parallel-rounds scheduler
+//! * `--threaded`        use the multithreaded optimistic executor
+//! * `--threads N`       worker threads for `--threaded` (default: CPUs)
+//! * `--shards N`        dataspace shards for `--threaded` (default:
+//!   CPUs; `1` reproduces the single-lock executor bit-for-bit)
 //! * `--no-plan`         disable selectivity-driven query planning
 //!   (source-order ablation baseline)
 //! * `--trace`           print the event timeline after the run
@@ -29,6 +33,9 @@ struct Args {
     file: String,
     seed: u64,
     rounds: bool,
+    threaded: bool,
+    threads: Option<usize>,
+    shards: Option<usize>,
     trace: bool,
     trace_cap: Option<usize>,
     stats: bool,
@@ -41,9 +48,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--trace] [--stats] \
-         [--metrics] [--events-out FILE] [--trace-cap N] \
-         [--max-attempts N] [--grid WxH] [--no-plan]"
+        "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] \
+         [--stats] [--metrics] [--events-out FILE] [--trace-cap N] \
+         [--threads N] [--shards N] [--max-attempts N] [--grid WxH] [--no-plan]"
     );
     std::process::exit(2)
 }
@@ -53,6 +60,9 @@ fn parse_args() -> Args {
         file: String::new(),
         seed: 0,
         rounds: false,
+        threaded: false,
+        threads: None,
+        shards: None,
         trace: false,
         trace_cap: None,
         stats: false,
@@ -72,6 +82,21 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--rounds" => args.rounds = true,
+            "--threaded" => args.threaded = true,
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--shards" => {
+                args.shards = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--trace" => args.trace = true,
             "--trace-cap" => {
                 args.trace_cap = Some(
@@ -109,6 +134,52 @@ fn parse_args() -> Args {
     args
 }
 
+fn run_threaded(
+    args: &Args,
+    program: CompiledProgram,
+    builtins: Builtins,
+    metrics: Metrics,
+    registry: Option<std::sync::Arc<sdl::metrics::MetricsRegistry>>,
+) -> ExitCode {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut b = sdl::core::parallel::ParallelRuntime::builder(program)
+        .seed(args.seed)
+        .builtins(builtins)
+        .metrics(metrics)
+        .max_attempts(args.max_attempts)
+        .threads(args.threads.unwrap_or(cpus))
+        .shards(args.shards.unwrap_or(cpus));
+    if args.no_plan {
+        b = b.plan_mode(PlanMode::SourceOrder);
+    }
+    let rt = match b.build() {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("sdl-run: init failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (report, ds) = match rt.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sdl-run: runtime error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("outcome: {}", report.outcome);
+    println!(
+        "commits: {}  attempts: {}  conflicts: {}  tuples: {}",
+        report.commits, report.attempts, report.conflicts, report.final_tuples
+    );
+    println!("{}", render_dataspace(&ds, 20));
+    if let Some(registry) = &registry {
+        print!("{}", registry.render_prometheus());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let source = match std::fs::read_to_string(&args.file) {
@@ -136,6 +207,22 @@ fn main() -> ExitCode {
     } else {
         (Metrics::disabled(), None)
     };
+
+    if args.threaded {
+        if args.rounds
+            || args.trace
+            || args.stats
+            || args.trace_cap.is_some()
+            || args.events_out.is_some()
+        {
+            eprintln!(
+                "sdl-run: --threaded does not support --rounds, --trace, \
+                 --stats, --trace-cap, or --events-out"
+            );
+            return ExitCode::FAILURE;
+        }
+        return run_threaded(&args, program, builtins, metrics, registry);
+    }
 
     let mut builder = Runtime::builder(program)
         .seed(args.seed)

@@ -1,0 +1,91 @@
+//! Pins down *when* export filtering is evaluated relative to a
+//! commit's own mutations, across all three executors.
+//!
+//! The paper's update formula `D' = (D − Wr) ∪ (Export(p) ∩ Wa)`
+//! evaluates the export set against the **pre-commit** configuration
+//! `D`: a transaction that retracts `<flag>` in the same commit that
+//! asserts `<out, 1>` still exports `<out, 1>` under a `<flag>`-gated
+//! export rule, and symmetrically a commit cannot *enable* its own
+//! exports by asserting the gate alongside them. Were any executor to
+//! filter against the post-retraction (or post-assert) store, the two
+//! programs below would reach different fixpoints on different
+//! executors.
+
+use std::collections::BTreeSet;
+
+use sdl_core::parallel::ParallelRuntime;
+use sdl_core::{CompiledProgram, Runtime};
+use sdl_dataspace::Dataspace;
+
+/// The commit retracts its own gate: `<flag>` is still present when the
+/// export set is computed, so `<out, 1>` must survive.
+const RETRACT_GATE: &str = "
+process P() {
+    export { <flag> => <out, *>; }
+    <flag>! -> <out, 1>;
+}
+init { <flag>; spawn P(); }";
+
+/// The commit asserts its own gate: `<gate>` is absent from the
+/// pre-commit store, so `<out, 2>` must be dropped even though the same
+/// commit makes the gate true.
+const ASSERT_GATE: &str = "
+process Q() {
+    export { <gate>; <gate> => <out, *>; }
+    -> <gate>, <out, 2>;
+}
+init { spawn Q(); }";
+
+fn fingerprint(ds: &Dataspace) -> BTreeSet<String> {
+    ds.iter().map(|(_, t)| t.to_string()).collect()
+}
+
+fn expect(tuples: &[&str]) -> BTreeSet<String> {
+    tuples.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn serial(src: &str) -> BTreeSet<String> {
+    let program = CompiledProgram::from_source(src).expect("compiles");
+    let mut rt = Runtime::builder(program).build().expect("builds");
+    rt.run().expect("runs");
+    fingerprint(rt.dataspace())
+}
+
+fn rounds(src: &str) -> BTreeSet<String> {
+    let program = CompiledProgram::from_source(src).expect("compiles");
+    let mut rt = Runtime::builder(program).build().expect("builds");
+    rt.run_rounds().expect("runs");
+    fingerprint(rt.dataspace())
+}
+
+fn threaded(src: &str, shards: usize) -> BTreeSet<String> {
+    let program = CompiledProgram::from_source(src).expect("compiles");
+    let (_, ds) = ParallelRuntime::builder(program)
+        .threads(2)
+        .shards(shards)
+        .build()
+        .expect("builds")
+        .run()
+        .expect("runs");
+    fingerprint(&ds)
+}
+
+#[test]
+fn self_retracted_gate_does_not_disable_exports() {
+    let want = expect(&["<out, 1>"]);
+    assert_eq!(serial(RETRACT_GATE), want, "serial");
+    assert_eq!(rounds(RETRACT_GATE), want, "rounds");
+    for shards in [1usize, 4] {
+        assert_eq!(threaded(RETRACT_GATE, shards), want, "threaded/{shards}");
+    }
+}
+
+#[test]
+fn self_asserted_gate_does_not_enable_exports() {
+    let want = expect(&["<gate>"]);
+    assert_eq!(serial(ASSERT_GATE), want, "serial");
+    assert_eq!(rounds(ASSERT_GATE), want, "rounds");
+    for shards in [1usize, 4] {
+        assert_eq!(threaded(ASSERT_GATE, shards), want, "threaded/{shards}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Equivalence of the sharded threaded executor with the serial
+//! scheduler on confluent workloads: whatever the shard count or thread
+//! interleaving, the fixpoint must be the exact multiset the serial run
+//! reaches.
+//!
+//! The CI stress job widens the seed sweep with
+//! `SDL_SHARD_STRESS_SEEDS=8`; the default keeps local runs quick.
+
+use sdl_core::parallel::ParallelRuntime;
+use sdl_core::{CompiledProgram, Runtime};
+use sdl_tuple::{tuple, Value};
+
+/// Sorted tuple renderings — a canonical multiset fingerprint.
+fn fingerprint<'a, I: Iterator<Item = &'a sdl_tuple::Tuple>>(tuples: I) -> Vec<String> {
+    let mut v: Vec<String> = tuples.map(|t| t.to_string()).collect();
+    v.sort();
+    v
+}
+
+fn seeds() -> u64 {
+    std::env::var("SDL_SHARD_STRESS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+fn shard_counts() -> Vec<usize> {
+    if std::env::var("SDL_SHARD_STRESS_SEEDS").is_ok() {
+        vec![1, 4]
+    } else {
+        vec![1, 4, 16]
+    }
+}
+
+fn serial_fixpoint(
+    src: &str,
+    spawns: &[(&str, Vec<Value>)],
+    tuples: &[sdl_tuple::Tuple],
+) -> Vec<String> {
+    let program = CompiledProgram::from_source(src).expect("compiles");
+    let mut b = Runtime::builder(program).seed(0);
+    for t in tuples {
+        b = b.tuple(t.clone());
+    }
+    for (name, args) in spawns {
+        b = b.spawn(name, args.clone());
+    }
+    let mut rt = b.build().expect("builds");
+    let report = rt.run().expect("runs");
+    assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+    fingerprint(rt.dataspace().iter().map(|(_, t)| t))
+}
+
+fn assert_sharded_matches(
+    src: &str,
+    spawns: &[(&str, Vec<Value>)],
+    tuples: &[sdl_tuple::Tuple],
+    expected: &[String],
+) {
+    for shards in shard_counts() {
+        for seed in 0..seeds() {
+            let program = CompiledProgram::from_source(src).expect("compiles");
+            let mut b = ParallelRuntime::builder(program)
+                .threads(4)
+                .shards(shards)
+                .seed(seed);
+            for t in tuples {
+                b = b.tuple(t.clone());
+            }
+            for (name, args) in spawns {
+                b = b.spawn(name, args.clone());
+            }
+            let (report, ds) = b.build().expect("builds").run().expect("runs");
+            assert!(
+                report.outcome.is_completed(),
+                "shards={shards} seed={seed}: {:?}",
+                report.outcome
+            );
+            let fin = fingerprint(ds.iter().map(|(_, t)| t));
+            assert_eq!(
+                fin, expected,
+                "shards={shards} seed={seed}: fixpoint diverged from serial"
+            );
+        }
+    }
+}
+
+/// Eight disjoint relations, each drained by dedicated workers — the
+/// workload sharding is built for. Every relation's jobs end up in its
+/// done-relation regardless of shard count.
+#[test]
+fn disjoint_relations_reach_the_serial_fixpoint() {
+    let mut src = String::new();
+    for r in 0..8 {
+        src.push_str(&format!(
+            "process W{r}() {{ loop {{ exists j : <job{r}, j>! -> <done{r}, j> }} }}\n"
+        ));
+    }
+    let mut tuples = Vec::new();
+    for r in 0..8i64 {
+        for j in 0..12i64 {
+            tuples.push(tuple![Value::atom(&format!("job{r}")), j]);
+        }
+    }
+    let names: Vec<String> = (0..8).map(|r| format!("W{r}")).collect();
+    let spawns: Vec<(&str, Vec<Value>)> = names.iter().map(|n| (n.as_str(), vec![])).collect();
+    let expected = serial_fixpoint(&src, &spawns, &tuples);
+    assert_eq!(expected.len(), 96);
+    assert_sharded_matches(&src, &spawns, &tuples, &expected);
+}
+
+/// Pairwise summation is confluent: any schedule folds the relation to
+/// the same single total, even though every intermediate state differs.
+#[test]
+fn pairwise_sum_is_confluent_across_shard_counts() {
+    let src = "process W() {
+        loop { exists a, b : <v, a>!, <v, b>! -> <v, a + b> }
+    }";
+    let tuples: Vec<_> = (1..=48i64).map(|k| tuple![Value::atom("v"), k]).collect();
+    let spawns: Vec<(&str, Vec<Value>)> = vec![("W", vec![]); 4];
+    let expected = serial_fixpoint(src, &spawns, &tuples);
+    assert_eq!(expected, vec![format!("<v, {}>", (1..=48i64).sum::<i64>())]);
+    assert_sharded_matches(src, &spawns, &tuples, &expected);
+}
+
+/// Delayed consumers parked across shards get woken by producers whose
+/// asserts land on other shards; deterministic pairing keeps the
+/// fixpoint schedule-independent.
+#[test]
+fn parked_consumers_wake_across_shards() {
+    let src = "process Consumer(n) {
+        <item, n>! => <got, n>;
+     }
+     process Producer(n) {
+        -> <item, n>;
+     }";
+    let mut spawns: Vec<(&str, Vec<Value>)> = Vec::new();
+    for n in 0..16i64 {
+        spawns.push(("Consumer", vec![Value::Int(n)]));
+    }
+    for n in 0..16i64 {
+        spawns.push(("Producer", vec![Value::Int(n)]));
+    }
+    let expected = serial_fixpoint(src, &spawns, &[]);
+    assert_eq!(expected.len(), 16);
+    assert_sharded_matches(src, &spawns, &[], &expected);
+}
