@@ -1,0 +1,301 @@
+//! E7 — wake precision and batched commit application.
+//!
+//! Two claims from the wake-protocol work:
+//!
+//! * **Value-level watch keys** turn the keyed-park wake storm (every
+//!   commit on a hot relation wakes every parked consumer of that
+//!   relation) into targeted wakeups: the spurious re-evaluation count
+//!   drops from O(n^2) to ~0 on n consumers parked on distinct keys.
+//! * **Batched commit application** (`Dataspace::apply_batch`) groups
+//!   index maintenance per index entry and publishes one merged watch
+//!   set, so high-fanout commits (a `forall` retracting thousands of
+//!   tuples, a consensus composite) beat the per-tuple loop.
+//!
+//! Series: full-run time for the storm workload exact vs coarse, the
+//! measured spurious-wake counters at several scales (including the
+//! 10k-consumer exact park), and `apply_batch` vs per-tuple application
+//! at 10k tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdl_core::{CompiledProgram, Runtime};
+use sdl_dataspace::{Action, Dataspace, WatchSet};
+use sdl_metrics::{Counter, Metrics, MetricsRegistry};
+use sdl_tuple::{tuple, ProcId, Value};
+
+/// The keyed-park storm workload: `n` consumers each blocked on a
+/// distinct key of one hot relation, and `n` producers serialised by a
+/// token chain so every `<item, k>` assert lands while the other
+/// consumers are still parked. Coarse functor/arity keys wake every
+/// parked consumer per commit; value keys wake exactly one.
+fn storm_runtime(n: i64, exact: bool, metrics: Metrics) -> Runtime {
+    let program = CompiledProgram::from_source(
+        "process C(k) {
+            exists x : <item, k, x>! => <got, k>, <tok, k + 1, 0>;
+        }
+        process P(k) {
+            exists x : <tok, k, x>! => <item, k, 0>;
+        }",
+    )
+    .expect("compiles");
+    let mut b = Runtime::builder(program)
+        .metrics(metrics)
+        .exact_wakes(exact)
+        .tuple(tuple![Value::atom("tok"), 0, 0]);
+    for k in 0..n {
+        b = b.spawn("C", vec![Value::Int(k)]);
+    }
+    for k in 0..n {
+        b = b.spawn("P", vec![Value::Int(k)]);
+    }
+    b.build().expect("builds")
+}
+
+fn run_storm(n: i64, exact: bool) -> (std::sync::Arc<MetricsRegistry>, u64) {
+    let (metrics, registry) = Metrics::registry();
+    let mut rt = storm_runtime(n, exact, metrics);
+    let report = rt.run().expect("runs");
+    assert!(report.outcome.is_completed());
+    let commits = report.commits;
+    (registry, commits)
+}
+
+/// A high-fanout runtime commit: one `forall` retracting all `n` slot
+/// tuples in a single transaction. The whole retraction set flows
+/// through one `apply_batch` call and one merged wake publication.
+fn forall_fanout_runtime(n: i64) -> Runtime {
+    let program = CompiledProgram::from_source(
+        "process P() {
+            forall v : <slot, v>! -> ;
+        }",
+    )
+    .expect("compiles");
+    let mut b = Runtime::builder(program).spawn("P", vec![]);
+    for v in 0..n {
+        b = b.tuple(tuple![Value::atom("slot"), v]);
+    }
+    b.build().expect("builds")
+}
+
+/// The batch shape batching targets: one hot relation, so index keys
+/// repeat (17 distinct `arg1` groups) and the per-entry merge amortises.
+fn hot_actions(n: i64) -> Vec<Action> {
+    (0..n)
+        .map(|i| Action::Assert(ProcId(1), tuple![Value::atom("label"), i % 17, i]))
+        .collect()
+}
+
+/// The adversarial shape: every tuple lands in its own `arg1` index
+/// entry, so grouping buys nothing and only the batch overhead shows.
+fn distinct_actions(n: i64) -> Vec<Action> {
+    (0..n)
+        .map(|i| Action::Assert(ProcId(1), tuple![Value::atom("label"), i, i % 17]))
+        .collect()
+}
+
+fn print_series() {
+    eprintln!("\n# E7 series: spurious wakes, exact vs coarse keys");
+    eprintln!(
+        "{:>10} | {:>14} {:>14} | {:>10}",
+        "consumers", "exact spurious", "coarse spurious", "reduction"
+    );
+    for n in [256i64, 1_024] {
+        let (exact, _) = run_storm(n, true);
+        let (coarse, _) = run_storm(n, false);
+        let es = exact.counter(Counter::WakeSpurious);
+        let cs = coarse.counter(Counter::WakeSpurious);
+        eprintln!(
+            "{:>10} | {:>14} {:>14} | {:>9.0}x",
+            n,
+            es,
+            cs,
+            cs as f64 / (es as f64).max(1.0)
+        );
+    }
+    // The headline park: 10k consumers blocked on 10k distinct keys,
+    // exact wakes only (the coarse variant is the O(n^2) storm).
+    {
+        let n = 10_000i64;
+        let (exact, commits) = run_storm(n, true);
+        eprintln!(
+            "{:>10} | {:>14} {:>14} | (coarse omitted: O(n^2) storm)",
+            n,
+            exact.counter(Counter::WakeSpurious),
+            "-"
+        );
+        assert_eq!(exact.counter(Counter::WakeSpurious), 0);
+        assert!(commits >= 2 * n as u64);
+    }
+    eprintln!("(value keys wake only the matching consumer; spurious re-evaluations vanish)\n");
+
+    eprintln!("# E7 series: batched vs per-tuple commit application");
+    let n = 10_000i64;
+    let iters = 20u32;
+    let timed = |mut f: Box<dyn FnMut() + '_>| {
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t.elapsed() / iters
+    };
+    for (shape, actions) in [
+        ("hot relation", hot_actions(n)),
+        ("distinct keys", distinct_actions(n)),
+    ] {
+        let tb = timed(Box::new(|| {
+            let mut d = Dataspace::new();
+            let mut w = WatchSet::new();
+            let out = d.apply_batch(&actions, &mut w);
+            assert_eq!(out.asserted.len(), n as usize);
+        }));
+        let tp = timed(Box::new(|| {
+            let mut d = Dataspace::new();
+            let mut w = WatchSet::new();
+            for a in &actions {
+                if let Action::Assert(p, t) = a {
+                    d.assert_tuple(*p, t.clone());
+                    w.add_tuple(t);
+                }
+            }
+            assert_eq!(d.len(), n as usize);
+        }));
+        eprintln!(
+            "{:>13}, {} tuples | batched {:>10?}  per-tuple {:>10?} | {:.2}x",
+            shape,
+            n,
+            tb,
+            tp,
+            tp.as_secs_f64() / tb.as_secs_f64().max(1e-12)
+        );
+    }
+    // Whole-relation retraction (the forall shape): the batch drops each
+    // dead index entry in one step instead of per-id removes.
+    {
+        let seed = hot_actions(n);
+        let tb = timed(Box::new(|| {
+            let mut d = Dataspace::new();
+            let mut w = WatchSet::new();
+            let out = d.apply_batch(&seed, &mut w);
+            let retract: Vec<Action> = out.asserted.iter().map(|id| Action::Retract(*id)).collect();
+            let mut w2 = WatchSet::new();
+            d.apply_batch(&retract, &mut w2);
+            assert!(d.is_empty());
+        }));
+        let tp = timed(Box::new(|| {
+            let mut d = Dataspace::new();
+            let mut w = WatchSet::new();
+            let out = d.apply_batch(&seed, &mut w);
+            for id in &out.asserted {
+                let t = d.retract(*id).expect("live");
+                let mut w2 = WatchSet::new();
+                w2.add_tuple(&t);
+            }
+            assert!(d.is_empty());
+        }));
+        eprintln!(
+            "retract relation, {} tuples | batched {:>10?}  per-tuple {:>10?} | {:.2}x",
+            n,
+            tb,
+            tp,
+            tp.as_secs_f64() / tb.as_secs_f64().max(1e-12)
+        );
+    }
+    eprintln!("(one merged watch set and grouped index maintenance per commit)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("e7_wake_batch");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // Full-run time of the storm workload. The coarse baseline pays one
+    // re-evaluation per (commit, parked consumer) pair; the exact run
+    // pays one per commit.
+    for n in [512i64, 1_024] {
+        g.bench_with_input(BenchmarkId::new("wake_storm_exact", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = storm_runtime(n, true, Metrics::disabled());
+                rt.run().expect("runs").commits
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("wake_storm_coarse", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = storm_runtime(n, false, Metrics::disabled());
+                rt.run().expect("runs").commits
+            })
+        });
+    }
+
+    // Batched application against the per-tuple loop, store-level, on
+    // the hot-relation shape (repeating index keys).
+    for n in [1_000i64, 10_000] {
+        let actions = hot_actions(n);
+        g.bench_with_input(
+            BenchmarkId::new("apply_batch_assert", n),
+            &actions,
+            |b, actions| {
+                b.iter(|| {
+                    let mut d = Dataspace::new();
+                    let mut w = WatchSet::new();
+                    d.apply_batch(actions, &mut w).asserted.len()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("per_tuple_assert", n),
+            &actions,
+            |b, actions| {
+                b.iter(|| {
+                    let mut d = Dataspace::new();
+                    let mut w = WatchSet::new();
+                    for a in actions {
+                        if let Action::Assert(p, t) = a {
+                            d.assert_tuple(*p, t.clone());
+                            w.add_tuple(t);
+                        }
+                    }
+                    d.len()
+                })
+            },
+        );
+        // Mixed churn: retract every tuple and assert a replacement in
+        // one batch — the shape of a consensus composite commit.
+        g.bench_with_input(BenchmarkId::new("apply_batch_churn", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut d = Dataspace::new();
+                let mut w = WatchSet::new();
+                let out = d.apply_batch(&hot_actions(n), &mut w);
+                let churn: Vec<Action> = out
+                    .asserted
+                    .iter()
+                    .map(|id| Action::Retract(*id))
+                    .chain(
+                        (0..n).map(|i| Action::Assert(ProcId(2), tuple![Value::atom("next"), i])),
+                    )
+                    .collect();
+                let mut w2 = WatchSet::new();
+                d.apply_batch(&churn, &mut w2);
+                d.len()
+            })
+        });
+    }
+
+    // The 10k-tuple forall: one transaction, one batched retraction of
+    // the whole relation.
+    for n in [1_000i64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("forall_fanout_commit", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = forall_fanout_runtime(n);
+                let report = rt.run().expect("runs");
+                assert_eq!(rt.dataspace().len(), 0);
+                report.commits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -53,12 +53,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use sdl_dataspace::{
-    shard_of_pattern, shard_of_watch_key, Dataspace, PlanMode, ShardSet, ShardedDataspace,
+    shard_of_pattern, shard_of_watch_key, Action, Dataspace, PlanMode, ShardSet, ShardedDataspace,
     SolveLimits, WatchSet,
 };
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
-use sdl_metrics::{Counter, Hist, Metrics, ShardCounter};
+use sdl_metrics::{Counter, Gauge, Hist, Metrics, ShardCounter};
 use sdl_tuple::{ProcId, Tuple, Value};
 
 use crate::builtins::Builtins;
@@ -95,6 +95,7 @@ pub struct ParallelBuilder {
     builtins: Builtins,
     max_attempts: u64,
     plan_mode: PlanMode,
+    exact_wakes: bool,
     tuples: Vec<Tuple>,
     spawns: Vec<(String, Vec<Value>)>,
     metrics: Metrics,
@@ -137,6 +138,13 @@ impl ParallelBuilder {
     /// [`PlanMode::SourceOrder`] for the ablation baseline).
     pub fn plan_mode(mut self, mode: PlanMode) -> ParallelBuilder {
         self.plan_mode = mode;
+        self
+    }
+
+    /// Enables or disables value-level watch keys (default on; pass
+    /// `false` for the `--coarse-wakes` ablation baseline).
+    pub fn exact_wakes(mut self, on: bool) -> ParallelBuilder {
+        self.exact_wakes = on;
         self
     }
 
@@ -235,6 +243,7 @@ impl ParallelBuilder {
             builtins: Arc::new(self.builtins),
             max_attempts: self.max_attempts,
             plan_mode: self.plan_mode,
+            exact_wakes: self.exact_wakes,
             ds,
             initial,
             next_pid,
@@ -307,6 +316,7 @@ pub struct ParallelRuntime {
     builtins: Arc<Builtins>,
     max_attempts: u64,
     plan_mode: PlanMode,
+    exact_wakes: bool,
     ds: ShardedDataspace,
     initial: Vec<ProcessInstance>,
     next_pid: u64,
@@ -366,6 +376,7 @@ impl ParallelRuntime {
             builtins: Builtins::standard(),
             max_attempts: 500_000_000,
             plan_mode: PlanMode::default(),
+            exact_wakes: true,
             tuples: Vec::new(),
             spawns: Vec::new(),
             metrics: Metrics::disabled(),
@@ -399,6 +410,7 @@ impl ParallelRuntime {
             plan_config: PlanConfig {
                 mode: self.plan_mode,
                 index_mode,
+                exact_wakes: self.exact_wakes,
             },
             next_pid: AtomicU64::new(self.next_pid),
             error: Mutex::new(None),
@@ -421,6 +433,7 @@ impl ParallelRuntime {
             for list in &shared.blocked {
                 for e in list.lock().iter() {
                     if let Some(p) = e.slot.lock().take() {
+                        shared.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
                         pids.push(p.id);
                     }
                 }
@@ -570,7 +583,9 @@ fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet) {
                 // Claimed via another list: stale stub, drop it.
                 None => false,
                 Some(_) if e.watch.intersects(changed) => {
-                    woken.push((slot.take().expect("checked Some"), e.since));
+                    let mut p = slot.take().expect("checked Some");
+                    p.woken = true;
+                    woken.push((p, e.since));
                     false
                 }
                 Some(_) => true,
@@ -580,6 +595,7 @@ fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet) {
     for (p, since) in woken {
         shared.metrics.inc(Counter::WakeupCommit);
         shared.metrics.observe_timer(Hist::BlockedSeconds, since);
+        shared.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
         enqueue(shared, p);
     }
 }
@@ -662,8 +678,6 @@ fn attempt(
                 drop(ds);
                 continue; // somebody raced us; re-evaluate
             }
-            let mut changed = WatchSet::new();
-            let mut changed_shards = ShardSet::new();
             // Export filtering runs against the pre-retraction store, so
             // a commit's own retractions cannot disable its exports.
             let allowed: Vec<bool> = p
@@ -671,21 +685,21 @@ fn attempt(
                 .iter()
                 .map(|tu| proc.def.view.exports(tu, &ds, &proc.env, &shared.builtins))
                 .collect();
-            for id in &p.retracts {
-                if let Some(tu) = ds.retract(*id) {
-                    changed.add_tuple(&tu);
-                    changed_shards.insert(shared.sds.shard_of_id(*id));
-                }
+            let dropped = allowed.iter().filter(|ok| !**ok).count() as u64;
+            if dropped > 0 {
+                shared.metrics.add(Counter::ExportDropped, dropped);
             }
-            for (tu, ok) in p.asserts.iter().zip(&allowed) {
-                if *ok {
-                    changed_shards.insert(shared.sds.shard_of_tuple(tu));
-                    ds.assert_tuple(proc.id, tu.clone());
-                    changed.add_tuple(tu);
-                } else {
-                    shared.metrics.inc(Counter::ExportDropped);
-                }
-            }
+            let mut actions: Vec<Action> = Vec::with_capacity(p.retracts.len() + p.asserts.len());
+            actions.extend(p.retracts.iter().map(|id| Action::Retract(*id)));
+            actions.extend(
+                p.asserts
+                    .iter()
+                    .zip(&allowed)
+                    .filter(|(_, ok)| **ok)
+                    .map(|(tu, _)| Action::Assert(proc.id, tu.clone())),
+            );
+            let mut changed = WatchSet::new();
+            let (_, changed_shards) = ds.apply_batch(actions, &mut changed);
             (changed, changed_shards)
         };
         // Locks are down; publish the commit before scanning blocked
@@ -784,6 +798,10 @@ fn step_once(
             match stmts[idx].clone() {
                 CompiledStmt::Txn(t) => match attempt(shared, proc, &t)? {
                     TxnOutcome::Committed(p) => {
+                        if proc.woken {
+                            proc.woken = false;
+                            shared.metrics.inc(Counter::WakeProgress);
+                        }
                         advance(proc);
                         if control(shared, proc, &p)? {
                             return Ok(ProcFate::Terminated);
@@ -797,7 +815,12 @@ fn step_once(
                             Ok(ProcFate::Continue)
                         }
                         TxnKind::Delayed => Ok(ProcFate::Park {
-                            watch: txn::watch_set(&t, &proc.env, &shared.builtins),
+                            watch: txn::watch_set(
+                                &t,
+                                &proc.env,
+                                &shared.builtins,
+                                shared.plan_config.exact_wakes,
+                            ),
                             epoch,
                         }),
                         TxnKind::Consensus => unreachable!("rejected at build"),
@@ -841,6 +864,10 @@ fn guards(
         }
         match attempt(shared, proc, &guard)? {
             TxnOutcome::Committed(p) => {
+                if proc.woken {
+                    proc.woken = false;
+                    shared.metrics.inc(Counter::WakeProgress);
+                }
                 if is_select {
                     advance(proc);
                 }
@@ -864,7 +891,12 @@ fn guards(
     if delayed_present {
         let mut w = WatchSet::new();
         for b in branches.iter() {
-            w.extend(&txn::watch_set(&b.guard, &proc.env, &shared.builtins));
+            w.extend(&txn::watch_set(
+                &b.guard,
+                &proc.env,
+                &shared.builtins,
+                shared.plan_config.exact_wakes,
+            ));
         }
         return Ok(ProcFate::Park {
             watch: w,
@@ -891,7 +923,13 @@ fn guards(
 /// since evaluation — and any later commit increments the epoch *before*
 /// scanning, so it either sees our entry or we would have seen its
 /// epoch.
-fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, proc: ProcessInstance) {
+fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, mut proc: ProcessInstance) {
+    // Parking after a wakeup means the wake key matched but the query
+    // still failed — classify the wake as spurious.
+    if proc.woken {
+        proc.woken = false;
+        shared.metrics.inc(Counter::WakeSpurious);
+    }
     let n = shared.sds.num_shards();
     let entry = Arc::new(Parked {
         since: shared.metrics.start_timer(),
@@ -934,6 +972,7 @@ fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, proc: ProcessInstance
         // A waker beat us to the slot and already re-queued us.
     }
     shared.metrics.inc(Counter::ProcessesBlocked);
+    shared.metrics.add_gauge(Gauge::BlockedQueueDepth, 1);
 }
 
 #[cfg(test)]
@@ -1193,7 +1232,7 @@ mod tests {
         };
         assert_eq!(serial_commits, 200);
 
-        for seed in 0..32u64 {
+        for seed in 0..256u64 {
             let (metrics, registry) = Metrics::registry();
             let program = CompiledProgram::from_source(src).unwrap();
             let mut b = ParallelRuntime::builder(program)
@@ -1218,6 +1257,6 @@ mod tests {
                 return; // contention observed and accounted for
             }
         }
-        panic!("no validation conflicts across 32 seeds of 8-thread contention");
+        panic!("no validation conflicts across 256 seeds of 8-thread contention");
     }
 }

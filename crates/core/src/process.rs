@@ -46,6 +46,10 @@ pub struct ProcessInstance {
     /// For replication body helpers: the process whose `Repl` frame is
     /// waiting on this helper.
     pub(crate) parent: Option<ProcId>,
+    /// Set when a wakeup moved this process from blocked to ready, and
+    /// cleared at its next commit (progress) or re-block (spurious) —
+    /// the schedulers use it to classify wake precision.
+    pub(crate) woken: bool,
 }
 
 impl ProcessInstance {
@@ -77,6 +81,7 @@ impl ProcessInstance {
                 idx: 0,
             }],
             parent: None,
+            woken: false,
         }
     }
 
@@ -97,6 +102,7 @@ impl ProcessInstance {
                 idx: 0,
             }],
             parent: Some(parent.id),
+            woken: false,
         }
     }
 

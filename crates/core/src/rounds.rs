@@ -101,7 +101,7 @@ impl Runtime {
     /// One process's turn within a round. Returns the number of commits
     /// and whether any control progress was made.
     fn round_step(&mut self, pid: ProcId, snap: &Dataspace) -> Result<(u64, bool), RuntimeError> {
-        self.blocked.remove(&pid);
+        self.unblock(pid);
         loop {
             let Some(proc) = self.procs.get(&pid) else {
                 return Ok((0, false));

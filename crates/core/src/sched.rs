@@ -12,7 +12,7 @@
 //! fairness: an indefinitely-enabled delayed transaction is eventually
 //! executed.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -21,10 +21,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use sdl_dataspace::{Dataspace, IndexMode, PlanMode, SolveLimits, WatchSet};
+use sdl_dataspace::{Action, Dataspace, IndexMode, PlanMode, SolveLimits, WatchKey, WatchSet};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
-use sdl_metrics::{Counter, Hist, Metrics};
+use sdl_metrics::{Counter, Gauge, Hist, Metrics};
 use sdl_tuple::{ProcId, Tuple, Value};
 
 use crate::builtins::Builtins;
@@ -131,6 +131,7 @@ pub struct RuntimeBuilder {
     solve_limits: SolveLimits,
     index_mode: IndexMode,
     plan_mode: PlanMode,
+    exact_wakes: bool,
     extra_tuples: Vec<Tuple>,
     extra_spawns: Vec<(String, Vec<Value>)>,
 }
@@ -203,6 +204,14 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables or disables value-level watch keys (default on; pass
+    /// `false` for the `--coarse-wakes` ablation baseline, which parks
+    /// blocked transactions on functor/arity keys only).
+    pub fn exact_wakes(mut self, on: bool) -> RuntimeBuilder {
+        self.exact_wakes = on;
+        self
+    }
+
     /// Adds an initial tuple programmatically (alongside the program's
     /// `init` block) — how examples seed large workloads.
     pub fn tuple(mut self, t: Tuple) -> RuntimeBuilder {
@@ -238,6 +247,7 @@ impl RuntimeBuilder {
             procs: HashMap::new(),
             ready: VecDeque::new(),
             blocked: BTreeMap::new(),
+            wake_index: HashMap::new(),
             next_pid: 1,
             rng: StdRng::seed_from_u64(self.seed),
             builtins: self.builtins,
@@ -257,6 +267,7 @@ impl RuntimeBuilder {
             plan_config: PlanConfig {
                 mode: self.plan_mode,
                 index_mode: self.index_mode,
+                exact_wakes: self.exact_wakes,
             },
         };
         // Program init tuples are ground expressions over built-ins.
@@ -328,6 +339,13 @@ pub struct Runtime {
     pub(crate) procs: HashMap<ProcId, ProcessInstance>,
     pub(crate) ready: VecDeque<ProcId>,
     pub(crate) blocked: BTreeMap<ProcId, BlockInfo>,
+    /// Reverse subscription index: watch key → blocked processes
+    /// subscribed to it. Lets a commit wake only the subscribers of the
+    /// keys it published instead of scanning the whole blocked set —
+    /// with value-level keys that is O(1) per commit on keyed-park
+    /// workloads. Maintained by `block`/`unblock`; `BTreeSet` keeps
+    /// wake order (ascending pid) identical to a blocked-set scan.
+    wake_index: HashMap<WatchKey, BTreeSet<ProcId>>,
     next_pid: u64,
     pub(crate) rng: StdRng,
     builtins: Builtins,
@@ -355,6 +373,7 @@ impl Runtime {
             solve_limits: SolveLimits::default(),
             index_mode: IndexMode::default(),
             plan_mode: PlanMode::default(),
+            exact_wakes: true,
             extra_tuples: Vec::new(),
             extra_spawns: Vec::new(),
         }
@@ -806,7 +825,7 @@ impl Runtime {
 
     pub(crate) fn txn_watch(&self, pid: ProcId, t: &CompiledTxn) -> WatchSet {
         let proc = &self.procs[&pid];
-        txn::watch_set(t, &proc.env, &self.builtins)
+        txn::watch_set(t, &proc.env, &self.builtins, self.plan_config.exact_wakes)
     }
 
     fn guards_watch(&self, pid: ProcId, branches: &Arc<[CompiledBranch]>) -> WatchSet {
@@ -820,6 +839,11 @@ impl Runtime {
     /// Applies a single pending commit's dataspace effects (export
     /// filtering against the pre-state, then retracts, then asserts) and
     /// returns the changed watch keys.
+    ///
+    /// The whole commit goes through [`Dataspace::apply_batch`], so index
+    /// maintenance is grouped per index entry and the store version bumps
+    /// once — a high-fanout `forall` commit touches each `(functor,
+    /// arity)` bucket a single time instead of once per tuple.
     pub(crate) fn commit_single(&mut self, pid: ProcId, p: &Pending) -> WatchSet {
         let (def, env) = {
             let proc = &self.procs[&pid];
@@ -830,21 +854,28 @@ impl Runtime {
             .iter()
             .map(|t| def.view.exports(t, &self.ds, &env, &self.builtins))
             .collect();
+        let mut actions: Vec<Action> = Vec::with_capacity(p.retracts.len() + p.asserts.len());
+        actions.extend(p.retracts.iter().map(|id| Action::Retract(*id)));
+        actions.extend(
+            p.asserts
+                .iter()
+                .zip(&allowed)
+                .filter(|(_, ok)| **ok)
+                .map(|(t, _)| Action::Assert(pid, t.clone())),
+        );
         let mut changed = WatchSet::new();
-        for id in &p.retracts {
-            if let Some(t) = self.ds.retract(*id) {
-                changed.add_tuple(&t);
-                self.emit(Event::TupleRetracted {
-                    by: pid,
-                    id: *id,
-                    tuple: t,
-                });
-            }
+        let out = self.ds.apply_batch(&actions, &mut changed);
+        for (id, t) in out.retracted {
+            self.emit(Event::TupleRetracted {
+                by: pid,
+                id,
+                tuple: t,
+            });
         }
+        let mut ids = out.asserted.into_iter();
         for (t, ok) in p.asserts.iter().zip(&allowed) {
             if *ok {
-                let id = self.ds.assert_tuple(pid, t.clone());
-                changed.add_tuple(t);
+                let id = ids.next().expect("one id per applied assert");
                 self.emit(Event::TupleAsserted {
                     by: pid,
                     id,
@@ -856,6 +887,12 @@ impl Runtime {
                     by: pid,
                     tuple: t.clone(),
                 });
+            }
+        }
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            if proc.woken {
+                proc.woken = false;
+                self.metrics.inc(Counter::WakeProgress);
             }
         }
         self.report.commits += 1;
@@ -951,7 +988,7 @@ impl Runtime {
         let Some(proc) = self.procs.remove(&pid) else {
             return;
         };
-        self.blocked.remove(&pid);
+        self.unblock(pid);
         self.emit(Event::ProcessTerminated { id: pid, aborted });
         // Notify a replication parent.
         if let Some(parent_id) = proc.parent {
@@ -981,7 +1018,7 @@ impl Runtime {
                     // Remove directly — no parent notification (the Repl
                     // frame is being dismantled).
                     self.procs.remove(&v);
-                    self.blocked.remove(&v);
+                    self.unblock(v);
                     self.emit(Event::ProcessTerminated {
                         id: v,
                         aborted: true,
@@ -1001,10 +1038,27 @@ impl Runtime {
         has_consensus: bool,
     ) -> StepResult {
         self.metrics.inc(Counter::ProcessesBlocked);
+        // A process that re-blocks without having committed since its
+        // last wakeup was woken spuriously (the key matched, the query
+        // still failed).
+        if let Some(proc) = self.procs.get_mut(&pid) {
+            if proc.woken {
+                proc.woken = false;
+                self.metrics.inc(Counter::WakeSpurious);
+            }
+        }
         self.emit(Event::ProcessBlocked {
             id: pid,
             consensus: has_consensus,
         });
+        if let Some(old) = self.blocked.remove(&pid) {
+            self.unindex_watch(pid, &old.watch);
+        } else {
+            self.metrics.add_gauge(Gauge::BlockedQueueDepth, 1);
+        }
+        for key in watch.iter() {
+            self.wake_index.entry(*key).or_default().insert(pid);
+        }
         self.blocked.insert(
             pid,
             BlockInfo {
@@ -1016,29 +1070,59 @@ impl Runtime {
         StepResult::Blocked { has_consensus }
     }
 
+    fn unindex_watch(&mut self, pid: ProcId, watch: &WatchSet) {
+        for key in watch.iter() {
+            if let Some(subs) = self.wake_index.get_mut(key) {
+                subs.remove(&pid);
+                if subs.is_empty() {
+                    self.wake_index.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Removes `pid` from the blocked set, unsubscribing its watch keys
+    /// and settling the queue-depth gauge. All unparking goes through
+    /// here so the wake index never holds stale subscriptions.
+    pub(crate) fn unblock(&mut self, pid: ProcId) -> Option<BlockInfo> {
+        let info = self.blocked.remove(&pid)?;
+        self.unindex_watch(pid, &info.watch);
+        self.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
+        Some(info)
+    }
+
     pub(crate) fn wake(&mut self, changed: &WatchSet) {
         if changed.is_empty() {
             return;
         }
-        let woken: Vec<ProcId> = self
-            .blocked
-            .iter()
-            .filter(|(_, info)| info.watch.intersects(changed))
-            .map(|(pid, _)| *pid)
-            .collect();
+        // Union of subscribers over the published keys — exactly the
+        // blocked processes whose watch set intersects `changed`, in
+        // ascending pid order (matching the old full scan).
+        let mut woken: BTreeSet<ProcId> = BTreeSet::new();
+        for key in changed.iter() {
+            if let Some(subs) = self.wake_index.get(key) {
+                woken.extend(subs.iter().copied());
+            }
+        }
         for pid in woken {
-            if let Some(info) = self.blocked.remove(&pid) {
+            if let Some(info) = self.unblock(pid) {
                 self.metrics.inc(Counter::WakeupCommit);
                 self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+                if let Some(proc) = self.procs.get_mut(&pid) {
+                    proc.woken = true;
+                }
             }
             self.ready.push_back(pid);
         }
     }
 
     fn wake_pid(&mut self, pid: ProcId) {
-        if let Some(info) = self.blocked.remove(&pid) {
+        if let Some(info) = self.unblock(pid) {
             self.metrics.inc(Counter::WakeupCommit);
             self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+            if let Some(proc) = self.procs.get_mut(&pid) {
+                proc.woken = true;
+            }
             self.ready.push_back(pid);
         }
     }
@@ -1161,28 +1245,39 @@ impl Runtime {
             );
         }
 
-        // Composite: retraction set-union, then additions.
-        let mut changed = WatchSet::new();
-        let mut retracted = std::collections::HashSet::new();
+        // Composite: retraction set-union, then additions — applied as
+        // one batch so the whole community's effects share a single
+        // index-maintenance pass and version bump.
+        let mut retract_by = std::collections::HashMap::new();
+        let mut actions: Vec<Action> = Vec::new();
         for (pid, _, p) in &contributions {
             for id in &p.retracts {
-                if retracted.insert(*id) {
-                    if let Some(t) = self.ds.retract(*id) {
-                        changed.add_tuple(&t);
-                        self.emit(Event::TupleRetracted {
-                            by: *pid,
-                            id: *id,
-                            tuple: t,
-                        });
-                    }
+                if let std::collections::hash_map::Entry::Vacant(e) = retract_by.entry(*id) {
+                    e.insert(*pid);
+                    actions.push(Action::Retract(*id));
                 }
             }
         }
         for ((pid, _, p), allow) in contributions.iter().zip(&allowed) {
+            actions.extend(
+                p.asserts
+                    .iter()
+                    .zip(allow)
+                    .filter(|(_, ok)| **ok)
+                    .map(|(t, _)| Action::Assert(*pid, t.clone())),
+            );
+        }
+        let mut changed = WatchSet::new();
+        let out = self.ds.apply_batch(&actions, &mut changed);
+        for (id, t) in out.retracted {
+            let by = retract_by[&id];
+            self.emit(Event::TupleRetracted { by, id, tuple: t });
+        }
+        let mut ids = out.asserted.into_iter();
+        for ((pid, _, p), allow) in contributions.iter().zip(&allowed) {
             for (t, ok) in p.asserts.iter().zip(allow) {
                 if *ok {
-                    let id = self.ds.assert_tuple(*pid, t.clone());
-                    changed.add_tuple(t);
+                    let id = ids.next().expect("one id per applied assert");
                     self.emit(Event::TupleAsserted {
                         by: *pid,
                         id,
@@ -1204,11 +1299,16 @@ impl Runtime {
             });
         }
 
-        // Per-participant control advance.
+        // Per-participant control advance. Every participant's wake ends
+        // in this commit, so it counts as progress.
         for (pid, site, p) in &contributions {
-            if let Some(info) = self.blocked.remove(pid) {
+            if let Some(info) = self.unblock(*pid) {
                 self.metrics.inc(Counter::WakeupConsensus);
+                self.metrics.inc(Counter::WakeProgress);
                 self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+            }
+            if let Some(proc) = self.procs.get_mut(pid) {
+                proc.woken = false;
             }
             match site {
                 ConsensusSite::PlainTxn => {

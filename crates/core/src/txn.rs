@@ -29,12 +29,27 @@ use crate::view::{resolve_fields, EnvCtx};
 /// `mode` selects planned vs source-order execution (the ablation
 /// baseline); `index_mode` keys the per-statement plan cache so plans
 /// estimated under one index configuration are not reused under another.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanConfig {
     /// Planned (default) or source-order execution.
     pub mode: PlanMode,
     /// The index mode of the store being queried (plan-cache key).
     pub index_mode: IndexMode,
+    /// Subscribe blocked transactions to exact value-level watch keys
+    /// (default). Off, the coarse functor/arity keys are used everywhere
+    /// — the pre-exact behaviour, kept as the wake-storm ablation
+    /// baseline (`sdl-run --coarse-wakes`).
+    pub exact_wakes: bool,
+}
+
+impl Default for PlanConfig {
+    fn default() -> PlanConfig {
+        PlanConfig {
+            mode: PlanMode::default(),
+            index_mode: IndexMode::default(),
+            exact_wakes: true,
+        }
+    }
 }
 
 impl PlanConfig {
@@ -43,7 +58,15 @@ impl PlanConfig {
     pub fn source_order() -> PlanConfig {
         PlanConfig {
             mode: PlanMode::SourceOrder,
-            index_mode: IndexMode::default(),
+            ..PlanConfig::default()
+        }
+    }
+
+    /// The same configuration with coarse (functor/arity) wake keys.
+    pub fn coarse_wakes(self) -> PlanConfig {
+        PlanConfig {
+            exact_wakes: false,
+            ..self
         }
     }
 }
@@ -370,10 +393,21 @@ fn apply_action(
 /// The watch keys a blocked instance of `txn` listens on: the keys of all
 /// its patterns (positive and negated), resolved against the process
 /// environment.
+///
+/// With `exact` on, a positive atom whose resolved pattern has an atom
+/// head and a constant argument subscribes to its value-level key
+/// ([`sdl_dataspace::WatchKey::Value`]) instead of the functor channel,
+/// so a transaction blocked on `<count, 7, α>` wakes only when a `count`
+/// tuple carrying `7` changes. Negated atoms and patterns without a
+/// constant argument keep the conservative functor/arity keys — for
+/// negations the enabling change is a retraction anywhere in the
+/// pattern's match set, and the coarse channel is the simplest complete
+/// subscription.
 pub fn watch_set(
     txn: &CompiledTxn,
     env: &HashMap<String, Value>,
     builtins: &Builtins,
+    exact: bool,
 ) -> sdl_dataspace::WatchSet {
     let ctx = EnvCtx {
         env,
@@ -383,7 +417,13 @@ pub fn watch_set(
     let mut w = sdl_dataspace::WatchSet::new();
     for a in &txn.atoms {
         match resolve_fields(&a.fields, &ctx, "watch pattern") {
-            Ok(p) => w.add_pattern(&p),
+            Ok(p) => {
+                if exact && a.mode != sdl_dataspace::AtomMode::Neg {
+                    w.add_pattern_exact(&p);
+                } else {
+                    w.add_pattern(&p);
+                }
+            }
             // Unresolvable field: listen on the arity channel.
             Err(_) => w.add_key(sdl_dataspace::WatchKey::Arity(a.fields.len())),
         }
@@ -647,7 +687,7 @@ mod tests {
     #[test]
     fn watch_set_resolves_env() {
         let txn = compile("exists a : <k, a>, not <done> => skip");
-        let w = watch_set(&txn, &env(&[("k", 3)]), &Builtins::new());
+        let w = watch_set(&txn, &env(&[("k", 3)]), &Builtins::new(), true);
         // <3, a> has no functor → arity key; <done> has functor key.
         let mut change = sdl_dataspace::WatchSet::new();
         change.add_tuple(&tuple![3, 9]);
@@ -658,6 +698,34 @@ mod tests {
         let mut unrelated = sdl_dataspace::WatchSet::new();
         unrelated.add_tuple(&tuple![Value::atom("zzz"), 1, 2]);
         assert!(!w.intersects(&unrelated));
+    }
+
+    #[test]
+    fn watch_set_exact_keys_ignore_other_values() {
+        // <count, k, a> with k = 7 resolved from the environment: exact
+        // keys wake only on count tuples carrying 7.
+        let txn = compile("exists a : <count, k, a>! => skip");
+        let w = watch_set(&txn, &env(&[("k", 7)]), &Builtins::new(), true);
+        let mut hit = sdl_dataspace::WatchSet::new();
+        hit.add_tuple(&tuple![Value::atom("count"), 7, 1]);
+        assert!(w.intersects(&hit));
+        let mut miss = sdl_dataspace::WatchSet::new();
+        miss.add_tuple(&tuple![Value::atom("count"), 8, 1]);
+        assert!(!w.intersects(&miss), "exact key skips other values");
+        // Coarse mode wakes on any count change of the right arity.
+        let coarse = watch_set(&txn, &env(&[("k", 7)]), &Builtins::new(), false);
+        assert!(coarse.intersects(&miss));
+    }
+
+    #[test]
+    fn watch_set_negated_atoms_stay_coarse() {
+        // not <lock, 7>: conservative functor subscription even under
+        // exact wakes, so any lock retraction re-examines the txn.
+        let txn = compile("exists a : <job, a>, not <lock, 7> => skip");
+        let w = watch_set(&txn, &env(&[]), &Builtins::new(), true);
+        let mut other_lock = sdl_dataspace::WatchSet::new();
+        other_lock.add_tuple(&tuple![Value::atom("lock"), 8]);
+        assert!(w.intersects(&other_lock), "neg atom keeps coarse channel");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! neighbours), so membership checks may themselves run small queries.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use sdl_dataspace::{Dataspace, QueryAtom, Solver, TupleSource, Window};
 use sdl_lang::ast::Expr;
@@ -65,11 +67,58 @@ pub struct CompiledViewRule {
     pub conditions: Vec<CompiledCond>,
 }
 
+/// A tiny per-view cardinality sketch: admission checks and admissions
+/// observed on the lazy-window path, so the query planner's estimates
+/// reflect how selective the import filter actually is instead of using
+/// the raw store count as an upper bound forever.
+///
+/// Shared (via `Arc`) between every clone of the view, so the process
+/// definition accumulates evidence across all its instances.
+#[derive(Debug, Default)]
+pub struct ViewStats {
+    checks: AtomicU64,
+    admits: AtomicU64,
+}
+
+impl ViewStats {
+    fn record(&self, admitted: bool) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if admitted {
+            self.admits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Admission checks observed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks.load(Ordering::Relaxed)
+    }
+
+    /// Admissions observed so far.
+    pub fn admits(&self) -> u64 {
+        self.admits.load(Ordering::Relaxed)
+    }
+
+    /// Scales a raw store estimate by the observed admit rate. Cold
+    /// sketches pass the raw estimate through; warm ones apply the
+    /// Laplace-smoothed rate `(admits + 1) / (checks + 2)`, floored at 1
+    /// so a matching pattern is never estimated as empty.
+    pub fn scale(&self, raw: usize) -> usize {
+        let checks = self.checks();
+        if raw == 0 || checks == 0 {
+            return raw;
+        }
+        let admits = self.admits();
+        let scaled = (raw as u128 * (admits as u128 + 1)) / (checks as u128 + 2);
+        (scaled as usize).max(1)
+    }
+}
+
 /// A compiled view.
 #[derive(Clone, Debug, Default)]
 pub struct CompiledView {
     import: Option<Vec<CompiledViewRule>>,
     export: Option<Vec<CompiledViewRule>>,
+    stats: Arc<ViewStats>,
 }
 
 /// Evaluation context over a process environment, optional query-variable
@@ -131,7 +180,16 @@ impl CompiledView {
         import: Option<Vec<CompiledViewRule>>,
         export: Option<Vec<CompiledViewRule>>,
     ) -> CompiledView {
-        CompiledView { import, export }
+        CompiledView {
+            import,
+            export,
+            stats: Arc::default(),
+        }
+    }
+
+    /// The view's lazy-window cardinality sketch.
+    pub fn stats(&self) -> &ViewStats {
+        &self.stats
     }
 
     /// True if both directions are unrestricted.
@@ -551,7 +609,9 @@ impl QuerySource<'_> {
                 builtins,
             } => {
                 ds.metrics().inc(Counter::WindowAdmitChecks);
-                view.imports(tuple, *ds, env, builtins)
+                let admitted = view.imports(tuple, *ds, env, builtins);
+                view.stats.record(admitted);
+                admitted
             }
         }
     }
@@ -594,8 +654,10 @@ impl TupleSource for QuerySource<'_> {
         match self {
             QuerySource::Full(d) => d.estimate_candidates(pattern),
             // The import filter only shrinks the candidate list, so the
-            // store's estimate is a valid (cheap) upper bound.
-            QuerySource::Lazy { ds, .. } => ds.estimate_candidates(pattern),
+            // store's estimate is a valid upper bound; the view's sketch
+            // then scales it by the observed admit rate so join ordering
+            // sees the filter's real selectivity.
+            QuerySource::Lazy { ds, view, .. } => view.stats.scale(ds.estimate_candidates(pattern)),
             QuerySource::Restricted(w) => w.estimate_candidates(pattern),
         }
     }
@@ -795,6 +857,42 @@ mod tests {
         assert_eq!(w.tuple_count(), 1);
         assert!(w.contains_match(&sdl_tuple::pattern![Value::atom("a"), any]));
         assert!(!w.contains_match(&sdl_tuple::pattern![Value::atom("b"), any]));
+    }
+
+    #[test]
+    fn lazy_view_estimates_learn_the_admit_rate() {
+        // One admitted tuple out of many candidates: after the sketch
+        // warms up, the lazy view's estimate drops below the raw store
+        // estimate the planner saw cold.
+        let v = import_rules("process P(this) { import { <this, *>; } -> skip; }");
+        let mut ds = Dataspace::new();
+        for i in 0..100 {
+            ds.assert_tuple(ProcId::ENV, tuple![i, i]);
+        }
+        let e = env(&[("this", Value::Int(1))]);
+        let b = Builtins::new();
+        let pat = sdl_tuple::pattern![any, any];
+        let raw = ds.estimate_candidates(&pat);
+        assert_eq!(raw, 100);
+        let lazy = v.window(&ds, &e, &b).unwrap();
+        assert_eq!(
+            lazy.estimate_candidates(&pat),
+            raw,
+            "cold sketch passes the raw estimate through"
+        );
+        // Warm the sketch: scanning candidates runs the admit test.
+        let admitted = lazy.candidate_ids(&pat).len();
+        assert_eq!(admitted, 1);
+        assert_eq!(v.stats().checks(), 100);
+        assert_eq!(v.stats().admits(), 1);
+        let warm = lazy.estimate_candidates(&pat);
+        assert!(
+            warm < raw / 10,
+            "warm estimate {warm} should reflect the ~1% admit rate"
+        );
+        assert!(warm >= 1, "estimates never report a matching pattern empty");
+        // Clones share the sketch through the definition.
+        assert_eq!(v.clone().stats().checks(), 100);
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub use shard::{
     ShardedDataspace, MAX_SHARDS,
 };
 pub use solve::{AtomMode, ForallEvidence, QueryAtom, Solution, SolveLimits, Solver};
-pub use store::{intersect_sorted, Dataspace, IndexMode, TupleSource};
-pub use watch::{WatchKey, WatchSet};
+pub use store::{intersect_sorted, Action, BatchOutcome, Dataspace, IndexMode, TupleSource};
+pub use watch::{value_hash, WatchKey, WatchSet};
 pub use window::Window;
 
 #[cfg(test)]

@@ -6,7 +6,8 @@ use sdl_tuple::{Pattern, ProcId, Tuple, TupleId, Value};
 
 use crate::plan::plan_query;
 use crate::solve::{QueryAtom, SolveLimits, Solver};
-use crate::store::{Dataspace, IndexMode, TupleSource};
+use crate::store::{Action, Dataspace, IndexMode, TupleSource};
+use crate::watch::WatchSet;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -45,6 +46,19 @@ fn arb_query() -> impl Strategy<Value = Vec<(u8, Vec<sdl_tuple::Field>)>> {
         Just(sdl_tuple::Field::Any),
     ];
     proptest::collection::vec((0u8..3, proptest::collection::vec(field, 0..4)), 1..4)
+}
+
+/// Arbitrary single pattern over the same value universe as
+/// [`arb_tuple`]: small ints, three atoms, three variables, wildcards.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let field = prop_oneof![
+        (0i64..5).prop_map(|i| sdl_tuple::Field::Const(Value::Int(i))),
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|a| sdl_tuple::Field::Const(Value::atom(a))),
+        (0u16..3).prop_map(|v| sdl_tuple::Field::Var(sdl_tuple::VarId(v))),
+        Just(sdl_tuple::Field::Any),
+    ];
+    proptest::collection::vec(field, 0..4).prop_map(Pattern::new)
 }
 
 /// Order-independent fingerprint of a solution: bindings plus sorted
@@ -197,6 +211,77 @@ proptest! {
         expected.sort();
         actual.sort();
         prop_assert_eq!(expected, actual);
+    }
+
+    /// Wake completeness: every tuple a pattern matches publishes at
+    /// least one watch key the pattern subscribes to — for both the
+    /// coarse functor/arity subscription and the exact value-keyed one.
+    /// This is the safety property of value-level wakeups: no commit
+    /// that could unblock a parked transaction slips past its keys.
+    #[test]
+    fn subscriptions_intersect_matching_publications(
+        p in arb_pattern(),
+        t in arb_tuple(),
+    ) {
+        let mut b = sdl_tuple::Bindings::new(3);
+        if p.matches(&t, &mut b) {
+            let mut publication = WatchSet::new();
+            publication.add_tuple(&t);
+            let mut coarse = WatchSet::new();
+            coarse.add_pattern(&p);
+            prop_assert!(coarse.intersects(&publication));
+            let mut exact = WatchSet::new();
+            exact.add_pattern_exact(&p);
+            prop_assert!(exact.intersects(&publication));
+        }
+    }
+
+    /// Batched application is observationally identical to per-tuple
+    /// application: same contents, same ids, same published watch keys.
+    #[test]
+    fn batch_equals_per_tuple_application(ops in arb_ops()) {
+        let mut serial = Dataspace::new();
+        let mut serial_watch = WatchSet::new();
+        let mut actions = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Assert(t) => {
+                    let id = serial.assert_tuple(ProcId(1), t.clone());
+                    serial_watch.add_tuple(t);
+                    actions.push((Action::Assert(ProcId(1), t.clone()), id));
+                }
+                Op::RetractNth(n) => {
+                    let live: Vec<TupleId> =
+                        serial.iter().map(|(id, _)| id).collect();
+                    if !live.is_empty() {
+                        let id = live[n % live.len()];
+                        let t = serial.retract(id).expect("live id");
+                        serial_watch.add_tuple(&t);
+                        actions.push((Action::Retract(id), id));
+                    }
+                }
+            }
+        }
+        let mut batched = Dataspace::new();
+        let mut batch_watch = WatchSet::new();
+        let batch: Vec<Action> = actions.iter().map(|(a, _)| a.clone()).collect();
+        let out = batched.apply_batch(&batch, &mut batch_watch);
+        // Same ids minted in the same order.
+        let expected_ids: Vec<TupleId> = actions
+            .iter()
+            .filter(|(a, _)| matches!(a, Action::Assert(..)))
+            .map(|(_, id)| *id)
+            .collect();
+        prop_assert_eq!(out.asserted, expected_ids);
+        // Same final contents.
+        prop_assert_eq!(batched.len(), serial.len());
+        for (id, t) in serial.iter() {
+            prop_assert_eq!(batched.tuple(id), Some(t));
+        }
+        // Same published watch keys.
+        let serial_keys: std::collections::HashSet<_> = serial_watch.iter().cloned().collect();
+        let batch_keys: std::collections::HashSet<_> = batch_watch.iter().cloned().collect();
+        prop_assert_eq!(serial_keys, batch_keys);
     }
 
     /// Negation is the complement of membership.

@@ -101,12 +101,15 @@ pub fn shard_of_pattern(pattern: &Pattern, n: usize) -> Option<usize> {
 
 /// The shard whose commits can publish `key`, or `None` for every shard.
 ///
-/// `Functor` keys are published only by tuples of that head and arity —
-/// one shard. `Arity` keys are published by *every* tuple of that arity,
-/// atom-headed ones included, which are spread across shards by functor.
+/// `Functor` and `Value` keys are published only by tuples of that head
+/// and arity — one shard. `Arity` keys are published by *every* tuple of
+/// that arity, atom-headed ones included, which are spread across shards
+/// by functor.
 pub fn shard_of_watch_key(key: &WatchKey, n: usize) -> Option<usize> {
     match key {
-        WatchKey::Functor(f, arity) => Some(bucket_functor(f, *arity, n)),
+        WatchKey::Functor(f, arity) | WatchKey::Value(f, arity, _, _) => {
+            Some(bucket_functor(f, *arity, n))
+        }
         WatchKey::Arity(_) => None,
     }
 }
@@ -471,6 +474,69 @@ impl<G: DerefMut<Target = Dataspace>> ShardView<'_, G> {
             .expect("asserted tuple's shard must be in the write footprint")
             .assert_tuple(owner, tuple)
     }
+
+    /// Applies a whole commit's write set, routing each action to its
+    /// shard and running one [`Dataspace::apply_batch`] per touched shard
+    /// — so a commit that hits k shards pays k index passes, not one per
+    /// tuple. Returns the merged outcome (assert ids in action order, as
+    /// the store-level batch does) plus the set of shards that actually
+    /// changed, which is exactly the wake scan's fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any action routes to a shard outside the view's
+    /// footprint.
+    pub fn apply_batch(
+        &mut self,
+        actions: Vec<crate::store::Action>,
+        watch: &mut crate::watch::WatchSet,
+    ) -> (crate::store::BatchOutcome, ShardSet) {
+        use crate::store::{Action, BatchOutcome};
+        let n = self.owner.num_shards();
+        let mut per_shard: Vec<Vec<Action>> = (0..n).map(|_| Vec::new()).collect();
+        // Remember each assert's ordinal in the global action order so
+        // per-shard outcomes scatter back into one action-ordered list.
+        let mut assert_slots: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+        let mut n_asserts = 0;
+        for action in actions {
+            let s = match &action {
+                Action::Retract(id) => self.owner.shard_of_id(*id),
+                Action::Assert(_, t) => self.owner.shard_of_tuple(t),
+            };
+            if matches!(action, Action::Assert(..)) {
+                assert_slots[s].push(n_asserts);
+                n_asserts += 1;
+            }
+            per_shard[s].push(action);
+        }
+        let mut out = BatchOutcome::default();
+        let mut asserted: Vec<Option<TupleId>> = vec![None; n_asserts];
+        let mut changed = ShardSet::new();
+        for (s, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let shard = self.guards[s]
+                .as_deref_mut()
+                .expect("batched action's shard must be in the write footprint");
+            let BatchOutcome {
+                retracted,
+                asserted: shard_asserted,
+            } = shard.apply_batch(&batch, watch);
+            if !retracted.is_empty() || !shard_asserted.is_empty() {
+                changed.insert(s);
+            }
+            for (slot, id) in assert_slots[s].iter().zip(shard_asserted) {
+                asserted[*slot] = Some(id);
+            }
+            out.retracted.extend(retracted);
+        }
+        out.asserted = asserted
+            .into_iter()
+            .map(|id| id.expect("every assert mints an id"))
+            .collect();
+        (out, changed)
+    }
 }
 
 #[cfg(test)]
@@ -604,6 +670,45 @@ mod tests {
         assert_eq!(view.tuple(nid), Some(&tuple![atom("done"), 1]));
         drop(view);
         assert_eq!(sds.len(), 1);
+    }
+
+    #[test]
+    fn write_view_batches_across_shards() {
+        use crate::store::Action;
+        use crate::watch::WatchSet;
+        let sds = ShardedDataspace::new(4);
+        let a = sds.assert_tuple(ProcId::ENV, tuple![atom("job"), 1]);
+        let b = sds.assert_tuple(ProcId::ENV, tuple![atom("task"), 2]);
+        let actions = vec![
+            Action::Retract(a),
+            Action::Assert(ProcId(3), tuple![atom("done"), 1]),
+            Action::Retract(b),
+            Action::Assert(ProcId(3), tuple![atom("done"), 2]),
+            Action::Assert(ProcId(3), tuple![atom("log"), 9]),
+        ];
+        let mut fp = ShardSet::new();
+        fp.insert(sds.shard_of_id(a));
+        fp.insert(sds.shard_of_id(b));
+        fp.insert(sds.shard_of_tuple(&tuple![atom("done"), 1]));
+        fp.insert(sds.shard_of_tuple(&tuple![atom("log"), 9]));
+        let mut view = sds.write_shards(fp);
+        let mut watch = WatchSet::new();
+        let (out, changed) = view.apply_batch(actions, &mut watch);
+        drop(view);
+        assert_eq!(out.retracted.len(), 2);
+        assert_eq!(out.asserted.len(), 3, "assert ids follow action order");
+        // Each minted id routes back to its tuple's shard.
+        assert_eq!(
+            sds.shard_of_id(out.asserted[2]),
+            sds.shard_of_tuple(&tuple![atom("log"), 9])
+        );
+        for s in changed.iter() {
+            assert!(fp.contains(s));
+        }
+        assert_eq!(sds.len(), 3);
+        let mut sub = WatchSet::new();
+        sub.add_pattern_exact(&pattern![atom("done"), 2]);
+        assert!(watch.intersects(&sub), "batched watch carries value keys");
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! The dataspace store: an indexed multiset of tuple instances.
 
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::Hash;
 
 use sdl_metrics::{Counter, Metrics};
 use sdl_tuple::{Atom, Bindings, Field, Pattern, ProcId, Tuple, TupleId, TupleInstance, Value};
+
+use crate::watch::WatchSet;
 
 /// Index configuration for a [`Dataspace`].
 ///
@@ -405,6 +409,210 @@ impl Dataspace {
     }
 }
 
+/// One mutation in a commit's write set, consumed by
+/// [`Dataspace::apply_batch`] and the sharded write view's `apply_batch`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Retract the instance with this id (ignored if not live).
+    Retract(TupleId),
+    /// Assert this tuple on behalf of the given process.
+    Assert(ProcId, Tuple),
+}
+
+/// What a batched commit did, correlated with the input actions.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutcome {
+    /// `(id, tuple)` for every `Retract` that was live, in action order.
+    pub retracted: Vec<(TupleId, Tuple)>,
+    /// The fresh id minted for each `Assert`, in action order.
+    pub asserted: Vec<TupleId>,
+}
+
+/// Pending id insertions/removals for one index entry — accumulated per
+/// distinct key so the batch touches each index entry exactly once.
+#[derive(Default)]
+struct IdDelta {
+    add: Vec<TupleId>,
+    del: Vec<TupleId>,
+}
+
+/// Applies one accumulated [`IdDelta`] to an index entry: a single hash
+/// lookup per distinct key, a bulk extend of the sorted-id set (batch
+/// asserts mint ascending ids, so this appends), and entry cleanup.
+fn apply_delta<K: Eq + Hash>(index: &mut HashMap<K, BTreeSet<TupleId>>, key: K, d: IdDelta) {
+    match index.entry(key) {
+        Entry::Occupied(mut e) => {
+            let set = e.get_mut();
+            // Every deleted id was live under this key, so if the
+            // removal set covers the whole entry the entry dies — drop
+            // it in one step instead of per-id removes. This is the
+            // forall-retracts-a-relation fast path.
+            if d.add.is_empty() && d.del.len() == set.len() {
+                e.remove();
+                return;
+            }
+            set.extend(d.add);
+            for id in &d.del {
+                set.remove(id);
+            }
+            if set.is_empty() {
+                e.remove();
+            }
+        }
+        Entry::Vacant(e) => {
+            let mut set: BTreeSet<TupleId> = d.add.into_iter().collect();
+            for id in &d.del {
+                set.remove(id);
+            }
+            if !set.is_empty() {
+                e.insert(set);
+            }
+        }
+    }
+}
+
+/// The per-tuple grouping twin of [`Dataspace::index_insert`] /
+/// [`Dataspace::index_remove`]: records which index entries `tuple`
+/// belongs to, without touching the (much larger) real indexes yet.
+struct IndexDeltas {
+    functor: HashMap<(Atom, usize), IdDelta>,
+    arg1: HashMap<(Atom, usize, Value), IdDelta>,
+    head_value: HashMap<(usize, Value), IdDelta>,
+    arg1_value: HashMap<(usize, Value), IdDelta>,
+    arity: HashMap<usize, IdDelta>,
+}
+
+impl IndexDeltas {
+    fn new() -> IndexDeltas {
+        IndexDeltas {
+            functor: HashMap::new(),
+            arg1: HashMap::new(),
+            head_value: HashMap::new(),
+            arg1_value: HashMap::new(),
+            arity: HashMap::new(),
+        }
+    }
+
+    fn record(&mut self, id: TupleId, tuple: &Tuple, add: bool) {
+        fn push<K: Eq + Hash>(m: &mut HashMap<K, IdDelta>, k: K, id: TupleId, add: bool) {
+            let d = m.entry(k).or_default();
+            if add {
+                d.add.push(id);
+            } else {
+                d.del.push(id);
+            }
+        }
+        if let Some(f) = tuple.functor() {
+            push(&mut self.functor, (f, tuple.arity()), id, add);
+            if let Some(arg1) = tuple.get(1) {
+                push(&mut self.arg1, (f, tuple.arity(), arg1.clone()), id, add);
+            }
+        } else if let Some(head) = tuple.get(0) {
+            push(&mut self.head_value, (tuple.arity(), head.clone()), id, add);
+        }
+        if let Some(arg1) = tuple.get(1) {
+            push(&mut self.arg1_value, (tuple.arity(), arg1.clone()), id, add);
+        }
+        push(&mut self.arity, tuple.arity(), id, add);
+    }
+}
+
+impl Dataspace {
+    /// Applies a whole commit's write set in one pass.
+    ///
+    /// Semantically equivalent to calling [`Dataspace::retract`] /
+    /// [`Dataspace::assert_tuple`] per action, but the secondary indexes
+    /// are maintained with one hash lookup and one sorted-id merge per
+    /// *distinct index entry* instead of per tuple, the version counter
+    /// and metrics are bumped once, and the published [`WatchKey`]s of
+    /// every changed tuple are merged into `watch` — the single
+    /// [`WatchSet`] the commit hands to the wake scan. High-fanout
+    /// `forall` commits and consensus composites hit one relation with
+    /// thousands of tuples; this path touches that relation's indexes
+    /// once.
+    ///
+    /// Retracts of ids that are not live are skipped (mirroring
+    /// [`Dataspace::retract`] returning `None`); callers validate
+    /// liveness beforehand.
+    ///
+    /// [`WatchKey`]: crate::WatchKey
+    pub fn apply_batch(&mut self, actions: &[Action], watch: &mut WatchSet) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        let mut deltas = IndexDeltas::new();
+        let index = self.index_mode != IndexMode::None;
+        // Grouping pays for itself when index keys repeat across the
+        // batch; small commits (the common case) go straight to the
+        // per-tuple index maintenance they'd have used anyway.
+        let group = index && actions.len() >= 8;
+
+        for action in actions {
+            match action {
+                Action::Retract(id) => {
+                    let Some(tuple) = self.instances.remove(id) else {
+                        continue;
+                    };
+                    watch.add_tuple(&tuple);
+                    if group {
+                        deltas.record(*id, &tuple, false);
+                    } else if index {
+                        self.index_remove(*id, &tuple);
+                    }
+                    if let Some(n) = self.value_counts.get_mut(&tuple) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.value_counts.remove(&tuple);
+                        }
+                    }
+                    out.retracted.push((*id, tuple));
+                }
+                Action::Assert(owner, tuple) => {
+                    let id = TupleId {
+                        owner: *owner,
+                        seq: self.next_seq,
+                    };
+                    self.next_seq += self.seq_stride;
+                    watch.add_tuple(tuple);
+                    if group {
+                        deltas.record(id, tuple, true);
+                    } else if index {
+                        self.index_insert(id, tuple);
+                    }
+                    *self.value_counts.entry(tuple.clone()).or_insert(0) += 1;
+                    self.instances.insert(id, tuple.clone());
+                    out.asserted.push(id);
+                }
+            }
+        }
+
+        for (k, d) in deltas.functor {
+            apply_delta(&mut self.functor_index, k, d);
+        }
+        for (k, d) in deltas.arg1 {
+            apply_delta(&mut self.arg1_index, k, d);
+        }
+        for (k, d) in deltas.head_value {
+            apply_delta(&mut self.head_value_index, k, d);
+        }
+        for (k, d) in deltas.arg1_value {
+            apply_delta(&mut self.arg1_value_index, k, d);
+        }
+        for (k, d) in deltas.arity {
+            apply_delta(&mut self.arity_index, k, d);
+        }
+
+        let mutations = (out.retracted.len() + out.asserted.len()) as u64;
+        if mutations > 0 {
+            self.version += mutations;
+            self.metrics
+                .add(Counter::TuplesRetracted, out.retracted.len() as u64);
+            self.metrics
+                .add(Counter::TuplesAsserted, out.asserted.len() as u64);
+            self.metrics.add(Counter::StoreVersionBumps, mutations);
+        }
+        out
+    }
+}
+
 /// Intersects two ascending id lists into a new ascending list — the
 /// index-intersection primitive for patterns served by more than one
 /// point index.
@@ -767,6 +975,106 @@ mod tests {
         flat.set_metrics(m2);
         flat.candidate_ids(&pattern![atom("k"), any]);
         assert_eq!(reg2.counter(Counter::IndexScanFull), 1);
+    }
+
+    #[test]
+    fn apply_batch_matches_per_tuple_application() {
+        // Drive the same mutation sequence through the per-tuple API and
+        // the batched API; every observable (instances, indexes, counts,
+        // version monotonicity) must agree.
+        let mut per_tuple = Dataspace::new();
+        let mut batched = Dataspace::new();
+        let seed: Vec<TupleId> = (0..6i64)
+            .map(|i| per_tuple.assert_tuple(ProcId(1), tuple![atom("k"), i % 3, i]))
+            .collect();
+        let seed_b: Vec<TupleId> = (0..6i64)
+            .map(|i| batched.assert_tuple(ProcId(1), tuple![atom("k"), i % 3, i]))
+            .collect();
+        assert_eq!(seed, seed_b);
+
+        let mut actions = vec![Action::Retract(seed[0]), Action::Retract(seed[3])];
+        for i in 0..4i64 {
+            actions.push(Action::Assert(ProcId(2), tuple![atom("m"), i]));
+        }
+        actions.push(Action::Assert(ProcId(2), tuple![7, 8]));
+
+        let v0 = per_tuple.version();
+        for a in &actions {
+            match a {
+                Action::Retract(id) => {
+                    per_tuple.retract(*id);
+                }
+                Action::Assert(owner, t) => {
+                    per_tuple.assert_tuple(*owner, t.clone());
+                }
+            }
+        }
+        let mut watch = WatchSet::new();
+        let out = batched.apply_batch(&actions, &mut watch);
+        assert_eq!(out.retracted.len(), 2);
+        assert_eq!(out.asserted.len(), 5);
+        assert!(batched.version() > v0);
+
+        for p in [
+            pattern![atom("k"), any, any],
+            pattern![atom("k"), 0, any],
+            pattern![atom("m"), any],
+            pattern![atom("m"), 2],
+            pattern![var 0, any],
+            pattern![7, any],
+        ] {
+            assert_eq!(
+                per_tuple.candidate_ids(&p),
+                batched.candidate_ids(&p),
+                "pattern {p:?}"
+            );
+        }
+        assert_eq!(per_tuple.len(), batched.len());
+        assert_eq!(
+            per_tuple.count_value(&tuple![atom("k"), 0, 0]),
+            batched.count_value(&tuple![atom("k"), 0, 0])
+        );
+        // The merged watch set covers every changed tuple's channels.
+        let mut probe = WatchSet::new();
+        probe.add_pattern(&pattern![atom("m"), any]);
+        assert!(watch.intersects(&probe));
+        let mut exact = WatchSet::new();
+        exact.add_pattern_exact(&pattern![atom("m"), 2]);
+        assert!(watch.intersects(&exact), "value keys are published");
+        let mut absent = WatchSet::new();
+        absent.add_pattern_exact(&pattern![atom("m"), 9]);
+        assert!(!watch.intersects(&absent), "unseen values stay quiet");
+    }
+
+    #[test]
+    fn apply_batch_skips_dead_retracts() {
+        let mut d = Dataspace::new();
+        let id = d.assert_tuple(ProcId(1), tuple![atom("x"), 1]);
+        d.retract(id);
+        let mut watch = WatchSet::new();
+        let out = d.apply_batch(&[Action::Retract(id)], &mut watch);
+        assert!(out.retracted.is_empty());
+        assert!(watch.is_empty(), "a no-op batch publishes nothing");
+    }
+
+    #[test]
+    fn apply_batch_metrics_match_per_tuple_accounting() {
+        let (m, reg) = Metrics::registry();
+        let mut d = Dataspace::new();
+        d.set_metrics(m);
+        let id = d.assert_tuple(ProcId(1), tuple![atom("k"), 1]);
+        let mut watch = WatchSet::new();
+        d.apply_batch(
+            &[
+                Action::Retract(id),
+                Action::Assert(ProcId(1), tuple![atom("k"), 2]),
+                Action::Assert(ProcId(1), tuple![atom("k"), 3]),
+            ],
+            &mut watch,
+        );
+        assert_eq!(reg.counter(Counter::TuplesAsserted), 3);
+        assert_eq!(reg.counter(Counter::TuplesRetracted), 1);
+        assert_eq!(reg.counter(Counter::StoreVersionBumps), 4);
     }
 
     #[test]

@@ -9,10 +9,19 @@
 //! is conservative (may wake a transaction that still fails) and complete
 //! (never misses an enabling change), which preserves the paper's weak
 //! fairness guarantee.
+//!
+//! Patterns with an atom head and a constant argument can subscribe to an
+//! *exact* [`WatchKey::Value`] channel instead: publication emits a value
+//! key per argument slot, so a transaction blocked on `<count, 7, α>`
+//! wakes only when an arity-3 `count` tuple whose second field hashes to
+//! `7`'s hash changes — not on every `count` change. Exact keys remain
+//! complete (any matching tuple publishes the subscribed key) while
+//! shrinking the wake fan-out by the relation's value diversity.
 
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 
-use sdl_tuple::{Atom, Field, Pattern, Tuple};
+use sdl_tuple::{Atom, Field, Pattern, Tuple, Value};
 
 /// A coarse description of which tuples a change could affect.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -21,22 +30,45 @@ pub enum WatchKey {
     Functor(Atom, usize),
     /// Any tuple of this arity (patterns with a non-constant head).
     Arity(usize),
+    /// Tuples with this leading atom and arity whose argument at `slot`
+    /// (1-based field position) hashes to the given value — the exact
+    /// channel for patterns like `<count, 7, α>`, which need not wake on
+    /// every `count` change, only those whose second field is `7`.
+    Value(Atom, usize, usize, u64),
+}
+
+/// Deterministic hash of one tuple/pattern field value, shared by the
+/// publication ([`WatchKey::of_tuple`]) and subscription
+/// ([`WatchKey::value_of_pattern`]) sides — both must agree bit-for-bit
+/// or wakeups would be missed.
+pub fn value_hash(v: &Value) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
 }
 
 impl WatchKey {
     /// The keys published when `tuple` is asserted or retracted.
     ///
-    /// A tuple notifies both its functor key (if its head is an atom) and
-    /// its arity key, since a variable-headed pattern of the same arity
-    /// could match it.
+    /// A tuple notifies its functor key (if its head is an atom), its
+    /// arity key (a variable-headed pattern of the same arity could match
+    /// it), and one [`WatchKey::Value`] key per argument slot so that
+    /// value-subscribed patterns wake exactly.
     pub fn of_tuple(tuple: &Tuple) -> impl Iterator<Item = WatchKey> + '_ {
-        let functor = tuple.functor().map(|f| WatchKey::Functor(f, tuple.arity()));
+        let arity = tuple.arity();
+        let functor = tuple.functor();
+        let values = functor.into_iter().flat_map(move |f| {
+            (1..arity)
+                .map(move |slot| WatchKey::Value(f, arity, slot, value_hash(&tuple.fields()[slot])))
+        });
         functor
+            .map(|f| WatchKey::Functor(f, arity))
             .into_iter()
-            .chain(std::iter::once(WatchKey::Arity(tuple.arity())))
+            .chain(std::iter::once(WatchKey::Arity(arity)))
+            .chain(values)
     }
 
-    /// The single key a pattern listens on.
+    /// The single conservative key a pattern listens on.
     ///
     /// A pattern with a constant atom head listens on its functor key;
     /// anything else listens on the arity key (which every tuple of that
@@ -46,6 +78,29 @@ impl WatchKey {
             Some(f) => WatchKey::Functor(f, pattern.arity()),
             None => WatchKey::Arity(pattern.arity()),
         }
+    }
+
+    /// The exact value-level key for `pattern`, if one exists: the
+    /// pattern must have an atom head and at least one constant argument
+    /// slot. Slot 1 is preferred (it aligns with the store's arg1 point
+    /// index); otherwise the first constant slot is used.
+    ///
+    /// Subscribing to this key alone is *complete* for the pattern: any
+    /// tuple that matches it must carry the same atom head, arity, and
+    /// constant value at that slot, and every such tuple publishes the
+    /// identical key from [`WatchKey::of_tuple`].
+    pub fn value_of_pattern(pattern: &Pattern) -> Option<WatchKey> {
+        let f = pattern.functor()?;
+        let arity = pattern.arity();
+        pattern
+            .fields()
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find_map(|(slot, field)| match field {
+                Field::Const(v) => Some(WatchKey::Value(f, arity, slot, value_hash(v))),
+                _ => None,
+            })
     }
 }
 
@@ -95,7 +150,7 @@ impl WatchSet {
         self.keys.is_empty()
     }
 
-    /// Subscribes to the key of `pattern`.
+    /// Subscribes to the conservative key of `pattern`.
     pub fn add_pattern(&mut self, pattern: &Pattern) {
         self.keys.insert(WatchKey::of_pattern(pattern));
         // A constant non-atom head still needs the arity channel; a
@@ -103,6 +158,19 @@ impl WatchSet {
         if matches!(pattern.fields().first(), Some(Field::Const(_))) && pattern.functor().is_none()
         {
             self.keys.insert(WatchKey::Arity(pattern.arity()));
+        }
+    }
+
+    /// Subscribes to the *exact* value-level key of `pattern` when one
+    /// exists ([`WatchKey::value_of_pattern`]), falling back to the
+    /// conservative keys otherwise. Exactness narrows wakeups without
+    /// losing completeness: tuples publish a value key per argument slot.
+    pub fn add_pattern_exact(&mut self, pattern: &Pattern) {
+        match WatchKey::value_of_pattern(pattern) {
+            Some(k) => {
+                self.keys.insert(k);
+            }
+            None => self.add_pattern(pattern),
         }
     }
 
@@ -143,12 +211,70 @@ mod tests {
     use sdl_tuple::{pattern, tuple, Value};
 
     #[test]
-    fn tuple_publishes_functor_and_arity() {
+    fn tuple_publishes_functor_arity_and_value_keys() {
         let t = tuple![Value::atom("label"), 1, 2];
         let keys: Vec<WatchKey> = WatchKey::of_tuple(&t).collect();
-        assert_eq!(keys.len(), 2);
-        assert!(keys.contains(&WatchKey::Functor(sdl_tuple::Atom::new("label"), 3)));
+        assert_eq!(keys.len(), 4, "functor + arity + one value key per arg");
+        let f = sdl_tuple::Atom::new("label");
+        assert!(keys.contains(&WatchKey::Functor(f, 3)));
         assert!(keys.contains(&WatchKey::Arity(3)));
+        assert!(keys.contains(&WatchKey::Value(f, 3, 1, value_hash(&Value::Int(1)))));
+        assert!(keys.contains(&WatchKey::Value(f, 3, 2, value_hash(&Value::Int(2)))));
+    }
+
+    #[test]
+    fn value_subscription_wakes_only_on_matching_value() {
+        let mut sub = WatchSet::new();
+        sub.add_pattern_exact(&pattern![Value::atom("count"), 7, var 0]);
+        assert_eq!(sub.len(), 1, "exact pattern subscribes one value key");
+
+        let mut hit = WatchSet::new();
+        hit.add_tuple(&tuple![Value::atom("count"), 7, 99]);
+        assert!(sub.intersects(&hit));
+
+        let mut miss = WatchSet::new();
+        miss.add_tuple(&tuple![Value::atom("count"), 8, 99]);
+        assert!(!sub.intersects(&miss), "other values must not wake it");
+
+        let mut other_rel = WatchSet::new();
+        other_rel.add_tuple(&tuple![Value::atom("tally"), 7, 99]);
+        assert!(!sub.intersects(&other_rel));
+
+        let mut other_arity = WatchSet::new();
+        other_arity.add_tuple(&tuple![Value::atom("count"), 7]);
+        assert!(!sub.intersects(&other_arity));
+    }
+
+    #[test]
+    fn exact_subscription_falls_back_without_const_args() {
+        let mut sub = WatchSet::new();
+        sub.add_pattern_exact(&pattern![Value::atom("count"), var 0, var 1]);
+        let mut change = WatchSet::new();
+        change.add_tuple(&tuple![Value::atom("count"), 1, 2]);
+        assert!(sub.intersects(&change), "functor fallback still wakes");
+        assert_eq!(
+            WatchKey::value_of_pattern(&pattern![Value::atom("count"), var 0, var 1]),
+            None
+        );
+        // Non-atom heads fall back too (no functor to key on).
+        assert_eq!(WatchKey::value_of_pattern(&pattern![3, 4]), None);
+    }
+
+    #[test]
+    fn value_key_prefers_slot_one() {
+        let p = pattern![Value::atom("edge"), var 0, 5];
+        match WatchKey::value_of_pattern(&p) {
+            Some(WatchKey::Value(f, 3, 2, h)) => {
+                assert_eq!(f, sdl_tuple::Atom::new("edge"));
+                assert_eq!(h, value_hash(&Value::Int(5)));
+            }
+            other => panic!("expected slot-2 value key, got {other:?}"),
+        }
+        let p1 = pattern![Value::atom("edge"), 4, 5];
+        match WatchKey::value_of_pattern(&p1) {
+            Some(WatchKey::Value(_, 3, 1, h)) => assert_eq!(h, value_hash(&Value::Int(4))),
+            other => panic!("expected slot-1 value key, got {other:?}"),
+        }
     }
 
     #[test]

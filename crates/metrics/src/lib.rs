@@ -20,7 +20,7 @@
 //! This crate is std-only and sits below `sdl-dataspace` in the dependency
 //! graph so the store and solver can count without cycles.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -94,6 +94,13 @@ pub enum Counter {
     WakeupCommit,
     /// `sdl_wakeups_total{cause="consensus"}`
     WakeupConsensus,
+    /// `sdl_wakes_total{result="progress"}` — a woken process committed
+    /// before blocking again.
+    WakeProgress,
+    /// `sdl_wakes_total{result="spurious"}` — a woken process re-blocked
+    /// without committing (the wake key matched but the query still
+    /// failed).
+    WakeSpurious,
     /// Consensus transactions fired.
     ConsensusRounds,
     /// Processes spawned.
@@ -104,7 +111,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters in exposition order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 36] = [
         Counter::TxnAttemptsImmediate,
         Counter::TxnAttemptsDelayed,
         Counter::TxnAttemptsConsensus,
@@ -136,6 +143,8 @@ impl Counter {
         Counter::ProcessesBlocked,
         Counter::WakeupCommit,
         Counter::WakeupConsensus,
+        Counter::WakeProgress,
+        Counter::WakeSpurious,
         Counter::ConsensusRounds,
         Counter::ProcessesSpawned,
         Counter::EventsDropped,
@@ -177,6 +186,7 @@ impl Counter {
             Counter::WindowAdmitChecks => "sdl_window_admit_checks_total",
             Counter::ProcessesBlocked => "sdl_process_blocked_total",
             Counter::WakeupCommit | Counter::WakeupConsensus => "sdl_wakeups_total",
+            Counter::WakeProgress | Counter::WakeSpurious => "sdl_wakes_total",
             Counter::ConsensusRounds => "sdl_consensus_rounds_total",
             Counter::ProcessesSpawned => "sdl_processes_spawned_total",
             Counter::EventsDropped => "sdl_events_dropped_total",
@@ -206,6 +216,8 @@ impl Counter {
             Counter::PlanReplans => "event=\"replan\"",
             Counter::WakeupCommit => "cause=\"commit\"",
             Counter::WakeupConsensus => "cause=\"consensus\"",
+            Counter::WakeProgress => "result=\"progress\"",
+            Counter::WakeSpurious => "result=\"spurious\"",
             _ => "",
         }
     }
@@ -246,6 +258,9 @@ impl Counter {
             Counter::ProcessesBlocked => "Processes that entered the blocked set.",
             Counter::WakeupCommit | Counter::WakeupConsensus => {
                 "Blocked-process wakeups, by cause."
+            }
+            Counter::WakeProgress | Counter::WakeSpurious => {
+                "Wake outcomes: the woken process committed (progress) or re-blocked (spurious)."
             }
             Counter::ConsensusRounds => "Consensus transactions fired.",
             Counter::ProcessesSpawned => "Processes spawned.",
@@ -357,6 +372,37 @@ impl ShardCounter {
     }
 }
 
+/// Instantaneous levels (up/down), as opposed to the monotone [`Counter`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// `sdl_blocked_queue_depth` — processes currently parked in a
+    /// blocked set waiting for a watch-key wakeup.
+    BlockedQueueDepth,
+}
+
+impl Gauge {
+    /// All gauges in exposition order.
+    pub const ALL: [Gauge; 1] = [Gauge::BlockedQueueDepth];
+
+    /// Number of distinct gauges.
+    pub const COUNT: usize = Gauge::ALL.len();
+
+    /// The Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::BlockedQueueDepth => "sdl_blocked_queue_depth",
+        }
+    }
+
+    /// Help text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::BlockedQueueDepth => "Processes currently parked waiting for a wakeup.",
+        }
+    }
+}
+
 /// Receiver for metric updates. Implementations must be cheap and
 /// thread-safe; the schedulers call these on their hot paths.
 pub trait MetricsSink: Send + Sync {
@@ -370,6 +416,12 @@ pub trait MetricsSink: Send + Sync {
     /// predate sharding (event streams, tests) keep compiling unchanged.
     fn add_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
         let _ = (shard, counter, n);
+    }
+
+    /// Moves a gauge by `delta` (negative to decrement). Default: discard,
+    /// so sinks that predate gauges keep compiling unchanged.
+    fn add_gauge(&self, gauge: Gauge, delta: i64) {
+        let _ = (gauge, delta);
     }
 }
 
@@ -457,6 +509,14 @@ impl Metrics {
         }
     }
 
+    /// Moves `gauge` by `delta` (negative to decrement).
+    #[inline]
+    pub fn add_gauge(&self, gauge: Gauge, delta: i64) {
+        if let Some(sink) = &self.sink {
+            sink.add_gauge(gauge, delta);
+        }
+    }
+
     /// Starts a wall-clock timer, or `None` when disabled (so the disabled
     /// path never reads the clock).
     #[inline]
@@ -532,6 +592,7 @@ pub const MAX_SHARD_SERIES: usize = 64;
 /// reads the snapshot at the end.
 pub struct MetricsRegistry {
     counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicI64; Gauge::COUNT],
     hists: Vec<HistStore>,
     /// `[kind][shard]`, flattened: `kind * MAX_SHARD_SERIES + shard`.
     shard_counters: Vec<AtomicU64>,
@@ -548,6 +609,7 @@ impl MetricsRegistry {
     pub fn new() -> MetricsRegistry {
         MetricsRegistry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicI64::new(0)),
             hists: Hist::ALL.iter().map(|&h| HistStore::new(h)).collect(),
             shard_counters: (0..ShardCounter::COUNT * MAX_SHARD_SERIES)
                 .map(|_| AtomicU64::new(0))
@@ -558,6 +620,11 @@ impl MetricsRegistry {
     /// Current value of `counter`.
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current level of `gauge`.
+    pub fn gauge(&self, gauge: Gauge) -> i64 {
+        self.gauges[gauge as usize].load(Ordering::Relaxed)
     }
 
     /// Current value of a per-shard counter (0 for out-of-range shards).
@@ -596,6 +663,11 @@ impl MetricsRegistry {
             } else {
                 let _ = writeln!(out, "{}{{{}}} {}", c.name(), labels, self.counter(c));
             }
+        }
+        for &g in &Gauge::ALL {
+            let _ = writeln!(out, "# HELP {} {}", g.name(), g.help());
+            let _ = writeln!(out, "# TYPE {} gauge", g.name());
+            let _ = writeln!(out, "{} {}", g.name(), self.gauge(g));
         }
         for &sc in &ShardCounter::ALL {
             // Only shards the run actually touched get a series; an idle
@@ -661,6 +733,10 @@ impl MetricsSink for MetricsRegistry {
             self.shard_counters[counter as usize * MAX_SHARD_SERIES + shard]
                 .fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    fn add_gauge(&self, gauge: Gauge, delta: i64) {
+        self.gauges[gauge as usize].fetch_add(delta, Ordering::Relaxed);
     }
 }
 
@@ -755,6 +831,34 @@ mod tests {
         let text = reg.render_prometheus();
         assert!(text.contains("# TYPE sdl_shard_lock_wait_seconds histogram"));
         assert!(text.contains("sdl_shard_lock_wait_seconds_count 1"));
+    }
+
+    #[test]
+    fn wake_precision_counters_share_one_family() {
+        let (m, reg) = Metrics::registry();
+        m.inc(Counter::WakeProgress);
+        m.add(Counter::WakeSpurious, 4);
+        assert_eq!(reg.counter(Counter::WakeProgress), 1);
+        assert_eq!(reg.counter(Counter::WakeSpurious), 4);
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE sdl_wakes_total counter").count(), 1);
+        assert!(text.contains("sdl_wakes_total{result=\"progress\"} 1"));
+        assert!(text.contains("sdl_wakes_total{result=\"spurious\"} 4"));
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_render_as_gauge() {
+        let (m, reg) = Metrics::registry();
+        m.add_gauge(Gauge::BlockedQueueDepth, 3);
+        m.add_gauge(Gauge::BlockedQueueDepth, -1);
+        assert_eq!(reg.gauge(Gauge::BlockedQueueDepth), 2);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sdl_blocked_queue_depth gauge"));
+        assert!(text.contains("sdl_blocked_queue_depth 2"));
+        // Disabled handles and the null sink discard gauge updates.
+        Metrics::disabled().add_gauge(Gauge::BlockedQueueDepth, 7);
+        NullMetricsSink.add_gauge(Gauge::BlockedQueueDepth, 7);
+        assert_eq!(reg.gauge(Gauge::BlockedQueueDepth), 2);
     }
 
     #[test]

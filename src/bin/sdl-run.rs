@@ -4,6 +4,7 @@
 //! sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] [--stats]
 //!         [--metrics] [--events-out FILE] [--trace-cap N] [--threads N]
 //!         [--shards N] [--max-attempts N] [--grid WxH] [--no-plan]
+//!         [--coarse-wakes]
 //! ```
 //!
 //! * `--rounds`          use the maximal-parallel-rounds scheduler
@@ -13,6 +14,8 @@
 //!   CPUs; `1` reproduces the single-lock executor bit-for-bit)
 //! * `--no-plan`         disable selectivity-driven query planning
 //!   (source-order ablation baseline)
+//! * `--coarse-wakes`    park blocked transactions on functor/arity
+//!   watch keys only, without value-level keys (ablation baseline)
 //! * `--trace`           print the event timeline after the run
 //! * `--trace-cap N`     keep at most N events in the trace log
 //! * `--stats`           print per-process statistics (streams; does not
@@ -44,13 +47,15 @@ struct Args {
     max_attempts: u64,
     grid: Option<(i64, i64)>,
     no_plan: bool,
+    coarse_wakes: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] \
          [--stats] [--metrics] [--events-out FILE] [--trace-cap N] \
-         [--threads N] [--shards N] [--max-attempts N] [--grid WxH] [--no-plan]"
+         [--threads N] [--shards N] [--max-attempts N] [--grid WxH] [--no-plan] \
+         [--coarse-wakes]"
     );
     std::process::exit(2)
 }
@@ -71,6 +76,7 @@ fn parse_args() -> Args {
         max_attempts: RunLimits::default().max_attempts,
         grid: None,
         no_plan: false,
+        coarse_wakes: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -123,6 +129,7 @@ fn parse_args() -> Args {
                 ));
             }
             "--no-plan" => args.no_plan = true,
+            "--coarse-wakes" => args.coarse_wakes = true,
             "--help" | "-h" => usage(),
             f if args.file.is_empty() && !f.starts_with('-') => args.file = f.to_owned(),
             _ => usage(),
@@ -153,6 +160,9 @@ fn run_threaded(
         .shards(args.shards.unwrap_or(cpus));
     if args.no_plan {
         b = b.plan_mode(PlanMode::SourceOrder);
+    }
+    if args.coarse_wakes {
+        b = b.exact_wakes(false);
     }
     let rt = match b.build() {
         Ok(rt) => rt,
@@ -233,6 +243,9 @@ fn main() -> ExitCode {
         });
     if args.no_plan {
         builder = builder.plan_mode(PlanMode::SourceOrder);
+    }
+    if args.coarse_wakes {
+        builder = builder.exact_wakes(false);
     }
     if let Some(cap) = args.trace_cap {
         builder = builder.trace_capacity(cap);
