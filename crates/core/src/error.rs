@@ -83,6 +83,10 @@ pub enum RuntimeError {
     },
     /// The executor does not support a feature the program uses.
     Unsupported(String),
+    /// The write-ahead log failed (I/O error, corruption, or a
+    /// shard-count mismatch during recovery). Stringified because the
+    /// underlying error wraps `std::io::Error`, which is not `Clone`.
+    Wal(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -101,6 +105,7 @@ impl fmt::Display for RuntimeError {
                 "spawn of `{process}` takes {expected} argument(s), got {found}"
             ),
             RuntimeError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            RuntimeError::Wal(what) => write!(f, "durability: {what}"),
         }
     }
 }

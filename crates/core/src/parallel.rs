@@ -43,7 +43,7 @@
 //!
 //! [`Runtime::run_rounds`]: crate::Runtime::run_rounds
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -54,19 +54,20 @@ use rand::SeedableRng;
 
 use sdl_dataspace::{
     shard_of_pattern, shard_of_watch_key, Action, Dataspace, PlanMode, ShardSet, ShardedDataspace,
-    SolveLimits, WatchSet,
+    SolveLimits, WatchKey, WatchSet,
 };
+use sdl_durability::{RecoveredState, Wal};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
 use sdl_metrics::{Counter, Gauge, Hist, Metrics, ShardCounter};
-use sdl_tuple::{ProcId, Tuple, Value};
+use sdl_tuple::{ProcId, Tuple, TupleId, Value};
 
 use crate::builtins::Builtins;
 use crate::error::RuntimeError;
 use crate::outcome::Outcome;
 use crate::process::{Frame, ProcessInstance};
 use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
-use crate::sched::{attempts_counter, committed_counter, failed_counter};
+use crate::sched::{attempts_counter, committed_counter, failed_counter, wal_err};
 use crate::txn::{self, Pending, PlanConfig};
 use crate::view::{resolve_fields, EnvCtx};
 
@@ -99,6 +100,8 @@ pub struct ParallelBuilder {
     tuples: Vec<Tuple>,
     spawns: Vec<(String, Vec<Value>)>,
     metrics: Metrics,
+    wal: Option<Arc<Wal>>,
+    recovered: Option<RecoveredState>,
 }
 
 impl ParallelBuilder {
@@ -173,6 +176,24 @@ impl ParallelBuilder {
         self
     }
 
+    /// Attaches a write-ahead log: every commit appends one record
+    /// *inside* its write-footprint lock scope, so the log order is a
+    /// valid serialisation of the run. Fsyncs happen after the locks
+    /// drop, letting concurrent committers share one (group commit).
+    pub fn wal(mut self, wal: Arc<Wal>) -> ParallelBuilder {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Seeds the sharded store from recovered state instead of the
+    /// program's `init` tuples. The shard count must match the one the
+    /// log was written under, so each recovered id lands back on the
+    /// shard whose strided sequence minted it.
+    pub fn recover_from(mut self, state: RecoveredState) -> ParallelBuilder {
+        self.recovered = Some(state);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -193,18 +214,37 @@ impl ParallelBuilder {
             vars: None,
             builtins: &self.builtins,
         };
-        for fields in &self.program.init_tuples {
-            let mut vals = Vec::with_capacity(fields.len());
-            for f in fields {
-                vals.push(eval(f, &ctx).map_err(|source| RuntimeError::Eval {
-                    source,
-                    context: "init tuple".to_owned(),
-                })?);
+        if let Some(state) = &self.recovered {
+            // Recovered ids must land back on the shards whose strided
+            // sequences minted them, and the cursors must advance past
+            // every id ever minted (even since-retracted ones).
+            state.check_shards(self.shards as u64).map_err(wal_err)?;
+            for (id, t) in &state.tuples {
+                ds.insert_instance(*id, t.clone());
             }
-            ds.assert_tuple(ProcId::ENV, Tuple::new(vals));
-        }
-        for t in self.tuples {
-            ds.assert_tuple(ProcId::ENV, t);
+            ds.advance_cursors(&state.cursors);
+        } else {
+            for fields in &self.program.init_tuples {
+                let mut vals = Vec::with_capacity(fields.len());
+                for f in fields {
+                    vals.push(eval(f, &ctx).map_err(|source| RuntimeError::Eval {
+                        source,
+                        context: "init tuple".to_owned(),
+                    })?);
+                }
+                ds.assert_tuple(ProcId::ENV, Tuple::new(vals));
+            }
+            for t in self.tuples {
+                ds.assert_tuple(ProcId::ENV, t);
+            }
+            // Builder-time asserts bypass the commit path; a fresh log
+            // captures them as a genesis snapshot.
+            if let Some(wal) = &self.wal {
+                if wal.last_appended() == 0 {
+                    let (cursors, tuples) = ds.read_shards(ds.all_shards()).snapshot_state();
+                    wal.write_snapshot(&cursors, &tuples).map_err(wal_err)?;
+                }
+            }
         }
         let mut initial = Vec::new();
         let mut next_pid = 1u64;
@@ -248,6 +288,7 @@ impl ParallelBuilder {
             initial,
             next_pid,
             metrics: self.metrics,
+            wal: self.wal,
         })
     }
 }
@@ -321,6 +362,7 @@ pub struct ParallelRuntime {
     initial: Vec<ProcessInstance>,
     next_pid: u64,
     metrics: Metrics,
+    wal: Option<Arc<Wal>>,
 }
 
 struct Shared {
@@ -333,9 +375,12 @@ struct Shared {
     epoch: AtomicU64,
     queue: Mutex<VecDeque<ProcessInstance>>,
     cv: Condvar,
-    /// One blocked list per shard, following the wake-routing partition:
-    /// a commit that changed shard *s* only scans `blocked[s]`.
-    blocked: Vec<Mutex<Vec<Arc<Parked>>>>,
+    /// One blocked index per shard, following the wake-routing
+    /// partition, keyed by watch key: a commit that changed shard *s*
+    /// looks up only its published keys in `blocked[s]` — the threaded
+    /// counterpart of the serial scheduler's reverse `wake_index`,
+    /// replacing the per-shard linear scan.
+    blocked: Vec<Mutex<ShardBlocked>>,
     /// Tasks enqueued or being processed; 0 ⇒ nothing can ever wake.
     pending: AtomicUsize,
     done: AtomicBool,
@@ -348,6 +393,9 @@ struct Shared {
     next_pid: AtomicU64,
     error: Mutex<Option<RuntimeError>>,
     metrics: Metrics,
+    /// Write-ahead log; appends happen inside commit write-lock scopes,
+    /// fsyncs and snapshots after they drop.
+    wal: Option<Arc<Wal>>,
 }
 
 /// A blocked process. The entry is shared between every per-shard list
@@ -361,6 +409,21 @@ struct Parked {
     /// When it parked (for the blocked-time histogram; `None` when
     /// metrics are disabled).
     since: Option<std::time::Instant>,
+}
+
+/// One shard's blocked processes, indexed by watch key. An entry
+/// appears under every one of its keys that routes to this shard (and
+/// in every shard for unroutable arity keys), so a wake-up is a hash
+/// lookup per published key instead of a scan over all parked entries.
+/// A key-indexed hit already implies the watch intersects the change,
+/// so no per-entry intersection test remains. Stale stubs (slot already
+/// claimed elsewhere) are dropped lazily when their key next fires.
+#[derive(Default)]
+struct ShardBlocked {
+    by_key: HashMap<WatchKey, Vec<Arc<Parked>>>,
+    /// Entries with an empty watch set. No commit can ever wake them;
+    /// they are held only so the end-of-run drain reports them blocked.
+    keyless: Vec<Arc<Parked>>,
 }
 
 impl ParallelRuntime {
@@ -380,6 +443,8 @@ impl ParallelRuntime {
             tuples: Vec::new(),
             spawns: Vec::new(),
             metrics: Metrics::disabled(),
+            wal: None,
+            recovered: None,
         }
     }
 
@@ -399,7 +464,9 @@ impl ParallelRuntime {
             epoch: AtomicU64::new(0),
             queue: Mutex::new(self.initial.clone().into()),
             cv: Condvar::new(),
-            blocked: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            blocked: (0..n_shards)
+                .map(|_| Mutex::new(ShardBlocked::default()))
+                .collect(),
             pending: AtomicUsize::new(self.initial.len()),
             done: AtomicBool::new(self.initial.is_empty()),
             attempts: AtomicU64::new(0),
@@ -415,6 +482,7 @@ impl ParallelRuntime {
             next_pid: AtomicU64::new(self.next_pid),
             error: Mutex::new(None),
             metrics: self.metrics,
+            wal: self.wal,
         });
         std::thread::scope(|scope| {
             for w in 0..self.threads {
@@ -426,12 +494,13 @@ impl ParallelRuntime {
         if let Some(e) = shared.error.lock().take() {
             return Err(e);
         }
-        // Drain the per-shard blocked lists; taking each slot dedupes
-        // entries that sat in several lists.
+        // Drain the per-shard blocked indexes; taking each slot dedupes
+        // entries that sat under several keys or shards.
         let blocked_pids: Vec<ProcId> = {
             let mut pids = Vec::new();
             for list in &shared.blocked {
-                for e in list.lock().iter() {
+                let sb = list.lock();
+                for e in sb.by_key.values().flatten().chain(sb.keyless.iter()) {
                     if let Some(p) = e.slot.lock().take() {
                         shared.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
                         pids.push(p.id);
@@ -450,6 +519,11 @@ impl ParallelRuntime {
                 blocked: blocked_pids,
             }
         };
+        // Whatever the fsync policy deferred becomes durable before the
+        // run is reported back.
+        if let Some(wal) = &shared.wal {
+            wal.sync().map_err(wal_err)?;
+        }
         let ds = shared.sds.drain_into_dataspace();
         let report = ParallelReport {
             outcome,
@@ -566,31 +640,41 @@ fn commit_footprint(shared: &Shared, proc: &ProcessInstance, p: &Pending) -> Sha
     fp
 }
 
-/// Wakes blocked processes whose watch intersects `changed`, scanning
-/// only the changed shards' lists. Must run after the commit's epoch
-/// increment: a parker that inserts too late to be seen here is
-/// guaranteed to observe the new epoch and re-queue itself.
+/// Wakes blocked processes subscribed to any of `changed`'s keys,
+/// looking each published key up in the changed shards' reverse
+/// indexes — no scan over unrelated parked entries. Must run after the
+/// commit's epoch increment: a parker that inserts too late to be seen
+/// here is guaranteed to observe the new epoch and re-queue itself.
 fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet) {
     if changed.is_empty() {
         return;
     }
+    let n = shared.sds.num_shards();
     let mut woken: Vec<(ProcessInstance, Option<std::time::Instant>)> = Vec::new();
     for s in changed_shards.iter() {
-        let mut list = shared.blocked[s].lock();
-        list.retain(|e| {
-            let mut slot = e.slot.lock();
-            match &*slot {
-                // Claimed via another list: stale stub, drop it.
-                None => false,
-                Some(_) if e.watch.intersects(changed) => {
-                    let mut p = slot.take().expect("checked Some");
+        let mut sb = shared.blocked[s].lock();
+        for key in changed.iter() {
+            // A routable key wakes through its own shard's index; an
+            // unroutable (arity) key is registered in every shard, so
+            // any changed shard's index covers it — later shards just
+            // clean up the stubs the first one left.
+            if shard_of_watch_key(key, n).is_some_and(|r| r != s) {
+                continue;
+            }
+            let Some(list) = sb.by_key.get_mut(key) else {
+                continue;
+            };
+            for e in list.drain(..) {
+                // A key-indexed hit implies the watch intersects the
+                // change; an empty slot is a stale stub claimed via
+                // another key or shard.
+                if let Some(mut p) = e.slot.lock().take() {
                     p.woken = true;
                     woken.push((p, e.since));
-                    false
                 }
-                Some(_) => true,
             }
-        });
+            sb.by_key.remove(key);
+        }
     }
     for (p, since) in woken {
         shared.metrics.inc(Counter::WakeupCommit);
@@ -660,7 +744,7 @@ fn attempt(
         };
         let p = txn::build_effects(t, &query, &proc.env, &shared.builtins)?;
         let write_fp = commit_footprint(shared, proc, &p);
-        let (changed, changed_shards) = {
+        let (changed, changed_shards, wal_commit) = {
             let lock_timer = shared.metrics.start_timer();
             let mut ds = shared.sds.write_shards(write_fp);
             shared
@@ -699,8 +783,28 @@ fn attempt(
                     .map(|(tu, _)| Action::Assert(proc.id, tu.clone())),
             );
             let mut changed = WatchSet::new();
-            let (_, changed_shards) = ds.apply_batch(actions, &mut changed);
-            (changed, changed_shards)
+            let (out, changed_shards) = ds.apply_batch(actions, &mut changed);
+            // Append while still holding the write footprint: any
+            // conflicting commit is ordered behind these locks, so the
+            // log's append order is a valid serialisation of the run
+            // (disjoint-footprint commits commute). The fsync waits
+            // until the locks drop.
+            let wal_commit = match &shared.wal {
+                Some(wal) => {
+                    let retracts: Vec<TupleId> = out.retracted.iter().map(|(id, _)| *id).collect();
+                    let applied = p
+                        .asserts
+                        .iter()
+                        .zip(&allowed)
+                        .filter(|(_, ok)| **ok)
+                        .map(|(tu, _)| tu.clone());
+                    let asserts: Vec<(TupleId, Tuple)> =
+                        out.asserted.iter().copied().zip(applied).collect();
+                    Some(wal.append(&retracts, &asserts).map_err(wal_err)?)
+                }
+                None => None,
+            };
+            (changed, changed_shards, wal_commit)
         };
         // Locks are down; publish the commit before scanning blocked
         // lists so parkers that miss the scan catch the epoch change.
@@ -709,6 +813,23 @@ fn attempt(
         shared.metrics.inc(committed_counter(t.kind));
         for s in write_fp.iter() {
             shared.metrics.add_shard(s, ShardCounter::Commits, 1);
+        }
+        if let Some(wal) = &shared.wal {
+            // Group commit: if another thread's fsync already covered
+            // this commit number, this returns without syncing.
+            let commit = wal_commit.expect("appended under the write locks");
+            wal.ensure_durable(commit).map_err(wal_err)?;
+            if wal.snapshot_due() {
+                // A full-footprint read view is consistent with the log:
+                // appends happen under shard write locks, so the state
+                // under all read locks is exactly "after the highest
+                // appended commit".
+                let (cursors, tuples) = shared
+                    .sds
+                    .read_shards(shared.sds.all_shards())
+                    .snapshot_state();
+                wal.write_snapshot(&cursors, &tuples).map_err(wal_err)?;
+            }
         }
         wake(shared, &changed, changed_shards);
         return Ok(TxnOutcome::Committed(p));
@@ -936,31 +1057,35 @@ fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, mut proc: ProcessInst
         slot: Mutex::new(Some(proc)),
         watch,
     });
-    // Route the entry by its watch keys: functor keys pin one shard,
-    // arity keys (and an empty watch, which can never be woken anyway)
-    // listen everywhere / on shard 0.
-    let mut targets = ShardSet::new();
-    let mut everywhere = false;
+    // Register the entry under each watch key in the key's shard's
+    // reverse index: functor and value keys pin one shard, arity keys
+    // go in every shard (any of them may publish the change). An empty
+    // watch can never be woken; it parks keyless on shard 0 so the
+    // end-of-run drain still finds it.
+    let mut any_key = false;
     for key in entry.watch.iter() {
+        any_key = true;
         match shard_of_watch_key(key, n) {
-            Some(s) => targets.insert(s),
+            Some(s) => shared.blocked[s]
+                .lock()
+                .by_key
+                .entry(*key)
+                .or_default()
+                .push(entry.clone()),
             None => {
-                everywhere = true;
-                break;
+                for s in 0..n {
+                    shared.blocked[s]
+                        .lock()
+                        .by_key
+                        .entry(*key)
+                        .or_default()
+                        .push(entry.clone());
+                }
             }
         }
     }
-    let targets = if everywhere {
-        shared.sds.all_shards()
-    } else if targets.is_empty() {
-        let mut t = ShardSet::new();
-        t.insert(0);
-        t
-    } else {
-        targets
-    };
-    for s in targets.iter() {
-        shared.blocked[s].lock().push(entry.clone());
+    if !any_key {
+        shared.blocked[0].lock().keyless.push(entry.clone());
     }
     if shared.epoch.load(Ordering::SeqCst) != eval_epoch {
         // A commit published while we were parking; whether or not its

@@ -67,8 +67,9 @@ impl CompiledProgram {
         }
 
         let mut defs = HashMap::new();
+        let mut interner = PlanInterner::new();
         for def in &program.processes {
-            let compiled = compile_process(def, &signatures)?;
+            let compiled = compile_process(def, &signatures, &mut interner)?;
             defs.insert(def.name.clone(), Arc::new(compiled));
         }
 
@@ -252,16 +253,13 @@ pub struct CachedPlan {
 /// threshold. A stale plan is still *correct* — join order never changes
 /// the solution multiset — so the cache needs no invalidation hooks on
 /// store mutation.
-#[derive(Default)]
-pub struct PlanCache(RwLock<Option<Arc<CachedPlan>>>);
-
-impl Clone for PlanCache {
-    fn clone(&self) -> PlanCache {
-        PlanCache(RwLock::new(
-            self.0.read().expect("plan cache poisoned").clone(),
-        ))
-    }
-}
+///
+/// The cell is behind an `Arc` and `Clone` shares it, so compilation can
+/// hash-cons caches across *structurally identical* statements: two
+/// statements with equal atom shapes, variable counts, and scheduled
+/// tests plan once and reuse each other's plan (see [`PlanInterner`]).
+#[derive(Clone, Default)]
+pub struct PlanCache(Arc<RwLock<Option<Arc<CachedPlan>>>>);
 
 impl fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -273,6 +271,18 @@ impl fmt::Debug for PlanCache {
         f.debug_tuple("PlanCache").field(&state).finish()
     }
 }
+
+/// Hash-cons table for [`PlanCache`] cells, scoped to one
+/// [`CompiledProgram::compile`] call: statements whose plan inputs are
+/// identical — variable count, atom modes and field shapes, and the
+/// scheduled binding/property tests — share one cache cell, so a plan
+/// built by any of them serves all of them (the paper's programs lean on
+/// textually repeated transactions across process definitions). Keyed on
+/// the derived `Debug` rendering of those inputs, which is a faithful
+/// fingerprint of the structures. Index mode is deliberately *not* part
+/// of the key: [`CompiledTxn::plan_for`] tags each cached plan with the
+/// mode it was estimated under and replans on mismatch.
+type PlanInterner = HashMap<(usize, String), PlanCache>;
 
 impl CompiledTxn {
     /// The execution plan for this statement's query against `source`,
@@ -385,12 +395,13 @@ fn check_spawn(
 fn compile_process(
     def: &ProcessDef,
     signatures: &HashMap<&str, usize>,
+    interner: &mut PlanInterner,
 ) -> Result<CompiledProcess, CompileError> {
     Ok(CompiledProcess {
         name: def.name.clone(),
         params: def.params.clone(),
         view: compile_view(def)?,
-        body: compile_stmts(&def.body, signatures)?,
+        body: compile_stmts(&def.body, signatures, interner)?,
     })
 }
 
@@ -465,10 +476,11 @@ fn compile_view_rule(rule: &sdl_lang::ast::ViewRule) -> Result<CompiledViewRule,
 fn compile_stmts(
     stmts: &[Stmt],
     signatures: &HashMap<&str, usize>,
+    interner: &mut PlanInterner,
 ) -> Result<Arc<[CompiledStmt]>, CompileError> {
     stmts
         .iter()
-        .map(|s| compile_stmt(s, signatures))
+        .map(|s| compile_stmt(s, signatures, interner))
         .collect::<Result<Vec<_>, _>>()
         .map(Arc::from)
 }
@@ -476,32 +488,36 @@ fn compile_stmts(
 fn compile_stmt(
     stmt: &Stmt,
     signatures: &HashMap<&str, usize>,
+    interner: &mut PlanInterner,
 ) -> Result<CompiledStmt, CompileError> {
     Ok(match stmt {
-        Stmt::Txn(t) => CompiledStmt::Txn(Arc::new(compile_txn(t, signatures)?)),
-        Stmt::Select(b) => CompiledStmt::Select(compile_branches(b, signatures)?),
-        Stmt::Repeat(b) => CompiledStmt::Repeat(compile_branches(b, signatures)?),
-        Stmt::Replicate(b) => CompiledStmt::Replicate(compile_branches(b, signatures)?),
+        Stmt::Txn(t) => CompiledStmt::Txn(Arc::new(compile_txn_interned(t, signatures, interner)?)),
+        Stmt::Select(b) => CompiledStmt::Select(compile_branches(b, signatures, interner)?),
+        Stmt::Repeat(b) => CompiledStmt::Repeat(compile_branches(b, signatures, interner)?),
+        Stmt::Replicate(b) => CompiledStmt::Replicate(compile_branches(b, signatures, interner)?),
     })
 }
 
 fn compile_branches(
     branches: &[GuardedSeq],
     signatures: &HashMap<&str, usize>,
+    interner: &mut PlanInterner,
 ) -> Result<Arc<[CompiledBranch]>, CompileError> {
     branches
         .iter()
         .map(|b| {
             Ok(CompiledBranch {
-                guard: Arc::new(compile_txn(&b.guard, signatures)?),
-                rest: compile_stmts(&b.rest, signatures)?,
+                guard: Arc::new(compile_txn_interned(&b.guard, signatures, interner)?),
+                rest: compile_stmts(&b.rest, signatures, interner)?,
             })
         })
         .collect::<Result<Vec<_>, CompileError>>()
         .map(Arc::from)
 }
 
-/// Compiles one transaction (exposed for tests and tooling).
+/// Compiles one transaction with a private plan cache (exposed for tests
+/// and tooling; program compilation goes through the interning path so
+/// structurally identical statements share a cache).
 ///
 /// # Errors
 ///
@@ -509,6 +525,14 @@ fn compile_branches(
 pub fn compile_txn(
     t: &Transaction,
     signatures: &HashMap<&str, usize>,
+) -> Result<CompiledTxn, CompileError> {
+    compile_txn_interned(t, signatures, &mut PlanInterner::new())
+}
+
+fn compile_txn_interned(
+    t: &Transaction,
+    signatures: &HashMap<&str, usize>,
+    interner: &mut PlanInterner,
 ) -> Result<CompiledTxn, CompileError> {
     let mut var_ids: HashMap<&str, VarId> = HashMap::new();
     for (i, v) in t.vars.iter().enumerate() {
@@ -677,6 +701,14 @@ pub fn compile_txn(
         });
     }
 
+    // Hash-cons the plan cache on everything a plan is built from: two
+    // statements with equal fingerprints produce byte-identical plans,
+    // so they can safely serve each other's cached plan. The derived
+    // `Debug` output is a faithful rendering of the structures (any
+    // difference in atoms or tests shows up in the string).
+    let fingerprint = format!("{atoms:?}|{binding_tests:?}|{property_tests:?}");
+    let plan_cache = interner.entry((next_var, fingerprint)).or_default().clone();
+
     Ok(CompiledTxn {
         quant: t.quant,
         kind: t.kind,
@@ -686,7 +718,7 @@ pub fn compile_txn(
         binding_tests,
         property_tests,
         actions,
-        plan_cache: PlanCache::default(),
+        plan_cache,
     })
 }
 
@@ -829,6 +861,48 @@ mod tests {
         assert_eq!(c.init_tuples.len(), 1);
         assert_eq!(c.init_spawns.len(), 1);
         assert_eq!(c.defs().count(), 1);
+    }
+
+    #[test]
+    fn structurally_identical_statements_share_one_plan_cache() {
+        let prog = parse_program(
+            r#"
+            process P() { exists a : <x, a>, <y, a> -> skip; }
+            process Q() { exists a : <x, a>, <y, a> -> skip; }
+            process R() { exists a : <x, a>, <z, a> -> skip; }
+            init { <x, 1>; <y, 1>; spawn P(); spawn Q(); }
+            "#,
+        )
+        .unwrap();
+        let c = CompiledProgram::compile(&prog).unwrap();
+        let txn = |name: &str| match &c.def(name).unwrap().body[0] {
+            CompiledStmt::Txn(t) => Arc::clone(t),
+            other => panic!("expected txn, got {other:?}"),
+        };
+        let (p, q, r) = (txn("P"), txn("Q"), txn("R"));
+        assert!(
+            Arc::ptr_eq(&p.plan_cache.0, &q.plan_cache.0),
+            "identical statements share one cache cell"
+        );
+        assert!(
+            !Arc::ptr_eq(&p.plan_cache.0, &r.plan_cache.0),
+            "different statements keep their own"
+        );
+
+        // End-to-end: the shared cell means the statement is planned
+        // once across both processes — one miss, then hits.
+        use sdl_metrics::Metrics;
+        let (m, reg) = Metrics::registry();
+        let mut rt = crate::sched::Runtime::builder(c)
+            .metrics(m)
+            .build()
+            .unwrap();
+        rt.run().unwrap();
+        assert_eq!(reg.counter(Counter::PlanCacheMiss), 1, "planned once");
+        assert!(
+            reg.counter(Counter::PlanCacheHit) >= 1,
+            "the twin statement reused the shared plan"
+        );
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl Runtime {
                                 Some(p) => {
                                     if p.validate(&self.ds) {
                                         self.advance_seq(pid);
-                                        let changed = self.commit_single(pid, &p);
+                                        let changed = self.commit_single(pid, &p)?;
                                         self.metrics.inc(committed_counter(t.kind));
                                         self.emit(Event::TxnCommitted {
                                             by: pid,
@@ -239,7 +239,7 @@ impl Runtime {
                 if mode == GuardMode::Select {
                     self.advance_seq(pid);
                 }
-                self.commit_single(pid, &p);
+                self.commit_single(pid, &p)?;
                 self.metrics.inc(committed_counter(guard.kind));
                 self.emit(Event::TxnCommitted {
                     by: pid,
@@ -310,7 +310,7 @@ impl Runtime {
                     break;
                 };
                 if p.validate(&self.ds) {
-                    self.commit_single(pid, &p);
+                    self.commit_single(pid, &p)?;
                     self.metrics.inc(committed_counter(guard.kind));
                     self.emit(Event::TxnCommitted {
                         by: pid,

@@ -22,10 +22,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use sdl_dataspace::{Action, Dataspace, IndexMode, PlanMode, SolveLimits, WatchKey, WatchSet};
+use sdl_durability::{RecoveredState, Wal};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
 use sdl_metrics::{Counter, Gauge, Hist, Metrics};
-use sdl_tuple::{ProcId, Tuple, Value};
+use sdl_tuple::{ProcId, Tuple, TupleId, Value};
 
 use crate::builtins::Builtins;
 use crate::consensus::consensus_sets;
@@ -134,6 +135,8 @@ pub struct RuntimeBuilder {
     exact_wakes: bool,
     extra_tuples: Vec<Tuple>,
     extra_spawns: Vec<(String, Vec<Value>)>,
+    wal: Option<Arc<Wal>>,
+    recovered: Option<RecoveredState>,
 }
 
 impl RuntimeBuilder {
@@ -231,16 +234,39 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attaches a write-ahead log: every commit is appended as one
+    /// durable record. On a fresh log, `build` writes a genesis
+    /// snapshot capturing the initial tuples so recovery can replay
+    /// from an exact base.
+    pub fn wal(mut self, wal: Arc<Wal>) -> RuntimeBuilder {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Seeds the dataspace from recovered state instead of the
+    /// program's `init` tuples (the recovered store already contains
+    /// them). Tuple ids, owners, and the id-mint cursor are restored
+    /// bit-for-bit; the process society restarts fresh. The state must
+    /// have been logged single-shard (the serial store is one shard).
+    pub fn recover_from(mut self, state: RecoveredState) -> RuntimeBuilder {
+        self.recovered = Some(state);
+        self
+    }
+
     /// Builds the runtime: asserts initial tuples and spawns the initial
-    /// society.
+    /// society. With [`RuntimeBuilder::recover_from`], the recovered
+    /// store replaces the initial tuples (including any added with
+    /// [`RuntimeBuilder::tuple`]).
     ///
     /// # Errors
     ///
-    /// Fails if an init tuple expression cannot evaluate or an initial
-    /// spawn names an unknown process.
+    /// Fails if an init tuple expression cannot evaluate, an initial
+    /// spawn names an unknown process, or the write-ahead log rejects
+    /// the recovered state or genesis snapshot.
     pub fn build(self) -> Result<Runtime, RuntimeError> {
         let mut ds = Dataspace::with_index_mode(self.index_mode);
         ds.set_metrics(self.metrics.clone());
+        let recovered = self.recovered;
         let mut rt = Runtime {
             program: self.program,
             ds,
@@ -269,27 +295,48 @@ impl RuntimeBuilder {
                 index_mode: self.index_mode,
                 exact_wakes: self.exact_wakes,
             },
+            wal: self.wal,
         };
-        // Program init tuples are ground expressions over built-ins.
         let env = HashMap::new();
-        let init_tuples = rt.program.init_tuples.clone();
-        for fields in &init_tuples {
-            let ctx = EnvCtx {
-                env: &env,
-                vars: None,
-                builtins: &rt.builtins,
-            };
-            let mut vals = Vec::with_capacity(fields.len());
-            for f in fields {
-                vals.push(eval(f, &ctx).map_err(|source| RuntimeError::Eval {
-                    source,
-                    context: "init tuple".to_owned(),
-                })?);
+        if let Some(state) = recovered {
+            // The serial store is a single shard; a log written under
+            // more shards cannot reproduce its strided ids here.
+            state.check_shards(1).map_err(wal_err)?;
+            for (id, t) in &state.tuples {
+                rt.ds.insert_instance(*id, t.clone());
             }
-            rt.ds.assert_tuple(ProcId::ENV, Tuple::new(vals));
-        }
-        for t in self.extra_tuples {
-            rt.ds.assert_tuple(ProcId::ENV, t);
+            rt.ds.advance_seq_to(state.cursors[0]);
+        } else {
+            // Program init tuples are ground expressions over built-ins.
+            let init_tuples = rt.program.init_tuples.clone();
+            for fields in &init_tuples {
+                let ctx = EnvCtx {
+                    env: &env,
+                    vars: None,
+                    builtins: &rt.builtins,
+                };
+                let mut vals = Vec::with_capacity(fields.len());
+                for f in fields {
+                    vals.push(eval(f, &ctx).map_err(|source| RuntimeError::Eval {
+                        source,
+                        context: "init tuple".to_owned(),
+                    })?);
+                }
+                rt.ds.assert_tuple(ProcId::ENV, Tuple::new(vals));
+            }
+            for t in self.extra_tuples {
+                rt.ds.assert_tuple(ProcId::ENV, t);
+            }
+            // Builder-time asserts bypass the commit path, so a fresh
+            // log gets them as a genesis snapshot: recovery always has
+            // an exact base to replay from.
+            if let Some(wal) = &rt.wal {
+                if wal.last_appended() == 0 {
+                    let tuples: Vec<_> = rt.ds.iter().map(|(id, t)| (id, t.clone())).collect();
+                    wal.write_snapshot(&[rt.ds.next_seq()], &tuples)
+                        .map_err(wal_err)?;
+                }
+            }
         }
         let init_spawns = rt.program.init_spawns.clone();
         for (name, args) in &init_spawns {
@@ -356,6 +403,14 @@ pub struct Runtime {
     limits: RunLimits,
     solve_limits: SolveLimits,
     plan_config: PlanConfig,
+    /// Write-ahead log; when present, every commit appends one record
+    /// before the transaction is acknowledged.
+    wal: Option<Arc<Wal>>,
+}
+
+/// Stringifies a durability error into the runtime's error type.
+pub(crate) fn wal_err(e: sdl_durability::WalError) -> RuntimeError {
+    RuntimeError::Wal(e.to_string())
 }
 
 impl Runtime {
@@ -376,6 +431,8 @@ impl Runtime {
             exact_wakes: true,
             extra_tuples: Vec::new(),
             extra_spawns: Vec::new(),
+            wal: None,
+            recovered: None,
         }
     }
 
@@ -479,10 +536,18 @@ impl Runtime {
     /// rt.run().unwrap();
     /// assert_eq!(rt.dataspace().len(), 1); // <pong, 1>
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// With a write-ahead log attached, panics if the log cannot append
+    /// the record — an environment assert that cannot be made durable
+    /// has no caller to hand the error to.
     pub fn add_tuple(&mut self, t: Tuple) -> sdl_tuple::TupleId {
         let mut changed = WatchSet::new();
         changed.add_tuple(&t);
         let id = self.ds.assert_tuple(ProcId::ENV, t.clone());
+        self.wal_append(Vec::new(), vec![(id, t.clone())])
+            .expect("write-ahead log append failed");
         self.emit(Event::TupleAsserted {
             by: ProcId::ENV,
             id,
@@ -562,6 +627,11 @@ impl Runtime {
             }
         }
         self.report.final_tuples = self.ds.len();
+        // Whatever the fsync policy deferred becomes durable before the
+        // run is reported back.
+        if let Some(wal) = &self.wal {
+            wal.sync().map_err(wal_err)?;
+        }
         Ok(self.report.clone())
     }
 
@@ -637,7 +707,7 @@ impl Runtime {
         match self.evaluate_for(pid, t, None)? {
             Some(p) => {
                 self.advance_seq(pid);
-                let changed = self.commit_single(pid, &p);
+                let changed = self.commit_single(pid, &p)?;
                 self.metrics.inc(committed_counter(t.kind));
                 self.emit(Event::TxnCommitted {
                     by: pid,
@@ -694,7 +764,7 @@ impl Runtime {
                 if mode == GuardMode::Select {
                     self.advance_seq(pid);
                 }
-                let changed = self.commit_single(pid, &p);
+                let changed = self.commit_single(pid, &p)?;
                 self.metrics.inc(committed_counter(guard.kind));
                 self.emit(Event::TxnCommitted {
                     by: pid,
@@ -844,7 +914,11 @@ impl Runtime {
     /// maintenance is grouped per index entry and the store version bumps
     /// once — a high-fanout `forall` commit touches each `(functor,
     /// arity)` bucket a single time instead of once per tuple.
-    pub(crate) fn commit_single(&mut self, pid: ProcId, p: &Pending) -> WatchSet {
+    pub(crate) fn commit_single(
+        &mut self,
+        pid: ProcId,
+        p: &Pending,
+    ) -> Result<WatchSet, RuntimeError> {
         let (def, env) = {
             let proc = &self.procs[&pid];
             (proc.def.clone(), proc.env.clone())
@@ -865,7 +939,13 @@ impl Runtime {
         );
         let mut changed = WatchSet::new();
         let out = self.ds.apply_batch(&actions, &mut changed);
+        let logging = self.wal.is_some();
+        let mut wal_retracts = Vec::new();
+        let mut wal_asserts = Vec::new();
         for (id, t) in out.retracted {
+            if logging {
+                wal_retracts.push(id);
+            }
             self.emit(Event::TupleRetracted {
                 by: pid,
                 id,
@@ -876,6 +956,9 @@ impl Runtime {
         for (t, ok) in p.asserts.iter().zip(&allowed) {
             if *ok {
                 let id = ids.next().expect("one id per applied assert");
+                if logging {
+                    wal_asserts.push((id, t.clone()));
+                }
                 self.emit(Event::TupleAsserted {
                     by: pid,
                     id,
@@ -889,6 +972,7 @@ impl Runtime {
                 });
             }
         }
+        self.wal_append(wal_retracts, wal_asserts)?;
         if let Some(proc) = self.procs.get_mut(&pid) {
             if proc.woken {
                 proc.woken = false;
@@ -896,7 +980,29 @@ impl Runtime {
             }
         }
         self.report.commits += 1;
-        changed
+        Ok(changed)
+    }
+
+    /// Appends one committed batch to the write-ahead log (if any),
+    /// makes it durable per the fsync policy, and writes a snapshot
+    /// when one is due. Serially, the store after this commit *is* the
+    /// state the snapshot must capture, so this is the one safe place.
+    fn wal_append(
+        &mut self,
+        retracts: Vec<TupleId>,
+        asserts: Vec<(TupleId, Tuple)>,
+    ) -> Result<(), RuntimeError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let commit = wal.append(&retracts, &asserts).map_err(wal_err)?;
+        wal.ensure_durable(commit).map_err(wal_err)?;
+        if wal.snapshot_due() {
+            let tuples: Vec<_> = self.ds.iter().map(|(id, t)| (id, t.clone())).collect();
+            wal.write_snapshot(&[self.ds.next_seq()], &tuples)
+                .map_err(wal_err)?;
+        }
+        Ok(())
     }
 
     /// Applies `let`s, `spawn`s, `exit`, `abort`. Returns true if the
@@ -1269,7 +1375,13 @@ impl Runtime {
         }
         let mut changed = WatchSet::new();
         let out = self.ds.apply_batch(&actions, &mut changed);
+        let logging = self.wal.is_some();
+        let mut wal_retracts = Vec::new();
+        let mut wal_asserts = Vec::new();
         for (id, t) in out.retracted {
+            if logging {
+                wal_retracts.push(id);
+            }
             let by = retract_by[&id];
             self.emit(Event::TupleRetracted { by, id, tuple: t });
         }
@@ -1278,6 +1390,9 @@ impl Runtime {
             for (t, ok) in p.asserts.iter().zip(allow) {
                 if *ok {
                     let id = ids.next().expect("one id per applied assert");
+                    if logging {
+                        wal_asserts.push((id, t.clone()));
+                    }
                     self.emit(Event::TupleAsserted {
                         by: *pid,
                         id,
@@ -1298,6 +1413,9 @@ impl Runtime {
                 kind: TxnKind::Consensus,
             });
         }
+        // The composite is one atomic transaction, so it is one WAL
+        // record: recovery replays the whole community or none of it.
+        self.wal_append(wal_retracts, wal_asserts)?;
 
         // Per-participant control advance. Every participant's wake ends
         // in this commit, so it counts as progress.

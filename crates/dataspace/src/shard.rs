@@ -307,6 +307,35 @@ impl ShardedDataspace {
         }
     }
 
+    /// The per-shard mint cursors (each shard's next sequence number),
+    /// briefly read-locking each shard. Shard `i`'s cursor is always
+    /// `≡ i + 1 (mod n)` — the strided-sequence invariant recovery
+    /// re-establishes.
+    pub fn seq_cursors(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.read().next_seq()).collect()
+    }
+
+    /// Inserts an instance under a caller-provided id into the shard its
+    /// sequence number routes to — the snapshot/recovery rebuild
+    /// primitive. See [`Dataspace::insert_instance`] for the semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already live in its shard.
+    pub fn insert_instance(&self, id: TupleId, tuple: Tuple) {
+        let s = self.shard_of_id(id);
+        self.shards[s].write().insert_instance(id, tuple);
+    }
+
+    /// Advances each shard's mint cursor to at least the given value
+    /// (never backwards); `cursors` beyond the shard count are ignored.
+    /// See [`Dataspace::advance_seq_to`].
+    pub fn advance_cursors(&self, cursors: &[u64]) {
+        for (lock, &next) in self.shards.iter().zip(cursors) {
+            lock.write().advance_seq_to(next);
+        }
+    }
+
     /// Drains every shard into one merged [`Dataspace`] (ids preserved),
     /// leaving the shards empty. Used to hand the final store back to the
     /// caller when a run ends.
@@ -353,6 +382,29 @@ impl<G: Deref<Target = Dataspace>> ShardView<'_, G> {
 
     fn locked(&self) -> impl Iterator<Item = &Dataspace> {
         self.guards.iter().filter_map(|g| g.as_deref())
+    }
+
+    /// The view's live instances (id order) and per-shard mint cursors —
+    /// the payload a consistent snapshot serializes. Meaningful only for
+    /// a full-footprint view: holding every shard guard pins the store
+    /// against concurrent commits, so the returned state is exactly the
+    /// effect of some prefix of the commit history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view does not cover every shard.
+    pub fn snapshot_state(&self) -> (Vec<u64>, Vec<(TupleId, Tuple)>) {
+        let mut cursors = Vec::with_capacity(self.guards.len());
+        let mut tuples = Vec::new();
+        for g in &self.guards {
+            let d = g
+                .as_deref()
+                .expect("snapshot_state requires a full-footprint view");
+            cursors.push(d.next_seq());
+            tuples.extend(d.iter().map(|(id, t)| (id, t.clone())));
+        }
+        tuples.sort_unstable_by_key(|(id, _)| *id);
+        (cursors, tuples)
     }
 
     /// Merges per-shard ascending id lists produced by `fill` back into

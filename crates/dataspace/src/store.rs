@@ -210,6 +210,28 @@ impl Dataspace {
         self.seq_stride = stride;
     }
 
+    /// The sequence number the next assert will mint.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The configured distance between consecutive minted sequence
+    /// numbers (see [`Dataspace::set_seq_stride`]).
+    pub fn seq_stride(&self) -> u64 {
+        self.seq_stride
+    }
+
+    /// Advances the mint cursor to at least `next` (never backwards).
+    ///
+    /// [`Dataspace::insert_instance`] only moves the cursor past the ids
+    /// it actually sees, so a store rebuilt from a snapshot whose highest
+    /// minted ids were retracted before the snapshot would re-mint them;
+    /// recovery calls this with the durable cursor to restore the exact
+    /// id sequence.
+    pub fn advance_seq_to(&mut self, next: u64) {
+        self.next_seq = self.next_seq.max(next);
+    }
+
     /// Inserts an instance under a caller-provided id, preserving it
     /// exactly — the shard-merge primitive, also useful for rebuilding
     /// snapshots. Updates indexes and multiset counts but neither the

@@ -1,0 +1,504 @@
+//! Log scanning, crash recovery, and replayable log contents.
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+use sdl_metrics::{Counter, Metrics};
+use sdl_tuple::{Tuple, TupleId};
+
+use crate::codec::{crc32, Dec, FRAME_HEADER};
+use crate::wal::{FORMAT_VERSION, REC_COMMIT, REC_HEADER, SEGMENT_MAGIC, SNAPSHOT_MAGIC};
+use crate::WalError;
+
+pub(crate) fn segment_path(dir: &Path, first_commit: u64) -> PathBuf {
+    dir.join(format!("wal-{first_commit:020}.log"))
+}
+
+pub(crate) fn snapshot_path(dir: &Path, commit: u64) -> PathBuf {
+    dir.join(format!("snap-{commit:020}.snap"))
+}
+
+/// `(commit_number, path)` pairs, sorted ascending by commit.
+pub(crate) type NumberedFiles = Vec<(u64, PathBuf)>;
+
+/// Lists `(first_commit, path)` segments and `(commit, path)` snapshots
+/// in `dir`, each sorted ascending. Unrelated files are ignored.
+pub(crate) fn list_files(dir: &Path) -> Result<(NumberedFiles, NumberedFiles), WalError> {
+    let mut segments = Vec::new();
+    let mut snapshots = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = parse_numbered(name, "wal-", ".log") {
+            segments.push((n, entry.path()));
+        } else if let Some(n) = parse_numbered(name, "snap-", ".snap") {
+            snapshots.push((n, entry.path()));
+        }
+    }
+    segments.sort_unstable();
+    snapshots.sort_unstable();
+    Ok((segments, snapshots))
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// One committed transaction batch as recorded in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Commit number (strictly sequential across the whole log).
+    pub commit: u64,
+    /// Instance ids retracted by the batch.
+    pub retracts: Vec<TupleId>,
+    /// Instances asserted by the batch; the id carries the owner.
+    pub asserts: Vec<(TupleId, Tuple)>,
+}
+
+/// Everything readable from a log directory: the newest valid snapshot
+/// plus the commit records after it, in commit order.
+#[derive(Clone, Debug)]
+pub struct LogContents {
+    /// Shard count the log was written under.
+    pub n_shards: u64,
+    /// Commit number captured by the base snapshot (0 when the log has
+    /// no snapshot and replay starts from an empty store).
+    pub snapshot_commit: u64,
+    /// Per-shard id-mint cursors at the snapshot.
+    pub snapshot_cursors: Vec<u64>,
+    /// Store contents at the snapshot, in id order.
+    pub snapshot_tuples: Vec<(TupleId, Tuple)>,
+    /// Commit records after the snapshot, in commit order.
+    pub records: Vec<CommitRecord>,
+    /// Whether the newest segment ended in a torn (incomplete or
+    /// CRC-failing) tail.
+    pub torn_tail: bool,
+}
+
+/// The store state reconstructed by [`recover`].
+#[derive(Clone, Debug)]
+pub struct RecoveredState {
+    /// Shard count the log was written under; the recovering runtime
+    /// must match it for ids to keep minting on the same stride.
+    pub n_shards: u64,
+    /// Per-shard id-mint cursors (`next_seq` for each shard, in shard
+    /// order) after the last durable commit.
+    pub cursors: Vec<u64>,
+    /// Live instances after the last durable commit, in id order.
+    pub tuples: Vec<(TupleId, Tuple)>,
+    /// The last durable commit number.
+    pub last_commit: u64,
+    /// Commit number of the snapshot replay started from.
+    pub snapshot_commit: u64,
+    /// Commit records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Whether a torn tail was truncated during recovery.
+    pub torn_tail: bool,
+}
+
+impl RecoveredState {
+    /// Fails with [`WalError::ShardMismatch`] unless the runtime's
+    /// shard count matches the log's.
+    pub fn check_shards(&self, requested: u64) -> Result<(), WalError> {
+        if self.n_shards == requested {
+            Ok(())
+        } else {
+            Err(WalError::ShardMismatch {
+                logged: self.n_shards,
+                requested,
+            })
+        }
+    }
+}
+
+/// Reads a log directory without modifying it. A torn tail is noted in
+/// [`LogContents::torn_tail`] but the file is left as found.
+pub fn read_log(dir: &Path) -> Result<LogContents, WalError> {
+    scan(dir, false)
+}
+
+/// Recovers the store from a log directory: loads the newest valid
+/// snapshot, replays the suffix records with id-continuity checking,
+/// and physically truncates a torn tail so the directory is clean for
+/// [`crate::Wal::resume`]. Records replayed and tails truncated are
+/// counted into `metrics`.
+pub fn recover(dir: &Path, metrics: &Metrics) -> Result<RecoveredState, WalError> {
+    let log = scan(dir, true)?;
+    if log.torn_tail {
+        metrics.inc(Counter::WalTornTailTruncations);
+    }
+    let state = apply_log(&log)?;
+    metrics.add(Counter::RecoveryRecordsReplayed, state.records_replayed);
+    Ok(state)
+}
+
+/// Applies a log's records on top of its snapshot, enforcing the
+/// recovery invariants (live retracts, fresh asserts, strided
+/// id-sequence continuity per shard).
+pub fn apply_log(log: &LogContents) -> Result<RecoveredState, WalError> {
+    let n = log.n_shards;
+    let mut cursors = log.snapshot_cursors.clone();
+    let mut store: BTreeMap<TupleId, Tuple> = BTreeMap::new();
+    for (id, tuple) in &log.snapshot_tuples {
+        if store.insert(*id, tuple.clone()).is_some() {
+            return Err(WalError::Corrupt(format!(
+                "snapshot lists instance {id:?} twice"
+            )));
+        }
+    }
+    let mut last_commit = log.snapshot_commit;
+    for rec in &log.records {
+        for id in &rec.retracts {
+            if store.remove(id).is_none() {
+                return Err(WalError::Corrupt(format!(
+                    "commit {} retracts {id:?}, which is not live",
+                    rec.commit
+                )));
+            }
+        }
+        for (id, tuple) in &rec.asserts {
+            let shard = (id.seq - 1) % n;
+            let expected = cursors[shard as usize];
+            if id.seq != expected {
+                return Err(WalError::SequenceGap {
+                    shard,
+                    expected,
+                    found: id.seq,
+                });
+            }
+            cursors[shard as usize] = expected + n;
+            if store.insert(*id, tuple.clone()).is_some() {
+                return Err(WalError::Corrupt(format!(
+                    "commit {} asserts {id:?}, which is already live",
+                    rec.commit
+                )));
+            }
+        }
+        last_commit = rec.commit;
+    }
+    Ok(RecoveredState {
+        n_shards: n,
+        cursors,
+        tuples: store.into_iter().collect(),
+        last_commit,
+        snapshot_commit: log.snapshot_commit,
+        records_replayed: log.records.len() as u64,
+        torn_tail: log.torn_tail,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+struct Snapshot {
+    commit: u64,
+    n_shards: u64,
+    cursors: Vec<u64>,
+    tuples: Vec<(TupleId, Tuple)>,
+}
+
+fn scan(dir: &Path, truncate: bool) -> Result<LogContents, WalError> {
+    let (segments, snapshots) = list_files(dir)?;
+    if segments.is_empty() && snapshots.is_empty() {
+        return Err(WalError::Empty(dir.to_path_buf()));
+    }
+
+    // Newest snapshot that parses cleanly wins; damaged ones are
+    // skipped (an older snapshot plus more records covers the same
+    // history).
+    let mut base: Option<Snapshot> = None;
+    for (commit, path) in snapshots.iter().rev() {
+        if let Ok(snap) = load_snapshot(path, *commit) {
+            base = Some(snap);
+            break;
+        }
+    }
+
+    let snapshot_commit = base.as_ref().map_or(0, |s| s.commit);
+    let mut n_shards = base.as_ref().map(|s| s.n_shards);
+    let mut records: Vec<CommitRecord> = Vec::new();
+    let mut expected_commit: Option<u64> = None;
+    let mut torn_tail = false;
+
+    for (i, (first_commit, path)) in segments.iter().enumerate() {
+        let is_last = i == segments.len() - 1;
+        match read_segment(path, *first_commit, &mut n_shards, &mut expected_commit) {
+            Ok(SegmentRead::Clean(recs)) => {
+                records.extend(recs);
+            }
+            Ok(SegmentRead::Torn { recs, offset }) => {
+                if !is_last {
+                    return Err(WalError::Corrupt(format!(
+                        "{} is damaged at byte {offset} but is not the newest segment",
+                        path.display()
+                    )));
+                }
+                torn_tail = true;
+                if truncate {
+                    truncate_segment(path, offset)?;
+                }
+                records.extend(recs);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    let n_shards = match n_shards {
+        Some(n) if n > 0 => n,
+        Some(_) => return Err(WalError::Corrupt("log records zero shards".into())),
+        None => return Err(WalError::Empty(dir.to_path_buf())),
+    };
+
+    // Drop records the snapshot already covers, then check the
+    // remaining history starts right after it.
+    records.retain(|r| r.commit > snapshot_commit);
+    if let Some(first) = records.first() {
+        if first.commit != snapshot_commit + 1 {
+            return Err(WalError::Corrupt(format!(
+                "history gap: snapshot covers commit {snapshot_commit} but the oldest \
+                 replayable record is commit {}",
+                first.commit
+            )));
+        }
+    }
+
+    let (snapshot_cursors, snapshot_tuples) = match base {
+        Some(s) => {
+            if s.cursors.len() as u64 != n_shards {
+                return Err(WalError::Corrupt(format!(
+                    "snapshot has {} cursor(s) for {n_shards} shard(s)",
+                    s.cursors.len()
+                )));
+            }
+            (s.cursors, s.tuples)
+        }
+        // No snapshot: replay starts from an empty store with pristine
+        // strided cursors (shard i first mints i+1).
+        None => ((1..=n_shards).collect(), Vec::new()),
+    };
+
+    Ok(LogContents {
+        n_shards,
+        snapshot_commit,
+        snapshot_cursors,
+        snapshot_tuples,
+        records,
+        torn_tail,
+    })
+}
+
+enum SegmentRead {
+    Clean(Vec<CommitRecord>),
+    /// Damage found at `offset`; everything before it parsed cleanly.
+    Torn {
+        recs: Vec<CommitRecord>,
+        offset: u64,
+    },
+}
+
+fn read_segment(
+    path: &Path,
+    first_commit: u64,
+    n_shards: &mut Option<u64>,
+    expected_commit: &mut Option<u64>,
+) -> Result<SegmentRead, WalError> {
+    let bytes = fs::read(path)?;
+    let mut recs = Vec::new();
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Ok(SegmentRead::Torn { recs, offset: 0 });
+    }
+    let mut pos = SEGMENT_MAGIC.len();
+    let mut saw_header = false;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < FRAME_HEADER {
+            return Ok(SegmentRead::Torn {
+                recs,
+                offset: pos as u64,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > remaining - FRAME_HEADER {
+            return Ok(SegmentRead::Torn {
+                recs,
+                offset: pos as u64,
+            });
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return Ok(SegmentRead::Torn {
+                recs,
+                offset: pos as u64,
+            });
+        }
+        // A frame with a valid CRC that fails to decode is writer-side
+        // corruption, not a torn tail.
+        let corrupt = |what: String| WalError::Corrupt(format!("{}: {what}", path.display()));
+        let mut dec = Dec::new(payload);
+        let tag = dec.u8().map_err(corrupt)?;
+        if !saw_header {
+            if tag != REC_HEADER {
+                return Err(corrupt("segment does not start with a header frame".into()));
+            }
+            let version = dec.u32().map_err(corrupt)?;
+            if version != FORMAT_VERSION {
+                return Err(corrupt(format!("unsupported format version {version}")));
+            }
+            let shards = dec.u64().map_err(corrupt)?;
+            if let Some(n) = *n_shards {
+                if n != shards {
+                    return Err(corrupt(format!(
+                        "segment header says {shards} shard(s) but earlier history says {n}"
+                    )));
+                }
+            }
+            *n_shards = Some(shards);
+            let header_first = dec.u64().map_err(corrupt)?;
+            if header_first != first_commit {
+                return Err(corrupt(format!(
+                    "header first-commit {header_first} does not match file name"
+                )));
+            }
+            dec.done().map_err(corrupt)?;
+            saw_header = true;
+        } else {
+            if tag != REC_COMMIT {
+                return Err(corrupt(format!("unknown record tag {tag}")));
+            }
+            let commit = dec.u64().map_err(corrupt)?;
+            if let Some(e) = *expected_commit {
+                if commit != e {
+                    return Err(corrupt(format!(
+                        "commit numbers skip from {} to {commit}",
+                        e - 1
+                    )));
+                }
+            } else if commit != first_commit {
+                return Err(corrupt(format!(
+                    "first record is commit {commit}, segment starts at {first_commit}"
+                )));
+            }
+            let n_retracts = dec.u32().map_err(corrupt)? as usize;
+            let mut retracts = Vec::with_capacity(n_retracts.min(len));
+            for _ in 0..n_retracts {
+                retracts.push(dec.id().map_err(corrupt)?);
+            }
+            let n_asserts = dec.u32().map_err(corrupt)? as usize;
+            let mut asserts = Vec::with_capacity(n_asserts.min(len));
+            for _ in 0..n_asserts {
+                let id = dec.id().map_err(corrupt)?;
+                let tuple = dec.tuple().map_err(corrupt)?;
+                asserts.push((id, tuple));
+            }
+            dec.done().map_err(corrupt)?;
+            *expected_commit = Some(commit + 1);
+            recs.push(CommitRecord {
+                commit,
+                retracts,
+                asserts,
+            });
+        }
+        pos += FRAME_HEADER + len;
+    }
+    Ok(SegmentRead::Clean(recs))
+}
+
+/// Truncates a torn segment at `offset`. A segment torn before its
+/// header frame completed holds no usable records and is removed
+/// outright so `Wal::resume` can reuse the commit number in its name.
+fn truncate_segment(path: &Path, offset: u64) -> Result<(), WalError> {
+    let keep_any = {
+        let bytes = fs::read(path)?;
+        // At least one record survives only if the damage starts
+        // strictly past the header frame.
+        header_end(&bytes).is_some_and(|end| offset > end)
+    };
+    if !keep_any {
+        fs::remove_file(path)?;
+        return Ok(());
+    }
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(offset)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+/// Byte offset just past the header frame, if the file holds a
+/// complete, CRC-valid one.
+fn header_end(bytes: &[u8]) -> Option<u64> {
+    let magic = SEGMENT_MAGIC.len();
+    if bytes.len() < magic + FRAME_HEADER || &bytes[..magic] != SEGMENT_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[magic..magic + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[magic + 4..magic + 8].try_into().unwrap());
+    let start = magic + FRAME_HEADER;
+    if len > bytes.len() - start {
+        return None;
+    }
+    let payload = &bytes[start..start + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((start + len) as u64)
+}
+
+fn load_snapshot(path: &Path, name_commit: u64) -> Result<Snapshot, WalError> {
+    let bytes = fs::read(path)?;
+    let corrupt = |what: String| WalError::Corrupt(format!("{}: {what}", path.display()));
+    let magic = SNAPSHOT_MAGIC.len();
+    if bytes.len() < magic + FRAME_HEADER || &bytes[..magic] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad snapshot magic".into()));
+    }
+    let len = u32::from_le_bytes(bytes[magic..magic + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[magic + 4..magic + 8].try_into().unwrap());
+    let start = magic + FRAME_HEADER;
+    if len != bytes.len() - start {
+        return Err(corrupt(
+            "snapshot frame length does not match file size".into(),
+        ));
+    }
+    let payload = &bytes[start..];
+    if crc32(payload) != crc {
+        return Err(corrupt("snapshot crc mismatch".into()));
+    }
+    let mut dec = Dec::new(payload);
+    let version = dec.u32().map_err(corrupt)?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!("unsupported format version {version}")));
+    }
+    let commit = dec.u64().map_err(corrupt)?;
+    if commit != name_commit {
+        return Err(corrupt("snapshot commit does not match file name".into()));
+    }
+    let n_shards = dec.u64().map_err(corrupt)?;
+    if n_shards == 0 || n_shards > 1 << 16 {
+        return Err(corrupt(format!("implausible shard count {n_shards}")));
+    }
+    let mut cursors = Vec::with_capacity(n_shards as usize);
+    for _ in 0..n_shards {
+        cursors.push(dec.u64().map_err(corrupt)?);
+    }
+    let n_tuples = dec.u64().map_err(corrupt)? as usize;
+    let mut tuples = Vec::with_capacity(n_tuples.min(len));
+    for _ in 0..n_tuples {
+        let id = dec.id().map_err(corrupt)?;
+        let tuple = dec.tuple().map_err(corrupt)?;
+        tuples.push((id, tuple));
+    }
+    dec.done().map_err(corrupt)?;
+    Ok(Snapshot {
+        commit,
+        n_shards,
+        cursors,
+        tuples,
+    })
+}

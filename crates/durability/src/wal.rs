@@ -1,0 +1,365 @@
+//! The write-ahead-log writer: append, group commit, rotation,
+//! snapshots, pruning.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sdl_metrics::{Counter, Hist, Metrics};
+use sdl_tuple::{Tuple, TupleId};
+
+use crate::codec::{crc32, frame, Enc, FRAME_HEADER};
+use crate::recover::{list_files, segment_path, snapshot_path, RecoveredState};
+use crate::{FsyncPolicy, WalConfig, WalError};
+
+/// Magic bytes opening every segment file.
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"SDLWAL01";
+/// Magic bytes opening every snapshot file.
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"SDLSNAP1";
+/// Segment-header frame payload tag.
+pub(crate) const REC_HEADER: u8 = 0;
+/// Commit-record frame payload tag.
+pub(crate) const REC_COMMIT: u8 = 1;
+/// On-disk format version.
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+/// A write-ahead log open for appending. Shared across executor
+/// threads behind an `Arc`; all mutation goes through one internal
+/// mutex, so appends are totally ordered — that order *is* the commit
+/// order recovery replays.
+pub struct Wal {
+    config: WalConfig,
+    n_shards: u64,
+    metrics: Metrics,
+    inner: Mutex<WalInner>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.config.dir)
+            .field("fsync", &self.config.fsync)
+            .field("n_shards", &self.n_shards)
+            .finish_non_exhaustive()
+    }
+}
+
+struct WalInner {
+    /// Open segment, buffered. `None` only transiently during rotation
+    /// failures.
+    file: BufWriter<File>,
+    /// Bytes written to the open segment so far.
+    segment_written: u64,
+    /// First commit number of every live segment, ascending. The last
+    /// entry is the open segment.
+    segments: Vec<u64>,
+    /// Next commit number to assign.
+    next_commit: u64,
+    /// Highest commit number appended (0 before the first append).
+    appended: u64,
+    /// Highest commit number known to be on stable storage.
+    synced: u64,
+    /// Last explicit fsync, for `FsyncPolicy::Interval`.
+    last_sync: Instant,
+    /// Commits appended since the last snapshot.
+    since_snapshot: u64,
+    /// Reused encode buffer — appends are hot on every commit, so the
+    /// record payload is built here instead of a fresh allocation.
+    scratch: Vec<u8>,
+}
+
+impl Wal {
+    /// Creates a fresh log in `config.dir` (made if missing). Fails if
+    /// the directory already holds WAL history — recover it with
+    /// [`crate::recover`] + [`Wal::resume`] instead of silently
+    /// clobbering it.
+    pub fn create(config: WalConfig, n_shards: u64, metrics: Metrics) -> Result<Wal, WalError> {
+        fs::create_dir_all(&config.dir)?;
+        let (segments, snapshots) = list_files(&config.dir)?;
+        if !segments.is_empty() || !snapshots.is_empty() {
+            return Err(WalError::Corrupt(format!(
+                "{} already holds wal history; pass --recover or choose a fresh directory",
+                config.dir.display()
+            )));
+        }
+        Wal::open_at(config, n_shards, metrics, 1, 0, Vec::new())
+    }
+
+    /// Continues logging after [`crate::recover`]: opens a new segment
+    /// starting at the next commit number after the recovered history.
+    pub fn resume(
+        config: WalConfig,
+        state: &RecoveredState,
+        metrics: Metrics,
+    ) -> Result<Wal, WalError> {
+        let (segments, _) = list_files(&config.dir)?;
+        let mut existing: Vec<u64> = segments.into_iter().map(|(c, _)| c).collect();
+        let first = state.last_commit + 1;
+        // A run that crashed after opening a segment but before its
+        // first append leaves a header-only file named for `first`;
+        // recovery took no records from it, so replace it.
+        if let Some(i) = existing.iter().position(|&c| c == first) {
+            fs::remove_file(segment_path(&config.dir, first))?;
+            existing.remove(i);
+        }
+        let since = state.last_commit - state.snapshot_commit;
+        Wal::open_at(config, state.n_shards, metrics, first, since, existing)
+    }
+
+    fn open_at(
+        config: WalConfig,
+        n_shards: u64,
+        metrics: Metrics,
+        first_commit: u64,
+        since_snapshot: u64,
+        mut segments: Vec<u64>,
+    ) -> Result<Wal, WalError> {
+        let mut file = BufWriter::new(
+            OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(segment_path(&config.dir, first_commit))?,
+        );
+        let header = segment_header(n_shards, first_commit);
+        file.write_all(SEGMENT_MAGIC)?;
+        file.write_all(&header)?;
+        segments.push(first_commit);
+        let inner = WalInner {
+            file,
+            segment_written: (SEGMENT_MAGIC.len() + header.len()) as u64,
+            segments,
+            next_commit: first_commit,
+            appended: first_commit - 1,
+            synced: first_commit - 1,
+            last_sync: Instant::now(),
+            since_snapshot,
+            scratch: Vec::new(),
+        };
+        Ok(Wal {
+            config,
+            n_shards,
+            metrics,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Shard count this log was opened with.
+    pub fn n_shards(&self) -> u64 {
+        self.n_shards
+    }
+
+    /// Directory the log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Highest commit number appended so far.
+    pub fn last_appended(&self) -> u64 {
+        self.inner.lock().unwrap().appended
+    }
+
+    /// Appends one committed batch and returns its commit number.
+    /// Under `FsyncPolicy::Always` the record is *not* yet durable —
+    /// call [`Wal::ensure_durable`] after releasing any store locks so
+    /// concurrent committers can share one fsync (group commit).
+    pub fn append(
+        &self,
+        retracts: &[TupleId],
+        asserts: &[(TupleId, Tuple)],
+    ) -> Result<u64, WalError> {
+        let mut inner = self.inner.lock().unwrap();
+        let commit = inner.next_commit;
+
+        let mut enc = Enc {
+            buf: std::mem::take(&mut inner.scratch),
+        };
+        enc.buf.clear();
+        enc.u8(REC_COMMIT);
+        enc.u64(commit);
+        enc.u32(retracts.len() as u32);
+        for id in retracts {
+            enc.id(*id);
+        }
+        enc.u32(asserts.len() as u32);
+        for (id, tuple) in asserts {
+            enc.id(*id);
+            enc.tuple(tuple);
+        }
+        let framed_len = (FRAME_HEADER + enc.buf.len()) as u64;
+
+        if inner.segment_written + framed_len > self.config.segment_bytes
+            && inner.appended >= inner.segments[inner.segments.len() - 1]
+        {
+            self.rotate(&mut inner, commit)?;
+        }
+        // Write the frame in place instead of materialising a framed copy.
+        inner
+            .file
+            .write_all(&(enc.buf.len() as u32).to_le_bytes())?;
+        inner.file.write_all(&crc32(&enc.buf).to_le_bytes())?;
+        inner.file.write_all(&enc.buf)?;
+        inner.scratch = enc.buf;
+        inner.segment_written += framed_len;
+        inner.next_commit = commit + 1;
+        inner.appended = commit;
+        inner.since_snapshot += 1;
+        self.metrics.inc(Counter::WalRecords);
+        self.metrics.add(Counter::WalBytes, framed_len);
+
+        if let FsyncPolicy::Interval(every) = self.config.fsync {
+            if inner.last_sync.elapsed() >= every {
+                self.sync_inner(&mut inner)?;
+            }
+        }
+        Ok(commit)
+    }
+
+    /// Makes every record up to `commit` durable under
+    /// `FsyncPolicy::Always`; a no-op under the other policies. Skips
+    /// the fsync when another thread's sync already covered `commit` —
+    /// that is the group-commit fast path.
+    pub fn ensure_durable(&self, commit: u64) -> Result<(), WalError> {
+        if self.config.fsync != FsyncPolicy::Always {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.synced >= commit {
+            return Ok(());
+        }
+        self.sync_inner(&mut inner)
+    }
+
+    /// Flushes and fsyncs everything appended so far, regardless of
+    /// policy. Called at end of run.
+    pub fn sync(&self) -> Result<(), WalError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.synced >= inner.appended {
+            return Ok(());
+        }
+        self.sync_inner(&mut inner)
+    }
+
+    fn sync_inner(&self, inner: &mut WalInner) -> Result<(), WalError> {
+        let timer = self.metrics.start_timer();
+        inner.file.flush()?;
+        inner.file.get_ref().sync_data()?;
+        inner.synced = inner.appended;
+        inner.last_sync = Instant::now();
+        self.metrics.observe_timer(Hist::WalFsyncSeconds, timer);
+        Ok(())
+    }
+
+    /// Closes the current segment (flushed + fsynced) and opens a new
+    /// one whose first record will be `next_commit`.
+    fn rotate(&self, inner: &mut WalInner, next_commit: u64) -> Result<(), WalError> {
+        inner.file.flush()?;
+        inner.file.get_ref().sync_data()?;
+        inner.synced = inner.appended;
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(segment_path(&self.config.dir, next_commit))?;
+        inner.file = BufWriter::new(file);
+        let header = segment_header(self.n_shards, next_commit);
+        inner.file.write_all(SEGMENT_MAGIC)?;
+        inner.file.write_all(&header)?;
+        inner.segment_written = (SEGMENT_MAGIC.len() + header.len()) as u64;
+        inner.segments.push(next_commit);
+        Ok(())
+    }
+
+    /// True when `snapshot_every` commits have landed since the last
+    /// snapshot. The caller takes a consistent view of the store and
+    /// calls [`Wal::write_snapshot`].
+    pub fn snapshot_due(&self) -> bool {
+        match self.config.snapshot_every {
+            Some(every) => self.inner.lock().unwrap().since_snapshot >= every,
+            None => false,
+        }
+    }
+
+    /// Writes a snapshot of the store as of the highest appended
+    /// commit, then prunes segments and snapshots the new one makes
+    /// redundant. `cursors` are the per-shard id-mint cursors
+    /// (`next_seq` of each shard, in shard order); `tuples` is the full
+    /// store contents. Returns the commit number the snapshot captures.
+    ///
+    /// The caller must guarantee `cursors`/`tuples` reflect the store
+    /// exactly after the highest appended commit (serial: trivially
+    /// true; threaded: hold a full-footprint read view, since appends
+    /// happen under shard write locks).
+    pub fn write_snapshot(
+        &self,
+        cursors: &[u64],
+        tuples: &[(TupleId, Tuple)],
+    ) -> Result<u64, WalError> {
+        let mut inner = self.inner.lock().unwrap();
+        let commit = inner.appended;
+
+        let mut enc = Enc::new();
+        enc.u32(FORMAT_VERSION);
+        enc.u64(commit);
+        enc.u64(self.n_shards);
+        for &c in cursors {
+            enc.u64(c);
+        }
+        enc.u64(tuples.len() as u64);
+        for (id, tuple) in tuples {
+            enc.id(*id);
+            enc.tuple(tuple);
+        }
+
+        let path = snapshot_path(&self.config.dir, commit);
+        let tmp = path.with_extension("tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(SNAPSHOT_MAGIC)?;
+        f.write_all(&frame(&enc.buf))?;
+        f.sync_data()?;
+        fs::rename(&tmp, &path)?;
+        // Make the rename itself durable before pruning what the new
+        // snapshot supersedes.
+        if let Ok(dir) = File::open(&self.config.dir) {
+            let _ = dir.sync_all();
+        }
+        inner.since_snapshot = 0;
+        self.prune(&mut inner, commit)?;
+        Ok(commit)
+    }
+
+    /// Drops snapshots older than `commit` and segments whose entire
+    /// contents are at or below `commit` (a segment is covered when the
+    /// *next* segment starts at or below `commit + 1`).
+    fn prune(&self, inner: &mut WalInner, commit: u64) -> Result<(), WalError> {
+        let (_, snapshots) = list_files(&self.config.dir)?;
+        for (c, path) in snapshots {
+            if c < commit {
+                fs::remove_file(path)?;
+            }
+        }
+        let mut keep = Vec::with_capacity(inner.segments.len());
+        for (i, &first) in inner.segments.iter().enumerate() {
+            let covered = match inner.segments.get(i + 1) {
+                Some(&next_first) => next_first <= commit + 1,
+                None => false, // never prune the open segment
+            };
+            if covered {
+                fs::remove_file(segment_path(&self.config.dir, first))?;
+            } else {
+                keep.push(first);
+            }
+        }
+        inner.segments = keep;
+        Ok(())
+    }
+}
+
+fn segment_header(n_shards: u64, first_commit: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u8(REC_HEADER);
+    enc.u32(FORMAT_VERSION);
+    enc.u64(n_shards);
+    enc.u64(first_commit);
+    frame(&enc.buf)
+}

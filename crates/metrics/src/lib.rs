@@ -107,11 +107,19 @@ pub enum Counter {
     ProcessesSpawned,
     /// Events dropped by a bounded event log or a streaming sink.
     EventsDropped,
+    /// Commit records appended to the write-ahead log.
+    WalRecords,
+    /// Bytes appended to the write-ahead log (frame headers included).
+    WalBytes,
+    /// Commit records replayed during crash recovery.
+    RecoveryRecordsReplayed,
+    /// Torn WAL tails truncated at the first bad CRC during recovery.
+    WalTornTailTruncations,
 }
 
 impl Counter {
     /// All counters in exposition order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 40] = [
         Counter::TxnAttemptsImmediate,
         Counter::TxnAttemptsDelayed,
         Counter::TxnAttemptsConsensus,
@@ -148,6 +156,10 @@ impl Counter {
         Counter::ConsensusRounds,
         Counter::ProcessesSpawned,
         Counter::EventsDropped,
+        Counter::WalRecords,
+        Counter::WalBytes,
+        Counter::RecoveryRecordsReplayed,
+        Counter::WalTornTailTruncations,
     ];
 
     /// Number of distinct counters.
@@ -190,6 +202,10 @@ impl Counter {
             Counter::ConsensusRounds => "sdl_consensus_rounds_total",
             Counter::ProcessesSpawned => "sdl_processes_spawned_total",
             Counter::EventsDropped => "sdl_events_dropped_total",
+            Counter::WalRecords => "sdl_wal_records_total",
+            Counter::WalBytes => "sdl_wal_bytes_total",
+            Counter::RecoveryRecordsReplayed => "sdl_recovery_records_replayed_total",
+            Counter::WalTornTailTruncations => "sdl_wal_torn_tail_truncations_total",
         }
     }
 
@@ -265,6 +281,12 @@ impl Counter {
             Counter::ConsensusRounds => "Consensus transactions fired.",
             Counter::ProcessesSpawned => "Processes spawned.",
             Counter::EventsDropped => "Events dropped by a bounded log or streaming sink.",
+            Counter::WalRecords => "Commit records appended to the write-ahead log.",
+            Counter::WalBytes => "Bytes appended to the write-ahead log.",
+            Counter::RecoveryRecordsReplayed => "Commit records replayed during crash recovery.",
+            Counter::WalTornTailTruncations => {
+                "Torn WAL tails truncated at the first bad CRC during recovery."
+            }
         }
     }
 }
@@ -282,6 +304,8 @@ pub enum Hist {
     /// Wall-clock seconds spent acquiring shard locks (per footprint
     /// acquisition, summed over the shards in the footprint).
     ShardLockWaitSeconds,
+    /// Wall-clock seconds per write-ahead-log fsync.
+    WalFsyncSeconds,
 }
 
 const LATENCY_BUCKETS: &[f64] = &[
@@ -293,11 +317,12 @@ const SIZE_BUCKETS: &[f64] = &[
 
 impl Hist {
     /// All histograms in exposition order.
-    pub const ALL: [Hist; 4] = [
+    pub const ALL: [Hist; 5] = [
         Hist::QueryEvalSeconds,
         Hist::WindowSize,
         Hist::BlockedSeconds,
         Hist::ShardLockWaitSeconds,
+        Hist::WalFsyncSeconds,
     ];
 
     /// Number of distinct histograms.
@@ -310,6 +335,7 @@ impl Hist {
             Hist::WindowSize => "sdl_window_size",
             Hist::BlockedSeconds => "sdl_process_blocked_seconds",
             Hist::ShardLockWaitSeconds => "sdl_shard_lock_wait_seconds",
+            Hist::WalFsyncSeconds => "sdl_wal_fsync_seconds",
         }
     }
 
@@ -320,15 +346,17 @@ impl Hist {
             Hist::WindowSize => "Tuples admitted per constructed window.",
             Hist::BlockedSeconds => "Time processes spent blocked before waking.",
             Hist::ShardLockWaitSeconds => "Time spent acquiring shard-lock footprints.",
+            Hist::WalFsyncSeconds => "Latency of write-ahead-log fsyncs.",
         }
     }
 
     /// Upper bounds of the cumulative buckets (exclusive of `+Inf`).
     pub fn buckets(self) -> &'static [f64] {
         match self {
-            Hist::QueryEvalSeconds | Hist::BlockedSeconds | Hist::ShardLockWaitSeconds => {
-                LATENCY_BUCKETS
-            }
+            Hist::QueryEvalSeconds
+            | Hist::BlockedSeconds
+            | Hist::ShardLockWaitSeconds
+            | Hist::WalFsyncSeconds => LATENCY_BUCKETS,
             Hist::WindowSize => SIZE_BUCKETS,
         }
     }

@@ -4,7 +4,9 @@
 //! sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] [--stats]
 //!         [--metrics] [--events-out FILE] [--trace-cap N] [--threads N]
 //!         [--shards N] [--max-attempts N] [--grid WxH] [--no-plan]
-//!         [--coarse-wakes]
+//!         [--coarse-wakes] [--wal DIR] [--fsync POLICY]
+//!         [--snapshot-every N] [--recover]
+//! sdl-run --replay DIR [<file.sdl> ...]
 //! ```
 //!
 //! * `--rounds`          use the maximal-parallel-rounds scheduler
@@ -24,13 +26,29 @@
 //! * `--events-out FILE` stream events to FILE as JSON Lines
 //! * `--grid WxH`        register the `neighbor` predicate for a W×H grid
 //! * `--seed N`          scheduler seed (default 0)
+//! * `--wal DIR`         log every committed batch to a write-ahead log
+//!   in DIR (works with every scheduler)
+//! * `--fsync POLICY`    WAL durability: `always`, `interval[:<ms>]`
+//!   (default, 100 ms), or `never`
+//! * `--snapshot-every N` snapshot the store every N commits and prune
+//!   the log history the snapshot covers
+//! * `--recover`         rebuild the store from the WAL in `--wal DIR`
+//!   before running (tolerates a torn tail in the newest segment)
+//! * `--replay DIR`      reconstruct the final store from the WAL in DIR
+//!   without running anything; with a `.sdl` file as well, run it live
+//!   and diff the two stores bit-for-bit (exit 1 on mismatch)
 
 use std::io::BufWriter;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use sdl::core::{Builtins, CompiledProgram, JsonlSink, PlanMode, RunLimits, Runtime};
+use sdl::dataspace::{Dataspace, MAX_SHARDS};
+use sdl::durability::{apply_log, read_log, recover, FsyncPolicy, RecoveredState, Wal, WalConfig};
 use sdl::metrics::Metrics;
 use sdl::trace::{render_dataspace, StatsSink};
+use sdl::tuple::{Tuple, TupleId};
 
 struct Args {
     file: String,
@@ -48,6 +66,11 @@ struct Args {
     grid: Option<(i64, i64)>,
     no_plan: bool,
     coarse_wakes: bool,
+    wal: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    snapshot_every: Option<u64>,
+    recover: bool,
+    replay: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -55,7 +78,9 @@ fn usage() -> ! {
         "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] \
          [--stats] [--metrics] [--events-out FILE] [--trace-cap N] \
          [--threads N] [--shards N] [--max-attempts N] [--grid WxH] [--no-plan] \
-         [--coarse-wakes]"
+         [--coarse-wakes] [--wal DIR] [--fsync always|interval[:<ms>]|never] \
+         [--snapshot-every N] [--recover]\n\
+         \x20      sdl-run --replay DIR [<file.sdl> ...]"
     );
     std::process::exit(2)
 }
@@ -77,6 +102,11 @@ fn parse_args() -> Args {
         grid: None,
         no_plan: false,
         coarse_wakes: false,
+        wal: None,
+        fsync: FsyncPolicy::default(),
+        snapshot_every: None,
+        recover: false,
+        replay: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -130,15 +160,78 @@ fn parse_args() -> Args {
             }
             "--no-plan" => args.no_plan = true,
             "--coarse-wakes" => args.coarse_wakes = true,
+            "--wal" => args.wal = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--fsync" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.fsync = spec.parse().unwrap_or_else(|e| {
+                    eprintln!("sdl-run: {e}");
+                    std::process::exit(2)
+                })
+            }
+            "--snapshot-every" => {
+                args.snapshot_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--recover" => args.recover = true,
+            "--replay" => args.replay = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
             f if args.file.is_empty() && !f.starts_with('-') => args.file = f.to_owned(),
             _ => usage(),
         }
     }
-    if args.file.is_empty() {
+    if args.file.is_empty() && args.replay.is_none() {
         usage();
     }
+    if args.recover && args.wal.is_none() {
+        eprintln!("sdl-run: --recover needs --wal DIR");
+        std::process::exit(2)
+    }
+    if args.replay.is_some() && args.wal.is_some() {
+        eprintln!("sdl-run: --replay is read-only; it cannot be combined with --wal");
+        std::process::exit(2)
+    }
     args
+}
+
+/// The write-ahead log to attach to a runtime: none, a fresh log, or a
+/// resumed log plus the state recovered from it.
+enum WalSetup {
+    None,
+    Fresh(Arc<Wal>),
+    Recovered(Arc<Wal>, RecoveredState),
+}
+
+/// Opens (or recovers) the WAL named by `--wal` for a runtime with
+/// `n_shards` id-mint shards.
+fn open_wal(args: &Args, n_shards: u64, metrics: &Metrics) -> Result<WalSetup, String> {
+    let Some(dir) = &args.wal else {
+        return Ok(WalSetup::None);
+    };
+    let mut config = WalConfig::new(dir);
+    config.fsync = args.fsync;
+    config.snapshot_every = args.snapshot_every;
+    if args.recover {
+        let state = recover(dir, metrics).map_err(|e| e.to_string())?;
+        state.check_shards(n_shards).map_err(|e| e.to_string())?;
+        if state.torn_tail {
+            eprintln!("sdl-run: wal had a torn tail; truncated to the last durable commit");
+        }
+        eprintln!(
+            "sdl-run: recovered {} tuple(s) at commit {} ({} record(s) replayed)",
+            state.tuples.len(),
+            state.last_commit,
+            state.records_replayed
+        );
+        let wal = Wal::resume(config, &state, metrics.clone()).map_err(|e| e.to_string())?;
+        Ok(WalSetup::Recovered(Arc::new(wal), state))
+    } else {
+        let wal = Wal::create(config, n_shards, metrics.clone()).map_err(|e| e.to_string())?;
+        Ok(WalSetup::Fresh(Arc::new(wal)))
+    }
 }
 
 fn run_threaded(
@@ -151,18 +244,33 @@ fn run_threaded(
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    // Mirror ParallelBuilder's clamp so the WAL header records the
+    // shard count the runtime actually uses.
+    let shards = args.shards.unwrap_or(cpus).clamp(1, MAX_SHARDS);
+    let wal_setup = match open_wal(args, shards as u64, &metrics) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("sdl-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut b = sdl::core::parallel::ParallelRuntime::builder(program)
         .seed(args.seed)
         .builtins(builtins)
         .metrics(metrics)
         .max_attempts(args.max_attempts)
         .threads(args.threads.unwrap_or(cpus))
-        .shards(args.shards.unwrap_or(cpus));
+        .shards(shards);
     if args.no_plan {
         b = b.plan_mode(PlanMode::SourceOrder);
     }
     if args.coarse_wakes {
         b = b.exact_wakes(false);
+    }
+    match wal_setup {
+        WalSetup::None => {}
+        WalSetup::Fresh(wal) => b = b.wal(wal),
+        WalSetup::Recovered(wal, state) => b = b.wal(wal).recover_from(state),
     }
     let rt = match b.build() {
         Ok(rt) => rt,
@@ -190,8 +298,152 @@ fn run_threaded(
     ExitCode::SUCCESS
 }
 
+/// Runs the program with the current flags (minus any WAL) and returns
+/// the final store as sorted `(id, tuple)` pairs, for `--replay` diffs.
+/// The scheduler family comes from the log, not the flags: a log
+/// written with more than one shard can only have minted its strided
+/// ids under the threaded executor.
+fn live_final_store(
+    args: &Args,
+    program: CompiledProgram,
+    builtins: Builtins,
+    n_shards: u64,
+) -> Result<Vec<(TupleId, Tuple)>, String> {
+    let mut pairs: Vec<(TupleId, Tuple)> = if args.threaded || n_shards > 1 {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut b = sdl::core::parallel::ParallelRuntime::builder(program)
+            .seed(args.seed)
+            .builtins(builtins)
+            .max_attempts(args.max_attempts)
+            .threads(args.threads.unwrap_or(cpus))
+            .shards(n_shards as usize);
+        if args.no_plan {
+            b = b.plan_mode(PlanMode::SourceOrder);
+        }
+        if args.coarse_wakes {
+            b = b.exact_wakes(false);
+        }
+        let rt = b.build().map_err(|e| e.to_string())?;
+        let (_, ds) = rt.run().map_err(|e| e.to_string())?;
+        ds.iter().map(|(id, t)| (id, t.clone())).collect()
+    } else {
+        let mut builder = Runtime::builder(program)
+            .seed(args.seed)
+            .builtins(builtins)
+            .limits(RunLimits {
+                max_attempts: args.max_attempts,
+            });
+        if args.no_plan {
+            builder = builder.plan_mode(PlanMode::SourceOrder);
+        }
+        if args.coarse_wakes {
+            builder = builder.exact_wakes(false);
+        }
+        let mut rt = builder.build().map_err(|e| e.to_string())?;
+        if args.rounds {
+            rt.run_rounds().map_err(|e| e.to_string())?;
+        } else {
+            rt.run().map_err(|e| e.to_string())?;
+        }
+        rt.dataspace()
+            .iter()
+            .map(|(id, t)| (id, t.clone()))
+            .collect()
+    };
+    pairs.sort();
+    Ok(pairs)
+}
+
+/// `--replay DIR`: reconstruct the final store from the log alone and,
+/// when a program file was also given, diff it against a live run.
+fn run_replay(args: &Args) -> ExitCode {
+    let dir = args.replay.as_ref().expect("replay mode");
+    let log = match read_log(dir) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sdl-run: cannot read wal {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let state = match apply_log(&log) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sdl-run: replay of {} failed: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if state.torn_tail {
+        eprintln!("sdl-run: wal has a torn tail; replayed up to the last durable commit");
+    }
+    println!(
+        "replay: {} record(s) over {} shard(s), snapshot at commit {}, last commit {}",
+        state.records_replayed, state.n_shards, state.snapshot_commit, state.last_commit
+    );
+    let mut ds = Dataspace::new();
+    for (id, t) in &state.tuples {
+        ds.insert_instance(*id, t.clone());
+    }
+    println!("{}", render_dataspace(&ds, 20));
+
+    if args.file.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sdl-run: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match CompiledProgram::from_source(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sdl-run: {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builtins = Builtins::standard();
+    if let Some((w, h)) = args.grid {
+        builtins.register_grid_neighbor(w, h);
+    }
+    let live = match live_final_store(args, program, builtins, state.n_shards) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sdl-run: live run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut replayed = state.tuples.clone();
+    replayed.sort();
+    if live == replayed {
+        println!(
+            "replay: live run matches the log bit-for-bit ({} tuple(s))",
+            live.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "replay: MISMATCH — log has {} tuple(s), live run has {}",
+            replayed.len(),
+            live.len()
+        );
+        for (id, t) in replayed.iter().filter(|p| !live.contains(p)).take(5) {
+            eprintln!("  only in log:  {id} {t}");
+        }
+        for (id, t) in live.iter().filter(|p| !replayed.contains(p)).take(5) {
+            eprintln!("  only in live: {id} {t}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.replay.is_some() {
+        return run_replay(&args);
+    }
     let source = match std::fs::read_to_string(&args.file) {
         Ok(s) => s,
         Err(e) => {
@@ -234,6 +486,13 @@ fn main() -> ExitCode {
         return run_threaded(&args, program, builtins, metrics, registry);
     }
 
+    let wal_setup = match open_wal(&args, 1, &metrics) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("sdl-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut builder = Runtime::builder(program)
         .seed(args.seed)
         .builtins(builtins)
@@ -241,6 +500,11 @@ fn main() -> ExitCode {
         .limits(RunLimits {
             max_attempts: args.max_attempts,
         });
+    match wal_setup {
+        WalSetup::None => {}
+        WalSetup::Fresh(wal) => builder = builder.wal(wal),
+        WalSetup::Recovered(wal, state) => builder = builder.wal(wal).recover_from(state),
+    }
     if args.no_plan {
         builder = builder.plan_mode(PlanMode::SourceOrder);
     }

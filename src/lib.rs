@@ -8,6 +8,7 @@
 
 pub use sdl_core as core;
 pub use sdl_dataspace as dataspace;
+pub use sdl_durability as durability;
 pub use sdl_lang as lang;
 pub use sdl_linda as linda;
 pub use sdl_metrics as metrics;

@@ -107,3 +107,62 @@ fn runs_barrier_program() {
     assert!(stdout.contains("2 consensus round"), "{stdout}");
     assert!(stdout.contains("done/2 (3)"), "{stdout}");
 }
+
+#[test]
+fn wal_replay_reproduces_the_run_bit_for_bit() {
+    let dir = std::env::temp_dir().join(format!("sdl_cli_wal_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let wal = dir.join("wal");
+    let wal = wal.to_str().expect("utf8 path");
+
+    let (stdout, stderr, ok) = run(&[
+        "examples/programs/hello.sdl",
+        "--wal",
+        wal,
+        "--fsync",
+        "always",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+
+    // Replay alone reconstructs the final store from the log.
+    let (stdout, _, ok) = run(&["--replay", wal]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("watched"), "replayed store: {stdout}");
+
+    // Replay against a live run of the same program diffs clean.
+    let (stdout, stderr, ok) = run(&["--replay", wal, "examples/programs/hello.sdl"]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(
+        stdout.contains("matches the log bit-for-bit"),
+        "{stdout}{stderr}"
+    );
+
+    // Reusing a dir with history is refused without --recover...
+    let (_, stderr, ok) = run(&["examples/programs/hello.sdl", "--wal", wal]);
+    assert!(!ok);
+    assert!(stderr.contains("--recover"), "{stderr}");
+
+    // ...and accepted with it.
+    let (stdout, stderr, ok) = run(&["examples/programs/hello.sdl", "--wal", wal, "--recover"]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stderr.contains("recovered"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_flag_validation() {
+    let (_, stderr, ok) = run(&["examples/programs/hello.sdl", "--recover"]);
+    assert!(!ok);
+    assert!(stderr.contains("--recover needs --wal"), "{stderr}");
+
+    let (_, stderr, ok) = run(&[
+        "examples/programs/hello.sdl",
+        "--wal",
+        "/tmp/x",
+        "--fsync",
+        "sometimes",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown fsync policy"), "{stderr}");
+}
