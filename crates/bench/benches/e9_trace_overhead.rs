@@ -1,0 +1,163 @@
+//! E9 — causal-tracing overhead guard.
+//!
+//! The tracer mirrors the metrics discipline: a disabled
+//! [`Tracer`](sdl_core::Tracer) is an `Option<Arc<_>>` that is `None`,
+//! so the instrumented schedulers take no clock reads and allocate
+//! nothing. Claims measured here:
+//!
+//! * **Tracing-off is free**: the serial and threaded storm workloads
+//!   run at the same speed with a disabled tracer as before the
+//!   instrumentation landed (`*_trace_off` vs the E7 baselines).
+//! * **Tracing-on cost is bounded**: full span/commit/wake recording is
+//!   a per-attempt clock-read + bounded-buffer push, not a redesign of
+//!   the hot path (`*_trace_on`).
+//! * **Export scales linearly**: Chrome-trace serialization of a
+//!   100k-record stream is milliseconds.
+//!
+//! Series: full-run storm time serial/threaded × tracer off/on, raw
+//! record cost, and export throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdl_core::parallel::ParallelRuntime;
+use sdl_core::{CompiledProgram, Runtime, SpanPhase, TraceRecord, Tracer, Track};
+use sdl_tuple::{tuple, ProcId, Value};
+
+/// The E7 keyed-park storm: `n` consumers parked on distinct keys of a
+/// hot relation, producers serialised by a token chain. Heavy on every
+/// traced code path: evals, parks, wakes, commits.
+fn storm_program() -> CompiledProgram {
+    CompiledProgram::from_source(
+        "process C(k) {
+            exists x : <item, k, x>! => <got, k>, <tok, k + 1, 0>;
+        }
+        process P(k) {
+            exists x : <tok, k, x>! => <item, k, 0>;
+        }",
+    )
+    .expect("compiles")
+}
+
+fn run_serial(n: i64, tracer: Tracer) -> u64 {
+    let mut b = Runtime::builder(storm_program())
+        .tracer(tracer)
+        .tuple(tuple![Value::atom("tok"), 0, 0]);
+    for k in 0..n {
+        b = b.spawn("C", vec![Value::Int(k)]);
+        b = b.spawn("P", vec![Value::Int(k)]);
+    }
+    let mut rt = b.build().expect("builds");
+    let report = rt.run().expect("runs");
+    assert!(report.outcome.is_completed());
+    report.commits
+}
+
+fn run_threaded(n: i64, tracer: Tracer) -> u64 {
+    let mut b = ParallelRuntime::builder(storm_program())
+        .threads(4)
+        .shards(4)
+        .tracer(tracer)
+        .tuple(tuple![Value::atom("tok"), 0, 0]);
+    for k in 0..n {
+        b = b.spawn("C", vec![Value::Int(k)]);
+        b = b.spawn("P", vec![Value::Int(k)]);
+    }
+    let (report, _) = b.build().expect("builds").run().expect("runs");
+    assert!(report.outcome.is_completed());
+    report.commits
+}
+
+fn synthetic_records(n: usize) -> Vec<TraceRecord> {
+    (0..n)
+        .map(|i| {
+            let pid = ProcId(i as u64 % 64);
+            match i % 4 {
+                0 => TraceRecord::Span {
+                    trace: i as u64,
+                    pid,
+                    track: Track::Worker(i % 4),
+                    phase: SpanPhase::Eval,
+                    t_us: i as u64,
+                    dur_us: 3,
+                },
+                1 => TraceRecord::Commit {
+                    trace: i as u64,
+                    pid,
+                    track: Track::Worker(i % 4),
+                    commit: i as u64 + 1,
+                    t_us: i as u64,
+                    dur_us: 2,
+                    keys: vec!["item/3".to_owned()],
+                    shards: vec![i % 4],
+                },
+                2 => TraceRecord::Park {
+                    pid,
+                    t_us: i as u64,
+                    dur_us: 10,
+                    keys: vec!["item/3".to_owned()],
+                    outcome: sdl_core::ParkOutcome::Woken,
+                },
+                _ => TraceRecord::Wake {
+                    pid,
+                    commit: i as u64,
+                    key: "item/3".to_owned(),
+                    t_us: i as u64,
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_trace_overhead");
+
+    for n in [64i64, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("storm_serial_trace_off", n),
+            &n,
+            |b, &n| b.iter(|| run_serial(n, Tracer::disabled())),
+        );
+        g.bench_with_input(BenchmarkId::new("storm_serial_trace_on", n), &n, |b, &n| {
+            b.iter(|| run_serial(n, Tracer::new()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("storm_threaded_trace_off", n),
+            &n,
+            |b, &n| b.iter(|| run_threaded(n, Tracer::disabled())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("storm_threaded_trace_on", n),
+            &n,
+            |b, &n| b.iter(|| run_threaded(n, Tracer::new())),
+        );
+    }
+
+    // Raw record cost: one bounded-buffer push, tracer enabled.
+    let tracer = Tracer::new();
+    let mut i = 0u64;
+    g.bench_function("record_wake", |b| {
+        b.iter(|| {
+            i += 1;
+            tracer.record(TraceRecord::Wake {
+                pid: ProcId(i % 64),
+                commit: i,
+                key: "item/3".to_owned(),
+                t_us: i,
+            });
+        })
+    });
+
+    // Export throughput at 100k records.
+    let records = synthetic_records(100_000);
+    g.bench_function("chrome_export_100k", |b| {
+        b.iter(|| {
+            let mut sink = std::io::sink();
+            sdl_trace::perfetto::write_chrome_trace(&records, &mut sink).expect("writes");
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -51,6 +51,7 @@ pub mod process;
 pub mod program;
 mod rounds;
 mod sched;
+pub mod trace;
 pub mod txn;
 pub mod view;
 
@@ -62,6 +63,7 @@ pub use process::ProcessInstance;
 pub use program::{CompiledProcess, CompiledProgram};
 pub use sched::{Runtime, RuntimeBuilder};
 pub use sdl_dataspace::PlanMode;
+pub use trace::{ParkOutcome, SpanPhase, TraceRecord, Tracer, Track};
 pub use txn::PlanConfig;
 
 #[cfg(test)]

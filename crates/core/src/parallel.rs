@@ -46,6 +46,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
@@ -67,8 +68,9 @@ use crate::error::RuntimeError;
 use crate::outcome::Outcome;
 use crate::process::{Frame, ProcessInstance};
 use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
-use crate::sched::{attempts_counter, committed_counter, failed_counter, wal_err};
-use crate::txn::{self, Pending, PlanConfig};
+use crate::sched::{attempts_counter, batch_desc, committed_counter, failed_counter, wal_err};
+use crate::trace::{self, ParkOutcome, SpanPhase, TraceRecord, Tracer, Track};
+use crate::txn::{self, EvalProbe, Pending, PlanConfig};
 use crate::view::{resolve_fields, EnvCtx};
 
 /// Outcome and statistics of a parallel run.
@@ -102,6 +104,8 @@ pub struct ParallelBuilder {
     metrics: Metrics,
     wal: Option<Arc<Wal>>,
     recovered: Option<RecoveredState>,
+    tracer: Tracer,
+    stall_threshold: Option<Duration>,
 }
 
 impl ParallelBuilder {
@@ -173,6 +177,22 @@ impl ParallelBuilder {
     /// overhead under contention stays negligible.
     pub fn metrics(mut self, metrics: Metrics) -> ParallelBuilder {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attaches a tracer recording the causal span chain of every
+    /// attempt (eval, plan, lock waits, effects, commits, parks, wakes,
+    /// conflicts). Disabled tracers cost one branch per site.
+    pub fn tracer(mut self, tracer: Tracer) -> ParallelBuilder {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Arms the stall watchdog: a process parked longer than `threshold`
+    /// is flagged in the `sdl_stalled_processes` gauge and recorded in
+    /// the trace with its watch keys and nearest-miss commits.
+    pub fn stall_threshold(mut self, threshold: Duration) -> ParallelBuilder {
+        self.stall_threshold = Some(threshold);
         self
     }
 
@@ -289,6 +309,8 @@ impl ParallelBuilder {
             next_pid,
             metrics: self.metrics,
             wal: self.wal,
+            tracer: self.tracer,
+            stall_threshold: self.stall_threshold,
         })
     }
 }
@@ -363,6 +385,26 @@ pub struct ParallelRuntime {
     next_pid: u64,
     metrics: Metrics,
     wal: Option<Arc<Wal>>,
+    tracer: Tracer,
+    stall_threshold: Option<Duration>,
+}
+
+/// Stall-watchdog configuration shared by the workers and the watchdog
+/// thread: the park threshold plus a ring of recent commits for
+/// nearest-miss reporting (newest last).
+struct StallCfg {
+    threshold: Duration,
+    recent: Mutex<VecDeque<(u64, WatchSet, String)>>,
+}
+
+impl StallCfg {
+    fn push_recent(&self, commit: u64, keys: WatchSet, desc: String) {
+        let mut r = self.recent.lock();
+        if r.len() >= 32 {
+            r.pop_front();
+        }
+        r.push_back((commit, keys, desc));
+    }
 }
 
 struct Shared {
@@ -396,6 +438,8 @@ struct Shared {
     /// Write-ahead log; appends happen inside commit write-lock scopes,
     /// fsyncs and snapshots after they drop.
     wal: Option<Arc<Wal>>,
+    tracer: Tracer,
+    stall: Option<StallCfg>,
 }
 
 /// A blocked process. The entry is shared between every per-shard list
@@ -406,9 +450,14 @@ struct Shared {
 struct Parked {
     watch: WatchSet,
     slot: Mutex<Option<ProcessInstance>>,
-    /// When it parked (for the blocked-time histogram; `None` when
-    /// metrics are disabled).
-    since: Option<std::time::Instant>,
+    /// When it parked (for the blocked-time histogram and the stall
+    /// watchdog; `None` when neither metrics nor the watchdog is on).
+    since: Option<Instant>,
+    /// Park start on the trace clock (`0` when tracing is off).
+    park_t_us: u64,
+    /// Set once by the watchdog so the gauge and the trace flag each
+    /// stalled park exactly once across its shard-list replicas.
+    stalled: AtomicBool,
 }
 
 /// One shard's blocked processes, indexed by watch key. An entry
@@ -445,6 +494,8 @@ impl ParallelRuntime {
             metrics: Metrics::disabled(),
             wal: None,
             recovered: None,
+            tracer: Tracer::disabled(),
+            stall_threshold: None,
         }
     }
 
@@ -483,12 +534,21 @@ impl ParallelRuntime {
             error: Mutex::new(None),
             metrics: self.metrics,
             wal: self.wal,
+            tracer: self.tracer,
+            stall: self.stall_threshold.map(|threshold| StallCfg {
+                threshold,
+                recent: Mutex::new(VecDeque::new()),
+            }),
         });
         std::thread::scope(|scope| {
             for w in 0..self.threads {
                 let shared = shared.clone();
                 let seed = self.seed.wrapping_add(w as u64);
-                scope.spawn(move || worker(&shared, seed));
+                scope.spawn(move || worker(&shared, seed, w));
+            }
+            if shared.stall.is_some() {
+                let shared = shared.clone();
+                scope.spawn(move || watchdog(&shared));
             }
         });
         if let Some(e) = shared.error.lock().take() {
@@ -503,6 +563,19 @@ impl ParallelRuntime {
                 for e in sb.by_key.values().flatten().chain(sb.keyless.iter()) {
                     if let Some(p) = e.slot.lock().take() {
                         shared.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
+                        if e.stalled.load(Ordering::SeqCst) {
+                            shared.metrics.add_gauge(Gauge::StalledProcesses, -1);
+                        }
+                        if shared.tracer.enabled() {
+                            let now = shared.tracer.now_us();
+                            shared.tracer.record(TraceRecord::Park {
+                                pid: p.id,
+                                t_us: e.park_t_us,
+                                dur_us: now.saturating_sub(e.park_t_us),
+                                keys: trace::watch_labels(&e.watch),
+                                outcome: ParkOutcome::Drained,
+                            });
+                        }
                         pids.push(p.id);
                     }
                 }
@@ -536,7 +609,8 @@ impl ParallelRuntime {
     }
 }
 
-fn worker(shared: &Shared, seed: u64) {
+fn worker(shared: &Shared, seed: u64, index: usize) {
+    trace::set_worker_track(index);
     let mut rng = StdRng::seed_from_u64(seed);
     loop {
         let task = {
@@ -561,6 +635,55 @@ fn worker(shared: &Shared, seed: u64) {
         // This task is complete (terminated or parked in `blocked`).
         if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
             finish_done(shared);
+        }
+    }
+}
+
+/// Periodically scans the per-shard blocked lists, flagging processes
+/// parked beyond the configured threshold: gauge `sdl_stalled_processes`
+/// goes up, and the trace gets a [`TraceRecord::Stall`] carrying the
+/// watch keys plus the nearest-miss recent commits (same relation,
+/// different values).
+fn watchdog(shared: &Shared) {
+    let cfg = shared.stall.as_ref().expect("watchdog spawned with config");
+    let tick = cfg.threshold.div_f64(2.0).min(Duration::from_millis(20));
+    loop {
+        if shared.done.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        for list in &shared.blocked {
+            let sb = list.lock();
+            for e in sb.by_key.values().flatten().chain(sb.keyless.iter()) {
+                let Some(since) = e.since else { continue };
+                let waited = now.saturating_duration_since(since);
+                if waited < cfg.threshold {
+                    continue;
+                }
+                // Flag while holding the slot lock: a waker claims the
+                // slot under the same lock, so exactly one side settles
+                // the gauge (flag set before a claim ⇒ the claimant
+                // decrements; claim first ⇒ the stub is never flagged).
+                let slot = e.slot.lock();
+                let Some(pid) = slot.as_ref().map(|p| p.id) else {
+                    continue; // stale stub: claimed elsewhere
+                };
+                if e.stalled.swap(true, Ordering::SeqCst) {
+                    continue; // already flagged via another key or shard
+                }
+                shared.metrics.add_gauge(Gauge::StalledProcesses, 1);
+                if shared.tracer.enabled() {
+                    let mut recent = cfg.recent.lock();
+                    shared.tracer.record(TraceRecord::Stall {
+                        pid,
+                        t_us: shared.tracer.now_us(),
+                        waited_us: waited.as_micros() as u64,
+                        keys: trace::watch_labels(&e.watch),
+                        near_misses: trace::near_misses(&e.watch, recent.make_contiguous()),
+                    });
+                }
+            }
         }
     }
 }
@@ -645,12 +768,12 @@ fn commit_footprint(shared: &Shared, proc: &ProcessInstance, p: &Pending) -> Sha
 /// indexes — no scan over unrelated parked entries. Must run after the
 /// commit's epoch increment: a parker that inserts too late to be seen
 /// here is guaranteed to observe the new epoch and re-queue itself.
-fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet) {
+fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet, commit: u64) {
     if changed.is_empty() {
         return;
     }
     let n = shared.sds.num_shards();
-    let mut woken: Vec<(ProcessInstance, Option<std::time::Instant>)> = Vec::new();
+    let mut woken: Vec<(Arc<Parked>, ProcessInstance, WatchKey)> = Vec::new();
     for s in changed_shards.iter() {
         let mut sb = shared.blocked[s].lock();
         for key in changed.iter() {
@@ -668,18 +791,41 @@ fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet) {
                 // A key-indexed hit implies the watch intersects the
                 // change; an empty slot is a stale stub claimed via
                 // another key or shard.
-                if let Some(mut p) = e.slot.lock().take() {
+                let claimed = e.slot.lock().take();
+                if let Some(mut p) = claimed {
                     p.woken = true;
-                    woken.push((p, e.since));
+                    woken.push((e, p, *key));
                 }
             }
             sb.by_key.remove(key);
         }
     }
-    for (p, since) in woken {
+    for (e, p, key) in woken {
         shared.metrics.inc(Counter::WakeupCommit);
-        shared.metrics.observe_timer(Hist::BlockedSeconds, since);
+        shared.metrics.observe_timer(Hist::BlockedSeconds, e.since);
         shared.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
+        if e.stalled.load(Ordering::SeqCst) {
+            shared.metrics.add_gauge(Gauge::StalledProcesses, -1);
+        }
+        if shared.tracer.enabled() {
+            // The park interval closes here, and the wake edge carries
+            // the committing transaction's id — the causality arrow the
+            // exporter draws from commit slice to wake point.
+            let now = shared.tracer.now_us();
+            shared.tracer.record(TraceRecord::Park {
+                pid: p.id,
+                t_us: e.park_t_us,
+                dur_us: now.saturating_sub(e.park_t_us),
+                keys: trace::watch_labels(&e.watch),
+                outcome: ParkOutcome::Woken,
+            });
+            shared.tracer.record(TraceRecord::Wake {
+                pid: p.id,
+                commit,
+                key: key.label(),
+                t_us: now,
+            });
+        }
         enqueue(shared, p);
     }
 }
@@ -712,6 +858,9 @@ fn attempt(
             return Ok(TxnOutcome::StepLimited);
         }
         shared.metrics.inc(attempts_counter(t.kind));
+        // One trace id per attempt loop iteration: a retry after a
+        // conflict is a fresh causal unit with its own span chain.
+        let trace_id = shared.tracer.new_trace();
         // The epoch is read before the locks: a commit that lands after
         // this point is either serialised behind our locks (we see its
         // effects) or bumps the epoch (a parker re-queues). Either way no
@@ -720,36 +869,72 @@ fn attempt(
         // Query under the read-footprint locks; effect construction
         // (which may run expensive host functions) outside any lock.
         let timer = shared.metrics.start_timer();
+        let eval_span = shared.tracer.begin();
+        let mut probe = eval_span.map(|_| EvalProbe::new());
         let query = {
             let read_fp = eval_footprint(shared, proc, t);
             let lock_timer = shared.metrics.start_timer();
+            let lock_span = shared.tracer.begin();
             let view = shared.sds.read_shards(read_fp);
             shared
                 .metrics
                 .observe_timer(Hist::ShardLockWaitSeconds, lock_timer);
+            shared
+                .tracer
+                .span(lock_span, trace_id, proc.id, SpanPhase::LockWaitRead);
             let source = proc.def.view.window(&view, &proc.env, &shared.builtins)?;
-            txn::evaluate_query(
+            txn::evaluate_query_probed(
                 t,
                 &source,
                 &proc.env,
                 &shared.builtins,
                 SolveLimits::default(),
                 shared.plan_config,
+                probe.as_mut(),
             )?
         };
         shared.metrics.observe_timer(Hist::QueryEvalSeconds, timer);
+        if let (Some(t0), Some(pr)) = (eval_span, &probe) {
+            // Plan-cache lookup nests inside the eval span.
+            if let Some((off, dur)) = pr.plan_us {
+                shared.tracer.record(TraceRecord::Span {
+                    trace: trace_id,
+                    pid: proc.id,
+                    track: Track::current(),
+                    phase: SpanPhase::Plan,
+                    t_us: t0 + off,
+                    dur_us: dur,
+                });
+            }
+        }
+        shared
+            .tracer
+            .span(eval_span, trace_id, proc.id, SpanPhase::Eval);
         let Some(query) = query else {
             shared.metrics.inc(failed_counter(t.kind));
             return Ok(TxnOutcome::Failed { epoch });
         };
+        let effects_timer = shared.metrics.start_timer();
+        let effects_span = shared.tracer.begin();
         let p = txn::build_effects(t, &query, &proc.env, &shared.builtins)?;
         let write_fp = commit_footprint(shared, proc, &p);
-        let (changed, changed_shards, wal_commit) = {
+        shared
+            .metrics
+            .observe_timer(Hist::EffectsBuildSeconds, effects_timer);
+        shared
+            .tracer
+            .span(effects_span, trace_id, proc.id, SpanPhase::Effects);
+        let commit_span = shared.tracer.begin();
+        let (changed, changed_shards, wal_commit, commit_id) = {
             let lock_timer = shared.metrics.start_timer();
+            let lock_span = shared.tracer.begin();
             let mut ds = shared.sds.write_shards(write_fp);
             shared
                 .metrics
                 .observe_timer(Hist::ShardLockWaitSeconds, lock_timer);
+            shared
+                .tracer
+                .span(lock_span, trace_id, proc.id, SpanPhase::LockWaitWrite);
             // Validation runs against the write footprint, which covers
             // every shard the evidence patterns route to — by the routing
             // invariant the answers equal the whole store's.
@@ -758,6 +943,18 @@ fn attempt(
                 shared.metrics.inc(Counter::TxnConflicts);
                 for s in write_fp.iter() {
                     shared.metrics.add_shard(s, ShardCounter::Conflicts, 1);
+                }
+                if shared.tracer.enabled() {
+                    // Still under the write locks, so the per-shard
+                    // last-commit markers name a commit serialised
+                    // before us — the batch this abort lost to.
+                    shared.tracer.record(TraceRecord::Conflict {
+                        trace: trace_id,
+                        pid: proc.id,
+                        track: Track::current(),
+                        against: shared.sds.latest_commit_over(write_fp),
+                        t_us: shared.tracer.now_us(),
+                    });
                 }
                 drop(ds);
                 continue; // somebody raced us; re-evaluate
@@ -783,7 +980,19 @@ fn attempt(
                     .map(|(tu, _)| Action::Assert(proc.id, tu.clone())),
             );
             let mut changed = WatchSet::new();
+            let apply_timer = shared.metrics.start_timer();
             let (out, changed_shards) = ds.apply_batch(actions, &mut changed);
+            shared
+                .metrics
+                .observe_timer(Hist::CommitApplySeconds, apply_timer);
+            // Mint the commit id inside the lock scope and publish it on
+            // the written shards: any attempt that later aborts against
+            // this batch holds an overlapping write lock, so it reads a
+            // marker serialised after this store.
+            let commit_id = shared.tracer.new_commit();
+            if commit_id != 0 {
+                shared.sds.note_commit(write_fp, commit_id);
+            }
             // Append while still holding the write footprint: any
             // conflicting commit is ordered behind these locks, so the
             // log's append order is a valid serialisation of the run
@@ -804,7 +1013,7 @@ fn attempt(
                 }
                 None => None,
             };
-            (changed, changed_shards, wal_commit)
+            (changed, changed_shards, wal_commit, commit_id)
         };
         // Locks are down; publish the commit before scanning blocked
         // lists so parkers that miss the scan catch the epoch change.
@@ -813,6 +1022,23 @@ fn attempt(
         shared.metrics.inc(committed_counter(t.kind));
         for s in write_fp.iter() {
             shared.metrics.add_shard(s, ShardCounter::Commits, 1);
+        }
+        if commit_id != 0 {
+            let now = shared.tracer.now_us();
+            let t0 = commit_span.unwrap_or(now);
+            shared.tracer.record(TraceRecord::Commit {
+                trace: trace_id,
+                pid: proc.id,
+                track: Track::current(),
+                commit: commit_id,
+                t_us: t0,
+                dur_us: now.saturating_sub(t0),
+                keys: trace::watch_labels(&changed),
+                shards: write_fp.iter().collect(),
+            });
+            if let Some(cfg) = &shared.stall {
+                cfg.push_recent(commit_id, changed.clone(), batch_desc(&p));
+            }
         }
         if let Some(wal) = &shared.wal {
             // Group commit: if another thread's fsync already covered
@@ -831,7 +1057,7 @@ fn attempt(
                 wal.write_snapshot(&cursors, &tuples).map_err(wal_err)?;
             }
         }
-        wake(shared, &changed, changed_shards);
+        wake(shared, &changed, changed_shards, commit_id);
         return Ok(TxnOutcome::Committed(p));
     }
 }
@@ -1053,7 +1279,12 @@ fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, mut proc: ProcessInst
     }
     let n = shared.sds.num_shards();
     let entry = Arc::new(Parked {
-        since: shared.metrics.start_timer(),
+        since: shared
+            .metrics
+            .start_timer()
+            .or_else(|| shared.stall.as_ref().map(|_| Instant::now())),
+        park_t_us: shared.tracer.now_us(),
+        stalled: AtomicBool::new(false),
         slot: Mutex::new(Some(proc)),
         watch,
     });
@@ -1091,6 +1322,22 @@ fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, mut proc: ProcessInst
         // A commit published while we were parking; whether or not its
         // wake saw us, re-evaluating is the safe answer.
         if let Some(p) = entry.slot.lock().take() {
+            if entry.stalled.load(Ordering::SeqCst) {
+                shared.metrics.add_gauge(Gauge::StalledProcesses, -1);
+            }
+            if shared.tracer.enabled() {
+                // The park never stuck; close it immediately so spans
+                // stay balanced (no wake edge — the waking commit raced
+                // past the lists before this entry was visible).
+                let now = shared.tracer.now_us();
+                shared.tracer.record(TraceRecord::Park {
+                    pid: p.id,
+                    t_us: entry.park_t_us,
+                    dur_us: now.saturating_sub(entry.park_t_us),
+                    keys: trace::watch_labels(&entry.watch),
+                    outcome: ParkOutcome::Woken,
+                });
+            }
             enqueue(shared, p);
             return;
         }

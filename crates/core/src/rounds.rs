@@ -130,6 +130,7 @@ impl Runtime {
                             }
                             self.report.attempts += 1;
                             self.metrics.inc(attempts_counter(t.kind));
+                            self.cur_trace = self.tracer.new_trace();
                             return match self.evaluate_for(pid, &t, Some(snap))? {
                                 Some(p) => {
                                     if p.validate(&self.ds) {
@@ -147,6 +148,7 @@ impl Runtime {
                                         // Conflict with a sibling in this
                                         // round; retry next round.
                                         self.metrics.inc(Counter::TxnConflicts);
+                                        self.trace_conflict(pid);
                                         Ok((0, false))
                                     }
                                 }
@@ -231,9 +233,11 @@ impl Runtime {
             }
             self.report.attempts += 1;
             self.metrics.inc(attempts_counter(guard.kind));
+            self.cur_trace = self.tracer.new_trace();
             if let Some(p) = self.evaluate_for(pid, &guard, Some(snap))? {
                 if !p.validate(&self.ds) {
                     self.metrics.inc(Counter::TxnConflicts);
+                    self.trace_conflict(pid);
                     continue; // conflict: try another guard, else next round
                 }
                 if mode == GuardMode::Select {
@@ -305,6 +309,7 @@ impl Runtime {
                 }
                 self.report.attempts += 1;
                 self.metrics.inc(attempts_counter(guard.kind));
+                self.cur_trace = self.tracer.new_trace();
                 let Some(p) = self.evaluate_for(pid, &guard, Some(&local))? else {
                     self.metrics.inc(failed_counter(guard.kind));
                     break;
@@ -334,6 +339,7 @@ impl Runtime {
                     // The solution used instances a sibling already took;
                     // drop them from the local view and retry.
                     self.metrics.inc(Counter::TxnConflicts);
+                    self.trace_conflict(pid);
                     let mut removed = false;
                     for id in p.reads.iter().chain(p.retracts.iter()) {
                         if !self.ds.contains_id(*id) && local.retract(*id).is_some() {

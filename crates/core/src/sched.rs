@@ -12,10 +12,10 @@
 //! fairness: an indefinitely-enabled delayed transaction is eventually
 //! executed.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -35,7 +35,8 @@ use crate::events::{Event, EventLog, EventSink};
 use crate::outcome::{Outcome, RunLimits, RunReport};
 use crate::process::{Frame, ProcessInstance};
 use crate::program::{CompiledBranch, CompiledProgram, CompiledStmt, CompiledTxn};
-use crate::txn::{self, Pending, PlanConfig};
+use crate::trace::{self, ParkOutcome, SpanPhase, TraceRecord, Tracer, Track};
+use crate::txn::{self, EvalProbe, Pending, PlanConfig};
 use crate::view::EnvCtx;
 
 /// What a single step did.
@@ -64,8 +65,60 @@ pub(crate) enum GuardMode {
 pub(crate) struct BlockInfo {
     pub watch: WatchSet,
     pub has_consensus: bool,
-    /// When the process blocked; populated only when metrics are enabled.
+    /// When the process blocked; populated when metrics or the stall
+    /// watchdog are enabled.
     pub since: Option<Instant>,
+    /// Park start (µs on the tracer clock); 0 when tracing is off.
+    pub park_t_us: u64,
+}
+
+/// Serial-scheduler state of the stall watchdog (`--stall-ms`).
+#[derive(Debug)]
+pub(crate) struct StallState {
+    /// Parked-beyond-this flags a process as stalled.
+    pub threshold: Duration,
+    /// Last blocked-set scan, to keep the watchdog off the hot path.
+    pub last_scan: Instant,
+    /// Processes already flagged (and counted in the gauge).
+    pub flagged: HashSet<ProcId>,
+    /// Ring of recent commits `(commit id, published keys, description)`
+    /// for nearest-miss reporting; newest last.
+    pub recent: VecDeque<(u64, WatchSet, String)>,
+}
+
+impl StallState {
+    pub(crate) fn new(threshold: Duration) -> StallState {
+        StallState {
+            threshold,
+            last_scan: Instant::now(),
+            flagged: HashSet::new(),
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Remembers a commit for nearest-miss reporting (bounded ring).
+    pub(crate) fn push_recent(&mut self, commit: u64, keys: WatchSet, desc: String) {
+        if self.recent.len() >= 32 {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((commit, keys, desc));
+    }
+}
+
+/// A one-line description of a committed batch for nearest-miss output:
+/// its first asserted tuple plus a remainder count.
+pub(crate) fn batch_desc(p: &Pending) -> String {
+    match p.asserts.first() {
+        Some(t) => {
+            let extra = p.asserts.len() - 1 + p.retracts.len();
+            if extra > 0 {
+                format!("{t} (+{extra} more actions)")
+            } else {
+                format!("{t}")
+            }
+        }
+        None => format!("{} retracts", p.retracts.len()),
+    }
 }
 
 /// The `sdl_txn_attempts_total` series for a transaction mode.
@@ -126,6 +179,8 @@ pub struct RuntimeBuilder {
     builtins: Builtins,
     trace: bool,
     trace_capacity: Option<usize>,
+    tracer: Tracer,
+    stall_threshold: Option<Duration>,
     metrics: Metrics,
     sinks: Sinks,
     limits: RunLimits,
@@ -171,6 +226,22 @@ impl RuntimeBuilder {
     /// ([`Metrics::disabled`]) makes every recording site a single branch.
     pub fn metrics(mut self, metrics: Metrics) -> RuntimeBuilder {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attaches a causal [`Tracer`]: every transaction attempt gets a
+    /// span chain and every wake/conflict a causality edge. The default
+    /// ([`Tracer::disabled`]) makes every site a single branch.
+    pub fn tracer(mut self, tracer: Tracer) -> RuntimeBuilder {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Arms the stall watchdog: processes parked beyond `threshold` are
+    /// flagged in the `sdl_stalled_processes` gauge and annotated in the
+    /// trace with their watch keys and nearest-miss commits.
+    pub fn stall_threshold(mut self, threshold: Duration) -> RuntimeBuilder {
+        self.stall_threshold = Some(threshold);
         self
     }
 
@@ -285,6 +356,10 @@ impl RuntimeBuilder {
             } else {
                 None
             },
+            tracer: self.tracer,
+            cur_trace: 0,
+            last_commit_id: 0,
+            stall: self.stall_threshold.map(StallState::new),
             metrics: self.metrics,
             sinks: self.sinks,
             report: RunReport::new(),
@@ -397,6 +472,15 @@ pub struct Runtime {
     pub(crate) rng: StdRng,
     builtins: Builtins,
     trace: Option<EventLog>,
+    /// Causal span/edge recorder (disabled by default).
+    pub(crate) tracer: Tracer,
+    /// Trace id of the attempt currently being evaluated/committed.
+    pub(crate) cur_trace: u64,
+    /// Commit id of the most recent committed batch (0 = none yet) —
+    /// the attribution target for wake edges and rounds conflicts.
+    pub(crate) last_commit_id: u64,
+    /// Stall watchdog, when armed.
+    pub(crate) stall: Option<StallState>,
     pub(crate) metrics: Metrics,
     sinks: Sinks,
     pub(crate) report: RunReport,
@@ -422,6 +506,8 @@ impl Runtime {
             builtins: Builtins::standard(),
             trace: false,
             trace_capacity: None,
+            tracer: Tracer::disabled(),
+            stall_threshold: None,
             metrics: Metrics::disabled(),
             sinks: Sinks::default(),
             limits: RunLimits::default(),
@@ -587,6 +673,7 @@ impl Runtime {
                 self.report.outcome = Outcome::StepLimit;
                 break;
             }
+            self.stall_scan();
             let Some(pid) = self.ready.pop_front() else {
                 if self.try_consensus_any()? {
                     continue;
@@ -619,7 +706,10 @@ impl Runtime {
                     // communities is the expensive part, so pre-filter:
                     // only bother when this process's own consensus query
                     // currently succeeds.
-                    if has_consensus && self.probe_consensus(pid)?.is_some() {
+                    if has_consensus && {
+                        self.cur_trace = self.tracer.new_trace();
+                        self.probe_consensus(pid)?.is_some()
+                    } {
                         self.try_consensus_any()?;
                     }
                 }
@@ -627,12 +717,58 @@ impl Runtime {
             }
         }
         self.report.final_tuples = self.ds.len();
+        // Close the park interval of every still-blocked process so
+        // traced runs have no dangling parks.
+        if self.tracer.enabled() {
+            let now = self.tracer.now_us();
+            for (pid, info) in &self.blocked {
+                self.tracer.record(TraceRecord::Park {
+                    pid: *pid,
+                    t_us: info.park_t_us,
+                    dur_us: now.saturating_sub(info.park_t_us),
+                    keys: trace::watch_labels(&info.watch),
+                    outcome: ParkOutcome::Drained,
+                });
+            }
+        }
         // Whatever the fsync policy deferred becomes durable before the
         // run is reported back.
         if let Some(wal) = &self.wal {
             wal.sync().map_err(wal_err)?;
         }
         Ok(self.report.clone())
+    }
+
+    /// Periodic stall-watchdog pass over the blocked set: flags (once)
+    /// every process parked beyond the threshold, moving the
+    /// `sdl_stalled_processes` gauge and annotating the trace with the
+    /// watch keys waited on and the nearest-miss commits.
+    fn stall_scan(&mut self) {
+        let Some(stall) = &mut self.stall else {
+            return;
+        };
+        // Scan at half-threshold granularity, not every iteration.
+        if stall.last_scan.elapsed() < stall.threshold / 2 {
+            return;
+        }
+        stall.last_scan = Instant::now();
+        for (pid, info) in &self.blocked {
+            let Some(since) = info.since else { continue };
+            let waited = since.elapsed();
+            if waited < stall.threshold || !stall.flagged.insert(*pid) {
+                continue;
+            }
+            self.metrics.add_gauge(Gauge::StalledProcesses, 1);
+            if self.tracer.enabled() {
+                self.tracer.record(TraceRecord::Stall {
+                    pid: *pid,
+                    t_us: self.tracer.now_us(),
+                    waited_us: waited.as_micros() as u64,
+                    keys: trace::watch_labels(&info.watch),
+                    near_misses: trace::near_misses(&info.watch, stall.recent.make_contiguous()),
+                });
+            }
+        }
     }
 
     // ---------------- stepping ----------------
@@ -704,6 +840,7 @@ impl Runtime {
         }
         self.report.attempts += 1;
         self.metrics.inc(attempts_counter(t.kind));
+        self.cur_trace = self.tracer.new_trace();
         match self.evaluate_for(pid, t, None)? {
             Some(p) => {
                 self.advance_seq(pid);
@@ -760,6 +897,7 @@ impl Runtime {
             }
             self.report.attempts += 1;
             self.metrics.inc(attempts_counter(guard.kind));
+            self.cur_trace = self.tracer.new_trace();
             if let Some(p) = self.evaluate_for(pid, &guard, None)? {
                 if mode == GuardMode::Select {
                     self.advance_seq(pid);
@@ -880,16 +1018,33 @@ impl Runtime {
         let proc = &self.procs[&pid];
         let ds = source_ds.unwrap_or(&self.ds);
         let timer = self.metrics.start_timer();
+        let span = self.tracer.begin();
+        let mut probe = span.map(|_| EvalProbe::new());
         let source = proc.def.view.window(ds, &proc.env, &self.builtins)?;
-        let result = txn::evaluate(
+        let result = txn::evaluate_probed(
             t,
             &source,
             &proc.env,
             &self.builtins,
             self.solve_limits,
             self.plan_config,
+            probe.as_mut(),
         );
         self.metrics.observe_timer(Hist::QueryEvalSeconds, timer);
+        if let (Some(t0), Some(pr)) = (span, &probe) {
+            // Plan-cache lookup nests inside the eval span.
+            if let Some((off, dur)) = pr.plan_us {
+                self.tracer.record(TraceRecord::Span {
+                    trace: self.cur_trace,
+                    pid,
+                    track: Track::current(),
+                    phase: SpanPhase::Plan,
+                    t_us: t0 + off,
+                    dur_us: dur,
+                });
+            }
+        }
+        self.tracer.span(span, self.cur_trace, pid, SpanPhase::Eval);
         result
     }
 
@@ -937,6 +1092,8 @@ impl Runtime {
                 .filter(|(_, ok)| **ok)
                 .map(|(t, _)| Action::Assert(pid, t.clone())),
         );
+        let apply_timer = self.metrics.start_timer();
+        let commit_span = self.tracer.begin();
         let mut changed = WatchSet::new();
         let out = self.ds.apply_batch(&actions, &mut changed);
         let logging = self.wal.is_some();
@@ -973,6 +1130,27 @@ impl Runtime {
             }
         }
         self.wal_append(wal_retracts, wal_asserts)?;
+        self.metrics
+            .observe_timer(Hist::CommitApplySeconds, apply_timer);
+        let commit_id = self.tracer.new_commit();
+        if commit_id != 0 {
+            self.last_commit_id = commit_id;
+            let now = self.tracer.now_us();
+            let t0 = commit_span.unwrap_or(now);
+            self.tracer.record(TraceRecord::Commit {
+                trace: self.cur_trace,
+                pid,
+                track: Track::current(),
+                commit: commit_id,
+                t_us: t0,
+                dur_us: now.saturating_sub(t0),
+                keys: trace::watch_labels(&changed),
+                shards: Vec::new(),
+            });
+            if let Some(stall) = &mut self.stall {
+                stall.push_recent(commit_id, changed.clone(), batch_desc(p));
+            }
+        }
         if let Some(proc) = self.procs.get_mut(&pid) {
             if proc.woken {
                 proc.woken = false;
@@ -1170,7 +1348,11 @@ impl Runtime {
             BlockInfo {
                 watch,
                 has_consensus,
-                since: self.metrics.start_timer(),
+                since: self
+                    .metrics
+                    .start_timer()
+                    .or_else(|| self.stall.as_ref().map(|_| Instant::now())),
+                park_t_us: self.tracer.now_us(),
             },
         );
         StepResult::Blocked { has_consensus }
@@ -1194,6 +1376,21 @@ impl Runtime {
         let info = self.blocked.remove(&pid)?;
         self.unindex_watch(pid, &info.watch);
         self.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
+        if let Some(stall) = &mut self.stall {
+            if stall.flagged.remove(&pid) {
+                self.metrics.add_gauge(Gauge::StalledProcesses, -1);
+            }
+        }
+        if self.tracer.enabled() {
+            let now = self.tracer.now_us();
+            self.tracer.record(TraceRecord::Park {
+                pid,
+                t_us: info.park_t_us,
+                dur_us: now.saturating_sub(info.park_t_us),
+                keys: trace::watch_labels(&info.watch),
+                outcome: ParkOutcome::Woken,
+            });
+        }
         Some(info)
     }
 
@@ -1203,17 +1400,29 @@ impl Runtime {
         }
         // Union of subscribers over the published keys — exactly the
         // blocked processes whose watch set intersects `changed`, in
-        // ascending pid order (matching the old full scan).
-        let mut woken: BTreeSet<ProcId> = BTreeSet::new();
+        // ascending pid order (matching the old full scan). Each pid
+        // remembers the first key that matched it, so the trace can say
+        // *which* subscription the commit satisfied.
+        let mut woken: BTreeMap<ProcId, WatchKey> = BTreeMap::new();
         for key in changed.iter() {
             if let Some(subs) = self.wake_index.get(key) {
-                woken.extend(subs.iter().copied());
+                for pid in subs {
+                    woken.entry(*pid).or_insert(*key);
+                }
             }
         }
-        for pid in woken {
+        for (pid, key) in woken {
             if let Some(info) = self.unblock(pid) {
                 self.metrics.inc(Counter::WakeupCommit);
                 self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceRecord::Wake {
+                        pid,
+                        commit: self.last_commit_id,
+                        key: key.label(),
+                        t_us: self.tracer.now_us(),
+                    });
+                }
                 if let Some(proc) = self.procs.get_mut(&pid) {
                     proc.woken = true;
                 }
@@ -1222,10 +1431,35 @@ impl Runtime {
         }
     }
 
+    /// Records a validation-conflict edge: the current attempt aborted
+    /// because of the most recently committed batch.
+    pub(crate) fn trace_conflict(&self, pid: ProcId) {
+        if self.tracer.enabled() {
+            self.tracer.record(TraceRecord::Conflict {
+                trace: self.cur_trace,
+                pid,
+                track: Track::current(),
+                against: self.last_commit_id,
+                t_us: self.tracer.now_us(),
+            });
+        }
+    }
+
     fn wake_pid(&mut self, pid: ProcId) {
         if let Some(info) = self.unblock(pid) {
             self.metrics.inc(Counter::WakeupCommit);
             self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+            if self.tracer.enabled() {
+                // A replication parent woken by a child's exit, not by a
+                // tuple commit; the attribution points at the last commit
+                // (usually the child's final action).
+                self.tracer.record(TraceRecord::Wake {
+                    pid,
+                    commit: self.last_commit_id,
+                    key: "child-exit".to_string(),
+                    t_us: self.tracer.now_us(),
+                });
+            }
             if let Some(proc) = self.procs.get_mut(&pid) {
                 proc.woken = true;
             }
@@ -1254,6 +1488,7 @@ impl Runtime {
             let mut contributions = Vec::with_capacity(set.len());
             let mut complete = true;
             for pid in &set {
+                self.cur_trace = self.tracer.new_trace();
                 match self.probe_consensus(*pid)? {
                     Some((site, pending)) => contributions.push((*pid, site, pending)),
                     None => {
@@ -1373,6 +1608,8 @@ impl Runtime {
                     .map(|(t, _)| Action::Assert(*pid, t.clone())),
             );
         }
+        let apply_timer = self.metrics.start_timer();
+        let commit_span = self.tracer.begin();
         let mut changed = WatchSet::new();
         let out = self.ds.apply_batch(&actions, &mut changed);
         let logging = self.wal.is_some();
@@ -1416,6 +1653,31 @@ impl Runtime {
         // The composite is one atomic transaction, so it is one WAL
         // record: recovery replays the whole community or none of it.
         self.wal_append(wal_retracts, wal_asserts)?;
+        self.metrics
+            .observe_timer(Hist::CommitApplySeconds, apply_timer);
+        let commit_id = self.tracer.new_commit();
+        if commit_id != 0 {
+            self.last_commit_id = commit_id;
+            let now = self.tracer.now_us();
+            let t0 = commit_span.unwrap_or(now);
+            self.tracer.record(TraceRecord::Commit {
+                trace: self.cur_trace,
+                pid: participants[0],
+                track: Track::current(),
+                commit: commit_id,
+                t_us: t0,
+                dur_us: now.saturating_sub(t0),
+                keys: trace::watch_labels(&changed),
+                shards: Vec::new(),
+            });
+            if let Some(stall) = &mut self.stall {
+                stall.push_recent(
+                    commit_id,
+                    changed.clone(),
+                    format!("consensus of {} processes", participants.len()),
+                );
+            }
+        }
 
         // Per-participant control advance. Every participant's wake ends
         // in this commit, so it counts as progress.
@@ -1424,6 +1686,14 @@ impl Runtime {
                 self.metrics.inc(Counter::WakeupConsensus);
                 self.metrics.inc(Counter::WakeProgress);
                 self.metrics.observe_timer(Hist::BlockedSeconds, info.since);
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceRecord::Wake {
+                        pid: *pid,
+                        commit: commit_id,
+                        key: "consensus".to_string(),
+                        t_us: self.tracer.now_us(),
+                    });
+                }
             }
             if let Some(proc) = self.procs.get_mut(pid) {
                 proc.woken = false;

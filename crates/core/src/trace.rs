@@ -1,0 +1,471 @@
+//! Causal transaction tracing for all three schedulers.
+//!
+//! Aggregate counters (`sdl-metrics`) say *how many* wakeups were
+//! spurious; they cannot say *which commit* woke *which process*, or
+//! where one slow transaction spent its time. This module records both:
+//! every transaction attempt gets a **trace id** and a span chain
+//! (eval → plan → lock wait → … → commit), and **causality edges** are
+//! minted at the two places the engine already knows them —
+//!
+//! * the reverse wake index: commit *X* woke process *Y* on watch key
+//!   *K* ([`TraceRecord::Wake`]), and
+//! * footprint-lock conflicts: attempt *A* aborted because of committed
+//!   batch *B* ([`TraceRecord::Conflict`], attributed through
+//!   [`ShardedDataspace::latest_commit_over`]).
+//!
+//! The design mirrors [`sdl_metrics::Metrics`]: a [`Tracer`] is a cheap
+//! cloneable handle over an `Option<Arc<…>>`. Disabled (the default) it
+//! is a single branch on `None` and **never reads the clock**; enabled,
+//! records go into a bounded in-memory buffer behind a mutex that is
+//! only touched at span boundaries, never inside the solver.
+//!
+//! `sdl-run --trace-out run.json` drains the buffer into Chrome/Perfetto
+//! trace-event JSON (see `sdl_trace::perfetto`); `sdl-trace run.json`
+//! re-analyzes the file offline.
+//!
+//! [`ShardedDataspace::latest_commit_over`]:
+//!     sdl_dataspace::ShardedDataspace::latest_commit_over
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use sdl_dataspace::WatchSet;
+use sdl_tuple::ProcId;
+
+/// Where a record was produced: the serial scheduler's single thread or
+/// one of the threaded executor's workers. Parked-process intervals get
+/// their own per-process tracks in the exported view and carry no
+/// `Track`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The serial/rounds scheduler thread.
+    Main,
+    /// Worker `i` of the threaded executor.
+    Worker(usize),
+}
+
+thread_local! {
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Marks the current thread as worker `w` for subsequent records.
+/// The threaded executor calls this once at worker startup.
+pub fn set_worker_track(w: usize) {
+    WORKER.with(|c| c.set(Some(w)));
+}
+
+impl Track {
+    /// The track of the calling thread: `Worker(i)` inside a marked
+    /// executor worker, `Main` otherwise.
+    pub fn current() -> Track {
+        WORKER.with(|c| match c.get() {
+            Some(w) => Track::Worker(w),
+            None => Track::Main,
+        })
+    }
+}
+
+/// A phase inside one transaction attempt's span chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanPhase {
+    /// Guard evaluation (query solving over the window).
+    Eval,
+    /// Plan-cache lookup / query planning, nested inside `Eval`.
+    Plan,
+    /// Acquiring the read-shard footprint locks.
+    LockWaitRead,
+    /// Acquiring the write-shard footprint locks.
+    LockWaitWrite,
+    /// Substituting bindings into the effect set after the guard held.
+    Effects,
+}
+
+impl SpanPhase {
+    /// The stable name used in exported traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Eval => "eval",
+            SpanPhase::Plan => "plan",
+            SpanPhase::LockWaitRead => "lock_wait_read",
+            SpanPhase::LockWaitWrite => "lock_wait_write",
+            SpanPhase::Effects => "effects",
+        }
+    }
+}
+
+/// How a park interval ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParkOutcome {
+    /// A commit's watch keys matched and the process was re-enqueued
+    /// (the matching [`TraceRecord::Wake`] carries the commit id).
+    Woken,
+    /// The run ended with the process still parked.
+    Drained,
+}
+
+/// One record in a trace stream. Timestamps are microseconds since the
+/// tracer was created; durations are microseconds.
+#[derive(Clone, Debug)]
+pub enum TraceRecord {
+    /// A timed phase of one transaction attempt.
+    Span {
+        /// Trace id of the attempt this span belongs to.
+        trace: u64,
+        /// The process whose transaction is being attempted.
+        pid: ProcId,
+        /// The scheduler thread that executed the phase.
+        track: Track,
+        /// Which phase this span times.
+        phase: SpanPhase,
+        /// Start, µs since tracer creation.
+        t_us: u64,
+        /// Duration in µs.
+        dur_us: u64,
+    },
+    /// A committed transaction: the span covers the commit critical
+    /// section (validate + apply + WAL append, under write locks in the
+    /// threaded executor).
+    Commit {
+        /// Trace id of the committing attempt.
+        trace: u64,
+        /// The committing process.
+        pid: ProcId,
+        /// The scheduler thread that committed.
+        track: Track,
+        /// The commit id other records attribute to.
+        commit: u64,
+        /// Start, µs since tracer creation.
+        t_us: u64,
+        /// Duration in µs.
+        dur_us: u64,
+        /// Labels of the watch keys the batch published (sorted; a
+        /// trailing `"…"` marks truncation).
+        keys: Vec<String>,
+        /// Write-footprint shards the batch locked (empty for the
+        /// serial store).
+        shards: Vec<usize>,
+    },
+    /// An attempt aborted at validation, attributed (best effort) to the
+    /// most recent committed batch over its write footprint.
+    Conflict {
+        /// Trace id of the aborted attempt.
+        trace: u64,
+        /// The process whose attempt aborted.
+        pid: ProcId,
+        /// The scheduler thread the abort happened on.
+        track: Track,
+        /// Commit id of the invalidating batch (`0` = unknown).
+        against: u64,
+        /// Abort time, µs since tracer creation.
+        t_us: u64,
+    },
+    /// A completed park interval of a blocked process.
+    Park {
+        /// The parked process.
+        pid: ProcId,
+        /// Park start, µs since tracer creation.
+        t_us: u64,
+        /// Parked duration in µs.
+        dur_us: u64,
+        /// Labels of the watch keys the process subscribed on (sorted;
+        /// a trailing `"…"` marks truncation).
+        keys: Vec<String>,
+        /// Whether a commit woke it or the run drained it.
+        outcome: ParkOutcome,
+    },
+    /// Causality edge from the reverse wake index: `commit` woke `pid`
+    /// because it published watch key `key`.
+    Wake {
+        /// The woken process.
+        pid: ProcId,
+        /// Commit id of the causing batch.
+        commit: u64,
+        /// Label of the first matching watch key.
+        key: String,
+        /// Wake time, µs since tracer creation.
+        t_us: u64,
+    },
+    /// Stall-watchdog annotation: `pid` has been parked beyond the
+    /// configured threshold.
+    Stall {
+        /// The stalled process.
+        pid: ProcId,
+        /// Flag time, µs since tracer creation.
+        t_us: u64,
+        /// How long it had been parked when flagged, in µs.
+        waited_us: u64,
+        /// Labels of the watch keys it waits on.
+        keys: Vec<String>,
+        /// Recent committed batches on the same `(functor, arity)`
+        /// channels that did *not* carry the watched values.
+        near_misses: Vec<String>,
+    },
+}
+
+/// Default record-buffer capacity (records past it are counted, not
+/// kept): generous enough for ~10⁶-commit runs at a few records each.
+pub const DEFAULT_TRACE_RECORDS: usize = 4 << 20;
+
+/// Keys kept per commit/park record before truncation to `"…"`.
+const MAX_KEY_LABELS: usize = 48;
+
+struct TracerInner {
+    start: Instant,
+    records: Mutex<Vec<TraceRecord>>,
+    next_trace: AtomicU64,
+    next_commit: AtomicU64,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+/// Cheap cloneable tracing handle threaded through the schedulers.
+///
+/// Disabled (the default) every call is one branch on `None` and the
+/// clock is never read. Cloning shares the record buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A handle that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with the default record capacity.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_RECORDS)
+    }
+
+    /// An enabled tracer keeping at most `cap` records; further records
+    /// are counted in [`Tracer::dropped`].
+    pub fn with_capacity(cap: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                start: Instant::now(),
+                records: Mutex::new(Vec::new()),
+                next_trace: AtomicU64::new(0),
+                next_commit: AtomicU64::new(0),
+                cap,
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether records are being kept.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the tracer was created (`0` when disabled —
+    /// the clock is not read).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.start.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Starts a span timer: the current offset when enabled, `None` when
+    /// disabled (so the disabled path never reads the clock).
+    #[inline]
+    pub fn begin(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|i| i.start.elapsed().as_micros() as u64)
+    }
+
+    /// Mints the next trace id (one per transaction attempt); `0` when
+    /// disabled. Real ids start at 1.
+    #[inline]
+    pub fn new_trace(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
+            None => 0,
+        }
+    }
+
+    /// Mints the next commit id; `0` when disabled (`0` also means
+    /// "no attribution" in [`TraceRecord::Conflict`]).
+    #[inline]
+    pub fn new_commit(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.next_commit.fetch_add(1, Ordering::Relaxed) + 1,
+            None => 0,
+        }
+    }
+
+    /// Appends a record (bounded by the construction-time capacity).
+    pub fn record(&self, r: TraceRecord) {
+        if let Some(i) = &self.inner {
+            let mut buf = i.records.lock();
+            if buf.len() < i.cap {
+                buf.push(r);
+            } else {
+                i.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Closes a span opened with [`Tracer::begin`] and records it.
+    #[inline]
+    pub fn span(&self, started: Option<u64>, trace: u64, pid: ProcId, phase: SpanPhase) {
+        if let (Some(t0), true) = (started, self.enabled()) {
+            let now = self.now_us();
+            self.record(TraceRecord::Span {
+                trace,
+                pid,
+                track: Track::current(),
+                phase,
+                t_us: t0,
+                dur_us: now.saturating_sub(t0),
+            });
+        }
+    }
+
+    /// Records dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Drains and returns every record collected so far.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(i) => std::mem::take(&mut *i.records.lock()),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Sorted, bounded labels for a watch-key set: deterministic output for
+/// commit/park records, with a trailing `"…"` sentinel when the set was
+/// larger than the cap (tests treat the sentinel as "may contain more").
+pub fn watch_labels(keys: &WatchSet) -> Vec<String> {
+    let mut labels: Vec<String> = keys.iter().map(|k| k.label()).collect();
+    labels.sort();
+    if labels.len() > MAX_KEY_LABELS {
+        labels.truncate(MAX_KEY_LABELS);
+        labels.push("…".to_string());
+    }
+    labels
+}
+
+/// Nearest-miss explanations for a stalled process: recent committed
+/// batches whose keys share a `(functor, arity)` channel with the parked
+/// watch set but did **not** intersect it — i.e. traffic on the right
+/// relation carrying the wrong values. `recent` holds
+/// `(commit id, published keys, batch description)` newest-last.
+pub fn near_misses(parked: &WatchSet, recent: &[(u64, WatchSet, String)]) -> Vec<String> {
+    let channels: Vec<_> = parked.iter().map(|k| k.channel()).collect();
+    recent
+        .iter()
+        .rev()
+        .filter(|(_, keys, _)| {
+            !parked.intersects(keys) && keys.iter().any(|k| channels.contains(&k.channel()))
+        })
+        .take(3)
+        .map(|(commit, _, desc)| format!("commit {commit}: {desc}"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{pattern, tuple, Value};
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert_eq!(t.new_trace(), 0);
+        assert_eq!(t.new_commit(), 0);
+        assert_eq!(t.begin(), None);
+        t.span(None, 0, ProcId(1), SpanPhase::Eval);
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn ids_are_minted_from_one() {
+        let t = Tracer::new();
+        assert_eq!(t.new_trace(), 1);
+        assert_eq!(t.new_trace(), 2);
+        assert_eq!(t.new_commit(), 1);
+    }
+
+    #[test]
+    fn spans_record_on_the_current_track() {
+        let t = Tracer::new();
+        let s = t.begin();
+        t.span(s, 7, ProcId(3), SpanPhase::Eval);
+        let recs = t.take();
+        assert_eq!(recs.len(), 1);
+        match &recs[0] {
+            TraceRecord::Span {
+                trace,
+                pid,
+                track,
+                phase,
+                ..
+            } => {
+                assert_eq!(*trace, 7);
+                assert_eq!(*pid, ProcId(3));
+                assert_eq!(*track, Track::Main);
+                assert_eq!(*phase, SpanPhase::Eval);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_counted() {
+        let t = Tracer::with_capacity(2);
+        for _ in 0..5 {
+            t.record(TraceRecord::Wake {
+                pid: ProcId(1),
+                commit: 1,
+                key: "x/1".into(),
+                t_us: 0,
+            });
+        }
+        assert_eq!(t.take().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn near_misses_report_same_channel_non_matching_commits() {
+        let mut parked = WatchSet::new();
+        parked.add_pattern_exact(&pattern![Value::atom("job"), 7]);
+
+        let mut matching = WatchSet::new();
+        matching.add_tuple(&tuple![Value::atom("job"), 7]);
+        let mut near = WatchSet::new();
+        near.add_tuple(&tuple![Value::atom("job"), 8]);
+        let mut far = WatchSet::new();
+        far.add_tuple(&tuple![Value::atom("log"), 1, 2]);
+
+        let recent = vec![
+            (1, matching, "<job, 7>".to_string()),
+            (2, near, "<job, 8>".to_string()),
+            (3, far, "<log, 1, 2>".to_string()),
+        ];
+        let misses = near_misses(&parked, &recent);
+        assert_eq!(misses, vec!["commit 2: <job, 8>".to_string()]);
+    }
+}

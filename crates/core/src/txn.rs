@@ -144,9 +144,56 @@ pub fn evaluate(
     limits: SolveLimits,
     plan: PlanConfig,
 ) -> Result<Option<Pending>, RuntimeError> {
-    match evaluate_query(txn, source, env, builtins, limits, plan)? {
+    evaluate_probed(txn, source, env, builtins, limits, plan, None)
+}
+
+/// [`evaluate`] with an optional [`EvalProbe`] for tracing the phases
+/// nested inside evaluation (currently the plan-cache lookup).
+///
+/// # Errors
+///
+/// As [`evaluate`].
+pub fn evaluate_probed(
+    txn: &CompiledTxn,
+    source: &dyn TupleSource,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+    limits: SolveLimits,
+    plan: PlanConfig,
+    probe: Option<&mut EvalProbe>,
+) -> Result<Option<Pending>, RuntimeError> {
+    match evaluate_query_probed(txn, source, env, builtins, limits, plan, probe)? {
         Some(query) => build_effects(txn, &query, env, builtins).map(Some),
         None => Ok(None),
+    }
+}
+
+/// Sub-phase timings observed inside one [`evaluate_query`] call, for
+/// tracing. All offsets are microseconds relative to the probe's
+/// creation, which callers should anchor at the start of their own eval
+/// span. Disabled runs pass no probe, so the hot path never reads the
+/// clock for it.
+#[derive(Debug)]
+pub struct EvalProbe {
+    anchor: std::time::Instant,
+    /// `(offset_us, dur_us)` of the plan-cache lookup / planning step,
+    /// when plan-ordered execution ran one.
+    pub plan_us: Option<(u64, u64)>,
+}
+
+impl EvalProbe {
+    /// A probe anchored at `now`.
+    pub fn new() -> EvalProbe {
+        EvalProbe {
+            anchor: std::time::Instant::now(),
+            plan_us: None,
+        }
+    }
+}
+
+impl Default for EvalProbe {
+    fn default() -> Self {
+        EvalProbe::new()
     }
 }
 
@@ -166,6 +213,24 @@ pub fn evaluate_query(
     builtins: &Builtins,
     limits: SolveLimits,
     plan: PlanConfig,
+) -> Result<Option<QueryOutcome>, RuntimeError> {
+    evaluate_query_probed(txn, source, env, builtins, limits, plan, None)
+}
+
+/// [`evaluate_query`] with an optional [`EvalProbe`] recording nested
+/// phase timings (the plan-cache lookup).
+///
+/// # Errors
+///
+/// As [`evaluate`].
+pub fn evaluate_query_probed(
+    txn: &CompiledTxn,
+    source: &dyn TupleSource,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+    limits: SolveLimits,
+    plan: PlanConfig,
+    probe: Option<&mut EvalProbe>,
 ) -> Result<Option<QueryOutcome>, RuntimeError> {
     let plain_ctx = EnvCtx {
         env,
@@ -209,7 +274,16 @@ pub fn evaluate_query(
     // tests are plan-invariant (no quantified variables), so the
     // prefilter above needed no plan.
     let cached: Option<std::sync::Arc<CachedPlan>> = match plan.mode {
-        PlanMode::Planned => Some(txn.plan_for(&atoms, source, plan.index_mode)),
+        PlanMode::Planned => match probe {
+            Some(pr) => {
+                let t0 = pr.anchor.elapsed().as_micros() as u64;
+                let cached = txn.plan_for(&atoms, source, plan.index_mode);
+                let t1 = pr.anchor.elapsed().as_micros() as u64;
+                pr.plan_us = Some((t0, t1.saturating_sub(t0)));
+                Some(cached)
+            }
+            None => Some(txn.plan_for(&atoms, source, plan.index_mode)),
+        },
         PlanMode::SourceOrder => None,
     };
     let (binding_tests, property_tests): (&[ScheduledTest], &[ScheduledTest]) = match &cached {

@@ -50,6 +50,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sdl_metrics::Metrics;
@@ -196,6 +197,12 @@ pub struct ShardedDataspace {
     shards: Vec<RwLock<Dataspace>>,
     index_mode: IndexMode,
     metrics: Metrics,
+    /// Commit id of the last committed batch whose write footprint
+    /// included each shard (`0` = never written). Written under the
+    /// shard's write lock, so a reader holding any lock on the shard sees
+    /// a value at least as new as the last batch that could have
+    /// invalidated it — the basis for conflict attribution in traces.
+    last_commit: Vec<AtomicU64>,
 }
 
 impl ShardedDataspace {
@@ -216,10 +223,30 @@ impl ShardedDataspace {
             })
             .collect();
         ShardedDataspace {
+            last_commit: (0..n).map(|_| AtomicU64::new(0)).collect(),
             shards,
             index_mode,
             metrics: Metrics::disabled(),
         }
+    }
+
+    /// Records that committed batch `commit` wrote every shard in `set`.
+    /// Call while still holding the batch's write-shard locks so the
+    /// attribution is visible to any later conflicting attempt.
+    pub fn note_commit(&self, set: ShardSet, commit: u64) {
+        for s in set.iter() {
+            self.last_commit[s].store(commit, Ordering::Release);
+        }
+    }
+
+    /// The most recent commit id recorded over any shard in `set`
+    /// (`0` if none of them has committed). Used to attribute an aborted
+    /// attempt to the committed batch that most plausibly invalidated it.
+    pub fn latest_commit_over(&self, set: ShardSet) -> u64 {
+        set.iter()
+            .map(|s| self.last_commit[s].load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of shards.

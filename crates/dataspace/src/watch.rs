@@ -102,6 +102,30 @@ impl WatchKey {
                 _ => None,
             })
     }
+
+    /// A compact human-readable label for trace output: `count/3`,
+    /// `*/2` (arity key), or `count/3[1]#1a2b` (value key with a
+    /// truncated hash of the watched slot value).
+    pub fn label(&self) -> String {
+        match *self {
+            WatchKey::Functor(f, a) => format!("{f}/{a}"),
+            WatchKey::Arity(a) => format!("*/{a}"),
+            WatchKey::Value(f, a, slot, h) => format!("{f}/{a}[{slot}]#{:04x}", h & 0xffff),
+        }
+    }
+
+    /// The coarse `(functor, arity)` channel this key belongs to. Two
+    /// keys on the same channel describe tuples of the same relation even
+    /// when their exact value slots differ — the stall watchdog uses this
+    /// to report *nearest-miss* commits: traffic on a parked process's
+    /// relation that did not carry the watched value.
+    pub fn channel(&self) -> (Option<Atom>, usize) {
+        match *self {
+            WatchKey::Functor(f, a) => (Some(f), a),
+            WatchKey::Arity(a) => (None, a),
+            WatchKey::Value(f, a, _, _) => (Some(f), a),
+        }
+    }
 }
 
 /// A set of [`WatchKey`]s, with the subscription-side closure applied.

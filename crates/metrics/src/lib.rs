@@ -306,6 +306,14 @@ pub enum Hist {
     ShardLockWaitSeconds,
     /// Wall-clock seconds per write-ahead-log fsync.
     WalFsyncSeconds,
+    /// Wall-clock seconds spent building a committed transaction's effect
+    /// set (substituting bindings into asserts/retracts) after the guard
+    /// succeeded.
+    EffectsBuildSeconds,
+    /// Wall-clock seconds spent inside the commit critical section
+    /// (validation + batch application + WAL append, under write locks in
+    /// the threaded executor).
+    CommitApplySeconds,
 }
 
 const LATENCY_BUCKETS: &[f64] = &[
@@ -317,12 +325,14 @@ const SIZE_BUCKETS: &[f64] = &[
 
 impl Hist {
     /// All histograms in exposition order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 7] = [
         Hist::QueryEvalSeconds,
         Hist::WindowSize,
         Hist::BlockedSeconds,
         Hist::ShardLockWaitSeconds,
         Hist::WalFsyncSeconds,
+        Hist::EffectsBuildSeconds,
+        Hist::CommitApplySeconds,
     ];
 
     /// Number of distinct histograms.
@@ -336,6 +346,8 @@ impl Hist {
             Hist::BlockedSeconds => "sdl_process_blocked_seconds",
             Hist::ShardLockWaitSeconds => "sdl_shard_lock_wait_seconds",
             Hist::WalFsyncSeconds => "sdl_wal_fsync_seconds",
+            Hist::EffectsBuildSeconds => "sdl_effects_build_seconds",
+            Hist::CommitApplySeconds => "sdl_commit_apply_seconds",
         }
     }
 
@@ -347,6 +359,10 @@ impl Hist {
             Hist::BlockedSeconds => "Time processes spent blocked before waking.",
             Hist::ShardLockWaitSeconds => "Time spent acquiring shard-lock footprints.",
             Hist::WalFsyncSeconds => "Latency of write-ahead-log fsyncs.",
+            Hist::EffectsBuildSeconds => "Time spent building committed effect sets.",
+            Hist::CommitApplySeconds => {
+                "Time inside the commit critical section (validate + apply + WAL append)."
+            }
         }
     }
 
@@ -356,7 +372,9 @@ impl Hist {
             Hist::QueryEvalSeconds
             | Hist::BlockedSeconds
             | Hist::ShardLockWaitSeconds
-            | Hist::WalFsyncSeconds => LATENCY_BUCKETS,
+            | Hist::WalFsyncSeconds
+            | Hist::EffectsBuildSeconds
+            | Hist::CommitApplySeconds => LATENCY_BUCKETS,
             Hist::WindowSize => SIZE_BUCKETS,
         }
     }
@@ -407,11 +425,14 @@ pub enum Gauge {
     /// `sdl_blocked_queue_depth` — processes currently parked in a
     /// blocked set waiting for a watch-key wakeup.
     BlockedQueueDepth,
+    /// `sdl_stalled_processes` — parked processes the stall watchdog has
+    /// flagged as waiting beyond the configured threshold.
+    StalledProcesses,
 }
 
 impl Gauge {
     /// All gauges in exposition order.
-    pub const ALL: [Gauge; 1] = [Gauge::BlockedQueueDepth];
+    pub const ALL: [Gauge; 2] = [Gauge::BlockedQueueDepth, Gauge::StalledProcesses];
 
     /// Number of distinct gauges.
     pub const COUNT: usize = Gauge::ALL.len();
@@ -420,6 +441,7 @@ impl Gauge {
     pub fn name(self) -> &'static str {
         match self {
             Gauge::BlockedQueueDepth => "sdl_blocked_queue_depth",
+            Gauge::StalledProcesses => "sdl_stalled_processes",
         }
     }
 
@@ -427,6 +449,9 @@ impl Gauge {
     pub fn help(self) -> &'static str {
         match self {
             Gauge::BlockedQueueDepth => "Processes currently parked waiting for a wakeup.",
+            Gauge::StalledProcesses => {
+                "Parked processes flagged by the stall watchdog (beyond --stall-ms)."
+            }
         }
     }
 }
@@ -613,7 +638,14 @@ impl HistStore {
 
 /// Fixed shard-label capacity of the registry: matches the dataspace's
 /// 64-shard maximum, so per-shard storage stays a flat atomic array.
+/// Updates for shards at index ≥ `MAX_SHARD_SERIES` are folded into one
+/// aggregate slot rendered as `shard="overflow"`, so counts are never
+/// silently dropped when an executor outgrows the per-shard series.
 pub const MAX_SHARD_SERIES: usize = 64;
+
+/// Per-kind shard slots: one per addressable shard plus the overflow
+/// aggregate at index `MAX_SHARD_SERIES`.
+const SHARD_SLOTS: usize = MAX_SHARD_SERIES + 1;
 
 /// Lock-free metric storage: one atomic per [`Counter`], fixed-bucket
 /// atomics per [`Hist`]. Shared via `Arc` between the runtime and whoever
@@ -622,7 +654,8 @@ pub struct MetricsRegistry {
     counters: [AtomicU64; Counter::COUNT],
     gauges: [AtomicI64; Gauge::COUNT],
     hists: Vec<HistStore>,
-    /// `[kind][shard]`, flattened: `kind * MAX_SHARD_SERIES + shard`.
+    /// `[kind][shard]`, flattened: `kind * SHARD_SLOTS + shard`, with the
+    /// overflow aggregate in the last slot of each kind.
     shard_counters: Vec<AtomicU64>,
 }
 
@@ -639,7 +672,7 @@ impl MetricsRegistry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: std::array::from_fn(|_| AtomicI64::new(0)),
             hists: Hist::ALL.iter().map(|&h| HistStore::new(h)).collect(),
-            shard_counters: (0..ShardCounter::COUNT * MAX_SHARD_SERIES)
+            shard_counters: (0..ShardCounter::COUNT * SHARD_SLOTS)
                 .map(|_| AtomicU64::new(0))
                 .collect(),
         }
@@ -655,12 +688,18 @@ impl MetricsRegistry {
         self.gauges[gauge as usize].load(Ordering::Relaxed)
     }
 
-    /// Current value of a per-shard counter (0 for out-of-range shards).
+    /// Current value of a per-shard counter. Shards at index
+    /// ≥ [`MAX_SHARD_SERIES`] share one aggregate slot, so querying any
+    /// out-of-range shard returns the overflow total.
     pub fn shard_counter(&self, shard: usize, counter: ShardCounter) -> u64 {
-        if shard >= MAX_SHARD_SERIES {
-            return 0;
-        }
-        self.shard_counters[counter as usize * MAX_SHARD_SERIES + shard].load(Ordering::Relaxed)
+        let slot = shard.min(MAX_SHARD_SERIES);
+        self.shard_counters[counter as usize * SHARD_SLOTS + slot].load(Ordering::Relaxed)
+    }
+
+    /// The aggregate count folded in from shards at index
+    /// ≥ [`MAX_SHARD_SERIES`] (the `shard="overflow"` series).
+    pub fn shard_overflow_counter(&self, counter: ShardCounter) -> u64 {
+        self.shard_counter(MAX_SHARD_SERIES, counter)
     }
 
     /// Total observations recorded into `hist`.
@@ -700,7 +739,7 @@ impl MetricsRegistry {
         for &sc in &ShardCounter::ALL {
             // Only shards the run actually touched get a series; an idle
             // 64-shard tail would drown the exposition in zeros.
-            let nonzero: Vec<usize> = (0..MAX_SHARD_SERIES)
+            let nonzero: Vec<usize> = (0..SHARD_SLOTS)
                 .filter(|&s| self.shard_counter(s, sc) != 0)
                 .collect();
             if nonzero.is_empty() {
@@ -709,13 +748,22 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# HELP {} {}", sc.name(), sc.help());
             let _ = writeln!(out, "# TYPE {} counter", sc.name());
             for s in nonzero {
-                let _ = writeln!(
-                    out,
-                    "{}{{shard=\"{}\"}} {}",
-                    sc.name(),
-                    s,
-                    self.shard_counter(s, sc)
-                );
+                if s == MAX_SHARD_SERIES {
+                    let _ = writeln!(
+                        out,
+                        "{}{{shard=\"overflow\"}} {}",
+                        sc.name(),
+                        self.shard_counter(s, sc)
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{}{{shard=\"{}\"}} {}",
+                        sc.name(),
+                        s,
+                        self.shard_counter(s, sc)
+                    );
+                }
             }
         }
         for &h in &Hist::ALL {
@@ -757,10 +805,8 @@ impl MetricsSink for MetricsRegistry {
     }
 
     fn add_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
-        if shard < MAX_SHARD_SERIES {
-            self.shard_counters[counter as usize * MAX_SHARD_SERIES + shard]
-                .fetch_add(n, Ordering::Relaxed);
-        }
+        let slot = shard.min(MAX_SHARD_SERIES);
+        self.shard_counters[counter as usize * SHARD_SLOTS + slot].fetch_add(n, Ordering::Relaxed);
     }
 
     fn add_gauge(&self, gauge: Gauge, delta: i64) {
@@ -836,19 +882,70 @@ mod tests {
         m.add_shard(0, ShardCounter::Commits, 3);
         m.add_shard(5, ShardCounter::Commits, 1);
         m.add_shard(5, ShardCounter::Conflicts, 2);
-        m.add_shard(MAX_SHARD_SERIES + 10, ShardCounter::Commits, 9); // ignored
         assert_eq!(reg.shard_counter(0, ShardCounter::Commits), 3);
         assert_eq!(reg.shard_counter(5, ShardCounter::Conflicts), 2);
-        assert_eq!(
-            reg.shard_counter(MAX_SHARD_SERIES + 10, ShardCounter::Commits),
-            0
-        );
         let text = reg.render_prometheus();
         assert!(text.contains("# TYPE sdl_shard_commits_total counter"));
         assert!(text.contains("sdl_shard_commits_total{shard=\"0\"} 3"));
         assert!(text.contains("sdl_shard_commits_total{shard=\"5\"} 1"));
         assert!(text.contains("sdl_shard_conflicts_total{shard=\"5\"} 2"));
         assert!(!text.contains("shard=\"1\"}"), "idle shards get no series");
+        assert!(
+            !text.contains("shard=\"overflow\""),
+            "no overflow series until an out-of-range shard records"
+        );
+    }
+
+    #[test]
+    fn out_of_range_shards_fold_into_the_overflow_series() {
+        // Regression: shards at index >= MAX_SHARD_SERIES used to be
+        // silently unrecorded. A 128-shard executor must still account
+        // for every commit, aggregated under shard="overflow".
+        let (m, reg) = Metrics::registry();
+        for shard in 0..128 {
+            m.add_shard(shard, ShardCounter::Commits, 1);
+        }
+        m.add_shard(127, ShardCounter::Conflicts, 5);
+        let in_range: u64 = (0..MAX_SHARD_SERIES)
+            .map(|s| reg.shard_counter(s, ShardCounter::Commits))
+            .sum();
+        assert_eq!(in_range, MAX_SHARD_SERIES as u64);
+        assert_eq!(
+            reg.shard_overflow_counter(ShardCounter::Commits),
+            (128 - MAX_SHARD_SERIES) as u64,
+            "shards 64..128 all land in the aggregate slot"
+        );
+        // Querying any out-of-range shard reads the aggregate.
+        assert_eq!(
+            reg.shard_counter(999, ShardCounter::Conflicts),
+            5,
+            "out-of-range reads return the overflow total"
+        );
+        let text = reg.render_prometheus();
+        assert!(text.contains("sdl_shard_commits_total{shard=\"63\"} 1"));
+        assert!(text.contains("sdl_shard_commits_total{shard=\"overflow\"} 64"));
+        assert!(text.contains("sdl_shard_conflicts_total{shard=\"overflow\"} 5"));
+        assert!(
+            !text.contains("shard=\"64\""),
+            "no per-shard series past the cap"
+        );
+    }
+
+    #[test]
+    fn stalled_process_gauge_and_phase_histograms_render() {
+        let (m, reg) = Metrics::registry();
+        m.add_gauge(Gauge::StalledProcesses, 2);
+        m.add_gauge(Gauge::StalledProcesses, -1);
+        m.observe(Hist::CommitApplySeconds, 3e-6);
+        m.observe(Hist::EffectsBuildSeconds, 2e-6);
+        assert_eq!(reg.gauge(Gauge::StalledProcesses), 1);
+        assert_eq!(reg.hist_count(Hist::CommitApplySeconds), 1);
+        assert_eq!(reg.hist_count(Hist::EffectsBuildSeconds), 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sdl_stalled_processes gauge"));
+        assert!(text.contains("sdl_stalled_processes 1"));
+        assert!(text.contains("# TYPE sdl_commit_apply_seconds histogram"));
+        assert!(text.contains("sdl_effects_build_seconds_count 1"));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * dataspace growth curves ([`growth`]),
 //! * process-interaction and consensus-community graphs in DOT
 //!   ([`dot`]),
-//! * grouped dataspace snapshots ([`render_dataspace`]).
+//! * grouped dataspace snapshots ([`render_dataspace`]),
+//! * causal transaction traces: Chrome/Perfetto export ([`perfetto`])
+//!   and per-phase latency / critical-path analysis ([`analysis`]).
 //!
 //! ```
 //! use sdl_core::{CompiledProgram, Runtime};
@@ -28,8 +30,11 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod dot;
 mod growth;
+pub mod json;
+pub mod perfetto;
 mod render;
 mod stats;
 pub mod timeline;

@@ -1,0 +1,721 @@
+//! Chrome/Perfetto trace-event export for causal transaction traces.
+//!
+//! [`write_chrome_trace`] turns the [`TraceRecord`] stream a
+//! [`Tracer`](sdl_core::Tracer) collected into the JSON trace-event
+//! format both `chrome://tracing` and <https://ui.perfetto.dev> open
+//! directly:
+//!
+//! * **pid 1 "execution"** — one thread track per scheduler thread
+//!   (`main`, `worker-N`) carrying the span chain (`eval`, `plan`,
+//!   `lock_wait_*`, `effects`) and `commit` slices;
+//! * **pid 2 "shards"** — one track per dataspace shard, with a commit's
+//!   slice replicated onto every shard its write footprint locked;
+//! * **pid 3 "parked"** — one track per process that ever parked, with
+//!   `parked` slices, `wake` points, and `stall` annotations;
+//! * **flow arrows** — a `wake` arrow from each commit slice to the park
+//!   interval it ended, and a `conflict` arrow from the invalidating
+//!   commit to the aborted attempt.
+//!
+//! The export is lossless for everything the analysis pass needs:
+//! [`from_chrome`] reconstructs the record stream from a parsed file,
+//! and [`check_chrome`] validates structure (well-formed events,
+//! non-negative spans, flow arrows with exactly two endpoints in the
+//! right order, endpoints anchored on real slices).
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use sdl_core::{ParkOutcome, SpanPhase, TraceRecord, Track};
+use sdl_tuple::ProcId;
+
+use crate::json::{escape, Json};
+
+/// pid of the scheduler-thread tracks.
+const PID_EXEC: u64 = 1;
+/// pid of the per-shard tracks.
+const PID_SHARDS: u64 = 2;
+/// pid of the per-parked-process tracks.
+const PID_PARKED: u64 = 3;
+
+fn track_tid(track: Track) -> u64 {
+    match track {
+        Track::Main => 0,
+        Track::Worker(w) => w as u64 + 1,
+    }
+}
+
+fn tid_track(tid: u64) -> Track {
+    match tid {
+        0 => Track::Main,
+        w => Track::Worker(w as usize - 1),
+    }
+}
+
+fn str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|k| format!("\"{}\"", escape(k))).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Writes `records` as a Chrome trace-event JSON document.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace<W: Write>(records: &[TraceRecord], w: &mut W) -> io::Result<()> {
+    let mut out = io::BufWriter::new(w);
+    write!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let mut sep = |out: &mut io::BufWriter<&mut W>| -> io::Result<()> {
+        if first {
+            first = false;
+        } else {
+            write!(out, ",")?;
+        }
+        writeln!(out)
+    };
+
+    // Metadata: process and thread names for every track that appears.
+    let mut meta: Vec<(u64, u64, String)> = Vec::new();
+    let mut seen_exec: HashMap<u64, ()> = HashMap::new();
+    let mut seen_shard: HashMap<u64, ()> = HashMap::new();
+    let mut seen_park: HashMap<u64, ()> = HashMap::new();
+    for r in records {
+        match r {
+            TraceRecord::Span { track, .. }
+            | TraceRecord::Commit { track, .. }
+            | TraceRecord::Conflict { track, .. } => {
+                let tid = track_tid(*track);
+                if seen_exec.insert(tid, ()).is_none() {
+                    let name = match track {
+                        Track::Main => "main".to_owned(),
+                        Track::Worker(i) => format!("worker-{i}"),
+                    };
+                    meta.push((PID_EXEC, tid, name));
+                }
+                if let TraceRecord::Commit { shards, .. } = r {
+                    for s in shards {
+                        if seen_shard.insert(*s as u64, ()).is_none() {
+                            meta.push((PID_SHARDS, *s as u64, format!("shard-{s}")));
+                        }
+                    }
+                }
+            }
+            TraceRecord::Park { pid, .. }
+            | TraceRecord::Wake { pid, .. }
+            | TraceRecord::Stall { pid, .. } => {
+                if seen_park.insert(pid.0, ()).is_none() {
+                    meta.push((PID_PARKED, pid.0, format!("{pid}")));
+                }
+            }
+        }
+    }
+    for (pid, name) in [
+        (PID_EXEC, "execution"),
+        (PID_SHARDS, "shards"),
+        (PID_PARKED, "parked"),
+    ] {
+        sep(&mut out)?;
+        write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        )?;
+    }
+    for (pid, tid, name) in &meta {
+        sep(&mut out)?;
+        write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        )?;
+    }
+
+    // Commit id → (tid, start, end) for flow-arrow anchoring.
+    let mut commit_at: HashMap<u64, (u64, u64, u64)> = HashMap::new();
+    for r in records {
+        if let TraceRecord::Commit {
+            track,
+            commit,
+            t_us,
+            dur_us,
+            ..
+        } = r
+        {
+            commit_at.insert(*commit, (track_tid(*track), *t_us, t_us + dur_us));
+        }
+    }
+
+    let mut flow_id = 0u64;
+    let mut flow = |out: &mut io::BufWriter<&mut W>,
+                    first: &mut dyn FnMut(&mut io::BufWriter<&mut W>) -> io::Result<()>,
+                    cat: &str,
+                    from: (u64, u64, u64),
+                    to: (u64, u64, u64)|
+     -> io::Result<u64> {
+        flow_id += 1;
+        first(out)?;
+        write!(
+            out,
+            "{{\"ph\":\"s\",\"id\":{flow_id},\"name\":\"{cat}\",\"cat\":\"{cat}\",\
+             \"pid\":{},\"tid\":{},\"ts\":{}}}",
+            from.0, from.1, from.2
+        )?;
+        first(out)?;
+        write!(
+            out,
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"name\":\"{cat}\",\"cat\":\"{cat}\",\
+             \"pid\":{},\"tid\":{},\"ts\":{}}}",
+            to.0, to.1, to.2
+        )?;
+        Ok(flow_id)
+    };
+
+    for r in records {
+        match r {
+            TraceRecord::Span {
+                trace,
+                pid,
+                track,
+                phase,
+                t_us,
+                dur_us,
+            } => {
+                sep(&mut out)?;
+                write!(
+                    out,
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":{PID_EXEC},\
+                     \"tid\":{},\"ts\":{t_us},\"dur\":{dur_us},\
+                     \"args\":{{\"trace\":{trace},\"pid\":{}}}}}",
+                    phase.name(),
+                    track_tid(*track),
+                    pid.0
+                )?;
+            }
+            TraceRecord::Commit {
+                trace,
+                pid,
+                track,
+                commit,
+                t_us,
+                dur_us,
+                keys,
+                shards,
+            } => {
+                sep(&mut out)?;
+                let shard_list: Vec<String> = shards.iter().map(|s| s.to_string()).collect();
+                write!(
+                    out,
+                    "{{\"ph\":\"X\",\"name\":\"commit\",\"cat\":\"commit\",\"pid\":{PID_EXEC},\
+                     \"tid\":{},\"ts\":{t_us},\"dur\":{dur_us},\
+                     \"args\":{{\"trace\":{trace},\"pid\":{},\"commit\":{commit},\
+                     \"keys\":{},\"shards\":[{}]}}}}",
+                    track_tid(*track),
+                    pid.0,
+                    str_list(keys),
+                    shard_list.join(",")
+                )?;
+                for s in shards {
+                    sep(&mut out)?;
+                    write!(
+                        out,
+                        "{{\"ph\":\"X\",\"name\":\"commit {commit}\",\"cat\":\"shard\",\
+                         \"pid\":{PID_SHARDS},\"tid\":{s},\"ts\":{t_us},\"dur\":{dur_us},\
+                         \"args\":{{\"commit\":{commit}}}}}"
+                    )?;
+                }
+            }
+            TraceRecord::Conflict {
+                trace,
+                pid,
+                track,
+                against,
+                t_us,
+            } => {
+                sep(&mut out)?;
+                write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"conflict\",\"cat\":\"conflict\",\
+                     \"pid\":{PID_EXEC},\"tid\":{},\"ts\":{t_us},\
+                     \"args\":{{\"trace\":{trace},\"pid\":{},\"against\":{against}}}}}",
+                    track_tid(*track),
+                    pid.0
+                )?;
+                if let Some(&(tid, start, _)) = commit_at.get(against) {
+                    flow(
+                        &mut out,
+                        &mut sep,
+                        "conflict",
+                        (PID_EXEC, tid, start),
+                        (PID_EXEC, track_tid(*track), *t_us),
+                    )?;
+                }
+            }
+            TraceRecord::Park {
+                pid,
+                t_us,
+                dur_us,
+                keys,
+                outcome,
+            } => {
+                sep(&mut out)?;
+                let oc = match outcome {
+                    ParkOutcome::Woken => "woken",
+                    ParkOutcome::Drained => "drained",
+                };
+                write!(
+                    out,
+                    "{{\"ph\":\"X\",\"name\":\"parked\",\"cat\":\"park\",\"pid\":{PID_PARKED},\
+                     \"tid\":{},\"ts\":{t_us},\"dur\":{dur_us},\
+                     \"args\":{{\"pid\":{},\"keys\":{},\"outcome\":\"{oc}\"}}}}",
+                    pid.0,
+                    pid.0,
+                    str_list(keys)
+                )?;
+            }
+            TraceRecord::Wake {
+                pid,
+                commit,
+                key,
+                t_us,
+            } => {
+                sep(&mut out)?;
+                write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"wake\",\"cat\":\"wake\",\
+                     \"pid\":{PID_PARKED},\"tid\":{},\"ts\":{t_us},\
+                     \"args\":{{\"pid\":{},\"commit\":{commit},\"key\":\"{}\"}}}}",
+                    pid.0,
+                    pid.0,
+                    escape(key)
+                )?;
+                if let Some(&(tid, start, _)) = commit_at.get(commit) {
+                    flow(
+                        &mut out,
+                        &mut sep,
+                        "wake",
+                        (PID_EXEC, tid, start),
+                        (PID_PARKED, pid.0, *t_us),
+                    )?;
+                }
+            }
+            TraceRecord::Stall {
+                pid,
+                t_us,
+                waited_us,
+                keys,
+                near_misses,
+            } => {
+                sep(&mut out)?;
+                write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"stall\",\"cat\":\"stall\",\
+                     \"pid\":{PID_PARKED},\"tid\":{},\"ts\":{t_us},\
+                     \"args\":{{\"pid\":{},\"waited_us\":{waited_us},\"keys\":{},\
+                     \"near_misses\":{}}}}}",
+                    pid.0,
+                    pid.0,
+                    str_list(keys),
+                    str_list(near_misses)
+                )?;
+            }
+        }
+    }
+    writeln!(out)?;
+    write!(out, "]}}")?;
+    out.flush()
+}
+
+/// Renders `records` as a Chrome trace-event JSON string.
+pub fn chrome_trace_to_string(records: &[TraceRecord]) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(records, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("exporter writes UTF-8")
+}
+
+fn want_u64(ev: &Json, key: &str) -> Result<u64, String> {
+    ev.get("args")
+        .and_then(|a| a.get(key))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("event missing args.{key}"))
+}
+
+fn want_strs(ev: &Json, key: &str) -> Result<Vec<String>, String> {
+    ev.get("args")
+        .and_then(|a| a.get(key))
+        .and_then(Json::as_arr)
+        .map(|v| {
+            v.iter()
+                .filter_map(|s| s.as_str().map(str::to_owned))
+                .collect()
+        })
+        .ok_or_else(|| format!("event missing args.{key}"))
+}
+
+/// Reconstructs the record stream from a parsed Chrome trace document,
+/// inverting [`write_chrome_trace`]. Shard-track replicas and flow
+/// arrows are derived data and are skipped.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed event.
+pub fn from_chrome(doc: &Json) -> Result<Vec<TraceRecord>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("document has no traceEvents array")?;
+    let mut records = Vec::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or("event missing ph")?;
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or_default();
+        let cat = ev.get("cat").and_then(Json::as_str).unwrap_or_default();
+        let pid_of = |ev: &Json| want_u64(ev, "pid").map(ProcId);
+        let ts = || {
+            ev.get("ts")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing ts"))
+        };
+        let tid = || {
+            ev.get("tid")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing tid"))
+        };
+        let dur = || {
+            ev.get("dur")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing dur"))
+        };
+        match (ph, cat) {
+            ("X", "span") => {
+                let phase = match name {
+                    "eval" => SpanPhase::Eval,
+                    "plan" => SpanPhase::Plan,
+                    "lock_wait_read" => SpanPhase::LockWaitRead,
+                    "lock_wait_write" => SpanPhase::LockWaitWrite,
+                    "effects" => SpanPhase::Effects,
+                    other => return Err(format!("unknown span phase '{other}'")),
+                };
+                records.push(TraceRecord::Span {
+                    trace: want_u64(ev, "trace")?,
+                    pid: pid_of(ev)?,
+                    track: tid_track(tid()?),
+                    phase,
+                    t_us: ts()?,
+                    dur_us: dur()?,
+                });
+            }
+            ("X", "commit") => records.push(TraceRecord::Commit {
+                trace: want_u64(ev, "trace")?,
+                pid: pid_of(ev)?,
+                track: tid_track(tid()?),
+                commit: want_u64(ev, "commit")?,
+                t_us: ts()?,
+                dur_us: dur()?,
+                keys: want_strs(ev, "keys")?,
+                shards: ev
+                    .get("args")
+                    .and_then(|a| a.get("shards"))
+                    .and_then(Json::as_arr)
+                    .map(|v| {
+                        v.iter()
+                            .filter_map(|s| s.as_u64().map(|n| n as usize))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }),
+            ("i", "conflict") => records.push(TraceRecord::Conflict {
+                trace: want_u64(ev, "trace")?,
+                pid: pid_of(ev)?,
+                track: tid_track(tid()?),
+                against: want_u64(ev, "against")?,
+                t_us: ts()?,
+            }),
+            ("X", "park") => records.push(TraceRecord::Park {
+                pid: pid_of(ev)?,
+                t_us: ts()?,
+                dur_us: dur()?,
+                keys: want_strs(ev, "keys")?,
+                outcome: match ev
+                    .get("args")
+                    .and_then(|a| a.get("outcome"))
+                    .and_then(Json::as_str)
+                {
+                    Some("woken") => ParkOutcome::Woken,
+                    Some("drained") => ParkOutcome::Drained,
+                    other => return Err(format!("bad park outcome {other:?}")),
+                },
+            }),
+            ("i", "wake") => records.push(TraceRecord::Wake {
+                pid: pid_of(ev)?,
+                commit: want_u64(ev, "commit")?,
+                key: ev
+                    .get("args")
+                    .and_then(|a| a.get("key"))
+                    .and_then(Json::as_str)
+                    .ok_or("wake missing args.key")?
+                    .to_owned(),
+                t_us: ts()?,
+            }),
+            ("i", "stall") => records.push(TraceRecord::Stall {
+                pid: pid_of(ev)?,
+                t_us: ts()?,
+                waited_us: want_u64(ev, "waited_us")?,
+                keys: want_strs(ev, "keys")?,
+                near_misses: want_strs(ev, "near_misses")?,
+            }),
+            // Metadata, shard replicas, and flow endpoints are derived.
+            ("M", _) | ("X", "shard") | ("s", _) | ("f", _) => {}
+            other => return Err(format!("unexpected event (ph, cat) = {other:?}")),
+        }
+    }
+    Ok(records)
+}
+
+/// Structural summary returned by [`check_chrome`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Total events in the file.
+    pub events: usize,
+    /// Complete (`ph:"X"`) slices.
+    pub slices: usize,
+    /// `wake` flow arrows.
+    pub wake_flows: usize,
+    /// `conflict` flow arrows.
+    pub conflict_flows: usize,
+    /// Stall annotations.
+    pub stalls: usize,
+}
+
+/// Validates a parsed Chrome trace document: every event well-formed,
+/// every slice with a non-negative extent, every flow arrow with exactly
+/// one start and one finish (finish not before start), and every flow
+/// start anchored inside a real slice on its track.
+///
+/// # Errors
+///
+/// Returns every violation found (the file may exhibit several).
+pub fn check_chrome(doc: &Json) -> Result<CheckReport, Vec<String>> {
+    let mut errs = Vec::new();
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        return Err(vec!["document has no traceEvents array".to_owned()]);
+    };
+    let mut report = CheckReport {
+        events: events.len(),
+        ..CheckReport::default()
+    };
+    // (pid, tid) → slice extents, for anchoring flow endpoints.
+    let mut slices: HashMap<(u64, u64), Vec<(u64, u64)>> = HashMap::new();
+    // flow id → (starts, finishes, start_ts, finish_ts, cat, start pos).
+    #[derive(Default)]
+    struct Flow {
+        starts: usize,
+        finishes: usize,
+        start: Option<(u64, u64, u64)>,
+        finish_ts: u64,
+        cat: String,
+    }
+    let mut flows: HashMap<u64, Flow> = HashMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let Some(ph) = ev.get("ph").and_then(Json::as_str) else {
+            errs.push(format!("event {i}: missing ph"));
+            continue;
+        };
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            errs.push(format!("event {i}: missing name"));
+            continue;
+        }
+        let num = |key: &str| ev.get(key).and_then(Json::as_u64);
+        match ph {
+            "M" => {}
+            "X" => {
+                report.slices += 1;
+                match (num("pid"), num("tid"), num("ts"), num("dur")) {
+                    (Some(pid), Some(tid), Some(ts), Some(dur)) => {
+                        slices.entry((pid, tid)).or_default().push((ts, ts + dur));
+                    }
+                    _ => errs.push(format!("event {i}: X slice needs numeric pid/tid/ts/dur")),
+                }
+            }
+            "i" => {
+                if num("ts").is_none() {
+                    errs.push(format!("event {i}: instant needs numeric ts"));
+                }
+                if ev.get("cat").and_then(Json::as_str) == Some("stall") {
+                    report.stalls += 1;
+                }
+            }
+            "s" | "f" => {
+                let (Some(id), Some(pid), Some(tid), Some(ts)) =
+                    (num("id"), num("pid"), num("tid"), num("ts"))
+                else {
+                    errs.push(format!("event {i}: flow needs numeric id/pid/tid/ts"));
+                    continue;
+                };
+                let f = flows.entry(id).or_default();
+                f.cat = ev
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned();
+                if ph == "s" {
+                    f.starts += 1;
+                    f.start = Some((pid, tid, ts));
+                } else {
+                    f.finishes += 1;
+                    f.finish_ts = ts;
+                }
+            }
+            other => errs.push(format!("event {i}: unknown ph '{other}'")),
+        }
+    }
+    for (id, f) in &flows {
+        if f.starts != 1 || f.finishes != 1 {
+            errs.push(format!(
+                "flow {id}: {} start(s), {} finish(es); want exactly one of each",
+                f.starts, f.finishes
+            ));
+            continue;
+        }
+        let (pid, tid, ts) = f.start.expect("counted one start");
+        if f.finish_ts < ts {
+            errs.push(format!(
+                "flow {id}: finishes at {} before start {ts}",
+                f.finish_ts
+            ));
+        }
+        let anchored = slices
+            .get(&(pid, tid))
+            .is_some_and(|v| v.iter().any(|&(a, b)| a <= ts && ts <= b));
+        if !anchored {
+            errs.push(format!(
+                "flow {id}: start not anchored in any slice on pid {pid} tid {tid}"
+            ));
+        }
+        match f.cat.as_str() {
+            "wake" => report.wake_flows += 1,
+            "conflict" => report.conflict_flows += 1,
+            other => errs.push(format!("flow {id}: unknown category '{other}'")),
+        }
+    }
+    if errs.is_empty() {
+        Ok(report)
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::Span {
+                trace: 1,
+                pid: ProcId(7),
+                track: Track::Worker(0),
+                phase: SpanPhase::Eval,
+                t_us: 10,
+                dur_us: 5,
+            },
+            TraceRecord::Commit {
+                trace: 1,
+                pid: ProcId(7),
+                track: Track::Worker(0),
+                commit: 1,
+                t_us: 16,
+                dur_us: 4,
+                keys: vec!["job/2".to_owned()],
+                shards: vec![0, 3],
+            },
+            TraceRecord::Park {
+                pid: ProcId(9),
+                t_us: 2,
+                dur_us: 19,
+                keys: vec!["job/2".to_owned()],
+                outcome: ParkOutcome::Woken,
+            },
+            TraceRecord::Wake {
+                pid: ProcId(9),
+                commit: 1,
+                key: "job/2".to_owned(),
+                t_us: 21,
+            },
+            TraceRecord::Conflict {
+                trace: 2,
+                pid: ProcId(8),
+                track: Track::Worker(1),
+                against: 1,
+                t_us: 22,
+            },
+            TraceRecord::Stall {
+                pid: ProcId(9),
+                t_us: 30,
+                waited_us: 28,
+                keys: vec!["job/2".to_owned()],
+                near_misses: vec!["commit 1: <job, 5>".to_owned()],
+            },
+        ]
+    }
+
+    #[test]
+    fn export_parses_and_checks_clean() {
+        let text = chrome_trace_to_string(&sample_records());
+        let doc = json::parse(&text).unwrap();
+        let report = check_chrome(&doc).unwrap();
+        assert_eq!(report.wake_flows, 1);
+        assert_eq!(report.conflict_flows, 1);
+        assert_eq!(report.stalls, 1);
+        // 1 span + 1 commit + 2 shard replicas + 1 park.
+        assert_eq!(report.slices, 5);
+    }
+
+    #[test]
+    fn from_chrome_inverts_the_export() {
+        let records = sample_records();
+        let doc = json::parse(&chrome_trace_to_string(&records)).unwrap();
+        let back = from_chrome(&doc).unwrap();
+        assert_eq!(back.len(), records.len());
+        assert!(matches!(
+            &back[1],
+            TraceRecord::Commit { commit: 1, keys, shards, .. }
+                if keys == &["job/2"] && shards == &[0, 3]
+        ));
+        assert!(matches!(
+            &back[3],
+            TraceRecord::Wake { commit: 1, key, .. } if key == "job/2"
+        ));
+        assert!(matches!(
+            &back[5],
+            TraceRecord::Stall { waited_us: 28, near_misses, .. } if near_misses.len() == 1
+        ));
+    }
+
+    #[test]
+    fn checker_flags_unbalanced_flows() {
+        let text = r#"{"traceEvents":[
+            {"ph":"X","name":"commit","pid":1,"tid":0,"ts":5,"dur":5},
+            {"ph":"s","id":1,"name":"wake","cat":"wake","pid":1,"tid":0,"ts":6}
+        ]}"#;
+        let doc = json::parse(text).unwrap();
+        let errs = check_chrome(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("flow 1")), "{errs:?}");
+    }
+
+    #[test]
+    fn checker_flags_unanchored_flow_starts() {
+        let text = r#"{"traceEvents":[
+            {"ph":"X","name":"commit","pid":1,"tid":0,"ts":5,"dur":5},
+            {"ph":"s","id":1,"name":"wake","cat":"wake","pid":1,"tid":0,"ts":50},
+            {"ph":"f","bp":"e","id":1,"name":"wake","cat":"wake","pid":3,"tid":9,"ts":60}
+        ]}"#;
+        let doc = json::parse(text).unwrap();
+        let errs = check_chrome(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not anchored")), "{errs:?}");
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] [--stats]
-//!         [--metrics] [--events-out FILE] [--trace-cap N] [--threads N]
-//!         [--shards N] [--max-attempts N] [--grid WxH] [--no-plan]
-//!         [--coarse-wakes] [--wal DIR] [--fsync POLICY]
-//!         [--snapshot-every N] [--recover]
+//!         [--metrics] [--metrics-addr HOST:PORT] [--serve-for-ms N]
+//!         [--trace-out FILE] [--stall-ms N] [--events-out FILE]
+//!         [--trace-cap N] [--threads N] [--shards N] [--max-attempts N]
+//!         [--grid WxH] [--no-plan] [--coarse-wakes] [--wal DIR]
+//!         [--fsync POLICY] [--snapshot-every N] [--recover]
 //! sdl-run --replay DIR [<file.sdl> ...]
 //! ```
 //!
@@ -23,6 +24,19 @@
 //! * `--stats`           print per-process statistics (streams; does not
 //!   retain the event log)
 //! * `--metrics`         print a Prometheus text-format metrics snapshot
+//! * `--metrics-addr A`  serve live metrics over HTTP at `A` (e.g.
+//!   `127.0.0.1:9464`; port `0` picks an ephemeral port, printed to
+//!   stderr) — works with every scheduler
+//! * `--serve-for-ms N`  keep the metrics endpoint up N ms after the
+//!   run finishes, so scrapers can collect the final counters
+//! * `--trace-out FILE`  record causal transaction traces (span chain,
+//!   wake/conflict attribution) and write Chrome/Perfetto trace-event
+//!   JSON to FILE; open it at <https://ui.perfetto.dev>. Works with
+//!   every scheduler; a per-phase summary and the causal critical path
+//!   are printed after the run
+//! * `--stall-ms N`      arm the stall watchdog: processes parked
+//!   longer than N ms are flagged in the `sdl_stalled_processes` gauge
+//!   and annotated in the trace with watch keys and near-miss commits
 //! * `--events-out FILE` stream events to FILE as JSON Lines
 //! * `--grid WxH`        register the `neighbor` predicate for a W×H grid
 //! * `--seed N`          scheduler seed (default 0)
@@ -42,12 +56,14 @@ use std::io::BufWriter;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use sdl::core::{Builtins, CompiledProgram, JsonlSink, PlanMode, RunLimits, Runtime};
+use sdl::core::{Builtins, CompiledProgram, JsonlSink, PlanMode, RunLimits, Runtime, Tracer};
 use sdl::dataspace::{Dataspace, MAX_SHARDS};
 use sdl::durability::{apply_log, read_log, recover, FsyncPolicy, RecoveredState, Wal, WalConfig};
 use sdl::metrics::Metrics;
-use sdl::trace::{render_dataspace, StatsSink};
+use sdl::metrics_http::MetricsServer;
+use sdl::trace::{analysis, perfetto, render_dataspace, StatsSink};
 use sdl::tuple::{Tuple, TupleId};
 
 struct Args {
@@ -61,6 +77,10 @@ struct Args {
     trace_cap: Option<usize>,
     stats: bool,
     metrics: bool,
+    metrics_addr: Option<String>,
+    serve_for_ms: u64,
+    trace_out: Option<String>,
+    stall_ms: Option<u64>,
     events_out: Option<String>,
     max_attempts: u64,
     grid: Option<(i64, i64)>,
@@ -76,7 +96,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sdl-run <file.sdl> [--seed N] [--rounds] [--threaded] [--trace] \
-         [--stats] [--metrics] [--events-out FILE] [--trace-cap N] \
+         [--stats] [--metrics] [--metrics-addr HOST:PORT] [--serve-for-ms N] \
+         [--trace-out FILE] [--stall-ms N] [--events-out FILE] [--trace-cap N] \
          [--threads N] [--shards N] [--max-attempts N] [--grid WxH] [--no-plan] \
          [--coarse-wakes] [--wal DIR] [--fsync always|interval[:<ms>]|never] \
          [--snapshot-every N] [--recover]\n\
@@ -97,6 +118,10 @@ fn parse_args() -> Args {
         trace_cap: None,
         stats: false,
         metrics: false,
+        metrics_addr: None,
+        serve_for_ms: 0,
+        trace_out: None,
+        stall_ms: None,
         events_out: None,
         max_attempts: RunLimits::default().max_attempts,
         grid: None,
@@ -143,6 +168,22 @@ fn parse_args() -> Args {
             }
             "--stats" => args.stats = true,
             "--metrics" => args.metrics = true,
+            "--metrics-addr" => args.metrics_addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--serve-for-ms" => {
+                args.serve_for_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--stall-ms" => {
+                args.stall_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--events-out" => args.events_out = Some(it.next().unwrap_or_else(|| usage())),
             "--max-attempts" => {
                 args.max_attempts = it
@@ -234,12 +275,50 @@ fn open_wal(args: &Args, n_shards: u64, metrics: &Metrics) -> Result<WalSetup, S
     }
 }
 
+/// Writes the collected trace (when `--trace-out` is set) and prints
+/// the per-phase and critical-path summary.
+fn finish_trace(args: &Args, tracer: &Tracer) -> bool {
+    let Some(path) = &args.trace_out else {
+        return true;
+    };
+    let records = tracer.take();
+    let dropped = tracer.dropped();
+    if dropped > 0 {
+        eprintln!("sdl-run: trace buffer full; {dropped} record(s) dropped");
+    }
+    let mut file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sdl-run: cannot create {path}: {e}");
+            return false;
+        }
+    };
+    if let Err(e) = perfetto::write_chrome_trace(&records, &mut file) {
+        eprintln!("sdl-run: cannot write {path}: {e}");
+        return false;
+    }
+    eprintln!("sdl-run: wrote {} trace record(s) to {path}", records.len());
+    print!("{}", analysis::analyze(&records));
+    true
+}
+
+/// Honors `--serve-for-ms`, then stops the metrics endpoint.
+fn finish_metrics(args: &Args, server: Option<MetricsServer>) {
+    if let Some(server) = server {
+        if args.serve_for_ms > 0 {
+            std::thread::sleep(Duration::from_millis(args.serve_for_ms));
+        }
+        server.shutdown();
+    }
+}
+
 fn run_threaded(
     args: &Args,
     program: CompiledProgram,
     builtins: Builtins,
     metrics: Metrics,
     registry: Option<std::sync::Arc<sdl::metrics::MetricsRegistry>>,
+    tracer: Tracer,
 ) -> ExitCode {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -260,12 +339,16 @@ fn run_threaded(
         .metrics(metrics)
         .max_attempts(args.max_attempts)
         .threads(args.threads.unwrap_or(cpus))
-        .shards(shards);
+        .shards(shards)
+        .tracer(tracer.clone());
     if args.no_plan {
         b = b.plan_mode(PlanMode::SourceOrder);
     }
     if args.coarse_wakes {
         b = b.exact_wakes(false);
+    }
+    if let Some(ms) = args.stall_ms {
+        b = b.stall_threshold(Duration::from_millis(ms));
     }
     match wal_setup {
         WalSetup::None => {}
@@ -292,8 +375,13 @@ fn run_threaded(
         report.commits, report.attempts, report.conflicts, report.final_tuples
     );
     println!("{}", render_dataspace(&ds, 20));
-    if let Some(registry) = &registry {
-        print!("{}", registry.render_prometheus());
+    if !finish_trace(args, &tracer) {
+        return ExitCode::FAILURE;
+    }
+    if args.metrics {
+        if let Some(registry) = &registry {
+            print!("{}", registry.render_prometheus());
+        }
     }
     ExitCode::SUCCESS
 }
@@ -463,11 +551,32 @@ fn main() -> ExitCode {
         builtins.register_grid_neighbor(w, h);
     }
 
-    let (metrics, registry) = if args.metrics {
+    let (metrics, registry) = if args.metrics || args.metrics_addr.is_some() {
         let (m, r) = Metrics::registry();
         (m, Some(r))
     } else {
         (Metrics::disabled(), None)
+    };
+    let server = match &args.metrics_addr {
+        Some(addr) => {
+            let registry = Arc::clone(registry.as_ref().expect("registry enabled above"));
+            match sdl::metrics_http::serve(addr, registry) {
+                Ok(s) => {
+                    eprintln!("sdl-run: serving metrics on http://{}/metrics", s.addr());
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("sdl-run: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let tracer = if args.trace_out.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
     };
 
     if args.threaded {
@@ -483,7 +592,9 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        return run_threaded(&args, program, builtins, metrics, registry);
+        let code = run_threaded(&args, program, builtins, metrics, registry, tracer);
+        finish_metrics(&args, server);
+        return code;
     }
 
     let wal_setup = match open_wal(&args, 1, &metrics) {
@@ -497,9 +608,13 @@ fn main() -> ExitCode {
         .seed(args.seed)
         .builtins(builtins)
         .metrics(metrics.clone())
+        .tracer(tracer.clone())
         .limits(RunLimits {
             max_attempts: args.max_attempts,
         });
+    if let Some(ms) = args.stall_ms {
+        builder = builder.stall_threshold(Duration::from_millis(ms));
+    }
     match wal_setup {
         WalSetup::None => {}
         WalSetup::Fresh(wal) => builder = builder.wal(wal),
@@ -582,8 +697,16 @@ fn main() -> ExitCode {
             stats.dropped()
         );
     }
-    if let Some(registry) = &registry {
-        print!("{}", registry.render_prometheus());
+    let trace_ok = finish_trace(&args, &tracer);
+    if args.metrics {
+        if let Some(registry) = &registry {
+            print!("{}", registry.render_prometheus());
+        }
     }
-    ExitCode::SUCCESS
+    finish_metrics(&args, server);
+    if trace_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,81 @@
+//! `sdl-trace` — validate and summarize a Chrome/Perfetto trace file
+//! written by `sdl-run --trace-out`.
+//!
+//! ```text
+//! sdl-trace <trace.json> [--check-only]
+//! ```
+//!
+//! Validates the file structurally (well-formed JSON, balanced slices,
+//! flow arrows with both endpoints anchored), then prints the per-phase
+//! latency breakdown and the causal critical path. Exits non-zero on
+//! any validation failure, so CI can use it as a smoke check.
+
+use std::process::ExitCode;
+
+use sdl::trace::{analysis, json, perfetto};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut check_only = false;
+    for a in args.by_ref() {
+        match a.as_str() {
+            "--check-only" => check_only = true,
+            "--help" | "-h" => {
+                println!("usage: sdl-trace <trace.json> [--check-only]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("sdl-trace: unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: sdl-trace <trace.json> [--check-only]");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sdl-trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sdl-trace: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match perfetto::check_chrome(&doc) {
+        Ok(r) => r,
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("sdl-trace: {path}: {e}");
+            }
+            eprintln!("sdl-trace: {path}: {} validation error(s)", errs.len());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ok: {} events, {} slices, {} wake flows, {} conflict flows, {} stalls",
+        report.events, report.slices, report.wake_flows, report.conflict_flows, report.stalls
+    );
+    if check_only {
+        return ExitCode::SUCCESS;
+    }
+    match perfetto::from_chrome(&doc) {
+        Ok(records) => {
+            print!("{}", analysis::analyze(&records));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sdl-trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

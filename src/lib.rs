@@ -15,4 +15,5 @@ pub use sdl_metrics as metrics;
 pub use sdl_trace as trace;
 pub use sdl_tuple as tuple;
 
+pub mod metrics_http;
 pub mod workloads;

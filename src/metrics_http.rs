@@ -1,0 +1,163 @@
+//! A tiny hand-rolled HTTP endpoint serving Prometheus text exposition.
+//!
+//! `sdl-run --metrics-addr host:port` uses this to expose the live
+//! [`MetricsRegistry`] while a workload runs. No HTTP stack exists in
+//! the vendored dependency set, so this speaks just enough HTTP/1.1 for
+//! a Prometheus scraper (or `curl`): one request per connection, `GET /`
+//! or `GET /metrics` answered with `text/plain; version=0.0.4`,
+//! everything else with 404.
+//!
+//! ```
+//! use sdl::metrics::Metrics;
+//!
+//! let (metrics, registry) = Metrics::registry();
+//! let server = sdl::metrics_http::serve("127.0.0.1:0", registry).unwrap();
+//! let addr = server.addr(); // scrape http://{addr}/metrics
+//! # let _ = metrics;
+//! server.shutdown();
+//! ```
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sdl_metrics::MetricsRegistry;
+
+/// A running metrics endpoint; dropping it leaves the thread serving
+/// until process exit, [`MetricsServer::shutdown`] stops it cleanly.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and
+/// serves `registry`'s Prometheus rendering from a background thread.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(addr: &str, registry: Arc<MetricsRegistry>) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("sdl-metrics-http".to_owned())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                // Scrapers are few and requests tiny; serve inline.
+                let _ = handle_conn(stream, &registry);
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_conn(stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line; we need none of them.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let path = path.split('?').next().unwrap_or_default();
+
+    let mut stream = reader.into_inner();
+    let (status, body) = match (method, path) {
+        ("GET", "/") | ("GET", "/metrics") => ("200 OK", registry.render_prometheus()),
+        (_, "/") | (_, "/metrics") => ("405 Method Not Allowed", String::new()),
+        _ => ("404 Not Found", String::new()),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_metrics::{Counter, Metrics};
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        use std::io::Read;
+        s.read_to_string(&mut buf).unwrap();
+        let (head, body) = buf.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_prometheus_text() {
+        let (metrics, registry) = Metrics::registry();
+        metrics.inc(Counter::TxnCommittedImmediate);
+        let server = serve("127.0.0.1:0", registry).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(
+            body.contains("sdl_txn_committed_total"),
+            "missing counter in:\n{body}"
+        );
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly after close on some platforms;
+                // a second probe settles it.
+                std::thread::sleep(Duration::from_millis(50));
+                TcpStream::connect(addr).is_err()
+            }
+        );
+    }
+}

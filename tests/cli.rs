@@ -1,6 +1,9 @@
 //! End-to-end tests of the `sdl-run` CLI on the shipped `.sdl` programs.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 fn run(args: &[&str]) -> (String, String, bool) {
     let out = Command::new(env!("CARGO_BIN_EXE_sdl-run"))
@@ -148,6 +151,159 @@ fn wal_replay_reproduces_the_run_bit_for_bit() {
     assert!(stderr.contains("recovered"), "{stderr}");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One HTTP GET against `addr`, returning the raw response.
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(2)))?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n")?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)?;
+    Ok(buf)
+}
+
+#[test]
+fn metrics_addr_serves_prometheus_over_http() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sdl-run"))
+        .args([
+            "examples/programs/dining.sdl",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--serve-for-ms",
+            "20000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("sdl-run spawns");
+
+    // The bound address is announced on stderr before the run starts.
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr readable") > 0,
+            "sdl-run exited without announcing the metrics address"
+        );
+        if let Some(rest) = line
+            .trim()
+            .strip_prefix("sdl-run: serving metrics on http://")
+        {
+            break rest.trim_end_matches("/metrics").to_owned();
+        }
+    };
+
+    // Scrape until the run's counters land (the workload is tiny).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut last = String::new();
+    let committed = loop {
+        if let Ok(resp) = http_get(&addr, "/metrics") {
+            last = resp;
+            let total: u64 = last
+                .lines()
+                .filter(|l| l.starts_with("sdl_txn_committed_total{"))
+                .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+                .sum();
+            if total > 0 {
+                break total;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no committed count scraped:\n{last}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        committed >= 15,
+        "dining commits 15 transactions: {committed}"
+    );
+    assert!(
+        last.contains("HTTP/1.1 200 OK") && last.contains("text/plain; version=0.0.4"),
+        "{last}"
+    );
+
+    let resp = http_get(&addr, "/nope").expect("scrape");
+    assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+
+    child.kill().ok();
+    child.wait().ok();
+}
+
+/// Runs `sdl-run` with `--trace-out`, then `sdl-trace` on the result —
+/// the same pairing the CI trace-smoke job uses.
+fn trace_roundtrip(extra: &[&str], name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("sdl_trace_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(format!("{name}.json"));
+    let path = path.to_str().expect("utf8 path");
+
+    let mut args = vec!["examples/programs/dining.sdl", "--trace-out", path];
+    args.extend_from_slice(extra);
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stderr.contains("trace record(s)"), "{stderr}");
+    assert!(stdout.contains("phase breakdown:"), "{stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sdl-trace"))
+        .arg(path)
+        .output()
+        .expect("sdl-trace spawns");
+    let trace_stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "sdl-trace rejected {name}: {trace_stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace_stdout.starts_with("ok:"), "{trace_stdout}");
+    std::fs::remove_file(path).ok();
+    trace_stdout
+}
+
+#[test]
+fn trace_out_emits_valid_chrome_json_serial() {
+    let report = trace_roundtrip(&[], "serial");
+    assert!(report.contains("wake flows"), "{report}");
+    assert!(report.contains("15 commits"), "{report}");
+}
+
+#[test]
+fn trace_out_emits_valid_chrome_json_threaded() {
+    let report = trace_roundtrip(
+        &[
+            "--threaded",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+            "--stall-ms",
+            "2000",
+        ],
+        "threaded",
+    );
+    assert!(report.contains("15 commits"), "{report}");
+}
+
+#[test]
+fn sdl_trace_rejects_malformed_files() {
+    let dir = std::env::temp_dir().join(format!("sdl_trace_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("bad.json");
+    // A flow start with no finish and no anchoring slice.
+    std::fs::write(
+        &path,
+        r#"{"traceEvents":[{"ph":"s","id":1,"name":"wake","cat":"wake","pid":1,"tid":0,"ts":5}]}"#,
+    )
+    .expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_sdl-trace"))
+        .arg(path.to_str().expect("utf8 path"))
+        .output()
+        .expect("sdl-trace spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("validation error"), "{stderr}");
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
