@@ -1048,9 +1048,26 @@ impl Runtime {
         result
     }
 
+    /// The watch subscription for a transaction about to park.
+    ///
+    /// Probes the live store so [`txn::watch_set_on`] can narrow the
+    /// subscription to a single provably-empty atom. Sound here because
+    /// the serial and rounds schedulers run park and probe on one thread
+    /// against the same store (no commit can interleave), the
+    /// subscription is recomputed on every re-park, and a process view
+    /// only *filters* the store (an atom empty store-wide is empty in
+    /// every window). The threaded executor keeps the full per-atom
+    /// subscription — its park/commit-epoch protocol installs
+    /// subscriptions concurrently with commits.
     pub(crate) fn txn_watch(&self, pid: ProcId, t: &CompiledTxn) -> WatchSet {
         let proc = &self.procs[&pid];
-        txn::watch_set(t, &proc.env, &self.builtins, self.plan_config.exact_wakes)
+        txn::watch_set_on(
+            t,
+            &proc.env,
+            &self.builtins,
+            self.plan_config.exact_wakes,
+            Some(&self.ds),
+        )
     }
 
     fn guards_watch(&self, pid: ProcId, branches: &Arc<[CompiledBranch]>) -> WatchSet {

@@ -483,11 +483,68 @@ pub fn watch_set(
     builtins: &Builtins,
     exact: bool,
 ) -> sdl_dataspace::WatchSet {
+    watch_set_on(txn, env, builtins, exact, None)
+}
+
+/// [`watch_set`] with an optional store probe that sharpens the
+/// subscription to the *most selective* atom instead of every atom.
+///
+/// When `source` is given and some resolvable positive atom currently
+/// has zero candidates ([`TupleSource::estimate_candidates`] is an
+/// upper bound on the candidate superset, so 0 is a sound emptiness
+/// proof), the transaction cannot become enabled until a commit asserts
+/// a tuple matching that atom — and any such assert publishes that
+/// atom's watch key. Subscribing to that single atom is therefore
+/// complete, as long as the caller recomputes the subscription on every
+/// re-park (a spurious wake must refresh the probe: the previously
+/// empty atom may now be populated while a different one is empty).
+///
+/// Among several provably-empty atoms the one with an exact value key
+/// ([`sdl_dataspace::WatchKey::value_of_pattern`]) is preferred — value
+/// keys wake on matching *values*, not just the functor channel — with
+/// source order breaking ties. With no emptiness proof (or `source`
+/// `None`) the subscription falls back to the full per-atom set.
+pub fn watch_set_on(
+    txn: &CompiledTxn,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+    exact: bool,
+    source: Option<&dyn TupleSource>,
+) -> sdl_dataspace::WatchSet {
     let ctx = EnvCtx {
         env,
         vars: None,
         builtins,
     };
+    if exact {
+        if let Some(src) = source {
+            let mut best: Option<(bool, Pattern)> = None;
+            for a in &txn.atoms {
+                if a.mode == sdl_dataspace::AtomMode::Neg {
+                    continue;
+                }
+                let Ok(p) = resolve_fields(&a.fields, &ctx, "watch pattern") else {
+                    continue;
+                };
+                if src.estimate_candidates(&p) != 0 {
+                    continue;
+                }
+                let has_value_key = sdl_dataspace::WatchKey::value_of_pattern(&p).is_some();
+                if has_value_key {
+                    best = Some((true, p));
+                    break; // Best possible: first empty atom with a value key.
+                }
+                if best.is_none() {
+                    best = Some((false, p));
+                }
+            }
+            if let Some((_, p)) = best {
+                let mut w = sdl_dataspace::WatchSet::new();
+                w.add_pattern_exact(&p);
+                return w;
+            }
+        }
+    }
     let mut w = sdl_dataspace::WatchSet::new();
     for a in &txn.atoms {
         match resolve_fields(&a.fields, &ctx, "watch pattern") {
@@ -922,5 +979,72 @@ mod tests {
         .unwrap();
         assert!(r.is_none(), "b is outside the window");
         let _ = pattern![Value::atom("b"), any];
+    }
+
+    fn watch_keys(w: &sdl_dataspace::WatchSet) -> Vec<sdl_dataspace::WatchKey> {
+        let mut keys: Vec<_> = w.iter().cloned().collect();
+        keys.sort_unstable_by_key(|k| format!("{k:?}"));
+        keys
+    }
+
+    #[test]
+    fn selective_watch_narrows_to_empty_atom() {
+        // <item, k> is populated, <ack, k> is empty: the subscription
+        // narrows to ack's value key alone.
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("item"), 7]);
+        let txn = compile("exists a : <item, a>!, <ack, a> => <done>");
+        let b = Builtins::standard();
+        let narrowed = watch_set_on(&txn, &HashMap::new(), &b, true, Some(&ds));
+        let keys = watch_keys(&narrowed);
+        assert_eq!(keys.len(), 1, "single-atom subscription: {keys:?}");
+        match &keys[0] {
+            sdl_dataspace::WatchKey::Functor(f, arity) => {
+                // <ack, a> has no constant argument slot, so the exact
+                // subscription is the functor channel of just that atom.
+                assert_eq!((f.as_str(), *arity), ("ack", 2));
+            }
+            other => panic!("expected ack functor key, got {other:?}"),
+        }
+        // An assert matching the narrowed atom publishes the key.
+        let mut published = sdl_dataspace::WatchSet::new();
+        published.add_tuple(&tuple![Value::atom("ack"), 7]);
+        assert!(published.intersects(&narrowed), "wake must be reachable");
+    }
+
+    #[test]
+    fn selective_watch_falls_back_when_all_atoms_populated() {
+        let mut ds = Dataspace::new();
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("item"), 7]);
+        ds.assert_tuple(ProcId::ENV, tuple![Value::atom("ack"), 9]);
+        let txn = compile("exists a : <item, a>!, <ack, a> => <done>");
+        let b = Builtins::standard();
+        let probed = watch_set_on(&txn, &HashMap::new(), &b, true, Some(&ds));
+        let full = watch_set(&txn, &HashMap::new(), &b, true);
+        assert_eq!(
+            watch_keys(&probed),
+            watch_keys(&full),
+            "no emptiness proof: keep the full per-atom subscription"
+        );
+    }
+
+    #[test]
+    fn selective_watch_ignores_negations_and_respects_coarse_mode() {
+        let ds = Dataspace::new();
+        // The negated atom is empty but must never be chosen as the
+        // narrowed subscription — only positive atoms enable a txn.
+        let txn = compile("exists a : <req, a>, not <busy, a> => <go, a>");
+        let b = Builtins::standard();
+        let w = watch_set_on(&txn, &HashMap::new(), &b, true, Some(&ds));
+        let keys = watch_keys(&w);
+        assert_eq!(keys.len(), 1, "{keys:?}");
+        match &keys[0] {
+            sdl_dataspace::WatchKey::Functor(f, _) => assert_eq!(f.as_str(), "req"),
+            other => panic!("expected req functor key, got {other:?}"),
+        }
+        // Coarse mode (exact_wakes off) never narrows.
+        let coarse = watch_set_on(&txn, &HashMap::new(), &b, false, Some(&ds));
+        let full_coarse = watch_set(&txn, &HashMap::new(), &b, false);
+        assert_eq!(watch_keys(&coarse), watch_keys(&full_coarse));
     }
 }

@@ -115,11 +115,32 @@ pub enum Counter {
     RecoveryRecordsReplayed,
     /// Torn WAL tails truncated at the first bad CRC during recovery.
     WalTornTailTruncations,
+    /// `sdl_net_requests_total{op="out"}`
+    NetReqOut,
+    /// `sdl_net_requests_total{op="in"}`
+    NetReqIn,
+    /// `sdl_net_requests_total{op="rd"}`
+    NetReqRd,
+    /// `sdl_net_requests_total{op="inp"}`
+    NetReqInp,
+    /// `sdl_net_requests_total{op="rdp"}`
+    NetReqRdp,
+    /// `sdl_net_requests_total{op="txn"}`
+    NetReqTxn,
+    /// `sdl_net_requests_total{op="other"}` — pings, cancels, and any
+    /// other housekeeping frame.
+    NetReqOther,
+    /// Transitions into backpressure: the server stopped reading from
+    /// one or all connections (engine saturated or write buffer full).
+    NetBackpressureStalls,
+    /// Frames rejected by the wire decoder (bad magic, CRC mismatch,
+    /// over-limit length, malformed payload).
+    NetProtocolErrors,
 }
 
 impl Counter {
     /// All counters in exposition order.
-    pub const ALL: [Counter; 40] = [
+    pub const ALL: [Counter; 49] = [
         Counter::TxnAttemptsImmediate,
         Counter::TxnAttemptsDelayed,
         Counter::TxnAttemptsConsensus,
@@ -160,6 +181,15 @@ impl Counter {
         Counter::WalBytes,
         Counter::RecoveryRecordsReplayed,
         Counter::WalTornTailTruncations,
+        Counter::NetReqOut,
+        Counter::NetReqIn,
+        Counter::NetReqRd,
+        Counter::NetReqInp,
+        Counter::NetReqRdp,
+        Counter::NetReqTxn,
+        Counter::NetReqOther,
+        Counter::NetBackpressureStalls,
+        Counter::NetProtocolErrors,
     ];
 
     /// Number of distinct counters.
@@ -206,6 +236,15 @@ impl Counter {
             Counter::WalBytes => "sdl_wal_bytes_total",
             Counter::RecoveryRecordsReplayed => "sdl_recovery_records_replayed_total",
             Counter::WalTornTailTruncations => "sdl_wal_torn_tail_truncations_total",
+            Counter::NetReqOut
+            | Counter::NetReqIn
+            | Counter::NetReqRd
+            | Counter::NetReqInp
+            | Counter::NetReqRdp
+            | Counter::NetReqTxn
+            | Counter::NetReqOther => "sdl_net_requests_total",
+            Counter::NetBackpressureStalls => "sdl_net_backpressure_stalls_total",
+            Counter::NetProtocolErrors => "sdl_net_protocol_errors_total",
         }
     }
 
@@ -234,6 +273,13 @@ impl Counter {
             Counter::WakeupConsensus => "cause=\"consensus\"",
             Counter::WakeProgress => "result=\"progress\"",
             Counter::WakeSpurious => "result=\"spurious\"",
+            Counter::NetReqOut => "op=\"out\"",
+            Counter::NetReqIn => "op=\"in\"",
+            Counter::NetReqRd => "op=\"rd\"",
+            Counter::NetReqInp => "op=\"inp\"",
+            Counter::NetReqRdp => "op=\"rdp\"",
+            Counter::NetReqTxn => "op=\"txn\"",
+            Counter::NetReqOther => "op=\"other\"",
             _ => "",
         }
     }
@@ -287,6 +333,17 @@ impl Counter {
             Counter::WalTornTailTruncations => {
                 "Torn WAL tails truncated at the first bad CRC during recovery."
             }
+            Counter::NetReqOut
+            | Counter::NetReqIn
+            | Counter::NetReqRd
+            | Counter::NetReqInp
+            | Counter::NetReqRdp
+            | Counter::NetReqTxn
+            | Counter::NetReqOther => "Wire-protocol requests decoded, by operation.",
+            Counter::NetBackpressureStalls => {
+                "Transitions into backpressure (server paused reads on saturated state)."
+            }
+            Counter::NetProtocolErrors => "Frames rejected by the wire decoder.",
         }
     }
 }
@@ -314,6 +371,9 @@ pub enum Hist {
     /// (validation + batch application + WAL append, under write locks in
     /// the threaded executor).
     CommitApplySeconds,
+    /// Requests committed per engine batch by the networked server (one
+    /// observation per `apply_batch` flush).
+    NetBatchSize,
 }
 
 const LATENCY_BUCKETS: &[f64] = &[
@@ -325,7 +385,7 @@ const SIZE_BUCKETS: &[f64] = &[
 
 impl Hist {
     /// All histograms in exposition order.
-    pub const ALL: [Hist; 7] = [
+    pub const ALL: [Hist; 8] = [
         Hist::QueryEvalSeconds,
         Hist::WindowSize,
         Hist::BlockedSeconds,
@@ -333,6 +393,7 @@ impl Hist {
         Hist::WalFsyncSeconds,
         Hist::EffectsBuildSeconds,
         Hist::CommitApplySeconds,
+        Hist::NetBatchSize,
     ];
 
     /// Number of distinct histograms.
@@ -348,6 +409,7 @@ impl Hist {
             Hist::WalFsyncSeconds => "sdl_wal_fsync_seconds",
             Hist::EffectsBuildSeconds => "sdl_effects_build_seconds",
             Hist::CommitApplySeconds => "sdl_commit_apply_seconds",
+            Hist::NetBatchSize => "sdl_net_batch_size",
         }
     }
 
@@ -363,6 +425,7 @@ impl Hist {
             Hist::CommitApplySeconds => {
                 "Time inside the commit critical section (validate + apply + WAL append)."
             }
+            Hist::NetBatchSize => "Requests committed per networked-server engine batch.",
         }
     }
 
@@ -375,7 +438,7 @@ impl Hist {
             | Hist::WalFsyncSeconds
             | Hist::EffectsBuildSeconds
             | Hist::CommitApplySeconds => LATENCY_BUCKETS,
-            Hist::WindowSize => SIZE_BUCKETS,
+            Hist::WindowSize | Hist::NetBatchSize => SIZE_BUCKETS,
         }
     }
 }
@@ -428,11 +491,18 @@ pub enum Gauge {
     /// `sdl_stalled_processes` — parked processes the stall watchdog has
     /// flagged as waiting beyond the configured threshold.
     StalledProcesses,
+    /// `sdl_net_connections` — client connections currently open on the
+    /// networked server.
+    NetConnections,
 }
 
 impl Gauge {
     /// All gauges in exposition order.
-    pub const ALL: [Gauge; 2] = [Gauge::BlockedQueueDepth, Gauge::StalledProcesses];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::BlockedQueueDepth,
+        Gauge::StalledProcesses,
+        Gauge::NetConnections,
+    ];
 
     /// Number of distinct gauges.
     pub const COUNT: usize = Gauge::ALL.len();
@@ -442,6 +512,7 @@ impl Gauge {
         match self {
             Gauge::BlockedQueueDepth => "sdl_blocked_queue_depth",
             Gauge::StalledProcesses => "sdl_stalled_processes",
+            Gauge::NetConnections => "sdl_net_connections",
         }
     }
 
@@ -452,6 +523,7 @@ impl Gauge {
             Gauge::StalledProcesses => {
                 "Parked processes flagged by the stall watchdog (beyond --stall-ms)."
             }
+            Gauge::NetConnections => "Client connections currently open on the networked server.",
         }
     }
 }

@@ -1,0 +1,616 @@
+//! The server-side engine: one single-threaded `Dataspace` plus the
+//! machinery that maps decoded wire requests onto it.
+//!
+//! Three properties carry the load profile the server is built for:
+//!
+//! * **Batched commits** — consecutive `out` requests (from any mix of
+//!   connections) buffer into one [`Dataspace::apply_batch`] call,
+//!   flushed before the first read-type op needs to observe them. A
+//!   readiness burst of thousands of pipelined asserts costs one index
+//!   maintenance pass, not thousands.
+//! * **Zero-polling parks** — blocking `in`/`rd`/delayed transactions
+//!   subscribe to the store's value-level watch keys (the same reverse
+//!   wake index discipline the schedulers use). A parked request costs
+//!   nothing until a commit publishes one of its keys.
+//! * **Eager disconnect cleanup** — every parked request is indexed by
+//!   connection, so closing a connection removes its blocked entries
+//!   and decrements `sdl_blocked_queue_depth` immediately; a dead
+//!   client cannot leak blocked-queue residue.
+//!
+//! The engine is deliberately lock-free: the event loop owns it and the
+//! store outright, so a request's whole lifetime runs on one thread.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use sdl_core::program::{compile_txn, CompiledTxn};
+use sdl_core::txn::{evaluate, watch_set_on, Pending, PlanConfig};
+use sdl_core::Builtins;
+use sdl_dataspace::{Action, Dataspace, SolveLimits, TupleSource, WatchKey, WatchSet};
+use sdl_lang::parse_transaction;
+use sdl_metrics::{Counter, Gauge, Hist, Metrics};
+use sdl_tuple::{Bindings, Pattern, ProcId, Tuple, TupleId, Value};
+
+use crate::wire::{Request, Response};
+
+/// Connection identifier assigned by the event loop.
+pub type ConnId = u64;
+
+/// A reply destined for `(conn, req_id)`.
+pub type Reply = (ConnId, u64, Response);
+
+// Client-owned tuples get ProcIds in a reserved high range so they can
+// never collide with in-process society pids.
+const CONN_PID_BASE: u64 = 1 << 62;
+
+#[derive(Debug)]
+enum ParkedOp {
+    In(Pattern),
+    Rd(Pattern),
+    Txn {
+        txn: Arc<CompiledTxn>,
+        env: HashMap<String, Value>,
+    },
+}
+
+#[derive(Debug)]
+struct Parked {
+    op: ParkedOp,
+    keys: Vec<WatchKey>,
+    // FIFO fairness: candidates woken by one commit retry in park order.
+    seq: u64,
+}
+
+/// The single-threaded request engine.
+pub struct Engine {
+    ds: Dataspace,
+    builtins: Builtins,
+    plan: PlanConfig,
+    limits: SolveLimits,
+    metrics: Metrics,
+    // Buffered `out` asserts awaiting the next flush, plus their acks.
+    pending: Vec<Action>,
+    pending_acks: Vec<(ConnId, u64)>,
+    // Watch keys published by commits since the last wake scan.
+    batch_watch: WatchSet,
+    parked: HashMap<(ConnId, u64), Parked>,
+    by_conn: HashMap<ConnId, HashSet<u64>>,
+    wake_index: HashMap<WatchKey, Vec<(ConnId, u64)>>,
+    // Compiled-transaction cache keyed by source text.
+    txn_cache: HashMap<String, Arc<CompiledTxn>>,
+    park_seq: u64,
+}
+
+impl Engine {
+    /// Creates an engine over a fresh store.
+    pub fn new(metrics: Metrics) -> Engine {
+        let mut ds = Dataspace::new();
+        ds.set_metrics(metrics.clone());
+        Engine {
+            ds,
+            builtins: Builtins::standard(),
+            plan: PlanConfig::default(),
+            limits: SolveLimits::default(),
+            metrics,
+            pending: Vec::new(),
+            pending_acks: Vec::new(),
+            batch_watch: WatchSet::new(),
+            parked: HashMap::new(),
+            by_conn: HashMap::new(),
+            wake_index: HashMap::new(),
+            txn_cache: HashMap::new(),
+            park_seq: 0,
+        }
+    }
+
+    /// Requests currently parked on blocking ops.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Live tuples in the store.
+    pub fn store_len(&self) -> usize {
+        self.ds.len()
+    }
+
+    /// Watch keys with at least one subscriber (leak check in tests).
+    pub fn wake_index_len(&self) -> usize {
+        self.wake_index.len()
+    }
+
+    /// Handles one decoded request. `out` buffers; read-type ops flush
+    /// the buffer first so a pipelined `out … inp` sequence observes
+    /// program order. Replies append to `replies` in completion order.
+    pub fn submit(&mut self, conn: ConnId, req_id: u64, req: Request, replies: &mut Vec<Reply>) {
+        self.metrics.inc(op_counter(&req));
+        match req {
+            Request::Ping => replies.push((conn, req_id, Response::Ok)),
+            Request::Out(t) => {
+                self.pending.push(Action::Assert(conn_pid(conn), t));
+                self.pending_acks.push((conn, req_id));
+            }
+            Request::Inp(p) => {
+                self.flush(replies);
+                let resp = match self.take_match(&p) {
+                    Some(t) => Response::Tuple(t),
+                    None => Response::Failed,
+                };
+                replies.push((conn, req_id, resp));
+            }
+            Request::Rdp(p) => {
+                self.flush(replies);
+                let resp = match self.read_match(&p) {
+                    Some(t) => Response::Tuple(t),
+                    None => Response::Failed,
+                };
+                replies.push((conn, req_id, resp));
+            }
+            Request::In(p) => {
+                self.flush(replies);
+                match self.take_match(&p) {
+                    Some(t) => replies.push((conn, req_id, Response::Tuple(t))),
+                    None => {
+                        self.park(conn, req_id, ParkedOp::In(p));
+                        replies.push((conn, req_id, Response::Parked));
+                    }
+                }
+            }
+            Request::Rd(p) => {
+                self.flush(replies);
+                match self.read_match(&p) {
+                    Some(t) => replies.push((conn, req_id, Response::Tuple(t))),
+                    None => {
+                        self.park(conn, req_id, ParkedOp::Rd(p));
+                        replies.push((conn, req_id, Response::Parked));
+                    }
+                }
+            }
+            Request::Txn { source, env } => {
+                self.flush(replies);
+                let env: HashMap<String, Value> = env.into_iter().collect();
+                match self.compile(&source) {
+                    Err(msg) => replies.push((conn, req_id, Response::Error(msg))),
+                    Ok(txn) => match self.eval_txn(conn, &txn, &env) {
+                        TxnOutcome::Done(resp) => replies.push((conn, req_id, resp)),
+                        TxnOutcome::Park => {
+                            self.park(conn, req_id, ParkedOp::Txn { txn, env });
+                            replies.push((conn, req_id, Response::Parked));
+                        }
+                    },
+                }
+            }
+            Request::Cancel(target) => {
+                if self.unpark(conn, target).is_some() {
+                    replies.push((conn, target, Response::Cancelled));
+                    replies.push((conn, req_id, Response::Ok));
+                } else {
+                    replies.push((conn, req_id, Response::Failed));
+                }
+            }
+        }
+    }
+
+    /// Ends a batch: flushes buffered asserts and runs the wake scan to
+    /// a fixpoint (a woken transaction's effects may wake further parks).
+    pub fn finish(&mut self, replies: &mut Vec<Reply>) {
+        self.flush(replies);
+        loop {
+            if self.batch_watch.is_empty() {
+                return;
+            }
+            let watch = std::mem::take(&mut self.batch_watch);
+            let mut cands: Vec<(ConnId, u64)> = Vec::new();
+            for key in watch.iter() {
+                if let Some(subs) = self.wake_index.get(key) {
+                    cands.extend(subs.iter().copied());
+                }
+            }
+            if cands.is_empty() {
+                continue;
+            }
+            cands.sort_unstable_by_key(|rk| self.parked.get(rk).map_or(u64::MAX, |p| p.seq));
+            cands.dedup();
+            for (conn, req_id) in cands {
+                // May have been served by an earlier wake this round.
+                let Some(parked) = self.unpark(conn, req_id) else {
+                    continue;
+                };
+                self.metrics.inc(Counter::WakeupCommit);
+                match self.retry(conn, parked.op) {
+                    Ok(resp) => {
+                        self.metrics.inc(Counter::WakeProgress);
+                        replies.push((conn, req_id, resp));
+                    }
+                    Err(op) => {
+                        self.metrics.inc(Counter::WakeSpurious);
+                        // Re-park with a freshly probed subscription: the
+                        // store changed, so the narrowed key may differ.
+                        self.park(conn, req_id, op);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops every parked request belonging to `conn` (client went
+    /// away); returns how many were cancelled.
+    pub fn disconnect(&mut self, conn: ConnId) -> usize {
+        let Some(reqs) = self.by_conn.remove(&conn) else {
+            return 0;
+        };
+        let n = reqs.len();
+        for req_id in reqs {
+            if let Some(parked) = self.parked.remove(&(conn, req_id)) {
+                self.unindex(conn, req_id, &parked.keys);
+                self.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
+            }
+        }
+        n
+    }
+
+    // -- commit path ------------------------------------------------------
+
+    fn flush(&mut self, replies: &mut Vec<Reply>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.metrics
+            .observe(Hist::NetBatchSize, self.pending.len() as f64);
+        let actions = std::mem::take(&mut self.pending);
+        self.ds.apply_batch(&actions, &mut self.batch_watch);
+        for (conn, req_id) in self.pending_acks.drain(..) {
+            replies.push((conn, req_id, Response::Ok));
+        }
+    }
+
+    fn take_match(&mut self, p: &Pattern) -> Option<Tuple> {
+        let id = self.first_match(p)?;
+        let out = self
+            .ds
+            .apply_batch(&[Action::Retract(id)], &mut self.batch_watch);
+        out.retracted.into_iter().next().map(|(_, t)| t)
+    }
+
+    fn read_match(&self, p: &Pattern) -> Option<Tuple> {
+        let id = self.first_match(p)?;
+        self.ds.tuple(id).cloned()
+    }
+
+    fn first_match(&self, p: &Pattern) -> Option<TupleId> {
+        let n_vars = p.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+        let mut b = Bindings::new(n_vars);
+        self.ds.candidate_ids(p).into_iter().find(|id| {
+            let m = b.mark();
+            let ok = self.ds.tuple(*id).is_some_and(|t| p.matches(t, &mut b));
+            b.undo_to(m);
+            ok
+        })
+    }
+
+    // -- transactions -----------------------------------------------------
+
+    fn compile(&mut self, source: &str) -> Result<Arc<CompiledTxn>, String> {
+        if let Some(txn) = self.txn_cache.get(source) {
+            return Ok(Arc::clone(txn));
+        }
+        let parsed = parse_transaction(source).map_err(|e| format!("parse error: {e}"))?;
+        // No process signatures: a wire transaction cannot spawn.
+        let txn =
+            compile_txn(&parsed, &HashMap::new()).map_err(|e| format!("compile error: {e}"))?;
+        let txn = Arc::new(txn);
+        self.txn_cache.insert(source.to_owned(), Arc::clone(&txn));
+        Ok(txn)
+    }
+
+    fn eval_txn(
+        &mut self,
+        conn: ConnId,
+        txn: &CompiledTxn,
+        env: &HashMap<String, Value>,
+    ) -> TxnOutcome {
+        match evaluate(txn, &self.ds, env, &self.builtins, self.limits, self.plan) {
+            Err(e) => TxnOutcome::Done(Response::Error(format!("eval error: {e}"))),
+            Ok(Some(p)) => {
+                if !p.spawns.is_empty() {
+                    return TxnOutcome::Done(Response::Error(
+                        "spawn is not supported over the wire".to_owned(),
+                    ));
+                }
+                if p.abort {
+                    return TxnOutcome::Done(Response::Failed);
+                }
+                self.apply_pending(conn, &p);
+                TxnOutcome::Done(Response::Ok)
+            }
+            Ok(None) => {
+                if txn.kind == sdl_lang::ast::TxnKind::Delayed {
+                    TxnOutcome::Park
+                } else {
+                    TxnOutcome::Done(Response::Failed)
+                }
+            }
+        }
+    }
+
+    fn apply_pending(&mut self, conn: ConnId, p: &Pending) {
+        let mut actions: Vec<Action> = Vec::with_capacity(p.retracts.len() + p.asserts.len());
+        actions.extend(p.retracts.iter().map(|&id| Action::Retract(id)));
+        actions.extend(
+            p.asserts
+                .iter()
+                .map(|t| Action::Assert(conn_pid(conn), t.clone())),
+        );
+        self.ds.apply_batch(&actions, &mut self.batch_watch);
+    }
+
+    // -- park / wake ------------------------------------------------------
+
+    fn park(&mut self, conn: ConnId, req_id: u64, op: ParkedOp) {
+        let mut watch = WatchSet::new();
+        match &op {
+            ParkedOp::In(p) | ParkedOp::Rd(p) => watch.add_pattern_exact(p),
+            ParkedOp::Txn { txn, env } => {
+                watch = watch_set_on(txn, env, &self.builtins, true, Some(&self.ds));
+            }
+        }
+        let keys: Vec<WatchKey> = watch.iter().copied().collect();
+        for &key in &keys {
+            self.wake_index.entry(key).or_default().push((conn, req_id));
+        }
+        self.park_seq += 1;
+        self.parked.insert(
+            (conn, req_id),
+            Parked {
+                op,
+                keys,
+                seq: self.park_seq,
+            },
+        );
+        self.by_conn.entry(conn).or_default().insert(req_id);
+        self.metrics.inc(Counter::ProcessesBlocked);
+        self.metrics.add_gauge(Gauge::BlockedQueueDepth, 1);
+    }
+
+    fn unpark(&mut self, conn: ConnId, req_id: u64) -> Option<Parked> {
+        let parked = self.parked.remove(&(conn, req_id))?;
+        self.unindex(conn, req_id, &parked.keys);
+        if let Some(reqs) = self.by_conn.get_mut(&conn) {
+            reqs.remove(&req_id);
+            if reqs.is_empty() {
+                self.by_conn.remove(&conn);
+            }
+        }
+        self.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
+        Some(parked)
+    }
+
+    fn unindex(&mut self, conn: ConnId, req_id: u64, keys: &[WatchKey]) {
+        for key in keys {
+            if let Some(subs) = self.wake_index.get_mut(key) {
+                subs.retain(|&rk| rk != (conn, req_id));
+                if subs.is_empty() {
+                    self.wake_index.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Retries a woken op: `Ok(final response)` on progress, `Err(op)`
+    /// to re-park (spurious wake).
+    fn retry(&mut self, conn: ConnId, op: ParkedOp) -> Result<Response, ParkedOp> {
+        match op {
+            ParkedOp::In(p) => match self.take_match(&p) {
+                Some(t) => Ok(Response::Tuple(t)),
+                None => Err(ParkedOp::In(p)),
+            },
+            ParkedOp::Rd(p) => match self.read_match(&p) {
+                Some(t) => Ok(Response::Tuple(t)),
+                None => Err(ParkedOp::Rd(p)),
+            },
+            ParkedOp::Txn { txn, env } => match self.eval_txn(conn, &txn, &env) {
+                TxnOutcome::Done(resp) => Ok(resp),
+                TxnOutcome::Park => Err(ParkedOp::Txn { txn, env }),
+            },
+        }
+    }
+}
+
+enum TxnOutcome {
+    Done(Response),
+    Park,
+}
+
+fn conn_pid(conn: ConnId) -> ProcId {
+    ProcId(CONN_PID_BASE | conn)
+}
+
+fn op_counter(req: &Request) -> Counter {
+    match req {
+        Request::Out(_) => Counter::NetReqOut,
+        Request::In(_) => Counter::NetReqIn,
+        Request::Rd(_) => Counter::NetReqRd,
+        Request::Inp(_) => Counter::NetReqInp,
+        Request::Rdp(_) => Counter::NetReqRdp,
+        Request::Txn { .. } => Counter::NetReqTxn,
+        Request::Ping | Request::Cancel(_) => Counter::NetReqOther,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{pattern, tuple};
+
+    fn engine() -> Engine {
+        Engine::new(Metrics::disabled())
+    }
+
+    fn drain(replies: &mut Vec<Reply>) -> Vec<Reply> {
+        std::mem::take(replies)
+    }
+
+    #[test]
+    fn out_batches_and_inp_flushes() {
+        let mut e = engine();
+        let mut r = Vec::new();
+        e.submit(1, 1, Request::Out(tuple![Value::atom("m"), 1]), &mut r);
+        e.submit(1, 2, Request::Out(tuple![Value::atom("m"), 2]), &mut r);
+        assert!(r.is_empty(), "outs buffer until a flush point");
+        e.submit(1, 3, Request::Inp(pattern![Value::atom("m"), 1]), &mut r);
+        let got = drain(&mut r);
+        // Out acks first (commit order), then the inp result.
+        assert_eq!(got[0], (1, 1, Response::Ok));
+        assert_eq!(got[1], (1, 2, Response::Ok));
+        assert_eq!(got[2], (1, 3, Response::Tuple(tuple![Value::atom("m"), 1])));
+        e.finish(&mut r);
+        assert_eq!(e.store_len(), 1);
+    }
+
+    #[test]
+    fn parked_in_served_by_later_out() {
+        let mut e = engine();
+        let mut r = Vec::new();
+        e.submit(1, 1, Request::In(pattern![Value::atom("job"), any]), &mut r);
+        e.finish(&mut r);
+        assert_eq!(drain(&mut r), vec![(1, 1, Response::Parked)]);
+        assert_eq!(e.parked_len(), 1);
+
+        e.submit(2, 1, Request::Out(tuple![Value::atom("job"), 9]), &mut r);
+        e.finish(&mut r);
+        let got = drain(&mut r);
+        assert!(got.contains(&(2, 1, Response::Ok)));
+        assert!(got.contains(&(1, 1, Response::Tuple(tuple![Value::atom("job"), 9]))));
+        assert_eq!(e.parked_len(), 0);
+        assert_eq!(e.wake_index_len(), 0, "subscription cleaned on wake");
+        assert_eq!(e.store_len(), 0, "in retracts");
+    }
+
+    #[test]
+    fn one_tuple_wakes_exactly_one_of_two_waiters() {
+        let mut e = engine();
+        let mut r = Vec::new();
+        e.submit(1, 1, Request::In(pattern![Value::atom("t"), any]), &mut r);
+        e.submit(2, 1, Request::In(pattern![Value::atom("t"), any]), &mut r);
+        e.finish(&mut r);
+        drain(&mut r);
+        e.submit(3, 1, Request::Out(tuple![Value::atom("t"), 0]), &mut r);
+        e.finish(&mut r);
+        let got = drain(&mut r);
+        let tuples: Vec<_> = got
+            .iter()
+            .filter(|(_, _, resp)| matches!(resp, Response::Tuple(_)))
+            .collect();
+        assert_eq!(tuples.len(), 1, "{got:?}");
+        // FIFO: the first parker wins.
+        assert_eq!(tuples[0].0, 1);
+        assert_eq!(e.parked_len(), 1, "second waiter stays parked");
+    }
+
+    #[test]
+    fn disconnect_clears_parked_state() {
+        let mut e = engine();
+        let mut r = Vec::new();
+        e.submit(5, 1, Request::In(pattern![Value::atom("x"), any]), &mut r);
+        e.submit(5, 2, Request::Rd(pattern![Value::atom("y"), any]), &mut r);
+        e.finish(&mut r);
+        assert_eq!(e.parked_len(), 2);
+        assert_eq!(e.disconnect(5), 2);
+        assert_eq!(e.parked_len(), 0);
+        assert_eq!(e.wake_index_len(), 0);
+        // A later matching out wakes nothing and leaves the tuple.
+        drain(&mut r);
+        e.submit(6, 1, Request::Out(tuple![Value::atom("x"), 1]), &mut r);
+        e.finish(&mut r);
+        assert_eq!(e.store_len(), 1);
+    }
+
+    #[test]
+    fn txn_roundtrip_and_delayed_park() {
+        let mut e = engine();
+        let mut r = Vec::new();
+        // Immediate txn against an empty store fails cleanly.
+        e.submit(
+            1,
+            1,
+            Request::Txn {
+                source: "exists a : <year, a>! : a > 87 -> <found, a>".to_owned(),
+                env: vec![],
+            },
+            &mut r,
+        );
+        e.finish(&mut r);
+        assert_eq!(drain(&mut r), vec![(1, 1, Response::Failed)]);
+
+        // Delayed txn parks, then a matching out completes it.
+        e.submit(
+            1,
+            2,
+            Request::Txn {
+                source: "exists a : <year, a>! : a > 87 => <found, a>".to_owned(),
+                env: vec![],
+            },
+            &mut r,
+        );
+        e.finish(&mut r);
+        assert_eq!(drain(&mut r), vec![(1, 2, Response::Parked)]);
+
+        e.submit(2, 1, Request::Out(tuple![Value::atom("year"), 90]), &mut r);
+        e.finish(&mut r);
+        let got = drain(&mut r);
+        assert!(got.contains(&(1, 2, Response::Ok)), "{got:?}");
+        assert_eq!(e.parked_len(), 0);
+        // year retracted, found asserted.
+        e.submit(
+            3,
+            1,
+            Request::Rdp(pattern![Value::atom("found"), 90]),
+            &mut r,
+        );
+        e.finish(&mut r);
+        assert!(matches!(r[0].2, Response::Tuple(_)));
+    }
+
+    #[test]
+    fn cancel_releases_parked_op() {
+        let mut e = engine();
+        let mut r = Vec::new();
+        e.submit(
+            1,
+            1,
+            Request::In(pattern![Value::atom("never"), any]),
+            &mut r,
+        );
+        e.finish(&mut r);
+        drain(&mut r);
+        e.submit(1, 2, Request::Cancel(1), &mut r);
+        e.finish(&mut r);
+        let got = drain(&mut r);
+        assert!(got.contains(&(1, 1, Response::Cancelled)));
+        assert!(got.contains(&(1, 2, Response::Ok)));
+        assert_eq!(e.parked_len(), 0);
+        assert_eq!(e.wake_index_len(), 0);
+        // Cancelling a non-parked id fails cleanly.
+        e.submit(1, 3, Request::Cancel(77), &mut r);
+        assert_eq!(r[0], (1, 3, Response::Failed));
+    }
+
+    #[test]
+    fn spawn_rejected_over_wire() {
+        let mut e = engine();
+        let mut r = Vec::new();
+        e.submit(
+            1,
+            1,
+            Request::Txn {
+                source: "-> spawn W(1)".to_owned(),
+                env: vec![],
+            },
+            &mut r,
+        );
+        e.finish(&mut r);
+        assert!(
+            matches!(&r[0].2, Response::Error(_)),
+            "spawn must be rejected: {r:?}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! `sdl-server`: a networked front-end for the shared dataspace.
+//!
+//! The paper's dataspace is a coordination substrate for large-scale
+//! concurrency; this crate puts it on a wire. A single event-loop
+//! thread ([`serve`]) owns a non-blocking TCP listener (epoll on Linux,
+//! `poll(2)` elsewhere — see [`poll`]), decodes the length-prefixed
+//! `SDLNET01` protocol ([`wire`]), and maps client operations onto one
+//! shared [`sdl_dataspace::Dataspace`] through the batching, park/wake
+//! [`engine`]:
+//!
+//! | wire op | dataspace semantics                                   |
+//! |---------|-------------------------------------------------------|
+//! | `out`   | assert (batched into one `apply_batch` per pass)      |
+//! | `in`    | blocking take (parks on value-level watch keys)       |
+//! | `rd`    | blocking read                                         |
+//! | `inp`   | non-blocking take                                     |
+//! | `rdp`   | non-blocking read                                     |
+//! | `txn`   | full SDL transaction (immediate `->` or delayed `=>`) |
+//!
+//! [`Client`] is the matching blocking/pipelined client, and [`load`]
+//! is the load generator behind `sdl-bench-load` and the E10 benchmark.
+
+pub mod client;
+pub mod conn;
+pub mod engine;
+pub mod load;
+pub mod poll;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use engine::Engine;
+pub use load::{run_load, LatHist, LoadConfig, LoadReport};
+pub use server::{serve, Server, ServerConfig};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,325 @@
+//! The non-blocking TCP front-end: one event-loop thread owning the
+//! poller, every connection, and the [`Engine`].
+//!
+//! The loop is shaped for pipelined load: each readiness pass reads
+//! whole socket buffers, decodes *every* complete frame it finds, runs
+//! the lot through the engine as one batch (one `apply_batch` commit
+//! for the buffered asserts), and drains replies with vectored writes.
+//! Syscalls per request approach zero as pipelining depth grows.
+//!
+//! Backpressure is engine-coupled: when the parked-request count passes
+//! [`ServerConfig::max_parked`] the loop stops *reading* (interest is
+//! dropped, so the kernel's TCP window does the queueing, on the
+//! client's side of the wire) instead of buffering unboundedly; same
+//! per-connection when a client stops draining its replies. Both
+//! transitions count `sdl_net_backpressure_stalls_total`.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use sdl_metrics::{Counter, Gauge, Metrics};
+
+use crate::conn::{FillOutcome, ReadBuf, WriteBuf};
+use crate::engine::{Engine, Reply};
+use crate::poll::{clamp_timeout, Interest, PollEvent, Poller};
+use crate::wire::{self, Request, MAGIC};
+
+const LISTENER_TOKEN: u64 = 0;
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7401` (port 0 for ephemeral).
+    pub addr: String,
+    /// Per-frame payload cap; larger frames drop the connection.
+    pub max_frame: usize,
+    /// Bytes read per connection per loop pass (bounds one pass's work).
+    pub read_chunk_limit: usize,
+    /// Parked-request high watermark: at or above, all reads pause.
+    pub max_parked: usize,
+    /// Per-connection write-buffer cap: at or above, that connection's
+    /// reads pause until the client drains replies below half.
+    pub write_buf_limit: usize,
+    /// Poll timeout between passes (also the shutdown-check cadence).
+    pub poll_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_frame: wire::DEFAULT_MAX_FRAME,
+            read_chunk_limit: 256 * 1024,
+            max_parked: 100_000,
+            write_buf_limit: 4 * 1024 * 1024,
+            poll_timeout_ms: 25,
+        }
+    }
+}
+
+/// A running server; [`Server::shutdown`] stops the loop and joins it.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl Server {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the loop to stop and joins it, propagating any loop
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// The event loop's terminal I/O error, if it died before shutdown.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("server event loop panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+struct ConnState {
+    stream: TcpStream,
+    rbuf: ReadBuf,
+    wbuf: WriteBuf,
+    handshaken: bool,
+    // Reads paused because this connection's write buffer is over cap.
+    write_paused: bool,
+}
+
+/// Binds the listener and spawns the event-loop thread.
+///
+/// # Errors
+///
+/// Bind/poller-creation failure.
+pub fn serve(cfg: ServerConfig, metrics: Metrics) -> io::Result<Server> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("sdl-server".to_owned())
+        .spawn(move || event_loop(listener, cfg, metrics, &stop2))?;
+    Ok(Server {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn event_loop(
+    listener: TcpListener,
+    cfg: ServerConfig,
+    metrics: Metrics,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+
+    let mut engine = Engine::new(metrics.clone());
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut next_token: u64 = 1;
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut batch: Vec<(u64, u64, Request)> = Vec::new();
+    let mut replies: Vec<Reply> = Vec::new();
+    let mut to_close: Vec<u64> = Vec::new();
+    // Global read pause (engine saturated). Hysteresis: resume below
+    // 7/8 of the high watermark.
+    let mut stalled = false;
+
+    while !stop.load(Ordering::SeqCst) {
+        poller.wait(&mut events, clamp_timeout(cfg.poll_timeout_ms))?;
+
+        for &ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                accept_all(
+                    &listener,
+                    &mut poller,
+                    &mut conns,
+                    &mut next_token,
+                    &metrics,
+                );
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if !ev.readable || stalled || conn.write_paused {
+                continue;
+            }
+            match read_and_decode(ev.token, conn, &cfg, &mut batch, &metrics) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => to_close.push(ev.token),
+            }
+        }
+
+        if !batch.is_empty() {
+            for (token, req_id, req) in batch.drain(..) {
+                engine.submit(token, req_id, req, &mut replies);
+            }
+            engine.finish(&mut replies);
+        }
+
+        for (token, req_id, resp) in replies.drain(..) {
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.wbuf
+                    .push(wire::frame(&wire::encode_response(req_id, &resp)));
+            }
+        }
+
+        // Backpressure state machine (global, engine-coupled).
+        let parked = engine.parked_len();
+        if !stalled && parked >= cfg.max_parked {
+            stalled = true;
+            metrics.inc(Counter::NetBackpressureStalls);
+        } else if stalled && parked < cfg.max_parked * 7 / 8 {
+            stalled = false;
+        }
+
+        // Flush pending writes, update per-conn pause state + interest.
+        for (&token, conn) in conns.iter_mut() {
+            if !conn.wbuf.is_empty() {
+                match conn.wbuf.flush(&mut conn.stream) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        to_close.push(token);
+                        continue;
+                    }
+                }
+            }
+            let over = conn.wbuf.len() >= cfg.write_buf_limit;
+            let under = conn.wbuf.len() < cfg.write_buf_limit / 2;
+            if over && !conn.write_paused {
+                conn.write_paused = true;
+                metrics.inc(Counter::NetBackpressureStalls);
+            } else if under && conn.write_paused {
+                conn.write_paused = false;
+            }
+            let interest = Interest {
+                readable: !stalled && !conn.write_paused,
+                writable: !conn.wbuf.is_empty(),
+            };
+            let _ = poller.modify(token, interest);
+        }
+
+        if !to_close.is_empty() {
+            to_close.sort_unstable();
+            to_close.dedup();
+            for token in to_close.drain(..) {
+                if let Some(conn) = conns.remove(&token) {
+                    poller.deregister(token);
+                    drop(conn);
+                    engine.disconnect(token);
+                    metrics.add_gauge(Gauge::NetConnections, -1);
+                }
+            }
+        }
+    }
+
+    // Clean shutdown: cancel every parked request and drop connections.
+    for (&token, _) in conns.iter() {
+        engine.disconnect(token);
+    }
+    metrics.add_gauge(Gauge::NetConnections, -(conns.len() as i64));
+    Ok(())
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, ConnState>,
+    next_token: &mut u64,
+    metrics: &Metrics,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(stream.as_raw_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                conns.insert(
+                    token,
+                    ConnState {
+                        stream,
+                        rbuf: ReadBuf::new(),
+                        wbuf: WriteBuf::new(),
+                        handshaken: false,
+                        write_paused: false,
+                    },
+                );
+                metrics.add_gauge(Gauge::NetConnections, 1);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads available bytes and decodes every complete frame into `batch`.
+/// Returns `Ok(false)` when the connection should close (EOF or
+/// protocol error).
+fn read_and_decode(
+    token: u64,
+    conn: &mut ConnState,
+    cfg: &ServerConfig,
+    batch: &mut Vec<(u64, u64, Request)>,
+    metrics: &Metrics,
+) -> io::Result<bool> {
+    let outcome = conn.rbuf.fill(&mut conn.stream, cfg.read_chunk_limit)?;
+    if !conn.handshaken {
+        let pending = conn.rbuf.pending();
+        if pending.len() < MAGIC.len() {
+            return Ok(outcome == FillOutcome::Open);
+        }
+        if &pending[..MAGIC.len()] != MAGIC {
+            metrics.inc(Counter::NetProtocolErrors);
+            return Ok(false);
+        }
+        conn.rbuf.consume(MAGIC.len());
+        conn.wbuf.push(MAGIC.to_vec());
+        conn.handshaken = true;
+    }
+    loop {
+        match conn.rbuf.next_frame(cfg.max_frame) {
+            Ok(Some(payload)) => match wire::decode_request(&payload) {
+                Ok((req_id, req)) => batch.push((token, req_id, req)),
+                Err(_) => {
+                    metrics.inc(Counter::NetProtocolErrors);
+                    return Ok(false);
+                }
+            },
+            Ok(None) => break,
+            Err(_) => {
+                metrics.inc(Counter::NetProtocolErrors);
+                return Ok(false);
+            }
+        }
+    }
+    Ok(outcome == FillOutcome::Open)
+}

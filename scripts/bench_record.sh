@@ -3,31 +3,62 @@
 #
 # Runs the workspace benches (vendored harness: best-observed wall-clock
 # ns/iter on stdout, no statistics) and writes BENCH_<date>.json in the
-# repo root with one entry per benchmark target. Extra arguments are
-# passed through to `cargo bench`, e.g.:
+# repo root with one entry per benchmark target. If the day's file
+# already exists, entries are merged: re-measured benches replace their
+# old values, everything else is kept — so a filtered run (one bench
+# target, a substring) updates the snapshot instead of truncating it.
+# Extra arguments are passed through to `cargo bench`, e.g.:
 #
 #   scripts/bench_record.sh                       # all benches
 #   scripts/bench_record.sh -- join               # substring filter
+#   scripts/bench_record.sh --bench e10_net       # one target, merged
 set -eu
 cd "$(dirname "$0")/.."
 
 date="$(date +%Y-%m-%d)"
 out="BENCH_${date}.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+old="$(mktemp)"
+trap 'rm -f "$raw" "$old"' EXIT
+
+[ -f "$out" ] && cp "$out" "$old"
 
 cargo bench -p sdl-bench "$@" 2>&1 | tee "$raw"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 rustc_v="$(rustc --version 2>/dev/null || echo unknown)"
 
-awk -v date="$date" -v commit="$commit" -v rustc_v="$rustc_v" '
+awk -v date="$date" -v commit="$commit" -v rustc_v="$rustc_v" -v oldfile="$old" '
+  FILENAME == oldfile {
+    # Prior snapshot for the same day: keep its note and entries
+    # unless this run re-measures them.
+    if (match($0, /^[ \t]*"note":/)) {
+      note = $0
+      sub(/,$/, "", note)
+    }
+    if (match($0, /"bench": "[^"]*"/)) {
+      name = substr($0, RSTART + 10, RLENGTH - 11)
+      line = $0
+      sub(/^[ \t]*/, "", line)
+      sub(/,$/, "", line)
+      if (!(name in idx)) {
+        names[++n] = name
+        idx[name] = n
+      }
+      entries[idx[name]] = "    " line
+    }
+    next
+  }
   / ns\/iter / {
     name = $1
     ns = $2
     iters = $4
     sub(/\(/, "", iters)
-    entries[++n] = sprintf("    {\"bench\": \"%s\", \"ns_per_iter\": %s, \"iters\": %s}", name, ns, iters)
+    if (!(name in idx)) {
+      names[++n] = name
+      idx[name] = n
+    }
+    entries[idx[name]] = sprintf("    {\"bench\": \"%s\", \"ns_per_iter\": %s, \"iters\": %s}", name, ns, iters)
   }
   END {
     printf "{\n"
@@ -35,9 +66,10 @@ awk -v date="$date" -v commit="$commit" -v rustc_v="$rustc_v" '
     printf "  \"commit\": \"%s\",\n", commit
     printf "  \"rustc\": \"%s\",\n", rustc_v
     printf "  \"unit\": \"ns/iter (best observed)\",\n"
+    if (note != "") printf "%s,\n", note
     printf "  \"benches\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
     printf "  ]\n}\n"
   }
-' "$raw" > "$out"
+' "$old" "$raw" > "$out"
 echo "wrote $out ($(grep -c '"bench"' "$out") entries)"

@@ -1,0 +1,160 @@
+//! `sdl-bench-load` — load generator for `sdl-server`.
+//!
+//! ```text
+//! sdl-bench-load [--addr HOST:PORT] [--clients N] [--conns N]
+//!                [--pipeline N] [--ops N] [--self-host] [--json]
+//! ```
+//!
+//! * `--addr A`      server to hammer (default `127.0.0.1:7401`)
+//! * `--clients N`   simulated clients (default 1000)
+//! * `--conns N`     TCP connections to multiplex them over (default 16)
+//! * `--pipeline N`  in-flight requests per connection (default 64;
+//!   `1` is the one-op-per-syscall ablation baseline)
+//! * `--ops N`       operations per simulated client (default 4)
+//! * `--self-host`   start an in-process server on an ephemeral port
+//!   and aim the load at it (ignores `--addr`)
+//! * `--json`        emit the report as a JSON object instead of text
+//!
+//! Each simulated client alternates `out <mbox, c, seq>` with
+//! `inp <mbox, c, seq>`; the report gives ops/sec and p50/p99/max
+//! request latency across all workers.
+
+use std::process::ExitCode;
+
+use sdl::metrics::Metrics;
+use sdl::server::{run_load, serve, LoadConfig, ServerConfig};
+
+struct Args {
+    load: LoadConfig,
+    self_host: bool,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdl-bench-load [--addr HOST:PORT] [--clients N] [--conns N] \
+         [--pipeline N] [--ops N] [--self-host] [--json]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        load: LoadConfig::default(),
+        self_host: false,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.load.addr = it.next().unwrap_or_else(|| usage()),
+            "--clients" => {
+                args.load.sim_clients = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--conns" => {
+                args.load.connections = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--pipeline" => {
+                args.load.pipeline = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--ops" => {
+                args.load.ops_per_client = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--self-host" => args.self_host = true,
+            "--json" => args.json = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let mut args = parse_args();
+
+    let server = if args.self_host {
+        match serve(ServerConfig::default(), Metrics::disabled()) {
+            Ok(s) => {
+                args.load.addr = s.addr().to_string();
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("sdl-bench-load: cannot self-host: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let report = match run_load(&args.load) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sdl-bench-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.json {
+        println!(
+            "{{\"clients\": {}, \"connections\": {}, \"pipeline\": {}, \
+             \"ops\": {}, \"misses\": {}, \"elapsed_ms\": {:.3}, \
+             \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"max_ns\": {}}}",
+            args.load.sim_clients,
+            args.load.connections,
+            args.load.pipeline,
+            report.ops,
+            report.misses,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.ops_per_sec,
+            report.p50_ns,
+            report.p99_ns,
+            report.max_ns,
+        );
+    } else {
+        println!(
+            "clients={} conns={} pipeline={} ops/client={}",
+            args.load.sim_clients,
+            args.load.connections,
+            args.load.pipeline,
+            args.load.ops_per_client,
+        );
+        println!(
+            "ops={} misses={} elapsed={:.1}ms throughput={:.0} ops/sec",
+            report.ops,
+            report.misses,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.ops_per_sec,
+        );
+        println!(
+            "latency p50={}µs p99={}µs max={}µs",
+            report.p50_ns / 1000,
+            report.p99_ns / 1000,
+            report.max_ns / 1000,
+        );
+    }
+
+    if let Some(s) = server {
+        if let Err(e) = s.shutdown() {
+            eprintln!("sdl-bench-load: server shutdown: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

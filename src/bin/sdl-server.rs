@@ -1,0 +1,132 @@
+//! `sdl-server` — serve a shared dataspace over TCP (`SDLNET01`).
+//!
+//! ```text
+//! sdl-server [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+//!            [--max-parked N] [--max-frame BYTES] [--write-buf BYTES]
+//!            [--read-chunk BYTES] [--poll-timeout-ms N]
+//! ```
+//!
+//! * `--addr A`            bind address for the dataspace protocol
+//!   (default `127.0.0.1:7401`; port `0` picks an ephemeral port,
+//!   printed to stderr)
+//! * `--metrics-addr A`    also serve Prometheus metrics over HTTP at
+//!   `A` — the same `/metrics` endpoint `sdl-run` uses
+//! * `--max-parked N`      parked-request high watermark before the
+//!   server stops reading new requests (default 100000)
+//! * `--max-frame BYTES`   per-frame payload cap (default 1 MiB)
+//! * `--write-buf BYTES`   per-connection reply-buffer cap before that
+//!   connection's reads pause (default 4 MiB)
+//! * `--read-chunk BYTES`  bytes read per connection per loop pass
+//!   (default 256 KiB)
+//! * `--poll-timeout-ms N` poll timeout between passes (default 25)
+//!
+//! The process runs until SIGINT/SIGTERM kills it; state is in-memory.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sdl::metrics::Metrics;
+use sdl::server::{serve, ServerConfig};
+
+struct Args {
+    cfg: ServerConfig,
+    metrics_addr: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdl-server [--addr HOST:PORT] [--metrics-addr HOST:PORT] \
+         [--max-parked N] [--max-frame BYTES] [--write-buf BYTES] \
+         [--read-chunk BYTES] [--poll-timeout-ms N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: ServerConfig {
+            addr: "127.0.0.1:7401".to_owned(),
+            ..ServerConfig::default()
+        },
+        metrics_addr: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.cfg.addr = it.next().unwrap_or_else(|| usage()),
+            "--metrics-addr" => args.metrics_addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--max-parked" => {
+                args.cfg.max_parked = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-frame" => {
+                args.cfg.max_frame = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--write-buf" => {
+                args.cfg.write_buf_limit = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--read-chunk" => {
+                args.cfg.read_chunk_limit = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--poll-timeout-ms" => {
+                args.cfg.poll_timeout_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let (metrics, registry) = Metrics::registry();
+    let metrics_server = match &args.metrics_addr {
+        Some(addr) => match sdl::metrics_http::serve(addr, Arc::clone(&registry)) {
+            Ok(s) => {
+                eprintln!("sdl-server: metrics at http://{}/metrics", s.addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("sdl-server: cannot serve metrics on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let server = match serve(args.cfg, metrics) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sdl-server: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("sdl-server: listening on {}", server.addr());
+
+    // Serve until killed. The event loop owns all state; this thread
+    // just keeps the process (and the metrics endpoint) alive.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+        let _ = &metrics_server;
+    }
+}

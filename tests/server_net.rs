@@ -1,0 +1,221 @@
+//! End-to-end tests for the networked dataspace server: real sockets,
+//! real event loop, park/wake across connections, and disconnect
+//! hygiene (ISSUE acceptance: a client dropping mid-park must leave no
+//! blocked-queue residue).
+
+use std::time::{Duration, Instant};
+
+use sdl::metrics::{Gauge, Metrics, MetricsRegistry};
+use sdl::server::{serve, Client, Request, Response, Server, ServerConfig};
+use sdl_tuple::{pattern, tuple, Value};
+
+fn start() -> (Server, std::sync::Arc<MetricsRegistry>) {
+    let (metrics, registry) = Metrics::registry();
+    let server = serve(ServerConfig::default(), metrics).expect("bind ephemeral server");
+    (server, registry)
+}
+
+/// Polls `cond` until it holds or `deadline` elapses.
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn basic_ops_roundtrip() {
+    let (server, _registry) = start();
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    c.ping().expect("ping");
+    c.out(tuple![Value::atom("job"), 1i64]).expect("out");
+    assert_eq!(
+        c.try_read(pattern![Value::atom("job"), any]).expect("rdp"),
+        Some(tuple![Value::atom("job"), 1i64])
+    );
+    assert_eq!(
+        c.try_take(pattern![Value::atom("job"), 1i64]).expect("inp"),
+        Some(tuple![Value::atom("job"), 1i64])
+    );
+    // Now gone.
+    assert_eq!(
+        c.try_take(pattern![Value::atom("job"), any]).expect("inp"),
+        None
+    );
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn txn_over_the_wire() {
+    let (server, _registry) = start();
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    assert!(c.txn("-> <counter, 41>", vec![]).expect("txn out"));
+    // Retracting read: consume the counter, assert its successor.
+    assert!(c
+        .txn("exists x : <counter, x>! : x > 0 -> <moved, x>", vec![])
+        .expect("txn move"));
+    assert_eq!(
+        c.try_read(pattern![Value::atom("moved"), 41i64])
+            .expect("rdp"),
+        Some(tuple![Value::atom("moved"), 41i64])
+    );
+    assert_eq!(
+        c.try_read(pattern![Value::atom("counter"), any])
+            .expect("rdp"),
+        None
+    );
+    // Immediate-mode transaction whose query fails reports Failed.
+    assert!(!c
+        .txn("exists x : <counter, x> -> <found, x>", vec![])
+        .expect("txn failed"));
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn parked_in_is_served_by_another_client() {
+    let (server, registry) = start();
+    let mut a = Client::connect(server.addr()).expect("connect a");
+    let mut b = Client::connect(server.addr()).expect("connect b");
+    a.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    b.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A's blocking take parks server-side: the interim Parked
+    // notification proves it is registered on watch keys, not polling.
+    let id = a
+        .send(&Request::In(pattern![Value::atom("handoff"), any]))
+        .unwrap();
+    let (pid, parked) = a.recv().expect("parked notification");
+    assert_eq!(pid, id);
+    assert!(matches!(parked, Response::Parked), "{parked:?}");
+    assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), 1);
+
+    // B's out wakes A through the value-level watch index.
+    b.out(tuple![Value::atom("handoff"), 42i64]).expect("out");
+    match a.wait_for(id).expect("wake") {
+        Response::Tuple(t) => assert_eq!(t, tuple![Value::atom("handoff"), 42i64]),
+        other => panic!("expected tuple, got {other:?}"),
+    }
+    assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), 0);
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn cancel_unparks_without_consuming() {
+    let (server, registry) = start();
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let id = c
+        .send(&Request::In(pattern![Value::atom("ghost"), any]))
+        .unwrap();
+    let (pid, parked) = c.recv().expect("parked notification");
+    assert_eq!(pid, id);
+    assert!(matches!(parked, Response::Parked), "{parked:?}");
+
+    assert!(c.cancel(id).expect("cancel"));
+    // The parked request answers Cancelled (held by `cancel`'s wait).
+    let (rid, resp) = c.recv().expect("cancelled reply");
+    assert_eq!(rid, id);
+    assert!(matches!(resp, Response::Cancelled), "{resp:?}");
+    assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), 0);
+    // Cancelling an unknown id is a no-op Failed, not an error.
+    assert!(!c.cancel(9999).expect("cancel unknown"));
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn disconnect_while_parked_leaves_no_blocked_residue() {
+    let (server, registry) = start();
+    let baseline = registry.gauge(Gauge::BlockedQueueDepth);
+
+    {
+        let mut a = Client::connect(server.addr()).expect("connect a");
+        a.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        let id = a
+            .send(&Request::In(pattern![Value::atom("orphan"), any]))
+            .unwrap();
+        let (pid, parked) = a.recv().expect("parked notification");
+        assert_eq!(pid, id);
+        assert!(matches!(parked, Response::Parked), "{parked:?}");
+        assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), baseline + 1);
+        // Drop the connection with the request still parked.
+    }
+
+    // The event loop sees the hangup and must unpark + forget the
+    // request: the blocked-queue gauge returns to baseline.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            registry.gauge(Gauge::BlockedQueueDepth) == baseline
+        }),
+        "blocked queue depth stuck at {} (baseline {})",
+        registry.gauge(Gauge::BlockedQueueDepth),
+        baseline
+    );
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            registry.gauge(Gauge::NetConnections) == 0
+        }),
+        "connection gauge stuck at {}",
+        registry.gauge(Gauge::NetConnections)
+    );
+
+    // A fresh client sees a fully serviceable dataspace: the orphaned
+    // pattern's tuple is NOT consumed by any leaked parked entry.
+    let mut b = Client::connect(server.addr()).expect("connect b");
+    b.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    b.out(tuple![Value::atom("orphan"), 7i64]).expect("out");
+    assert_eq!(
+        b.try_take(pattern![Value::atom("orphan"), any])
+            .expect("inp"),
+        Some(tuple![Value::atom("orphan"), 7i64])
+    );
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_keep_order() {
+    let (server, _registry) = start();
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Burst of outs followed by takes, all in flight before any reply
+    // is read: per-connection program order must hold.
+    let mut out_ids = Vec::new();
+    for k in 0..32i64 {
+        out_ids.push(
+            c.send(&Request::Out(tuple![Value::atom("seq"), k]))
+                .unwrap(),
+        );
+    }
+    let mut in_ids = Vec::new();
+    for k in 0..32i64 {
+        in_ids.push(
+            c.send(&Request::Inp(pattern![Value::atom("seq"), k]))
+                .unwrap(),
+        );
+    }
+    for id in out_ids {
+        assert!(matches!(c.wait_for(id).expect("out ack"), Response::Ok));
+    }
+    for (k, id) in in_ids.into_iter().enumerate() {
+        match c.wait_for(id).expect("inp reply") {
+            Response::Tuple(t) => assert_eq!(t, tuple![Value::atom("seq"), k as i64]),
+            other => panic!("inp {k} got {other:?}"),
+        }
+    }
+
+    server.shutdown().expect("shutdown");
+}
