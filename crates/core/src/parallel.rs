@@ -43,12 +43,11 @@
 //!
 //! [`Runtime::run_rounds`]: crate::Runtime::run_rounds
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -61,6 +60,7 @@ use sdl_durability::{RecoveredState, Wal};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
 use sdl_metrics::{Counter, Gauge, Hist, Metrics, ShardCounter};
+use sdl_sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, RelaxedCounter};
 use sdl_tuple::{ProcId, Tuple, TupleId, Value};
 
 use crate::builtins::Builtins;
@@ -106,6 +106,7 @@ pub struct ParallelBuilder {
     recovered: Option<RecoveredState>,
     tracer: Tracer,
     stall_threshold: Option<Duration>,
+    skip_park_recheck: bool,
 }
 
 impl ParallelBuilder {
@@ -193,6 +194,16 @@ impl ParallelBuilder {
     /// the trace with its watch keys and nearest-miss commits.
     pub fn stall_threshold(mut self, threshold: Duration) -> ParallelBuilder {
         self.stall_threshold = Some(threshold);
+        self
+    }
+
+    /// Test-only fault injection: disables the park-path epoch re-check,
+    /// reintroducing the lost-wakeup window the protocol closes. Exists
+    /// so the schedule-exploration tests can prove the explorer would
+    /// catch a regression of the re-check; never set it in real runs.
+    #[doc(hidden)]
+    pub fn testing_skip_park_recheck(mut self, on: bool) -> ParallelBuilder {
+        self.skip_park_recheck = on;
         self
     }
 
@@ -311,6 +322,7 @@ impl ParallelBuilder {
             wal: self.wal,
             tracer: self.tracer,
             stall_threshold: self.stall_threshold,
+            skip_park_recheck: self.skip_park_recheck,
         })
     }
 }
@@ -387,6 +399,7 @@ pub struct ParallelRuntime {
     wal: Option<Arc<Wal>>,
     tracer: Tracer,
     stall_threshold: Option<Duration>,
+    skip_park_recheck: bool,
 }
 
 /// Stall-watchdog configuration shared by the workers and the watchdog
@@ -426,14 +439,18 @@ struct Shared {
     /// Tasks enqueued or being processed; 0 ⇒ nothing can ever wake.
     pending: AtomicUsize,
     done: AtomicBool,
-    attempts: AtomicU64,
-    commits: AtomicU64,
-    conflicts: AtomicU64,
+    attempts: RelaxedCounter,
+    commits: RelaxedCounter,
+    conflicts: RelaxedCounter,
     step_limited: AtomicBool,
     max_attempts: u64,
     plan_config: PlanConfig,
-    next_pid: AtomicU64,
+    next_pid: RelaxedCounter,
     error: Mutex<Option<RuntimeError>>,
+    /// Test-only fault injection: when set, [`park`] skips the
+    /// post-insert epoch re-check, reintroducing the lost-wakeup race
+    /// the protocol exists to close. The schedule explorer must find it.
+    skip_park_recheck: bool,
     metrics: Metrics,
     /// Write-ahead log; appends happen inside commit write-lock scopes,
     /// fsyncs and snapshots after they drop.
@@ -467,9 +484,14 @@ struct Parked {
 /// A key-indexed hit already implies the watch intersects the change,
 /// so no per-entry intersection test remains. Stale stubs (slot already
 /// claimed elsewhere) are dropped lazily when their key next fires.
+///
+/// The index is an ordered map so scans (watchdog, end-of-run drain)
+/// visit entries in a deterministic order — a requirement for the
+/// schedule explorer, whose replay assumes identical lock-acquisition
+/// sequences given identical decisions.
 #[derive(Default)]
 struct ShardBlocked {
-    by_key: HashMap<WatchKey, Vec<Arc<Parked>>>,
+    by_key: BTreeMap<WatchKey, Vec<Arc<Parked>>>,
     /// Entries with an empty watch set. No commit can ever wake them;
     /// they are held only so the end-of-run drain reports them blocked.
     keyless: Vec<Arc<Parked>>,
@@ -496,6 +518,7 @@ impl ParallelRuntime {
             recovered: None,
             tracer: Tracer::disabled(),
             stall_threshold: None,
+            skip_park_recheck: false,
         }
     }
 
@@ -520,9 +543,9 @@ impl ParallelRuntime {
                 .collect(),
             pending: AtomicUsize::new(self.initial.len()),
             done: AtomicBool::new(self.initial.is_empty()),
-            attempts: AtomicU64::new(0),
-            commits: AtomicU64::new(0),
-            conflicts: AtomicU64::new(0),
+            attempts: RelaxedCounter::new(0),
+            commits: RelaxedCounter::new(0),
+            conflicts: RelaxedCounter::new(0),
             step_limited: AtomicBool::new(false),
             max_attempts: self.max_attempts,
             plan_config: PlanConfig {
@@ -530,7 +553,7 @@ impl ParallelRuntime {
                 index_mode,
                 exact_wakes: self.exact_wakes,
             },
-            next_pid: AtomicU64::new(self.next_pid),
+            next_pid: RelaxedCounter::new(self.next_pid),
             error: Mutex::new(None),
             metrics: self.metrics,
             wal: self.wal,
@@ -539,8 +562,9 @@ impl ParallelRuntime {
                 threshold,
                 recent: Mutex::new(VecDeque::new()),
             }),
+            skip_park_recheck: self.skip_park_recheck,
         });
-        std::thread::scope(|scope| {
+        sdl_sync::scope(|scope| {
             for w in 0..self.threads {
                 let shared = shared.clone();
                 let seed = self.seed.wrapping_add(w as u64);
@@ -553,6 +577,15 @@ impl ParallelRuntime {
         });
         if let Some(e) = shared.error.lock().take() {
             return Err(e);
+        }
+        // Wakes enqueued after the run wound down (done raced a wake)
+        // are never re-run; classify them so the wake ledger balances:
+        // every WakeupCommit ends as exactly one WakeProgress or
+        // WakeSpurious.
+        for p in shared.queue.lock().drain(..) {
+            if p.woken {
+                shared.metrics.inc(Counter::WakeSpurious);
+            }
         }
         // Drain the per-shard blocked indexes; taking each slot dedupes
         // entries that sat under several keys or shards.
@@ -600,9 +633,9 @@ impl ParallelRuntime {
         let ds = shared.sds.drain_into_dataspace();
         let report = ParallelReport {
             outcome,
-            commits: shared.commits.load(Ordering::SeqCst),
-            attempts: shared.attempts.load(Ordering::SeqCst),
-            conflicts: shared.conflicts.load(Ordering::SeqCst),
+            commits: shared.commits.load(),
+            attempts: shared.attempts.load(),
+            conflicts: shared.conflicts.load(),
             final_tuples: ds.len(),
         };
         Ok((report, ds))
@@ -651,7 +684,7 @@ fn watchdog(shared: &Shared) {
         if shared.done.load(Ordering::SeqCst) {
             return;
         }
-        std::thread::sleep(tick);
+        sdl_sync::sleep(tick);
         let now = Instant::now();
         for list in &shared.blocked {
             let sb = list.lock();
@@ -773,10 +806,15 @@ fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet, commit: u
         return;
     }
     let n = shared.sds.num_shards();
+    // Sort the published keys: `WatchSet` iterates in hash order, and
+    // the blocked-list lock and slot-claim sequence must be identical
+    // across runs for schedule replay to hold.
+    let mut keys: Vec<WatchKey> = changed.iter().copied().collect();
+    keys.sort_unstable();
     let mut woken: Vec<(Arc<Parked>, ProcessInstance, WatchKey)> = Vec::new();
     for s in changed_shards.iter() {
         let mut sb = shared.blocked[s].lock();
-        for key in changed.iter() {
+        for key in &keys {
             // A routable key wakes through its own shard's index; an
             // unroutable (arity) key is registered in every shard, so
             // any changed shard's index covers it — later shards just
@@ -833,9 +871,14 @@ fn wake(shared: &Shared, changed: &WatchSet, changed_shards: ShardSet, commit: u
 enum TxnOutcome {
     Committed(Pending),
     /// Query did not hold; carries the commit epoch the evaluation read,
-    /// for the race-free park protocol.
+    /// for the race-free park protocol, and — when the caller may park —
+    /// a narrowed watch set probed *inside* the read-lock scope, so its
+    /// emptiness evidence describes exactly the state the failed
+    /// evaluation saw. The park epoch re-check invalidates it if any
+    /// commit lands after those locks drop.
     Failed {
         epoch: u64,
+        watch: Option<WatchSet>,
     },
     /// The global attempt cap was hit mid-evaluation. Distinct from
     /// `Failed`: the query's verdict is unknown, so the process must halt
@@ -846,13 +889,18 @@ enum TxnOutcome {
 
 /// Evaluate under the read-footprint locks, validate + apply under the
 /// write-footprint locks.
+/// `want_watch` asks for the narrowed park subscription on failure; pass
+/// it when the caller may park on this transaction (delayed, or any
+/// select/loop guard — a parked select retries every branch on wake, so
+/// even immediate guards contribute watch keys).
 fn attempt(
     shared: &Shared,
     proc: &ProcessInstance,
     t: &CompiledTxn,
+    want_watch: bool,
 ) -> Result<TxnOutcome, RuntimeError> {
     loop {
-        if shared.attempts.fetch_add(1, Ordering::Relaxed) >= shared.max_attempts {
+        if shared.attempts.fetch_add(1) >= shared.max_attempts {
             shared.step_limited.store(true, Ordering::SeqCst);
             finish_done(shared);
             return Ok(TxnOutcome::StepLimited);
@@ -871,7 +919,7 @@ fn attempt(
         let timer = shared.metrics.start_timer();
         let eval_span = shared.tracer.begin();
         let mut probe = eval_span.map(|_| EvalProbe::new());
-        let query = {
+        let (query, park_watch) = {
             let read_fp = eval_footprint(shared, proc, t);
             let lock_timer = shared.metrics.start_timer();
             let lock_span = shared.tracer.begin();
@@ -883,7 +931,7 @@ fn attempt(
                 .tracer
                 .span(lock_span, trace_id, proc.id, SpanPhase::LockWaitRead);
             let source = proc.def.view.window(&view, &proc.env, &shared.builtins)?;
-            txn::evaluate_query_probed(
+            let query = txn::evaluate_query_probed(
                 t,
                 &source,
                 &proc.env,
@@ -891,7 +939,24 @@ fn attempt(
                 SolveLimits::default(),
                 shared.plan_config,
                 probe.as_mut(),
-            )?
+            )?;
+            // Probe the narrowed subscription while the read locks are
+            // still held: the emptiness evidence is sound for the state
+            // the evaluation just failed against, and anything that
+            // commits after these locks drop bumps the epoch, making
+            // the parker re-queue instead of trusting a stale probe.
+            let park_watch = if query.is_none() && want_watch {
+                Some(txn::watch_set_on(
+                    t,
+                    &proc.env,
+                    &shared.builtins,
+                    shared.plan_config.exact_wakes,
+                    Some(&source),
+                ))
+            } else {
+                None
+            };
+            (query, park_watch)
         };
         shared.metrics.observe_timer(Hist::QueryEvalSeconds, timer);
         if let (Some(t0), Some(pr)) = (eval_span, &probe) {
@@ -912,7 +977,10 @@ fn attempt(
             .span(eval_span, trace_id, proc.id, SpanPhase::Eval);
         let Some(query) = query else {
             shared.metrics.inc(failed_counter(t.kind));
-            return Ok(TxnOutcome::Failed { epoch });
+            return Ok(TxnOutcome::Failed {
+                epoch,
+                watch: park_watch,
+            });
         };
         let effects_timer = shared.metrics.start_timer();
         let effects_span = shared.tracer.begin();
@@ -939,7 +1007,7 @@ fn attempt(
             // every shard the evidence patterns route to — by the routing
             // invariant the answers equal the whole store's.
             if !p.validate(&ds) {
-                shared.conflicts.fetch_add(1, Ordering::Relaxed);
+                shared.conflicts.fetch_add(1);
                 shared.metrics.inc(Counter::TxnConflicts);
                 for s in write_fp.iter() {
                     shared.metrics.add_shard(s, ShardCounter::Conflicts, 1);
@@ -1018,7 +1086,7 @@ fn attempt(
         // Locks are down; publish the commit before scanning blocked
         // lists so parkers that miss the scan catch the epoch change.
         shared.epoch.fetch_add(1, Ordering::SeqCst);
-        shared.commits.fetch_add(1, Ordering::Relaxed);
+        shared.commits.fetch_add(1);
         shared.metrics.inc(committed_counter(t.kind));
         for s in write_fp.iter() {
             shared.metrics.add_shard(s, ShardCounter::Commits, 1);
@@ -1081,7 +1149,7 @@ fn control(shared: &Shared, proc: &mut ProcessInstance, p: &Pending) -> Result<b
                 found: args.len(),
             });
         }
-        let id = ProcId(shared.next_pid.fetch_add(1, Ordering::SeqCst));
+        let id = ProcId(shared.next_pid.fetch_add(1));
         shared.metrics.inc(Counter::ProcessesSpawned);
         enqueue(shared, ProcessInstance::new(id, def, args.clone()));
     }
@@ -1116,11 +1184,27 @@ fn run_process(
 ) -> Result<(), RuntimeError> {
     loop {
         if shared.done.load(Ordering::SeqCst) {
+            // Run wound down with this process mid-flight. If a commit
+            // woke it, the wake never got its progress-or-spurious
+            // verdict — settle it here so the wake ledger balances.
+            if proc.woken {
+                shared.metrics.inc(Counter::WakeSpurious);
+            }
             return Ok(());
         }
         match step_once(shared, &mut proc, rng)? {
             ProcFate::Continue => {}
-            ProcFate::Terminated | ProcFate::Halted => return Ok(()),
+            ProcFate::Terminated => return Ok(()),
+            ProcFate::Halted => {
+                // The attempt cap hit mid-step, so this wake's verdict
+                // is unknowable — settle it as spurious rather than
+                // leak it (found by schedule exploration: the wake
+                // ledger went unbalanced on step-limited runs).
+                if proc.woken {
+                    shared.metrics.inc(Counter::WakeSpurious);
+                }
+                return Ok(());
+            }
             ProcFate::Park { watch, epoch } => {
                 park(shared, watch, epoch, proc);
                 return Ok(());
@@ -1143,36 +1227,43 @@ fn step_once(
                 return Ok(ProcFate::Continue);
             }
             match stmts[idx].clone() {
-                CompiledStmt::Txn(t) => match attempt(shared, proc, &t)? {
-                    TxnOutcome::Committed(p) => {
-                        if proc.woken {
-                            proc.woken = false;
-                            shared.metrics.inc(Counter::WakeProgress);
-                        }
-                        advance(proc);
-                        if control(shared, proc, &p)? {
-                            return Ok(ProcFate::Terminated);
-                        }
-                        Ok(ProcFate::Continue)
-                    }
-                    TxnOutcome::StepLimited => Ok(ProcFate::Halted),
-                    TxnOutcome::Failed { epoch } => match t.kind {
-                        TxnKind::Immediate => {
+                CompiledStmt::Txn(t) => {
+                    match attempt(shared, proc, &t, t.kind == TxnKind::Delayed)? {
+                        TxnOutcome::Committed(p) => {
+                            if proc.woken {
+                                proc.woken = false;
+                                shared.metrics.inc(Counter::WakeProgress);
+                            }
                             advance(proc);
+                            if control(shared, proc, &p)? {
+                                return Ok(ProcFate::Terminated);
+                            }
                             Ok(ProcFate::Continue)
                         }
-                        TxnKind::Delayed => Ok(ProcFate::Park {
-                            watch: txn::watch_set(
-                                &t,
-                                &proc.env,
-                                &shared.builtins,
-                                shared.plan_config.exact_wakes,
-                            ),
-                            epoch,
-                        }),
-                        TxnKind::Consensus => unreachable!("rejected at build"),
-                    },
-                },
+                        TxnOutcome::StepLimited => Ok(ProcFate::Halted),
+                        TxnOutcome::Failed { epoch, watch } => match t.kind {
+                            TxnKind::Immediate => {
+                                advance(proc);
+                                Ok(ProcFate::Continue)
+                            }
+                            TxnKind::Delayed => Ok(ProcFate::Park {
+                                // The narrowed set probed under the eval
+                                // read locks; full fallback if the probe
+                                // was skipped.
+                                watch: watch.unwrap_or_else(|| {
+                                    txn::watch_set(
+                                        &t,
+                                        &proc.env,
+                                        &shared.builtins,
+                                        shared.plan_config.exact_wakes,
+                                    )
+                                }),
+                                epoch,
+                            }),
+                            TxnKind::Consensus => unreachable!("rejected at build"),
+                        },
+                    }
+                }
                 CompiledStmt::Select(branches) => guards(shared, proc, &branches, true, rng),
                 CompiledStmt::Repeat(branches) => {
                     advance(proc);
@@ -1204,12 +1295,13 @@ fn guards(
     order.shuffle(rng);
     let mut delayed_present = false;
     let mut earliest_epoch = u64::MAX;
+    let mut branch_watch: Vec<Option<WatchSet>> = vec![None; branches.len()];
     for &i in &order {
         let guard = branches[i].guard.clone();
         if guard.kind == TxnKind::Delayed {
             delayed_present = true;
         }
-        match attempt(shared, proc, &guard)? {
+        match attempt(shared, proc, &guard, true)? {
             TxnOutcome::Committed(p) => {
                 if proc.woken {
                     proc.woken = false;
@@ -1229,21 +1321,30 @@ fn guards(
                 }
                 return Ok(ProcFate::Continue);
             }
-            TxnOutcome::Failed { epoch } => {
+            TxnOutcome::Failed { epoch, watch } => {
                 earliest_epoch = earliest_epoch.min(epoch);
+                branch_watch[i] = watch;
             }
             TxnOutcome::StepLimited => return Ok(ProcFate::Halted),
         }
     }
     if delayed_present {
+        // A parked select retries every branch on wake, so the
+        // subscription is the union of the per-guard sets — each one
+        // narrowed under its own evaluation's read locks. The park
+        // epoch re-check runs against the *earliest* epoch any guard
+        // read, so a commit racing any probe re-queues the process.
         let mut w = WatchSet::new();
-        for b in branches.iter() {
-            w.extend(&txn::watch_set(
-                &b.guard,
-                &proc.env,
-                &shared.builtins,
-                shared.plan_config.exact_wakes,
-            ));
+        for (i, b) in branches.iter().enumerate() {
+            match branch_watch[i].take() {
+                Some(bw) => w.extend(&bw),
+                None => w.extend(&txn::watch_set(
+                    &b.guard,
+                    &proc.env,
+                    &shared.builtins,
+                    shared.plan_config.exact_wakes,
+                )),
+            }
         }
         return Ok(ProcFate::Park {
             watch: w,
@@ -1288,13 +1389,20 @@ fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, mut proc: ProcessInst
         slot: Mutex::new(Some(proc)),
         watch,
     });
+    // The depth gauge goes up *before* the entry becomes claimable: a
+    // waker that beats the epoch re-check decrements on claim, and if
+    // that ran ahead of a late increment the gauge would dip negative.
+    shared.metrics.add_gauge(Gauge::BlockedQueueDepth, 1);
     // Register the entry under each watch key in the key's shard's
     // reverse index: functor and value keys pin one shard, arity keys
     // go in every shard (any of them may publish the change). An empty
     // watch can never be woken; it parks keyless on shard 0 so the
-    // end-of-run drain still finds it.
+    // end-of-run drain still finds it. Keys are visited in sorted order
+    // so the lock sequence replays deterministically under exploration.
+    let mut keys: Vec<WatchKey> = entry.watch.iter().copied().collect();
+    keys.sort_unstable();
     let mut any_key = false;
-    for key in entry.watch.iter() {
+    for key in &keys {
         any_key = true;
         match shard_of_watch_key(key, n) {
             Some(s) => shared.blocked[s]
@@ -1318,10 +1426,11 @@ fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, mut proc: ProcessInst
     if !any_key {
         shared.blocked[0].lock().keyless.push(entry.clone());
     }
-    if shared.epoch.load(Ordering::SeqCst) != eval_epoch {
+    if !shared.skip_park_recheck && shared.epoch.load(Ordering::SeqCst) != eval_epoch {
         // A commit published while we were parking; whether or not its
         // wake saw us, re-evaluating is the safe answer.
         if let Some(p) = entry.slot.lock().take() {
+            shared.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
             if entry.stalled.load(Ordering::SeqCst) {
                 shared.metrics.add_gauge(Gauge::StalledProcesses, -1);
             }
@@ -1341,10 +1450,10 @@ fn park(shared: &Shared, watch: WatchSet, eval_epoch: u64, mut proc: ProcessInst
             enqueue(shared, p);
             return;
         }
-        // A waker beat us to the slot and already re-queued us.
+        // A waker beat us to the slot and already re-queued us (and
+        // settled the depth gauge when it claimed).
     }
     shared.metrics.inc(Counter::ProcessesBlocked);
-    shared.metrics.add_gauge(Gauge::BlockedQueueDepth, 1);
 }
 
 #[cfg(test)]

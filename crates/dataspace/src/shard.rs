@@ -52,8 +52,8 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sdl_metrics::Metrics;
+use sdl_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use sdl_tuple::{Field, Pattern, ProcId, Tuple, TupleId};
 
 use crate::store::{Dataspace, IndexMode, TupleSource};

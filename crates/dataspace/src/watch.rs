@@ -24,7 +24,11 @@ use std::hash::{Hash, Hasher};
 use sdl_tuple::{Atom, Field, Pattern, Tuple, Value};
 
 /// A coarse description of which tuples a change could affect.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// `Ord` exists so callers that fan out over a `WatchSet`'s hash-ordered
+/// keys can sort first: wake scans must visit keys in a deterministic
+/// order or schedule exploration could not replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WatchKey {
     /// Tuples with this leading atom and arity.
     Functor(Atom, usize),

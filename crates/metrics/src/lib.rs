@@ -725,6 +725,12 @@ const SHARD_SLOTS: usize = MAX_SHARD_SERIES + 1;
 pub struct MetricsRegistry {
     counters: [AtomicU64; Counter::COUNT],
     gauges: [AtomicI64; Gauge::COUNT],
+    /// Low watermark per gauge: the smallest level ever observed after
+    /// an update. A correctly accounted depth gauge never dips below
+    /// zero; the schedule-exploration tests assert exactly that. The
+    /// watermark is exact when updates are serialised (as they are
+    /// under the explorer) and approximate under true concurrency.
+    gauge_mins: [AtomicI64; Gauge::COUNT],
     hists: Vec<HistStore>,
     /// `[kind][shard]`, flattened: `kind * SHARD_SLOTS + shard`, with the
     /// overflow aggregate in the last slot of each kind.
@@ -743,6 +749,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: std::array::from_fn(|_| AtomicI64::new(0)),
+            gauge_mins: std::array::from_fn(|_| AtomicI64::new(0)),
             hists: Hist::ALL.iter().map(|&h| HistStore::new(h)).collect(),
             shard_counters: (0..ShardCounter::COUNT * SHARD_SLOTS)
                 .map(|_| AtomicU64::new(0))
@@ -758,6 +765,13 @@ impl MetricsRegistry {
     /// Current level of `gauge`.
     pub fn gauge(&self, gauge: Gauge) -> i64 {
         self.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Lowest level `gauge` ever reached (0 if it never moved). Depth
+    /// gauges going negative — even transiently — indicate a decrement
+    /// racing ahead of its matching increment.
+    pub fn gauge_min(&self, gauge: Gauge) -> i64 {
+        self.gauge_mins[gauge as usize].load(Ordering::Relaxed)
     }
 
     /// Current value of a per-shard counter. Shards at index
@@ -882,7 +896,8 @@ impl MetricsSink for MetricsRegistry {
     }
 
     fn add_gauge(&self, gauge: Gauge, delta: i64) {
-        self.gauges[gauge as usize].fetch_add(delta, Ordering::Relaxed);
+        let new = self.gauges[gauge as usize].fetch_add(delta, Ordering::Relaxed) + delta;
+        self.gauge_mins[gauge as usize].fetch_min(new, Ordering::Relaxed);
     }
 }
 

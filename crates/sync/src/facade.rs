@@ -1,0 +1,476 @@
+//! The sync facade: `std::sync` wrappers that become scheduler yield points
+//! under [`crate::explore`].
+//!
+//! Fast path: one thread-local boolean load per operation, then straight to
+//! `std::sync` (lock poisoning is recovered, matching the vendored
+//! `parking_lot` shim the executor used before). Under exploration every
+//! acquisition, release, atomic access, condvar operation, spawn and sleep
+//! is announced to the deterministic scheduler first.
+
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+use crate::explore::{self, alloc_obj, Effect, ObjId, Op, ThreadCtx};
+
+fn lock_std<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+pub struct Mutex<T: ?Sized> {
+    id: ObjId,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: alloc_obj(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let ctx = explore::current();
+        if let Some(ctx) = &ctx {
+            ctx.reach(Op::Lock(self.id));
+        }
+        MutexGuard {
+            lock: self,
+            inner: Some(lock_std(&self.inner)),
+            ctx,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    ctx: Option<Arc<ThreadCtx>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `inner` is `None` when a condvar wait already released the model
+        // lock and unwound before reacquiring: nothing further to release.
+        if self.inner.take().is_some() {
+            if let Some(ctx) = &self.ctx {
+                ctx.eager_release(Effect::LockOp(self.lock.id));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+pub struct Condvar {
+    id: ObjId,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            id: alloc_obj(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing the mutex while waiting. No spurious
+    /// wakeups are injected under exploration; callers must use the usual
+    /// re-check loop anyway.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match guard.ctx.clone() {
+            Some(ctx) => {
+                let lock = guard.lock;
+                drop(guard.inner.take().expect("wait on released guard"));
+                ctx.cond_wait(self.id, lock.id);
+                guard.inner = Some(lock_std(&lock.inner));
+            }
+            None => {
+                let g = guard.inner.take().expect("wait on released guard");
+                let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+                guard.inner = Some(g);
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match explore::current() {
+            Some(ctx) => {
+                ctx.reach(Op::Notify {
+                    cv: self.id,
+                    all: false,
+                });
+            }
+            None => {
+                self.inner.notify_one();
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match explore::current() {
+            Some(ctx) => {
+                ctx.reach(Op::Notify {
+                    cv: self.id,
+                    all: true,
+                });
+            }
+            None => {
+                self.inner.notify_all();
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+pub struct RwLock<T: ?Sized> {
+    id: ObjId,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: alloc_obj(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let ctx = explore::current();
+        if let Some(ctx) = &ctx {
+            ctx.reach(Op::RwRead(self.id));
+        }
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+            ctx,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let ctx = explore::current();
+        if let Some(ctx) = &ctx {
+            ctx.reach(Op::RwWrite(self.id));
+        }
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+            ctx,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    ctx: Option<Arc<ThreadCtx>>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(ctx) = &self.ctx {
+                ctx.eager_release(Effect::RwRead(self.lock.id));
+            }
+        }
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    ctx: Option<Arc<ThreadCtx>>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            if let Some(ctx) = &self.ctx {
+                ctx.eager_release(Effect::RwWrite(self.lock.id));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! yield_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        pub struct $name {
+            id: ObjId,
+            inner: $std,
+        }
+
+        impl $name {
+            pub fn new(v: $val) -> Self {
+                $name {
+                    id: alloc_obj(),
+                    inner: <$std>::new(v),
+                }
+            }
+
+            #[inline]
+            fn announce(&self, op: fn(ObjId) -> Op) {
+                if let Some(ctx) = explore::current() {
+                    ctx.reach(op(self.id));
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $val {
+                self.announce(Op::AtomLoad);
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, v: $val, order: Ordering) {
+                self.announce(Op::AtomStore);
+                self.inner.store(v, order)
+            }
+
+            pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                self.announce(Op::AtomStore);
+                self.inner.swap(v, order)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+yield_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+yield_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+yield_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl AtomicU64 {
+    pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        self.announce(Op::AtomStore);
+        self.inner.fetch_add(v, order)
+    }
+
+    pub fn fetch_max(&self, v: u64, order: Ordering) -> u64 {
+        self.announce(Op::AtomStore);
+        self.inner.fetch_max(v, order)
+    }
+}
+
+impl AtomicUsize {
+    pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        self.announce(Op::AtomStore);
+        self.inner.fetch_add(v, order)
+    }
+
+    pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+        self.announce(Op::AtomStore);
+        self.inner.fetch_sub(v, order)
+    }
+}
+
+impl AtomicBool {
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.announce(Op::AtomStore);
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// A counter that is *not* a yield point: id allocation and metric tallies
+/// whose interleaving cannot affect control flow. Keeping these out of the
+/// schedule space is what makes exploration of the real executor tractable.
+#[derive(Debug, Default)]
+pub struct RelaxedCounter(std::sync::atomic::AtomicU64);
+
+impl RelaxedCounter {
+    pub fn new(v: u64) -> Self {
+        RelaxedCounter(std::sync::atomic::AtomicU64::new(v))
+    }
+
+    pub fn fetch_add(&self, v: u64) -> u64 {
+        self.0.fetch_add(v, Ordering::Relaxed)
+    }
+
+    pub fn load(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Scoped-thread wrapper; `spawn` registers children with the explorer when
+/// one is active so the scheduler owns their interleaving from birth.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<Arc<ThreadCtx>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        match &self.ctx {
+            None => {
+                self.inner.spawn(f);
+            }
+            Some(ctx) => explore::spawn_under(ctx, self.inner, f),
+        }
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    match explore::current() {
+        None => std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                ctx: None,
+            })
+        }),
+        Some(ctx) => std::thread::scope(|s| {
+            let sc = Scope {
+                inner: s,
+                ctx: Some(Arc::clone(&ctx)),
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(&sc))) {
+                Ok(r) => {
+                    // Wait for the children under scheduler control; the
+                    // real scope join below then completes without blocking
+                    // the exploration.
+                    ctx.join_children();
+                    r
+                }
+                Err(p) => {
+                    // The scope body unwound with children possibly still
+                    // parked in the scheduler: stop the execution so they
+                    // drain, then let the real scope join and re-raise.
+                    ctx.stop_all(explore::unwind_message(&p));
+                    std::panic::resume_unwind(p)
+                }
+            }
+        }),
+    }
+}
+
+/// Sleep, or — under exploration — a budgeted yield point: after the
+/// per-thread sleep budget is spent, the sleeper only runs when no other
+/// thread can (so polling loops stay live but cannot dominate schedules).
+pub fn sleep(d: Duration) {
+    match explore::current() {
+        Some(ctx) => {
+            ctx.reach(Op::Sleep);
+        }
+        None => std::thread::sleep(d),
+    }
+}

@@ -1,0 +1,36 @@
+//! Sync facade + deterministic schedule explorer.
+//!
+//! Every synchronisation primitive the threaded executor touches — mutexes,
+//! condvars, reader-writer locks, the handful of cross-thread atomics — is
+//! re-exported from this crate instead of `std::sync`/`parking_lot`. In a
+//! normal build the facade is a thin wrapper over `std::sync` (one
+//! thread-local boolean check per operation, nothing else). Under
+//! [`explore::Explore`] the same primitives become *yield points*: each
+//! operation announces itself to a deterministic scheduler that owns thread
+//! interleaving, so a test can enumerate schedules exhaustively (with
+//! sleep-set pruning and an optional preemption bound), detect deadlocks —
+//! the observable shape of a lost wakeup — and replay any failing schedule
+//! from a compact trace string.
+//!
+//! The model is sequentially consistent: exactly one thread runs between
+//! yield points, and the real operation executes only after the scheduler
+//! grants the announced one. That is a superset of the behaviours the
+//! `SeqCst` orderings used in `parallel.rs` allow, minus spurious condvar
+//! wakeups (which the executor's wait loops tolerate by construction).
+//!
+//! Rules for code running under exploration:
+//! - never hold a non-facade lock across a facade operation;
+//! - never block on anything the scheduler cannot see (channels, IO);
+//! - keep per-thread nondeterminism (RNG seeds, ids) derived from inputs,
+//!   not from time or address-space layout, so schedules replay.
+
+pub mod explore;
+mod facade;
+
+pub use facade::{
+    scope, sleep, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, RelaxedCounter,
+    RwLock, RwLockReadGuard, RwLockWriteGuard, Scope,
+};
+/// Re-exported so facade users need no separate `std::sync::atomic`
+/// import for the ordering argument.
+pub use std::sync::atomic::Ordering;

@@ -36,6 +36,7 @@ mod growth;
 pub mod json;
 pub mod perfetto;
 mod render;
+pub mod schedule;
 mod stats;
 pub mod timeline;
 

@@ -1,0 +1,72 @@
+//! End-to-end schedule artifact: explore the threaded executor with the
+//! seeded lost-wakeup mutant, capture the failing interleaving, and
+//! write the replayable schedule (text) plus its Perfetto export (JSON)
+//! where CI can upload them.
+//!
+//! This is the pipeline a real interleaving bug would ride: explorer
+//! finds it → compact schedule string pins it → `sdl-trace` renders the
+//! step staircase for a human. The test asserts every stage works, and
+//! doubles as the CI check that the explorer still catches the mutant
+//! within budget.
+
+use std::path::PathBuf;
+
+use sdl_core::parallel::ParallelRuntime;
+use sdl_core::CompiledProgram;
+use sdl_sync::explore::Explore;
+use sdl_trace::schedule::schedule_trace_to_string;
+
+fn run_mutant() {
+    let program = CompiledProgram::from_source(
+        "process Producer() { true -> <item, 1> }
+         process Consumer() { exists x : <item, x>! => <got, x> }",
+    )
+    .unwrap();
+    let (report, _ds) = ParallelRuntime::builder(program)
+        .threads(2)
+        .seed(7)
+        .testing_skip_park_recheck(true)
+        .spawn("Producer", vec![])
+        .spawn("Consumer", vec![])
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        report.outcome.is_completed(),
+        "consumer never woke: {:?}",
+        report.outcome
+    );
+}
+
+#[test]
+fn mutant_failure_exports_replayable_artifacts() {
+    let report = Explore::new()
+        .max_schedules(20_000)
+        .max_steps(20_000)
+        .run(run_mutant);
+    let failure = report
+        .failure
+        .expect("explorer must catch the lost-wakeup mutant in budget");
+
+    // The schedule replays before we publish it as an artifact.
+    let replayed = Explore::new()
+        .replay(&failure.schedule, run_mutant)
+        .expect("artifact schedule must replay to the same failure");
+    assert_eq!(replayed.schedule, failure.schedule);
+
+    let json = schedule_trace_to_string(&failure);
+    sdl_trace::json::parse(&json).expect("Perfetto export must be valid JSON");
+
+    let dir = std::env::var("SDL_SCHEDULE_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("../../target/schedule-artifacts"));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("lost-wakeup.schedule.txt"), failure.to_string()).unwrap();
+    std::fs::write(dir.join("lost-wakeup.perfetto.json"), json).unwrap();
+    println!(
+        "schedule artifact: {} steps, schedule {}",
+        failure.steps.len(),
+        failure.schedule
+    );
+}
