@@ -58,6 +58,7 @@ fn load_scenario(server: &Server, name: &str, sim_clients: usize, pipeline: usiz
         connections: 64.min(sim_clients),
         pipeline,
         ops_per_client: ops,
+        relations: 1,
     };
     let r = run_load(&cfg).expect("load run");
     assert_eq!(r.misses, 0, "{name}: program order broken");

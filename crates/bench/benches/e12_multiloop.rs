@@ -1,0 +1,142 @@
+//! E12 — multi-core networked serving: loops × clients scaling matrix.
+//!
+//! The multi-loop experiment for the TCP front-end: the same pipelined
+//! mailbox load as E10, but swept over `--loops` with the
+//! **disjoint-relation** profile (`--relations` = the connection count,
+//! so every connection's traffic lives on its own relations, and
+//! therefore its own shards — the profile where N event loops can
+//! commit truly in parallel). Claims measured here:
+//!
+//! * **Single-loop parity**: `loops1_10k_mbox` is exactly the E10
+//!   `clients_10k` workload through the multi-loop server at
+//!   `loops = 1`; its ns_per_op must stay within a few percent of the
+//!   E10 number (the refactor onto the sharded store costs nothing at
+//!   one loop).
+//! * **Loop scaling on disjoint relations**: `loops{1,2,4}_10k_disjoint`
+//!   sweeps worker loops at 10k clients. On a multi-core host, 4 loops
+//!   should sustain ≥ 2.5× the ops/s of 1 loop; on a single hardware
+//!   core the loops time-slice and the sweep instead measures that the
+//!   coordination (footprint locks, cross-loop wakes) does not *cost*
+//!   throughput. Read the numbers with the host's core count in hand.
+//! * **Compact client state**: `loops4_1m_compact` drives one million
+//!   simulated clients (~4 MB of generator state) through 64
+//!   connections — the ROADMAP's 1M-client load target.
+//!
+//! Like E10, scenarios are one-shot wall-clock measurements printed in
+//! the harness's `ns/iter` line format so `scripts/bench_record.sh`
+//! records them: the value is ns per completed op (or ns of latency for
+//! `p50`/`p99`) and `iters` is the op count.
+
+use sdl::metrics::Metrics;
+use sdl::server::{run_load, serve, LoadConfig, Server, ServerConfig};
+
+fn start_server(loops: usize) -> Server {
+    let cfg = ServerConfig {
+        loops,
+        shards: 16,
+        ..ServerConfig::default()
+    };
+    serve(cfg, Metrics::disabled()).expect("bind ephemeral server")
+}
+
+/// The harness's first-free-arg substring filter, applied to the
+/// custom-printed load scenarios.
+fn filtered_out(name: &str) -> bool {
+    match std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+        Some(f) => !name.contains(&f),
+        None => false,
+    }
+}
+
+/// Prints a measurement in the vendored harness's line format.
+fn report(name: &str, value_ns: f64, iters: u64) {
+    if !filtered_out(name) {
+        println!("{name:<50} {value_ns:>12.1} ns/iter ({iters} iters)");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn load_scenario(
+    name: &str,
+    loops: usize,
+    sim_clients: usize,
+    connections: usize,
+    pipeline: usize,
+    ops: usize,
+    relations: usize,
+) {
+    if filtered_out(&format!("{name}/ns_per_op")) && filtered_out(&format!("{name}/p50")) {
+        return;
+    }
+    let server = start_server(loops);
+    let cfg = LoadConfig {
+        addr: server.addr().to_string(),
+        sim_clients,
+        connections,
+        pipeline,
+        ops_per_client: ops,
+        relations,
+    };
+    let r = run_load(&cfg).expect("load run");
+    server.shutdown().expect("shutdown");
+    assert_eq!(r.misses, 0, "{name}: program order broken");
+    report(&format!("{name}/ns_per_op"), 1e9 / r.ops_per_sec, r.ops);
+    report(&format!("{name}/p50"), r.p50_ns as f64, r.ops);
+    report(&format!("{name}/p99"), r.p99_ns as f64, r.ops);
+}
+
+fn main() {
+    // `cargo test` runs harness-less bench binaries with `--test`; like
+    // the vendored criterion_main!, bail out so benches don't slow the
+    // test suite (the CI smoke checks the binary builds and starts).
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+
+    // Single-loop parity with E10: the same 10k-client single-relation
+    // workload, through the multi-loop server at loops = 1.
+    load_scenario("e12_multiloop/loops1_10k_mbox", 1, 10_000, 64, 64, 4, 1);
+
+    // The loop sweep on the disjoint-relation profile (relations =
+    // connections, so connection slices align with relation blocks).
+    load_scenario(
+        "e12_multiloop/loops1_10k_disjoint",
+        1,
+        10_000,
+        64,
+        64,
+        4,
+        64,
+    );
+    load_scenario(
+        "e12_multiloop/loops2_10k_disjoint",
+        2,
+        10_000,
+        64,
+        64,
+        4,
+        64,
+    );
+    load_scenario(
+        "e12_multiloop/loops4_10k_disjoint",
+        4,
+        10_000,
+        64,
+        64,
+        4,
+        64,
+    );
+
+    // The 1M-simulated-clients compact-state point: generator state is
+    // one u32 per client, so a million clients is ~4 MB, not a gigabyte
+    // of per-client buffers.
+    load_scenario(
+        "e12_multiloop/loops4_1m_compact",
+        4,
+        1_000_000,
+        64,
+        64,
+        2,
+        64,
+    );
+}

@@ -43,7 +43,7 @@
 //!
 //! [`Runtime::run_rounds`]: crate::Runtime::run_rounds
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -734,21 +734,30 @@ fn enqueue(shared: &Shared, proc: ProcessInstance) {
     shared.cv.notify_one();
 }
 
-/// The shards a transaction's evaluation may read: those of its resolved
-/// atom patterns. Falls back to every shard when a pattern cannot be
-/// resolved or routed, or when the view restricts imports (admission
-/// tests run rule-condition queries over patterns outside the
-/// transaction's own atom list).
-fn eval_footprint(shared: &Shared, proc: &ProcessInstance, t: &CompiledTxn) -> ShardSet {
-    let n = shared.sds.num_shards();
-    let all = shared.sds.all_shards();
-    if n == 1 || !proc.def.view.imports_everything() {
+/// The shards a transaction's evaluation may read over a full-store
+/// view: those of its resolved atom patterns. Falls back to every shard
+/// when a pattern cannot be resolved or routed.
+///
+/// Shared footprint-lock entry point: both this executor (through
+/// [`eval_footprint`], which adds the view-restriction fallback) and the
+/// networked server's per-loop engines route their read-lock
+/// acquisitions through this computation, so a `read_shards` over the
+/// result is guaranteed to cover everything the evaluation can touch.
+pub fn txn_read_footprint(
+    sds: &ShardedDataspace,
+    t: &CompiledTxn,
+    env: &HashMap<String, Value>,
+    builtins: &Builtins,
+) -> ShardSet {
+    let n = sds.num_shards();
+    let all = sds.all_shards();
+    if n == 1 {
         return all;
     }
     let ctx = EnvCtx {
-        env: &proc.env,
+        env,
         vars: None,
-        builtins: &shared.builtins,
+        builtins,
     };
     let mut fp = ShardSet::new();
     for a in &t.atoms {
@@ -763,23 +772,26 @@ fn eval_footprint(shared: &Shared, proc: &ProcessInstance, t: &CompiledTxn) -> S
     fp
 }
 
-/// The shards a pending commit touches: those of its read/retract ids,
-/// asserted tuples, and (for validation) its negation and forall
-/// evidence patterns. Falls back to every shard when evidence is
-/// unroutable or when export rules apply (their condition queries range
-/// over the whole store).
-fn commit_footprint(shared: &Shared, proc: &ProcessInstance, p: &Pending) -> ShardSet {
-    let n = shared.sds.num_shards();
-    let all = shared.sds.all_shards();
-    if n == 1 || (!proc.def.view.exports_everything() && !p.asserts.is_empty()) {
+/// The shards a pending commit touches over a full-store view: those of
+/// its read/retract ids, asserted tuples, and (for validation) its
+/// negation and forall evidence patterns. Falls back to every shard when
+/// evidence is unroutable.
+///
+/// Shared footprint-lock entry point (see [`txn_read_footprint`]): a
+/// `write_shards` over the result covers both `Pending::validate` and
+/// the commit's `apply_batch`.
+pub fn pending_write_footprint(sds: &ShardedDataspace, p: &Pending) -> ShardSet {
+    let n = sds.num_shards();
+    let all = sds.all_shards();
+    if n == 1 {
         return all;
     }
     let mut fp = ShardSet::new();
     for id in p.reads.iter().chain(&p.retracts) {
-        fp.insert(shared.sds.shard_of_id(*id));
+        fp.insert(sds.shard_of_id(*id));
     }
     for tu in &p.asserts {
-        fp.insert(shared.sds.shard_of_tuple(tu));
+        fp.insert(sds.shard_of_tuple(tu));
     }
     for pat in &p.neg_checks {
         match shard_of_pattern(pat, n) {
@@ -794,6 +806,25 @@ fn commit_footprint(shared: &Shared, proc: &ProcessInstance, p: &Pending) -> Sha
         }
     }
     fp
+}
+
+/// [`txn_read_footprint`] plus the executor's view-restriction fallback
+/// (admission tests run rule-condition queries over patterns outside the
+/// transaction's own atom list).
+fn eval_footprint(shared: &Shared, proc: &ProcessInstance, t: &CompiledTxn) -> ShardSet {
+    if !proc.def.view.imports_everything() {
+        return shared.sds.all_shards();
+    }
+    txn_read_footprint(&shared.sds, t, &proc.env, &shared.builtins)
+}
+
+/// [`pending_write_footprint`] plus the executor's export-rule fallback
+/// (export condition queries range over the whole store).
+fn commit_footprint(shared: &Shared, proc: &ProcessInstance, p: &Pending) -> ShardSet {
+    if !proc.def.view.exports_everything() && !p.asserts.is_empty() {
+        return shared.sds.all_shards();
+    }
+    pending_write_footprint(&shared.sds, p)
 }
 
 /// Wakes blocked processes subscribed to any of `changed`'s keys,

@@ -339,6 +339,85 @@ fn budget_sweep() {
     assert!(report.failure.is_some());
 }
 
+/// The durability hook under exploration (PR 8 follow-up): WAL appends
+/// happen inside each commit's shard write locks, so the append order
+/// the log records is a legal serialisation of the commit order no
+/// matter how the committers interleave. Recovery replays that order;
+/// the recovered store must therefore be *identical* — ids, owners,
+/// values, and id-mint cursors — to the live store after every explored
+/// interleaving of two workers racing pairwise-summation commits.
+#[test]
+fn wal_append_order_recovers_exact_state_under_exploration() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use sdl_durability::{recover, FsyncPolicy, Wal, WalConfig};
+
+    // A fresh scratch dir per explored schedule; file I/O is not a
+    // yield point, so the paths stay out of the schedule space.
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let report = Explore::new()
+        .max_schedules(20_000)
+        .max_steps(30_000)
+        .preemption_bound(2)
+        .run(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "sdl-explore-wal-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed)
+            ));
+            let mut cfg = WalConfig::new(&dir);
+            cfg.fsync = FsyncPolicy::Never;
+            let wal = Arc::new(Wal::create(cfg, 2, Metrics::disabled()).expect("wal creates"));
+            let program = CompiledProgram::from_source(
+                "process W() { loop { exists a, b : <v, a>!, <v, b>! -> <v, a + b> } }",
+            )
+            .unwrap();
+            let (report, ds) = ParallelRuntime::builder(program)
+                .threads(2)
+                .shards(2)
+                .seed(9)
+                .tuples(vec![
+                    tuple![Value::atom("v"), 1],
+                    tuple![Value::atom("v"), 2],
+                    tuple![Value::atom("v"), 3],
+                ])
+                .wal(Arc::clone(&wal))
+                .spawn("W", vec![])
+                .spawn("W", vec![])
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            // Two summation commits fold three values into <v, 6>; the
+            // workers' loops then run dry and complete.
+            assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+            assert_eq!(ds.count_value(&tuple![Value::atom("v"), 6]), 1);
+
+            // The run's final sync flushed everything; recovery must
+            // reproduce the live store exactly.
+            let recovered = recover(&dir, &Metrics::disabled()).expect("recovers");
+            let mut live: Vec<_> = ds.iter().map(|(id, t)| (id, t.clone())).collect();
+            live.sort();
+            assert_eq!(
+                recovered.tuples, live,
+                "recovered store diverged from the live store"
+            );
+            assert_eq!(recovered.n_shards, 2);
+            assert_eq!(
+                recovered.last_commit, recovered.records_replayed,
+                "commit numbering must be gapless from an empty log"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    assert!(
+        report.failure.is_none(),
+        "WAL recovery diverged under exploration:\n{}",
+        report.failure.unwrap()
+    );
+    assert!(report.schedules > 1, "expected real branching");
+}
+
 /// The stall watchdog (threshold zero so every park trips it) must
 /// neither double-flag an entry nor leave the stalled gauge unsettled,
 /// under any interleaving of watchdog scans, wakes, and the drain.

@@ -46,8 +46,8 @@ mod window;
 
 pub use plan::{estimate_positives, estimates_drifted, plan_query, PlanMode, QueryPlan};
 pub use shard::{
-    shard_of_pattern, shard_of_tuple, shard_of_watch_key, ShardReadView, ShardSet, ShardWriteView,
-    ShardedDataspace, MAX_SHARDS,
+    shard_of_pattern, shard_of_tuple, shard_of_watch_key, shards_of_watch_key, ShardReadView,
+    ShardSet, ShardWriteView, ShardedDataspace, MAX_SHARDS,
 };
 pub use solve::{AtomMode, ForallEvidence, QueryAtom, Solution, SolveLimits, Solver};
 pub use store::{intersect_sorted, Action, BatchOutcome, Dataspace, IndexMode, TupleSource};

@@ -115,6 +115,21 @@ pub fn shard_of_watch_key(key: &WatchKey, n: usize) -> Option<usize> {
     }
 }
 
+/// The shards whose reverse wake indexes must hold a subscription on
+/// `key` for no publication to be missed: the routed shard for
+/// `Functor`/`Value` keys, every shard for `Arity` keys (any shard's
+/// commits can publish those).
+pub fn shards_of_watch_key(key: &WatchKey, n: usize) -> ShardSet {
+    match shard_of_watch_key(key, n) {
+        Some(s) => {
+            let mut set = ShardSet::new();
+            set.insert(s);
+            set
+        }
+        None => ShardSet::all(n),
+    }
+}
+
 /// A set of shard indices, backed by a `u64` bitmask (hence
 /// [`MAX_SHARDS`] = 64).
 #[derive(Clone, Copy, Default, PartialEq, Eq)]

@@ -481,6 +481,48 @@ impl ShardCounter {
     }
 }
 
+/// Per-event-loop counters recorded by the networked server. Like
+/// [`ShardCounter`] these carry a dynamic `loop` label and get their own
+/// channel, clamped at [`MAX_LOOP_SERIES`] with an overflow aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum LoopCounter {
+    /// `sdl_net_requests_total{loop="i"}` — wire requests decoded and
+    /// executed by event loop *i* (the per-loop decomposition of the
+    /// `op=`-labelled request series).
+    Requests,
+    /// `sdl_net_loop_wake_handoffs_total{loop="i"}` — wakes claimed by a
+    /// commit on another loop and handed to loop *i* through its mailbox
+    /// + wake fd.
+    WakeHandoffs,
+}
+
+impl LoopCounter {
+    /// Both per-loop counters, exposition order.
+    pub const ALL: [LoopCounter; 2] = [LoopCounter::Requests, LoopCounter::WakeHandoffs];
+
+    /// Number of per-loop counter kinds.
+    pub const COUNT: usize = LoopCounter::ALL.len();
+
+    /// The Prometheus metric name (family).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopCounter::Requests => "sdl_net_requests_total",
+            LoopCounter::WakeHandoffs => "sdl_net_loop_wake_handoffs_total",
+        }
+    }
+
+    /// Help text for the metric family.
+    pub fn help(self) -> &'static str {
+        match self {
+            LoopCounter::Requests => "Wire-protocol requests decoded, by event loop.",
+            LoopCounter::WakeHandoffs => {
+                "Cross-loop wakes delivered to the loop via its mailbox and wake fd."
+            }
+        }
+    }
+}
+
 /// Instantaneous levels (up/down), as opposed to the monotone [`Counter`]s.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
@@ -494,14 +536,18 @@ pub enum Gauge {
     /// `sdl_net_connections` — client connections currently open on the
     /// networked server.
     NetConnections,
+    /// `sdl_net_loops` — event-loop worker threads the networked server
+    /// is running (static for a server's lifetime).
+    NetLoops,
 }
 
 impl Gauge {
     /// All gauges in exposition order.
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::BlockedQueueDepth,
         Gauge::StalledProcesses,
         Gauge::NetConnections,
+        Gauge::NetLoops,
     ];
 
     /// Number of distinct gauges.
@@ -513,6 +559,7 @@ impl Gauge {
             Gauge::BlockedQueueDepth => "sdl_blocked_queue_depth",
             Gauge::StalledProcesses => "sdl_stalled_processes",
             Gauge::NetConnections => "sdl_net_connections",
+            Gauge::NetLoops => "sdl_net_loops",
         }
     }
 
@@ -524,6 +571,7 @@ impl Gauge {
                 "Parked processes flagged by the stall watchdog (beyond --stall-ms)."
             }
             Gauge::NetConnections => "Client connections currently open on the networked server.",
+            Gauge::NetLoops => "Event-loop worker threads serving the networked dataspace.",
         }
     }
 }
@@ -541,6 +589,12 @@ pub trait MetricsSink: Send + Sync {
     /// predate sharding (event streams, tests) keep compiling unchanged.
     fn add_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
         let _ = (shard, counter, n);
+    }
+
+    /// Adds `n` to a per-event-loop counter. Default: discard, so sinks
+    /// that predate the multi-loop server keep compiling unchanged.
+    fn add_loop(&self, event_loop: usize, counter: LoopCounter, n: u64) {
+        let _ = (event_loop, counter, n);
     }
 
     /// Moves a gauge by `delta` (negative to decrement). Default: discard,
@@ -634,6 +688,14 @@ impl Metrics {
         }
     }
 
+    /// Adds `n` to the per-event-loop counter for `event_loop`.
+    #[inline]
+    pub fn add_loop(&self, event_loop: usize, counter: LoopCounter, n: u64) {
+        if let Some(sink) = &self.sink {
+            sink.add_loop(event_loop, counter, n);
+        }
+    }
+
     /// Moves `gauge` by `delta` (negative to decrement).
     #[inline]
     pub fn add_gauge(&self, gauge: Gauge, delta: i64) {
@@ -719,6 +781,15 @@ pub const MAX_SHARD_SERIES: usize = 64;
 /// aggregate at index `MAX_SHARD_SERIES`.
 const SHARD_SLOTS: usize = MAX_SHARD_SERIES + 1;
 
+/// Fixed event-loop-label capacity, clamped exactly like the shard
+/// series: loops at index ≥ `MAX_LOOP_SERIES` fold into one aggregate
+/// slot rendered as `loop="overflow"`.
+pub const MAX_LOOP_SERIES: usize = 64;
+
+/// Per-kind loop slots: one per addressable loop plus the overflow
+/// aggregate at index `MAX_LOOP_SERIES`.
+const LOOP_SLOTS: usize = MAX_LOOP_SERIES + 1;
+
 /// Lock-free metric storage: one atomic per [`Counter`], fixed-bucket
 /// atomics per [`Hist`]. Shared via `Arc` between the runtime and whoever
 /// reads the snapshot at the end.
@@ -735,6 +806,8 @@ pub struct MetricsRegistry {
     /// `[kind][shard]`, flattened: `kind * SHARD_SLOTS + shard`, with the
     /// overflow aggregate in the last slot of each kind.
     shard_counters: Vec<AtomicU64>,
+    /// `[kind][loop]`, flattened like `shard_counters`.
+    loop_counters: Vec<AtomicU64>,
 }
 
 impl Default for MetricsRegistry {
@@ -752,6 +825,9 @@ impl MetricsRegistry {
             gauge_mins: std::array::from_fn(|_| AtomicI64::new(0)),
             hists: Hist::ALL.iter().map(|&h| HistStore::new(h)).collect(),
             shard_counters: (0..ShardCounter::COUNT * SHARD_SLOTS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            loop_counters: (0..LoopCounter::COUNT * LOOP_SLOTS)
                 .map(|_| AtomicU64::new(0))
                 .collect(),
         }
@@ -788,6 +864,20 @@ impl MetricsRegistry {
         self.shard_counter(MAX_SHARD_SERIES, counter)
     }
 
+    /// Current value of a per-event-loop counter. Loops at index
+    /// ≥ [`MAX_LOOP_SERIES`] share one aggregate slot, so querying any
+    /// out-of-range loop returns the overflow total.
+    pub fn loop_counter(&self, event_loop: usize, counter: LoopCounter) -> u64 {
+        let slot = event_loop.min(MAX_LOOP_SERIES);
+        self.loop_counters[counter as usize * LOOP_SLOTS + slot].load(Ordering::Relaxed)
+    }
+
+    /// The aggregate count folded in from loops at index
+    /// ≥ [`MAX_LOOP_SERIES`] (the `loop="overflow"` series).
+    pub fn loop_overflow_counter(&self, counter: LoopCounter) -> u64 {
+        self.loop_counter(MAX_LOOP_SERIES, counter)
+    }
+
     /// Total observations recorded into `hist`.
     pub fn hist_count(&self, hist: Hist) -> u64 {
         self.hists[hist as usize].count.load(Ordering::Relaxed)
@@ -796,6 +886,41 @@ impl MetricsRegistry {
     /// Sum of observations recorded into `hist`.
     pub fn hist_sum(&self, hist: Hist) -> f64 {
         self.hists[hist as usize].sum()
+    }
+
+    /// Renders the touched series of one per-loop counter into `out`.
+    /// `headers` emits HELP/TYPE (families of their own); the request
+    /// series instead joins the op-labelled family's existing block.
+    fn render_loop_series(&self, out: &mut String, lc: LoopCounter, headers: bool) {
+        use std::fmt::Write;
+        let nonzero: Vec<usize> = (0..LOOP_SLOTS)
+            .filter(|&l| self.loop_counter(l, lc) != 0)
+            .collect();
+        if nonzero.is_empty() {
+            return;
+        }
+        if headers {
+            let _ = writeln!(out, "# HELP {} {}", lc.name(), lc.help());
+            let _ = writeln!(out, "# TYPE {} counter", lc.name());
+        }
+        for l in nonzero {
+            if l == MAX_LOOP_SERIES {
+                let _ = writeln!(
+                    out,
+                    "{}{{loop=\"overflow\"}} {}",
+                    lc.name(),
+                    self.loop_counter(l, lc)
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{}{{loop=\"{}\"}} {}",
+                    lc.name(),
+                    l,
+                    self.loop_counter(l, lc)
+                );
+            }
+        }
     }
 
     /// Renders the whole registry in Prometheus text exposition format.
@@ -815,6 +940,12 @@ impl MetricsRegistry {
                 let _ = writeln!(out, "{} {}", c.name(), self.counter(c));
             } else {
                 let _ = writeln!(out, "{}{{{}}} {}", c.name(), labels, self.counter(c));
+            }
+            if c == Counter::NetReqOther {
+                // The per-loop request series shares the
+                // sdl_net_requests_total family with the op= series, so
+                // its samples must stay inside this family block.
+                self.render_loop_series(&mut out, LoopCounter::Requests, false);
             }
         }
         for &g in &Gauge::ALL {
@@ -852,6 +983,9 @@ impl MetricsRegistry {
                 }
             }
         }
+        // Per-loop families that don't merge into an existing counter
+        // family get their own block (requests rendered above).
+        self.render_loop_series(&mut out, LoopCounter::WakeHandoffs, true);
         for &h in &Hist::ALL {
             let store = &self.hists[h as usize];
             let _ = writeln!(out, "# HELP {} {}", h.name(), h.help());
@@ -893,6 +1027,11 @@ impl MetricsSink for MetricsRegistry {
     fn add_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
         let slot = shard.min(MAX_SHARD_SERIES);
         self.shard_counters[counter as usize * SHARD_SLOTS + slot].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_loop(&self, event_loop: usize, counter: LoopCounter, n: u64) {
+        let slot = event_loop.min(MAX_LOOP_SERIES);
+        self.loop_counters[counter as usize * LOOP_SLOTS + slot].fetch_add(n, Ordering::Relaxed);
     }
 
     fn add_gauge(&self, gauge: Gauge, delta: i64) {
@@ -1016,6 +1155,39 @@ mod tests {
             !text.contains("shard=\"64\""),
             "no per-shard series past the cap"
         );
+    }
+
+    #[test]
+    fn loop_counters_clamp_and_share_the_request_family() {
+        let (m, reg) = Metrics::registry();
+        m.inc(Counter::NetReqOut);
+        m.add_loop(0, LoopCounter::Requests, 5);
+        m.add_loop(3, LoopCounter::Requests, 2);
+        m.add_loop(1, LoopCounter::WakeHandoffs, 4);
+        m.add_loop(MAX_LOOP_SERIES + 10, LoopCounter::WakeHandoffs, 1);
+        assert_eq!(reg.loop_counter(0, LoopCounter::Requests), 5);
+        assert_eq!(reg.loop_overflow_counter(LoopCounter::WakeHandoffs), 1);
+        let text = reg.render_prometheus();
+        // One family header for sdl_net_requests_total, with both op=
+        // and loop= series inside it.
+        assert_eq!(
+            text.matches("# TYPE sdl_net_requests_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("sdl_net_requests_total{op=\"out\"} 1"));
+        assert!(text.contains("sdl_net_requests_total{loop=\"0\"} 5"));
+        assert!(text.contains("sdl_net_requests_total{loop=\"3\"} 2"));
+        let op_block = text.find("sdl_net_requests_total{op=\"out\"}").unwrap();
+        let loop_line = text.find("sdl_net_requests_total{loop=\"0\"}").unwrap();
+        let next_type = text[op_block..].find("# TYPE").unwrap() + op_block;
+        assert!(loop_line < next_type, "loop series stay inside the family");
+        assert!(text.contains("# TYPE sdl_net_loop_wake_handoffs_total counter"));
+        assert!(text.contains("sdl_net_loop_wake_handoffs_total{loop=\"1\"} 4"));
+        assert!(text.contains("sdl_net_loop_wake_handoffs_total{loop=\"overflow\"} 1"));
+        // sdl_net_loops renders as a plain gauge.
+        m.add_gauge(Gauge::NetLoops, 4);
+        assert!(reg.render_prometheus().contains("sdl_net_loops 4"));
     }
 
     #[test]

@@ -1,40 +1,50 @@
-//! The server-side engine: one single-threaded `Dataspace` plus the
-//! machinery that maps decoded wire requests onto it.
+//! The per-loop request engine: maps decoded wire requests onto the
+//! shared [`ShardedDataspace`] through footprint locking.
 //!
-//! Three properties carry the load profile the server is built for:
+//! Each event loop owns one `Engine`. Connection state (the parked-op
+//! table, the assert buffer, reply routing) is loop-local and
+//! lock-free; the store itself is shared, and every op acquires exactly
+//! the shard locks its footprint routes to — the same discipline
+//! `core::parallel` uses — so ops over disjoint relations on different
+//! loops evaluate and commit truly in parallel:
 //!
-//! * **Batched commits** — consecutive `out` requests (from any mix of
-//!   connections) buffer into one [`Dataspace::apply_batch`] call,
-//!   flushed before the first read-type op needs to observe them. A
-//!   readiness burst of thousands of pipelined asserts costs one index
-//!   maintenance pass, not thousands.
-//! * **Zero-polling parks** — blocking `in`/`rd`/delayed transactions
-//!   subscribe to the store's value-level watch keys (the same reverse
-//!   wake index discipline the schedulers use). A parked request costs
-//!   nothing until a commit publishes one of its keys.
-//! * **Eager disconnect cleanup** — every parked request is indexed by
-//!   connection, so closing a connection removes its blocked entries
-//!   and decrements `sdl_blocked_queue_depth` immediately; a dead
-//!   client cannot leak blocked-queue residue.
-//!
-//! The engine is deliberately lock-free: the event loop owns it and the
-//! store outright, so a request's whole lifetime runs on one thread.
+//! * **Batched commits** — consecutive `out` requests buffer into one
+//!   `apply_batch` under one write footprint, flushed before the first
+//!   read-type op needs to observe them (per-connection program order).
+//! * **Zero-polling parks** — blocking ops register claimable
+//!   [`Waiter`] stubs in the shared per-shard wake routers
+//!   ([`NetShared`]) under the commit-epoch park protocol, so a parked
+//!   request costs nothing until a commit publishes one of its keys —
+//!   no matter which loop commits it.
+//! * **Cross-loop wakes** — a commit's wake scan claims waiters
+//!   exactly once; wakes for this loop retry inline in [`Engine::finish`],
+//!   wakes for other loops travel through their mailboxes and surface
+//!   here via [`Engine::deliver_wakes`]. The engine never touches an
+//!   fd: it accumulates a kick mask the event loop turns into wake-fd
+//!   writes, keeping the whole protocol explorable.
+//! * **Eager disconnect cleanup** — parked requests are indexed by
+//!   connection; closing one removes its blocked entries immediately
+//!   (stubs in the routers are claimed, so remote wake scans drop them
+//!   lazily), and `sdl_blocked_queue_depth` returns to baseline.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
+use sdl_core::parallel::{pending_write_footprint, txn_read_footprint};
 use sdl_core::program::{compile_txn, CompiledTxn};
-use sdl_core::txn::{evaluate, watch_set_on, Pending, PlanConfig};
+use sdl_core::txn::{build_effects, evaluate_query, watch_set_on, PlanConfig};
 use sdl_core::Builtins;
-use sdl_dataspace::{Action, Dataspace, SolveLimits, TupleSource, WatchKey, WatchSet};
+use sdl_dataspace::{
+    Action, ShardSet, ShardedDataspace, SolveLimits, TupleSource, WatchKey, WatchSet,
+};
 use sdl_lang::parse_transaction;
-use sdl_metrics::{Counter, Gauge, Hist, Metrics};
+use sdl_metrics::{Counter, Gauge, Hist, LoopCounter, Metrics};
 use sdl_tuple::{Bindings, Pattern, ProcId, Tuple, TupleId, Value};
 
+use crate::shared::{NetShared, Waiter, Wake};
 use crate::wire::{Request, Response};
 
-/// Connection identifier assigned by the event loop.
-pub type ConnId = u64;
+pub use crate::shared::ConnId;
 
 /// A reply destined for `(conn, req_id)`.
 pub type Reply = (ConnId, u64, Response);
@@ -53,17 +63,25 @@ enum ParkedOp {
     },
 }
 
-#[derive(Debug)]
-struct Parked {
+struct ParkedLocal {
     op: ParkedOp,
-    keys: Vec<WatchKey>,
-    // FIFO fairness: candidates woken by one commit retry in park order.
-    seq: u64,
+    /// The claimable stub registered in the shared wake routers.
+    waiter: Arc<Waiter>,
 }
 
-/// The single-threaded request engine.
+/// One op attempt's verdict.
+enum Attempt {
+    Done(Response),
+    /// Query does not (currently) hold; park on these keys. For
+    /// transactions the set was probed inside the read-lock scope, so
+    /// the epoch re-check in [`NetShared::park`] validates it.
+    Park(Vec<WatchKey>),
+}
+
+/// The per-loop request engine over the shared sharded store.
 pub struct Engine {
-    ds: Dataspace,
+    shared: Arc<NetShared>,
+    loop_id: usize,
     builtins: Builtins,
     plan: PlanConfig,
     limits: SolveLimits,
@@ -71,51 +89,73 @@ pub struct Engine {
     // Buffered `out` asserts awaiting the next flush, plus their acks.
     pending: Vec<Action>,
     pending_acks: Vec<(ConnId, u64)>,
-    // Watch keys published by commits since the last wake scan.
-    batch_watch: WatchSet,
-    parked: HashMap<(ConnId, u64), Parked>,
+    parked: HashMap<(ConnId, u64), ParkedLocal>,
     by_conn: HashMap<ConnId, HashSet<u64>>,
-    wake_index: HashMap<WatchKey, Vec<(ConnId, u64)>>,
     // Compiled-transaction cache keyed by source text.
     txn_cache: HashMap<String, Arc<CompiledTxn>>,
+    // Local park counter; waiter seqs interleave it across loops.
     park_seq: u64,
+    // Wakes claimed for this loop (by its own commits or delivered via
+    // the mailbox), pending retry in finish().
+    wake_queue: VecDeque<Wake>,
+    // Loops whose mailboxes this engine's commits filled since the last
+    // take_kicks(); the event loop turns bits into wake-fd kicks.
+    kick_mask: u64,
 }
 
 impl Engine {
-    /// Creates an engine over a fresh store.
+    /// Creates a standalone single-loop engine over a fresh sharded
+    /// store (the embedded/test configuration).
     pub fn new(metrics: Metrics) -> Engine {
-        let mut ds = Dataspace::new();
-        ds.set_metrics(metrics.clone());
+        Engine::over(Arc::new(NetShared::new(4, 1, metrics)), 0)
+    }
+
+    /// Creates the engine for event loop `loop_id` over shared state.
+    pub fn over(shared: Arc<NetShared>, loop_id: usize) -> Engine {
+        let metrics = shared.metrics.clone();
         Engine {
-            ds,
+            shared,
+            loop_id,
             builtins: Builtins::standard(),
             plan: PlanConfig::default(),
             limits: SolveLimits::default(),
             metrics,
             pending: Vec::new(),
             pending_acks: Vec::new(),
-            batch_watch: WatchSet::new(),
             parked: HashMap::new(),
             by_conn: HashMap::new(),
-            wake_index: HashMap::new(),
             txn_cache: HashMap::new(),
             park_seq: 0,
+            wake_queue: VecDeque::new(),
+            kick_mask: 0,
         }
     }
 
-    /// Requests currently parked on blocking ops.
+    /// The shared state this engine commits against.
+    pub fn shared(&self) -> &Arc<NetShared> {
+        &self.shared
+    }
+
+    /// Requests parked on blocking ops *on this loop*.
     pub fn parked_len(&self) -> usize {
         self.parked.len()
     }
 
-    /// Live tuples in the store.
+    /// Live tuples in the (shared) store.
     pub fn store_len(&self) -> usize {
-        self.ds.len()
+        self.shared.sds.len()
     }
 
-    /// Watch keys with at least one subscriber (leak check in tests).
+    /// Unclaimed waiter stubs in the shared wake routers (leak check in
+    /// tests).
     pub fn wake_index_len(&self) -> usize {
-        self.wake_index.len()
+        self.shared.live_stubs()
+    }
+
+    /// Loops whose wake fds must be kicked for mailbox handoffs this
+    /// engine produced since the last call (bitmask by loop id).
+    pub fn take_kicks(&mut self) -> u64 {
+        std::mem::take(&mut self.kick_mask)
     }
 
     /// Handles one decoded request. `out` buffers; read-type ops flush
@@ -123,6 +163,8 @@ impl Engine {
     /// program order. Replies append to `replies` in completion order.
     pub fn submit(&mut self, conn: ConnId, req_id: u64, req: Request, replies: &mut Vec<Reply>) {
         self.metrics.inc(op_counter(&req));
+        self.metrics
+            .add_loop(self.loop_id, LoopCounter::Requests, 1);
         match req {
             Request::Ping => replies.push((conn, req_id, Response::Ok)),
             Request::Out(t) => {
@@ -147,36 +189,20 @@ impl Engine {
             }
             Request::In(p) => {
                 self.flush(replies);
-                match self.take_match(&p) {
-                    Some(t) => replies.push((conn, req_id, Response::Tuple(t))),
-                    None => {
-                        self.park(conn, req_id, ParkedOp::In(p));
-                        replies.push((conn, req_id, Response::Parked));
-                    }
-                }
+                self.run_blocking(conn, req_id, ParkedOp::In(p), true, replies);
             }
             Request::Rd(p) => {
                 self.flush(replies);
-                match self.read_match(&p) {
-                    Some(t) => replies.push((conn, req_id, Response::Tuple(t))),
-                    None => {
-                        self.park(conn, req_id, ParkedOp::Rd(p));
-                        replies.push((conn, req_id, Response::Parked));
-                    }
-                }
+                self.run_blocking(conn, req_id, ParkedOp::Rd(p), true, replies);
             }
             Request::Txn { source, env } => {
                 self.flush(replies);
                 let env: HashMap<String, Value> = env.into_iter().collect();
                 match self.compile(&source) {
                     Err(msg) => replies.push((conn, req_id, Response::Error(msg))),
-                    Ok(txn) => match self.eval_txn(conn, &txn, &env) {
-                        TxnOutcome::Done(resp) => replies.push((conn, req_id, resp)),
-                        TxnOutcome::Park => {
-                            self.park(conn, req_id, ParkedOp::Txn { txn, env });
-                            replies.push((conn, req_id, Response::Parked));
-                        }
-                    },
+                    Ok(txn) => {
+                        self.run_blocking(conn, req_id, ParkedOp::Txn { txn, env }, true, replies);
+                    }
                 }
             }
             Request::Cancel(target) => {
@@ -190,46 +216,32 @@ impl Engine {
         }
     }
 
-    /// Ends a batch: flushes buffered asserts and runs the wake scan to
-    /// a fixpoint (a woken transaction's effects may wake further parks).
+    /// Ends a batch: flushes buffered asserts and retries every wake
+    /// claimed for this loop to a fixpoint (a woken transaction's
+    /// effects may wake further parks, here or on other loops).
     pub fn finish(&mut self, replies: &mut Vec<Reply>) {
         self.flush(replies);
-        loop {
-            if self.batch_watch.is_empty() {
-                return;
-            }
-            let watch = std::mem::take(&mut self.batch_watch);
-            let mut cands: Vec<(ConnId, u64)> = Vec::new();
-            for key in watch.iter() {
-                if let Some(subs) = self.wake_index.get(key) {
-                    cands.extend(subs.iter().copied());
-                }
-            }
-            if cands.is_empty() {
+        while let Some(w) = self.wake_queue.pop_front() {
+            // May have been cancelled/disconnected since the claim; the
+            // local table is authoritative.
+            let Some(op) = self.unpark(w.conn, w.req_id) else {
                 continue;
-            }
-            cands.sort_unstable_by_key(|rk| self.parked.get(rk).map_or(u64::MAX, |p| p.seq));
-            cands.dedup();
-            for (conn, req_id) in cands {
-                // May have been served by an earlier wake this round.
-                let Some(parked) = self.unpark(conn, req_id) else {
-                    continue;
-                };
-                self.metrics.inc(Counter::WakeupCommit);
-                match self.retry(conn, parked.op) {
-                    Ok(resp) => {
-                        self.metrics.inc(Counter::WakeProgress);
-                        replies.push((conn, req_id, resp));
-                    }
-                    Err(op) => {
-                        self.metrics.inc(Counter::WakeSpurious);
-                        // Re-park with a freshly probed subscription: the
-                        // store changed, so the narrowed key may differ.
-                        self.park(conn, req_id, op);
-                    }
-                }
-            }
+            };
+            self.metrics.inc(Counter::WakeupCommit);
+            let progressed = self.run_blocking(w.conn, w.req_id, op, false, replies);
+            self.metrics.inc(if progressed {
+                Counter::WakeProgress
+            } else {
+                Counter::WakeSpurious
+            });
         }
+    }
+
+    /// Feeds cross-loop wakes drained from this loop's mailbox and runs
+    /// them (plus anything they cascade into) to completion.
+    pub fn deliver_wakes(&mut self, wakes: Vec<Wake>, replies: &mut Vec<Reply>) {
+        self.wake_queue.extend(wakes);
+        self.finish(replies);
     }
 
     /// Drops every parked request belonging to `conn` (client went
@@ -240,8 +252,9 @@ impl Engine {
         };
         let n = reqs.len();
         for req_id in reqs {
-            if let Some(parked) = self.parked.remove(&(conn, req_id)) {
-                self.unindex(conn, req_id, &parked.keys);
+            if let Some(pl) = self.parked.remove(&(conn, req_id)) {
+                pl.waiter.claim();
+                self.shared.parked_sub();
                 self.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
             }
         }
@@ -250,6 +263,31 @@ impl Engine {
 
     // -- commit path ------------------------------------------------------
 
+    /// Commits `actions` under the `fp` write footprint: apply, note the
+    /// commit, drop locks, bump the epoch, then scan the wake routers.
+    /// The single commit path for flushes, takes, and transactions.
+    fn commit(&mut self, fp: ShardSet, actions: Vec<Action>) -> sdl_dataspace::BatchOutcome {
+        let mut watch = WatchSet::new();
+        let mut view = self.shared.sds.write_shards(fp);
+        let (out, changed) = view.apply_batch(actions, &mut watch);
+        self.shared
+            .sds
+            .note_commit(changed, self.shared.next_commit());
+        drop(view);
+        self.shared.bump_epoch();
+        self.after_commit(&watch, changed);
+        out
+    }
+
+    /// Post-commit bookkeeping: affinity touch counts, the wake scan,
+    /// and the kick mask for cross-loop handoffs.
+    fn after_commit(&mut self, watch: &WatchSet, changed: ShardSet) {
+        self.shared.touch_shards(self.loop_id, changed);
+        let (local, kicks) = self.shared.wake(self.loop_id, watch, changed);
+        self.wake_queue.extend(local);
+        self.kick_mask |= kicks;
+    }
+
     fn flush(&mut self, replies: &mut Vec<Reply>) {
         if self.pending.is_empty() {
             return;
@@ -257,34 +295,53 @@ impl Engine {
         self.metrics
             .observe(Hist::NetBatchSize, self.pending.len() as f64);
         let actions = std::mem::take(&mut self.pending);
-        self.ds.apply_batch(&actions, &mut self.batch_watch);
-        for (conn, req_id) in self.pending_acks.drain(..) {
+        let mut fp = ShardSet::new();
+        for a in &actions {
+            match a {
+                Action::Assert(_, t) => fp.insert(self.shared.sds.shard_of_tuple(t)),
+                Action::Retract(id) => fp.insert(self.shared.sds.shard_of_id(*id)),
+            }
+        }
+        self.commit(fp, actions);
+        for (conn, req_id) in std::mem::take(&mut self.pending_acks) {
             replies.push((conn, req_id, Response::Ok));
         }
     }
 
+    /// The write footprint of everything `p` could match.
+    fn pattern_footprint(&self, p: &Pattern) -> ShardSet {
+        match self.shared.sds.shard_of_pattern(p) {
+            Some(s) => {
+                let mut fp = ShardSet::new();
+                fp.insert(s);
+                fp
+            }
+            None => self.shared.sds.all_shards(),
+        }
+    }
+
+    /// Probe-and-retract under one write footprint, so no concurrent
+    /// loop can take the same instance.
     fn take_match(&mut self, p: &Pattern) -> Option<Tuple> {
-        let id = self.first_match(p)?;
-        let out = self
-            .ds
-            .apply_batch(&[Action::Retract(id)], &mut self.batch_watch);
+        let fp = self.pattern_footprint(p);
+        let mut watch = WatchSet::new();
+        let mut view = self.shared.sds.write_shards(fp);
+        let id = first_match_in(&view, p)?;
+        let (out, changed) = view.apply_batch(vec![Action::Retract(id)], &mut watch);
+        self.shared
+            .sds
+            .note_commit(changed, self.shared.next_commit());
+        drop(view);
+        self.shared.bump_epoch();
+        self.after_commit(&watch, changed);
         out.retracted.into_iter().next().map(|(_, t)| t)
     }
 
     fn read_match(&self, p: &Pattern) -> Option<Tuple> {
-        let id = self.first_match(p)?;
-        self.ds.tuple(id).cloned()
-    }
-
-    fn first_match(&self, p: &Pattern) -> Option<TupleId> {
-        let n_vars = p.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0);
-        let mut b = Bindings::new(n_vars);
-        self.ds.candidate_ids(p).into_iter().find(|id| {
-            let m = b.mark();
-            let ok = self.ds.tuple(*id).is_some_and(|t| p.matches(t, &mut b));
-            b.undo_to(m);
-            ok
-        })
+        let fp = self.pattern_footprint(p);
+        let view = self.shared.sds.read_shards(fp);
+        let id = first_match_in(&view, p)?;
+        view.tuple(id).cloned()
     }
 
     // -- transactions -----------------------------------------------------
@@ -302,122 +359,183 @@ impl Engine {
         Ok(txn)
     }
 
-    fn eval_txn(
+    /// One optimistic attempt loop for a transaction: evaluate under the
+    /// read footprint, build effects outside any lock, validate + apply
+    /// under the write footprint, retry on conflict — the same shape as
+    /// `core::parallel::attempt`.
+    fn attempt_txn(
         &mut self,
         conn: ConnId,
-        txn: &CompiledTxn,
+        txn: &Arc<CompiledTxn>,
         env: &HashMap<String, Value>,
-    ) -> TxnOutcome {
-        match evaluate(txn, &self.ds, env, &self.builtins, self.limits, self.plan) {
-            Err(e) => TxnOutcome::Done(Response::Error(format!("eval error: {e}"))),
-            Ok(Some(p)) => {
-                if !p.spawns.is_empty() {
-                    return TxnOutcome::Done(Response::Error(
-                        "spawn is not supported over the wire".to_owned(),
-                    ));
+    ) -> Attempt {
+        loop {
+            let efp = txn_read_footprint(&self.shared.sds, txn, env, &self.builtins);
+            let query = {
+                let view = self.shared.sds.read_shards(efp);
+                match evaluate_query(txn, &view, env, &self.builtins, self.limits, self.plan) {
+                    Err(e) => return Attempt::Done(Response::Error(format!("eval error: {e}"))),
+                    Ok(None) => {
+                        if txn.kind == sdl_lang::ast::TxnKind::Delayed {
+                            // Probe the narrowed subscription inside the
+                            // read-lock scope: the emptiness evidence
+                            // describes exactly the state the failed
+                            // evaluation saw, and the park epoch
+                            // re-check invalidates it if stale.
+                            let watch = watch_set_on(
+                                txn,
+                                env,
+                                &self.builtins,
+                                self.plan.exact_wakes,
+                                Some(&view),
+                            );
+                            return Attempt::Park(watch.iter().copied().collect());
+                        }
+                        return Attempt::Done(Response::Failed);
+                    }
+                    Ok(Some(q)) => q,
                 }
-                if p.abort {
-                    return TxnOutcome::Done(Response::Failed);
-                }
-                self.apply_pending(conn, &p);
-                TxnOutcome::Done(Response::Ok)
+            };
+            // Effects (which may run host functions) outside any lock.
+            let p = match build_effects(txn, &query, env, &self.builtins) {
+                Err(e) => return Attempt::Done(Response::Error(format!("eval error: {e}"))),
+                Ok(p) => p,
+            };
+            if !p.spawns.is_empty() {
+                return Attempt::Done(Response::Error(
+                    "spawn is not supported over the wire".to_owned(),
+                ));
             }
-            Ok(None) => {
-                if txn.kind == sdl_lang::ast::TxnKind::Delayed {
-                    TxnOutcome::Park
-                } else {
-                    TxnOutcome::Done(Response::Failed)
-                }
+            if p.abort {
+                return Attempt::Done(Response::Failed);
             }
+            let cfp = pending_write_footprint(&self.shared.sds, &p);
+            let mut watch = WatchSet::new();
+            let mut view = self.shared.sds.write_shards(cfp);
+            if !p.validate(&view) {
+                // A concurrent commit invalidated the evaluation's
+                // evidence: classic optimistic conflict, retry.
+                drop(view);
+                continue;
+            }
+            let mut actions: Vec<Action> = Vec::with_capacity(p.retracts.len() + p.asserts.len());
+            actions.extend(p.retracts.iter().map(|&id| Action::Retract(id)));
+            actions.extend(
+                p.asserts
+                    .iter()
+                    .map(|t| Action::Assert(conn_pid(conn), t.clone())),
+            );
+            let (_, changed) = view.apply_batch(actions, &mut watch);
+            self.shared
+                .sds
+                .note_commit(changed, self.shared.next_commit());
+            drop(view);
+            self.shared.bump_epoch();
+            self.after_commit(&watch, changed);
+            return Attempt::Done(Response::Ok);
         }
-    }
-
-    fn apply_pending(&mut self, conn: ConnId, p: &Pending) {
-        let mut actions: Vec<Action> = Vec::with_capacity(p.retracts.len() + p.asserts.len());
-        actions.extend(p.retracts.iter().map(|&id| Action::Retract(id)));
-        actions.extend(
-            p.asserts
-                .iter()
-                .map(|t| Action::Assert(conn_pid(conn), t.clone())),
-        );
-        self.ds.apply_batch(&actions, &mut self.batch_watch);
     }
 
     // -- park / wake ------------------------------------------------------
 
-    fn park(&mut self, conn: ConnId, req_id: u64, op: ParkedOp) {
-        let mut watch = WatchSet::new();
-        match &op {
-            ParkedOp::In(p) | ParkedOp::Rd(p) => watch.add_pattern_exact(p),
+    fn attempt_op(&mut self, conn: ConnId, op: &ParkedOp) -> Attempt {
+        match op {
+            ParkedOp::In(p) => match self.take_match(p) {
+                Some(t) => Attempt::Done(Response::Tuple(t)),
+                None => Attempt::Park(exact_keys(p)),
+            },
+            ParkedOp::Rd(p) => match self.read_match(p) {
+                Some(t) => Attempt::Done(Response::Tuple(t)),
+                None => Attempt::Park(exact_keys(p)),
+            },
             ParkedOp::Txn { txn, env } => {
-                watch = watch_set_on(txn, env, &self.builtins, true, Some(&self.ds));
+                let (txn, env) = (Arc::clone(txn), env.clone());
+                self.attempt_txn(conn, &txn, &env)
             }
         }
-        let keys: Vec<WatchKey> = watch.iter().copied().collect();
-        for &key in &keys {
-            self.wake_index.entry(key).or_default().push((conn, req_id));
-        }
-        self.park_seq += 1;
-        self.parked.insert(
-            (conn, req_id),
-            Parked {
-                op,
-                keys,
-                seq: self.park_seq,
-            },
-        );
-        self.by_conn.entry(conn).or_default().insert(req_id);
-        self.metrics.inc(Counter::ProcessesBlocked);
-        self.metrics.add_gauge(Gauge::BlockedQueueDepth, 1);
     }
 
-    fn unpark(&mut self, conn: ConnId, req_id: u64) -> Option<Parked> {
-        let parked = self.parked.remove(&(conn, req_id))?;
-        self.unindex(conn, req_id, &parked.keys);
+    /// Runs a blocking-capable op to its verdict: a final reply, or a
+    /// park under the commit-epoch protocol (retrying inline whenever
+    /// the epoch re-check says a commit raced the registration).
+    /// `notify_park` pushes the interim `Parked` response on a fresh
+    /// park; wake retries pass `false` (the client already has one).
+    /// Returns whether the op completed with a final response.
+    fn run_blocking(
+        &mut self,
+        conn: ConnId,
+        req_id: u64,
+        op: ParkedOp,
+        notify_park: bool,
+        replies: &mut Vec<Reply>,
+    ) -> bool {
+        loop {
+            // Epoch before the probe's locks: a commit landing after
+            // this read either serialises behind them (the probe sees
+            // its effects) or bumps the epoch (the park re-check
+            // retries). Either way no wakeup is lost.
+            let eval_epoch = self.shared.epoch();
+            match self.attempt_op(conn, &op) {
+                Attempt::Done(resp) => {
+                    replies.push((conn, req_id, resp));
+                    return true;
+                }
+                Attempt::Park(keys) => {
+                    self.park_seq += 1;
+                    let seq = self.park_seq * self.shared.n_loops() as u64 + self.loop_id as u64;
+                    let waiter = Arc::new(Waiter::new(self.loop_id, conn, req_id, seq));
+                    if self.shared.park(&waiter, &keys, eval_epoch) {
+                        self.parked
+                            .insert((conn, req_id), ParkedLocal { op, waiter });
+                        self.by_conn.entry(conn).or_default().insert(req_id);
+                        self.shared.parked_add();
+                        self.metrics.inc(Counter::ProcessesBlocked);
+                        self.metrics.add_gauge(Gauge::BlockedQueueDepth, 1);
+                        if notify_park {
+                            replies.push((conn, req_id, Response::Parked));
+                        }
+                        return false;
+                    }
+                    // Epoch moved and we claimed our own stub: retry.
+                }
+            }
+        }
+    }
+
+    fn unpark(&mut self, conn: ConnId, req_id: u64) -> Option<ParkedOp> {
+        let pl = self.parked.remove(&(conn, req_id))?;
+        // Mark the router stubs stale; if a committer claimed first its
+        // wake is in flight and will miss the (now empty) table — fine.
+        pl.waiter.claim();
         if let Some(reqs) = self.by_conn.get_mut(&conn) {
             reqs.remove(&req_id);
             if reqs.is_empty() {
                 self.by_conn.remove(&conn);
             }
         }
+        self.shared.parked_sub();
         self.metrics.add_gauge(Gauge::BlockedQueueDepth, -1);
-        Some(parked)
-    }
-
-    fn unindex(&mut self, conn: ConnId, req_id: u64, keys: &[WatchKey]) {
-        for key in keys {
-            if let Some(subs) = self.wake_index.get_mut(key) {
-                subs.retain(|&rk| rk != (conn, req_id));
-                if subs.is_empty() {
-                    self.wake_index.remove(key);
-                }
-            }
-        }
-    }
-
-    /// Retries a woken op: `Ok(final response)` on progress, `Err(op)`
-    /// to re-park (spurious wake).
-    fn retry(&mut self, conn: ConnId, op: ParkedOp) -> Result<Response, ParkedOp> {
-        match op {
-            ParkedOp::In(p) => match self.take_match(&p) {
-                Some(t) => Ok(Response::Tuple(t)),
-                None => Err(ParkedOp::In(p)),
-            },
-            ParkedOp::Rd(p) => match self.read_match(&p) {
-                Some(t) => Ok(Response::Tuple(t)),
-                None => Err(ParkedOp::Rd(p)),
-            },
-            ParkedOp::Txn { txn, env } => match self.eval_txn(conn, &txn, &env) {
-                TxnOutcome::Done(resp) => Ok(resp),
-                TxnOutcome::Park => Err(ParkedOp::Txn { txn, env }),
-            },
-        }
+        Some(pl.op)
     }
 }
 
-enum TxnOutcome {
-    Done(Response),
-    Park,
+/// First instance in `src` matching `p`, in id order.
+fn first_match_in<S: TupleSource + ?Sized>(src: &S, p: &Pattern) -> Option<TupleId> {
+    let n_vars = p.vars().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+    let mut b = Bindings::new(n_vars);
+    src.candidate_ids(p).into_iter().find(|id| {
+        let m = b.mark();
+        let ok = src.tuple(*id).is_some_and(|t| p.matches(t, &mut b));
+        b.undo_to(m);
+        ok
+    })
+}
+
+/// The exact-wake subscription for a plain `in`/`rd` pattern.
+fn exact_keys(p: &Pattern) -> Vec<WatchKey> {
+    let mut watch = WatchSet::new();
+    watch.add_pattern_exact(p);
+    watch.iter().copied().collect()
 }
 
 fn conn_pid(conn: ConnId) -> ProcId {
@@ -435,6 +553,10 @@ fn op_counter(req: &Request) -> Counter {
         Request::Ping | Request::Cancel(_) => Counter::NetReqOther,
     }
 }
+
+// Unused import guard: ShardedDataspace appears in doc comments/paths.
+#[allow(unused)]
+fn _doc_type_anchor(_: &ShardedDataspace) {}
 
 #[cfg(test)]
 mod tests {
@@ -612,5 +734,74 @@ mod tests {
             matches!(&r[0].2, Response::Error(_)),
             "spawn must be rejected: {r:?}"
         );
+    }
+
+    #[test]
+    fn two_engines_hand_wakes_across_loops() {
+        // Two engines over one NetShared, as two event loops would own
+        // them: a park on loop 1 is woken by a commit on loop 0 through
+        // the mailbox + kick mask.
+        let shared = Arc::new(NetShared::new(4, 2, Metrics::disabled()));
+        let mut e0 = Engine::over(Arc::clone(&shared), 0);
+        let mut e1 = Engine::over(Arc::clone(&shared), 1);
+        let mut r = Vec::new();
+
+        e1.submit(
+            10,
+            1,
+            Request::In(pattern![Value::atom("job"), any]),
+            &mut r,
+        );
+        e1.finish(&mut r);
+        assert_eq!(drain(&mut r), vec![(10, 1, Response::Parked)]);
+
+        e0.submit(20, 1, Request::Out(tuple![Value::atom("job"), 5]), &mut r);
+        e0.finish(&mut r);
+        assert_eq!(drain(&mut r), vec![(20, 1, Response::Ok)]);
+        assert_eq!(e0.take_kicks(), 1 << 1, "loop 1 must be kicked");
+
+        let wakes = shared.drain_mailbox(1);
+        assert_eq!(wakes.len(), 1);
+        e1.deliver_wakes(wakes, &mut r);
+        assert_eq!(
+            drain(&mut r),
+            vec![(10, 1, Response::Tuple(tuple![Value::atom("job"), 5]))]
+        );
+        assert_eq!(e1.parked_len(), 0);
+        assert_eq!(shared.parked_total(), 0);
+        assert_eq!(shared.live_stubs(), 0);
+    }
+
+    #[test]
+    fn disconnect_while_wake_in_flight_drops_the_wake() {
+        let shared = Arc::new(NetShared::new(4, 2, Metrics::disabled()));
+        let mut e0 = Engine::over(Arc::clone(&shared), 0);
+        let mut e1 = Engine::over(Arc::clone(&shared), 1);
+        let mut r = Vec::new();
+
+        e1.submit(
+            10,
+            1,
+            Request::In(pattern![Value::atom("job"), any]),
+            &mut r,
+        );
+        e1.finish(&mut r);
+        e0.submit(20, 1, Request::Out(tuple![Value::atom("job"), 5]), &mut r);
+        e0.finish(&mut r);
+        // The wake sits in loop 1's mailbox; the client disconnects
+        // before delivery.
+        e1.disconnect(10);
+        assert_eq!(shared.parked_total(), 0);
+        drain(&mut r);
+        e1.deliver_wakes(shared.drain_mailbox(1), &mut r);
+        assert_eq!(drain(&mut r), vec![], "stale wake is dropped");
+        // The tuple stays for someone else.
+        e1.submit(
+            11,
+            1,
+            Request::Inp(pattern![Value::atom("job"), any]),
+            &mut r,
+        );
+        assert!(matches!(r[0].2, Response::Tuple(_)));
     }
 }

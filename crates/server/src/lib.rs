@@ -1,12 +1,15 @@
 //! `sdl-server`: a networked front-end for the shared dataspace.
 //!
 //! The paper's dataspace is a coordination substrate for large-scale
-//! concurrency; this crate puts it on a wire. A single event-loop
-//! thread ([`serve`]) owns a non-blocking TCP listener (epoll on Linux,
-//! `poll(2)` elsewhere — see [`poll`]), decodes the length-prefixed
-//! `SDLNET01` protocol ([`wire`]), and maps client operations onto one
-//! shared [`sdl_dataspace::Dataspace`] through the batching, park/wake
-//! [`engine`]:
+//! concurrency; this crate puts it on a wire. [`serve`] runs N
+//! event-loop worker threads (`ServerConfig::loops`), each owning a
+//! share of the connections via non-blocking sockets (epoll on Linux,
+//! `poll(2)` elsewhere — see [`poll`]), decoding the length-prefixed
+//! `SDLNET01` protocol ([`wire`]), and mapping client operations onto
+//! one shared sharded store through the batching, park/wake
+//! [`engine`]. An acceptor thread places connections shard-affinely
+//! ([`Placement`]); cross-loop wakes travel through per-loop mailboxes
+//! and eventfd kicks ([`shared`], [`wakefd`]):
 //!
 //! | wire op | dataspace semantics                                   |
 //! |---------|-------------------------------------------------------|
@@ -18,7 +21,8 @@
 //! | `txn`   | full SDL transaction (immediate `->` or delayed `=>`) |
 //!
 //! [`Client`] is the matching blocking/pipelined client, and [`load`]
-//! is the load generator behind `sdl-bench-load` and the E10 benchmark.
+//! is the load generator behind `sdl-bench-load` and the E10/E12
+//! benchmarks.
 
 pub mod client;
 pub mod conn;
@@ -26,10 +30,13 @@ pub mod engine;
 pub mod load;
 pub mod poll;
 pub mod server;
+pub mod shared;
+pub mod wakefd;
 pub mod wire;
 
 pub use client::Client;
 pub use engine::Engine;
 pub use load::{run_load, LatHist, LoadConfig, LoadReport};
-pub use server::{serve, Server, ServerConfig};
+pub use server::{serve, Placement, Server, ServerConfig};
+pub use shared::NetShared;
 pub use wire::{Request, Response, WireError};

@@ -1,16 +1,26 @@
 //! Load generator: many simulated clients multiplexed over a bounded
 //! connection pool, with client-side pipelining.
 //!
-//! Each simulated client alternates `out <mbox, c, seq>` with
-//! `inp <mbox, c, seq>` — the producer/consumer shape the Buravlev
+//! Each simulated client alternates `out <R, c, seq>` with
+//! `inp <R, c, seq>` — the producer/consumer shape the Buravlev
 //! tuple-space survey benchmarks across Linda implementations. A worker
 //! thread owns one connection and a slice of the simulated clients,
 //! keeping up to `pipeline` requests in flight; `pipeline = 1` is the
 //! one-op-per-syscall ablation baseline.
 //!
-//! Latencies are request-to-final-response, recorded into a
-//! log-bucketed histogram (~3% resolution) so a multi-million-op run
-//! costs a fixed 16 KiB per worker, not a sample vector.
+//! The relation `R` defaults to the single shared functor `mbox`;
+//! [`LoadConfig::relations`] > 1 switches to the *disjoint-relation
+//! profile* where client `c` works relation `r{c % K}`, each connection
+//! sticks to one relation, and — because the sharded store routes by
+//! functor — connections land on disjoint shard footprints. That is the
+//! multi-loop scaling shape: with shard-affinity placement, loops end
+//! up owning disjoint relations and commit without ever contending.
+//!
+//! State is sized for millions of simulated clients: one `u32` op
+//! counter per client (sequence number and out/inp phase are both
+//! derived from it), so 1M clients cost 4 MB across all workers, and
+//! latencies go into a log-bucketed histogram (~3% resolution) with a
+//! fixed 16 KiB footprint per worker, not a sample vector.
 
 use std::io;
 use std::time::{Duration, Instant};
@@ -33,6 +43,13 @@ pub struct LoadConfig {
     pub pipeline: usize,
     /// Operations per simulated client (alternating out/inp).
     pub ops_per_client: usize,
+    /// Distinct relations (functors). `1` keeps every client on the
+    /// shared `mbox` functor; `K > 1` divides clients into `K`
+    /// contiguous blocks, block `k` working functor `r{k}`. Blocks
+    /// align with the contiguous client slices connections own, so
+    /// (for `K >=` connections) each connection's traffic stays on
+    /// disjoint relations — and therefore disjoint shards.
+    pub relations: usize,
 }
 
 impl Default for LoadConfig {
@@ -43,6 +60,7 @@ impl Default for LoadConfig {
             connections: 16,
             pipeline: 64,
             ops_per_client: 4,
+            relations: 1,
         }
     }
 }
@@ -164,16 +182,33 @@ struct WorkerOut {
     elapsed: Duration,
 }
 
+/// The functor block client `cid` belongs to under `relations`
+/// contiguous blocks over `sim_clients` ids.
+fn relation_of(cid: usize, sim_clients: usize, relations: usize) -> usize {
+    (cid * relations) / sim_clients.max(1)
+}
+
 fn worker(cfg: &LoadConfig, first_sim: usize, n_sim: usize) -> io::Result<WorkerOut> {
     let mut client = Client::connect(&cfg.addr)?;
     client.set_timeout(Some(Duration::from_secs(30)))?;
     let mut hist = LatHist::new();
     let mut misses = 0u64;
 
+    let relations = cfg.relations.max(1);
+    // Interned once per worker, cloned per op.
+    let functors: Vec<Value> = if relations == 1 {
+        vec![Value::atom("mbox")]
+    } else {
+        (0..relations)
+            .map(|k| Value::atom(&format!("r{k}")))
+            .collect()
+    };
+
     let total = (n_sim * cfg.ops_per_client) as u64;
-    // Per-sim-client state: next sequence number and phase.
-    let mut seqs = vec![0i64; n_sim];
-    let mut next_is_out = vec![true; n_sim];
+    // Per-sim-client state is one op counter; the sequence number and
+    // the out/inp phase both derive from it. Keeps a million simulated
+    // clients at 4 MB total instead of a per-client struct.
+    let mut ops_done = vec![0u32; n_sim];
     let mut issued = 0u64;
     let mut done = 0u64;
     let mut sim_cursor = 0usize;
@@ -188,19 +223,22 @@ fn worker(cfg: &LoadConfig, first_sim: usize, n_sim: usize) -> io::Result<Worker
         while issued < total && pending.len() < cfg.pipeline {
             let sim = sim_cursor;
             sim_cursor = (sim_cursor + 1) % n_sim;
-            let cid = (first_sim + sim) as i64;
-            let req = if next_is_out[sim] {
-                let t = mailbox_tuple(cid, seqs[sim]);
-                Request::Out(t)
+            if u64::from(ops_done[sim]) >= cfg.ops_per_client as u64 {
+                continue;
+            }
+            let cid = first_sim + sim;
+            let functor =
+                functors[relation_of(cid, cfg.sim_clients, relations) % functors.len()].clone();
+            let seq = i64::from(ops_done[sim] / 2);
+            let is_out = ops_done[sim].is_multiple_of(2);
+            ops_done[sim] += 1;
+            let req = if is_out {
+                Request::Out(mailbox_tuple(functor, cid as i64, seq))
             } else {
-                let p = mailbox_pattern(cid, seqs[sim]);
-                seqs[sim] += 1;
-                Request::Inp(p)
+                Request::Inp(mailbox_pattern(functor, cid as i64, seq))
             };
-            let is_inp = !next_is_out[sim];
-            next_is_out[sim] = !next_is_out[sim];
             let id = client.send(&req)?;
-            pending.insert(id, (Instant::now(), is_inp));
+            pending.insert(id, (Instant::now(), !is_out));
             issued += 1;
         }
         let (id, resp) = client.recv()?;
@@ -221,12 +259,12 @@ fn worker(cfg: &LoadConfig, first_sim: usize, n_sim: usize) -> io::Result<Worker
     })
 }
 
-fn mailbox_tuple(cid: i64, seq: i64) -> Tuple {
-    tuple![Value::atom("mbox"), cid, seq]
+fn mailbox_tuple(functor: Value, cid: i64, seq: i64) -> Tuple {
+    tuple![functor, cid, seq]
 }
 
-fn mailbox_pattern(cid: i64, seq: i64) -> Pattern {
-    pattern![Value::atom("mbox"), cid, seq]
+fn mailbox_pattern(functor: Value, cid: i64, seq: i64) -> Pattern {
+    pattern![functor, cid, seq]
 }
 
 /// Runs the configured load and aggregates worker results.

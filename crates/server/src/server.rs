@@ -1,25 +1,40 @@
-//! The non-blocking TCP front-end: one event-loop thread owning the
-//! poller, every connection, and the [`Engine`].
+//! The non-blocking TCP front-end: an acceptor thread plus N
+//! independent event-loop workers over one shared sharded store.
 //!
-//! The loop is shaped for pipelined load: each readiness pass reads
-//! whole socket buffers, decodes *every* complete frame it finds, runs
-//! the lot through the engine as one batch (one `apply_batch` commit
-//! for the buffered asserts), and drains replies with vectored writes.
-//! Syscalls per request approach zero as pipelining depth grows.
+//! Each worker owns its connections end to end — poller registration,
+//! socket reads, frame decoding, its [`Engine`], and reply writes — so
+//! the only cross-loop contact points are the store's shard locks and
+//! the wake mailboxes in [`NetShared`]. Ops over disjoint relations on
+//! different loops execute truly in parallel; a commit whose wake
+//! belongs to another loop pushes it into that loop's mailbox and kicks
+//! its [`WakeFd`], preserving the zero-polling guarantee across loops.
 //!
-//! Backpressure is engine-coupled: when the parked-request count passes
-//! [`ServerConfig::max_parked`] the loop stops *reading* (interest is
-//! dropped, so the kernel's TCP window does the queueing, on the
-//! client's side of the wire) instead of buffering unboundedly; same
-//! per-connection when a client stops draining its replies. Both
-//! transitions count `sdl_net_backpressure_stalls_total`.
+//! The acceptor performs the `SDLNET01` handshake itself and holds each
+//! new connection in a short *nursery* until its first request frame
+//! arrives, so placement can route the connection to the loop whose
+//! traffic already touches the shards that request hits
+//! ([`Placement::Affinity`], via [`NetShared::pick_loop`]); connections
+//! whose first frame doesn't show up in time — or all of them, under
+//! [`Placement::RoundRobin`] — fall back to least-connections
+//! round-robin. Handoff is a vector push plus a wake-fd kick.
+//!
+//! Each loop is shaped for pipelined load exactly like the PR 7
+//! single-loop server: each readiness pass reads whole socket buffers,
+//! decodes *every* complete frame, runs the lot through the engine as
+//! one batch, and drains replies with vectored writes. Backpressure is
+//! engine-coupled and now *global*: when the parked-request count
+//! across all loops passes [`ServerConfig::max_parked`], every loop
+//! stops reading (the kernel's TCP window queues on the client's side)
+//! instead of buffering unboundedly; same per-connection when a client
+//! stops draining replies. Both transitions count
+//! `sdl_net_backpressure_stalls_total`.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use sdl_metrics::{Counter, Gauge, Metrics};
@@ -27,9 +42,29 @@ use sdl_metrics::{Counter, Gauge, Metrics};
 use crate::conn::{FillOutcome, ReadBuf, WriteBuf};
 use crate::engine::{Engine, Reply};
 use crate::poll::{clamp_timeout, Interest, PollEvent, Poller};
+use crate::shared::NetShared;
+use crate::wakefd::WakeFd;
 use crate::wire::{self, Request, MAGIC};
 
 const LISTENER_TOKEN: u64 = 0;
+/// Every loop's wake fd lives at token 0 in that loop's poller;
+/// connection tokens start at 1 and are globally unique.
+const WAKE_TOKEN: u64 = 0;
+/// Nursery passes to wait for a first frame before giving up on an
+/// affinity hint and placing round-robin.
+const NURSERY_PATIENCE: u32 = 4;
+
+/// How the acceptor assigns new connections to event loops.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Route to the loop whose traffic already touches the shards the
+    /// connection's first request hits; least-connections otherwise.
+    #[default]
+    Affinity,
+    /// Ignore first-request hints; always least-connections
+    /// round-robin. Deterministic spreading for tests and benchmarks.
+    RoundRobin,
+}
 
 /// Tuning knobs for [`serve`].
 #[derive(Clone, Debug)]
@@ -40,13 +75,23 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// Bytes read per connection per loop pass (bounds one pass's work).
     pub read_chunk_limit: usize,
-    /// Parked-request high watermark: at or above, all reads pause.
+    /// Parked-request high watermark across all loops: at or above, all
+    /// reads pause.
     pub max_parked: usize,
     /// Per-connection write-buffer cap: at or above, that connection's
     /// reads pause until the client drains replies below half.
     pub write_buf_limit: usize,
     /// Poll timeout between passes (also the shutdown-check cadence).
     pub poll_timeout_ms: u64,
+    /// Event-loop worker threads (clamped to 1..=64).
+    pub loops: usize,
+    /// Store shards (clamped to the dataspace maximum).
+    pub shards: usize,
+    /// Pin loop `i` to core `i % cores` with `sched_setaffinity` (Linux
+    /// only; ignored elsewhere).
+    pub pin_cores: bool,
+    /// New-connection placement policy.
+    pub placement: Placement,
 }
 
 impl Default for ServerConfig {
@@ -58,16 +103,22 @@ impl Default for ServerConfig {
             max_parked: 100_000,
             write_buf_limit: 4 * 1024 * 1024,
             poll_timeout_ms: 25,
+            loops: 1,
+            shards: 8,
+            pin_cores: false,
+            placement: Placement::Affinity,
         }
     }
 }
 
-/// A running server; [`Server::shutdown`] stops the loop and joins it.
+/// A running server; [`Server::shutdown`] stops every thread and joins
+/// them.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<io::Result<()>>>,
+    wakefds: Vec<Arc<WakeFd>>,
+    handles: Vec<JoinHandle<io::Result<()>>>,
 }
 
 impl Server {
@@ -76,72 +127,143 @@ impl Server {
         self.addr
     }
 
-    /// Signals the loop to stop and joins it, propagating any loop
-    /// error.
+    /// Signals every thread to stop and joins them, propagating the
+    /// first error.
     ///
     /// # Errors
     ///
-    /// The event loop's terminal I/O error, if it died before shutdown.
+    /// A loop's terminal I/O error, if one died before shutdown.
     pub fn shutdown(mut self) -> io::Result<()> {
         self.stop.store(true, Ordering::SeqCst);
-        match self.handle.take() {
-            Some(h) => h
-                .join()
-                .unwrap_or_else(|_| Err(io::Error::other("server event loop panicked"))),
-            None => Ok(()),
+        for wf in &self.wakefds {
+            wf.kick();
         }
+        let mut result = Ok(());
+        for h in self.handles.drain(..) {
+            let r = h
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("server thread panicked")));
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
     }
+}
+
+/// A handshaken connection in flight from the acceptor to its loop.
+struct NewConn {
+    token: u64,
+    stream: TcpStream,
+    /// Bytes read during the nursery wait (the first frame, typically).
+    rbuf: ReadBuf,
+    /// The un-flushed tail of the MAGIC echo, if the socket pushed back.
+    wbuf: WriteBuf,
 }
 
 struct ConnState {
     stream: TcpStream,
     rbuf: ReadBuf,
     wbuf: WriteBuf,
-    handshaken: bool,
     // Reads paused because this connection's write buffer is over cap.
     write_paused: bool,
 }
 
-/// Binds the listener and spawns the event-loop thread.
+/// Binds the listener and spawns the acceptor plus
+/// [`ServerConfig::loops`] event-loop workers.
 ///
 /// # Errors
 ///
-/// Bind/poller-creation failure.
+/// Bind/poller/wake-fd creation failure.
 pub fn serve(cfg: ServerConfig, metrics: Metrics) -> io::Result<Server> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    // The kick mask is a u64 by loop id; clamp accordingly.
+    let n_loops = cfg.loops.clamp(1, 64);
+    let shared = Arc::new(NetShared::new(cfg.shards, n_loops, metrics.clone()));
+    metrics.add_gauge(Gauge::NetLoops, n_loops as i64);
     let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = Arc::clone(&stop);
-    let handle = std::thread::Builder::new()
-        .name("sdl-server".to_owned())
-        .spawn(move || event_loop(listener, cfg, metrics, &stop2))?;
+
+    let mut wakefds = Vec::with_capacity(n_loops);
+    let mut intakes = Vec::with_capacity(n_loops);
+    for _ in 0..n_loops {
+        wakefds.push(Arc::new(WakeFd::new()?));
+        intakes.push(Arc::new(Mutex::new(Vec::<NewConn>::new())));
+    }
+    let wakefds = Arc::new(wakefds);
+
+    let mut handles = Vec::with_capacity(n_loops + 1);
+    for (loop_id, loop_intake) in intakes.iter().enumerate() {
+        let cfg = cfg.clone();
+        let shared = Arc::clone(&shared);
+        let wakefds = Arc::clone(&wakefds);
+        let intake = Arc::clone(loop_intake);
+        let stop = Arc::clone(&stop);
+        let metrics = metrics.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("sdl-loop-{loop_id}"))
+                .spawn(move || {
+                    if cfg.pin_cores {
+                        pin_to_core(loop_id);
+                    }
+                    event_loop(loop_id, shared, cfg, metrics, &wakefds, &intake, &stop)
+                })?,
+        );
+    }
+    {
+        let cfg = cfg.clone();
+        let shared = Arc::clone(&shared);
+        let wakefds = Arc::clone(&wakefds);
+        let stop = Arc::clone(&stop);
+        let metrics = metrics.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("sdl-accept".to_owned())
+                .spawn(move || {
+                    acceptor(listener, shared, cfg, metrics, &wakefds, &intakes, &stop)
+                })?,
+        );
+    }
     Ok(Server {
         addr,
         stop,
-        handle: Some(handle),
+        wakefds: wakefds.to_vec(),
+        handles,
     })
 }
 
-fn event_loop(
+// -- acceptor ------------------------------------------------------------
+
+/// A pre-placement connection: handshaken (or not yet) and waiting for
+/// its first request frame to yield an affinity hint.
+struct Nursling {
+    stream: TcpStream,
+    rbuf: ReadBuf,
+    wbuf: WriteBuf,
+    handshaken: bool,
+    passes: u32,
+}
+
+fn acceptor(
     listener: TcpListener,
+    shared: Arc<NetShared>,
     cfg: ServerConfig,
     metrics: Metrics,
+    wakefds: &[Arc<WakeFd>],
+    intakes: &[Arc<Mutex<Vec<NewConn>>>],
     stop: &AtomicBool,
 ) -> io::Result<()> {
     let mut poller = Poller::new()?;
     poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
-
-    let mut engine = Engine::new(metrics.clone());
-    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut nursery: HashMap<u64, Nursling> = HashMap::new();
+    // Connection tokens are minted here only, so they are unique across
+    // every loop.
     let mut next_token: u64 = 1;
     let mut events: Vec<PollEvent> = Vec::new();
-    let mut batch: Vec<(u64, u64, Request)> = Vec::new();
-    let mut replies: Vec<Reply> = Vec::new();
     let mut to_close: Vec<u64> = Vec::new();
-    // Global read pause (engine saturated). Hysteresis: resume below
-    // 7/8 of the high watermark.
-    let mut stalled = false;
+    let mut to_place: Vec<(u64, Option<usize>)> = Vec::new();
 
     while !stop.load(Ordering::SeqCst) {
         poller.wait(&mut events, clamp_timeout(cfg.poll_timeout_ms))?;
@@ -151,10 +273,241 @@ fn event_loop(
                 accept_all(
                     &listener,
                     &mut poller,
-                    &mut conns,
+                    &mut nursery,
                     &mut next_token,
                     &metrics,
                 );
+            }
+        }
+
+        // Advance every nursling each pass: readable ones make progress,
+        // silent ones age toward the round-robin fallback.
+        for (&token, n) in nursery.iter_mut() {
+            match nurse(n, &shared, &cfg, &metrics) {
+                NurseOutcome::Wait => {
+                    n.passes += 1;
+                    if n.passes > NURSERY_PATIENCE {
+                        to_place.push((token, None));
+                    }
+                }
+                NurseOutcome::Place(hint) => to_place.push((token, hint)),
+                NurseOutcome::Close => to_close.push(token),
+            }
+        }
+
+        for (token, hint) in to_place.drain(..) {
+            let Some(n) = nursery.remove(&token) else {
+                continue;
+            };
+            poller.deregister(token);
+            let hint = match cfg.placement {
+                Placement::Affinity => hint,
+                Placement::RoundRobin => None,
+            };
+            let loop_id = shared.pick_loop(hint);
+            shared.conn_opened(loop_id);
+            intakes[loop_id].lock().unwrap().push(NewConn {
+                token,
+                stream: n.stream,
+                rbuf: n.rbuf,
+                wbuf: n.wbuf,
+            });
+            wakefds[loop_id].kick();
+        }
+
+        for token in to_close.drain(..) {
+            if nursery.remove(&token).is_some() {
+                poller.deregister(token);
+                metrics.add_gauge(Gauge::NetConnections, -1);
+            }
+        }
+    }
+    metrics.add_gauge(Gauge::NetConnections, -(nursery.len() as i64));
+    Ok(())
+}
+
+enum NurseOutcome {
+    Wait,
+    Place(Option<usize>),
+    Close,
+}
+
+/// One nursery pass over a pre-placement connection: fill, handshake,
+/// echo, and peek (without consuming) at the first request frame for an
+/// affinity hint.
+fn nurse(
+    n: &mut Nursling,
+    shared: &NetShared,
+    cfg: &ServerConfig,
+    metrics: &Metrics,
+) -> NurseOutcome {
+    let outcome = match n.rbuf.fill(&mut n.stream, cfg.read_chunk_limit) {
+        Ok(o) => o,
+        Err(_) => return NurseOutcome::Close,
+    };
+    if !n.handshaken {
+        let pending = n.rbuf.pending();
+        if pending.len() < MAGIC.len() {
+            return if outcome == FillOutcome::Open {
+                NurseOutcome::Wait
+            } else {
+                NurseOutcome::Close
+            };
+        }
+        if &pending[..MAGIC.len()] != MAGIC {
+            metrics.inc(Counter::NetProtocolErrors);
+            return NurseOutcome::Close;
+        }
+        n.rbuf.consume(MAGIC.len());
+        n.wbuf.push(MAGIC.to_vec());
+        n.handshaken = true;
+    }
+    // The client blocks on the echo before sending its first request —
+    // flush it from here or the nursery deadlocks against the client.
+    if !n.wbuf.is_empty() && n.wbuf.flush(&mut n.stream).is_err() {
+        return NurseOutcome::Close;
+    }
+    match wire::try_frame(n.rbuf.pending(), cfg.max_frame) {
+        Ok(Some((payload, _used))) => match wire::decode_request(&payload) {
+            // The frame stays in rbuf; the owning loop decodes it again
+            // through its normal batch path.
+            Ok((_req_id, req)) => NurseOutcome::Place(shard_hint(shared, &req)),
+            Err(_) => {
+                metrics.inc(Counter::NetProtocolErrors);
+                NurseOutcome::Close
+            }
+        },
+        Ok(None) => {
+            if outcome == FillOutcome::Open {
+                NurseOutcome::Wait
+            } else {
+                NurseOutcome::Close
+            }
+        }
+        Err(_) => {
+            metrics.inc(Counter::NetProtocolErrors);
+            NurseOutcome::Close
+        }
+    }
+}
+
+/// The shard a request's first store touch routes to, if cheaply
+/// knowable (transactions would need compilation — not worth it in the
+/// acceptor).
+fn shard_hint(shared: &NetShared, req: &Request) -> Option<usize> {
+    match req {
+        Request::Out(t) => Some(shared.sds.shard_of_tuple(t)),
+        Request::In(p) | Request::Rd(p) | Request::Inp(p) | Request::Rdp(p) => {
+            shared.sds.shard_of_pattern(p)
+        }
+        Request::Txn { .. } | Request::Ping | Request::Cancel(_) => None,
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    nursery: &mut HashMap<u64, Nursling>,
+    next_token: &mut u64,
+    metrics: &Metrics,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(stream.as_raw_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                nursery.insert(
+                    token,
+                    Nursling {
+                        stream,
+                        rbuf: ReadBuf::new(),
+                        wbuf: WriteBuf::new(),
+                        handshaken: false,
+                        passes: 0,
+                    },
+                );
+                metrics.add_gauge(Gauge::NetConnections, 1);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+// -- event-loop workers --------------------------------------------------
+
+fn event_loop(
+    loop_id: usize,
+    shared: Arc<NetShared>,
+    cfg: ServerConfig,
+    metrics: Metrics,
+    wakefds: &[Arc<WakeFd>],
+    intake: &Mutex<Vec<NewConn>>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut poller = Poller::new()?;
+    poller.register(wakefds[loop_id].poll_fd(), WAKE_TOKEN, Interest::READ)?;
+
+    let mut engine = Engine::over(Arc::clone(&shared), loop_id);
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut batch: Vec<(u64, u64, Request)> = Vec::new();
+    let mut replies: Vec<Reply> = Vec::new();
+    let mut to_close: Vec<u64> = Vec::new();
+    // Global read pause (parked requests saturated, across all loops).
+    // Hysteresis: resume below 7/8 of the high watermark.
+    let mut stalled = false;
+
+    while !stop.load(Ordering::SeqCst) {
+        poller.wait(&mut events, clamp_timeout(cfg.poll_timeout_ms))?;
+
+        if events.iter().any(|e| e.token == WAKE_TOKEN) {
+            wakefds[loop_id].drain();
+        }
+
+        // Adopt connections the acceptor handed over. The intake and the
+        // mailbox are both kick-signalled, but drain unconditionally —
+        // a kick between our drain and our sleep leaves the fd readable
+        // (level-triggered), so nothing is lost either way.
+        for nc in intake.lock().unwrap().drain(..) {
+            if poller
+                .register(nc.stream.as_raw_fd(), nc.token, Interest::READ)
+                .is_err()
+            {
+                shared.conn_closed(loop_id);
+                metrics.add_gauge(Gauge::NetConnections, -1);
+                continue;
+            }
+            conns.insert(
+                nc.token,
+                ConnState {
+                    stream: nc.stream,
+                    rbuf: nc.rbuf,
+                    wbuf: nc.wbuf,
+                    write_paused: false,
+                },
+            );
+        }
+
+        // Cross-loop wakes other loops' commits queued for us.
+        let wakes = shared.drain_mailbox(loop_id);
+        if !wakes.is_empty() {
+            engine.deliver_wakes(wakes, &mut replies);
+        }
+
+        for &ev in &events {
+            if ev.token == WAKE_TOKEN {
                 continue;
             }
             let Some(conn) = conns.get_mut(&ev.token) else {
@@ -169,11 +522,34 @@ fn event_loop(
             }
         }
 
+        // A freshly adopted connection may already hold its first frame
+        // (read in the nursery) with no readiness event to show for it.
+        for (&token, conn) in conns.iter_mut() {
+            if !conn.rbuf.pending().is_empty()
+                && !stalled
+                && !conn.write_paused
+                && decode_pending(token, conn, &cfg, &mut batch, &metrics).is_err()
+            {
+                to_close.push(token);
+            }
+        }
+
         if !batch.is_empty() {
             for (token, req_id, req) in batch.drain(..) {
                 engine.submit(token, req_id, req, &mut replies);
             }
             engine.finish(&mut replies);
+        }
+
+        // Kick every loop whose mailbox our commits (batch or delivered
+        // wakes) filled this pass.
+        let mut kicks = engine.take_kicks();
+        while kicks != 0 {
+            let l = kicks.trailing_zeros() as usize;
+            kicks &= kicks - 1;
+            if l != loop_id && l < wakefds.len() {
+                wakefds[l].kick();
+            }
         }
 
         for (token, req_id, resp) in replies.drain(..) {
@@ -184,7 +560,7 @@ fn event_loop(
         }
 
         // Backpressure state machine (global, engine-coupled).
-        let parked = engine.parked_len();
+        let parked = shared.parked_total();
         if !stalled && parked >= cfg.max_parked {
             stalled = true;
             metrics.inc(Counter::NetBackpressureStalls);
@@ -226,6 +602,7 @@ fn event_loop(
                     poller.deregister(token);
                     drop(conn);
                     engine.disconnect(token);
+                    shared.conn_closed(loop_id);
                     metrics.add_gauge(Gauge::NetConnections, -1);
                 }
             }
@@ -235,55 +612,15 @@ fn event_loop(
     // Clean shutdown: cancel every parked request and drop connections.
     for (&token, _) in conns.iter() {
         engine.disconnect(token);
+        shared.conn_closed(loop_id);
     }
     metrics.add_gauge(Gauge::NetConnections, -(conns.len() as i64));
     Ok(())
 }
 
-fn accept_all(
-    listener: &TcpListener,
-    poller: &mut Poller,
-    conns: &mut HashMap<u64, ConnState>,
-    next_token: &mut u64,
-    metrics: &Metrics,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
-                }
-                let _ = stream.set_nodelay(true);
-                let token = *next_token;
-                *next_token += 1;
-                if poller
-                    .register(stream.as_raw_fd(), token, Interest::READ)
-                    .is_err()
-                {
-                    continue;
-                }
-                conns.insert(
-                    token,
-                    ConnState {
-                        stream,
-                        rbuf: ReadBuf::new(),
-                        wbuf: WriteBuf::new(),
-                        handshaken: false,
-                        write_paused: false,
-                    },
-                );
-                metrics.add_gauge(Gauge::NetConnections, 1);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-}
-
 /// Reads available bytes and decodes every complete frame into `batch`.
 /// Returns `Ok(false)` when the connection should close (EOF or
-/// protocol error).
+/// protocol error). The handshake already happened in the nursery.
 fn read_and_decode(
     token: u64,
     conn: &mut ConnState,
@@ -292,34 +629,55 @@ fn read_and_decode(
     metrics: &Metrics,
 ) -> io::Result<bool> {
     let outcome = conn.rbuf.fill(&mut conn.stream, cfg.read_chunk_limit)?;
-    if !conn.handshaken {
-        let pending = conn.rbuf.pending();
-        if pending.len() < MAGIC.len() {
-            return Ok(outcome == FillOutcome::Open);
-        }
-        if &pending[..MAGIC.len()] != MAGIC {
-            metrics.inc(Counter::NetProtocolErrors);
-            return Ok(false);
-        }
-        conn.rbuf.consume(MAGIC.len());
-        conn.wbuf.push(MAGIC.to_vec());
-        conn.handshaken = true;
-    }
+    decode_pending(token, conn, cfg, batch, metrics)
+        .map_err(|()| io::Error::other("protocol error"))?;
+    Ok(outcome == FillOutcome::Open)
+}
+
+/// Decodes every complete buffered frame into `batch`.
+fn decode_pending(
+    token: u64,
+    conn: &mut ConnState,
+    cfg: &ServerConfig,
+    batch: &mut Vec<(u64, u64, Request)>,
+    metrics: &Metrics,
+) -> Result<(), ()> {
     loop {
         match conn.rbuf.next_frame(cfg.max_frame) {
             Ok(Some(payload)) => match wire::decode_request(&payload) {
                 Ok((req_id, req)) => batch.push((token, req_id, req)),
                 Err(_) => {
                     metrics.inc(Counter::NetProtocolErrors);
-                    return Ok(false);
+                    return Err(());
                 }
             },
-            Ok(None) => break,
+            Ok(None) => return Ok(()),
             Err(_) => {
                 metrics.inc(Counter::NetProtocolErrors);
-                return Ok(false);
+                return Err(());
             }
         }
     }
-    Ok(outcome == FillOutcome::Open)
 }
+
+// -- core pinning --------------------------------------------------------
+
+/// Pins the calling thread to core `i % cores` (Linux). Best-effort:
+/// failure is ignored — affinity is an optimisation, not a contract.
+#[cfg(target_os = "linux")]
+fn pin_to_core(i: usize) {
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let core = i % cores;
+    // cpu_set_t is 1024 bits.
+    let mut mask = [0u64; 16];
+    mask[(core / 64) % 16] |= 1u64 << (core % 64);
+    unsafe {
+        sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_i: usize) {}

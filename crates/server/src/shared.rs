@@ -1,0 +1,472 @@
+//! State shared by every event-loop worker: the sharded store, the
+//! commit epoch, the per-shard reverse wake routers, and the per-loop
+//! mailboxes that carry cross-loop wakes.
+//!
+//! This module is the server's *protocol core*: it is built exclusively
+//! on [`sdl_sync`] primitives so the whole cross-loop handoff — park,
+//! commit, claim, mailbox push, epoch re-check — is explorable under the
+//! deterministic scheduler, exactly like `core::parallel`'s park/wake
+//! protocol. File descriptors never appear here; the event loop layers
+//! the wake-fd kick on top of the kick mask this module returns, and the
+//! exploration tests drive the mailboxes directly.
+//!
+//! ## The no-lost-wakeup argument
+//!
+//! The protocol mirrors the commit-epoch discipline `core::parallel`
+//! proved out (PR 3, explored in PR 8):
+//!
+//! 1. A parker reads the epoch **before** its failed probe's locks are
+//!    taken, registers its [`Waiter`] stubs under the routed shards'
+//!    routers, then re-checks the epoch. If it moved, some commit may
+//!    have run entirely between the probe and the registration — the
+//!    parker claims its own stub and retries inline instead of sleeping.
+//! 2. A committer bumps the epoch **after** its write locks drop and
+//!    **before** scanning the routers. A stub registered too late to be
+//!    seen by the scan belongs to a parker that is guaranteed to observe
+//!    the new epoch in step 1 and self-claim.
+//! 3. Claims are exactly-once (`AtomicBool::swap`), so a wake is
+//!    delivered either inline (self-claim) or through exactly one
+//!    mailbox — never both, never zero.
+//!
+//! The `testing_skip_park_recheck` hook reverts step 1's re-check,
+//! seeding the lost-wakeup mutant the exploration suite must catch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use sdl_dataspace::{shards_of_watch_key, ShardSet, ShardedDataspace, WatchKey, WatchSet};
+use sdl_metrics::{LoopCounter, Metrics};
+use sdl_sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, RelaxedCounter};
+
+/// Connection identifier, unique across all loops.
+pub type ConnId = u64;
+
+/// A parked request's claimable stub in the wake routers. The owning
+/// loop's engine keeps the op itself; the stub only carries the address
+/// a wake must be delivered to and the claim token that makes delivery
+/// exactly-once.
+#[derive(Debug)]
+pub struct Waiter {
+    /// The loop whose mailbox a cross-loop wake must go to.
+    pub loop_id: usize,
+    /// Owning connection.
+    pub conn: ConnId,
+    /// The parked request on that connection.
+    pub req_id: u64,
+    /// Park order across loops (local seq interleaved by loop id), for
+    /// FIFO retry fairness within one commit's wake set.
+    pub seq: u64,
+    claimed: AtomicBool,
+}
+
+impl Waiter {
+    /// A fresh, unclaimed stub.
+    pub fn new(loop_id: usize, conn: ConnId, req_id: u64, seq: u64) -> Waiter {
+        Waiter {
+            loop_id,
+            conn,
+            req_id,
+            seq,
+            claimed: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims the stub; true exactly once across all claimants.
+    pub fn claim(&self) -> bool {
+        !self.claimed.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether some claimant already owns this stub.
+    pub fn is_claimed(&self) -> bool {
+        self.claimed.load(Ordering::SeqCst)
+    }
+}
+
+/// A claimed wake addressed to one loop's engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wake {
+    /// Connection the parked request belongs to.
+    pub conn: ConnId,
+    /// The parked request id.
+    pub req_id: u64,
+    /// The waiter's park seq (FIFO retry order).
+    pub seq: u64,
+}
+
+/// One shard's reverse wake index. `BTreeMap` (not `HashMap`) so wake
+/// scans lock and claim in a deterministic order — schedule replay
+/// depends on it.
+#[derive(Default)]
+struct Router {
+    by_key: BTreeMap<WatchKey, Vec<Arc<Waiter>>>,
+}
+
+/// Everything the event-loop workers share. One instance per server.
+pub struct NetShared {
+    /// The sharded store; ops lock footprints exactly like
+    /// `core::parallel` does.
+    pub sds: ShardedDataspace,
+    /// Shared metrics handle.
+    pub metrics: Metrics,
+    /// Commit epoch: bumped (SeqCst) after every commit's locks drop,
+    /// before the wake scan.
+    epoch: AtomicU64,
+    /// Commit sequence for `ShardedDataspace::note_commit`.
+    commit_seq: AtomicU64,
+    /// Per-shard wake routers, indexed by shard.
+    routers: Vec<Mutex<Router>>,
+    /// Per-loop mailboxes of cross-loop wakes.
+    mailboxes: Vec<Mutex<Vec<Wake>>>,
+    /// Requests parked across every loop (global backpressure input).
+    parked_total: AtomicUsize,
+    /// `[loop][shard]` touch counts for affinity placement. Plain
+    /// relaxed counters: stats, not protocol.
+    touch: Vec<Vec<RelaxedCounter>>,
+    /// Open connections per loop (least-connections placement input).
+    conns: Vec<AtomicUsize>,
+    /// Round-robin cursor for placement without an affinity hint.
+    rr: AtomicUsize,
+    n_loops: usize,
+    /// Seeded lost-wakeup mutant: skip the park epoch re-check.
+    skip_park_recheck: bool,
+}
+
+impl NetShared {
+    /// Creates shared state for `n_loops` event loops over `shards`
+    /// store shards.
+    pub fn new(shards: usize, n_loops: usize, metrics: Metrics) -> NetShared {
+        NetShared::with_mutant(shards, n_loops, metrics, false)
+    }
+
+    /// [`NetShared::new`] with the lost-wakeup mutant toggled — reverts
+    /// the park epoch re-check so the exploration suite can prove it
+    /// catches the bug the re-check prevents. Test-only by convention.
+    pub fn with_mutant(
+        shards: usize,
+        n_loops: usize,
+        metrics: Metrics,
+        skip_park_recheck: bool,
+    ) -> NetShared {
+        let shards = shards.clamp(1, sdl_dataspace::MAX_SHARDS);
+        let n_loops = n_loops.max(1);
+        let mut sds = ShardedDataspace::new(shards);
+        sds.set_metrics(metrics.clone());
+        NetShared {
+            sds,
+            metrics,
+            epoch: AtomicU64::new(0),
+            commit_seq: AtomicU64::new(0),
+            routers: (0..shards).map(|_| Mutex::new(Router::default())).collect(),
+            mailboxes: (0..n_loops).map(|_| Mutex::new(Vec::new())).collect(),
+            parked_total: AtomicUsize::new(0),
+            touch: (0..n_loops)
+                .map(|_| (0..shards).map(|_| RelaxedCounter::new(0)).collect())
+                .collect(),
+            conns: (0..n_loops).map(|_| AtomicUsize::new(0)).collect(),
+            rr: AtomicUsize::new(0),
+            n_loops,
+            skip_park_recheck,
+        }
+    }
+
+    /// Number of event loops sharing this state.
+    pub fn n_loops(&self) -> usize {
+        self.n_loops
+    }
+
+    /// Current commit epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the epoch. Must run after a commit's write locks drop and
+    /// before its wake scan (see the module docs).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Mints the next commit id for `ShardedDataspace::note_commit`.
+    pub fn next_commit(&self) -> u64 {
+        self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    // -- park / wake ------------------------------------------------------
+
+    /// Registers `waiter` under `keys` in the routed shards' routers and
+    /// re-checks the epoch against `eval_epoch` (read before the failed
+    /// probe's locks). Returns `true` when the request is parked; `false`
+    /// when the epoch moved and this call claimed the waiter back — the
+    /// caller must retry the op inline instead of sleeping.
+    ///
+    /// An empty `keys` parks unwakeably (no store change can ever
+    /// satisfy the op); such requests complete only via cancel or
+    /// disconnect, mirroring the executor's keyless parks.
+    pub fn park(&self, waiter: &Arc<Waiter>, keys: &[WatchKey], eval_epoch: u64) -> bool {
+        let n = self.sds.num_shards();
+        // Sorted key insertion for deterministic lock order under the
+        // explorer (WatchSet iterates in hash order).
+        let mut sorted: Vec<WatchKey> = keys.to_vec();
+        sorted.sort_unstable();
+        for key in &sorted {
+            for s in shards_of_watch_key(key, n).iter() {
+                let mut router = self.routers[s].lock();
+                let list = router.by_key.entry(*key).or_default();
+                // Opportunistic stale-stub cleanup: claimed stubs are
+                // dead weight a wake scan would skip anyway.
+                list.retain(|w| !w.is_claimed());
+                list.push(Arc::clone(waiter));
+            }
+        }
+        if !self.skip_park_recheck && self.epoch() != eval_epoch && waiter.claim() {
+            // A commit may have slipped in whole between the probe and
+            // the registration: reclaim and retry. Failing the claim
+            // means a committer saw the stub first — its wake is already
+            // in (or on its way to) our mailbox.
+            return false;
+        }
+        true
+    }
+
+    /// Wake scan for a commit by `my_loop` whose effects changed
+    /// `changed_shards` and published `changed`: claims every subscribed
+    /// waiter, returning the wakes owned by `my_loop` (sorted by park
+    /// seq) plus a bitmask of other loops whose mailboxes received
+    /// handoffs and must be kicked. Must run after [`Self::bump_epoch`].
+    pub fn wake(
+        &self,
+        my_loop: usize,
+        changed: &WatchSet,
+        changed_shards: ShardSet,
+    ) -> (Vec<Wake>, u64) {
+        if changed.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let n = self.sds.num_shards();
+        let mut keys: Vec<WatchKey> = changed.iter().copied().collect();
+        keys.sort_unstable();
+        let mut claimed: Vec<Arc<Waiter>> = Vec::new();
+        for s in changed_shards.iter() {
+            let mut router = self.routers[s].lock();
+            for key in &keys {
+                // A routable key wakes through its own shard's router;
+                // an unroutable (arity) key is registered everywhere, so
+                // any changed shard's router covers it — later shards
+                // just clean up the stubs the first one claimed.
+                if sdl_dataspace::shard_of_watch_key(key, n).is_some_and(|r| r != s) {
+                    continue;
+                }
+                let Some(list) = router.by_key.remove(key) else {
+                    continue;
+                };
+                for w in list {
+                    if w.claim() {
+                        claimed.push(w);
+                    }
+                }
+            }
+        }
+        // FIFO fairness within this commit's wake set.
+        claimed.sort_by_key(|w| w.seq);
+        let mut local = Vec::new();
+        let mut kick_mask = 0u64;
+        for w in claimed {
+            let wake = Wake {
+                conn: w.conn,
+                req_id: w.req_id,
+                seq: w.seq,
+            };
+            if w.loop_id == my_loop {
+                local.push(wake);
+            } else {
+                self.mailboxes[w.loop_id].lock().push(wake);
+                kick_mask |= 1u64 << (w.loop_id % 64);
+                self.metrics
+                    .add_loop(w.loop_id, LoopCounter::WakeHandoffs, 1);
+            }
+        }
+        (local, kick_mask)
+    }
+
+    /// Drains `loop_id`'s mailbox: the cross-loop wakes other loops'
+    /// commits claimed on its behalf since the last drain.
+    pub fn drain_mailbox(&self, loop_id: usize) -> Vec<Wake> {
+        std::mem::take(&mut *self.mailboxes[loop_id].lock())
+    }
+
+    /// Unclaimed waiter stubs across every router (leak check in tests;
+    /// claimed stubs are logically dead and dropped lazily).
+    pub fn live_stubs(&self) -> usize {
+        self.routers
+            .iter()
+            .map(|r| {
+                r.lock()
+                    .by_key
+                    .values()
+                    .flatten()
+                    .filter(|w| !w.is_claimed())
+                    .count()
+            })
+            .sum()
+    }
+
+    // -- global backpressure ----------------------------------------------
+
+    /// Notes one more locally parked request.
+    pub fn parked_add(&self) {
+        self.parked_total.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Notes one fewer locally parked request.
+    pub fn parked_sub(&self) {
+        self.parked_total.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Requests parked across every loop.
+    pub fn parked_total(&self) -> usize {
+        self.parked_total.load(Ordering::SeqCst)
+    }
+
+    // -- affinity placement -----------------------------------------------
+
+    /// Records that `loop_id`'s traffic touched `shards`.
+    pub fn touch_shards(&self, loop_id: usize, shards: ShardSet) {
+        for s in shards.iter() {
+            self.touch[loop_id][s].fetch_add(1);
+        }
+    }
+
+    /// Picks the loop for a new connection. With a shard `hint` (from
+    /// the connection's first decoded request) the loop whose traffic
+    /// touches that shard most wins, so the relations a connection works
+    /// on stay cache-local to one loop; ties and hintless placement fall
+    /// back to least connections, then round-robin.
+    pub fn pick_loop(&self, hint: Option<usize>) -> usize {
+        if self.n_loops == 1 {
+            return 0;
+        }
+        if let Some(shard) = hint {
+            let scores: Vec<u64> = (0..self.n_loops)
+                .map(|l| self.touch[l][shard].load())
+                .collect();
+            let best = *scores.iter().max().unwrap_or(&0);
+            if best > 0 {
+                // Among loops within 50% of the hottest score, take the
+                // least loaded — affinity without starving cold loops.
+                let threshold = best / 2;
+                return (0..self.n_loops)
+                    .filter(|&l| scores[l] > threshold)
+                    .min_by_key(|&l| self.conns[l].load(Ordering::SeqCst))
+                    .unwrap_or(0);
+            }
+        }
+        let rr = self.rr.fetch_add(1, Ordering::SeqCst);
+        let min = (0..self.n_loops)
+            .map(|l| self.conns[l].load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(0);
+        // Round-robin over the least-loaded loops.
+        let tied: Vec<usize> = (0..self.n_loops)
+            .filter(|&l| self.conns[l].load(Ordering::SeqCst) == min)
+            .collect();
+        tied[rr % tied.len()]
+    }
+
+    /// Notes a connection opened on `loop_id`.
+    pub fn conn_opened(&self, loop_id: usize) {
+        self.conns[loop_id].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Notes a connection closed on `loop_id`.
+    pub fn conn_closed(&self, loop_id: usize) {
+        self.conns[loop_id].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Open connections currently owned by `loop_id`.
+    pub fn conns_on(&self, loop_id: usize) -> usize {
+        self.conns[loop_id].load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_tuple::{pattern, Value};
+
+    fn waiter(loop_id: usize, conn: ConnId, req: u64, seq: u64) -> Arc<Waiter> {
+        Arc::new(Waiter::new(loop_id, conn, req, seq))
+    }
+
+    fn keys_of(p: &sdl_tuple::Pattern) -> Vec<WatchKey> {
+        let mut w = WatchSet::new();
+        w.add_pattern_exact(p);
+        w.iter().copied().collect()
+    }
+
+    #[test]
+    fn cross_loop_wake_lands_in_target_mailbox() {
+        let sh = NetShared::new(4, 2, Metrics::disabled());
+        let p = pattern![Value::atom("job"), any];
+        let keys = keys_of(&p);
+        let w = waiter(1, 7, 3, 1);
+        let epoch = sh.epoch();
+        assert!(sh.park(&w, &keys, epoch));
+        assert_eq!(sh.live_stubs(), keys.len());
+
+        // A commit on loop 0 publishing the key hands the wake to loop 1.
+        let mut watch = WatchSet::new();
+        watch.add_pattern_exact(&p);
+        let mut shards = ShardSet::new();
+        for k in &keys {
+            shards.extend(shards_of_watch_key(k, 4));
+        }
+        sh.bump_epoch();
+        let (local, kicks) = sh.wake(0, &watch, shards);
+        assert!(local.is_empty());
+        assert_eq!(kicks, 1u64 << 1);
+        let delivered = sh.drain_mailbox(1);
+        assert_eq!(
+            delivered,
+            vec![Wake {
+                conn: 7,
+                req_id: 3,
+                seq: 1
+            }]
+        );
+        assert_eq!(sh.live_stubs(), 0, "claimed stubs are dead");
+    }
+
+    #[test]
+    fn park_recheck_catches_racing_commit() {
+        let sh = NetShared::new(4, 1, Metrics::disabled());
+        let p = pattern![Value::atom("job"), any];
+        let keys = keys_of(&p);
+        let epoch = sh.epoch();
+        sh.bump_epoch(); // a commit lands between probe and park
+        let w = waiter(0, 1, 1, 1);
+        assert!(!sh.park(&w, &keys, epoch), "parker must retry inline");
+        assert!(w.is_claimed());
+        // The mutant reverts the re-check: the same race parks.
+        let sh = NetShared::with_mutant(4, 1, Metrics::disabled(), true);
+        let epoch = sh.epoch();
+        sh.bump_epoch();
+        let w = waiter(0, 1, 1, 1);
+        assert!(sh.park(&w, &keys, epoch), "mutant sleeps through the race");
+    }
+
+    #[test]
+    fn affinity_prefers_the_touching_loop() {
+        let sh = NetShared::new(8, 4, Metrics::disabled());
+        let mut hot = ShardSet::new();
+        hot.insert(5);
+        for _ in 0..10 {
+            sh.touch_shards(2, hot);
+        }
+        assert_eq!(sh.pick_loop(Some(5)), 2);
+        // Hintless placement round-robins across least-loaded loops.
+        sh.conn_opened(0);
+        sh.conn_opened(1);
+        let l = sh.pick_loop(None);
+        assert!(l == 2 || l == 3, "least-connections wins: got {l}");
+    }
+}

@@ -31,21 +31,33 @@ rustc_v="$(rustc --version 2>/dev/null || echo unknown)"
 awk -v date="$date" -v commit="$commit" -v rustc_v="$rustc_v" -v oldfile="$old" '
   FILENAME == oldfile {
     # Prior snapshot for the same day: keep its note and entries
-    # unless this run re-measures them.
+    # unless this run re-measures them. Entries may be one object per
+    # line (as this script writes them) or pretty-printed across
+    # several lines (the snapshot survived a JSON formatter), so the
+    # three fields are collected independently and an entry is emitted
+    # once its trailing "iters" field has been seen.
     if (match($0, /^[ \t]*"note":/)) {
       note = $0
       sub(/,$/, "", note)
     }
-    if (match($0, /"bench": "[^"]*"/)) {
-      name = substr($0, RSTART + 10, RLENGTH - 11)
-      line = $0
-      sub(/^[ \t]*/, "", line)
-      sub(/,$/, "", line)
-      if (!(name in idx)) {
-        names[++n] = name
-        idx[name] = n
+    if (match($0, /"bench": *"[^"]*"/)) {
+      cur = substr($0, RSTART, RLENGTH)
+      sub(/"bench": *"/, "", cur)
+      sub(/"$/, "", cur)
+    }
+    if (match($0, /"ns_per_iter": *[-+0-9.eE]+/)) {
+      cur_ns = substr($0, RSTART, RLENGTH)
+      sub(/.*: */, "", cur_ns)
+    }
+    if (cur != "" && match($0, /"iters": *[0-9]+/)) {
+      iters = substr($0, RSTART, RLENGTH)
+      sub(/.*: */, "", iters)
+      if (!(cur in idx)) {
+        names[++n] = cur
+        idx[cur] = n
       }
-      entries[idx[name]] = "    " line
+      entries[idx[cur]] = sprintf("    {\"bench\": \"%s\", \"ns_per_iter\": %s, \"iters\": %s}", cur, cur_ns, iters)
+      cur = ""
     }
     next
   }

@@ -2,21 +2,29 @@
 //!
 //! ```text
 //! sdl-bench-load [--addr HOST:PORT] [--clients N] [--conns N]
-//!                [--pipeline N] [--ops N] [--self-host] [--json]
+//!                [--pipeline N] [--ops N] [--relations K]
+//!                [--self-host] [--loops N] [--json]
 //! ```
 //!
 //! * `--addr A`      server to hammer (default `127.0.0.1:7401`)
-//! * `--clients N`   simulated clients (default 1000)
+//! * `--clients N`   simulated clients (default 1000; state is one
+//!   `u32` per client, so `--clients 1000000` is fine)
 //! * `--conns N`     TCP connections to multiplex them over (default 16)
 //! * `--pipeline N`  in-flight requests per connection (default 64;
 //!   `1` is the one-op-per-syscall ablation baseline)
 //! * `--ops N`       operations per simulated client (default 4)
+//! * `--relations K` disjoint-relation profile: divide clients into K
+//!   contiguous blocks, block k on functor `r{k}` (default 1 = every
+//!   client on the shared `mbox` functor). With `K >= --conns`, each
+//!   connection's traffic stays on disjoint shards — the multi-loop
+//!   scaling shape
 //! * `--self-host`   start an in-process server on an ephemeral port
 //!   and aim the load at it (ignores `--addr`)
+//! * `--loops N`     event loops for the self-hosted server (default 1)
 //! * `--json`        emit the report as a JSON object instead of text
 //!
-//! Each simulated client alternates `out <mbox, c, seq>` with
-//! `inp <mbox, c, seq>`; the report gives ops/sec and p50/p99/max
+//! Each simulated client alternates `out <R, c, seq>` with
+//! `inp <R, c, seq>`; the report gives ops/sec and p50/p99/max
 //! request latency across all workers.
 
 use std::process::ExitCode;
@@ -27,13 +35,15 @@ use sdl::server::{run_load, serve, LoadConfig, ServerConfig};
 struct Args {
     load: LoadConfig,
     self_host: bool,
+    loops: usize,
     json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sdl-bench-load [--addr HOST:PORT] [--clients N] [--conns N] \
-         [--pipeline N] [--ops N] [--self-host] [--json]"
+         [--pipeline N] [--ops N] [--relations K] [--self-host] [--loops N] \
+         [--json]"
     );
     std::process::exit(2)
 }
@@ -42,6 +52,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         load: LoadConfig::default(),
         self_host: false,
+        loops: 1,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -76,7 +87,21 @@ fn parse_args() -> Args {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage())
             }
+            "--relations" => {
+                args.load.relations = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
             "--self-host" => args.self_host = true,
+            "--loops" => {
+                args.loops = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
             "--json" => args.json = true,
             _ => usage(),
         }
@@ -88,7 +113,11 @@ fn main() -> ExitCode {
     let mut args = parse_args();
 
     let server = if args.self_host {
-        match serve(ServerConfig::default(), Metrics::disabled()) {
+        let cfg = ServerConfig {
+            loops: args.loops,
+            ..ServerConfig::default()
+        };
+        match serve(cfg, Metrics::disabled()) {
             Ok(s) => {
                 args.load.addr = s.addr().to_string();
                 Some(s)
@@ -113,12 +142,15 @@ fn main() -> ExitCode {
     if args.json {
         println!(
             "{{\"clients\": {}, \"connections\": {}, \"pipeline\": {}, \
+             \"relations\": {}, \"loops\": {}, \
              \"ops\": {}, \"misses\": {}, \"elapsed_ms\": {:.3}, \
              \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
              \"max_ns\": {}}}",
             args.load.sim_clients,
             args.load.connections,
             args.load.pipeline,
+            args.load.relations,
+            if args.self_host { args.loops } else { 0 },
             report.ops,
             report.misses,
             report.elapsed.as_secs_f64() * 1e3,
@@ -129,11 +161,12 @@ fn main() -> ExitCode {
         );
     } else {
         println!(
-            "clients={} conns={} pipeline={} ops/client={}",
+            "clients={} conns={} pipeline={} ops/client={} relations={}",
             args.load.sim_clients,
             args.load.connections,
             args.load.pipeline,
             args.load.ops_per_client,
+            args.load.relations,
         );
         println!(
             "ops={} misses={} elapsed={:.1}ms throughput={:.0} ops/sec",

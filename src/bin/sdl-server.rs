@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! sdl-server [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+//!            [--loops N] [--shards N] [--pin-cores]
+//!            [--placement affinity|rr]
 //!            [--max-parked N] [--max-frame BYTES] [--write-buf BYTES]
 //!            [--read-chunk BYTES] [--poll-timeout-ms N]
 //! ```
@@ -11,8 +13,17 @@
 //!   printed to stderr)
 //! * `--metrics-addr A`    also serve Prometheus metrics over HTTP at
 //!   `A` — the same `/metrics` endpoint `sdl-run` uses
-//! * `--max-parked N`      parked-request high watermark before the
-//!   server stops reading new requests (default 100000)
+//! * `--loops N`           event-loop worker threads over the shared
+//!   sharded store (default 1; clamped to 64)
+//! * `--shards N`          store shards (default 8)
+//! * `--pin-cores`         pin loop `i` to core `i % cores` (Linux)
+//! * `--placement P`       new-connection placement: `affinity` routes
+//!   a connection to the loop already touching the shards its first
+//!   request hits; `rr` is plain least-connections round-robin
+//!   (default `affinity`)
+//! * `--max-parked N`      parked-request high watermark (across all
+//!   loops) before the server stops reading new requests
+//!   (default 100000)
 //! * `--max-frame BYTES`   per-frame payload cap (default 1 MiB)
 //! * `--write-buf BYTES`   per-connection reply-buffer cap before that
 //!   connection's reads pause (default 4 MiB)
@@ -27,7 +38,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sdl::metrics::Metrics;
-use sdl::server::{serve, ServerConfig};
+use sdl::server::{serve, Placement, ServerConfig};
 
 struct Args {
     cfg: ServerConfig,
@@ -37,6 +48,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sdl-server [--addr HOST:PORT] [--metrics-addr HOST:PORT] \
+         [--loops N] [--shards N] [--pin-cores] [--placement affinity|rr] \
          [--max-parked N] [--max-frame BYTES] [--write-buf BYTES] \
          [--read-chunk BYTES] [--poll-timeout-ms N]"
     );
@@ -56,6 +68,28 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--addr" => args.cfg.addr = it.next().unwrap_or_else(|| usage()),
             "--metrics-addr" => args.metrics_addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--loops" => {
+                args.cfg.loops = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--shards" => {
+                args.cfg.shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--pin-cores" => args.cfg.pin_cores = true,
+            "--placement" => {
+                args.cfg.placement = match it.next().as_deref() {
+                    Some("affinity") => Placement::Affinity,
+                    Some("rr") | Some("round-robin") => Placement::RoundRobin,
+                    _ => usage(),
+                }
+            }
             "--max-parked" => {
                 args.cfg.max_parked = it
                     .next()

@@ -5,13 +5,26 @@
 
 use std::time::{Duration, Instant};
 
-use sdl::metrics::{Gauge, Metrics, MetricsRegistry};
-use sdl::server::{serve, Client, Request, Response, Server, ServerConfig};
+use sdl::metrics::{Gauge, LoopCounter, Metrics, MetricsRegistry};
+use sdl::server::{serve, Client, Placement, Request, Response, Server, ServerConfig};
 use sdl_tuple::{pattern, tuple, Value};
 
 fn start() -> (Server, std::sync::Arc<MetricsRegistry>) {
     let (metrics, registry) = Metrics::registry();
     let server = serve(ServerConfig::default(), metrics).expect("bind ephemeral server");
+    (server, registry)
+}
+
+/// A 2-loop server placing connections round-robin, so two clients
+/// deterministically land on different event loops.
+fn start_two_loops() -> (Server, std::sync::Arc<MetricsRegistry>) {
+    let (metrics, registry) = Metrics::registry();
+    let cfg = ServerConfig {
+        loops: 2,
+        placement: Placement::RoundRobin,
+        ..ServerConfig::default()
+    };
+    let server = serve(cfg, metrics).expect("bind ephemeral server");
     (server, registry)
 }
 
@@ -181,6 +194,117 @@ fn disconnect_while_parked_leaves_no_blocked_residue() {
             .expect("inp"),
         Some(tuple![Value::atom("orphan"), 7i64])
     );
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn cross_loop_park_is_woken_by_commit_on_the_other_loop() {
+    let (server, registry) = start_two_loops();
+    let mut a = Client::connect(server.addr()).expect("connect a");
+    let mut b = Client::connect(server.addr()).expect("connect b");
+    a.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    b.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Round-robin placement puts a and b on different loops (the first
+    // request each sends is what releases them from the nursery).
+    let id = a
+        .send(&Request::In(pattern![Value::atom("bridge"), any]))
+        .unwrap();
+    let (pid, parked) = a.recv().expect("parked notification");
+    assert_eq!(pid, id);
+    assert!(matches!(parked, Response::Parked), "{parked:?}");
+    assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), 1);
+
+    // B's commit runs on the other loop; the wake must cross through
+    // the mailbox + wake-fd handoff, never by polling.
+    b.out(tuple![Value::atom("bridge"), 7i64]).expect("out");
+    match a.wait_for(id).expect("wake") {
+        Response::Tuple(t) => assert_eq!(t, tuple![Value::atom("bridge"), 7i64]),
+        other => panic!("expected tuple, got {other:?}"),
+    }
+    assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), 0);
+    let handoffs: u64 = (0..2)
+        .map(|l| registry.loop_counter(l, LoopCounter::WakeHandoffs))
+        .sum();
+    assert_eq!(handoffs, 1, "the wake must have crossed loops");
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn cross_loop_disconnect_while_parked_settles_the_blocked_gauge() {
+    let (server, registry) = start_two_loops();
+    let baseline = registry.gauge(Gauge::BlockedQueueDepth);
+    let mut b = Client::connect(server.addr()).expect("connect b");
+    b.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Pin b to a loop before a ever parks.
+    b.ping().expect("ping");
+
+    {
+        let mut a = Client::connect(server.addr()).expect("connect a");
+        a.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        let id = a
+            .send(&Request::In(pattern![Value::atom("severed"), any]))
+            .unwrap();
+        let (pid, parked) = a.recv().expect("parked notification");
+        assert_eq!(pid, id);
+        assert!(matches!(parked, Response::Parked), "{parked:?}");
+        assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), baseline + 1);
+        // Drop a with the request parked; its loop is not the one b's
+        // commits run on.
+    }
+
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            registry.gauge(Gauge::BlockedQueueDepth) == baseline
+        }),
+        "blocked queue depth stuck at {} (baseline {})",
+        registry.gauge(Gauge::BlockedQueueDepth),
+        baseline
+    );
+
+    // B's commit on the other loop finds the waiter gone: the tuple
+    // must survive for a live taker, not vanish into a dead park.
+    b.out(tuple![Value::atom("severed"), 1i64]).expect("out");
+    assert_eq!(
+        b.try_take(pattern![Value::atom("severed"), any])
+            .expect("inp"),
+        Some(tuple![Value::atom("severed"), 1i64])
+    );
+    assert_eq!(registry.gauge(Gauge::BlockedQueueDepth), baseline);
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn four_loop_server_survives_mixed_load() {
+    let (metrics, registry) = Metrics::registry();
+    let cfg = ServerConfig {
+        loops: 4,
+        placement: Placement::Affinity,
+        ..ServerConfig::default()
+    };
+    let server = serve(cfg, metrics).expect("bind ephemeral server");
+    assert_eq!(registry.gauge(Gauge::NetLoops), 4);
+
+    let report = sdl::server::run_load(&sdl::server::LoadConfig {
+        addr: server.addr().to_string(),
+        sim_clients: 200,
+        connections: 8,
+        pipeline: 32,
+        ops_per_client: 10,
+        relations: 8,
+    })
+    .expect("load");
+    assert_eq!(report.ops, 2000);
+    assert_eq!(report.misses, 0, "every inp must find its out");
+
+    // Requests were served by the loop workers (summed across loops).
+    let served: u64 = (0..4)
+        .map(|l| registry.loop_counter(l, LoopCounter::Requests))
+        .sum();
+    assert_eq!(served, 2000);
 
     server.shutdown().expect("shutdown");
 }
