@@ -59,6 +59,7 @@ fn load_scenario(server: &Server, name: &str, sim_clients: usize, pipeline: usiz
         pipeline,
         ops_per_client: ops,
         relations: 1,
+        read_from: None,
     };
     let r = run_load(&cfg).expect("load run");
     assert_eq!(r.misses, 0, "{name}: program order broken");

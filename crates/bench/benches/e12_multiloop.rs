@@ -76,6 +76,7 @@ fn load_scenario(
         pipeline,
         ops_per_client: ops,
         relations,
+        read_from: None,
     };
     let r = run_load(&cfg).expect("load run");
     server.shutdown().expect("shutdown");

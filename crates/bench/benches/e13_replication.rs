@@ -1,0 +1,201 @@
+//! E13 — log-shipping replication.
+//!
+//! Three claims measured:
+//!
+//! * **Ship throughput**: raw `SDLREPL1` path — WAL segments through
+//!   the tailer, over a socket, decoded and model-applied follower-side
+//!   (`ship/ns_per_record`; `iters` is the record count).
+//! * **Read routing holds up under live replication**: a leader +
+//!   follower server pair with the out/inp mailbox workload, every read
+//!   routed to the follower as a non-destructive `rdp`
+//!   (`repl_load/ns_per_op`, `p99`). A read miss means the read raced
+//!   replication — `repl_load/miss_pct_x100` records the rate
+//!   (hundredths of a percent, so 250 = 2.5%).
+//! * **Lag drains**: once the writers stop, time until the follower's
+//!   `sdl_repl_lag_commits` gauge returns to 0 (`repl_load/lag_drain`).
+//!
+//! Like E10, the load scenarios are one-shot wall-clock measurements
+//! printed in the harness's `ns/iter` line format so
+//! `scripts/bench_record.sh` records them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdl::durability::{FsyncPolicy, Wal, WalConfig};
+use sdl::metrics::{Gauge, Metrics};
+use sdl::replication::{serve_ship, FollowEvent, FollowerConn, ShipConfig};
+use sdl::server::{run_load, serve, LoadConfig, Server, ServerConfig};
+use sdl_tuple::{tuple, ProcId, Tuple, TupleId, Value};
+
+/// The harness's first-free-arg substring filter, applied to the
+/// custom-printed scenarios too.
+fn filtered_out(name: &str) -> bool {
+    match std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+        Some(f) => !name.contains(&f),
+        None => false,
+    }
+}
+
+/// Prints a measurement in the vendored harness's line format.
+fn report(name: &str, value_ns: f64, iters: u64) {
+    if !filtered_out(name) {
+        println!("{name:<50} {value_ns:>12.1} ns/iter ({iters} iters)");
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sdl-e13-{tag}-{}", std::process::id()))
+}
+
+/// Raw ship path: a pre-built single-shard log streamed to one
+/// follower that applies every record to a model map.
+fn bench_ship_throughput() {
+    let name = "e13_replication/ship/ns_per_record";
+    if filtered_out(name) {
+        return;
+    }
+    let dir = temp_dir("ship");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = WalConfig::new(&dir);
+    cfg.fsync = FsyncPolicy::Never;
+    let wal = Arc::new(Wal::create(cfg, 1, Metrics::disabled()).expect("create"));
+    const RECORDS: u64 = 20_000;
+    for seq in 1..=RECORDS {
+        let id = TupleId {
+            owner: ProcId(1),
+            seq,
+        };
+        wal.append(&[], &[(id, tuple![Value::atom("m"), seq as i64])])
+            .expect("append");
+    }
+
+    let ship = serve_ship(
+        ShipConfig::new("127.0.0.1:0", "unused"),
+        Arc::clone(&wal),
+        Metrics::disabled(),
+    )
+    .expect("ship server");
+    let addr = ship.local_addr().to_string();
+
+    let t0 = Instant::now();
+    let mut conn = FollowerConn::connect(&addr, 0, 0).expect("attach");
+    let mut replica: BTreeMap<TupleId, Tuple> = BTreeMap::new();
+    let mut applied = 0u64;
+    while applied < RECORDS {
+        match conn.next_event().expect("event") {
+            Some(FollowEvent::Snapshot(base)) => {
+                replica = base.tuples.into_iter().collect();
+                applied = base.commit;
+            }
+            Some(FollowEvent::Commit(rec)) => {
+                for id in &rec.retracts {
+                    replica.remove(id);
+                }
+                for (id, t) in &rec.asserts {
+                    replica.insert(*id, t.clone());
+                }
+                applied = rec.commit;
+            }
+            _ => {}
+        }
+    }
+    conn.ack(applied).expect("ack");
+    let elapsed = t0.elapsed();
+    assert_eq!(replica.len() as u64, RECORDS);
+    report(name, elapsed.as_nanos() as f64 / RECORDS as f64, RECORDS);
+
+    drop(conn);
+    let mut ship = ship;
+    ship.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn start_pair() -> (
+    Server,
+    Server,
+    std::sync::Arc<sdl::metrics::MetricsRegistry>,
+) {
+    let dir = temp_dir("pair");
+    std::fs::remove_dir_all(&dir).ok();
+    let leader = serve(
+        ServerConfig {
+            wal_dir: Some(dir),
+            fsync: FsyncPolicy::Always,
+            repl_addr: Some("127.0.0.1:0".to_owned()),
+            ..ServerConfig::default()
+        },
+        Metrics::disabled(),
+    )
+    .expect("bind leader");
+    let (metrics, registry) = Metrics::registry();
+    let follower = serve(
+        ServerConfig {
+            follow: Some(leader.repl_addr().expect("ships").to_string()),
+            ..ServerConfig::default()
+        },
+        metrics,
+    )
+    .expect("bind follower");
+    (leader, follower, registry)
+}
+
+/// Leader + follower pair under the mailbox workload with reads routed
+/// to the follower.
+fn bench_repl_load() {
+    let prefix = "e13_replication/repl_load";
+    if filtered_out(&format!("{prefix}/ns_per_op")) && filtered_out(&format!("{prefix}/lag_drain"))
+    {
+        return;
+    }
+    let (leader, follower, follower_reg) = start_pair();
+
+    let r = run_load(&LoadConfig {
+        addr: leader.addr().to_string(),
+        sim_clients: 2_000,
+        connections: 16,
+        pipeline: 64,
+        ops_per_client: 4,
+        relations: 1,
+        read_from: Some(follower.addr().to_string()),
+    })
+    .expect("load");
+    report(&format!("{prefix}/ns_per_op"), 1e9 / r.ops_per_sec, r.ops);
+    report(&format!("{prefix}/p99"), r.p99_ns as f64, r.ops);
+    // Hundredths of a percent of reads that raced replication.
+    let reads = (r.ops / 2).max(1);
+    report(
+        &format!("{prefix}/miss_pct_x100"),
+        r.misses as f64 * 10_000.0 / reads as f64,
+        reads,
+    );
+
+    // Writers stopped: time for the follower to drain its lag to 0.
+    let t0 = Instant::now();
+    while follower_reg.gauge(Gauge::ReplLagCommits) != 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "lag never drained: {}",
+            follower_reg.gauge(Gauge::ReplLagCommits)
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    report(
+        &format!("{prefix}/lag_drain"),
+        t0.elapsed().as_nanos() as f64,
+        1,
+    );
+
+    follower.shutdown().expect("follower shutdown");
+    leader.shutdown().expect("leader shutdown");
+}
+
+fn e13(_c: &mut Criterion) {
+    bench_ship_throughput();
+    bench_repl_load();
+}
+
+criterion_group!(e13_group, e13);
+criterion_main!(e13_group);

@@ -56,7 +56,7 @@ use sdl_dataspace::{
     shard_of_pattern, shard_of_watch_key, Action, Dataspace, PlanMode, ShardSet, ShardedDataspace,
     SolveLimits, WatchKey, WatchSet,
 };
-use sdl_durability::{RecoveredState, Wal};
+use sdl_durability::{RecoveredState, Snapshotter, Wal};
 use sdl_lang::ast::TxnKind;
 use sdl_lang::expr::eval;
 use sdl_metrics::{Counter, Gauge, Hist, Metrics, ShardCounter};
@@ -453,8 +453,11 @@ struct Shared {
     skip_park_recheck: bool,
     metrics: Metrics,
     /// Write-ahead log; appends happen inside commit write-lock scopes,
-    /// fsyncs and snapshots after they drop.
+    /// fsyncs after they drop.
     wal: Option<Arc<Wal>>,
+    /// Background snapshot writer: commit threads capture the store and
+    /// hand it off instead of serialising the snapshot inline.
+    snapshotter: Mutex<Option<Snapshotter>>,
     tracer: Tracer,
     stall: Option<StallCfg>,
 }
@@ -556,6 +559,7 @@ impl ParallelRuntime {
             next_pid: RelaxedCounter::new(self.next_pid),
             error: Mutex::new(None),
             metrics: self.metrics,
+            snapshotter: Mutex::new(self.wal.as_ref().map(|w| Snapshotter::new(Arc::clone(w)))),
             wal: self.wal,
             tracer: self.tracer,
             stall: self.stall_threshold.map(|threshold| StallCfg {
@@ -625,8 +629,12 @@ impl ParallelRuntime {
                 blocked: blocked_pids,
             }
         };
-        // Whatever the fsync policy deferred becomes durable before the
-        // run is reported back.
+        // Drain the background snapshot writer, then make whatever the
+        // fsync policy deferred durable before the run is reported back.
+        let snapshotter = shared.snapshotter.lock().take();
+        if let Some(snap) = snapshotter {
+            snap.finish().map_err(wal_err)?;
+        }
         if let Some(wal) = &shared.wal {
             wal.sync().map_err(wal_err)?;
         }
@@ -1145,15 +1153,21 @@ fn attempt(
             let commit = wal_commit.expect("appended under the write locks");
             wal.ensure_durable(commit).map_err(wal_err)?;
             if wal.snapshot_due() {
-                // A full-footprint read view is consistent with the log:
-                // appends happen under shard write locks, so the state
-                // under all read locks is exactly "after the highest
-                // appended commit".
-                let (cursors, tuples) = shared
-                    .sds
-                    .read_shards(shared.sds.all_shards())
-                    .snapshot_state();
-                wal.write_snapshot(&cursors, &tuples).map_err(wal_err)?;
+                let snapshotter = shared.snapshotter.lock();
+                if let Some(snap) = snapshotter.as_ref() {
+                    if snap.idle() {
+                        // A full-footprint read view is consistent with
+                        // the log: appends happen under shard write
+                        // locks, so the state under all read locks is
+                        // exactly "after the highest appended commit" —
+                        // read `last_appended` while the view is held.
+                        let view = shared.sds.read_shards(shared.sds.all_shards());
+                        let commit = wal.last_appended();
+                        let (cursors, tuples) = view.snapshot_state();
+                        drop(view);
+                        snap.offer(commit, cursors, tuples);
+                    }
+                }
             }
         }
         wake(shared, &changed, changed_shards, commit_id);

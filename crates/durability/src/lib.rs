@@ -42,6 +42,8 @@
 
 mod codec;
 mod recover;
+mod ship;
+mod snapshotter;
 mod wal;
 
 use std::fmt;
@@ -51,7 +53,12 @@ use std::time::Duration;
 
 pub use codec::crc32;
 pub use recover::{apply_log, read_log, recover, CommitRecord, LogContents, RecoveredState};
-pub use wal::Wal;
+pub use ship::{
+    decode_commit_record, decode_instances, encode_commit_record, encode_instances, read_snapshot,
+    SegmentTailer, SnapshotContents,
+};
+pub use snapshotter::Snapshotter;
+pub use wal::{BootstrapPlan, Wal};
 
 /// When the WAL forces appended records onto stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,17 +125,24 @@ pub struct WalConfig {
     /// Write a snapshot (and prune covered history) every `n` commits.
     /// `None` keeps the full log.
     pub snapshot_every: Option<u64>,
+    /// Keep at least the newest `n` commit records through pruning even
+    /// when a snapshot covers them, so a follower briefly falling
+    /// behind can resume from the log instead of re-bootstrapping from
+    /// a snapshot. `None` lets snapshots prune everything they cover
+    /// (attached followers are still protected by retention pins).
+    pub retain_commits: Option<u64>,
 }
 
 impl WalConfig {
     /// Configuration with default fsync policy (interval 100 ms),
-    /// 64 MiB segments, and no periodic snapshots.
+    /// 64 MiB segments, no periodic snapshots, and no extra retention.
     pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
         WalConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::default(),
             segment_bytes: 64 * 1024 * 1024,
             snapshot_every: None,
+            retain_commits: None,
         }
     }
 }

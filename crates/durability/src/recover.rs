@@ -197,11 +197,11 @@ pub fn apply_log(log: &LogContents) -> Result<RecoveredState, WalError> {
 // Scanning
 // ---------------------------------------------------------------------------
 
-struct Snapshot {
-    commit: u64,
-    n_shards: u64,
-    cursors: Vec<u64>,
-    tuples: Vec<(TupleId, Tuple)>,
+pub(crate) struct Snapshot {
+    pub(crate) commit: u64,
+    pub(crate) n_shards: u64,
+    pub(crate) cursors: Vec<u64>,
+    pub(crate) tuples: Vec<(TupleId, Tuple)>,
 }
 
 fn scan(dir: &Path, truncate: bool) -> Result<LogContents, WalError> {
@@ -451,7 +451,7 @@ fn header_end(bytes: &[u8]) -> Option<u64> {
     Some((start + len) as u64)
 }
 
-fn load_snapshot(path: &Path, name_commit: u64) -> Result<Snapshot, WalError> {
+pub(crate) fn load_snapshot(path: &Path, name_commit: u64) -> Result<Snapshot, WalError> {
     let bytes = fs::read(path)?;
     let corrupt = |what: String| WalError::Corrupt(format!("{}: {what}", path.display()));
     let magic = SNAPSHOT_MAGIC.len();

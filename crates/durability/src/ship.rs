@@ -1,0 +1,361 @@
+//! Log shipping: incremental tail-reading of live WAL segments and the
+//! commit-record byte codec replication frames reuse.
+//!
+//! A [`SegmentTailer`] is the read half of log-shipping replication: it
+//! follows the segment files the [`crate::Wal`] writer is appending to,
+//! returning committed records in commit order. The tailer tolerates a
+//! partially written frame at the end of the open segment (the writer
+//! will finish it) and crosses to the successor segment once the next
+//! expected commit's file exists. The caller must hold a retention pin
+//! ([`crate::Wal::pin_retention`] / [`crate::Wal::pin_for_bootstrap`])
+//! at or below its position, or pruning may delete a segment out from
+//! under it — that contract is exactly what the pin API exists for.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use sdl_tuple::{Tuple, TupleId};
+
+use crate::codec::{crc32, Dec, Enc, FRAME_HEADER};
+use crate::recover::{list_files, load_snapshot, segment_path, CommitRecord};
+use crate::wal::{FORMAT_VERSION, REC_COMMIT, REC_HEADER, SEGMENT_MAGIC};
+use crate::WalError;
+
+/// A parsed snapshot file: the base state a follower loads before
+/// replaying shipped records.
+#[derive(Clone, Debug)]
+pub struct SnapshotContents {
+    /// Commit number the snapshot captures.
+    pub commit: u64,
+    /// Shard count the log was written under.
+    pub n_shards: u64,
+    /// Per-shard id-mint cursors at the snapshot.
+    pub cursors: Vec<u64>,
+    /// Store contents at the snapshot, in id order.
+    pub tuples: Vec<(TupleId, Tuple)>,
+}
+
+/// Reads and validates one snapshot file (magic, CRC, commit-vs-name
+/// agreement).
+///
+/// # Errors
+///
+/// I/O failure or a snapshot that fails validation.
+pub fn read_snapshot(path: &Path, commit: u64) -> Result<SnapshotContents, WalError> {
+    let snap = load_snapshot(path, commit)?;
+    Ok(SnapshotContents {
+        commit: snap.commit,
+        n_shards: snap.n_shards,
+        cursors: snap.cursors,
+        tuples: snap.tuples,
+    })
+}
+
+/// Encodes a commit record as bytes — the same payload layout the WAL
+/// uses on disk, so replication frames and log frames stay one format.
+pub fn encode_commit_record(rec: &CommitRecord) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u8(REC_COMMIT);
+    enc.u64(rec.commit);
+    enc.u32(rec.retracts.len() as u32);
+    for id in &rec.retracts {
+        enc.id(*id);
+    }
+    enc.u32(rec.asserts.len() as u32);
+    for (id, tuple) in &rec.asserts {
+        enc.id(*id);
+        enc.tuple(tuple);
+    }
+    enc.buf
+}
+
+/// Decodes a commit record from [`encode_commit_record`] bytes.
+///
+/// # Errors
+///
+/// [`WalError::Corrupt`] on any structural mismatch.
+pub fn decode_commit_record(payload: &[u8]) -> Result<CommitRecord, WalError> {
+    let corrupt = |what: String| WalError::Corrupt(format!("commit record: {what}"));
+    let mut dec = Dec::new(payload);
+    let tag = dec.u8().map_err(corrupt)?;
+    if tag != REC_COMMIT {
+        return Err(corrupt(format!("unexpected record tag {tag}")));
+    }
+    let commit = dec.u64().map_err(corrupt)?;
+    let n_retracts = dec.u32().map_err(corrupt)? as usize;
+    let mut retracts = Vec::with_capacity(n_retracts.min(payload.len()));
+    for _ in 0..n_retracts {
+        retracts.push(dec.id().map_err(corrupt)?);
+    }
+    let n_asserts = dec.u32().map_err(corrupt)? as usize;
+    let mut asserts = Vec::with_capacity(n_asserts.min(payload.len()));
+    for _ in 0..n_asserts {
+        let id = dec.id().map_err(corrupt)?;
+        let tuple = dec.tuple().map_err(corrupt)?;
+        asserts.push((id, tuple));
+    }
+    dec.done().map_err(corrupt)?;
+    Ok(CommitRecord {
+        commit,
+        retracts,
+        asserts,
+    })
+}
+
+/// Encodes a list of `(id, tuple)` instances — the payload of a
+/// replication snapshot chunk.
+pub fn encode_instances(items: &[(TupleId, Tuple)]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u32(items.len() as u32);
+    for (id, tuple) in items {
+        enc.id(*id);
+        enc.tuple(tuple);
+    }
+    enc.buf
+}
+
+/// Decodes [`encode_instances`] bytes.
+///
+/// # Errors
+///
+/// [`WalError::Corrupt`] on any structural mismatch.
+pub fn decode_instances(payload: &[u8]) -> Result<Vec<(TupleId, Tuple)>, WalError> {
+    let corrupt = |what: String| WalError::Corrupt(format!("instance list: {what}"));
+    let mut dec = Dec::new(payload);
+    let n = dec.u32().map_err(corrupt)? as usize;
+    let mut items = Vec::with_capacity(n.min(payload.len()));
+    for _ in 0..n {
+        let id = dec.id().map_err(corrupt)?;
+        let tuple = dec.tuple().map_err(corrupt)?;
+        items.push((id, tuple));
+    }
+    dec.done().map_err(corrupt)?;
+    Ok(items)
+}
+
+/// An incremental reader following live WAL segments in commit order.
+pub struct SegmentTailer {
+    dir: PathBuf,
+    /// Shard count from the first segment header seen (continuity is
+    /// checked against later headers).
+    n_shards: Option<u64>,
+    /// Next commit number to hand out.
+    next_commit: u64,
+    /// First commit of the segment currently being read.
+    segment_first: u64,
+    /// Open handle on the current segment.
+    file: File,
+    /// Byte offset of the first unconsumed byte in the current segment.
+    offset: u64,
+    /// Whether the current segment's header frame has been consumed.
+    saw_header: bool,
+    /// Unconsumed bytes read from `offset` onwards (a partial frame the
+    /// writer has not finished yet stays here between polls).
+    buf: Vec<u8>,
+}
+
+impl SegmentTailer {
+    /// Positions a tailer so its first returned record is commit
+    /// `after + 1`. Fails with [`WalError::Corrupt`] when the record is
+    /// already pruned (retention must be pinned *before* choosing
+    /// `after`; [`crate::Wal::pin_for_bootstrap`] does both at once).
+    pub fn new(dir: &Path, after: u64) -> Result<SegmentTailer, WalError> {
+        let (segments, _) = list_files(dir)?;
+        // The segment containing commit `after + 1`: the last whose
+        // first commit is at or below it. A tailer positioned at the
+        // very tip (nothing to read yet) starts in the newest segment.
+        let mut start = None;
+        for &(first, _) in &segments {
+            if first <= after + 1 {
+                start = Some(first);
+            }
+        }
+        let Some(segment_first) = start else {
+            return Err(WalError::Corrupt(format!(
+                "wal records after commit {after} are pruned; tailer cannot start"
+            )));
+        };
+        let file = File::open(segment_path(dir, segment_first))?;
+        Ok(SegmentTailer {
+            dir: dir.to_path_buf(),
+            n_shards: None,
+            next_commit: after + 1,
+            segment_first,
+            file,
+            offset: 0,
+            saw_header: false,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Shard count from the segment headers, once at least one header
+    /// frame has been read.
+    pub fn n_shards(&self) -> Option<u64> {
+        self.n_shards
+    }
+
+    /// Next commit number [`SegmentTailer::poll`] will return.
+    pub fn next_commit(&self) -> u64 {
+        self.next_commit
+    }
+
+    /// Reads every complete record now on disk with commit at or below
+    /// `up_to`, bounded by `max` records. Returns an empty vec when the
+    /// writer has not produced (or synced past) anything new. The
+    /// writer should have had its buffers flushed to the OS first
+    /// ([`crate::Wal::flush_os`] or the sync that advanced `up_to`).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Corrupt`] on CRC damage behind the watermark, a
+    /// commit-continuity break, or a header mismatch.
+    pub fn poll(&mut self, up_to: u64, max: usize) -> Result<Vec<CommitRecord>, WalError> {
+        let mut out = Vec::new();
+        while out.len() < max && self.next_commit <= up_to {
+            self.fill_buf()?;
+            match self.take_frame()? {
+                Some(Frame::Header) => {}
+                Some(Frame::Commit(rec)) => {
+                    // Records below `next_commit` are the bootstrap
+                    // skip-ahead inside the starting segment; drop them.
+                    if rec.commit >= self.next_commit {
+                        if rec.commit != self.next_commit {
+                            return Err(WalError::Corrupt(format!(
+                                "shipped commits skip from {} to {}",
+                                self.next_commit - 1,
+                                rec.commit
+                            )));
+                        }
+                        self.next_commit = rec.commit + 1;
+                        out.push(rec);
+                    }
+                }
+                None => {
+                    // No complete frame buffered. If the successor
+                    // segment exists the writer has rotated (flushing
+                    // the old file first), so leftover bytes here are
+                    // real damage, not a pending write.
+                    if segment_path(&self.dir, self.next_commit).exists()
+                        && self.segment_first != self.next_commit
+                    {
+                        if !self.buf.is_empty() {
+                            return Err(WalError::Corrupt(format!(
+                                "segment starting at {} has {} trailing bytes but a \
+                                 successor segment exists",
+                                self.segment_first,
+                                self.buf.len()
+                            )));
+                        }
+                        self.enter_segment(self.next_commit)?;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn enter_segment(&mut self, first: u64) -> Result<(), WalError> {
+        self.file = File::open(segment_path(&self.dir, first))?;
+        self.segment_first = first;
+        self.offset = 0;
+        self.saw_header = false;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Appends any new on-disk bytes of the current segment to `buf`.
+    fn fill_buf(&mut self) -> Result<(), WalError> {
+        let read_from = self.offset + self.buf.len() as u64;
+        self.file.seek(SeekFrom::Start(read_from))?;
+        self.file.read_to_end(&mut self.buf)?;
+        Ok(())
+    }
+
+    /// Consumes one complete frame from `buf`, or returns `None` when
+    /// only a partial frame (or nothing) is buffered.
+    fn take_frame(&mut self) -> Result<Option<Frame>, WalError> {
+        let mut pos = 0usize;
+        if self.offset == 0 && !self.saw_header {
+            // Segment preamble: magic bytes before the header frame.
+            if self.buf.len() < SEGMENT_MAGIC.len() {
+                return Ok(None);
+            }
+            if &self.buf[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+                return Err(WalError::Corrupt(format!(
+                    "segment starting at {} has bad magic",
+                    self.segment_first
+                )));
+            }
+            pos = SEGMENT_MAGIC.len();
+        }
+        if self.buf.len() < pos + FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(self.buf[pos + 4..pos + 8].try_into().unwrap());
+        if self.buf.len() < pos + FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let payload = &self.buf[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            // Behind the shippable watermark every frame is complete;
+            // a bad CRC here is damage, not an unfinished write.
+            return Err(WalError::Corrupt(format!(
+                "crc mismatch in segment starting at {} (offset {})",
+                self.segment_first,
+                self.offset + pos as u64
+            )));
+        }
+        let frame = if !self.saw_header {
+            let hdr = parse_header(payload, self.segment_first)?;
+            if let Some(n) = self.n_shards {
+                if n != hdr {
+                    return Err(WalError::Corrupt(format!(
+                        "segment header says {hdr} shard(s) but earlier history says {n}"
+                    )));
+                }
+            }
+            self.n_shards = Some(hdr);
+            self.saw_header = true;
+            Frame::Header
+        } else {
+            Frame::Commit(decode_commit_record(payload)?)
+        };
+        let consumed = pos + FRAME_HEADER + len;
+        self.buf.drain(..consumed);
+        self.offset += consumed as u64;
+        Ok(Some(frame))
+    }
+}
+
+enum Frame {
+    Header,
+    Commit(CommitRecord),
+}
+
+/// Validates a header-frame payload, returning its shard count.
+fn parse_header(payload: &[u8], segment_first: u64) -> Result<u64, WalError> {
+    let corrupt =
+        |what: String| WalError::Corrupt(format!("segment starting at {segment_first}: {what}"));
+    let mut dec = Dec::new(payload);
+    let tag = dec.u8().map_err(corrupt)?;
+    if tag != REC_HEADER {
+        return Err(corrupt("segment does not start with a header frame".into()));
+    }
+    let version = dec.u32().map_err(corrupt)?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!("unsupported format version {version}")));
+    }
+    let shards = dec.u64().map_err(corrupt)?;
+    let header_first = dec.u64().map_err(corrupt)?;
+    if header_first != segment_first {
+        return Err(corrupt(format!(
+            "header first-commit {header_first} does not match file name"
+        )));
+    }
+    dec.done().map_err(corrupt)?;
+    Ok(shards)
+}

@@ -1,0 +1,151 @@
+//! Background snapshot writer: commits never stall behind a snapshot.
+//!
+//! The commit path used to write snapshots inline — a multi-megabyte
+//! store serialised and fsynced while holding up the committer. The
+//! [`Snapshotter`] moves the file write onto one dedicated thread: the
+//! committer captures a consistent copy of the store (cheap — the
+//! cursors and an owned tuple vec), offers it, and goes back to work.
+//! If the thread is still writing the previous snapshot the offer is
+//! declined and the caller simply tries again at the next due point;
+//! snapshots are an optimisation, skipping one is always safe.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use sdl_tuple::{Tuple, TupleId};
+
+use crate::wal::Wal;
+use crate::WalError;
+
+struct Job {
+    commit: u64,
+    cursors: Vec<u64>,
+    tuples: Vec<(TupleId, Tuple)>,
+}
+
+#[derive(Default)]
+struct Slot {
+    job: Option<Job>,
+    busy: bool,
+    stop: bool,
+    /// First write failure; surfaced by [`Snapshotter::finish`].
+    error: Option<WalError>,
+    /// Commit of the newest snapshot successfully written.
+    last_written: u64,
+}
+
+#[derive(Default)]
+struct State {
+    slot: Mutex<Slot>,
+    cond: Condvar,
+}
+
+/// A dedicated thread writing WAL snapshots from consistent copies of
+/// the store, so group commit never waits on snapshot I/O.
+pub struct Snapshotter {
+    state: Arc<State>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Snapshotter {
+    /// Spawns the snapshot writer thread for `wal`.
+    pub fn new(wal: Arc<Wal>) -> Snapshotter {
+        let state = Arc::new(State::default());
+        let worker_state = state.clone();
+        let handle = std::thread::Builder::new()
+            .name("sdl-snapshot".into())
+            .spawn(move || worker(&worker_state, &wal))
+            .expect("spawn snapshot thread");
+        Snapshotter {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Whether an [`Snapshotter::offer`] would currently be accepted.
+    /// Callers check this *before* capturing the store copy, so a busy
+    /// snapshotter costs them nothing.
+    pub fn idle(&self) -> bool {
+        let slot = self.state.slot.lock().unwrap();
+        !slot.busy && slot.job.is_none() && slot.error.is_none()
+    }
+
+    /// Hands a consistent store copy at `commit` to the writer thread.
+    /// Returns `false` (dropping the copy) when the thread is still
+    /// busy with the previous snapshot or has already failed.
+    pub fn offer(&self, commit: u64, cursors: Vec<u64>, tuples: Vec<(TupleId, Tuple)>) -> bool {
+        let mut slot = self.state.slot.lock().unwrap();
+        if slot.busy || slot.job.is_some() || slot.error.is_some() {
+            return false;
+        }
+        slot.job = Some(Job {
+            commit,
+            cursors,
+            tuples,
+        });
+        self.state.cond.notify_all();
+        true
+    }
+
+    /// Drains any queued snapshot, stops the thread, and reports the
+    /// first write error (or the newest snapshot commit written; 0 when
+    /// none was).
+    ///
+    /// # Errors
+    ///
+    /// The first snapshot-write failure the thread hit.
+    pub fn finish(mut self) -> Result<u64, WalError> {
+        self.shutdown();
+        let mut slot = self.state.slot.lock().unwrap();
+        match slot.error.take() {
+            Some(e) => Err(e),
+            None => Ok(slot.last_written),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut slot = self.state.slot.lock().unwrap();
+            slot.stop = true;
+            self.state.cond.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Snapshotter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker(state: &State, wal: &Wal) {
+    loop {
+        let job = {
+            let mut slot = state.slot.lock().unwrap();
+            loop {
+                if let Some(job) = slot.job.take() {
+                    slot.busy = true;
+                    break job;
+                }
+                if slot.stop {
+                    return;
+                }
+                slot = state.cond.wait(slot).unwrap();
+            }
+        };
+        let result = wal.write_snapshot_at(job.commit, &job.cursors, &job.tuples);
+        let mut slot = state.slot.lock().unwrap();
+        slot.busy = false;
+        match result {
+            Ok(()) => slot.last_written = slot.last_written.max(job.commit),
+            Err(e) => {
+                if slot.error.is_none() {
+                    slot.error = Some(e);
+                }
+            }
+        }
+    }
+}

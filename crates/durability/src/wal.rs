@@ -1,9 +1,11 @@
 //! The write-ahead-log writer: append, group commit, rotation,
-//! snapshots, pruning.
+//! snapshots, retention-aware pruning, and the shipping watermark
+//! replication reads up to.
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -65,6 +67,13 @@ struct WalInner {
     last_sync: Instant,
     /// Commits appended since the last snapshot.
     since_snapshot: u64,
+    /// Retention pins: `pin id → commit number`. Pruning keeps every
+    /// record *after* the smallest pinned commit, so a reader (a
+    /// replication tailer, typically) positioned at that commit never
+    /// observes a gap.
+    pins: HashMap<u64, u64>,
+    /// Next retention-pin id.
+    next_pin: u64,
     /// Reused encode buffer — appends are hot on every commit, so the
     /// record payload is built here instead of a fresh allocation.
     scratch: Vec<u8>,
@@ -135,6 +144,8 @@ impl Wal {
             synced: first_commit - 1,
             last_sync: Instant::now(),
             since_snapshot,
+            pins: HashMap::new(),
+            next_pin: 0,
             scratch: Vec::new(),
         };
         Ok(Wal {
@@ -158,6 +169,108 @@ impl Wal {
     /// Highest commit number appended so far.
     pub fn last_appended(&self) -> u64 {
         self.inner.lock().unwrap().appended
+    }
+
+    /// Flushes buffered appends into the OS page cache (no fsync), so a
+    /// same-host reader tailing the segment files sees every appended
+    /// record. Replication shippers call this before polling the tail.
+    pub fn flush_os(&self) -> Result<(), WalError> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.file.flush()?;
+        Ok(())
+    }
+
+    /// Highest commit number safe to ship to a follower: a follower
+    /// must never hold records the leader would lose in a crash, so
+    /// under `FsyncPolicy::Always`/`Interval` only *synced* commits
+    /// ship. Under `Interval`, a due sync is taken here so the
+    /// watermark keeps advancing while the committers are idle; under
+    /// `Never` there is no durability promise to preserve and every
+    /// appended (flushed) record ships.
+    pub fn shippable_watermark(&self) -> Result<u64, WalError> {
+        let mut inner = self.inner.lock().unwrap();
+        match self.config.fsync {
+            FsyncPolicy::Always => Ok(inner.synced),
+            FsyncPolicy::Interval(every) => {
+                if inner.appended > inner.synced && inner.last_sync.elapsed() >= every {
+                    self.sync_inner(&mut inner)?;
+                }
+                Ok(inner.synced)
+            }
+            FsyncPolicy::Never => {
+                inner.file.flush()?;
+                Ok(inner.appended)
+            }
+        }
+    }
+
+    /// Registers a retention pin at `commit`: pruning will keep every
+    /// record after `commit` (and any snapshot at or after it) until
+    /// the pin moves or is released. Returns the pin id.
+    pub fn pin_retention(&self, commit: u64) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let pin = inner.next_pin;
+        inner.next_pin += 1;
+        inner.pins.insert(pin, commit);
+        pin
+    }
+
+    /// Advances pin `pin` to `commit` (never backwards — acks can
+    /// arrive reordered). Unknown pins are ignored.
+    pub fn move_retention(&self, pin: u64, commit: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(c) = inner.pins.get_mut(&pin) {
+            *c = (*c).max(commit);
+        }
+    }
+
+    /// Releases pin `pin`. History it was holding becomes prunable at
+    /// the next snapshot.
+    pub fn release_retention(&self, pin: u64) {
+        self.inner.lock().unwrap().pins.remove(&pin);
+    }
+
+    /// Plans a follower bootstrap for a follower whose store is at
+    /// `follower_last`, atomically pinning retention so the plan's
+    /// history cannot be pruned out from under the shipper:
+    ///
+    /// * if every record after `follower_last` is still retained, the
+    ///   follower resumes straight from the log (no snapshot transfer);
+    /// * otherwise the newest snapshot is the base and the follower
+    ///   replays the records after it.
+    ///
+    /// The caller must [`Wal::release_retention`] the returned pin when
+    /// the follower detaches, and [`Wal::move_retention`] it forward as
+    /// the follower acknowledges applied commits.
+    pub fn pin_for_bootstrap(&self, follower_last: u64) -> Result<BootstrapPlan, WalError> {
+        let mut inner = self.inner.lock().unwrap();
+        let oldest_first = inner.segments[0];
+        let (start_after, snapshot) =
+            if follower_last + 1 >= oldest_first && follower_last <= inner.appended {
+                (follower_last, None)
+            } else {
+                // The newest snapshot always has its suffix records
+                // retained: pruning at snapshot time never goes past the
+                // snapshot being written.
+                let (_, snapshots) = list_files(&self.config.dir)?;
+                match snapshots.last() {
+                    Some((commit, path)) => (*commit, Some((*commit, path.clone()))),
+                    None => {
+                        return Err(WalError::Corrupt(format!(
+                            "no snapshot to bootstrap a follower at commit {follower_last} \
+                             (oldest retained record is {oldest_first})"
+                        )))
+                    }
+                }
+            };
+        let pin = inner.next_pin;
+        inner.next_pin += 1;
+        inner.pins.insert(pin, start_after);
+        Ok(BootstrapPlan {
+            pin,
+            start_after,
+            snapshot,
+        })
     }
 
     /// Appends one committed batch and returns its commit number.
@@ -295,9 +408,26 @@ impl Wal {
         cursors: &[u64],
         tuples: &[(TupleId, Tuple)],
     ) -> Result<u64, WalError> {
-        let mut inner = self.inner.lock().unwrap();
-        let commit = inner.appended;
+        let commit = self.inner.lock().unwrap().appended;
+        self.write_snapshot_at(commit, cursors, tuples)?;
+        Ok(commit)
+    }
 
+    /// Writes a snapshot capturing the store exactly after `commit`,
+    /// then prunes history the snapshot (minus retention pins and the
+    /// configured retain window) makes redundant.
+    ///
+    /// Unlike [`Wal::write_snapshot`] the capture commit is supplied by
+    /// the caller, which must have read it *while holding the same
+    /// consistent view* `cursors`/`tuples` were taken under — that is
+    /// what lets a background snapshotter write the copy long after the
+    /// log has moved on.
+    pub fn write_snapshot_at(
+        &self,
+        commit: u64,
+        cursors: &[u64],
+        tuples: &[(TupleId, Tuple)],
+    ) -> Result<(), WalError> {
         let mut enc = Enc::new();
         enc.u32(FORMAT_VERSION);
         enc.u64(commit);
@@ -311,6 +441,9 @@ impl Wal {
             enc.tuple(tuple);
         }
 
+        // The file write happens outside the log mutex on purpose: a
+        // background snapshotter streaming a large store out must not
+        // stall concurrent appends.
         let path = snapshot_path(&self.config.dir, commit);
         let tmp = path.with_extension("tmp");
         let mut f = File::create(&tmp)?;
@@ -323,25 +456,37 @@ impl Wal {
         if let Ok(dir) = File::open(&self.config.dir) {
             let _ = dir.sync_all();
         }
-        inner.since_snapshot = 0;
+        let mut inner = self.inner.lock().unwrap();
+        // Commits that landed while the copy was being written are not
+        // covered by it; they count toward the next snapshot.
+        inner.since_snapshot = inner.appended.saturating_sub(commit);
         self.prune(&mut inner, commit)?;
-        Ok(commit)
+        Ok(())
     }
 
-    /// Drops snapshots older than `commit` and segments whose entire
-    /// contents are at or below `commit` (a segment is covered when the
-    /// *next* segment starts at or below `commit + 1`).
+    /// Drops history a snapshot at `commit` makes redundant, bounded by
+    /// the retention floor: the smallest of `commit`, every retention
+    /// pin, and `appended - retain_commits`. Snapshots strictly below
+    /// the floor go; a segment goes when the *next* segment starts at
+    /// or below `floor + 1` (the open segment never goes).
     fn prune(&self, inner: &mut WalInner, commit: u64) -> Result<(), WalError> {
+        let mut floor = commit;
+        if let Some(keep) = self.config.retain_commits {
+            floor = floor.min(inner.appended.saturating_sub(keep));
+        }
+        if let Some(&min_pin) = inner.pins.values().min() {
+            floor = floor.min(min_pin);
+        }
         let (_, snapshots) = list_files(&self.config.dir)?;
         for (c, path) in snapshots {
-            if c < commit {
+            if c < floor {
                 fs::remove_file(path)?;
             }
         }
         let mut keep = Vec::with_capacity(inner.segments.len());
         for (i, &first) in inner.segments.iter().enumerate() {
             let covered = match inner.segments.get(i + 1) {
-                Some(&next_first) => next_first <= commit + 1,
+                Some(&next_first) => next_first <= floor + 1,
                 None => false, // never prune the open segment
             };
             if covered {
@@ -353,6 +498,19 @@ impl Wal {
         inner.segments = keep;
         Ok(())
     }
+}
+
+/// A follower-bootstrap decision from [`Wal::pin_for_bootstrap`],
+/// with retention already pinned at [`BootstrapPlan::start_after`].
+#[derive(Debug)]
+pub struct BootstrapPlan {
+    /// Retention pin protecting records after `start_after`.
+    pub pin: u64,
+    /// The follower replays records `start_after + 1 ..`.
+    pub start_after: u64,
+    /// Snapshot `(commit, path)` the follower must load first, or
+    /// `None` when it can resume from its own store.
+    pub snapshot: Option<(u64, PathBuf)>,
 }
 
 fn segment_header(n_shards: u64, first_commit: u64) -> Vec<u8> {

@@ -136,11 +136,23 @@ pub enum Counter {
     /// Frames rejected by the wire decoder (bad magic, CRC mismatch,
     /// over-limit length, malformed payload).
     NetProtocolErrors,
+    /// Commit records shipped to replication followers.
+    ReplShippedRecords,
+    /// Bytes shipped to replication followers (frame headers included).
+    ReplShippedBytes,
+    /// Shipped commit records applied by this follower.
+    ReplRecordsApplied,
+    /// Snapshot bootstraps served to (leader) or performed by
+    /// (follower) replication peers.
+    ReplSnapshotBootstraps,
+    /// Write requests rejected by a follower with a `NotLeader`
+    /// redirect.
+    ReplNotLeaderRedirects,
 }
 
 impl Counter {
     /// All counters in exposition order.
-    pub const ALL: [Counter; 49] = [
+    pub const ALL: [Counter; 54] = [
         Counter::TxnAttemptsImmediate,
         Counter::TxnAttemptsDelayed,
         Counter::TxnAttemptsConsensus,
@@ -190,6 +202,11 @@ impl Counter {
         Counter::NetReqOther,
         Counter::NetBackpressureStalls,
         Counter::NetProtocolErrors,
+        Counter::ReplShippedRecords,
+        Counter::ReplShippedBytes,
+        Counter::ReplRecordsApplied,
+        Counter::ReplSnapshotBootstraps,
+        Counter::ReplNotLeaderRedirects,
     ];
 
     /// Number of distinct counters.
@@ -245,6 +262,11 @@ impl Counter {
             | Counter::NetReqOther => "sdl_net_requests_total",
             Counter::NetBackpressureStalls => "sdl_net_backpressure_stalls_total",
             Counter::NetProtocolErrors => "sdl_net_protocol_errors_total",
+            Counter::ReplShippedRecords => "sdl_repl_shipped_records_total",
+            Counter::ReplShippedBytes => "sdl_repl_shipped_bytes_total",
+            Counter::ReplRecordsApplied => "sdl_repl_records_applied_total",
+            Counter::ReplSnapshotBootstraps => "sdl_repl_snapshot_bootstraps_total",
+            Counter::ReplNotLeaderRedirects => "sdl_repl_not_leader_redirects_total",
         }
     }
 
@@ -344,6 +366,15 @@ impl Counter {
                 "Transitions into backpressure (server paused reads on saturated state)."
             }
             Counter::NetProtocolErrors => "Frames rejected by the wire decoder.",
+            Counter::ReplShippedRecords => "Commit records shipped to replication followers.",
+            Counter::ReplShippedBytes => "Bytes shipped to replication followers.",
+            Counter::ReplRecordsApplied => "Shipped commit records applied by this follower.",
+            Counter::ReplSnapshotBootstraps => {
+                "Snapshot bootstraps served to or performed by replication peers."
+            }
+            Counter::ReplNotLeaderRedirects => {
+                "Write requests a follower rejected with a NotLeader redirect."
+            }
         }
     }
 }
@@ -374,6 +405,9 @@ pub enum Hist {
     /// Requests committed per engine batch by the networked server (one
     /// observation per `apply_batch` flush).
     NetBatchSize,
+    /// Wall-clock seconds a follower spent applying one shipped commit
+    /// record (store mutation + wake scan, under the write footprint).
+    ReplApplySeconds,
 }
 
 const LATENCY_BUCKETS: &[f64] = &[
@@ -385,7 +419,7 @@ const SIZE_BUCKETS: &[f64] = &[
 
 impl Hist {
     /// All histograms in exposition order.
-    pub const ALL: [Hist; 8] = [
+    pub const ALL: [Hist; 9] = [
         Hist::QueryEvalSeconds,
         Hist::WindowSize,
         Hist::BlockedSeconds,
@@ -394,6 +428,7 @@ impl Hist {
         Hist::EffectsBuildSeconds,
         Hist::CommitApplySeconds,
         Hist::NetBatchSize,
+        Hist::ReplApplySeconds,
     ];
 
     /// Number of distinct histograms.
@@ -410,6 +445,7 @@ impl Hist {
             Hist::EffectsBuildSeconds => "sdl_effects_build_seconds",
             Hist::CommitApplySeconds => "sdl_commit_apply_seconds",
             Hist::NetBatchSize => "sdl_net_batch_size",
+            Hist::ReplApplySeconds => "sdl_repl_apply_seconds",
         }
     }
 
@@ -426,6 +462,7 @@ impl Hist {
                 "Time inside the commit critical section (validate + apply + WAL append)."
             }
             Hist::NetBatchSize => "Requests committed per networked-server engine batch.",
+            Hist::ReplApplySeconds => "Time a follower spent applying one shipped commit record.",
         }
     }
 
@@ -437,7 +474,8 @@ impl Hist {
             | Hist::ShardLockWaitSeconds
             | Hist::WalFsyncSeconds
             | Hist::EffectsBuildSeconds
-            | Hist::CommitApplySeconds => LATENCY_BUCKETS,
+            | Hist::CommitApplySeconds
+            | Hist::ReplApplySeconds => LATENCY_BUCKETS,
             Hist::WindowSize | Hist::NetBatchSize => SIZE_BUCKETS,
         }
     }
@@ -539,15 +577,24 @@ pub enum Gauge {
     /// `sdl_net_loops` — event-loop worker threads the networked server
     /// is running (static for a server's lifetime).
     NetLoops,
+    /// `sdl_repl_lag_commits` — commits the slowest attached follower
+    /// trails the leader's shippable watermark by (on a leader), or
+    /// commits this follower trails the leader by (on a follower).
+    ReplLagCommits,
+    /// `sdl_repl_followers` — replication followers currently attached
+    /// to this leader.
+    ReplFollowers,
 }
 
 impl Gauge {
     /// All gauges in exposition order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::BlockedQueueDepth,
         Gauge::StalledProcesses,
         Gauge::NetConnections,
         Gauge::NetLoops,
+        Gauge::ReplLagCommits,
+        Gauge::ReplFollowers,
     ];
 
     /// Number of distinct gauges.
@@ -560,6 +607,8 @@ impl Gauge {
             Gauge::StalledProcesses => "sdl_stalled_processes",
             Gauge::NetConnections => "sdl_net_connections",
             Gauge::NetLoops => "sdl_net_loops",
+            Gauge::ReplLagCommits => "sdl_repl_lag_commits",
+            Gauge::ReplFollowers => "sdl_repl_followers",
         }
     }
 
@@ -572,6 +621,10 @@ impl Gauge {
             }
             Gauge::NetConnections => "Client connections currently open on the networked server.",
             Gauge::NetLoops => "Event-loop worker threads serving the networked dataspace.",
+            Gauge::ReplLagCommits => {
+                "Replication lag in commits (slowest follower behind the leader watermark)."
+            }
+            Gauge::ReplFollowers => "Replication followers currently attached.",
         }
     }
 }
@@ -601,6 +654,13 @@ pub trait MetricsSink: Send + Sync {
     /// so sinks that predate gauges keep compiling unchanged.
     fn add_gauge(&self, gauge: Gauge, delta: i64) {
         let _ = (gauge, delta);
+    }
+
+    /// Sets a gauge to an absolute level (for sampled gauges like
+    /// replication lag, where the instrument reads the level rather
+    /// than tracking deltas). Default: discard.
+    fn set_gauge(&self, gauge: Gauge, value: i64) {
+        let _ = (gauge, value);
     }
 }
 
@@ -701,6 +761,14 @@ impl Metrics {
     pub fn add_gauge(&self, gauge: Gauge, delta: i64) {
         if let Some(sink) = &self.sink {
             sink.add_gauge(gauge, delta);
+        }
+    }
+
+    /// Sets `gauge` to an absolute level.
+    #[inline]
+    pub fn set_gauge(&self, gauge: Gauge, value: i64) {
+        if let Some(sink) = &self.sink {
+            sink.set_gauge(gauge, value);
         }
     }
 
@@ -1037,6 +1105,11 @@ impl MetricsSink for MetricsRegistry {
     fn add_gauge(&self, gauge: Gauge, delta: i64) {
         let new = self.gauges[gauge as usize].fetch_add(delta, Ordering::Relaxed) + delta;
         self.gauge_mins[gauge as usize].fetch_min(new, Ordering::Relaxed);
+    }
+
+    fn set_gauge(&self, gauge: Gauge, value: i64) {
+        self.gauges[gauge as usize].store(value, Ordering::Relaxed);
+        self.gauge_mins[gauge as usize].fetch_min(value, Ordering::Relaxed);
     }
 }
 

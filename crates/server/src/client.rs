@@ -258,6 +258,10 @@ fn unexpected(resp: Response) -> io::Error {
     match resp {
         Response::Error(msg) => io::Error::other(msg),
         Response::Cancelled => io::Error::new(io::ErrorKind::Interrupted, "request cancelled"),
+        Response::NotLeader(addr) => io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            format!("not the leader; write to {addr}"),
+        ),
         other => io::Error::other(format!("unexpected response: {other:?}")),
     }
 }

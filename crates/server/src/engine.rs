@@ -161,10 +161,21 @@ impl Engine {
     /// Handles one decoded request. `out` buffers; read-type ops flush
     /// the buffer first so a pipelined `out … inp` sequence observes
     /// program order. Replies append to `replies` in completion order.
+    ///
+    /// On a follower (read-only) engine, mutating requests never reach
+    /// the store: they answer `NotLeader` with the leader's address.
+    /// `rd`/`rdp` serve (and park) normally — the replication apply
+    /// thread's commits wake parked readers like any other commit.
     pub fn submit(&mut self, conn: ConnId, req_id: u64, req: Request, replies: &mut Vec<Reply>) {
         self.metrics.inc(op_counter(&req));
         self.metrics
             .add_loop(self.loop_id, LoopCounter::Requests, 1);
+        if self.shared.redirect.is_some() && mutates(&req) {
+            let leader = self.shared.redirect.clone().unwrap_or_default();
+            self.metrics.inc(Counter::ReplNotLeaderRedirects);
+            replies.push((conn, req_id, Response::NotLeader(leader)));
+            return;
+        }
         match req {
             Request::Ping => replies.push((conn, req_id, Response::Ok)),
             Request::Out(t) => {
@@ -273,9 +284,11 @@ impl Engine {
         self.shared
             .sds
             .note_commit(changed, self.shared.next_commit());
+        let wal_commit = self.wal_append(&view, &out);
         drop(view);
         self.shared.bump_epoch();
         self.after_commit(&watch, changed);
+        self.make_durable(wal_commit);
         out
     }
 
@@ -286,6 +299,65 @@ impl Engine {
         let (local, kicks) = self.shared.wake(self.loop_id, watch, changed);
         self.wake_queue.extend(local);
         self.kick_mask |= kicks;
+    }
+
+    /// Appends the applied batch to the WAL *while the write view is
+    /// still held*: any conflicting commit is ordered behind these
+    /// locks, so the log's append order is a valid serialisation of the
+    /// run (disjoint-footprint commits commute) — the same argument
+    /// `core::parallel` makes. The fsync waits for [`Engine::make_durable`]
+    /// after the locks drop.
+    ///
+    /// A WAL failure is fatal: the store has already applied the batch,
+    /// so a leader that cannot log it must not stay up and acknowledge.
+    fn wal_append<S: TupleSource + ?Sized>(
+        &self,
+        view: &S,
+        out: &sdl_dataspace::BatchOutcome,
+    ) -> Option<u64> {
+        let wal = self.shared.wal.as_ref()?;
+        let retracts: Vec<TupleId> = out.retracted.iter().map(|(id, _)| *id).collect();
+        let asserts: Vec<(TupleId, Tuple)> = out
+            .asserted
+            .iter()
+            .map(|&id| (id, view.tuple(id).expect("just asserted").clone()))
+            .collect();
+        match wal.append(&retracts, &asserts) {
+            Ok(commit) => Some(commit),
+            Err(e) => panic!("wal append failed; cannot acknowledge unlogged commits: {e}"),
+        }
+    }
+
+    /// Group-commit fsync for `wal_commit` (after the write locks
+    /// dropped, so concurrent committers share one fsync), then hands a
+    /// due snapshot to the background [`sdl_durability::Snapshotter`] —
+    /// the commit path never writes snapshot files inline.
+    fn make_durable(&self, wal_commit: Option<u64>) {
+        let Some(commit) = wal_commit else { return };
+        let Some(wal) = self.shared.wal.as_ref() else {
+            return;
+        };
+        if let Err(e) = wal.ensure_durable(commit) {
+            panic!("wal fsync failed; cannot acknowledge unlogged commits: {e}");
+        }
+        if wal.snapshot_due() {
+            let snapshotter = self.shared.snapshotter.lock();
+            if let Some(snap) = snapshotter.as_ref() {
+                // Only pay for the store copy when the writer thread
+                // would accept it; a declined snapshot just means the
+                // next due point offers again.
+                if snap.idle() {
+                    let view = self.shared.sds.read_shards(self.shared.sds.all_shards());
+                    // Appends happen under shard write locks, so under a
+                    // full-footprint read view the store is exactly the
+                    // state after the highest appended commit.
+                    let commit = wal.last_appended();
+                    let (cursors, tuples) = view.snapshot_state();
+                    drop(view);
+                    snap.offer(commit, cursors, tuples);
+                }
+            }
+        }
     }
 
     fn flush(&mut self, replies: &mut Vec<Reply>) {
@@ -331,9 +403,11 @@ impl Engine {
         self.shared
             .sds
             .note_commit(changed, self.shared.next_commit());
+        let wal_commit = self.wal_append(&view, &out);
         drop(view);
         self.shared.bump_epoch();
         self.after_commit(&watch, changed);
+        self.make_durable(wal_commit);
         out.retracted.into_iter().next().map(|(_, t)| t)
     }
 
@@ -425,13 +499,15 @@ impl Engine {
                     .iter()
                     .map(|t| Action::Assert(conn_pid(conn), t.clone())),
             );
-            let (_, changed) = view.apply_batch(actions, &mut watch);
+            let (out, changed) = view.apply_batch(actions, &mut watch);
             self.shared
                 .sds
                 .note_commit(changed, self.shared.next_commit());
+            let wal_commit = self.wal_append(&view, &out);
             drop(view);
             self.shared.bump_epoch();
             self.after_commit(&watch, changed);
+            self.make_durable(wal_commit);
             return Attempt::Done(Response::Ok);
         }
     }
@@ -540,6 +616,17 @@ fn exact_keys(p: &Pattern) -> Vec<WatchKey> {
 
 fn conn_pid(conn: ConnId) -> ProcId {
     ProcId(CONN_PID_BASE | conn)
+}
+
+/// Whether a request can change the store. Transactions count even when
+/// their body happens to be read-only: classifying one would need
+/// compilation, and a follower must never run anything that could
+/// retract or assert.
+fn mutates(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Out(_) | Request::In(_) | Request::Inp(_) | Request::Txn { .. }
+    )
 }
 
 fn op_counter(req: &Request) -> Counter {

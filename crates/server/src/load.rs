@@ -50,6 +50,13 @@ pub struct LoadConfig {
     /// (for `K >=` connections) each connection's traffic stays on
     /// disjoint relations — and therefore disjoint shards.
     pub relations: usize,
+    /// Route the read half of the workload to this address (a read-only
+    /// replica): writes stay on [`LoadConfig::addr`], and each client's
+    /// `inp` becomes a non-destructive `rdp` against the replica. A
+    /// `rdp` miss then means the replica hadn't applied that client's
+    /// `out` yet — the replication-lag signal — so misses are expected
+    /// under load rather than a bug in this shape.
+    pub read_from: Option<String>,
 }
 
 impl Default for LoadConfig {
@@ -61,6 +68,7 @@ impl Default for LoadConfig {
             pipeline: 64,
             ops_per_client: 4,
             relations: 1,
+            read_from: None,
         }
     }
 }
@@ -191,6 +199,16 @@ fn relation_of(cid: usize, sim_clients: usize, relations: usize) -> usize {
 fn worker(cfg: &LoadConfig, first_sim: usize, n_sim: usize) -> io::Result<WorkerOut> {
     let mut client = Client::connect(&cfg.addr)?;
     client.set_timeout(Some(Duration::from_secs(30)))?;
+    // Read-routing: a second connection to the replica carries every
+    // read; the write connection never sees them.
+    let mut reader = match &cfg.read_from {
+        Some(addr) => {
+            let mut c = Client::connect(addr)?;
+            c.set_timeout(Some(Duration::from_secs(30)))?;
+            Some(c)
+        }
+        None => None,
+    };
     let mut hist = LatHist::new();
     let mut misses = 0u64;
 
@@ -214,13 +232,16 @@ fn worker(cfg: &LoadConfig, first_sim: usize, n_sim: usize) -> io::Result<Worker
     let mut sim_cursor = 0usize;
     // req_id → send time; req ids are assigned consecutively by the
     // client, so a Vec-backed ring would also work, but the map keeps
-    // the code obvious and is far from the bottleneck.
+    // the code obvious and is far from the bottleneck. The replica
+    // connection mints its own ids, so its in-flight set is separate.
     let mut pending: std::collections::HashMap<u64, (Instant, bool)> =
+        std::collections::HashMap::new();
+    let mut pending_r: std::collections::HashMap<u64, (Instant, bool)> =
         std::collections::HashMap::new();
 
     let t0 = Instant::now();
     while done < total {
-        while issued < total && pending.len() < cfg.pipeline {
+        while issued < total && pending.len() + pending_r.len() < cfg.pipeline {
             let sim = sim_cursor;
             sim_cursor = (sim_cursor + 1) % n_sim;
             if u64::from(ops_done[sim]) >= cfg.ops_per_client as u64 {
@@ -232,23 +253,32 @@ fn worker(cfg: &LoadConfig, first_sim: usize, n_sim: usize) -> io::Result<Worker
             let seq = i64::from(ops_done[sim] / 2);
             let is_out = ops_done[sim].is_multiple_of(2);
             ops_done[sim] += 1;
-            let req = if is_out {
-                Request::Out(mailbox_tuple(functor, cid as i64, seq))
+            if is_out {
+                let id = client.send(&Request::Out(mailbox_tuple(functor, cid as i64, seq)))?;
+                pending.insert(id, (Instant::now(), false));
             } else {
-                Request::Inp(mailbox_pattern(functor, cid as i64, seq))
-            };
-            let id = client.send(&req)?;
-            pending.insert(id, (Instant::now(), !is_out));
+                let p = mailbox_pattern(functor, cid as i64, seq);
+                match reader.as_mut() {
+                    Some(r) => {
+                        let id = r.send(&Request::Rdp(p))?;
+                        pending_r.insert(id, (Instant::now(), true));
+                    }
+                    None => {
+                        let id = client.send(&Request::Inp(p))?;
+                        pending.insert(id, (Instant::now(), true));
+                    }
+                }
+            }
             issued += 1;
         }
-        let (id, resp) = client.recv()?;
-        if let Some((sent_at, is_inp)) = pending.remove(&id) {
-            hist.record(sent_at.elapsed().as_nanos() as u64);
-            done += 1;
-            match resp {
-                Response::Failed if is_inp => misses += 1,
-                Response::Error(msg) => return Err(io::Error::other(msg)),
-                _ => {}
+        if !pending.is_empty() {
+            let (id, resp) = client.recv()?;
+            settle(&mut pending, id, resp, &mut hist, &mut misses, &mut done)?;
+        }
+        if let Some(r) = reader.as_mut() {
+            if !pending_r.is_empty() {
+                let (id, resp) = r.recv()?;
+                settle(&mut pending_r, id, resp, &mut hist, &mut misses, &mut done)?;
             }
         }
     }
@@ -257,6 +287,34 @@ fn worker(cfg: &LoadConfig, first_sim: usize, n_sim: usize) -> io::Result<Worker
         misses,
         elapsed: t0.elapsed(),
     })
+}
+
+/// Accounts one reply against its lane's in-flight map. A `Failed` on a
+/// read is a miss (on a replica lane, that means the read raced ahead
+/// of replication); a `NotLeader` means the lanes are aimed wrong.
+fn settle(
+    pending: &mut std::collections::HashMap<u64, (Instant, bool)>,
+    id: u64,
+    resp: Response,
+    hist: &mut LatHist,
+    misses: &mut u64,
+    done: &mut u64,
+) -> io::Result<()> {
+    if let Some((sent_at, is_read)) = pending.remove(&id) {
+        hist.record(sent_at.elapsed().as_nanos() as u64);
+        *done += 1;
+        match resp {
+            Response::Failed if is_read => *misses += 1,
+            Response::NotLeader(leader) => {
+                return Err(io::Error::other(format!(
+                    "server is a read-only follower; writes go to {leader}"
+                )));
+            }
+            Response::Error(msg) => return Err(io::Error::other(msg)),
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 fn mailbox_tuple(functor: Value, cid: i64, seq: i64) -> Tuple {

@@ -33,11 +33,17 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use sdl_metrics::{Counter, Gauge, Metrics};
+use sdl_dataspace::{Action, ShardSet, WatchSet};
+use sdl_durability::{recover, CommitRecord, FsyncPolicy, Wal, WalConfig, WalError};
+use sdl_metrics::{Counter, Gauge, Hist, Metrics};
+use sdl_replication::{serve_ship, FollowEvent, FollowerConn, ShipConfig, ShipServer};
+use sdl_tuple::TupleId;
 
 use crate::conn::{FillOutcome, ReadBuf, WriteBuf};
 use crate::engine::{Engine, Reply};
@@ -92,6 +98,29 @@ pub struct ServerConfig {
     pub pin_cores: bool,
     /// New-connection placement policy.
     pub placement: Placement,
+    /// Durability: log every commit to a WAL in this directory (created
+    /// if missing; existing history is recovered and the store seeded
+    /// from it). `None` runs in-memory.
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync policy for `wal_dir`.
+    pub fsync: FsyncPolicy,
+    /// Snapshot (and prune) every `n` commits; `None` keeps the full log.
+    pub snapshot_every: Option<u64>,
+    /// Keep at least the newest `n` commits through pruning so a
+    /// briefly-detached follower resumes from the log instead of
+    /// re-bootstrapping (attached followers are always protected by
+    /// retention pins).
+    pub wal_retain: Option<u64>,
+    /// Leader: also serve the `SDLREPL1` replication protocol at this
+    /// address, shipping the WAL to followers. Requires `wal_dir`.
+    pub repl_addr: Option<String>,
+    /// Client address handed to followers for `NotLeader` redirects;
+    /// defaults to the bound listener address (override when clients
+    /// reach this host through a different name).
+    pub advertise: Option<String>,
+    /// Follower: bootstrap from — and stay attached to — the leader's
+    /// replication listener at this address, serving read-only.
+    pub follow: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -107,18 +136,27 @@ impl Default for ServerConfig {
             shards: 8,
             pin_cores: false,
             placement: Placement::Affinity,
+            wal_dir: None,
+            fsync: FsyncPolicy::default(),
+            snapshot_every: None,
+            wal_retain: None,
+            repl_addr: None,
+            advertise: None,
+            follow: None,
         }
     }
 }
 
 /// A running server; [`Server::shutdown`] stops every thread and joins
 /// them.
-#[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
+    repl_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     wakefds: Vec<Arc<WakeFd>>,
     handles: Vec<JoinHandle<io::Result<()>>>,
+    ship: Option<ShipServer>,
+    shared: Arc<NetShared>,
 }
 
 impl Server {
@@ -127,8 +165,15 @@ impl Server {
         self.addr
     }
 
+    /// The replication listener's bound address, when this server is a
+    /// leader with [`ServerConfig::repl_addr`] set.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_addr
+    }
+
     /// Signals every thread to stop and joins them, propagating the
-    /// first error.
+    /// first error. On a leader this also drains the background
+    /// snapshot writer and makes the WAL durable.
     ///
     /// # Errors
     ///
@@ -145,6 +190,26 @@ impl Server {
                 .unwrap_or_else(|_| Err(io::Error::other("server thread panicked")));
             if result.is_ok() {
                 result = r;
+            }
+        }
+        if let Some(mut ship) = self.ship.take() {
+            ship.shutdown();
+        }
+        let snapshotter = self.shared.snapshotter.lock().take();
+        if let Some(snap) = snapshotter {
+            if let Err(e) = snap.finish() {
+                if result.is_ok() {
+                    result = Err(io::Error::other(e.to_string()));
+                }
+            }
+        }
+        if let Some(wal) = &self.shared.wal {
+            // Whatever the fsync policy deferred becomes durable before
+            // the server reports itself down.
+            if let Err(e) = wal.sync() {
+                if result.is_ok() {
+                    result = Err(io::Error::other(e.to_string()));
+                }
             }
         }
         result
@@ -176,14 +241,76 @@ struct ConnState {
 ///
 /// Bind/poller/wake-fd creation failure.
 pub fn serve(cfg: ServerConfig, metrics: Metrics) -> io::Result<Server> {
+    if cfg.repl_addr.is_some() && cfg.wal_dir.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "replication (--repl-addr) ships the WAL; it requires --wal-dir",
+        ));
+    }
+    if cfg.follow.is_some() && (cfg.wal_dir.is_some() || cfg.repl_addr.is_some()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a follower's state is the shipped log; --follow excludes --wal-dir/--repl-addr",
+        ));
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     // The kick mask is a u64 by loop id; clamp accordingly.
     let n_loops = cfg.loops.clamp(1, 64);
-    let shared = Arc::new(NetShared::new(cfg.shards, n_loops, metrics.clone()));
+
+    // Durability and replication decide the store's shard count and
+    // seed contents, so they run before the state is shared.
+    let mut follower: Option<(FollowerConn, Option<FollowEvent>, u64)> = None;
+    let shared = if let Some(leader) = &cfg.follow {
+        let mut conn = FollowerConn::connect(leader, 0, 0)?;
+        let mut shared = NetShared::new(conn.n_shards() as usize, n_loops, metrics.clone());
+        shared.set_redirect(conn.leader_client_addr().to_owned());
+        // The bootstrap (if the leader decided one is needed) follows
+        // the handshake immediately; load it before serving so a
+        // follower never answers from a state older than its base.
+        let mut applied = 0;
+        let mut pending = None;
+        match conn.next_event()? {
+            Some(FollowEvent::Snapshot(base)) => {
+                for (id, t) in base.tuples {
+                    shared.sds.insert_instance(id, t);
+                }
+                shared.sds.advance_cursors(&base.cursors);
+                applied = base.commit;
+                conn.ack(applied)?;
+            }
+            Some(ev) => pending = Some(ev),
+            None => {}
+        }
+        follower = Some((conn, pending, applied));
+        shared
+    } else {
+        let mut shared = NetShared::new(cfg.shards, n_loops, metrics.clone());
+        if cfg.wal_dir.is_some() {
+            let wal = open_wal(&cfg, &mut shared, &metrics)?;
+            shared.attach_wal(wal);
+        }
+        shared
+    };
+    let shared = Arc::new(shared);
     metrics.add_gauge(Gauge::NetLoops, n_loops as i64);
     let stop = Arc::new(AtomicBool::new(false));
+
+    // Leader-side replication listener, shipping the WAL just attached.
+    let ship = match &cfg.repl_addr {
+        Some(repl_addr) => {
+            let wal = Arc::clone(shared.wal.as_ref().expect("validated above"));
+            let client_addr = cfg.advertise.clone().unwrap_or_else(|| addr.to_string());
+            Some(serve_ship(
+                ShipConfig::new(repl_addr.clone(), client_addr),
+                wal,
+                metrics.clone(),
+            )?)
+        }
+        None => None,
+    };
+    let repl_addr = ship.as_ref().map(ShipServer::local_addr);
 
     let mut wakefds = Vec::with_capacity(n_loops);
     let mut intakes = Vec::with_capacity(n_loops);
@@ -226,12 +353,215 @@ pub fn serve(cfg: ServerConfig, metrics: Metrics) -> io::Result<Server> {
                 })?,
         );
     }
+    if let Some((conn, pending, applied)) = follower {
+        let leader = cfg.follow.clone().expect("follower implies --follow");
+        let shared = Arc::clone(&shared);
+        let wakefds = Arc::clone(&wakefds);
+        let stop = Arc::clone(&stop);
+        let metrics = metrics.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("sdl-repl-apply".to_owned())
+                .spawn(move || {
+                    follower_apply(
+                        &shared, &wakefds, &metrics, &leader, conn, pending, applied, &stop,
+                    )
+                })?,
+        );
+    }
     Ok(Server {
         addr,
+        repl_addr,
         stop,
         wakefds: wakefds.to_vec(),
         handles,
+        ship,
+        shared: Arc::clone(&shared),
     })
+}
+
+// -- durability ----------------------------------------------------------
+
+/// Opens (creating or recovering) the WAL at `cfg.wal_dir`, seeding
+/// `shared`'s store from recovered history when there is any.
+fn open_wal(cfg: &ServerConfig, shared: &mut NetShared, metrics: &Metrics) -> io::Result<Arc<Wal>> {
+    let dir = cfg.wal_dir.clone().expect("caller checked wal_dir");
+    std::fs::create_dir_all(&dir)?;
+    let mut wal_cfg = WalConfig::new(dir);
+    wal_cfg.fsync = cfg.fsync;
+    wal_cfg.snapshot_every = cfg.snapshot_every;
+    wal_cfg.retain_commits = cfg.wal_retain;
+    let wal_err = |e: WalError| io::Error::other(e.to_string());
+    match recover(&wal_cfg.dir, metrics) {
+        Ok(state) => {
+            state
+                .check_shards(shared.sds.num_shards() as u64)
+                .map_err(wal_err)?;
+            for (id, t) in &state.tuples {
+                shared.sds.insert_instance(*id, t.clone());
+            }
+            shared.sds.advance_cursors(&state.cursors);
+            let wal = Wal::resume(wal_cfg, &state, metrics.clone()).map_err(wal_err)?;
+            Ok(Arc::new(wal))
+        }
+        Err(WalError::Empty(_)) => {
+            let wal = Wal::create(wal_cfg, shared.sds.num_shards() as u64, metrics.clone())
+                .map_err(wal_err)?;
+            Ok(Arc::new(wal))
+        }
+        Err(e) => Err(wal_err(e)),
+    }
+}
+
+// -- follower apply ------------------------------------------------------
+
+/// The follower's replication thread: applies the leader's shipped
+/// commit stream to the live store, reconnecting (from the last applied
+/// commit) whenever the link drops.
+#[allow(clippy::too_many_arguments)]
+fn follower_apply(
+    shared: &Arc<NetShared>,
+    wakefds: &[Arc<WakeFd>],
+    metrics: &Metrics,
+    leader: &str,
+    conn: FollowerConn,
+    pending: Option<FollowEvent>,
+    mut applied: u64,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut session = Some((conn, pending));
+    while !stop.load(Ordering::SeqCst) {
+        let (conn, pending) = match session.take() {
+            Some(s) => s,
+            None => match FollowerConn::connect(leader, applied, shared.sds.num_shards() as u64) {
+                Ok(c) => (c, None),
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(500));
+                    continue;
+                }
+            },
+        };
+        // The follower's own gauge mirrors the upstream link state: 1
+        // while attached, 0 while reconnecting.
+        metrics.set_gauge(Gauge::ReplFollowers, 1);
+        let outcome = follow_stream(shared, wakefds, metrics, conn, pending, &mut applied, stop);
+        metrics.set_gauge(Gauge::ReplFollowers, 0);
+        match outcome {
+            Ok(()) => return Ok(()), // stop requested
+            // A fatal divergence (leader pruned past us, shard mismatch,
+            // id mismatch) can't be healed by reconnecting.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
+            // Link errors: reconnect and resume from `applied`.
+            Err(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Applies one connection's event stream until `stop`, EOF, or error.
+fn follow_stream(
+    shared: &Arc<NetShared>,
+    wakefds: &[Arc<WakeFd>],
+    metrics: &Metrics,
+    mut conn: FollowerConn,
+    pending: Option<FollowEvent>,
+    applied: &mut u64,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut next = pending;
+    loop {
+        let ev = match next.take() {
+            Some(ev) => Some(ev),
+            None => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                conn.next_event()?
+            }
+        };
+        let Some(ev) = ev else { continue };
+        match ev {
+            FollowEvent::Commit(rec) => {
+                let timer = metrics.start_timer();
+                let commit = rec.commit;
+                apply_shipped(shared, wakefds, rec)?;
+                metrics.observe_timer(Hist::ReplApplySeconds, timer);
+                metrics.inc(Counter::ReplRecordsApplied);
+                *applied = commit;
+                metrics.set_gauge(
+                    Gauge::ReplLagCommits,
+                    conn.watermark().saturating_sub(*applied) as i64,
+                );
+                conn.ack(*applied)?;
+            }
+            FollowEvent::Watermark(w) => {
+                metrics.set_gauge(Gauge::ReplLagCommits, w.saturating_sub(*applied) as i64);
+            }
+            FollowEvent::Snapshot(_) => {
+                // A bootstrap snapshot mid-life means the leader pruned
+                // past our position while we were detached; a live store
+                // can't adopt a new base without breaking readers.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "leader pruned past this follower's position; restart the \
+                     follower to re-bootstrap (or raise the leader's --wal-retain)",
+                ));
+            }
+        }
+    }
+}
+
+/// Applies one shipped commit record to the live store, exactly as the
+/// leader's engine committed it: same batch discipline, same wake scan.
+/// Minted ids are verified against the record — any divergence from the
+/// leader's byte-for-byte state is an error, not a warning.
+fn apply_shipped(
+    shared: &Arc<NetShared>,
+    wakefds: &[Arc<WakeFd>],
+    rec: CommitRecord,
+) -> io::Result<()> {
+    let mut actions = Vec::with_capacity(rec.retracts.len() + rec.asserts.len());
+    let mut fp = ShardSet::default();
+    for id in &rec.retracts {
+        fp.insert(shared.sds.shard_of_id(*id));
+        actions.push(Action::Retract(*id));
+    }
+    for (id, t) in &rec.asserts {
+        fp.insert(shared.sds.shard_of_tuple(t));
+        actions.push(Action::Assert(id.owner, t.clone()));
+    }
+    let mut watch = WatchSet::new();
+    let mut view = shared.sds.write_shards(fp);
+    let (out, changed) = view.apply_batch(actions, &mut watch);
+    let minted: Vec<TupleId> = out.asserted.clone();
+    let expected: Vec<TupleId> = rec.asserts.iter().map(|(id, _)| *id).collect();
+    if minted != expected {
+        drop(view);
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "replica id divergence at commit {}: minted {minted:?}, leader had \
+                 {expected:?}",
+                rec.commit
+            ),
+        ));
+    }
+    shared.sds.note_commit(changed, shared.next_commit());
+    drop(view);
+    shared.bump_epoch();
+    // Waiters on this follower are all read-only (`rd`/`rdp`); the
+    // shipped commit may satisfy them. No loop is "ours" — route every
+    // wake through the mailboxes and kick each loop the mask names.
+    let (wakes, mut kicks) = shared.wake(usize::MAX, &watch, changed);
+    debug_assert!(wakes.is_empty());
+    while kicks != 0 {
+        let l = kicks.trailing_zeros() as usize;
+        kicks &= kicks - 1;
+        if l < wakefds.len() {
+            wakefds[l].kick();
+        }
+    }
+    Ok(())
 }
 
 // -- acceptor ------------------------------------------------------------

@@ -36,6 +36,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use sdl_dataspace::{shards_of_watch_key, ShardSet, ShardedDataspace, WatchKey, WatchSet};
+use sdl_durability::{Snapshotter, Wal};
 use sdl_metrics::{LoopCounter, Metrics};
 use sdl_sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, RelaxedCounter};
 
@@ -130,6 +131,19 @@ pub struct NetShared {
     n_loops: usize,
     /// Seeded lost-wakeup mutant: skip the park epoch re-check.
     skip_park_recheck: bool,
+    /// Write-ahead log (leader durability). Engines append inside their
+    /// commit write-lock scopes — the same serialisation argument as
+    /// `core::parallel` — and fsync after the locks drop. `None` runs
+    /// in-memory (and on followers, whose state is the shipped log).
+    pub wal: Option<Arc<Wal>>,
+    /// Background snapshot writer for `wal`; commits offer consistent
+    /// store copies here instead of writing snapshot files inline. Taken
+    /// out (and joined) at server shutdown.
+    pub snapshotter: Mutex<Option<Snapshotter>>,
+    /// Follower mode: the leader's client address. When set, engines
+    /// answer every mutating request with `Response::NotLeader` carrying
+    /// this address instead of touching the store.
+    pub redirect: Option<String>,
 }
 
 impl NetShared {
@@ -167,7 +181,24 @@ impl NetShared {
             rr: AtomicUsize::new(0),
             n_loops,
             skip_park_recheck,
+            wal: None,
+            snapshotter: Mutex::new(None),
+            redirect: None,
         }
+    }
+
+    /// Attaches a write-ahead log (and its background snapshot writer).
+    /// Must run before the state is shared — i.e. before any engine
+    /// commits — so every commit is logged.
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) {
+        *self.snapshotter.lock() = Some(Snapshotter::new(Arc::clone(&wal)));
+        self.wal = Some(wal);
+    }
+
+    /// Marks this state read-only (follower mode): mutating requests
+    /// are redirected to the leader at `leader_addr`.
+    pub fn set_redirect(&mut self, leader_addr: String) {
+        self.redirect = Some(leader_addr);
     }
 
     /// Number of event loops sharing this state.

@@ -100,6 +100,9 @@ pub enum Response {
     /// The request was rejected (parse/compile/eval error, unsupported
     /// feature); the message is human-readable.
     Error(String),
+    /// This server is a read-only replication follower; the write must
+    /// be retried against the leader at the carried client address.
+    NotLeader(String),
 }
 
 /// Decode failure; the connection should be dropped on any of these.
@@ -396,6 +399,10 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
             out.push(5);
             put_str(&mut out, msg);
         }
+        Response::NotLeader(addr) => {
+            out.push(6);
+            put_str(&mut out, addr);
+        }
     }
     out
 }
@@ -415,6 +422,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
         3 => Response::Parked,
         4 => Response::Cancelled,
         5 => Response::Error(c.str()?.to_owned()),
+        6 => Response::NotLeader(c.str()?.to_owned()),
         _ => return Err(WireError::Malformed("response status")),
     };
     c.done()?;
@@ -498,6 +506,7 @@ mod tests {
             Response::Parked,
             Response::Cancelled,
             Response::Error("nope".to_owned()),
+            Response::NotLeader("10.0.0.1:7401".to_owned()),
         ] {
             let payload = encode_response(7, &resp);
             let (id, back) = decode_response(&payload).expect("decodes");

@@ -1,12 +1,18 @@
 //! `sdl-bench-load` — load generator for `sdl-server`.
 //!
 //! ```text
-//! sdl-bench-load [--addr HOST:PORT] [--clients N] [--conns N]
+//! sdl-bench-load [--addr HOST:PORT] [--read-from HOST:PORT]
+//!                [--clients N] [--conns N]
 //!                [--pipeline N] [--ops N] [--relations K]
 //!                [--self-host] [--loops N] [--json]
 //! ```
 //!
 //! * `--addr A`      server to hammer (default `127.0.0.1:7401`)
+//! * `--read-from A` route reads to a read-only follower at `A`:
+//!   writes stay on `--addr` (the leader) and each client's `inp`
+//!   becomes a non-destructive `rdp` against the follower. A read miss
+//!   then means the follower hadn't applied that write yet, so the
+//!   miss count is the replication-lag signal, not an error
 //! * `--clients N`   simulated clients (default 1000; state is one
 //!   `u32` per client, so `--clients 1000000` is fine)
 //! * `--conns N`     TCP connections to multiplex them over (default 16)
@@ -41,7 +47,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sdl-bench-load [--addr HOST:PORT] [--clients N] [--conns N] \
+        "usage: sdl-bench-load [--addr HOST:PORT] [--read-from HOST:PORT] \
+         [--clients N] [--conns N] \
          [--pipeline N] [--ops N] [--relations K] [--self-host] [--loops N] \
          [--json]"
     );
@@ -59,6 +66,7 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => args.load.addr = it.next().unwrap_or_else(|| usage()),
+            "--read-from" => args.load.read_from = Some(it.next().unwrap_or_else(|| usage())),
             "--clients" => {
                 args.load.sim_clients = it
                     .next()

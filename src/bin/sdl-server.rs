@@ -6,6 +6,10 @@
 //!            [--placement affinity|rr]
 //!            [--max-parked N] [--max-frame BYTES] [--write-buf BYTES]
 //!            [--read-chunk BYTES] [--poll-timeout-ms N]
+//!            [--wal-dir DIR] [--fsync always|interval[:MS]|never]
+//!            [--snapshot-every N] [--wal-retain N]
+//!            [--repl-addr HOST:PORT] [--advertise HOST:PORT]
+//!            [--follow HOST:PORT]
 //! ```
 //!
 //! * `--addr A`            bind address for the dataspace protocol
@@ -30,8 +34,24 @@
 //! * `--read-chunk BYTES`  bytes read per connection per loop pass
 //!   (default 256 KiB)
 //! * `--poll-timeout-ms N` poll timeout between passes (default 25)
+//! * `--wal-dir DIR`       log every commit to a write-ahead log in
+//!   `DIR` (created if missing); existing history is recovered and the
+//!   store seeded from it. Without this flag, state is in-memory
+//! * `--fsync P`           WAL fsync policy: `always`, `interval[:MS]`
+//!   (default, 100 ms), or `never`
+//! * `--snapshot-every N`  snapshot (and prune the log) every N commits
+//! * `--wal-retain N`      keep at least the newest N commits through
+//!   pruning, so a briefly-detached follower resumes from the log
+//! * `--repl-addr A`       leader: also serve the `SDLREPL1`
+//!   replication protocol at `A`, shipping the WAL to followers
+//!   (requires `--wal-dir`; port `0` picks an ephemeral port)
+//! * `--advertise A`       client address handed to followers for
+//!   `NotLeader` redirects (default: the bound `--addr`)
+//! * `--follow A`          follower: bootstrap from — and stay attached
+//!   to — the leader's replication listener at `A`, serving reads only;
+//!   writes are answered with a `NotLeader` redirect to the leader
 //!
-//! The process runs until SIGINT/SIGTERM kills it; state is in-memory.
+//! The process runs until SIGINT/SIGTERM kills it.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -50,7 +70,10 @@ fn usage() -> ! {
         "usage: sdl-server [--addr HOST:PORT] [--metrics-addr HOST:PORT] \
          [--loops N] [--shards N] [--pin-cores] [--placement affinity|rr] \
          [--max-parked N] [--max-frame BYTES] [--write-buf BYTES] \
-         [--read-chunk BYTES] [--poll-timeout-ms N]"
+         [--read-chunk BYTES] [--poll-timeout-ms N] \
+         [--wal-dir DIR] [--fsync always|interval[:MS]|never] \
+         [--snapshot-every N] [--wal-retain N] \
+         [--repl-addr HOST:PORT] [--advertise HOST:PORT] [--follow HOST:PORT]"
     );
     std::process::exit(2)
 }
@@ -124,6 +147,31 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--wal-dir" => args.cfg.wal_dir = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--fsync" => {
+                args.cfg.fsync = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--snapshot-every" => {
+                args.cfg.snapshot_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--wal-retain" => {
+                args.cfg.wal_retain = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--repl-addr" => args.cfg.repl_addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--advertise" => args.cfg.advertise = Some(it.next().unwrap_or_else(|| usage())),
+            "--follow" => args.cfg.follow = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -156,6 +204,9 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("sdl-server: listening on {}", server.addr());
+    if let Some(repl) = server.repl_addr() {
+        eprintln!("sdl-server: shipping replication on {repl}");
+    }
 
     // Serve until killed. The event loop owns all state; this thread
     // just keeps the process (and the metrics endpoint) alive.

@@ -12,6 +12,7 @@ pub use sdl_durability as durability;
 pub use sdl_lang as lang;
 pub use sdl_linda as linda;
 pub use sdl_metrics as metrics;
+pub use sdl_replication as replication;
 pub use sdl_server as server;
 pub use sdl_trace as trace;
 pub use sdl_tuple as tuple;

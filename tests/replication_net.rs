@@ -1,0 +1,193 @@
+//! End-to-end replication over real sockets: a leader server logging to
+//! a WAL and shipping it over `SDLREPL1`, a follower bootstrapping from
+//! the stream and serving reads, and writes to the follower answered
+//! with a `NotLeader` redirect carrying the leader's client address.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use sdl::durability::FsyncPolicy;
+use sdl::metrics::{Counter, Gauge, Metrics, MetricsRegistry};
+use sdl::server::{serve, Client, Request, Response, Server, ServerConfig};
+use sdl_tuple::{pattern, tuple, Value};
+
+/// A fresh, unique scratch directory for one test case.
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "sdl-replnet-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Polls `cond` until it holds or `deadline` elapses.
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// A leader with a WAL and a replication listener on ephemeral ports.
+/// `Always` fsync keeps the shippable watermark hard on the commit
+/// frontier, so followers see every commit promptly.
+fn start_leader(dir: &Path) -> (Server, std::sync::Arc<MetricsRegistry>) {
+    let (metrics, registry) = Metrics::registry();
+    let cfg = ServerConfig {
+        wal_dir: Some(dir.to_path_buf()),
+        fsync: FsyncPolicy::Always,
+        repl_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServerConfig::default()
+    };
+    let server = serve(cfg, metrics).expect("bind leader");
+    (server, registry)
+}
+
+fn start_follower(leader: &Server) -> (Server, std::sync::Arc<MetricsRegistry>) {
+    let (metrics, registry) = Metrics::registry();
+    let cfg = ServerConfig {
+        follow: Some(leader.repl_addr().expect("leader ships").to_string()),
+        ..ServerConfig::default()
+    };
+    let server = serve(cfg, metrics).expect("bind follower");
+    (server, registry)
+}
+
+#[test]
+fn follower_serves_leader_writes_after_lag_drains() {
+    let dir = temp_dir("reads");
+    let (leader, leader_reg) = start_leader(&dir);
+    let mut w = Client::connect(leader.addr()).expect("connect leader");
+    w.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // History before the follower exists: it must arrive via bootstrap.
+    for k in 0..3i64 {
+        w.out(tuple![Value::atom("pre"), k]).expect("out");
+    }
+
+    let (follower, follower_reg) = start_follower(&leader);
+    let mut r = Client::connect(follower.addr()).expect("connect follower");
+    r.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            leader_reg.gauge(Gauge::ReplFollowers) == 1
+        }),
+        "leader never saw the follower attach"
+    );
+
+    // Bootstrapped history is readable on the follower.
+    for k in 0..3i64 {
+        let got = wait_until(Duration::from_secs(10), || {
+            matches!(r.try_read(pattern![Value::atom("pre"), k]), Ok(Some(_)))
+        });
+        assert!(got, "pre-attach tuple {k} never reached the follower");
+    }
+
+    // Writes committed while the follower is attached stream across.
+    for k in 0..20i64 {
+        w.out(tuple![Value::atom("live"), k]).expect("out");
+    }
+    for k in [0i64, 7, 19] {
+        let got = wait_until(Duration::from_secs(10), || {
+            matches!(r.try_read(pattern![Value::atom("live"), k]), Ok(Some(_)))
+        });
+        assert!(got, "live tuple {k} never reached the follower");
+    }
+
+    // Retractions replicate too: a take on the leader disappears from
+    // the follower.
+    assert!(w
+        .try_take(pattern![Value::atom("live"), 7i64])
+        .expect("inp")
+        .is_some());
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            matches!(r.try_read(pattern![Value::atom("live"), 7i64]), Ok(None))
+        }),
+        "retraction never reached the follower"
+    );
+
+    // With the leader idle, lag drains to zero and the apply counter
+    // shows the stream actually flowed.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            follower_reg.gauge(Gauge::ReplLagCommits) == 0
+        }),
+        "follower lag stuck at {}",
+        follower_reg.gauge(Gauge::ReplLagCommits)
+    );
+    assert!(follower_reg.counter(Counter::ReplRecordsApplied) >= 20);
+
+    follower.shutdown().expect("follower shutdown");
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            leader_reg.gauge(Gauge::ReplFollowers) == 0
+        }),
+        "leader never noticed the follower detach"
+    );
+    leader.shutdown().expect("leader shutdown");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn writes_to_a_follower_redirect_to_the_leader() {
+    let dir = temp_dir("redirect");
+    let (leader, _leader_reg) = start_leader(&dir);
+    let (follower, follower_reg) = start_follower(&leader);
+
+    let mut c = Client::connect(follower.addr()).expect("connect follower");
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Every mutating request comes back NotLeader with the leader's
+    // client address, and nothing is committed follower-side.
+    let id = c
+        .send(&Request::Out(tuple![Value::atom("nope"), 1i64]))
+        .expect("send");
+    match c.wait_for(id).expect("reply") {
+        Response::NotLeader(addr) => {
+            assert_eq!(addr, leader.addr().to_string(), "redirect address");
+        }
+        other => panic!("expected NotLeader, got {other:?}"),
+    }
+    let id = c
+        .send(&Request::Inp(pattern![Value::atom("nope"), any]))
+        .expect("send");
+    assert!(matches!(
+        c.wait_for(id).expect("reply"),
+        Response::NotLeader(_)
+    ));
+    // The typed client surfaces the redirect as PermissionDenied.
+    let err = c.out(tuple![Value::atom("nope"), 2i64]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    assert!(err.to_string().contains(&leader.addr().to_string()));
+    assert_eq!(follower_reg.counter(Counter::ReplNotLeaderRedirects), 3);
+
+    // Reads still work — and a *blocking* read parked on the follower
+    // is woken by a commit that arrives over replication.
+    let id = c
+        .send(&Request::Rd(pattern![Value::atom("bridge"), any]))
+        .expect("send rd");
+    let (pid, parked) = c.recv().expect("parked notification");
+    assert_eq!(pid, id);
+    assert!(matches!(parked, Response::Parked), "{parked:?}");
+
+    let mut w = Client::connect(leader.addr()).expect("connect leader");
+    w.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    w.out(tuple![Value::atom("bridge"), 9i64]).expect("out");
+    match c.wait_for(id).expect("wake") {
+        Response::Tuple(t) => assert_eq!(t, tuple![Value::atom("bridge"), 9i64]),
+        other => panic!("expected tuple, got {other:?}"),
+    }
+
+    follower.shutdown().expect("follower shutdown");
+    leader.shutdown().expect("leader shutdown");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -295,6 +295,7 @@ fn four_loop_server_survives_mixed_load() {
         pipeline: 32,
         ops_per_client: 10,
         relations: 8,
+        read_from: None,
     })
     .expect("load");
     assert_eq!(report.ops, 2000);
